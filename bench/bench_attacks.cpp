@@ -1,0 +1,163 @@
+// C5 (DESIGN.md): failure-detection accuracy and completeness (Def. 5
+// items 5 + 7) as an attack campaign.
+//
+// Rows: every attack class implemented in src/adversary, over several
+// seeds. Reported: detection rate (must be 1.0 for every attack that
+// violates consistency) and the false-positive rate of a correct-server
+// control group (must be 0.0).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "adversary/forking_server.h"
+#include "adversary/misc_servers.h"
+#include "adversary/tamper_server.h"
+#include "common/rng.h"
+#include "crypto/signature.h"
+#include "faust/cluster.h"
+#include "ustor/client.h"
+
+namespace {
+
+using namespace faust;
+
+/// Control group: correct server, busy workload, many seeds. Counts any
+/// fail_i as a false positive.
+void BM_FalsePositiveRateCorrectServer(benchmark::State& state) {
+  double false_positives = 0, runs = 0;
+  for (auto _ : state) {
+    false_positives = 0;
+    runs = 0;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      ClusterConfig cfg;
+      cfg.n = 3;
+      cfg.seed = seed;
+      cfg.faust.dummy_read_period = 300;
+      cfg.faust.probe_interval = 2'000;
+      cfg.faust.probe_check_period = 500;
+      Cluster cl(cfg);
+      for (int k = 0; k < 10; ++k) {
+        cl.write((k % 3) + 1, "w" + std::to_string(seed) + "-" + std::to_string(k));
+        cl.read(((k + 1) % 3) + 1, (k % 3) + 1);
+      }
+      cl.run_for(60'000);
+      ++runs;
+      if (cl.any_failed()) ++false_positives;
+    }
+  }
+  state.counters["runs"] = runs;
+  state.counters["false_positive_rate"] = false_positives / runs;  // must be 0
+}
+BENCHMARK(BM_FalsePositiveRateCorrectServer)->Iterations(1);
+
+/// Forking attacks (split / isolate / partition) across seeds: detection
+/// rate at the FAUST layer.
+void BM_ForkDetectionRate(benchmark::State& state) {
+  double detected = 0, runs = 0;
+  for (auto _ : state) {
+    detected = 0;
+    runs = 0;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      ClusterConfig cfg;
+      cfg.n = 3;
+      cfg.seed = seed;
+      cfg.with_server = false;
+      cfg.faust.dummy_read_period = 400;
+      cfg.faust.probe_interval = 3'000;
+      cfg.faust.probe_check_period = 700;
+      Cluster cl(cfg);
+      adversary::ForkingServer server(cfg.n, cl.net());
+      cl.write(1, "pre" + std::to_string(seed));
+      cl.read(2, 1);
+      const ClientId victim = static_cast<ClientId>(seed % 3) + 1;
+      if (seed % 2 == 0) {
+        server.split(victim);
+      } else {
+        server.isolate(victim);
+      }
+      cl.write(victim, "victim" + std::to_string(seed));
+      cl.write(victim == 1 ? 2 : 1, "main" + std::to_string(seed));
+      cl.run_for(400'000);
+      ++runs;
+      if (cl.all_failed()) ++detected;
+    }
+  }
+  state.counters["runs"] = runs;
+  state.counters["detection_rate"] = detected / runs;  // must be 1
+}
+BENCHMARK(BM_ForkDetectionRate)->Iterations(1);
+
+/// Tampering attacks at the USTOR layer: every corruption class must be
+/// caught by the victim immediately.
+void BM_TamperDetectionRate(benchmark::State& state) {
+  using adversary::Tamper;
+  const Tamper kModes[] = {
+      Tamper::kValue,        Tamper::kValueFreshSig, Tamper::kStaleTimestamp,
+      Tamper::kVersionVector, Tamper::kCommitSig,    Tamper::kWriterCommitSig,
+      Tamper::kDataSig,      Tamper::kProofSig,      Tamper::kSubmitSigInL,
+      Tamper::kEchoSelfInL,  Tamper::kDuplicateInL,   Tamper::kWrongCommitter, Tamper::kGarbage,
+      Tamper::kDropReadPayload,
+  };
+  double detected = 0, runs = 0;
+  for (auto _ : state) {
+    detected = 0;
+    runs = 0;
+    for (const Tamper mode : kModes) {
+      sim::Scheduler sched;
+      net::Network net(sched, Rng(7), net::DelayModel{5, 5});
+      auto sigs = crypto::make_hmac_scheme(3);
+      adversary::TamperServer server(3, net, mode, /*victim=*/2, /*fire_on_op=*/2);
+      std::vector<std::unique_ptr<ustor::Client>> clients;
+      for (ClientId i = 1; i <= 3; ++i) {
+        clients.push_back(std::make_unique<ustor::Client>(i, 3, sigs, net));
+      }
+      auto drive = [&](ustor::Client& c, auto invoke) {
+        bool done = false;
+        invoke(c, done);
+        while (!done && !c.failed() && sched.step()) {
+        }
+      };
+      drive(*clients[0], [](ustor::Client& c, bool& done) {
+        c.writex(to_bytes("a"), [&done](const ustor::WriteResult&) { done = true; });
+      });
+      drive(*clients[0], [](ustor::Client& c, bool& done) {
+        c.writex(to_bytes("b"), [&done](const ustor::WriteResult&) { done = true; });
+      });
+      drive(*clients[1], [](ustor::Client& c, bool& done) {
+        c.writex(to_bytes("v"), [&done](const ustor::WriteResult&) { done = true; });
+      });
+      clients[0]->writex(to_bytes("c"), [](const ustor::WriteResult&) {});
+      clients[1]->readx(1, [](const ustor::ReadResult&) {});
+      sched.run();
+      ++runs;
+      if (clients[1]->failed()) ++detected;
+    }
+  }
+  state.counters["attack_classes"] = runs;
+  state.counters["detection_rate"] = detected / runs;  // must be 1
+}
+BENCHMARK(BM_TamperDetectionRate)->Iterations(1);
+
+/// Commit omission: detected by the committing client itself.
+void BM_CommitOmissionDetection(benchmark::State& state) {
+  double detected = 0;
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    net::Network net(sched, Rng(3), net::DelayModel{2, 4});
+    auto sigs = crypto::make_hmac_scheme(2);
+    adversary::CommitDroppingServer server(2, net);
+    ustor::Client c1(1, 2, sigs, net);
+    c1.writex(to_bytes("a"), [](const ustor::WriteResult&) {});
+    sched.run();
+    c1.writex(to_bytes("b"), [](const ustor::WriteResult&) {});
+    sched.run();
+    detected = c1.failed() ? 1 : 0;
+  }
+  state.counters["detected"] = detected;
+}
+BENCHMARK(BM_CommitOmissionDetection)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,161 @@
+// C3 (DESIGN.md): wait-freedom. "No fork-linearizable storage protocol
+// can be wait-free" (§1, [5]) — USTOR completes operations regardless of
+// other clients; the lock-step fork-linearizable baseline wedges forever
+// when a client crashes inside its critical window.
+//
+// Series reported: operations completed by the surviving clients within a
+// fixed virtual-time budget after one client crashes mid-operation.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "baseline/lockstep.h"
+#include "common/rng.h"
+#include "crypto/signature.h"
+#include "faust/cluster.h"
+#include "net/network.h"
+#include "sim/scheduler.h"
+
+namespace {
+
+using namespace faust;
+
+constexpr sim::Time kBudget = 20'000;
+
+/// USTOR survivors after a mid-operation crash.
+void BM_UstorSurvivorThroughputAfterCrash(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  double completed_ops = 0;
+  for (auto _ : state) {
+    ClusterConfig cfg;
+    cfg.n = n;
+    cfg.seed = 23;
+    cfg.delay = net::DelayModel{5, 5};
+    cfg.faust.dummy_read_period = 0;
+    cfg.faust.probe_check_period = 0;
+    Cluster cl(cfg);
+
+    // Client 1 submits and dies before committing.
+    cl.client(1).write(to_bytes("doomed"), [](Timestamp) {});
+    cl.run_for(5);
+    cl.net().crash(1);
+
+    // Every survivor pumps operations back-to-back for the budget.
+    std::uint64_t completed = 0;
+    std::vector<std::function<void()>> pump(static_cast<std::size_t>(n) + 1);
+    for (ClientId i = 2; i <= n; ++i) {
+      pump[static_cast<std::size_t>(i)] = [&, i] {
+        cl.client(i).write(to_bytes("w" + std::to_string(completed)), [&, i](Timestamp) {
+          ++completed;
+          if (cl.sched().now() < kBudget) pump[static_cast<std::size_t>(i)]();
+        });
+      };
+      pump[static_cast<std::size_t>(i)]();
+    }
+    cl.sched().run_until(kBudget);
+    completed_ops = static_cast<double>(completed);
+  }
+  state.counters["survivor_ops_completed"] = completed_ops;
+  state.counters["wait_free"] = completed_ops > 0 ? 1 : 0;
+}
+BENCHMARK(BM_UstorSurvivorThroughputAfterCrash)->Arg(2)->Arg(4)->Arg(8)->Iterations(1);
+
+/// Lock-step baseline, identical scenario: everything blocks.
+void BM_LockStepSurvivorThroughputAfterCrash(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  double completed_ops = 0;
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    net::Network net(sched, Rng(23), net::DelayModel{5, 5});
+    auto sigs = crypto::make_hmac_scheme(n);
+    baseline::LockStepServer server(n, net);
+    std::vector<std::unique_ptr<baseline::LockStepClient>> clients;
+    for (ClientId i = 1; i <= n; ++i) {
+      clients.push_back(std::make_unique<baseline::LockStepClient>(i, n, sigs, net));
+    }
+    clients[0]->set_crash_on_grant(true);
+    clients[0]->write(to_bytes("doomed"), [] {});
+
+    std::uint64_t completed = 0;
+    std::vector<std::function<void()>> pump(static_cast<std::size_t>(n) + 1);
+    for (ClientId i = 2; i <= n; ++i) {
+      auto& client = *clients[static_cast<std::size_t>(i - 1)];
+      pump[static_cast<std::size_t>(i)] = [&, i] {
+        client.write(to_bytes("w"), [&, i] {
+          ++completed;
+          if (sched.now() < kBudget) pump[static_cast<std::size_t>(i)]();
+        });
+      };
+      pump[static_cast<std::size_t>(i)]();
+    }
+    sched.run_until(kBudget);
+    completed_ops = static_cast<double>(completed);
+  }
+  state.counters["survivor_ops_completed"] = completed_ops;  // = 0: blocked
+  state.counters["wait_free"] = completed_ops > 0 ? 1 : 0;
+}
+BENCHMARK(BM_LockStepSurvivorThroughputAfterCrash)->Arg(2)->Arg(4)->Arg(8)->Iterations(1);
+
+/// Healthy-path comparison: throughput without any crash, to show the
+/// blocking cost exists even when nobody fails (serialization delay).
+void BM_HealthyThroughputUstorVsLockstep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  double ustor_ops = 0, lockstep_ops = 0;
+  for (auto _ : state) {
+    {
+      ClusterConfig cfg;
+      cfg.n = n;
+      cfg.seed = 29;
+      cfg.delay = net::DelayModel{5, 5};
+      cfg.faust.dummy_read_period = 0;
+      cfg.faust.probe_check_period = 0;
+      Cluster cl(cfg);
+      std::uint64_t completed = 0;
+      std::vector<std::function<void()>> pump(static_cast<std::size_t>(n) + 1);
+      for (ClientId i = 1; i <= n; ++i) {
+        pump[static_cast<std::size_t>(i)] = [&, i] {
+          cl.client(i).write(to_bytes("w"), [&, i](Timestamp) {
+            ++completed;
+            if (cl.sched().now() < kBudget) pump[static_cast<std::size_t>(i)]();
+          });
+        };
+        pump[static_cast<std::size_t>(i)]();
+      }
+      cl.sched().run_until(kBudget);
+      ustor_ops = static_cast<double>(completed);
+    }
+    {
+      sim::Scheduler sched;
+      net::Network net(sched, Rng(29), net::DelayModel{5, 5});
+      auto sigs = crypto::make_hmac_scheme(n);
+      baseline::LockStepServer server(n, net);
+      std::vector<std::unique_ptr<baseline::LockStepClient>> clients;
+      for (ClientId i = 1; i <= n; ++i) {
+        clients.push_back(std::make_unique<baseline::LockStepClient>(i, n, sigs, net));
+      }
+      std::uint64_t completed = 0;
+      std::vector<std::function<void()>> pump(static_cast<std::size_t>(n) + 1);
+      for (ClientId i = 1; i <= n; ++i) {
+        auto& client = *clients[static_cast<std::size_t>(i - 1)];
+        pump[static_cast<std::size_t>(i)] = [&, i] {
+          client.write(to_bytes("w"), [&, i] {
+            ++completed;
+            if (sched.now() < kBudget) pump[static_cast<std::size_t>(i)]();
+          });
+        };
+        pump[static_cast<std::size_t>(i)]();
+      }
+      sched.run_until(kBudget);
+      lockstep_ops = static_cast<double>(completed);
+    }
+  }
+  state.counters["ustor_ops"] = ustor_ops;
+  state.counters["lockstep_ops"] = lockstep_ops;
+  state.counters["ustor_speedup"] = lockstep_ops > 0 ? ustor_ops / lockstep_ops : 0;
+}
+BENCHMARK(BM_HealthyThroughputUstorVsLockstep)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,146 @@
+// C6 (DESIGN.md), part 1: cost of the cryptographic substrate, and the
+// end-to-end ablation HMAC signatures vs no signatures (NullSignature-
+// Scheme) — quantifying what the paper's integrity guarantees cost.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "crypto/hmac.h"
+#include "crypto/merkle_sig.h"
+#include "crypto/sha256.h"
+#include "crypto/signature.h"
+#include "net/network.h"
+#include "sim/scheduler.h"
+#include "ustor/client.h"
+#include "ustor/server.h"
+
+namespace {
+
+using namespace faust;
+
+void BM_Sha256Throughput(benchmark::State& state) {
+  const std::size_t size = static_cast<std::size_t>(state.range(0));
+  Bytes data(size, 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::digest(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * size));
+}
+BENCHMARK(BM_Sha256Throughput)->Arg(64)->Arg(1024)->Arg(16384)->Arg(262144);
+
+void BM_HmacSign(benchmark::State& state) {
+  const auto scheme = crypto::make_hmac_scheme(4);
+  const Bytes msg(static_cast<std::size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme->sign(1, msg));
+  }
+  state.counters["sigs_per_sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_HmacSign)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_HmacVerify(benchmark::State& state) {
+  const auto scheme = crypto::make_hmac_scheme(4);
+  const Bytes msg(static_cast<std::size_t>(state.range(0)), 0x5a);
+  const Bytes sig = scheme->sign(1, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme->verify(1, msg, sig));
+  }
+  state.counters["verifies_per_sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_HmacVerify)->Arg(64)->Arg(512)->Arg(4096);
+
+/// Hash-based (Merkle/Lamport) signatures: the true-digital-signature
+/// alternative to HMAC (see crypto/merkle_sig.h). Key generation is the
+/// dominant cost; signatures are ~16.5 kB.
+void BM_MerkleKeygen(benchmark::State& state) {
+  const int height = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    crypto::MerkleSignatureScheme scheme(1, to_bytes("bench-seed"), height);
+    benchmark::DoNotOptimize(scheme.public_key(1));
+  }
+  state.counters["signatures_capacity"] = static_cast<double>(1ULL << height);
+}
+BENCHMARK(BM_MerkleKeygen)->Arg(2)->Arg(4)->Arg(6)->MinTime(0.05);
+
+void BM_MerkleSign(benchmark::State& state) {
+  crypto::MerkleSignatureScheme scheme(1, to_bytes("bench-seed"), 8);  // 256 one-time keys
+  const Bytes msg(256, 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.sign(1, msg));
+  }
+  state.counters["sig_bytes"] = static_cast<double>(scheme.signature_size());
+  state.counters["sigs_per_sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MerkleSign)->Iterations(200);
+
+void BM_MerkleVerify(benchmark::State& state) {
+  crypto::MerkleSignatureScheme scheme(1, to_bytes("bench-seed"), 4);
+  const Bytes msg(256, 0x5a);
+  const Bytes sig = scheme.sign(1, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.verify(1, msg, sig));
+  }
+  state.counters["verifies_per_sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MerkleVerify)->MinTime(0.05);
+
+/// End-to-end ablation: wall-clock time to push a fixed USTOR workload
+/// through the simulator, with real vs null signatures. The gap is the
+/// total cryptography cost per operation (sign + verify on both ends of
+/// every message).
+void run_workload(const std::shared_ptr<const crypto::SignatureScheme>& scheme, int n,
+                  int ops) {
+  sim::Scheduler sched;
+  net::Network net(sched, Rng(3), net::DelayModel{1, 5});
+  ustor::Server server(n, net);
+  std::vector<std::unique_ptr<ustor::Client>> clients;
+  for (ClientId i = 1; i <= n; ++i) {
+    clients.push_back(std::make_unique<ustor::Client>(i, n, scheme, net));
+  }
+  for (int k = 0; k < ops; ++k) {
+    ustor::Client& c = *clients[static_cast<std::size_t>(k % n)];
+    bool done = false;
+    if (k % 2 == 0) {
+      c.writex(to_bytes("v" + std::to_string(k)),
+               [&done](const ustor::WriteResult&) { done = true; });
+    } else {
+      c.readx(((k + 1) % n) + 1, [&done](const ustor::ReadResult&) { done = true; });
+    }
+    while (!done && sched.step()) {
+    }
+  }
+}
+
+void BM_UstorWorkloadHmac(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto scheme = crypto::make_hmac_scheme(n);
+  const int ops = 200;
+  for (auto _ : state) {
+    run_workload(scheme, n, ops);
+  }
+  state.counters["ops_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * ops), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_UstorWorkloadHmac)->Arg(4)->Arg(16)->Arg(64)->MinTime(0.2);
+
+void BM_UstorWorkloadNullCrypto(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto scheme = std::make_shared<crypto::NullSignatureScheme>();
+  const int ops = 200;
+  for (auto _ : state) {
+    run_workload(scheme, n, ops);
+  }
+  state.counters["ops_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * ops), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_UstorWorkloadNullCrypto)->Arg(4)->Arg(16)->Arg(64)->MinTime(0.2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// C4 (DESIGN.md): detection completeness (Def. 5 item 7) — how fast do
+// stability and failure detection converge, as a function of the probe
+// interval Δ and the offline-channel latency?
+//
+// Series: (a) time until an operation is stable w.r.t. all clients after
+// the server crashes (only probes can finish the job); (b) time until all
+// clients output fail_i after a forking attack.
+#include <benchmark/benchmark.h>
+
+#include "adversary/forking_server.h"
+#include "faust/cluster.h"
+
+namespace {
+
+using namespace faust;
+
+/// Stability latency after a server crash, vs probe interval Δ.
+void BM_StabilityLatencyAfterServerCrash(benchmark::State& state) {
+  const sim::Time delta = static_cast<sim::Time>(state.range(0));
+  double latency = 0;
+  for (auto _ : state) {
+    ClusterConfig cfg;
+    cfg.n = 3;
+    cfg.seed = 41;
+    cfg.faust.dummy_read_period = 0;
+    cfg.faust.probe_interval = delta;
+    cfg.faust.probe_check_period = delta / 4;
+    Cluster cl(cfg);
+    const Timestamp t = cl.write(1, "payload");
+    cl.read(2, 1);
+    cl.read(3, 1);
+    cl.run_for(50);
+    cl.net().crash(kServerNode);
+    const sim::Time crash_at = cl.sched().now();
+
+    // Run until C1 knows its op is stable w.r.t. everyone.
+    while (cl.client(1).fully_stable_timestamp() < t &&
+           cl.sched().now() < crash_at + 100 * delta) {
+      cl.run_for(delta / 4);
+    }
+    latency = static_cast<double>(cl.sched().now() - crash_at);
+  }
+  state.counters["delta"] = static_cast<double>(delta);
+  state.counters["stability_latency_ticks"] = latency;
+  state.counters["latency_over_delta"] = latency / static_cast<double>(delta);
+}
+BENCHMARK(BM_StabilityLatencyAfterServerCrash)
+    ->Arg(1'000)->Arg(2'000)->Arg(4'000)->Arg(8'000)->Arg(16'000)
+    ->Iterations(1);
+
+/// Failure-detection latency after a fork, vs probe interval Δ.
+void BM_ForkDetectionLatency(benchmark::State& state) {
+  const sim::Time delta = static_cast<sim::Time>(state.range(0));
+  double latency = 0, detected = 0;
+  for (auto _ : state) {
+    ClusterConfig cfg;
+    cfg.n = 3;
+    cfg.seed = 43;
+    cfg.with_server = false;
+    cfg.faust.dummy_read_period = 500;
+    cfg.faust.probe_interval = delta;
+    cfg.faust.probe_check_period = delta / 4;
+    Cluster cl(cfg);
+    adversary::ForkingServer server(cfg.n, cl.net());
+
+    cl.write(1, "pre");
+    cl.read(2, 1);
+    server.split(3);          // the attack
+    cl.write(3, "victim");    // divergence on the victim side
+    cl.write(1, "main");      // and on the main side
+    const sim::Time attack_at = cl.sched().now();
+
+    while (!cl.all_failed() && cl.sched().now() < attack_at + 200 * delta) {
+      cl.run_for(delta / 4);
+    }
+    detected = cl.all_failed() ? 1 : 0;
+    latency = static_cast<double>(cl.sched().now() - attack_at);
+  }
+  state.counters["delta"] = static_cast<double>(delta);
+  state.counters["all_clients_failed"] = detected;  // must be 1
+  state.counters["detection_latency_ticks"] = latency;
+  state.counters["latency_over_delta"] = latency / static_cast<double>(delta);
+}
+BENCHMARK(BM_ForkDetectionLatency)
+    ->Arg(1'000)->Arg(2'000)->Arg(4'000)->Arg(8'000)->Arg(16'000)
+    ->Iterations(1);
+
+/// Steady-state stability lag with a healthy server, vs dummy-read period
+/// (the knob that trades background traffic for freshness).
+void BM_StabilityLagVsDummyReadPeriod(benchmark::State& state) {
+  const sim::Time period = static_cast<sim::Time>(state.range(0));
+  double lag = 0;
+  for (auto _ : state) {
+    ClusterConfig cfg;
+    cfg.n = 3;
+    cfg.seed = 47;
+    cfg.faust.dummy_read_period = period;
+    cfg.faust.probe_interval = 1'000'000;  // probes out of the picture
+    cfg.faust.probe_check_period = 1'000'000;
+    Cluster cl(cfg);
+    cl.run_for(3 * period);  // warm up the round-robin
+    const sim::Time t0 = cl.sched().now();
+    const Timestamp t = cl.write(1, "x");
+    while (cl.client(1).fully_stable_timestamp() < t && cl.sched().now() < t0 + 100 * period) {
+      cl.run_for(period / 2);
+    }
+    lag = static_cast<double>(cl.sched().now() - t0);
+  }
+  state.counters["dummy_period"] = static_cast<double>(period);
+  state.counters["stability_lag_ticks"] = lag;
+}
+BENCHMARK(BM_StabilityLagVsDummyReadPeriod)
+    ->Arg(200)->Arg(500)->Arg(1'000)->Arg(2'000)->Arg(4'000)
+    ->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

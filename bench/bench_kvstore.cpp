@@ -1,0 +1,105 @@
+// Application-layer costs: the key-value store built over FAUST registers
+// (src/kvstore). put = 1 register write; get/list = n register reads —
+// the design inherits USTOR's O(n)-bytes/op and 1-RTT/op economics, so a
+// get costs ~n RTTs. Reported per n and per partition size.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "faust/cluster.h"
+#include "kvstore/kv_client.h"
+
+namespace {
+
+using namespace faust;
+
+struct KvRig {
+  explicit KvRig(int n) {
+    ClusterConfig cfg;
+    cfg.n = n;
+    cfg.seed = 99;
+    cfg.delay = net::DelayModel{5, 5};
+    cfg.faust.dummy_read_period = 0;
+    cfg.faust.probe_check_period = 0;
+    cluster = std::make_unique<Cluster>(cfg);
+    for (ClientId i = 1; i <= n; ++i) {
+      kv.push_back(std::make_unique<kv::KvClient>(cluster->client(i)));
+    }
+  }
+
+  void put(ClientId i, const std::string& k, const std::string& v) {
+    bool done = false;
+    kv[static_cast<std::size_t>(i - 1)]->put(k, v, [&](Timestamp) { done = true; });
+    while (!done && cluster->sched().step()) {
+    }
+  }
+
+  std::optional<kv::KvEntry> get(ClientId i, const std::string& k) {
+    bool done = false;
+    std::optional<kv::KvEntry> out;
+    kv[static_cast<std::size_t>(i - 1)]->get(k, [&](std::optional<kv::KvEntry> e) {
+      out = std::move(e);
+      done = true;
+    });
+    while (!done && cluster->sched().step()) {
+    }
+    return out;
+  }
+
+  std::unique_ptr<Cluster> cluster;
+  std::vector<std::unique_ptr<kv::KvClient>> kv;
+};
+
+void BM_KvPut(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  KvRig rig(n);
+  int k = 0;
+  for (auto _ : state) {
+    rig.put((k % n) + 1, "key" + std::to_string(k % 50), "value-" + std::to_string(k));
+    ++k;
+  }
+  state.counters["puts_per_sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_KvPut)->Arg(2)->Arg(4)->Arg(8)->MinTime(0.1);
+
+void BM_KvGet(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  KvRig rig(n);
+  for (int k = 0; k < 20; ++k) {
+    rig.put((k % n) + 1, "key" + std::to_string(k), "value-" + std::to_string(k));
+  }
+  int k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rig.get((k % n) + 1, "key" + std::to_string(k % 20)));
+    ++k;
+  }
+  // A get issues n register reads: cost grows with the client count.
+  state.counters["gets_per_sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  state.counters["register_reads_per_get"] = n;
+}
+BENCHMARK(BM_KvGet)->Arg(2)->Arg(4)->Arg(8)->MinTime(0.1);
+
+void BM_KvPartitionSizeScaling(benchmark::State& state) {
+  const int keys = static_cast<int>(state.range(0));
+  KvRig rig(2);
+  for (int k = 0; k < keys; ++k) {
+    rig.put(1, "key" + std::to_string(k), "value-" + std::to_string(k));
+  }
+  int k = 0;
+  for (auto _ : state) {
+    // Each put republishes the whole partition: cost scales with its size.
+    rig.put(1, "key" + std::to_string(k % keys), "updated");
+    ++k;
+  }
+  state.counters["partition_keys"] = keys;
+  state.counters["puts_per_sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_KvPartitionSizeScaling)->Arg(8)->Arg(64)->Arg(256)->MinTime(0.1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,138 @@
+// C2 (DESIGN.md): "communication overhead of O(n) bits per request" (§5).
+//
+// Measures the encoded size of every USTOR message type as a function of
+// the number of clients n, plus the end-to-end bytes-per-operation of a
+// live simulated workload. The paper's claim holds if the series grows
+// linearly in n: the version vector (n timestamps + n digests) and the
+// PROOF array (n signatures) dominate.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "crypto/signature.h"
+#include "faust/cluster.h"
+#include "ustor/messages.h"
+
+namespace {
+
+using namespace faust;
+
+ustor::Version chained_version(int n, int ops) {
+  ustor::Version v(n);
+  ustor::Digest d = ustor::Digest::bottom();
+  for (int q = 0; q < ops; ++q) {
+    const ClientId c = (q % n) + 1;
+    d = ustor::chain_step(d, c);
+    v.v(c) += 1;
+    v.m(c) = d;
+  }
+  return v;
+}
+
+/// Builds a REPLY shaped like a steady-state read reply: full version,
+/// full PROOF array, a couple of concurrent ops in L.
+ustor::ReplyMessage realistic_reply(int n) {
+  auto sigs = crypto::make_hmac_scheme(n);
+  ustor::ReplyMessage m;
+  m.c = 1;
+  m.last.version = chained_version(n, 3 * n);
+  m.last.commit_sig = sigs->sign(1, ustor::commit_payload(m.last.version));
+  ustor::ReadPayload rp;
+  rp.writer.version = chained_version(n, 2 * n);
+  rp.writer.commit_sig = sigs->sign(2, ustor::commit_payload(rp.writer.version));
+  rp.tj = 2;
+  rp.value = to_bytes("a register value of 32 bytes....");
+  rp.data_sig = sigs->sign(2, ustor::data_payload(2, ustor::value_hash(rp.value)));
+  m.read = rp;
+  for (int k = 0; k < 2; ++k) {
+    ustor::InvocationTuple inv;
+    inv.client = (k % n) + 1;
+    inv.oc = ustor::OpCode::kWrite;
+    inv.target = inv.client;
+    inv.submit_sig = sigs->sign(inv.client, ustor::submit_payload(inv.oc, inv.target, 1));
+    m.L.push_back(inv);
+  }
+  for (int k = 1; k <= n; ++k) {
+    m.P.push_back(sigs->sign(k, ustor::proof_payload(m.last.version.m(k))));
+  }
+  return m;
+}
+
+void BM_SubmitSize(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto sigs = crypto::make_hmac_scheme(n);
+  ustor::SubmitMessage m;
+  m.t = 7;
+  m.inv = {1, ustor::OpCode::kWrite, 1,
+           sigs->sign(1, ustor::submit_payload(ustor::OpCode::kWrite, 1, 7))};
+  m.value = to_bytes("a register value of 32 bytes....");
+  m.data_sig = sigs->sign(1, ustor::data_payload(7, ustor::value_hash(m.value)));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const Bytes b = ustor::encode(m);
+    bytes = b.size();
+    benchmark::DoNotOptimize(b);
+  }
+  state.counters["bytes"] = static_cast<double>(bytes);
+  state.counters["bytes_per_n"] = static_cast<double>(bytes) / n;
+}
+BENCHMARK(BM_SubmitSize)->RangeMultiplier(2)->Range(2, 256);
+
+void BM_ReplySize(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const ustor::ReplyMessage m = realistic_reply(n);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const Bytes b = ustor::encode(m);
+    bytes = b.size();
+    benchmark::DoNotOptimize(b);
+  }
+  state.counters["bytes"] = static_cast<double>(bytes);
+  state.counters["bytes_per_n"] = static_cast<double>(bytes) / n;  // O(n) ⇔ flat
+}
+BENCHMARK(BM_ReplySize)->RangeMultiplier(2)->Range(2, 256);
+
+void BM_CommitSize(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto sigs = crypto::make_hmac_scheme(n);
+  ustor::CommitMessage m;
+  m.version = chained_version(n, 3 * n);
+  m.commit_sig = sigs->sign(1, ustor::commit_payload(m.version));
+  m.proof_sig = sigs->sign(1, ustor::proof_payload(m.version.m(1)));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const Bytes b = ustor::encode(m);
+    bytes = b.size();
+    benchmark::DoNotOptimize(b);
+  }
+  state.counters["bytes"] = static_cast<double>(bytes);
+  state.counters["bytes_per_n"] = static_cast<double>(bytes) / n;
+}
+BENCHMARK(BM_CommitSize)->RangeMultiplier(2)->Range(2, 256);
+
+/// End-to-end: run a live workload and report wire bytes per completed op.
+void BM_LiveBytesPerOp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  double bytes_per_op = 0;
+  for (auto _ : state) {
+    ClusterConfig cfg;
+    cfg.n = n;
+    cfg.seed = 5;
+    cfg.faust.dummy_read_period = 0;
+    cfg.faust.probe_check_period = 0;
+    Cluster cl(cfg);
+    const int ops = 20;
+    for (int k = 0; k < ops; ++k) {
+      cl.write((k % n) + 1, "value-" + std::to_string(k));
+      cl.read(((k + 1) % n) + 1, (k % n) + 1);
+    }
+    cl.run_for(1'000);  // drain trailing COMMITs
+    bytes_per_op = static_cast<double>(cl.net().total().bytes) / (2.0 * ops);
+  }
+  state.counters["bytes_per_op"] = bytes_per_op;
+  state.counters["bytes_per_op_per_n"] = bytes_per_op / n;
+}
+BENCHMARK(BM_LiveBytesPerOp)->RangeMultiplier(2)->Range(2, 64)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,138 @@
+// C1 (DESIGN.md): "a single round of message exchange between a client
+// and the server for every operation" (§5).
+//
+// Counts messages on the critical path of each operation and measures
+// operation latency in virtual ticks against the network round-trip time.
+// USTOR's COMMIT is fire-and-forget: latency ≈ 1 RTT regardless of
+// concurrency. The lock-step baseline's grant queue shows up as latency
+// growing with the number of contending clients.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "baseline/lockstep.h"
+#include "common/rng.h"
+#include "crypto/signature.h"
+#include "faust/cluster.h"
+#include "net/network.h"
+#include "sim/scheduler.h"
+
+namespace {
+
+using namespace faust;
+
+/// USTOR: latency and message counts for a sequential op stream.
+void BM_UstorRoundsPerOp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  double msgs_to_server = 0, msgs_to_client = 0, avg_latency = 0, rtt = 0;
+  for (auto _ : state) {
+    ClusterConfig cfg;
+    cfg.n = n;
+    cfg.seed = 11;
+    cfg.delay = net::DelayModel{5, 5};  // fixed delay: RTT = 10 ticks exactly
+    cfg.faust.dummy_read_period = 0;
+    cfg.faust.probe_check_period = 0;
+    Cluster cl(cfg);
+    const int ops = 30;
+    sim::Time total_latency = 0;
+    for (int k = 0; k < ops; ++k) {
+      const sim::Time t0 = cl.sched().now();
+      cl.write((k % n) + 1, "v" + std::to_string(k));
+      total_latency += cl.sched().now() - t0;
+    }
+    cl.run_for(1'000);
+    // Messages client->server per op: 1 SUBMIT + 1 COMMIT; server->client:
+    // 1 REPLY. Critical path: SUBMIT + REPLY = exactly one round.
+    std::uint64_t to_server = 0, to_client = 0;
+    for (ClientId i = 1; i <= n; ++i) {
+      to_server += cl.net().channel(i, kServerNode).messages;
+      to_client += cl.net().channel(kServerNode, i).messages;
+    }
+    msgs_to_server = static_cast<double>(to_server) / ops;
+    msgs_to_client = static_cast<double>(to_client) / ops;
+    avg_latency = static_cast<double>(total_latency) / ops;
+    rtt = 10.0;
+  }
+  state.counters["submit+commit_per_op"] = msgs_to_server;
+  state.counters["reply_per_op"] = msgs_to_client;
+  state.counters["latency_ticks"] = avg_latency;
+  state.counters["latency_in_RTTs"] = avg_latency / rtt;  // claim: ~1.0
+}
+BENCHMARK(BM_UstorRoundsPerOp)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Iterations(1);
+
+/// USTOR latency under contention: all clients issue simultaneously; the
+/// wait-free protocol keeps per-op latency at one RTT.
+void BM_UstorLatencyUnderContention(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  double avg_latency = 0;
+  for (auto _ : state) {
+    ClusterConfig cfg;
+    cfg.n = n;
+    cfg.seed = 13;
+    cfg.delay = net::DelayModel{5, 5};
+    cfg.faust.dummy_read_period = 0;
+    cfg.faust.probe_check_period = 0;
+    Cluster cl(cfg);
+    const int rounds = 10;
+    sim::Time total = 0;
+    int completed = 0;
+    for (int r = 0; r < rounds; ++r) {
+      const sim::Time t0 = cl.sched().now();
+      std::vector<sim::Time> done(static_cast<std::size_t>(n) + 1, 0);
+      for (ClientId i = 1; i <= n; ++i) {
+        cl.client(i).write(to_bytes("r" + std::to_string(r) + "c" + std::to_string(i)),
+                           [&, i](Timestamp) { done[static_cast<std::size_t>(i)] = cl.sched().now(); });
+      }
+      cl.sched().run();  // drains: no timers configured
+      for (ClientId i = 1; i <= n; ++i) {
+        total += done[static_cast<std::size_t>(i)] - t0;
+        ++completed;
+      }
+    }
+    avg_latency = static_cast<double>(total) / completed;
+  }
+  state.counters["latency_ticks"] = avg_latency;
+  state.counters["latency_in_RTTs"] = avg_latency / 10.0;  // stays ~1 for all n
+}
+BENCHMARK(BM_UstorLatencyUnderContention)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Iterations(1);
+
+/// Lock-step baseline under the same contention: grants serialize, so the
+/// average latency grows linearly with n (the blocking the paper's §1
+/// says is unavoidable for fork-linearizability).
+void BM_LockStepLatencyUnderContention(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  double avg_latency = 0;
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    net::Network net(sched, Rng(13), net::DelayModel{5, 5});
+    auto sigs = crypto::make_hmac_scheme(n);
+    baseline::LockStepServer server(n, net);
+    std::vector<std::unique_ptr<baseline::LockStepClient>> clients;
+    for (ClientId i = 1; i <= n; ++i) {
+      clients.push_back(std::make_unique<baseline::LockStepClient>(i, n, sigs, net));
+    }
+    const int rounds = 10;
+    sim::Time total = 0;
+    int completed = 0;
+    for (int r = 0; r < rounds; ++r) {
+      const sim::Time t0 = sched.now();
+      for (ClientId i = 1; i <= n; ++i) {
+        clients[static_cast<std::size_t>(i - 1)]->write(
+            to_bytes("r" + std::to_string(r) + "c" + std::to_string(i)), [&, t0] {
+              total += sched.now() - t0;
+              ++completed;
+            });
+      }
+      sched.run();
+    }
+    avg_latency = completed > 0 ? static_cast<double>(total) / completed : 0;
+  }
+  state.counters["latency_ticks"] = avg_latency;
+  state.counters["latency_in_RTTs"] = avg_latency / 10.0;  // grows ~n/2
+}
+BENCHMARK(BM_LockStepLatencyUnderContention)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

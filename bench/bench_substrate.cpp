@@ -1,0 +1,124 @@
+// Substrate performance: the deterministic scheduler, the simulated
+// network, the offline mailbox, and the multi-threaded ThreadBus. These
+// set the ceiling for every simulation-based number in the other benches
+// (DESIGN.md decision D1: determinism is bought with an event queue — how
+// expensive is it?).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "common/rng.h"
+#include "net/mailbox.h"
+#include "net/network.h"
+#include "rt/thread_bus.h"
+#include "sim/scheduler.h"
+
+namespace {
+
+using namespace faust;
+
+void BM_SchedulerEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    std::uint64_t fired = 0;
+    for (int k = 0; k < 10'000; ++k) {
+      sched.after(static_cast<sim::Time>(k % 97), [&fired] { ++fired; });
+    }
+    sched.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * 10'000), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SchedulerEventThroughput)->MinTime(0.1);
+
+void BM_SchedulerCancelHeavy(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    std::vector<sim::EventId> ids;
+    ids.reserve(10'000);
+    for (int k = 0; k < 10'000; ++k) {
+      ids.push_back(sched.after(static_cast<sim::Time>(k), [] {}));
+    }
+    for (std::size_t k = 0; k < ids.size(); k += 2) sched.cancel(ids[k]);  // cancel half
+    sched.run();
+  }
+  state.counters["sched+cancel_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * 15'000), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SchedulerCancelHeavy)->MinTime(0.1);
+
+void BM_NetworkMessageThroughput(benchmark::State& state) {
+  class Sink : public net::Node {
+   public:
+    void on_message(NodeId, BytesView) override { ++count; }
+    std::uint64_t count = 0;
+  };
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    net::Network net(sched, Rng(1), net::DelayModel{1, 10});
+    Sink a, b;
+    net.attach(1, a);
+    net.attach(2, b);
+    const Bytes payload(128, 0x7f);
+    for (int k = 0; k < 5'000; ++k) net.send(1, 2, payload);
+    sched.run();
+    benchmark::DoNotOptimize(b.count);
+  }
+  state.counters["msgs_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * 5'000), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_NetworkMessageThroughput)->MinTime(0.1);
+
+void BM_MailboxOfflineChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    net::Mailbox mail(sched, Rng(2), 10, 50);
+    std::uint64_t delivered = 0;
+    mail.register_client(1, [&](ClientId, BytesView) { ++delivered; });
+    for (int round = 0; round < 50; ++round) {
+      mail.set_online(1, false);
+      for (int k = 0; k < 20; ++k) mail.post(2, 1, to_bytes("letter"));
+      sched.run_until(sched.now() + 100);
+      mail.set_online(1, true);
+      sched.run_until(sched.now() + 100);
+    }
+    sched.run();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.counters["letters_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * 1'000), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MailboxOfflineChurn)->MinTime(0.1);
+
+void BM_ThreadBusPingPong(benchmark::State& state) {
+  class Pong : public net::Node {
+   public:
+    rt::ThreadBus* bus = nullptr;
+    void on_message(NodeId from, BytesView) override { bus->send(2, from, Bytes{1}); }
+  };
+  class Ping : public net::Node {
+   public:
+    std::atomic<int> received{0};
+    void on_message(NodeId, BytesView) override { received.fetch_add(1); }
+  };
+  for (auto _ : state) {
+    rt::ThreadBus bus;
+    Ping ping;
+    Pong pong;
+    pong.bus = &bus;
+    bus.attach(1, ping);
+    bus.attach(2, pong);
+    constexpr int kMsgs = 2'000;
+    for (int k = 0; k < kMsgs; ++k) bus.send(1, 2, Bytes{0});
+    while (ping.received.load() < kMsgs) std::this_thread::yield();
+    bus.stop();
+  }
+  state.counters["roundtrips_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * 2'000), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ThreadBusPingPong)->MinTime(0.1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,148 @@
+// C7 (DESIGN.md): end-to-end throughput of the three systems — USTOR
+// (weak fork-linearizable, wait-free), the lock-step fork-linearizable
+// baseline, and unprotected storage — across client counts and read/write
+// mixes. The shape to reproduce: USTOR tracks the unprotected baseline
+// (constant rounds, O(n) bytes), while lock-step degrades with contention.
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "baseline/lockstep.h"
+#include "baseline/naive.h"
+#include "common/rng.h"
+#include "crypto/signature.h"
+#include "faust/cluster.h"
+#include "net/network.h"
+#include "sim/scheduler.h"
+
+namespace {
+
+using namespace faust;
+
+constexpr sim::Time kBudget = 30'000;
+
+struct Result {
+  double ops = 0;
+  double msgs = 0;
+  double bytes = 0;
+};
+
+/// Generic closed-loop pump: each client re-issues immediately; stops at
+/// the virtual-time budget. `issue(i, k, done)` runs op k at client i.
+template <typename IssueFn>
+Result pump_workload(sim::Scheduler& sched, net::Network& net, int n, IssueFn issue) {
+  std::uint64_t completed = 0;
+  std::vector<std::function<void()>> next(static_cast<std::size_t>(n) + 1);
+  for (ClientId i = 1; i <= n; ++i) {
+    next[static_cast<std::size_t>(i)] = [&, i] {
+      issue(i, [&, i] {
+        ++completed;
+        if (sched.now() < kBudget) next[static_cast<std::size_t>(i)]();
+      });
+    };
+    next[static_cast<std::size_t>(i)]();
+  }
+  sched.run_until(kBudget);
+  Result r;
+  r.ops = static_cast<double>(completed);
+  r.msgs = static_cast<double>(net.total().messages);
+  r.bytes = static_cast<double>(net.total().bytes);
+  return r;
+}
+
+void BM_UstorThroughput(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int read_pct = static_cast<int>(state.range(1));
+  Result res;
+  for (auto _ : state) {
+    ClusterConfig cfg;
+    cfg.n = n;
+    cfg.seed = 71;
+    cfg.delay = net::DelayModel{5, 15};
+    cfg.faust.dummy_read_period = 0;
+    cfg.faust.probe_check_period = 0;
+    Cluster cl(cfg);
+    Rng rng(n * 1000 + read_pct);
+    res = pump_workload(cl.sched(), cl.net(), n, [&](ClientId i, auto done) {
+      if (rng.next_below(100) < static_cast<std::uint64_t>(read_pct)) {
+        const ClientId j = 1 + static_cast<ClientId>(rng.next_below(n));
+        cl.client(i).read(j, [done](const ustor::Value&, Timestamp) { done(); });
+      } else {
+        cl.client(i).write(to_bytes("w"), [done](Timestamp) { done(); });
+      }
+    });
+  }
+  state.counters["ops_completed"] = res.ops;
+  state.counters["msgs_per_op"] = res.msgs / res.ops;
+  state.counters["bytes_per_op"] = res.bytes / res.ops;
+}
+BENCHMARK(BM_UstorThroughput)
+    ->Args({2, 50})->Args({4, 50})->Args({8, 50})->Args({16, 50})
+    ->Args({8, 0})->Args({8, 100})
+    ->Iterations(1);
+
+void BM_LockStepThroughput(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int read_pct = static_cast<int>(state.range(1));
+  Result res;
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    net::Network net(sched, Rng(71), net::DelayModel{5, 15});
+    auto sigs = crypto::make_hmac_scheme(n);
+    baseline::LockStepServer server(n, net);
+    std::vector<std::unique_ptr<baseline::LockStepClient>> clients;
+    for (ClientId i = 1; i <= n; ++i) {
+      clients.push_back(std::make_unique<baseline::LockStepClient>(i, n, sigs, net));
+    }
+    Rng rng(n * 1000 + read_pct);
+    res = pump_workload(sched, net, n, [&](ClientId i, auto done) {
+      auto& c = *clients[static_cast<std::size_t>(i - 1)];
+      if (rng.next_below(100) < static_cast<std::uint64_t>(read_pct)) {
+        const ClientId j = 1 + static_cast<ClientId>(rng.next_below(n));
+        c.read(j, [done](const ustor::Value&) { done(); });
+      } else {
+        c.write(to_bytes("w"), [done] { done(); });
+      }
+    });
+  }
+  state.counters["ops_completed"] = res.ops;
+  state.counters["msgs_per_op"] = res.msgs / res.ops;
+  state.counters["bytes_per_op"] = res.bytes / res.ops;
+}
+BENCHMARK(BM_LockStepThroughput)
+    ->Args({2, 50})->Args({4, 50})->Args({8, 50})->Args({16, 50})
+    ->Iterations(1);
+
+void BM_NaiveThroughput(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Result res;
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    net::Network net(sched, Rng(71), net::DelayModel{5, 15});
+    baseline::NaiveServer server(n, net);
+    std::vector<std::unique_ptr<baseline::NaiveClient>> clients;
+    for (ClientId i = 1; i <= n; ++i) {
+      clients.push_back(std::make_unique<baseline::NaiveClient>(i, n, net));
+    }
+    Rng rng(n * 1000);
+    res = pump_workload(sched, net, n, [&](ClientId i, auto done) {
+      auto& c = *clients[static_cast<std::size_t>(i - 1)];
+      if (rng.chance(0.5)) {
+        const ClientId j = 1 + static_cast<ClientId>(rng.next_below(n));
+        c.read(j, [done](const ustor::Value&) { done(); });
+      } else {
+        c.write(to_bytes("w"), [done] { done(); });
+      }
+    });
+  }
+  state.counters["ops_completed"] = res.ops;
+  state.counters["msgs_per_op"] = res.msgs / res.ops;
+  state.counters["bytes_per_op"] = res.bytes / res.ops;
+}
+BENCHMARK(BM_NaiveThroughput)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,162 @@
+// C6 (DESIGN.md), part 2: version bookkeeping costs — the ≼ comparison of
+// Def. 7, digest chaining, version encoding — as functions of n; plus the
+// growth of the server's concurrent-operations list L when COMMITs are
+// withheld (ablation of design decision D5: COMMIT exists to garbage-
+// collect L, not for correctness).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "adversary/misc_servers.h"
+#include "common/rng.h"
+#include "crypto/signature.h"
+#include "net/network.h"
+#include "sim/scheduler.h"
+#include "ustor/client.h"
+#include "ustor/server.h"
+#include "ustor/types.h"
+
+namespace {
+
+using namespace faust;
+
+ustor::Version chained_version(int n, int ops) {
+  ustor::Version v(n);
+  ustor::Digest d = ustor::Digest::bottom();
+  for (int q = 0; q < ops; ++q) {
+    const ClientId c = (q % n) + 1;
+    d = ustor::chain_step(d, c);
+    v.v(c) += 1;
+    v.m(c) = d;
+  }
+  return v;
+}
+
+void BM_VersionLeq(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const ustor::Version a = chained_version(n, 2 * n);
+  const ustor::Version b = chained_version(n, 3 * n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ustor::version_leq(a, b));
+  }
+  state.counters["compares_per_sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_VersionLeq)->RangeMultiplier(4)->Range(4, 1024);
+
+void BM_ChainStep(benchmark::State& state) {
+  ustor::Digest d = ustor::Digest::bottom();
+  ClientId c = 1;
+  for (auto _ : state) {
+    d = ustor::chain_step(d, c);
+    c = (c % 16) + 1;
+    benchmark::DoNotOptimize(d);
+  }
+  state.counters["steps_per_sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ChainStep);
+
+void BM_VersionEncode(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const ustor::Version v = chained_version(n, 3 * n);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const Bytes b = ustor::encode_version(v);
+    bytes = b.size();
+    benchmark::DoNotOptimize(b);
+  }
+  state.counters["encoded_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_VersionEncode)->RangeMultiplier(4)->Range(4, 1024);
+
+/// updateVersion cost from the client's perspective: a full op round trip
+/// in a zero-delay simulation, dominated by signature checks + digest
+/// chaining. Scales O(n) per op (version copy) — the protocol's CPU cost.
+void BM_FullOpCost(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::Scheduler sched;
+  net::Network net(sched, Rng(3), net::DelayModel{1, 1});
+  auto sigs = crypto::make_hmac_scheme(n);
+  ustor::Server server(n, net);
+  std::vector<std::unique_ptr<ustor::Client>> clients;
+  for (ClientId i = 1; i <= n; ++i) {
+    clients.push_back(std::make_unique<ustor::Client>(i, n, sigs, net));
+  }
+  int k = 0;
+  for (auto _ : state) {
+    ustor::Client& c = *clients[static_cast<std::size_t>(k++ % n)];
+    bool done = false;
+    c.writex(to_bytes("x"), [&done](const ustor::WriteResult&) { done = true; });
+    while (!done && sched.step()) {
+    }
+  }
+  state.counters["ops_per_sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FullOpCost)->Arg(2)->Arg(8)->Arg(32)->Arg(128)->MinTime(0.2);
+
+/// D5 ablation: |L| growth when the server never receives COMMITs. The
+/// protocol stays correct (clients verify everything in L) but the reply
+/// size grows with every submitted operation — COMMIT is pure GC.
+void BM_PendingListGrowthWithoutCommits(benchmark::State& state) {
+  const int ops = static_cast<int>(state.range(0));
+  double final_l = 0, reply_bytes = 0;
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    net::Network net(sched, Rng(5), net::DelayModel{1, 1});
+    auto sigs = crypto::make_hmac_scheme(4);
+    adversary::CommitDroppingServer server(4, net);
+    // Fresh client per op (an old client would detect the omission on its
+    // second op — see ustor_byzantine_test); we only grow L here.
+    for (int k = 0; k < ops; ++k) {
+      ustor::SubmitMessage m;
+      m.t = 1;
+      const ClientId i = (k % 4) + 1;
+      m.inv = {i, ustor::OpCode::kWrite, i,
+               sigs->sign(i, ustor::submit_payload(ustor::OpCode::kWrite, i, 1))};
+      m.value = to_bytes("v");
+      m.data_sig = sigs->sign(i, ustor::data_payload(1, ustor::value_hash(m.value)));
+      const ustor::ReplyMessage reply = server.core().process_submit(m);
+      reply_bytes = static_cast<double>(ustor::encode(reply).size());
+    }
+    final_l = static_cast<double>(server.core().pending_list_size());
+  }
+  state.counters["final_L_size"] = final_l;
+  state.counters["last_reply_bytes"] = reply_bytes;
+}
+BENCHMARK(BM_PendingListGrowthWithoutCommits)->Arg(16)->Arg(64)->Arg(256)->Iterations(1);
+
+/// Control: with COMMITs flowing, L stays O(1) and replies stay small.
+void BM_PendingListWithCommits(benchmark::State& state) {
+  const int ops = static_cast<int>(state.range(0));
+  double max_l = 0;
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    net::Network net(sched, Rng(5), net::DelayModel{1, 1});
+    auto sigs = crypto::make_hmac_scheme(4);
+    ustor::Server server(4, net);
+    std::vector<std::unique_ptr<ustor::Client>> clients;
+    for (ClientId i = 1; i <= 4; ++i) {
+      clients.push_back(std::make_unique<ustor::Client>(i, 4, sigs, net));
+    }
+    double peak = 0;
+    for (int k = 0; k < ops; ++k) {
+      ustor::Client& c = *clients[static_cast<std::size_t>(k % 4)];
+      bool done = false;
+      c.writex(to_bytes("x"), [&done](const ustor::WriteResult&) { done = true; });
+      while (!done && sched.step()) {
+      }
+      peak = std::max(peak, static_cast<double>(server.core().pending_list_size()));
+    }
+    sched.run();
+    max_l = peak;
+  }
+  state.counters["peak_L_size"] = max_l;  // stays bounded by n
+}
+BENCHMARK(BM_PendingListWithCommits)->Arg(16)->Arg(64)->Arg(256)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,191 @@
+// Interactive/scriptable driver for a simulated FAUST deployment — poke
+// at the protocol from a shell:
+//
+//   build/examples/faust_repl <<'EOF'
+//   write 1 hello
+//   read 2 1
+//   run 20000
+//   cut 1
+//   fork split 2
+//   write 2 shadow
+//   run 300000
+//   status
+//   EOF
+//
+// Commands:
+//   write <client> <value...>   write to the client's register
+//   read <client> <register>    read a register
+//   run <ticks>                 advance virtual time
+//   cut <client>                print the client's stability cut
+//   offline <client> / online <client>
+//   fork split <client>         fork a client off with a state copy
+//   fork isolate <client>       fork a client into an empty world
+//   status                      one line per client
+//   help / quit
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "adversary/forking_server.h"
+#include "faust/cluster.h"
+
+using namespace faust;
+
+namespace {
+
+std::string cut_to_string(const FaustClient::StabilityCut& w) {
+  std::string s = "[";
+  for (std::size_t j = 0; j < w.size(); ++j) {
+    if (j > 0) s += ",";
+    s += std::to_string(w[j]);
+  }
+  return s + "]";
+}
+
+struct Repl {
+  ClusterConfig cfg;
+  Cluster cluster;
+  adversary::ForkingServer server;
+
+  Repl()
+      : cfg(make_config()),
+        cluster(cfg),
+        server(cfg.n, cluster.net()) {
+    for (ClientId i = 1; i <= cfg.n; ++i) {
+      cluster.client(i).on_fail = [i](FailureReason) {
+        std::printf("  !! fail_%d — the server is demonstrably faulty\n", i);
+      };
+      cluster.client(i).on_stable = [this, i](const FaustClient::StabilityCut& w) {
+        if (verbose_stability) {
+          std::printf("  stable_%d(%s)\n", i, cut_to_string(w).c_str());
+        }
+      };
+    }
+  }
+
+  static ClusterConfig make_config() {
+    ClusterConfig cfg;
+    cfg.n = 3;
+    cfg.seed = 2027;
+    cfg.with_server = false;  // the (initially honest) forking server
+    cfg.faust.dummy_read_period = 500;
+    cfg.faust.probe_interval = 4'000;
+    cfg.faust.probe_check_period = 1'000;
+    return cfg;
+  }
+
+  bool valid_client(int c) const { return c >= 1 && c <= cfg.n; }
+
+  bool verbose_stability = false;
+
+  void dispatch(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty() || cmd[0] == '#') return;
+
+    if (cmd == "write") {
+      int c = 0;
+      std::string value, word;
+      in >> c;
+      while (in >> word) value += (value.empty() ? "" : " ") + word;
+      if (!valid_client(c) || value.empty()) {
+        std::printf("usage: write <client> <value>\n");
+        return;
+      }
+      const Timestamp t = cluster.write(c, value, 300'000);
+      if (t == 0) {
+        std::printf("  write by C%d did not complete (server down or client failed)\n", c);
+      } else {
+        std::printf("  C%d wrote \"%s\" (timestamp %llu)\n", c, value.c_str(),
+                    (unsigned long long)t);
+      }
+    } else if (cmd == "read") {
+      int c = 0, reg = 0;
+      in >> c >> reg;
+      if (!valid_client(c) || !valid_client(reg)) {
+        std::printf("usage: read <client> <register>\n");
+        return;
+      }
+      bool completed = false;
+      const ustor::Value v = cluster.read(c, reg, &completed, 300'000);
+      if (!completed) {
+        std::printf("  read by C%d did not complete\n", c);
+      } else {
+        std::printf("  C%d read X%d = %s\n", c, reg,
+                    v.has_value() ? ("\"" + to_string(*v) + "\"").c_str() : "⊥");
+      }
+    } else if (cmd == "run") {
+      sim::Time ticks = 0;
+      in >> ticks;
+      cluster.run_for(ticks);
+      std::printf("  advanced to t=%llu\n", (unsigned long long)cluster.sched().now());
+    } else if (cmd == "cut") {
+      int c = 0;
+      in >> c;
+      if (!valid_client(c)) return;
+      std::printf("  stability cut of C%d: %s (fully stable up to %llu)\n", c,
+                  cut_to_string(cluster.client(c).stability_cut()).c_str(),
+                  (unsigned long long)cluster.client(c).fully_stable_timestamp());
+    } else if (cmd == "offline" || cmd == "online") {
+      int c = 0;
+      in >> c;
+      if (!valid_client(c)) return;
+      if (cmd == "offline") {
+        cluster.client(c).go_offline();
+      } else {
+        cluster.client(c).go_online();
+      }
+      std::printf("  C%d is now %s\n", c, cmd.c_str());
+    } else if (cmd == "fork") {
+      std::string kind;
+      int c = 0;
+      in >> kind >> c;
+      if (!valid_client(c)) {
+        std::printf("usage: fork split|isolate <client>\n");
+        return;
+      }
+      if (kind == "split") {
+        std::printf("  server forked C%d into world #%d (state copy)\n", c, server.split(c));
+      } else if (kind == "isolate") {
+        std::printf("  server forked C%d into empty world #%d\n", c, server.isolate(c));
+      }
+    } else if (cmd == "verbose") {
+      verbose_stability = !verbose_stability;
+      std::printf("  stability notifications %s\n", verbose_stability ? "on" : "off");
+    } else if (cmd == "status") {
+      for (ClientId i = 1; i <= cfg.n; ++i) {
+        FaustClient& cl = cluster.client(i);
+        std::printf("  C%d: %s%s, cut=%s, dummy_reads=%llu probes=%llu\n", i,
+                    cl.failed() ? "FAILED" : "ok", cl.online() ? "" : " (offline)",
+                    cut_to_string(cl.stability_cut()).c_str(),
+                    (unsigned long long)cl.dummy_reads(),
+                    (unsigned long long)cl.probes_sent());
+      }
+      std::printf("  server worlds: %d, virtual time %llu\n", server.num_forks(),
+                  (unsigned long long)cluster.sched().now());
+    } else if (cmd == "help") {
+      std::printf(
+          "commands: write <c> <v> | read <c> <reg> | run <ticks> | cut <c> |\n"
+          "          offline <c> | online <c> | fork split|isolate <c> |\n"
+          "          verbose | status | quit\n");
+    } else if (cmd == "quit" || cmd == "exit") {
+      std::exit(0);
+    } else {
+      std::printf("unknown command '%s' (try: help)\n", cmd.c_str());
+    }
+  }
+};
+
+}  // namespace
+
+int main() {
+  std::printf("faust_repl — 3 clients, 1 (initially honest) untrusted server. 'help' lists commands.\n");
+  Repl repl;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    repl.dispatch(line);
+  }
+  return 0;
+}

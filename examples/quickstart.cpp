@@ -1,0 +1,72 @@
+// Quickstart: assemble a FAUST deployment (Figure 1's topology), run a
+// few operations, and watch stability notifications arrive.
+//
+//   build/examples/quickstart
+#include <cstdio>
+#include <string>
+
+#include "faust/cluster.h"
+
+using namespace faust;
+
+namespace {
+
+std::string cut_to_string(const FaustClient::StabilityCut& w) {
+  std::string s = "[";
+  for (std::size_t j = 0; j < w.size(); ++j) {
+    if (j > 0) s += ",";
+    s += std::to_string(w[j]);
+  }
+  return s + "]";
+}
+
+}  // namespace
+
+int main() {
+  std::printf("FAUST quickstart — fail-aware untrusted storage (DSN'09)\n");
+  std::printf("=========================================================\n\n");
+
+  // One server (untrusted), three clients, reliable FIFO channels with
+  // 1..10 tick delay, offline client-to-client mailbox with 50..200 tick
+  // delay — exactly the architecture of Figure 1.
+  ClusterConfig cfg;
+  cfg.n = 3;
+  cfg.seed = 2026;
+  Cluster cluster(cfg);
+  std::printf("topology: server S + %d clients, FIFO channels (%llu..%llu ticks),\n",
+              cfg.n, (unsigned long long)cfg.delay.min_delay,
+              (unsigned long long)cfg.delay.max_delay);
+  std::printf("          offline client-to-client mailbox (%llu..%llu ticks)\n\n",
+              (unsigned long long)cfg.mail_min_delay, (unsigned long long)cfg.mail_max_delay);
+
+  // Subscribe to the fail-aware outputs of client 1.
+  cluster.client(1).on_stable = [&](const FaustClient::StabilityCut& w) {
+    std::printf("  [t=%6llu] stable_1(%s)\n", (unsigned long long)cluster.sched().now(),
+                cut_to_string(w).c_str());
+  };
+  cluster.client(1).on_fail = [](FailureReason) {
+    std::printf("  fail_1 — the server is faulty!\n");
+  };
+
+  // Write and read through the service.
+  std::printf("client 1 writes \"hello, untrusted world\" to its register X1\n");
+  const Timestamp t1 = cluster.write(1, "hello, untrusted world");
+  std::printf("  -> completed with timestamp %llu (single round trip)\n\n",
+              (unsigned long long)t1);
+
+  std::printf("client 2 reads X1\n");
+  const ustor::Value v = cluster.read(2, 1);
+  std::printf("  -> \"%s\"\n\n", v.has_value() ? to_string(*v).c_str() : "⊥");
+
+  std::printf("letting background dummy reads & probes propagate stability...\n");
+  cluster.run_for(20'000);
+
+  std::printf("\nclient 1 stability cut: %s\n",
+              cut_to_string(cluster.client(1).stability_cut()).c_str());
+  std::printf("fully stable up to timestamp %llu — the prefix of the execution up to\n",
+              (unsigned long long)cluster.client(1).fully_stable_timestamp());
+  std::printf("that operation is linearizable at every client (Def. 5, item 6).\n");
+  std::printf("\nno failures detected: the provider behaved. Try examples/forking_attack\n");
+  std::printf("to see what happens when it does not.\n");
+  return 0;
+}

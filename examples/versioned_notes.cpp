@@ -1,0 +1,96 @@
+// A miniature Wiki / shared-notes application built on the FAUST public
+// API — the kind of "Web 2.0 collaboration tool" the paper's introduction
+// motivates. Each author keeps a page in their own register; everyone
+// reads everyone's pages; the application surfaces FAUST's stability
+// information as a per-page "verified by all collaborators" badge.
+//
+//   build/examples/versioned_notes
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "faust/cluster.h"
+
+using namespace faust;
+
+namespace {
+
+struct NotesApp {
+  Cluster& cluster;
+  ClientId me;
+  std::map<Timestamp, std::string> my_edits;  // timestamp -> content
+
+  void save_page(const std::string& content) {
+    const Timestamp t = cluster.write(me, content);
+    my_edits[t] = content;
+    std::printf("  [author %d] saved revision (t=%llu): \"%s\"\n", me,
+                (unsigned long long)t, content.c_str());
+  }
+
+  std::string load_page(ClientId author) {
+    const ustor::Value v = cluster.read(me, author);
+    return v.has_value() ? to_string(*v) : "(empty page)";
+  }
+
+  /// A revision is "verified" once it is stable w.r.t. every collaborator:
+  /// from then on the prefix of the execution up to it is linearizable, no
+  /// matter what the provider does later.
+  void print_status() {
+    const Timestamp stable = cluster.client(me).fully_stable_timestamp();
+    std::printf("  [author %d] revisions:\n", me);
+    for (const auto& [t, content] : my_edits) {
+      std::printf("     t=%-3llu %-34s %s\n", (unsigned long long)t, content.c_str(),
+                  t <= stable ? "[verified by all collaborators]" : "[pending verification]");
+    }
+  }
+};
+
+}  // namespace
+
+int main() {
+  std::printf("versioned-notes — a tiny Wiki over fail-aware untrusted storage\n");
+  std::printf("===============================================================\n\n");
+
+  ClusterConfig cfg;
+  cfg.n = 3;
+  cfg.seed = 31337;
+  cfg.faust.dummy_read_period = 400;
+  cfg.faust.probe_interval = 4'000;
+  cfg.faust.probe_check_period = 1'000;
+  Cluster cluster(cfg);
+
+  NotesApp alice{cluster, 1, {}};
+  NotesApp bob{cluster, 2, {}};
+  NotesApp carol{cluster, 3, {}};
+
+  std::printf("-- everyone drafts their page ---------------------------------\n");
+  alice.save_page("Meeting notes: kickoff");
+  bob.save_page("Design sketch: storage layer");
+  carol.save_page("TODO list");
+
+  std::printf("\n-- cross reading ----------------------------------------------\n");
+  std::printf("  bob sees alice's page:  \"%s\"\n", bob.load_page(1).c_str());
+  std::printf("  carol sees bob's page:  \"%s\"\n", carol.load_page(2).c_str());
+  std::printf("  alice sees carol's page:\"%s\"\n", alice.load_page(3).c_str());
+
+  std::printf("\n-- edits keep flowing -----------------------------------------\n");
+  alice.save_page("Meeting notes: kickoff + action items");
+  bob.save_page("Design sketch v2");
+
+  std::printf("\n-- status before background verification ----------------------\n");
+  alice.print_status();
+
+  std::printf("\n   ...background dummy reads and probes run for a while...\n\n");
+  cluster.run_for(40'000);
+
+  std::printf("-- status after background verification -----------------------\n");
+  alice.print_status();
+  bob.print_status();
+  carol.print_status();
+
+  std::printf("\nprovider honest today: %s\n", cluster.any_failed() ? "NO" : "yes");
+  std::printf("Every [verified] revision is guaranteed linearizable — even a future\n");
+  std::printf("compromise of the provider cannot rewrite that history undetected.\n");
+  return 0;
+}

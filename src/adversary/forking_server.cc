@@ -1,0 +1,77 @@
+#include "adversary/forking_server.h"
+
+#include "common/check.h"
+
+namespace faust::adversary {
+
+ForkingServer::ForkingServer(int n, net::Transport& net, NodeId self)
+    : n_(n), net_(net), self_(self), fork_of_(static_cast<std::size_t>(n), 0) {
+  cores_.emplace_back(n);
+  net_.attach(self_, *this);
+}
+
+void ForkingServer::assign(ClientId c, int fork) {
+  FAUST_CHECK(c >= 1 && c <= n_);
+  FAUST_CHECK(fork >= 0 && fork < num_forks());
+  fork_of_[static_cast<std::size_t>(c - 1)] = fork;
+}
+
+int ForkingServer::split(ClientId c) {
+  FAUST_CHECK(c >= 1 && c <= n_);
+  cores_.push_back(cores_[static_cast<std::size_t>(fork_of(c))]);  // deep copy
+  const int fork = num_forks() - 1;
+  fork_of_[static_cast<std::size_t>(c - 1)] = fork;
+  return fork;
+}
+
+int ForkingServer::isolate(ClientId c) {
+  FAUST_CHECK(c >= 1 && c <= n_);
+  cores_.emplace_back(n_);
+  const int fork = num_forks() - 1;
+  fork_of_[static_cast<std::size_t>(c - 1)] = fork;
+  return fork;
+}
+
+void ForkingServer::leak_submit(int fork, const ustor::SubmitMessage& m) {
+  FAUST_CHECK(fork >= 0 && fork < num_forks());
+  (void)cores_[static_cast<std::size_t>(fork)].process_submit(m);  // reply discarded
+}
+
+const ustor::SubmitMessage* ForkingServer::last_submit(ClientId c) const {
+  auto it = captured_.find(c);
+  return it == captured_.end() ? nullptr : &it->second;
+}
+
+int ForkingServer::fork_of(ClientId c) const {
+  FAUST_CHECK(c >= 1 && c <= n_);
+  return fork_of_[static_cast<std::size_t>(c - 1)];
+}
+
+void ForkingServer::on_message(NodeId from, BytesView msg) {
+  const auto type = ustor::peek_type(msg);
+  if (!type.has_value()) return;
+  const ClientId client = static_cast<ClientId>(from);
+  if (client < 1 || client > n_) return;
+  ustor::ServerCore& core = cores_[static_cast<std::size_t>(fork_of(client))];
+
+  switch (*type) {
+    case ustor::MsgType::kSubmit: {
+      auto m = ustor::decode_submit(msg);
+      if (!m.has_value()) return;
+      captured_[client] = *m;
+      ustor::ReplyMessage reply = core.process_submit(*m);
+      net_.send(self_, from, ustor::encode(reply));
+      break;
+    }
+    case ustor::MsgType::kCommit: {
+      auto m = ustor::decode_commit(msg);
+      if (!m.has_value()) return;
+      core.process_commit(client, *m);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace faust::adversary

@@ -1,0 +1,49 @@
+#include "adversary/misc_servers.h"
+
+namespace faust::adversary {
+
+CommitDroppingServer::CommitDroppingServer(int n, net::Transport& net, NodeId self)
+    : core_(n), net_(net), self_(self) {
+  net_.attach(self_, *this);
+}
+
+void CommitDroppingServer::on_message(NodeId from, BytesView msg) {
+  const auto type = ustor::peek_type(msg);
+  if (!type.has_value() || *type != ustor::MsgType::kSubmit) return;  // drop COMMITs
+  auto m = ustor::decode_submit(msg);
+  if (!m.has_value()) return;
+  ustor::ReplyMessage reply = core_.process_submit(*m);
+  net_.send(self_, from, ustor::encode(reply));
+}
+
+SilencingServer::SilencingServer(int n, net::Transport& net, std::uint64_t serve_ops, NodeId self)
+    : core_(n), net_(net), self_(self), serve_ops_(serve_ops) {
+  net_.attach(self_, *this);
+}
+
+void SilencingServer::on_message(NodeId from, BytesView msg) {
+  const auto type = ustor::peek_type(msg);
+  if (!type.has_value()) return;
+  switch (*type) {
+    case ustor::MsgType::kSubmit: {
+      if (silenced()) return;  // crash: no reply, ever
+      auto m = ustor::decode_submit(msg);
+      if (!m.has_value()) return;
+      ++served_;
+      ustor::ReplyMessage reply = core_.process_submit(*m);
+      net_.send(self_, from, ustor::encode(reply));
+      break;
+    }
+    case ustor::MsgType::kCommit: {
+      if (silenced()) return;
+      auto m = ustor::decode_commit(msg);
+      if (!m.has_value()) return;
+      core_.process_commit(static_cast<ClientId>(from), *m);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace faust::adversary

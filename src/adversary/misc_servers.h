@@ -1,0 +1,52 @@
+// Additional faulty-server behaviours used by tests and benches.
+#pragma once
+
+#include "net/transport.h"
+#include "ustor/server.h"
+
+namespace faust::adversary {
+
+/// A server that silently discards all COMMIT messages (SVER and P never
+/// advance, L grows without bound).  The *committing client itself*
+/// detects this on its next operation: the reply's version cannot extend
+/// its own (line 36 of Algorithm 1).  Demonstrates that commit omission
+/// is not a viable attack.
+class CommitDroppingServer : public net::Node {
+ public:
+  CommitDroppingServer(int n, net::Transport& net, NodeId self = kServerNode);
+
+  void on_message(NodeId from, BytesView msg) override;
+
+  ustor::ServerCore& core() { return core_; }
+
+ private:
+  ustor::ServerCore core_;
+  net::Transport& net_;
+  const NodeId self_;
+};
+
+/// A server that serves the first `serve_ops` SUBMITs correctly and then
+/// goes silent forever (crash fault).  Outstanding and future operations
+/// never complete — the paper's point that liveness cannot be forced on a
+/// faulty server — but no client may ever emit fail_i because of it
+/// (failure-detection accuracy), and FAUST's offline exchange must keep
+/// stability flowing for the operations that did complete.
+class SilencingServer : public net::Node {
+ public:
+  SilencingServer(int n, net::Transport& net, std::uint64_t serve_ops,
+                  NodeId self = kServerNode);
+
+  void on_message(NodeId from, BytesView msg) override;
+
+  ustor::ServerCore& core() { return core_; }
+  bool silenced() const { return served_ >= serve_ops_; }
+
+ private:
+  ustor::ServerCore core_;
+  net::Transport& net_;
+  const NodeId self_;
+  const std::uint64_t serve_ops_;
+  std::uint64_t served_ = 0;
+};
+
+}  // namespace faust::adversary

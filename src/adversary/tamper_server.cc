@@ -1,0 +1,160 @@
+#include "adversary/tamper_server.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace faust::adversary {
+namespace {
+
+/// Flips one bit; turns an empty byte string into a non-empty one so that
+/// "corrupt" never accidentally equals the original.
+void corrupt_bytes(Bytes& b) {
+  if (b.empty()) {
+    b.push_back(0xff);
+  } else {
+    b[b.size() / 2] ^= 0x01;
+  }
+}
+
+void corrupt_value(ustor::Value& v) {
+  if (v.has_value()) {
+    corrupt_bytes(*v);
+  } else {
+    v = to_bytes("forged");
+  }
+}
+
+}  // namespace
+
+TamperServer::TamperServer(int n, net::Transport& net, Tamper mode, ClientId victim,
+                           int fire_on_op, NodeId self)
+    : core_(n), net_(net), self_(self), mode_(mode), victim_(victim), fire_on_op_(fire_on_op) {
+  net_.attach(self_, *this);
+}
+
+void TamperServer::on_message(NodeId from, BytesView msg) {
+  const auto type = ustor::peek_type(msg);
+  if (!type.has_value()) return;
+
+  switch (*type) {
+    case ustor::MsgType::kSubmit: {
+      auto m = ustor::decode_submit(msg);
+      if (!m.has_value()) return;
+      ustor::ReplyMessage reply = core_.process_submit(*m);
+      const ClientId client = m->inv.client;
+      mem_history_[client].push_back(core_.mem(client));
+      if (client == victim_ && ++victim_ops_ == fire_on_op_ && mode_ != Tamper::kNone &&
+          !fired_) {
+        fired_ = true;
+        if (mode_ == Tamper::kGarbage) {
+          // Not even a decodable message.
+          Bytes junk(64);
+          for (std::size_t i = 0; i < junk.size(); ++i) {
+            junk[i] = static_cast<std::uint8_t>(0xa5 ^ i);
+          }
+          net_.send(self_, from, junk);
+          return;
+        }
+        reply = corrupt(std::move(reply), *m);
+      }
+      net_.send(self_, from, ustor::encode(reply));
+      break;
+    }
+    case ustor::MsgType::kCommit: {
+      auto m = ustor::decode_commit(msg);
+      if (!m.has_value()) return;
+      core_.process_commit(static_cast<ClientId>(from), *m);
+      sver_history_[static_cast<ClientId>(from)].push_back(
+          core_.sver(static_cast<ClientId>(from)));
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+ustor::ReplyMessage TamperServer::corrupt(ustor::ReplyMessage reply,
+                                          const ustor::SubmitMessage& m) {
+  switch (mode_) {
+    case Tamper::kNone:
+    case Tamper::kGarbage:
+      break;
+    case Tamper::kValue:
+    case Tamper::kValueFreshSig:
+      if (reply.read.has_value()) corrupt_value(reply.read->value);
+      break;
+    case Tamper::kStaleTimestamp: {
+      // Serve state from before C_j's latest operation, with its
+      // perfectly valid old signatures: the signature checks (lines
+      // 49–50) all pass, and only the freshness checks of lines 51–52 can
+      // catch the replay.
+      if (!reply.read.has_value()) break;
+      const ClientId j = m.inv.target;
+      const auto& mems = mem_history_[j];
+      if (mems.size() < 2) break;  // nothing older to replay yet
+      const ustor::ServerCore::MemEntry& stale = mems[mems.size() - 2];
+      reply.read->tj = stale.t;
+      reply.read->value = stale.value;
+      reply.read->data_sig = stale.data_sig;
+      // Pair it with the newest old version whose own entry is <= stale.t
+      // (the most convincing consistent lie available to the server).
+      const auto& svers = sver_history_[j];
+      ustor::SignedVersion old_sver;
+      old_sver.version = ustor::Version(core_.n());
+      for (const ustor::SignedVersion& sv : svers) {
+        if (sv.version.v(j) <= stale.t) old_sver = sv;
+      }
+      reply.read->writer = old_sver;
+      break;
+    }
+    case Tamper::kVersionVector: {
+      ustor::Version& v = reply.last.version;
+      if (v.n() > 0) {
+        const ClientId k = (m.inv.client % v.n()) + 1;  // some index ≠ pattern-free
+        v.v(k) += 1;
+      }
+      break;
+    }
+    case Tamper::kCommitSig:
+      corrupt_bytes(reply.last.commit_sig);
+      break;
+    case Tamper::kWriterCommitSig:
+      if (reply.read.has_value()) corrupt_bytes(reply.read->writer.commit_sig);
+      break;
+    case Tamper::kDataSig:
+      if (reply.read.has_value()) corrupt_bytes(reply.read->data_sig);
+      break;
+    case Tamper::kProofSig:
+      for (Bytes& p : reply.P) corrupt_bytes(p);
+      break;
+    case Tamper::kSubmitSigInL:
+      if (!reply.L.empty()) corrupt_bytes(reply.L.front().submit_sig);
+      break;
+    case Tamper::kEchoSelfInL:
+      reply.L.push_back(m.inv);
+      break;
+    case Tamper::kDuplicateInL:
+      // A client can have at most one outstanding operation; a duplicate
+      // entry forces the victim to re-verify the PROOF signature against
+      // the chained digest, which C_k never signed (line 41 fires).
+      if (!reply.L.empty()) reply.L.push_back(reply.L.front());
+      break;
+    case Tamper::kWrongCommitter:
+      reply.c = (reply.c % core_.n()) + 1;
+      break;
+    case Tamper::kDropReadPayload:
+      reply.read.reset();
+      break;
+    case Tamper::kAddReadPayload:
+      if (!reply.read.has_value()) {
+        ustor::ReadPayload rp;
+        rp.writer.version = ustor::Version(core_.n());
+        reply.read = std::move(rp);
+      }
+      break;
+  }
+  return reply;
+}
+
+}  // namespace faust::adversary

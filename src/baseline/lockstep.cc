@@ -1,0 +1,269 @@
+#include "baseline/lockstep.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "wire/encoder.h"
+
+namespace faust::baseline {
+namespace {
+
+// Message tags, disjoint from ustor::MsgType.
+constexpr std::uint8_t kRequest = 20;
+constexpr std::uint8_t kGrant = 21;
+constexpr std::uint8_t kCommit = 22;
+
+constexpr std::uint32_t kMaxDelta = 1 << 20;
+
+void put_value(wire::Writer& w, const ustor::Value& v) {
+  w.put_u8(v.has_value() ? 1 : 0);
+  if (v.has_value()) w.put_bytes(*v);
+}
+
+ustor::Value get_value(wire::Reader& r) {
+  if (r.get_u8() == 0) return std::nullopt;
+  return r.get_bytes();
+}
+
+void put_entry(wire::Writer& w, const ChainEntry& e) {
+  w.put_u32(static_cast<std::uint32_t>(e.client));
+  w.put_u8(static_cast<std::uint8_t>(e.oc));
+  w.put_u32(static_cast<std::uint32_t>(e.target));
+  put_value(w, e.value);
+  w.put_bytes(e.commit_sig);
+}
+
+ChainEntry get_entry(wire::Reader& r) {
+  ChainEntry e;
+  e.client = static_cast<ClientId>(r.get_u32());
+  e.oc = static_cast<ustor::OpCode>(r.get_u8() & 1);
+  e.target = static_cast<ClientId>(r.get_u32());
+  e.value = get_value(r);
+  e.commit_sig = r.get_bytes();
+  return e;
+}
+
+}  // namespace
+
+Bytes encode_chain_desc(const ChainEntry& e) {
+  Bytes out;
+  append_u32(out, static_cast<std::uint32_t>(e.client));
+  append_byte(out, static_cast<std::uint8_t>(e.oc));
+  append_u32(out, static_cast<std::uint32_t>(e.target));
+  append(out, ustor::encode_value(e.value));
+  return out;
+}
+
+crypto::Hash chain_link(const crypto::Hash& prev, const ChainEntry& e, std::uint64_t seq) {
+  crypto::Sha256 h;
+  h.update(BytesView(prev.data(), prev.size()));
+  h.update(encode_chain_desc(e));
+  Bytes s;
+  append_u64(s, seq);
+  h.update(s);
+  return h.finish();
+}
+
+Bytes chain_sig_payload(std::uint64_t seq, const crypto::Hash& h) {
+  Bytes out = to_bytes("LOCKSTEP");
+  append_u64(out, seq);
+  append(out, BytesView(h.data(), h.size()));
+  return out;
+}
+
+Bytes encode(const LsRequest& m) {
+  wire::Writer w;
+  w.put_u8(kRequest);
+  w.put_u64(m.known_seq);
+  return w.take();
+}
+
+Bytes encode(const LsGrant& m) {
+  wire::Writer w;
+  w.put_u8(kGrant);
+  w.put_u64(m.base_seq);
+  w.put_u32(static_cast<std::uint32_t>(m.delta.size()));
+  for (const ChainEntry& e : m.delta) put_entry(w, e);
+  return w.take();
+}
+
+Bytes encode(const LsCommit& m) {
+  wire::Writer w;
+  w.put_u8(kCommit);
+  put_entry(w, m.entry);
+  return w.take();
+}
+
+std::optional<LsRequest> decode_ls_request(BytesView data) {
+  wire::Reader r(data);
+  if (r.get_u8() != kRequest) return std::nullopt;
+  LsRequest m;
+  m.known_seq = r.get_u64();
+  if (!r.ok() || !r.exhausted()) return std::nullopt;
+  return m;
+}
+
+std::optional<LsGrant> decode_ls_grant(BytesView data) {
+  wire::Reader r(data);
+  if (r.get_u8() != kGrant) return std::nullopt;
+  LsGrant m;
+  m.base_seq = r.get_u64();
+  const std::uint32_t count = r.get_u32();
+  if (!r.ok() || count > kMaxDelta) return std::nullopt;
+  m.delta.reserve(count);
+  for (std::uint32_t k = 0; k < count && r.ok(); ++k) m.delta.push_back(get_entry(r));
+  if (!r.ok() || !r.exhausted()) return std::nullopt;
+  return m;
+}
+
+std::optional<LsCommit> decode_ls_commit(BytesView data) {
+  wire::Reader r(data);
+  if (r.get_u8() != kCommit) return std::nullopt;
+  LsCommit m;
+  m.entry = get_entry(r);
+  if (!r.ok() || !r.exhausted()) return std::nullopt;
+  return m;
+}
+
+// --- Server ----------------------------------------------------------------
+
+LockStepServer::LockStepServer(int n, net::Transport& net, NodeId self)
+    : n_(n), net_(net), self_(self) {
+  net_.attach(self_, *this);
+}
+
+void LockStepServer::on_message(NodeId from, BytesView msg) {
+  if (msg.empty()) return;
+  const ClientId client = static_cast<ClientId>(from);
+  if (client < 1 || client > n_) return;
+
+  if (msg[0] == kRequest) {
+    queue_.emplace_back(client, Bytes(msg.begin(), msg.end()));
+    try_grant();
+  } else if (msg[0] == kCommit) {
+    const auto m = decode_ls_commit(msg);
+    if (!m.has_value()) return;
+    if (!granted_.has_value() || *granted_ != client || m->entry.client != client) return;
+    log_.push_back(m->entry);
+    granted_.reset();
+    try_grant();  // only now may the next queued operation proceed
+  }
+}
+
+void LockStepServer::try_grant() {
+  if (granted_.has_value() || queue_.empty()) return;
+  auto [client, raw] = std::move(queue_.front());
+  queue_.pop_front();
+
+  const auto req = decode_ls_request(raw);
+  if (!req.has_value() || req->known_seq > log_.size()) {
+    try_grant();  // malformed request dropped; serve the next one
+    return;
+  }
+
+  granted_ = client;
+  LsGrant grant;
+  grant.base_seq = req->known_seq;
+  grant.delta.assign(log_.begin() + static_cast<std::ptrdiff_t>(req->known_seq), log_.end());
+  net_.send(self_, client, encode(grant));
+}
+
+// --- Client ----------------------------------------------------------------
+
+LockStepClient::LockStepClient(ClientId id, int n,
+                               std::shared_ptr<const crypto::SignatureScheme> sigs,
+                               net::Transport& net, NodeId server)
+    : id_(id),
+      n_(n),
+      sigs_(std::move(sigs)),
+      net_(net),
+      server_(server),
+      registers_(static_cast<std::size_t>(n)) {
+  net_.attach(id_, *this);
+}
+
+void LockStepClient::fail() {
+  if (failed_) return;
+  failed_ = true;
+  pending_.reset();
+  if (on_fail) on_fail();
+}
+
+void LockStepClient::write(ustor::Value x, WriteCallback done) {
+  FAUST_CHECK(!busy());
+  if (failed_) return;
+  pending_ = Pending{ustor::OpCode::kWrite, id_, std::move(x), std::move(done), {}};
+  net_.send(id_, server_, encode(LsRequest{seq_}));
+}
+
+void LockStepClient::read(ClientId j, ReadCallback done) {
+  FAUST_CHECK(!busy());
+  FAUST_CHECK(j >= 1 && j <= n_);
+  if (failed_) return;
+  pending_ = Pending{ustor::OpCode::kRead, j, std::nullopt, {}, std::move(done)};
+  net_.send(id_, server_, encode(LsRequest{seq_}));
+}
+
+void LockStepClient::on_message(NodeId from, BytesView msg) {
+  if (failed_ || crashed_ || from != server_ || msg.empty() || msg[0] != kGrant) return;
+  if (!pending_.has_value()) return;
+  if (crash_on_grant_) {
+    // Simulated crash inside the critical window: never commit, never
+    // speak again. The pending callback never fires and every other
+    // client now blocks.
+    crashed_ = true;
+    pending_.reset();
+    return;
+  }
+
+  const auto grant = decode_ls_grant(msg);
+  if (!grant.has_value() || grant->base_seq != seq_) {
+    fail();
+    return;
+  }
+
+  // Replay and verify the delta: every link hash and every committer
+  // signature must check out; otherwise the server forged history.
+  for (const ChainEntry& e : grant->delta) {
+    const crypto::Hash next = chain_link(head_, e, seq_ + 1);
+    if (!sigs_->verify(e.client, chain_sig_payload(seq_ + 1, next), e.commit_sig)) {
+      fail();
+      return;
+    }
+    head_ = next;
+    seq_ += 1;
+    if (e.oc == ustor::OpCode::kWrite && e.target >= 1 && e.target <= n_) {
+      registers_[static_cast<std::size_t>(e.target - 1)] = e.value;
+    }
+  }
+
+  // Extend the chain with the own operation and commit it.
+  Pending op = std::move(*pending_);
+  pending_.reset();
+
+  ChainEntry mine;
+  mine.client = id_;
+  mine.oc = op.oc;
+  mine.target = op.target;
+  mine.value = op.oc == ustor::OpCode::kWrite ? op.value : std::nullopt;
+  const crypto::Hash next = chain_link(head_, mine, seq_ + 1);
+  mine.commit_sig = sigs_->sign(id_, chain_sig_payload(seq_ + 1, next));
+  head_ = next;
+  seq_ += 1;
+  if (mine.oc == ustor::OpCode::kWrite) {
+    registers_[static_cast<std::size_t>(id_ - 1)] = mine.value;
+  }
+
+  net_.send(id_, server_, encode(LsCommit{mine}));
+
+  ++completed_;
+  if (op.oc == ustor::OpCode::kWrite) {
+    if (op.wdone) op.wdone();
+  } else {
+    // The read value comes from the replayed local state — position
+    // `seq_` is the read's linearization point.
+    if (op.rdone) op.rdone(registers_[static_cast<std::size_t>(op.target - 1)]);
+  }
+}
+
+}  // namespace faust::baseline

@@ -1,0 +1,159 @@
+// Baseline 1: a classical *fork-linearizable* storage protocol in the
+// style of SUNDR [20, 16] — included to reproduce the paper's separation
+// claim (§1, C3 in DESIGN.md): every fork-linearizable protocol must
+// block; USTOR does not.
+//
+// Design: the server serializes operations one at a time onto a signed
+// hash chain. An operation is GRANTed only after the previous operation
+// COMMITted; the grant ships the chain delta since the client's last
+// known position, and the client replays it, verifying every link's
+// signature, before extending the chain with its own operation.  Clients
+// therefore agree on a chain prefix whenever they see each other's
+// operations (fork-linearizability: a forked chain can never re-join
+// because the link hashes diverge), and reads are served from the
+// client's *locally replayed* register state — the server cannot lie
+// about values at all.
+//
+// The price is exactly what Theorem/impossibility arguments in [5, 4]
+// demand: while one operation is granted-but-uncommitted, every other
+// client waits.  A client that crashes inside its critical window blocks
+// the system forever.  `bench_blocking` and `baseline_test` measure this
+// against USTOR's wait-freedom.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+#include "crypto/signature.h"
+#include "net/transport.h"
+#include "ustor/types.h"  // OpCode, Value
+
+namespace faust::baseline {
+
+/// One link of the operation chain.
+struct ChainEntry {
+  ClientId client = 0;
+  ustor::OpCode oc = ustor::OpCode::kRead;
+  ClientId target = 0;
+  ustor::Value value;  // written value (⊥ for reads)
+  Bytes commit_sig;    // signature by `client` over (seq, link hash)
+};
+
+/// Canonical encoding of the op descriptor (input to the chain hash).
+Bytes encode_chain_desc(const ChainEntry& e);
+
+/// h_k = H(h_{k-1} || desc_k || k).
+crypto::Hash chain_link(const crypto::Hash& prev, const ChainEntry& e, std::uint64_t seq);
+
+/// Signature payload for chain position (seq, h).
+Bytes chain_sig_payload(std::uint64_t seq, const crypto::Hash& h);
+
+/// Client → server: "I want to run an operation; my chain position is
+/// known_seq" (the server ships the delta from there).
+struct LsRequest {
+  std::uint64_t known_seq = 0;
+};
+
+/// Server → client: permission to run, plus the chain delta to replay.
+struct LsGrant {
+  std::uint64_t base_seq = 0;
+  std::vector<ChainEntry> delta;
+};
+
+/// Client → server: the new chain entry, signed at its position.
+struct LsCommit {
+  ChainEntry entry;
+};
+
+Bytes encode(const LsRequest& m);
+Bytes encode(const LsGrant& m);
+Bytes encode(const LsCommit& m);
+std::optional<LsRequest> decode_ls_request(BytesView data);
+std::optional<LsGrant> decode_ls_grant(BytesView data);
+std::optional<LsCommit> decode_ls_commit(BytesView data);
+
+/// The lock-step server: grants one operation at a time, queues the rest.
+class LockStepServer : public net::Node {
+ public:
+  LockStepServer(int n, net::Transport& net, NodeId self = kServerNode);
+
+  void on_message(NodeId from, BytesView msg) override;
+
+  /// Number of requests currently waiting behind the granted one.
+  std::size_t queued() const { return queue_.size(); }
+  bool grant_outstanding() const { return granted_.has_value(); }
+  std::uint64_t chain_length() const { return log_.size(); }
+
+ private:
+  void try_grant();
+
+  const int n_;
+  net::Transport& net_;
+  const NodeId self_;
+  std::vector<ChainEntry> log_;            // the committed chain
+  std::deque<std::pair<ClientId, Bytes>> queue_;  // pending raw requests
+  std::optional<ClientId> granted_;        // client inside the critical window
+};
+
+/// The lock-step client.
+class LockStepClient : public net::Node {
+ public:
+  using WriteCallback = std::function<void()>;
+  using ReadCallback = std::function<void(const ustor::Value&)>;
+
+  LockStepClient(ClientId id, int n, std::shared_ptr<const crypto::SignatureScheme> sigs,
+                 net::Transport& net, NodeId server = kServerNode);
+
+  /// Async write of own register; callback on completion.
+  void write(ustor::Value x, WriteCallback done);
+
+  /// Async read of register j; the value comes from the locally replayed
+  /// chain, so a correct execution returns exactly the linearized value.
+  void read(ClientId j, ReadCallback done);
+
+  bool busy() const { return pending_.has_value(); }
+  bool failed() const { return failed_; }
+  std::function<void()> on_fail;
+
+  /// If true, the client crashes (goes silent) right after being granted,
+  /// never committing — the blocking scenario of bench C3.
+  void set_crash_on_grant(bool v) { crash_on_grant_ = v; }
+
+  std::uint64_t completed_ops() const { return completed_; }
+  std::uint64_t chain_position() const { return seq_; }
+
+  void on_message(NodeId from, BytesView msg) override;
+
+ private:
+  struct Pending {
+    ustor::OpCode oc;
+    ClientId target;
+    ustor::Value value;
+    WriteCallback wdone;
+    ReadCallback rdone;
+  };
+
+  void fail();
+
+  const ClientId id_;
+  const int n_;
+  const std::shared_ptr<const crypto::SignatureScheme> sigs_;
+  net::Transport& net_;
+  const NodeId server_;
+
+  std::uint64_t seq_ = 0;   // chain position the client has replayed to
+  crypto::Hash head_{};     // chain hash at seq_
+  std::vector<ustor::Value> registers_;  // replayed register state
+  std::optional<Pending> pending_;
+  bool failed_ = false;
+  bool crash_on_grant_ = false;
+  bool crashed_ = false;  // simulated crash: silent forever
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace faust::baseline

@@ -1,0 +1,103 @@
+#include "baseline/naive.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "wire/encoder.h"
+
+namespace faust::baseline {
+namespace {
+
+constexpr std::uint8_t kNvWrite = 30;
+constexpr std::uint8_t kNvRead = 31;
+constexpr std::uint8_t kNvWriteAck = 32;
+constexpr std::uint8_t kNvReadReply = 33;
+
+void put_value(wire::Writer& w, const ustor::Value& v) {
+  w.put_u8(v.has_value() ? 1 : 0);
+  if (v.has_value()) w.put_bytes(*v);
+}
+
+ustor::Value get_value(wire::Reader& r) {
+  if (r.get_u8() == 0) return std::nullopt;
+  return r.get_bytes();
+}
+
+}  // namespace
+
+NaiveServer::NaiveServer(int n, net::Transport& net, NodeId self)
+    : n_(n),
+      net_(net),
+      self_(self),
+      registers_(static_cast<std::size_t>(n)),
+      lies_(static_cast<std::size_t>(n)) {
+  net_.attach(self_, *this);
+}
+
+void NaiveServer::lie_about(ClientId reg, ustor::Value forged) {
+  lies_[static_cast<std::size_t>(reg - 1)] = std::move(forged);
+}
+
+void NaiveServer::on_message(NodeId from, BytesView msg) {
+  if (msg.empty()) return;
+  wire::Reader r(msg);
+  const std::uint8_t tag = r.get_u8();
+  if (tag == kNvWrite) {
+    const ClientId i = static_cast<ClientId>(from);
+    if (i < 1 || i > n_) return;
+    registers_[static_cast<std::size_t>(i - 1)] = get_value(r);
+    wire::Writer w;
+    w.put_u8(kNvWriteAck);
+    net_.send(self_, from, w.take());
+  } else if (tag == kNvRead) {
+    const ClientId j = static_cast<ClientId>(r.get_u32());
+    if (!r.ok() || j < 1 || j > n_) return;
+    const auto idx = static_cast<std::size_t>(j - 1);
+    wire::Writer w;
+    w.put_u8(kNvReadReply);
+    put_value(w, lies_[idx].has_value() ? *lies_[idx] : registers_[idx]);
+    net_.send(self_, from, w.take());
+  }
+}
+
+NaiveClient::NaiveClient(ClientId id, int n, net::Transport& net, NodeId server)
+    : id_(id), net_(net), server_(server) {
+  FAUST_CHECK(id >= 1 && id <= n);
+  net_.attach(id_, *this);
+}
+
+void NaiveClient::write(ustor::Value x, WriteCallback done) {
+  FAUST_CHECK(!busy());
+  wdone_ = std::move(done);
+  wire::Writer w;
+  w.put_u8(kNvWrite);
+  put_value(w, x);
+  net_.send(id_, server_, w.take());
+}
+
+void NaiveClient::read(ClientId j, ReadCallback done) {
+  FAUST_CHECK(!busy());
+  rdone_ = std::move(done);
+  wire::Writer w;
+  w.put_u8(kNvRead);
+  w.put_u32(static_cast<std::uint32_t>(j));
+  net_.send(id_, server_, w.take());
+}
+
+void NaiveClient::on_message(NodeId from, BytesView msg) {
+  if (from != server_ || msg.empty()) return;
+  wire::Reader r(msg);
+  const std::uint8_t tag = r.get_u8();
+  if (tag == kNvWriteAck && wdone_) {
+    auto cb = std::move(wdone_);
+    wdone_ = nullptr;
+    cb();
+  } else if (tag == kNvReadReply && rdone_) {
+    const ustor::Value v = get_value(r);
+    auto cb = std::move(rdone_);
+    rdone_ = nullptr;
+    cb(v);
+  }
+}
+
+}  // namespace faust::baseline

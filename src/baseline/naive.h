@@ -1,0 +1,61 @@
+// Baseline 2: completely unprotected remote storage — what you get when
+// you point clients at an untrusted provider with no cryptographic
+// protocol at all.  Reads return whatever the server says; there is no
+// notion of detection.  `adversary_test` demonstrates that the very
+// attacks USTOR/FAUST catch pass silently here, which is the paper's
+// motivation (§1).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+#include "net/transport.h"
+#include "ustor/types.h"
+
+namespace faust::baseline {
+
+/// Plain remote register server (trust-me semantics).
+class NaiveServer : public net::Node {
+ public:
+  NaiveServer(int n, net::Transport& net, NodeId self = kServerNode);
+
+  void on_message(NodeId from, BytesView msg) override;
+
+  /// Byzantine knob: when set, reads of register `reg` return this value
+  /// instead of the stored one. No client can ever tell.
+  void lie_about(ClientId reg, ustor::Value forged);
+
+ private:
+  const int n_;
+  net::Transport& net_;
+  const NodeId self_;
+  std::vector<ustor::Value> registers_;
+  std::vector<std::optional<ustor::Value>> lies_;
+};
+
+/// Matching trivial client.
+class NaiveClient : public net::Node {
+ public:
+  using WriteCallback = std::function<void()>;
+  using ReadCallback = std::function<void(const ustor::Value&)>;
+
+  NaiveClient(ClientId id, int n, net::Transport& net, NodeId server = kServerNode);
+
+  void write(ustor::Value x, WriteCallback done);
+  void read(ClientId j, ReadCallback done);
+  bool busy() const { return wdone_ != nullptr || rdone_ != nullptr; }
+
+  void on_message(NodeId from, BytesView msg) override;
+
+ private:
+  const ClientId id_;
+  net::Transport& net_;
+  const NodeId server_;
+  WriteCallback wdone_;
+  ReadCallback rdone_;
+};
+
+}  // namespace faust::baseline

@@ -1,0 +1,166 @@
+#include "checker/causal.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace faust::checker {
+namespace {
+
+/// Reads-from edges: read op id -> writer op id (only for non-⊥ reads).
+/// Returns false if some read returns a never-written value.
+bool build_reads_from(const std::vector<OpRecord>& history, std::vector<int>& rf) {
+  rf.assign(history.size(), -1);
+  for (const OpRecord& op : history) {
+    if (op.is_write() || !op.complete() || !op.value.has_value()) continue;
+    const int w = find_writer(history, op.target, op.value);
+    if (w < 0) return false;
+    rf[static_cast<std::size_t>(op.id)] = w;
+  }
+  return true;
+}
+
+}  // namespace
+
+CausalOrder build_causal_order(const std::vector<OpRecord>& history) {
+  const std::size_t n = history.size();
+  CausalOrder co;
+  co.reach.assign(n, std::vector<bool>(n, false));
+
+  std::vector<int> rf;
+  if (!build_reads_from(history, rf)) {
+    co.cyclic = true;  // treat thin-air as an order violation
+    return co;
+  }
+
+  // Direct edges.
+  std::map<ClientId, int> last_of_client;
+  for (const OpRecord& op : history) {
+    const auto i = static_cast<std::size_t>(op.id);
+    auto it = last_of_client.find(op.client);
+    if (it != last_of_client.end()) {
+      co.reach[static_cast<std::size_t>(it->second)][i] = true;  // program order
+    }
+    last_of_client[op.client] = op.id;
+    if (rf[i] >= 0) co.reach[static_cast<std::size_t>(rf[i])][i] = true;  // reads-from
+  }
+
+  // Transitive closure (Floyd–Warshall; histories in tests are modest).
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!co.reach[i][k]) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (co.reach[k][j]) co.reach[i][j] = true;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (co.reach[i][i]) co.cyclic = true;
+  }
+  return co;
+}
+
+namespace {
+
+/// Backtracking serializer for one client's causal view.
+struct ViewSearch {
+  const std::vector<OpRecord>* history;
+  const CausalOrder* co;
+  std::vector<int> member;  // op ids in the candidate view
+  std::unordered_set<std::uint64_t> dead;
+
+  bool dfs(std::uint64_t placed, std::map<ClientId, ustor::Value>& regs) {
+    if (placed == (member.size() == 64 ? ~0ULL : ((1ULL << member.size()) - 1))) return true;
+    if (dead.count(placed) > 0) return false;
+
+    for (std::size_t i = 0; i < member.size(); ++i) {
+      if (placed & (1ULL << i)) continue;
+      const OpRecord& cand = (*history)[static_cast<std::size_t>(member[i])];
+      // All causal predecessors inside the view must already be placed.
+      bool ready = true;
+      for (std::size_t j = 0; j < member.size() && ready; ++j) {
+        if (i == j || (placed & (1ULL << j))) continue;
+        if (co->precedes(member[j], member[i])) ready = false;
+      }
+      if (!ready) continue;
+
+      ustor::Value saved;
+      bool had = false;
+      if (cand.is_write()) {
+        auto it = regs.find(cand.target);
+        if (it != regs.end()) {
+          saved = it->second;
+          had = true;
+        }
+        regs[cand.target] = cand.value;
+      } else {
+        auto it = regs.find(cand.target);
+        const ustor::Value current = it == regs.end() ? std::nullopt : it->second;
+        if (!(current == cand.value)) continue;
+      }
+      const bool ok = dfs(placed | (1ULL << i), regs);
+      if (cand.is_write()) {
+        if (had) {
+          regs[cand.target] = saved;
+        } else {
+          regs.erase(cand.target);
+        }
+      }
+      if (ok) return true;
+    }
+    dead.insert(placed);
+    return false;
+  }
+};
+
+}  // namespace
+
+CheckResult check_causal(const std::vector<OpRecord>& history) {
+  std::vector<int> rf;
+  if (!build_reads_from(history, rf)) {
+    return CheckResult::fail("some read returned a never-written value");
+  }
+  const CausalOrder co = build_causal_order(history);
+  if (co.cyclic) return CheckResult::fail("causal order is cyclic");
+
+  // Clients present in the history.
+  std::unordered_set<ClientId> clients;
+  for (const OpRecord& op : history) clients.insert(op.client);
+
+  for (const ClientId ci : clients) {
+    // Candidate view: Ci's complete ops + every update causally preceding
+    // any of them (the minimal set Def. 3 permits).
+    std::vector<int> member;
+    std::unordered_set<int> in_view;
+    for (const OpRecord& op : history) {
+      if (op.client == ci && op.complete()) {
+        member.push_back(op.id);
+        in_view.insert(op.id);
+      }
+    }
+    for (const OpRecord& w : history) {
+      if (!w.is_write() || in_view.count(w.id) > 0) continue;
+      for (const int own : member) {
+        if (w.client != ci && co.precedes(w.id, own)) {
+          member.push_back(w.id);
+          in_view.insert(w.id);
+          break;
+        }
+      }
+    }
+    FAUST_CHECK(member.size() < 64);
+
+    ViewSearch search{&history, &co, member, {}};
+    std::map<ClientId, ustor::Value> regs;
+    if (!search.dfs(0, regs)) {
+      return CheckResult::fail("no causal serialization exists for client C" +
+                               std::to_string(ci));
+    }
+  }
+  return CheckResult::pass();
+}
+
+}  // namespace faust::checker

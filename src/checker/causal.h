@@ -1,0 +1,41 @@
+// Causal-consistency checking (Def. 3) and the potential-causality order.
+//
+// The causal order →σ is the transitive closure of program order and
+// reads-from (§2); with unique written values, reads-from is recovered
+// directly from returned values.  Def. 3 then asks, per client, for a
+// serialization of (that client's ops ∪ the causally-required updates)
+// that extends →σ and satisfies the register semantics.  Finding one is a
+// constrained topological sort, implemented as a memoized backtracking
+// search — views in this repository's tests stay well under the 64-op
+// bitmask bound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "checker/history.h"
+#include "checker/linearizability.h"  // CheckResult
+
+namespace faust::checker {
+
+/// Potential causality as an adjacency structure over op ids.
+struct CausalOrder {
+  /// reach[i] bit j set ⇔ op i →σ op j (strict). Dense over history ids.
+  std::vector<std::vector<bool>> reach;
+  bool cyclic = false;
+
+  bool precedes(int a, int b) const {
+    return reach[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+  }
+};
+
+/// Builds →σ from program order + reads-from. `cyclic` is set if the
+/// relation is not a strict partial order (itself a violation).
+CausalOrder build_causal_order(const std::vector<OpRecord>& history);
+
+/// Checks Def. 3 for every client. Complete operations only are
+/// considered at the reading client; reads returning never-written values
+/// fail immediately.
+CheckResult check_causal(const std::vector<OpRecord>& history);
+
+}  // namespace faust::checker

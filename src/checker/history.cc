@@ -1,0 +1,45 @@
+#include "checker/history.h"
+
+#include "common/check.h"
+
+namespace faust::checker {
+
+int HistoryRecorder::begin(ClientId client, ustor::OpCode oc, ClientId target,
+                           ustor::Value written, sim::Time now) {
+  OpRecord op;
+  op.id = static_cast<int>(ops_.size());
+  op.client = client;
+  op.oc = oc;
+  op.target = target;
+  op.value = std::move(written);
+  op.invoked = now;
+  ops_.push_back(std::move(op));
+  return ops_.back().id;
+}
+
+void HistoryRecorder::end(int id, sim::Time now, Timestamp t, ustor::Value result) {
+  FAUST_CHECK(id >= 0 && static_cast<std::size_t>(id) < ops_.size());
+  OpRecord& op = ops_[static_cast<std::size_t>(id)];
+  FAUST_CHECK(!op.complete());
+  op.responded = now;
+  op.t = t;
+  if (op.oc == ustor::OpCode::kRead) op.value = std::move(result);
+}
+
+std::vector<OpRecord> HistoryRecorder::by_client(ClientId client) const {
+  std::vector<OpRecord> out;
+  for (const OpRecord& op : ops_) {
+    if (op.client == client) out.push_back(op);
+  }
+  return out;
+}
+
+int find_writer(const std::vector<OpRecord>& history, ClientId reg, const ustor::Value& value) {
+  if (!value.has_value()) return -1;  // ⊥ has no writer
+  for (const OpRecord& op : history) {
+    if (op.is_write() && op.target == reg && op.value == value) return op.id;
+  }
+  return -1;
+}
+
+}  // namespace faust::checker

@@ -1,0 +1,69 @@
+// Histories of register operations, as consumed by the consistency
+// checkers (Defs. 1–6 of the paper).
+//
+// A history is the trace of invocations/responses observed at the
+// clients; the harness records one OpRecord per operation.  Written
+// values are assumed unique across the execution (as in §2), which lets
+// the checkers recover the reads-from relation directly from values.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+#include "sim/scheduler.h"
+#include "ustor/types.h"
+
+namespace faust::checker {
+
+/// Sentinel "time" for operations that never completed.
+inline constexpr sim::Time kNever = UINT64_MAX;
+
+/// One operation of the recorded history.
+struct OpRecord {
+  int id = 0;  // dense 0-based id (index into the history vector)
+  ClientId client = 0;
+  ustor::OpCode oc = ustor::OpCode::kRead;
+  ClientId target = 0;  // register index (owner id)
+  ustor::Value value;   // written value, or value returned by the read
+  sim::Time invoked = 0;
+  sim::Time responded = kNever;  // kNever: incomplete
+  Timestamp t = 0;               // protocol timestamp (0 if incomplete)
+
+  bool complete() const { return responded != kNever; }
+  bool is_write() const { return oc == ustor::OpCode::kWrite; }
+
+  /// Real-time precedence: this op completed before `o` was invoked.
+  bool precedes(const OpRecord& o) const {
+    return complete() && responded < o.invoked;
+  }
+};
+
+/// Collects OpRecords as operations are invoked/completed.
+class HistoryRecorder {
+ public:
+  /// Registers an invocation; returns the operation id to close later.
+  int begin(ClientId client, ustor::OpCode oc, ClientId target, ustor::Value written,
+            sim::Time now);
+
+  /// Marks completion. For reads, `result` is the returned value.
+  void end(int id, sim::Time now, Timestamp t, ustor::Value result = std::nullopt);
+
+  const std::vector<OpRecord>& history() const { return ops_; }
+  std::vector<OpRecord>& mutable_history() { return ops_; }
+
+  /// Operations of one client, in program order.
+  std::vector<OpRecord> by_client(ClientId client) const;
+
+ private:
+  std::vector<OpRecord> ops_;
+};
+
+/// Finds the write op that produced `value` (std::nullopt target means the
+/// initial ⊥, for which there is no writer). Returns -1 if the value was
+/// never written (a "thin air" read) or the id of the writing op.
+/// Precondition: written values are unique.
+int find_writer(const std::vector<OpRecord>& history, ClientId reg, const ustor::Value& value);
+
+}  // namespace faust::checker

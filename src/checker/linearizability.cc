@@ -1,0 +1,178 @@
+#include "checker/linearizability.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace faust::checker {
+namespace {
+
+/// Per-register data assembled for the polynomial check.
+struct RegisterOps {
+  std::vector<OpRecord> writes;  // owner's writes, program order (w_1..w_m)
+  std::vector<OpRecord> reads;   // complete reads of this register
+};
+
+std::string describe(const OpRecord& op) {
+  std::string s = "op#" + std::to_string(op.id) + " C" + std::to_string(op.client) +
+                  (op.is_write() ? " write(X" : " read(X") + std::to_string(op.target) + ")";
+  return s;
+}
+
+CheckResult check_register(const RegisterOps& r) {
+  const std::size_t m = r.writes.size();
+
+  // Map each read to the index of the write it read from (0 = initial ⊥,
+  // 1..m = writes).
+  struct ReadIdx {
+    const OpRecord* op;
+    std::size_t k;
+  };
+  std::vector<ReadIdx> reads;
+  reads.reserve(r.reads.size());
+  for (const OpRecord& rd : r.reads) {
+    std::size_t k = 0;
+    if (rd.value.has_value()) {
+      bool found = false;
+      for (std::size_t w = 0; w < m; ++w) {
+        if (r.writes[w].value == rd.value) {
+          k = w + 1;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return CheckResult::fail(describe(rd) + " returned a value never written");
+      }
+    }
+    reads.push_back({&rd, k});
+  }
+
+  for (const ReadIdx& ri : reads) {
+    const OpRecord& rd = *ri.op;
+    // (a) The write read from must not begin after the read ended.
+    if (ri.k > 0) {
+      const OpRecord& wk = r.writes[ri.k - 1];
+      if (rd.responded < wk.invoked) {
+        return CheckResult::fail(describe(rd) + " read from the future " + describe(wk));
+      }
+    }
+    // (b) No write lies entirely between the write read from and the read.
+    // With sequential writes only the immediately-next write can.
+    if (ri.k < m) {
+      const OpRecord& wnext = r.writes[ri.k];
+      if (wnext.complete() && wnext.responded < rd.invoked) {
+        return CheckResult::fail(describe(rd) + " skipped over completed " + describe(wnext));
+      }
+    }
+  }
+
+  // (c) No new-old inversion: reads ordered in real time must not observe
+  // writes in the reverse order. Sweep: sort by response time, prefix-max
+  // of k, binary search per read.
+  std::vector<ReadIdx> by_resp = reads;
+  std::sort(by_resp.begin(), by_resp.end(),
+            [](const ReadIdx& a, const ReadIdx& b) { return a.op->responded < b.op->responded; });
+  std::vector<std::size_t> prefix_max(by_resp.size());
+  for (std::size_t i = 0; i < by_resp.size(); ++i) {
+    prefix_max[i] = by_resp[i].k;
+    if (i > 0) prefix_max[i] = std::max(prefix_max[i], prefix_max[i - 1]);
+  }
+  for (const ReadIdx& r2 : reads) {
+    // Largest index with responded < r2.invoked.
+    std::size_t lo = 0, hi = by_resp.size();
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (by_resp[mid].op->responded < r2.op->invoked) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo > 0 && prefix_max[lo - 1] > r2.k) {
+      return CheckResult::fail(describe(*r2.op) + " observed an older write than a read that preceded it (new-old inversion)");
+    }
+  }
+  return CheckResult::pass();
+}
+
+}  // namespace
+
+CheckResult check_linearizable(const std::vector<OpRecord>& history) {
+  std::map<ClientId, RegisterOps> regs;
+  for (const OpRecord& op : history) {
+    RegisterOps& r = regs[op.target];
+    if (op.is_write()) {
+      r.writes.push_back(op);
+    } else if (op.complete()) {
+      r.reads.push_back(op);
+    }
+  }
+  for (auto& [reg, r] : regs) {
+    // Writes in owner program order == invocation order (owner is a single
+    // sequential client).
+    std::sort(r.writes.begin(), r.writes.end(),
+              [](const OpRecord& a, const OpRecord& b) { return a.invoked < b.invoked; });
+    CheckResult res = check_register(r);
+    if (!res.ok) {
+      res.violation = "register X" + std::to_string(reg) + ": " + res.violation;
+      return res;
+    }
+  }
+  return CheckResult::pass();
+}
+
+namespace {
+
+/// Wing–Gong DFS state: bitmask of linearized ops; register contents are
+/// re-derivable from the mask (last linearized write per register), so the
+/// mask alone keys the memo table.
+struct BruteContext {
+  const std::vector<OpRecord>* ops;
+  std::unordered_set<std::uint64_t> dead;  // masks proven unlinearizable
+
+  bool dfs(std::uint64_t mask, const std::unordered_map<ClientId, ustor::Value>& regs) {
+    const std::size_t n = ops->size();
+    if (mask == (n == 64 ? ~0ULL : ((1ULL << n) - 1))) return true;
+    if (dead.count(mask) > 0) return false;
+
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (1ULL << i)) continue;
+      const OpRecord& cand = (*ops)[i];
+      // Real-time: cannot linearize `cand` while an op that wholly
+      // precedes it is still pending.
+      bool blocked = false;
+      for (std::size_t j = 0; j < n && !blocked; ++j) {
+        if (i == j || (mask & (1ULL << j))) continue;
+        if ((*ops)[j].precedes(cand)) blocked = true;
+      }
+      if (blocked) continue;
+
+      auto next = regs;
+      if (cand.is_write()) {
+        next[cand.target] = cand.value;
+      } else {
+        auto it = regs.find(cand.target);
+        const ustor::Value current = it == regs.end() ? std::nullopt : it->second;
+        if (!(current == cand.value)) continue;  // read would return wrong value
+      }
+      if (dfs(mask | (1ULL << i), next)) return true;
+    }
+    dead.insert(mask);
+    return false;
+  }
+};
+
+}  // namespace
+
+bool check_linearizable_brute(const std::vector<OpRecord>& history, std::size_t max_ops) {
+  FAUST_CHECK(history.size() <= max_ops && history.size() < 64);
+  for (const OpRecord& op : history) FAUST_CHECK(op.complete());
+  BruteContext ctx{&history, {}};
+  return ctx.dfs(0, {});
+}
+
+}  // namespace faust::checker

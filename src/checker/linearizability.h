@@ -1,0 +1,44 @@
+// Linearizability checking for SWMR-register histories (Def. 2).
+//
+// Two independent checkers:
+//
+//  * `check_linearizable` — polynomial-time. Linearizability is local
+//    (Herlihy & Wing), so each register is checked separately; per
+//    register, writes are by a single owner and written values are unique,
+//    so the reads-from mapping is determined and the classical atomicity
+//    axioms (a reading function exists iff no read reads from the future,
+//    no read skips over a fully-preceding newer write, and no two
+//    real-time-ordered reads invert write order) are sound and complete.
+//    Incomplete writes are treated as pending-forever (they may always be
+//    linearized after everything that observed nothing of them);
+//    incomplete reads are ignored.
+//
+//  * `check_linearizable_brute` — exhaustive Wing–Gong search with
+//    memoization, exponential, for small complete histories. Exists to
+//    cross-validate the polynomial checker in property tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "checker/history.h"
+
+namespace faust::checker {
+
+/// Outcome with a human-readable reason on failure.
+struct CheckResult {
+  bool ok = true;
+  std::string violation;
+
+  static CheckResult pass() { return {}; }
+  static CheckResult fail(std::string why) { return {false, std::move(why)}; }
+};
+
+/// Polynomial checker. Requires unique written values per register.
+CheckResult check_linearizable(const std::vector<OpRecord>& history);
+
+/// Exponential reference checker; history must be complete and small
+/// (aborts via FAUST_CHECK beyond `max_ops`).
+bool check_linearizable_brute(const std::vector<OpRecord>& history, std::size_t max_ops = 16);
+
+}  // namespace faust::checker

@@ -1,0 +1,322 @@
+#include "checker/weak_fork.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "checker/causal.h"
+#include "common/check.h"
+
+namespace faust::checker {
+namespace {
+
+std::string op_str(const OpRecord& op) {
+  return "op#" + std::to_string(op.id) + "(C" + std::to_string(op.client) +
+         (op.is_write() ? " w" : " r") + std::to_string(op.target) + ")";
+}
+
+/// View legality (Def. 1 adapted): all ops exist, no duplicates, the
+/// client's own complete ops appear exactly and in program order (with at
+/// most its one pending op appended somewhere), and the sequence respects
+/// the register sequential specification.
+CheckResult check_view_legality(const std::vector<OpRecord>& history, ClientId ci,
+                                const std::vector<int>& view) {
+  std::unordered_set<int> seen;
+  std::map<ClientId, ustor::Value> regs;
+  std::vector<int> own_in_view;
+
+  for (const int id : view) {
+    if (id < 0 || static_cast<std::size_t>(id) >= history.size()) {
+      return CheckResult::fail("view of C" + std::to_string(ci) + " names unknown op");
+    }
+    if (!seen.insert(id).second) {
+      return CheckResult::fail("view of C" + std::to_string(ci) + " repeats " +
+                               op_str(history[static_cast<std::size_t>(id)]));
+    }
+    const OpRecord& op = history[static_cast<std::size_t>(id)];
+    if (op.client == ci) own_in_view.push_back(id);
+
+    if (op.is_write()) {
+      regs[op.target] = op.value;
+    } else {
+      auto it = regs.find(op.target);
+      const ustor::Value current = it == regs.end() ? std::nullopt : it->second;
+      // A pending read has no determined return value; any extension is
+      // allowed for it (Def. 1 appends a response). Complete reads must
+      // match.
+      if (op.complete() && !(current == op.value)) {
+        return CheckResult::fail("view of C" + std::to_string(ci) + ": " + op_str(op) +
+                                 " violates the sequential specification");
+      }
+    }
+  }
+
+  // β|Ci must equal Ci's complete ops in program order, possibly with the
+  // single pending op (if any) appended.
+  std::vector<int> expected;
+  int pending = -1;
+  for (const OpRecord& op : history) {
+    if (op.client != ci) continue;
+    if (op.complete()) {
+      expected.push_back(op.id);
+    } else {
+      FAUST_CHECK(pending == -1);  // well-formed: one pending op per client
+      pending = op.id;
+    }
+  }
+  std::vector<int> own_expected = expected;
+  if (own_in_view != own_expected) {
+    own_expected.push_back(pending);
+    if (pending == -1 || own_in_view != own_expected) {
+      return CheckResult::fail("view of C" + std::to_string(ci) +
+                               " does not contain exactly C" + std::to_string(ci) +
+                               "'s operations in program order");
+    }
+  }
+  return CheckResult::pass();
+}
+
+/// Set of op ids that are the last operation of their client within the
+/// view (the lastops(β) of §4).
+std::unordered_set<int> last_ops(const std::vector<OpRecord>& history,
+                                 const std::vector<int>& view) {
+  std::map<ClientId, int> last;
+  for (const int id : view) last[history[static_cast<std::size_t>(id)].client] = id;
+  std::unordered_set<int> out;
+  for (const auto& [cl, id] : last) out.insert(id);
+  return out;
+}
+
+/// Real-time order preservation over the view, optionally exempting
+/// lastops (weak = true gives the weak real-time order of §4).
+CheckResult check_real_time(const std::vector<OpRecord>& history, ClientId ci,
+                            const std::vector<int>& view, bool weak) {
+  std::unordered_set<int> exempt;
+  if (weak) exempt = last_ops(history, view);
+
+  for (std::size_t a = 0; a < view.size(); ++a) {
+    for (std::size_t b = a + 1; b < view.size(); ++b) {
+      const OpRecord& ob = history[static_cast<std::size_t>(view[b])];
+      const OpRecord& oa = history[static_cast<std::size_t>(view[a])];
+      if (weak && (exempt.count(view[a]) > 0 || exempt.count(view[b]) > 0)) continue;
+      if (ob.precedes(oa)) {
+        return CheckResult::fail("view of C" + std::to_string(ci) + ": " + op_str(oa) +
+                                 " placed before " + op_str(ob) +
+                                 " against their real-time order");
+      }
+    }
+  }
+  return CheckResult::pass();
+}
+
+/// Def. 6 condition 3: causally preceding updates are present and ordered.
+CheckResult check_causal_inclusion(const std::vector<OpRecord>& history, ClientId ci,
+                                   const std::vector<int>& view, const CausalOrder& co) {
+  std::unordered_map<int, std::size_t> pos;
+  for (std::size_t p = 0; p < view.size(); ++p) pos[view[p]] = p;
+
+  for (const int id : view) {
+    for (const OpRecord& upd : history) {
+      if (!upd.is_write() || upd.id == id) continue;
+      if (!co.precedes(upd.id, id)) continue;
+      auto it = pos.find(upd.id);
+      if (it == pos.end()) {
+        return CheckResult::fail("view of C" + std::to_string(ci) + " misses update " +
+                                 op_str(upd) + " that causally precedes " +
+                                 op_str(history[static_cast<std::size_t>(id)]));
+      }
+      if (it->second >= pos[id]) {
+        return CheckResult::fail("view of C" + std::to_string(ci) + " orders " +
+                                 op_str(upd) + " after " +
+                                 op_str(history[static_cast<std::size_t>(id)]) +
+                                 " against causality");
+      }
+    }
+  }
+  return CheckResult::pass();
+}
+
+/// Join condition between two views: for common ops o of the same client
+/// that are not that client's last common op, the prefixes up to o must be
+/// identical. With `at_most_one_join` false this is the strict no-join of
+/// fork-linearizability (prefix equality at *every* common op).
+CheckResult check_join(const std::vector<OpRecord>& history, ClientId ci, ClientId cj,
+                       const std::vector<int>& vi, const std::vector<int>& vj,
+                       bool at_most_one_join) {
+  std::unordered_map<int, std::size_t> pos_j;
+  for (std::size_t p = 0; p < vj.size(); ++p) pos_j[vj[p]] = p;
+
+  // Common ops grouped by executing client, in vi order.
+  std::map<ClientId, std::vector<int>> common_by_client;
+  std::unordered_map<int, std::size_t> pos_i;
+  for (std::size_t p = 0; p < vi.size(); ++p) {
+    pos_i[vi[p]] = p;
+    if (pos_j.count(vi[p]) > 0) {
+      common_by_client[history[static_cast<std::size_t>(vi[p])].client].push_back(vi[p]);
+    }
+  }
+
+  for (const auto& [cl, ops] : common_by_client) {
+    // Under at-most-one-join the condition applies to every common op
+    // that precedes another common op of the same client; i.e. all but
+    // the last one. Under no-join it applies to all of them.
+    const std::size_t limit = at_most_one_join ? (ops.empty() ? 0 : ops.size() - 1)
+                                               : ops.size();
+    for (std::size_t q = 0; q < limit; ++q) {
+      const int o = ops[q];
+      const std::size_t pi = pos_i[o];
+      const std::size_t pj = pos_j.at(o);
+      if (pi != pj) {
+        return CheckResult::fail("views of C" + std::to_string(ci) + "/C" +
+                                 std::to_string(cj) + " disagree on prefix length at " +
+                                 op_str(history[static_cast<std::size_t>(o)]));
+      }
+      for (std::size_t p = 0; p <= pi; ++p) {
+        if (vi[p] != vj[p]) {
+          return CheckResult::fail("views of C" + std::to_string(ci) + "/C" +
+                                   std::to_string(cj) + " have different prefixes at " +
+                                   op_str(history[static_cast<std::size_t>(o)]));
+        }
+      }
+    }
+  }
+  return CheckResult::pass();
+}
+
+CheckResult validate(const std::vector<OpRecord>& history, const ViewMap& views, bool weak) {
+  const CausalOrder co = build_causal_order(history);
+  if (weak && co.cyclic) return CheckResult::fail("causal order of the history is cyclic");
+
+  for (const auto& [ci, view] : views) {
+    CheckResult r = check_view_legality(history, ci, view);
+    if (!r.ok) return r;
+    r = check_real_time(history, ci, view, weak);
+    if (!r.ok) return r;
+    if (weak) {
+      r = check_causal_inclusion(history, ci, view, co);
+      if (!r.ok) return r;
+    }
+  }
+  for (auto it = views.begin(); it != views.end(); ++it) {
+    for (auto jt = std::next(it); jt != views.end(); ++jt) {
+      CheckResult r = check_join(history, it->first, jt->first, it->second, jt->second,
+                                 /*at_most_one_join=*/weak);
+      if (!r.ok) return r;
+    }
+  }
+  return CheckResult::pass();
+}
+
+}  // namespace
+
+CheckResult validate_weak_fork_linearizable(const std::vector<OpRecord>& history,
+                                            const ViewMap& views) {
+  return validate(history, views, /*weak=*/true);
+}
+
+CheckResult validate_fork_linearizable(const std::vector<OpRecord>& history,
+                                       const ViewMap& views) {
+  return validate(history, views, /*weak=*/false);
+}
+
+namespace {
+
+/// Enumerates all legal fork-linearizable views for one client via DFS:
+/// sequences over subsets of ops that contain all of the client's ops in
+/// order, satisfy the sequential spec, and preserve full real-time order.
+void enumerate_views(const std::vector<OpRecord>& history, ClientId ci,
+                     std::vector<int>& current, std::vector<bool>& used,
+                     std::vector<std::vector<int>>& out) {
+  // Accept `current` if it contains all of ci's ops.
+  std::size_t own_needed = 0, own_have = 0;
+  for (const OpRecord& op : history) {
+    if (op.client == ci) ++own_needed;
+  }
+  for (const int id : current) {
+    if (history[static_cast<std::size_t>(id)].client == ci) ++own_have;
+  }
+  if (own_have == own_needed) out.push_back(current);
+
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    if (used[i]) continue;
+    const OpRecord& cand = history[i];
+    // Real-time: no op already placed may be preceded by cand... i.e. we
+    // append cand only if cand does not precede any placed op.
+    bool ok = true;
+    for (const int id : current) {
+      if (cand.precedes(history[static_cast<std::size_t>(id)])) ok = false;
+    }
+    // Program order of ci must be respected and complete: placing a later
+    // own-op before an earlier one is excluded by real-time (own ops are
+    // sequential), nothing more to do.
+    if (!ok) continue;
+    // Sequential spec incremental check.
+    if (!cand.is_write()) {
+      ustor::Value cur = std::nullopt;
+      for (const int id : current) {
+        const OpRecord& o = history[static_cast<std::size_t>(id)];
+        if (o.is_write() && o.target == cand.target) cur = o.value;
+      }
+      if (!(cur == cand.value)) continue;
+    }
+    used[i] = true;
+    current.push_back(cand.id);
+    enumerate_views(history, ci, current, used, out);
+    current.pop_back();
+    used[i] = false;
+  }
+}
+
+}  // namespace
+
+bool exists_fork_linearizable_views(const std::vector<OpRecord>& history,
+                                    std::size_t max_ops) {
+  FAUST_CHECK(history.size() <= max_ops);
+  for (const OpRecord& op : history) FAUST_CHECK(op.complete());
+
+  std::set<ClientId> clients;
+  for (const OpRecord& op : history) clients.insert(op.client);
+
+  // Candidate views per client.
+  std::vector<ClientId> order(clients.begin(), clients.end());
+  std::vector<std::vector<std::vector<int>>> candidates;
+  for (const ClientId ci : order) {
+    std::vector<std::vector<int>> views;
+    std::vector<int> current;
+    std::vector<bool> used(history.size(), false);
+    enumerate_views(history, ci, current, used, views);
+    if (views.empty()) return false;
+    candidates.push_back(std::move(views));
+  }
+
+  // Try every combination; accept if pairwise no-join holds.
+  std::vector<std::size_t> pick(order.size(), 0);
+  for (;;) {
+    ViewMap vm;
+    for (std::size_t i = 0; i < order.size(); ++i) vm[order[i]] = candidates[i][pick[i]];
+    bool ok = true;
+    for (auto it = vm.begin(); it != vm.end() && ok; ++it) {
+      for (auto jt = std::next(it); jt != vm.end() && ok; ++jt) {
+        if (!check_join(history, it->first, jt->first, it->second, jt->second,
+                        /*at_most_one_join=*/false)
+                 .ok) {
+          ok = false;
+        }
+      }
+    }
+    if (ok) return true;
+
+    // Next combination.
+    std::size_t d = 0;
+    while (d < pick.size()) {
+      if (++pick[d] < candidates[d].size()) break;
+      pick[d] = 0;
+      ++d;
+    }
+    if (d == pick.size()) return false;
+  }
+}
+
+}  // namespace faust::checker

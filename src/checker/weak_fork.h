@@ -1,0 +1,41 @@
+// Weak fork-linearizability (Def. 6) validation, plus a brute-force
+// fork-linearizability decision procedure for tiny histories.
+//
+// Deciding Def. 6 from a bare history means guessing views — exponential
+// in general.  The repository instead *validates*: adversarial harnesses
+// know exactly which schedule each fork pretended (ustor::ServerCore logs
+// it), so tests hand the checker candidate views and it verifies all four
+// conditions of Def. 6 mechanically.  For the Figure 3 separation result
+// we additionally need "NO fork-linearizable views exist", which
+// `exists_fork_linearizable_views` decides by exhaustive search over very
+// small histories.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "checker/history.h"
+#include "checker/linearizability.h"  // CheckResult
+
+namespace faust::checker {
+
+/// Candidate views: for each client, the sequence of op ids forming its
+/// view β_i of the history.
+using ViewMap = std::map<ClientId, std::vector<int>>;
+
+/// Validates Def. 6 (view legality, weak real-time order, causality,
+/// at-most-one-join) for the given views.
+CheckResult validate_weak_fork_linearizable(const std::vector<OpRecord>& history,
+                                            const ViewMap& views);
+
+/// Validates classical fork-linearizability for the given views: view
+/// legality, *full* real-time order, and the no-join property.
+CheckResult validate_fork_linearizable(const std::vector<OpRecord>& history,
+                                       const ViewMap& views);
+
+/// Exhaustively decides whether ANY fork-linearizable views exist for a
+/// (complete) history. Exponential — history must be tiny (≤ max_ops).
+bool exists_fork_linearizable_views(const std::vector<OpRecord>& history,
+                                    std::size_t max_ops = 8);
+
+}  // namespace faust::checker

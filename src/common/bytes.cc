@@ -1,0 +1,43 @@
+#include "common/bytes.h"
+
+namespace faust {
+
+void append(Bytes& dst, BytesView src) { dst.insert(dst.end(), src.begin(), src.end()); }
+
+void append(Bytes& dst, std::string_view s) {
+  dst.insert(dst.end(), reinterpret_cast<const std::uint8_t*>(s.data()),
+             reinterpret_cast<const std::uint8_t*>(s.data()) + s.size());
+}
+
+void append_byte(Bytes& dst, std::uint8_t b) { dst.push_back(b); }
+
+void append_u64(Bytes& dst, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    dst.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void append_u32(Bytes& dst, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    dst.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+Bytes to_bytes(std::string_view s) {
+  Bytes b;
+  append(b, s);
+  return b;
+}
+
+std::string to_string(BytesView b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+bool constant_time_equal(BytesView a, BytesView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+  return acc == 0;
+}
+
+}  // namespace faust

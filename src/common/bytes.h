@@ -1,0 +1,49 @@
+// Byte-string utilities shared by every module.
+//
+// The protocols in this repository sign, hash and transmit flat byte
+// strings.  `Bytes` is the canonical representation; the helpers here keep
+// concatenation and framing explicit so that signature domains stay
+// unambiguous (see DESIGN.md, decision D3).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace faust {
+
+/// Flat, owned byte string. The unit of hashing, signing and transport.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Read-only, non-owning view over bytes (cheap to pass by value).
+using BytesView = std::span<const std::uint8_t>;
+
+/// Appends `src` to `dst` in place.
+void append(Bytes& dst, BytesView src);
+
+/// Appends the raw characters of `s` (no terminator) to `dst`.
+void append(Bytes& dst, std::string_view s);
+
+/// Appends a single byte.
+void append_byte(Bytes& dst, std::uint8_t b);
+
+/// Appends `v` in little-endian order (8 bytes).
+void append_u64(Bytes& dst, std::uint64_t v);
+
+/// Appends `v` in little-endian order (4 bytes).
+void append_u32(Bytes& dst, std::uint32_t v);
+
+/// Builds a byte string from a string literal / std::string.
+Bytes to_bytes(std::string_view s);
+
+/// Interprets a byte string as text (for logging only).
+std::string to_string(BytesView b);
+
+/// Constant-time equality. Use for comparing MACs / signatures so that the
+/// comparison itself does not leak where the first mismatch occurs.
+bool constant_time_equal(BytesView a, BytesView b);
+
+}  // namespace faust

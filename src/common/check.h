@@ -1,0 +1,25 @@
+// Internal invariant checking.
+//
+// FAUST_CHECK guards *programming errors inside this library* (broken
+// invariants, misuse of an API); it aborts with a message.  It is never
+// used for conditions that an untrusted server can trigger — those flow
+// through the protocols' explicit fail paths (ustor::Client::failed(),
+// faust::Client::on_fail) as the paper requires.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace faust::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "FAUST_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace faust::detail
+
+#define FAUST_CHECK(cond)                                         \
+  do {                                                            \
+    if (!(cond)) ::faust::detail::check_failed(#cond, __FILE__, __LINE__); \
+  } while (0)

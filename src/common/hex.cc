@@ -1,0 +1,40 @@
+#include "common/hex.h"
+
+namespace faust {
+namespace {
+
+constexpr char kDigits[] = "0123456789abcdef";
+
+int nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string hex_encode(BytesView b) {
+  std::string out;
+  out.reserve(b.size() * 2);
+  for (std::uint8_t x : b) {
+    out.push_back(kDigits[x >> 4]);
+    out.push_back(kDigits[x & 0xf]);
+  }
+  return out;
+}
+
+std::optional<Bytes> hex_decode(std::string_view s) {
+  if (s.size() % 2 != 0) return std::nullopt;
+  Bytes out;
+  out.reserve(s.size() / 2);
+  for (std::size_t i = 0; i < s.size(); i += 2) {
+    const int hi = nibble(s[i]);
+    const int lo = nibble(s[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+}  // namespace faust

@@ -1,0 +1,19 @@
+// Hexadecimal encoding/decoding, used in logs, examples and test vectors.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace faust {
+
+/// Lower-case hex encoding of `b` ("" for empty input).
+std::string hex_encode(BytesView b);
+
+/// Decodes lower- or upper-case hex. Returns std::nullopt on odd length or
+/// non-hex characters.
+std::optional<Bytes> hex_decode(std::string_view s);
+
+}  // namespace faust

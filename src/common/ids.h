@@ -1,0 +1,23 @@
+// Identifier vocabulary shared across the protocol stack.
+#pragma once
+
+#include <cstdint>
+
+namespace faust {
+
+/// Client index. The paper indexes clients C1..Cn; we use 1-based ids so
+/// that logs and register names line up with the paper's notation.
+/// Register X_i is writable only by client i (SWMR).
+using ClientId = int;
+
+/// Node id on the simulated network. The server is node 0; client C_i is
+/// node i.
+using NodeId = int;
+
+/// The server's node id.
+inline constexpr NodeId kServerNode = 0;
+
+/// Per-client operation timestamp (the `t` of Algorithm 1); starts at 1.
+using Timestamp = std::uint64_t;
+
+}  // namespace faust

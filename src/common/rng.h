@@ -1,0 +1,47 @@
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component in the repository (network delays, workload
+// generators, adversary choices, property tests) draws from an explicitly
+// seeded `Rng`, so a single 64-bit seed reproduces an entire execution.
+// The generator is xoshiro256** (Blackman & Vigna), seeded through
+// SplitMix64 as its authors recommend; it is *not* cryptographic and is
+// never used for key material (see crypto/keystore.h for that).
+#pragma once
+
+#include <cstdint>
+
+namespace faust {
+
+/// Deterministic 64-bit PRNG (xoshiro256**).
+class Rng {
+ public:
+  /// Seeds the state from `seed` via SplitMix64; any seed (including 0) is
+  /// valid and gives a full-period state.
+  explicit Rng(std::uint64_t seed);
+
+  /// Next raw 64-bit output.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound) using rejection sampling; bound must be
+  /// nonzero. Unbiased.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with probability `p` of returning true.
+  bool chance(double p);
+
+  /// Derives an independent child generator. Used to give each component
+  /// its own stream so that adding draws in one place does not perturb the
+  /// sequence seen elsewhere.
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace faust

@@ -1,0 +1,12 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1), built on our SHA-256.
+#pragma once
+
+#include "crypto/sha256.h"
+
+namespace faust::crypto {
+
+/// Computes HMAC-SHA256(key, data). Keys of any length are accepted; keys
+/// longer than the block size are hashed first, per the standard.
+Hash hmac_sha256(BytesView key, BytesView data);
+
+}  // namespace faust::crypto

@@ -1,0 +1,160 @@
+#include "crypto/merkle_sig.h"
+
+#include "common/check.h"
+#include "wire/encoder.h"
+
+namespace faust::crypto {
+namespace {
+
+constexpr int kDigestBits = 256;
+
+/// Extracts bit `i` (0 = MSB of byte 0) of a 32-byte digest.
+int digest_bit(const Hash& d, int i) {
+  return (d[static_cast<std::size_t>(i / 8)] >> (7 - i % 8)) & 1;
+}
+
+Hash hash_pair(const Hash& left, const Hash& right) {
+  Sha256 h;
+  h.update(BytesView(left.data(), left.size()));
+  h.update(BytesView(right.data(), right.size()));
+  return h.finish();
+}
+
+}  // namespace
+
+MerkleSignatureScheme::MerkleSignatureScheme(int num_clients, BytesView master_seed,
+                                             int height)
+    : height_(height), capacity_(1ULL << height), seed_(master_seed.begin(), master_seed.end()) {
+  FAUST_CHECK(num_clients >= 1);
+  FAUST_CHECK(height >= 1 && height <= 20);
+  keys_.resize(static_cast<std::size_t>(num_clients));
+  for (ClientId c = 1; c <= num_clients; ++c) {
+    ClientKeys& ck = keys_[static_cast<std::size_t>(c - 1)];
+    ck.tree.resize(static_cast<std::size_t>(height_) + 1);
+    auto& leaves = ck.tree[0];
+    leaves.reserve(capacity_);
+    for (std::uint64_t leaf = 0; leaf < capacity_; ++leaf) {
+      leaves.push_back(leaf_hash(c, leaf));
+    }
+    for (int level = 1; level <= height_; ++level) {
+      const auto& below = ck.tree[static_cast<std::size_t>(level - 1)];
+      auto& here = ck.tree[static_cast<std::size_t>(level)];
+      here.reserve(below.size() / 2);
+      for (std::size_t k = 0; k + 1 < below.size(); k += 2) {
+        here.push_back(hash_pair(below[k], below[k + 1]));
+      }
+    }
+  }
+}
+
+Hash MerkleSignatureScheme::secret(ClientId signer, std::uint64_t leaf, int position,
+                                   int bit) const {
+  Bytes material = to_bytes("faust-mss-secret");
+  append(material, seed_);
+  append_u32(material, static_cast<std::uint32_t>(signer));
+  append_u64(material, leaf);
+  append_u32(material, static_cast<std::uint32_t>(position));
+  append_byte(material, static_cast<std::uint8_t>(bit));
+  return Sha256::digest(material);
+}
+
+Hash MerkleSignatureScheme::leaf_hash(ClientId signer, std::uint64_t leaf) const {
+  Sha256 h;
+  for (int i = 0; i < kDigestBits; ++i) {
+    for (int b = 0; b < 2; ++b) {
+      const Hash sk = secret(signer, leaf, i, b);
+      const Hash pk = Sha256::digest(BytesView(sk.data(), sk.size()));
+      h.update(BytesView(pk.data(), pk.size()));
+    }
+  }
+  return h.finish();
+}
+
+std::size_t MerkleSignatureScheme::signature_size() const {
+  // leaf index + 256 revealed secrets + 256 complement hashes + auth path.
+  return 8 + 2 * kDigestBits * 32 + static_cast<std::size_t>(height_) * 32;
+}
+
+Bytes MerkleSignatureScheme::sign(ClientId signer, BytesView message) const {
+  FAUST_CHECK(signer >= 1 && static_cast<std::size_t>(signer) <= keys_.size());
+  ClientKeys& ck = keys_[static_cast<std::size_t>(signer - 1)];
+  FAUST_CHECK(ck.next_leaf < capacity_);  // one-time keys exhausted: misuse
+  const std::uint64_t leaf = ck.next_leaf++;
+
+  const Hash digest = Sha256::digest(message);
+  wire::Writer w;
+  w.put_u64(leaf);
+  for (int i = 0; i < kDigestBits; ++i) {
+    const int bit = digest_bit(digest, i);
+    // Revealed secret for the digest bit, hash of the complement secret.
+    const Hash revealed = secret(signer, leaf, i, bit);
+    const Hash complement_sk = secret(signer, leaf, i, 1 - bit);
+    const Hash complement_pk = Sha256::digest(BytesView(complement_sk.data(), complement_sk.size()));
+    w.put_raw(BytesView(revealed.data(), revealed.size()));
+    w.put_raw(BytesView(complement_pk.data(), complement_pk.size()));
+  }
+  // Authentication path: sibling at every level.
+  std::uint64_t index = leaf;
+  for (int level = 0; level < height_; ++level) {
+    const std::uint64_t sibling = index ^ 1;
+    const Hash& s = ck.tree[static_cast<std::size_t>(level)][sibling];
+    w.put_raw(BytesView(s.data(), s.size()));
+    index >>= 1;
+  }
+  return w.take();
+}
+
+bool MerkleSignatureScheme::verify(ClientId signer, BytesView message,
+                                   BytesView signature) const {
+  if (signer < 1 || static_cast<std::size_t>(signer) > keys_.size()) return false;
+  if (signature.size() != signature_size()) return false;
+
+  wire::Reader r(signature);
+  const std::uint64_t leaf = r.get_u64();
+  if (leaf >= capacity_) return false;
+
+  const Hash digest = Sha256::digest(message);
+  // Rebuild the leaf public key from revealed secrets + complement hashes.
+  Sha256 leaf_h;
+  for (int i = 0; i < kDigestBits; ++i) {
+    const Bytes revealed = r.get_raw(32);
+    const Bytes complement_pk = r.get_raw(32);
+    if (!r.ok()) return false;
+    const Hash revealed_pk = Sha256::digest(revealed);
+    const int bit = digest_bit(digest, i);
+    // Order in the leaf preimage is always (bit 0 value, bit 1 value).
+    if (bit == 0) {
+      leaf_h.update(BytesView(revealed_pk.data(), revealed_pk.size()));
+      leaf_h.update(complement_pk);
+    } else {
+      leaf_h.update(complement_pk);
+      leaf_h.update(BytesView(revealed_pk.data(), revealed_pk.size()));
+    }
+  }
+  Hash node = leaf_h.finish();
+
+  // Climb the authentication path to the root.
+  std::uint64_t index = leaf;
+  for (int level = 0; level < height_; ++level) {
+    const Bytes sibling_raw = r.get_raw(32);
+    if (!r.ok()) return false;
+    Hash sibling;
+    std::copy(sibling_raw.begin(), sibling_raw.end(), sibling.begin());
+    node = (index & 1) == 0 ? hash_pair(node, sibling) : hash_pair(sibling, node);
+    index >>= 1;
+  }
+  if (!r.exhausted()) return false;
+  return node == public_key(signer);
+}
+
+const Hash& MerkleSignatureScheme::public_key(ClientId signer) const {
+  FAUST_CHECK(signer >= 1 && static_cast<std::size_t>(signer) <= keys_.size());
+  return keys_[static_cast<std::size_t>(signer - 1)].tree[static_cast<std::size_t>(height_)][0];
+}
+
+std::uint64_t MerkleSignatureScheme::signatures_remaining(ClientId signer) const {
+  FAUST_CHECK(signer >= 1 && static_cast<std::size_t>(signer) <= keys_.size());
+  return capacity_ - keys_[static_cast<std::size_t>(signer - 1)].next_leaf;
+}
+
+}  // namespace faust::crypto

@@ -1,0 +1,66 @@
+// Hash-based digital signatures: Lamport one-time signatures certified by
+// a Merkle tree (the classic Merkle signature scheme, MSS).
+//
+// Unlike the default HMAC scheme (which relies on keeping MAC keys away
+// from the server), these are *true* digital signatures built only on the
+// collision resistance of SHA-256: verification needs nothing but the
+// signer's public Merkle root, so even the untrusted server could verify
+// them. They are stateful (each one-time key may sign exactly once) and
+// bulky (~16.5 kB per signature) — the textbook trade-off, quantified in
+// bench_crypto. Swapping them into USTOR/FAUST requires no protocol
+// change whatsoever (DESIGN.md decision D4); crypto_test runs the full
+// protocol over them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/signature.h"
+
+namespace faust::crypto {
+
+/// Merkle signature scheme for n clients; each client can issue 2^height
+/// signatures. All key material derives deterministically from
+/// `master_seed` (clients would hold only their own chain in a real
+/// deployment; co-locating them mirrors HmacSignatureScheme's testing
+/// arrangement).
+class MerkleSignatureScheme final : public SignatureScheme {
+ public:
+  MerkleSignatureScheme(int num_clients, BytesView master_seed, int height = 6);
+
+  /// Signs with the next unused one-time key of `signer`. Aborts via
+  /// FAUST_CHECK if the signer exhausted its 2^height keys.
+  Bytes sign(ClientId signer, BytesView message) const override;
+
+  bool verify(ClientId signer, BytesView message, BytesView signature) const override;
+
+  std::size_t signature_size() const override;
+
+  /// The signer's public key (Merkle root over its one-time keys).
+  const Hash& public_key(ClientId signer) const;
+
+  /// One-time keys left for `signer`.
+  std::uint64_t signatures_remaining(ClientId signer) const;
+
+  int height() const { return height_; }
+
+ private:
+  struct ClientKeys {
+    // tree[0] = leaf hashes (2^h), tree[k] = level k, tree[h] = {root}.
+    std::vector<std::vector<Hash>> tree;
+    std::uint64_t next_leaf = 0;  // consumed by sign()
+  };
+
+  /// Secret value for (leaf, digest-bit position, bit value).
+  Hash secret(ClientId signer, std::uint64_t leaf, int position, int bit) const;
+
+  /// Leaf public key: H(concat of the 512 per-secret hashes).
+  Hash leaf_hash(ClientId signer, std::uint64_t leaf) const;
+
+  const int height_;
+  const std::uint64_t capacity_;  // 2^height
+  Bytes seed_;
+  mutable std::vector<ClientKeys> keys_;  // sign() consumes leaves
+};
+
+}  // namespace faust::crypto

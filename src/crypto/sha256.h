@@ -1,0 +1,47 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// This is the collision-resistant hash function H assumed in §2 of the
+// paper. It backs register-value hashes, the digest chains D(ω1..ωm) of
+// §5, and the HMAC-based signature scheme.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace faust::crypto {
+
+/// A 32-byte SHA-256 output.
+using Hash = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 context. Typical use:
+///   Sha256 h; h.update(a); h.update(b); Hash d = h.finish();
+/// `finish()` may be called exactly once.
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Absorbs `data` into the hash state.
+  void update(BytesView data);
+
+  /// Completes padding and returns the digest. The context must not be
+  /// used afterwards.
+  Hash finish();
+
+  /// One-shot convenience: SHA-256(data).
+  static Hash digest(BytesView data);
+
+ private:
+  void compress(const std::uint8_t block[64]);
+
+  std::uint32_t state_[8];
+  std::uint64_t total_len_ = 0;        // bytes absorbed so far
+  std::uint8_t buffer_[64];            // partial block
+  std::size_t buffer_len_ = 0;
+};
+
+/// Converts a Hash to Bytes (for wire encoding / concatenation).
+Bytes hash_to_bytes(const Hash& h);
+
+}  // namespace faust::crypto

@@ -1,0 +1,41 @@
+#include "crypto/signature.h"
+
+#include "common/check.h"
+#include "crypto/hmac.h"
+
+namespace faust::crypto {
+
+HmacSignatureScheme::HmacSignatureScheme(int num_clients, BytesView master_seed) {
+  FAUST_CHECK(num_clients >= 1);
+  keys_.reserve(static_cast<std::size_t>(num_clients));
+  for (int i = 1; i <= num_clients; ++i) {
+    // key_i = SHA-256("faust-client-key" || master_seed || i)
+    Bytes material = to_bytes("faust-client-key");
+    append(material, master_seed);
+    append_u32(material, static_cast<std::uint32_t>(i));
+    keys_.push_back(hash_to_bytes(Sha256::digest(material)));
+  }
+}
+
+const Bytes& HmacSignatureScheme::key_for(ClientId signer) const {
+  FAUST_CHECK(signer >= 1 && static_cast<std::size_t>(signer) <= keys_.size());
+  return keys_[static_cast<std::size_t>(signer - 1)];
+}
+
+Bytes HmacSignatureScheme::sign(ClientId signer, BytesView message) const {
+  return hash_to_bytes(hmac_sha256(key_for(signer), message));
+}
+
+bool HmacSignatureScheme::verify(ClientId signer, BytesView message, BytesView signature) const {
+  if (signer < 1 || static_cast<std::size_t>(signer) > keys_.size()) return false;
+  const Bytes expected = hash_to_bytes(hmac_sha256(key_for(signer), message));
+  return constant_time_equal(expected, signature);
+}
+
+std::shared_ptr<SignatureScheme> make_hmac_scheme(int num_clients, std::uint64_t seed) {
+  Bytes seed_bytes;
+  append_u64(seed_bytes, seed);
+  return std::make_shared<HmacSignatureScheme>(num_clients, seed_bytes);
+}
+
+}  // namespace faust::crypto

@@ -1,0 +1,73 @@
+// Client signatures (the sign_i / verify_i primitives of §2).
+//
+// The paper assumes digital signatures: only C_i can produce a signature
+// that verify_i accepts, and every party can verify.  We substitute
+// HMAC-SHA256 with per-client keys held in a keystore that is distributed
+// to CLIENTS ONLY (see DESIGN.md §2): in this protocol the untrusted
+// server never verifies a signature, so withholding the MAC keys from the
+// server preserves the adversary model exactly — the server cannot forge
+// any client's signature.  The `SignatureScheme` interface admits a real
+// asymmetric scheme without touching protocol code; `NullSignatureScheme`
+// exists to measure the cost of cryptography (bench C6).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+#include "crypto/sha256.h"
+
+namespace faust::crypto {
+
+/// Abstract signing/verification facility shared by the n clients.
+///
+/// Thread-compatibility: instances are used from a single simulation
+/// thread; implementations need not be thread-safe.
+class SignatureScheme {
+ public:
+  virtual ~SignatureScheme() = default;
+
+  /// Produces signer's signature over `message`.
+  virtual Bytes sign(ClientId signer, BytesView message) const = 0;
+
+  /// Checks that `signature` is `signer`'s signature over `message`.
+  virtual bool verify(ClientId signer, BytesView message, BytesView signature) const = 0;
+
+  /// Size in bytes of a signature (fixed per scheme; used by the wire
+  /// format and the overhead bench).
+  virtual std::size_t signature_size() const = 0;
+};
+
+/// HMAC-SHA256 "signatures" with one key per client, all derived from a
+/// master seed. Holds the keys of all n clients; hand an instance to each
+/// client but never to the server.
+class HmacSignatureScheme final : public SignatureScheme {
+ public:
+  /// Derives n client keys from `master_seed` (domain-separated SHA-256).
+  HmacSignatureScheme(int num_clients, BytesView master_seed);
+
+  Bytes sign(ClientId signer, BytesView message) const override;
+  bool verify(ClientId signer, BytesView message, BytesView signature) const override;
+  std::size_t signature_size() const override { return 32; }
+
+ private:
+  const Bytes& key_for(ClientId signer) const;
+
+  std::vector<Bytes> keys_;  // keys_[i-1] belongs to client i
+};
+
+/// No-op scheme: empty signatures, verification always succeeds. ONLY for
+/// the crypto-cost ablation bench; offers zero protection.
+class NullSignatureScheme final : public SignatureScheme {
+ public:
+  Bytes sign(ClientId, BytesView) const override { return {}; }
+  bool verify(ClientId, BytesView, BytesView) const override { return true; }
+  std::size_t signature_size() const override { return 0; }
+};
+
+/// Convenience factory: HMAC scheme for `num_clients` clients seeded from a
+/// fixed test seed.
+std::shared_ptr<SignatureScheme> make_hmac_scheme(int num_clients, std::uint64_t seed = 0x5eed);
+
+}  // namespace faust::crypto

@@ -1,0 +1,76 @@
+#include "faust/cluster.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace faust {
+
+Cluster::Cluster(ClusterConfig config) : config_(config) {
+  FAUST_CHECK(config_.n >= 1);
+  Rng root(config_.seed);
+  net_ = std::make_unique<net::Network>(sched_, root.fork(), config_.delay);
+  mail_ = std::make_unique<net::Mailbox>(sched_, root.fork(), config_.mail_min_delay,
+                                         config_.mail_max_delay);
+  sigs_ = crypto::make_hmac_scheme(config_.n, root.next_u64());
+  if (config_.with_server) {
+    server_ = std::make_unique<ustor::Server>(config_.n, *net_);
+  }
+  clients_.reserve(static_cast<std::size_t>(config_.n));
+  for (ClientId i = 1; i <= config_.n; ++i) {
+    clients_.push_back(std::make_unique<FaustClient>(i, config_.n, sigs_, *net_, *mail_,
+                                                     sched_, config_.faust));
+  }
+}
+
+FaustClient& Cluster::client(ClientId i) {
+  FAUST_CHECK(i >= 1 && i <= config_.n);
+  return *clients_[static_cast<std::size_t>(i - 1)];
+}
+
+Timestamp Cluster::write(ClientId i, std::string_view value, std::size_t step_budget) {
+  const int rec =
+      recorder_.begin(i, ustor::OpCode::kWrite, i, to_bytes(value), sched_.now());
+  bool done = false;
+  Timestamp out = 0;
+  client(i).write(to_bytes(value), [&](Timestamp t) {
+    done = true;
+    out = t;
+  });
+  std::size_t steps = 0;
+  while (!done && steps < step_budget && sched_.step()) ++steps;
+  if (done) recorder_.end(rec, sched_.now(), out);
+  return out;
+}
+
+ustor::Value Cluster::read(ClientId i, ClientId j, bool* completed, std::size_t step_budget) {
+  const int rec = recorder_.begin(i, ustor::OpCode::kRead, j, std::nullopt, sched_.now());
+  bool done = false;
+  Timestamp ts = 0;
+  ustor::Value out;
+  client(i).read(j, [&](const ustor::Value& v, Timestamp t) {
+    done = true;
+    ts = t;
+    out = v;
+  });
+  std::size_t steps = 0;
+  while (!done && steps < step_budget && sched_.step()) ++steps;
+  if (done) recorder_.end(rec, sched_.now(), ts, out);
+  if (completed != nullptr) *completed = done;
+  return out;
+}
+
+bool Cluster::any_failed() const {
+  for (const auto& c : clients_) {
+    if (c->failed()) return true;
+  }
+  return false;
+}
+
+bool Cluster::all_failed() const {
+  for (const auto& c : clients_) {
+    if (!c->failed()) return false;
+  }
+  return true;
+}
+
+}  // namespace faust

@@ -1,0 +1,86 @@
+// Cluster — one-call assembly of a full FAUST deployment inside the
+// simulator: scheduler, network, offline mailbox, signature scheme, a
+// server (correct by default; adversarial servers can be attached
+// instead), n FaustClients, and a history recorder feeding the checkers.
+//
+// Used by the examples, the benches and most integration tests.  The
+// synchronous `write`/`read` helpers drive the event loop until the
+// operation completes (or a step budget expires, e.g. under a crashed
+// server), which keeps scenario scripts readable.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "checker/history.h"
+#include "crypto/signature.h"
+#include "faust/faust_client.h"
+#include "net/mailbox.h"
+#include "net/network.h"
+#include "sim/scheduler.h"
+#include "ustor/server.h"
+
+namespace faust {
+
+/// Knobs for Cluster assembly.
+struct ClusterConfig {
+  int n = 3;
+  std::uint64_t seed = 1;
+  net::DelayModel delay{1, 10};       // client↔server channel delay
+  sim::Time mail_min_delay = 50;      // offline channel latency
+  sim::Time mail_max_delay = 200;
+  FaustConfig faust;                  // FAUST timers
+  bool with_server = true;            // false: caller attaches own server
+};
+
+/// A fully wired simulated deployment.
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config = {});
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  sim::Scheduler& sched() { return sched_; }
+  net::Network& net() { return *net_; }
+  net::Mailbox& mail() { return *mail_; }
+  const std::shared_ptr<const crypto::SignatureScheme>& sigs() const { return sigs_; }
+  int n() const { return config_.n; }
+
+  FaustClient& client(ClientId i);
+
+  /// The correct server, or nullptr when with_server was false.
+  ustor::Server* server() { return server_.get(); }
+
+  /// History recorded by the synchronous helpers (checker input).
+  checker::HistoryRecorder& recorder() { return recorder_; }
+
+  /// Synchronous write at client i; returns the operation timestamp, or 0
+  /// if the operation did not complete within `step_budget` events.
+  Timestamp write(ClientId i, std::string_view value, std::size_t step_budget = 1'000'000);
+
+  /// Synchronous read of register j at client i. `completed`, if given,
+  /// reports whether the operation finished (⊥ is a legal return value,
+  /// so the value alone cannot tell).
+  ustor::Value read(ClientId i, ClientId j, bool* completed = nullptr,
+                    std::size_t step_budget = 1'000'000);
+
+  /// Advances virtual time by `d`, processing everything due in between.
+  void run_for(sim::Time d) { sched_.run_until(sched_.now() + d); }
+
+  bool any_failed() const;
+  bool all_failed() const;
+
+ private:
+  const ClusterConfig config_;
+  sim::Scheduler sched_;
+  std::unique_ptr<net::Network> net_;
+  std::unique_ptr<net::Mailbox> mail_;
+  std::shared_ptr<const crypto::SignatureScheme> sigs_;
+  std::unique_ptr<ustor::Server> server_;
+  std::vector<std::unique_ptr<FaustClient>> clients_;
+  checker::HistoryRecorder recorder_;
+};
+
+}  // namespace faust

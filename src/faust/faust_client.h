@@ -1,0 +1,208 @@
+// FAUST — the fail-aware untrusted storage service of §6 (Figure 4).
+//
+// FaustClient wraps the USTOR engine's extended operations and adds:
+//   * timestamps in user responses (Def. 5, Integrity),
+//   * the stable_i(W) output action — the stability cut of Figure 2,
+//   * the fail_i output action with accurate failure detection,
+//   * periodic dummy reads (stability propagation through the server),
+//   * the offline PROBE / VERSION / FAILURE protocol between clients,
+//     which keeps detection complete even when the server crashes or
+//     partitions clients (Def. 5, Detection completeness).
+//
+// As an extension beyond the paper, FAILURE messages carry transferable
+// evidence when available (two signed, mutually incomparable versions);
+// receivers verify the evidence before alarming, so a buggy peer cannot
+// spuriously take the service down (see DESIGN.md).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+#include "crypto/signature.h"
+#include "net/mailbox.h"
+#include "net/network.h"  // Mailbox users still need the sim network
+#include "sim/scheduler.h"
+#include "ustor/client.h"
+
+namespace faust {
+
+/// Why fail_i fired (the paper has a single fail event; the reason is
+/// diagnostic and feeds the attack-campaign bench).
+enum class FailureReason {
+  kUstorDetected,         // USTOR check failed (lines 35–52)
+  kIncomparableVersions,  // two known versions violate ≼-comparability
+  kPeerReport,            // a FAILURE message (verified if evidence-bearing)
+};
+
+/// Tuning knobs for the background machinery. Times are in sim ticks.
+struct FaustConfig {
+  /// Cadence of dummy reads issued while idle (0 disables them).
+  sim::Time dummy_read_period = 500;
+  /// Δ of §6: probe a client whose VER entry is older than this.
+  sim::Time probe_interval = 5000;
+  /// How often to scan VER for stale entries.
+  sim::Time probe_check_period = 1000;
+};
+
+/// Everything a client knew at the moment it declared the server faulty —
+/// the input to the "recovery procedure" §3 alludes to, and the audit
+/// trail an operator would attach to a complaint against the provider.
+struct FailureReport {
+  FailureReason reason{};
+  /// Transferable proof (two signed, ≼-incomparable versions), when the
+  /// detection produced one; independently checkable by any party holding
+  /// the clients' verification keys.
+  std::optional<ustor::FailureMessage> evidence;
+  /// Snapshot of VER at detection time: (committer, signed version) per
+  /// slot with anything known.
+  std::vector<std::pair<ClientId, ustor::SignedVersion>> known_versions;
+};
+
+/// Re-verifies a failure report's evidence: both signatures valid and the
+/// versions mutually ≼-incomparable. Anyone with the scheme can run this.
+bool verify_failure_evidence(const crypto::SignatureScheme& sigs, int n,
+                             const ustor::FailureMessage& evidence);
+
+/// A fail-aware client: the user-facing API of the FAUST service.
+class FaustClient {
+ public:
+  /// W vector handed to stable_i: W[j-1] is the largest timestamp t such
+  /// that all own operations with timestamp <= t are stable w.r.t. C_j.
+  using StabilityCut = std::vector<Timestamp>;
+
+  using StableHandler = std::function<void(const StabilityCut&)>;
+  using FailHandler = std::function<void(FailureReason)>;
+  using WriteHandler = std::function<void(Timestamp)>;
+  using ReadHandler = std::function<void(const ustor::Value&, Timestamp)>;
+
+  FaustClient(ClientId id, int n, std::shared_ptr<const crypto::SignatureScheme> sigs,
+              net::Transport& net, net::Mailbox& mail, sim::Scheduler& sched,
+              FaustConfig config = {});
+  ~FaustClient();
+
+  FaustClient(const FaustClient&) = delete;
+  FaustClient& operator=(const FaustClient&) = delete;
+
+  /// Writes `value` to own register X_i; `done(t)` delivers the operation
+  /// timestamp. Operations queue behind any in-flight (user or dummy) op.
+  void write(Bytes value, WriteHandler done = {});
+
+  /// Reads register X_j; `done(value, t)` as above.
+  void read(ClientId j, ReadHandler done = {});
+
+  /// stable_i — fired whenever the stability cut advances.
+  StableHandler on_stable;
+
+  /// fail_i — fired at most once; afterwards the client is halted.
+  FailHandler on_fail;
+
+  bool failed() const { return failed_; }
+  std::optional<FailureReason> failure_reason() const { return failure_reason_; }
+
+  /// Audit record captured at detection; nullopt while healthy.
+  const std::optional<FailureReport>& failure_report() const { return failure_report_; }
+
+  /// Current stability cut W (all zeros initially).
+  const StabilityCut& stability_cut() const { return W_; }
+
+  /// Largest own timestamp stable w.r.t. *all* clients (min over W); the
+  /// prefix of the execution up to it is linearizable (Def. 5 item 6).
+  Timestamp fully_stable_timestamp() const;
+
+  /// Scenario scripting: an offline client issues no dummy reads/probes
+  /// and receives mailbox messages only after coming back online.
+  void go_offline();
+  void go_online();
+  bool online() const { return online_; }
+
+  ClientId id() const { return id_; }
+  int n() const { return n_; }
+
+  /// The wrapped protocol engine (tests inspect it).
+  ustor::Client& engine() { return ustor_; }
+
+  /// Diagnostics: dummy reads issued, probes sent, version msgs received.
+  std::uint64_t dummy_reads() const { return dummy_reads_; }
+  std::uint64_t probes_sent() const { return probes_sent_; }
+  std::uint64_t versions_received() const { return versions_received_; }
+
+ private:
+  /// VER_i[j] of §6: the maximal version known to stem from C_j's
+  /// knowledge, with the id of the client that committed it.
+  struct KnownVersion {
+    ClientId committer = 0;  // 0 = nothing known yet
+    ustor::SignedVersion sv;
+    sim::Time updated_at = 0;
+  };
+
+  struct PendingUserOp {
+    bool is_write = false;
+    Bytes value;        // writes
+    ClientId target = 0;  // reads
+    WriteHandler write_done;
+    ReadHandler read_done;
+  };
+
+  KnownVersion& ver(ClientId j) { return VER_[static_cast<std::size_t>(j - 1)]; }
+
+  /// Starts the next queued user op if the engine is idle.
+  void pump();
+  void start_op(PendingUserOp op);
+
+  void arm_dummy_timer();
+  void arm_probe_timer();
+  void dummy_tick();
+  void probe_tick();
+
+  /// Folds a freshly learned version into VER (slot `j`), running the
+  /// comparability check. Returns false iff a failure was detected.
+  bool ingest(ClientId j, ClientId committer, const ustor::SignedVersion& sv,
+              bool already_verified);
+
+  /// Recomputes W from VER and fires on_stable if the cut advanced.
+  void recompute_stability();
+
+  void detect_failure(FailureReason reason,
+                      std::optional<ustor::FailureMessage> evidence);
+  void handle_mail(ClientId from, BytesView msg);
+  void handle_version_msg(ClientId from, const ustor::VersionMessage& m);
+  void handle_failure_msg(const ustor::FailureMessage& m);
+
+  /// True iff both signed versions verify and are mutually incomparable.
+  bool evidence_valid(const ustor::FailureMessage& m) const;
+
+  const ClientId id_;
+  const int n_;
+  const std::shared_ptr<const crypto::SignatureScheme> sigs_;
+  net::Mailbox& mail_;
+  sim::Scheduler& sched_;
+  const FaustConfig config_;
+  ustor::Client ustor_;
+
+  std::vector<KnownVersion> VER_;
+  ClientId max_slot_ = 0;  // max_i of §6; 0 until any version is known
+  StabilityCut W_;
+  bool stable_dirty_ = false;
+
+  std::deque<PendingUserOp> queue_;
+  bool op_in_flight_ = false;
+  ClientId next_dummy_target_ = 0;
+
+  bool online_ = true;
+  bool failed_ = false;
+  std::optional<FailureReason> failure_reason_;
+  std::optional<FailureReport> failure_report_;
+
+  sim::EventId dummy_timer_ = 0;
+  sim::EventId probe_timer_ = 0;
+
+  std::uint64_t dummy_reads_ = 0;
+  std::uint64_t probes_sent_ = 0;
+  std::uint64_t versions_received_ = 0;
+};
+
+}  // namespace faust

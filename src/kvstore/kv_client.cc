@@ -1,0 +1,104 @@
+#include "kvstore/kv_client.h"
+
+#include <memory>
+#include <utility>
+
+#include "wire/encoder.h"
+
+namespace faust::kv {
+
+Bytes encode_map(const std::map<std::string, std::pair<std::string, std::uint64_t>>& m) {
+  wire::Writer w;
+  w.put_u32(static_cast<std::uint32_t>(m.size()));
+  for (const auto& [key, entry] : m) {
+    w.put_bytes(to_bytes(key));
+    w.put_bytes(to_bytes(entry.first));
+    w.put_u64(entry.second);
+  }
+  return w.take();
+}
+
+std::optional<std::map<std::string, std::pair<std::string, std::uint64_t>>> decode_map(
+    BytesView data) {
+  wire::Reader r(data);
+  const std::uint32_t count = r.get_u32();
+  if (!r.ok() || count > (1u << 20)) return std::nullopt;
+  std::map<std::string, std::pair<std::string, std::uint64_t>> m;
+  for (std::uint32_t k = 0; k < count && r.ok(); ++k) {
+    const std::string key = to_string(r.get_bytes());
+    const std::string value = to_string(r.get_bytes());
+    const std::uint64_t seq = r.get_u64();
+    m[key] = {value, seq};
+  }
+  if (!r.ok() || !r.exhausted()) return std::nullopt;
+  return m;
+}
+
+KvClient::KvClient(FaustClient& faust) : faust_(faust) {}
+
+void KvClient::put(std::string key, std::string value, PutHandler done) {
+  own_[std::move(key)] = {std::move(value), ++put_seq_};
+  publish(std::move(done));
+}
+
+void KvClient::erase(const std::string& key, PutHandler done) {
+  own_.erase(key);
+  ++put_seq_;  // keeps (seq, writer) strictly advancing across publications
+  publish(std::move(done));
+}
+
+void KvClient::publish(PutHandler done) {
+  faust_.write(encode_map(own_), [done = std::move(done)](Timestamp t) {
+    if (done) done(t);
+  });
+}
+
+void KvClient::snapshot(std::function<void(std::map<std::string, KvEntry>)> done) {
+  // Read all n partitions sequentially (the FAUST client runs one op at a
+  // time anyway), merging as results arrive.
+  auto merged = std::make_shared<std::map<std::string, KvEntry>>();
+  auto done_ptr =
+      std::make_shared<std::function<void(std::map<std::string, KvEntry>)>>(std::move(done));
+  read_partition(1, merged, done_ptr);
+}
+
+void KvClient::read_partition(
+    ClientId j, std::shared_ptr<std::map<std::string, KvEntry>> merged,
+    std::shared_ptr<std::function<void(std::map<std::string, KvEntry>)>> done) {
+  if (j > faust_.n()) {
+    (*done)(std::move(*merged));
+    return;
+  }
+  faust_.read(j, [this, j, merged, done](const ustor::Value& v, Timestamp) {
+    if (v.has_value()) {
+      if (const auto part = decode_map(*v)) {
+        for (const auto& [key, entry] : *part) {
+          const auto it = merged->find(key);
+          // Winner: lexicographically largest (seq, writer).
+          if (it == merged->end() || entry.second > it->second.seq ||
+              (entry.second == it->second.seq && j > it->second.writer)) {
+            (*merged)[key] = KvEntry{entry.first, j, entry.second};
+          }
+        }
+      }
+    }
+    read_partition(j + 1, merged, done);
+  });
+}
+
+void KvClient::get(const std::string& key, GetHandler done) {
+  snapshot([key, done = std::move(done)](std::map<std::string, KvEntry> merged) {
+    auto it = merged.find(key);
+    if (it == merged.end()) {
+      done(std::nullopt);
+    } else {
+      done(std::move(it->second));
+    }
+  });
+}
+
+void KvClient::list(ListHandler done) {
+  snapshot([done = std::move(done)](std::map<std::string, KvEntry> merged) { done(merged); });
+}
+
+}  // namespace faust::kv

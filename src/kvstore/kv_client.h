@@ -1,0 +1,87 @@
+// A multi-writer key-value store layered on FAUST's single-writer
+// registers — the same move SUNDR uses to build a filesystem over
+// per-principal blocks, and a template for the "variety of additional
+// services" the paper's conclusion envisions.
+//
+// Layout: client C_i serializes its private map key → (value, seq) into
+// its own register X_i on every put (seq is C_i's put counter). A get(k)
+// reads all n registers and merges: the winning entry for k is the one
+// with the lexicographically largest (seq, writer) pair. The merge is
+// deterministic, so any two clients with consistent registers agree on
+// every key — and FAUST's stability cut therefore applies verbatim to KV
+// state: once the underlying register writes are stable, so is the merged
+// view. All fail-aware semantics (fail_i, stability, causality) are
+// inherited from the FAUST layer for free.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "faust/faust_client.h"
+
+namespace faust::kv {
+
+/// One key's winning entry, with its provenance.
+struct KvEntry {
+  std::string value;
+  ClientId writer = 0;       // who wrote the winning value
+  std::uint64_t seq = 0;     // the writer's put counter at that put
+};
+
+/// Serialization of a client's private map (exposed for tests).
+Bytes encode_map(const std::map<std::string, std::pair<std::string, std::uint64_t>>& m);
+std::optional<std::map<std::string, std::pair<std::string, std::uint64_t>>> decode_map(
+    BytesView data);
+
+/// Key-value facade over one FaustClient.
+class KvClient {
+ public:
+  using PutHandler = std::function<void(Timestamp)>;
+  using GetHandler = std::function<void(std::optional<KvEntry>)>;
+  using ListHandler = std::function<void(const std::map<std::string, KvEntry>&)>;
+
+  /// Borrows `faust`; the caller keeps it alive. Multiple KvClients must
+  /// not share one FaustClient.
+  explicit KvClient(FaustClient& faust);
+
+  /// Upserts key := value in this client's partition and publishes the
+  /// whole partition to its register. `done` receives the register
+  /// write's FAUST timestamp.
+  void put(std::string key, std::string value, PutHandler done = {});
+
+  /// Removes `key` from this client's partition (other writers' entries
+  /// for the key survive and may win subsequent merges).
+  void erase(const std::string& key, PutHandler done = {});
+
+  /// Merged lookup across all n partitions (issues n register reads).
+  void get(const std::string& key, GetHandler done);
+
+  /// Full merged snapshot across all partitions.
+  void list(ListHandler done);
+
+  /// This client's own pending partition (local, pre-publication view).
+  const std::map<std::string, std::pair<std::string, std::uint64_t>>& own_partition() const {
+    return own_;
+  }
+
+  FaustClient& faust() { return faust_; }
+
+ private:
+  void publish(PutHandler done);
+
+  /// Collects all n registers, then merges and calls `done`.
+  void snapshot(std::function<void(std::map<std::string, KvEntry>)> done);
+
+  /// Reads partition j, merges it, recurses to j+1; fires `done` past n.
+  void read_partition(ClientId j, std::shared_ptr<std::map<std::string, KvEntry>> merged,
+                      std::shared_ptr<std::function<void(std::map<std::string, KvEntry>)>> done);
+
+  FaustClient& faust_;
+  std::map<std::string, std::pair<std::string, std::uint64_t>> own_;  // key -> (value, seq)
+  std::uint64_t put_seq_ = 0;
+};
+
+}  // namespace faust::kv

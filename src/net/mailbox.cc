@@ -1,0 +1,62 @@
+#include "net/mailbox.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace faust::net {
+
+Mailbox::Mailbox(sim::Scheduler& sched, Rng rng, sim::Time min_delay, sim::Time max_delay)
+    : sched_(sched), rng_(std::move(rng)), min_delay_(min_delay), max_delay_(max_delay) {}
+
+void Mailbox::register_client(ClientId client, Handler handler) {
+  Box& box = boxes_[client];
+  box.handler = std::move(handler);
+}
+
+void Mailbox::set_online(ClientId client, bool online) {
+  Box& box = boxes_[client];
+  const bool was_online = box.is_online;
+  box.is_online = online;
+  if (!was_online && online) flush(client);
+}
+
+bool Mailbox::online(ClientId client) const {
+  auto it = boxes_.find(client);
+  return it != boxes_.end() && it->second.is_online;
+}
+
+void Mailbox::post(ClientId from, ClientId to, Bytes msg) {
+  ++posted_;
+  Letter letter{from, std::move(msg)};
+  Box& box = boxes_[to];
+  if (box.is_online) {
+    schedule_delivery(to, std::move(letter));
+  } else {
+    box.queue.push_back(std::move(letter));
+  }
+}
+
+void Mailbox::flush(ClientId client) {
+  Box& box = boxes_[client];
+  while (!box.queue.empty()) {
+    schedule_delivery(client, std::move(box.queue.front()));
+    box.queue.pop_front();
+  }
+}
+
+void Mailbox::schedule_delivery(ClientId to, Letter letter) {
+  const sim::Time delay =
+      min_delay_ == max_delay_ ? min_delay_ : rng_.next_in(min_delay_, max_delay_);
+  sched_.after(delay, [this, to, l = std::move(letter)]() {
+    Box& box = boxes_[to];
+    if (!box.is_online) {
+      // Went offline again before delivery; requeue (still never lost).
+      box.queue.push_back(l);
+      return;
+    }
+    if (box.handler) box.handler(l.from, l.body);
+  });
+}
+
+}  // namespace faust::net

@@ -1,0 +1,68 @@
+// Offline client-to-client communication (the dashed channel of Figure 1).
+//
+// §2: "there is a reliable offline communication method between clients,
+// which eventually delivers messages, even if the clients are not
+// simultaneously connected."  Think e-mail: a sender posts a message at
+// any time; the mailbox stores it durably and delivers it once the
+// recipient is online.  FAUST's PROBE / VERSION / FAILURE messages (§6)
+// travel over this channel.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+#include "common/rng.h"
+#include "sim/scheduler.h"
+
+namespace faust::net {
+
+/// Store-and-forward mailbox with eventual delivery.
+class Mailbox {
+ public:
+  /// Called on delivery of a message posted by `from`.
+  using Handler = std::function<void(ClientId from, BytesView msg)>;
+
+  /// `delivery_delay` is added once the recipient is online — it models
+  /// the latency of the out-of-band medium.
+  Mailbox(sim::Scheduler& sched, Rng rng, sim::Time min_delay = 50, sim::Time max_delay = 200);
+
+  /// Registers `client`'s delivery handler. Clients start online.
+  void register_client(ClientId client, Handler handler);
+
+  /// Sets a client's connectivity. Going online flushes queued messages.
+  void set_online(ClientId client, bool online);
+  bool online(ClientId client) const;
+
+  /// Posts `msg` from `from` to `to`. Never lost; delivered (possibly much
+  /// later) when `to` is online. Posting requires no connectivity of the
+  /// recipient and tolerates `from` going offline afterwards.
+  void post(ClientId from, ClientId to, Bytes msg);
+
+  /// Number of messages accepted so far (bench counter).
+  std::uint64_t posted() const { return posted_; }
+
+ private:
+  struct Letter {
+    ClientId from;
+    Bytes body;
+  };
+  struct Box {
+    Handler handler;
+    bool is_online = true;
+    std::deque<Letter> queue;  // letters not yet scheduled for delivery
+  };
+
+  void flush(ClientId client);
+  void schedule_delivery(ClientId to, Letter letter);
+
+  sim::Scheduler& sched_;
+  Rng rng_;
+  sim::Time min_delay_, max_delay_;
+  std::unordered_map<ClientId, Box> boxes_;
+  std::uint64_t posted_ = 0;
+};
+
+}  // namespace faust::net

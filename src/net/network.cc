@@ -1,0 +1,45 @@
+#include "net/network.h"
+
+#include <utility>
+
+namespace faust::net {
+
+Network::Network(sim::Scheduler& sched, Rng rng, DelayModel delay)
+    : sched_(sched), rng_(std::move(rng)), delay_(delay) {}
+
+void Network::attach(NodeId id, Node& node) { nodes_[id] = &node; }
+
+void Network::detach(NodeId id) { nodes_.erase(id); }
+
+void Network::send(NodeId from, NodeId to, Bytes msg) {
+  if (crashed(from) || crashed(to)) return;
+
+  ChannelState& ch = channels_[{from, to}];
+  ch.stats.messages += 1;
+  ch.stats.bytes += msg.size();
+  total_.messages += 1;
+  total_.bytes += msg.size();
+
+  // FIFO per channel: a message never overtakes an earlier one. Equal
+  // delivery times are fine — the scheduler runs same-tick events in
+  // schedule (i.e. send) order.
+  const sim::Time earliest = sched_.now() + delay_.sample(rng_);
+  const sim::Time when = std::max(earliest, ch.last_scheduled);
+  ch.last_scheduled = when;
+
+  sched_.at(when, [this, from, to, m = std::move(msg)]() {
+    if (crashed(to) || crashed(from)) return;  // crash between send and delivery
+    auto it = nodes_.find(to);
+    if (it == nodes_.end()) return;
+    it->second->on_message(from, m);
+  });
+}
+
+void Network::crash(NodeId id) { crashed_[id] = 1; }
+
+ChannelStats Network::channel(NodeId from, NodeId to) const {
+  auto it = channels_.find({from, to});
+  return it == channels_.end() ? ChannelStats{} : it->second.stats;
+}
+
+}  // namespace faust::net

@@ -1,0 +1,84 @@
+// Simulated asynchronous network: reliable FIFO point-to-point channels.
+//
+// Models the client↔server channels of Figure 1: every message sent on a
+// channel is eventually delivered, exactly once, in FIFO order, after an
+// arbitrary finite delay drawn from a seeded delay model.  Crash support
+// exists for modelling a crashed (silent) server or client — crashing is
+// the only way a message is ever lost, matching §2 where channels are
+// reliable and failures are per-party.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+#include "common/rng.h"
+#include "net/transport.h"
+#include "sim/scheduler.h"
+
+namespace faust::net {
+
+/// Uniform random per-message delay in [min_delay, max_delay] ticks.
+struct DelayModel {
+  sim::Time min_delay = 1;
+  sim::Time max_delay = 10;
+
+  sim::Time sample(Rng& rng) const {
+    return min_delay == max_delay ? min_delay : rng.next_in(min_delay, max_delay);
+  }
+};
+
+/// Per-direction traffic counters (used by the overhead/throughput benches).
+struct ChannelStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// The simulated network fabric (the Transport used by tests/benches).
+///
+/// Nodes are attached non-owning; the caller keeps them alive for the
+/// lifetime of the Network (standard arrangement in the tests: all parties
+/// and the Network live in one harness struct).
+class Network : public Transport {
+ public:
+  Network(sim::Scheduler& sched, Rng rng, DelayModel delay = {});
+
+  /// Attaches `node` under `id`, replacing any previous attachment.
+  void attach(NodeId id, Node& node) override;
+
+  /// Detaches `id`; in-flight messages to it are dropped at delivery time.
+  void detach(NodeId id) override;
+
+  /// Sends `msg` from `from` to `to`. Delivery is scheduled FIFO per
+  /// (from,to) channel with a sampled delay. Messages from or to a crashed
+  /// node are silently dropped.
+  void send(NodeId from, NodeId to, Bytes msg) override;
+
+  /// Marks `id` crashed: it no longer sends or receives anything.
+  void crash(NodeId id);
+  bool crashed(NodeId id) const { return crashed_.count(id) > 0; }
+
+  /// Aggregate counters over all channels.
+  const ChannelStats& total() const { return total_; }
+
+  /// Counters for the (from,to) directed channel.
+  ChannelStats channel(NodeId from, NodeId to) const;
+
+ private:
+  struct ChannelState {
+    sim::Time last_scheduled = 0;  // FIFO: next delivery not before this
+    ChannelStats stats;
+  };
+
+  sim::Scheduler& sched_;
+  Rng rng_;
+  DelayModel delay_;
+  std::unordered_map<NodeId, Node*> nodes_;
+  std::map<std::pair<NodeId, NodeId>, ChannelState> channels_;
+  std::unordered_map<NodeId, char> crashed_;
+  ChannelStats total_;
+};
+
+}  // namespace faust::net

@@ -1,0 +1,45 @@
+// Transport abstraction (DESIGN.md, decision D2).
+//
+// Protocol code (USTOR, FAUST, the baselines) is written against this
+// interface only: attach a receiver, send bytes.  Two implementations
+// ship with the repository:
+//   * net::Network — the deterministic discrete-event simulation used by
+//     tests, benches and examples;
+//   * rt::ThreadBus — a real multi-threaded in-process message bus
+//     (src/rt), demonstrating that the same protocol objects run outside
+//     the simulator unchanged.
+#pragma once
+
+#include "common/bytes.h"
+#include "common/ids.h"
+
+namespace faust::net {
+
+/// Receiver interface for nodes attached to a transport.
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  /// Called on message delivery. `msg` is only valid for the duration of
+  /// the call; copy it if needed beyond that. For any given node, calls
+  /// are serialized (never concurrent with each other).
+  virtual void on_message(NodeId from, BytesView msg) = 0;
+};
+
+/// Point-to-point reliable FIFO message fabric.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Attaches `node` under `id`, replacing any previous attachment. The
+  /// caller keeps `node` alive until detach or transport destruction.
+  virtual void attach(NodeId id, Node& node) = 0;
+
+  /// Detaches `id`; messages to it are dropped from now on.
+  virtual void detach(NodeId id) = 0;
+
+  /// Sends `msg` from `from` to `to`: reliable, FIFO per (from,to) pair.
+  virtual void send(NodeId from, NodeId to, Bytes msg) = 0;
+};
+
+}  // namespace faust::net

@@ -1,0 +1,81 @@
+#include "sim/scheduler.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace faust::sim {
+
+EventId Scheduler::after(Time delay, Task task) { return at(now_ + delay, std::move(task)); }
+
+EventId Scheduler::at(Time when, Task task) {
+  FAUST_CHECK(when >= now_);
+  const EventId id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id, std::move(task)});
+  alive_.insert(id);
+  return id;
+}
+
+void Scheduler::cancel(EventId id) {
+  // Cancelling an already-run (or never-issued) id is a harmless no-op.
+  if (alive_.erase(id) > 0) cancelled_.insert(id);
+}
+
+bool Scheduler::pop_runnable(Event& out) {
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; the task must be moved out, which is
+    // safe because we pop immediately afterwards.
+    Event& top = const_cast<Event&>(queue_.top());
+    Event ev{top.when, top.seq, top.id, std::move(top.task)};
+    queue_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    out = std::move(ev);
+    return true;
+  }
+  return false;
+}
+
+bool Scheduler::step() {
+  Event ev;
+  if (!pop_runnable(ev)) return false;
+  FAUST_CHECK(ev.when >= now_);
+  now_ = ev.when;
+  ++executed_;
+  alive_.erase(ev.id);
+  ev.task();
+  return true;
+}
+
+std::size_t Scheduler::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+std::size_t Scheduler::run_until(Time deadline) {
+  std::size_t n = 0;
+  Event ev;
+  while (!queue_.empty()) {
+    // Peek: drop cancelled entries lazily so the deadline check sees a
+    // live event.
+    if (cancelled_.count(queue_.top().id) > 0) {
+      cancelled_.erase(queue_.top().id);
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().when > deadline) break;
+    if (!pop_runnable(ev)) break;
+    now_ = ev.when;
+    ++executed_;
+    ++n;
+    alive_.erase(ev.id);
+    ev.task();
+  }
+  if (deadline > now_) now_ = deadline;
+  return n;
+}
+
+}  // namespace faust::sim

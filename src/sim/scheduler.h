@@ -1,0 +1,94 @@
+// Discrete-event simulation core.
+//
+// The paper's system model (§2) is an asynchronous network: messages take
+// arbitrary finite time, there is no global clock the protocol can rely
+// on.  We realize that model with a deterministic event-driven scheduler:
+// every message delivery and every timer is an event with a virtual
+// timestamp; a seed plus the program fully determine the execution
+// (DESIGN.md, decision D1).
+//
+// Virtual time is in abstract "ticks"; the examples interpret a tick as a
+// microsecond but nothing depends on that.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+
+namespace faust::sim {
+
+/// Virtual time, in ticks since the start of the run.
+using Time = std::uint64_t;
+
+/// Handle for cancelling a scheduled event.
+using EventId = std::uint64_t;
+
+/// Deterministic event loop over virtual time.
+///
+/// Events scheduled for the same tick run in schedule order (FIFO), which
+/// keeps executions reproducible without a tie-breaking RNG.
+class Scheduler {
+ public:
+  using Task = std::function<void()>;
+
+  /// Current virtual time. Starts at 0.
+  Time now() const { return now_; }
+
+  /// Schedules `task` to run `delay` ticks from now. Returns an id usable
+  /// with `cancel`.
+  EventId after(Time delay, Task task);
+
+  /// Schedules `task` at absolute virtual time `when` (>= now()).
+  EventId at(Time when, Task task);
+
+  /// Cancels a pending event; no-op if it already ran or was cancelled.
+  void cancel(EventId id);
+
+  /// Runs the next pending event, advancing virtual time to it.
+  /// Returns false if no events are pending.
+  bool step();
+
+  /// Runs events until the queue is empty or `max_events` have run.
+  /// Returns the number of events executed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  /// Runs all events with timestamp <= `deadline`; afterwards now() ==
+  /// max(now(), deadline) even if later events remain queued. Returns the
+  /// number of events executed.
+  std::size_t run_until(Time deadline);
+
+  /// Number of live (non-cancelled, not yet executed) events.
+  std::size_t pending() const { return alive_.size(); }
+
+  /// Total events executed since construction (for diagnostics).
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t seq;  // tie-breaker: schedule order
+    EventId id;
+    // priority_queue is a max-heap; invert the comparison for
+    // earliest-first, FIFO within a tick.
+    bool operator<(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+    Task task;  // moved out at pop time
+  };
+
+  /// Pops events until a non-cancelled one is found; returns false when
+  /// the queue is exhausted.
+  bool pop_runnable(Event& out);
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event> queue_;
+  std::unordered_set<EventId> alive_;      // scheduled, not yet run/cancelled
+  std::unordered_set<EventId> cancelled_;  // cancelled but still in queue_
+};
+
+}  // namespace faust::sim

@@ -1,0 +1,17 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected), for framing log records.
+// Detects torn/corrupted tail records after a crash; NOT a substitute for
+// the protocol's cryptographic integrity (the server is untrusted anyway —
+// this only protects the server operator from its own disks).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace faust::storage {
+
+/// CRC-32 of `data` (init 0xFFFFFFFF, final xor, reflected polynomial
+/// 0xEDB88320 — the zlib/Ethernet convention).
+std::uint32_t crc32(BytesView data);
+
+}  // namespace faust::storage

@@ -1,0 +1,104 @@
+#include "storage/log_store.h"
+
+#include <cstring>
+
+#include "storage/crc32.h"
+
+namespace faust::storage {
+namespace {
+
+std::uint32_t read_u32_le(const std::uint8_t* p) {
+  return std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) | (std::uint32_t{p[2]} << 16) |
+         (std::uint32_t{p[3]} << 24);
+}
+
+void write_u32_le(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+constexpr std::uint32_t kMaxRecord = 64u << 20;  // 64 MiB sanity cap
+
+}  // namespace
+
+LogStore::LogStore(std::string path) : path_(std::move(path)) {
+  // "a+b" creates if missing; reads allowed anywhere, writes append.
+  file_ = std::fopen(path_.c_str(), "a+b");
+  if (file_ != nullptr) {
+    std::fseek(file_, 0, SEEK_END);
+    append_offset_ = std::ftell(file_);
+  }
+}
+
+LogStore::~LogStore() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool LogStore::append(BytesView payload) {
+  if (file_ == nullptr || payload.size() > kMaxRecord) return false;
+  std::uint8_t header[8];
+  write_u32_le(header, static_cast<std::uint32_t>(payload.size()));
+  write_u32_le(header + 4, crc32(payload));
+  if (std::fwrite(header, 1, sizeof(header), file_) != sizeof(header)) return false;
+  if (!payload.empty() &&
+      std::fwrite(payload.data(), 1, payload.size(), file_) != payload.size()) {
+    return false;
+  }
+  if (std::fflush(file_) != 0) return false;
+  append_offset_ += static_cast<long>(sizeof(header) + payload.size());
+  ++records_;
+  return true;
+}
+
+std::size_t LogStore::replay(const std::function<void(BytesView)>& fn) {
+  if (file_ == nullptr) return 0;
+  std::fseek(file_, 0, SEEK_SET);
+  std::size_t replayed = 0;
+  long offset = 0;
+  Bytes payload;
+  for (;;) {
+    std::uint8_t header[8];
+    if (std::fread(header, 1, sizeof(header), file_) != sizeof(header)) break;
+    const std::uint32_t len = read_u32_le(header);
+    const std::uint32_t crc = read_u32_le(header + 4);
+    if (len > kMaxRecord) break;
+    payload.resize(len);
+    if (len > 0 && std::fread(payload.data(), 1, len, file_) != len) break;  // torn tail
+    if (crc32(payload) != crc) break;  // corrupt record: stop here
+    fn(payload);
+    ++replayed;
+    ++records_;
+    offset += static_cast<long>(sizeof(header) + len);
+  }
+  append_offset_ = offset;
+  // Position the write head after the intact prefix; "a+b" appends at the
+  // physical end, so a torn tail must be cut off explicitly.
+  std::fseek(file_, 0, SEEK_END);
+  const long physical_end = std::ftell(file_);
+  if (physical_end != append_offset_) {
+    // Reopen truncated to the intact prefix.
+    std::fclose(file_);
+    std::FILE* rw = std::fopen(path_.c_str(), "r+b");
+    if (rw != nullptr) {
+      // Copy the intact prefix into memory, rewrite the file.
+      Bytes intact(static_cast<std::size_t>(append_offset_));
+      std::fseek(rw, 0, SEEK_SET);
+      const std::size_t got = std::fread(intact.data(), 1, intact.size(), rw);
+      std::fclose(rw);
+      std::FILE* trunc = std::fopen(path_.c_str(), "wb");
+      if (trunc != nullptr) {
+        if (got > 0) std::fwrite(intact.data(), 1, got, trunc);
+        std::fflush(trunc);
+        std::fclose(trunc);
+      }
+    }
+    file_ = std::fopen(path_.c_str(), "a+b");
+  } else {
+    std::fseek(file_, 0, SEEK_END);
+  }
+  return replayed;
+}
+
+}  // namespace faust::storage

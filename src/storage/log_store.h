@@ -1,0 +1,49 @@
+// Append-only record log with CRC framing — the durability substrate for
+// the persistent USTOR server.
+//
+// Record layout: u32 length ‖ u32 crc32(payload) ‖ payload. `replay`
+// stops at the first torn or corrupt record (the standard
+// write-ahead-log recovery rule: a crash may tear the tail, never the
+// middle), and `append` after recovery truncates the torn tail.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace faust::storage {
+
+/// A single append-only log file.
+class LogStore {
+ public:
+  /// Opens (creating if absent) the log at `path`.
+  explicit LogStore(std::string path);
+  ~LogStore();
+
+  LogStore(const LogStore&) = delete;
+  LogStore& operator=(const LogStore&) = delete;
+
+  /// Appends one record and flushes it to the OS.
+  /// Returns false on I/O failure.
+  bool append(BytesView payload);
+
+  /// Replays all intact records from the start, invoking `fn` per record.
+  /// Returns the number of records replayed. Subsequent appends go after
+  /// the last intact record (a torn tail is discarded).
+  std::size_t replay(const std::function<void(BytesView)>& fn);
+
+  /// Number of records appended + replayed through this handle.
+  std::uint64_t records() const { return records_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::uint64_t records_ = 0;
+  long append_offset_ = 0;  // end of the intact prefix
+};
+
+}  // namespace faust::storage

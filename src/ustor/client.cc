@@ -1,0 +1,252 @@
+#include "ustor/client.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace faust::ustor {
+
+Client::Client(ClientId id, int n, std::shared_ptr<const crypto::SignatureScheme> sigs,
+               net::Transport& net, NodeId server)
+    : id_(id), n_(n), sigs_(std::move(sigs)), net_(net), server_(server), version_(n) {
+  FAUST_CHECK(id_ >= 1 && id_ <= n_);
+  FAUST_CHECK(sigs_ != nullptr);
+  xbar_ = value_hash(std::nullopt);  // x̄_i of the initial value ⊥
+  net_.attach(id_, *this);
+}
+
+void Client::fail(FailCause cause) {
+  if (failed()) return;
+  fail_cause_ = cause;
+  pending_.reset();  // the operation never completes; the server is faulty
+  if (on_fail) on_fail(cause);
+}
+
+void Client::writex(Value x, WriteCallback done) {
+  FAUST_CHECK(!busy());  // well-formed executions: one op at a time
+  if (failed()) return;
+
+  const Timestamp t = version_.v(id_) + 1;  // line 12
+  xbar_ = value_hash(x);                    // line 13
+
+  SubmitMessage m;
+  m.t = t;
+  m.inv.client = id_;
+  m.inv.oc = OpCode::kWrite;
+  m.inv.target = id_;  // writes go to own register X_i
+  m.inv.submit_sig = sigs_->sign(id_, submit_payload(OpCode::kWrite, id_, t));
+  m.value = std::move(x);
+  m.data_sig = sigs_->sign(id_, data_payload(t, xbar_));
+
+  pending_ = PendingOp{OpCode::kWrite, id_, t, std::move(done), {}};
+  net_.send(id_, server_, encode(m));  // line 15
+}
+
+void Client::readx(ClientId j, ReadCallback done) {
+  FAUST_CHECK(!busy());
+  FAUST_CHECK(j >= 1 && j <= n_);
+  if (failed()) return;
+
+  const Timestamp t = version_.v(id_) + 1;  // line 25
+
+  SubmitMessage m;
+  m.t = t;
+  m.inv.client = id_;
+  m.inv.oc = OpCode::kRead;
+  m.inv.target = j;
+  m.inv.submit_sig = sigs_->sign(id_, submit_payload(OpCode::kRead, j, t));
+  m.value = std::nullopt;
+  m.data_sig = sigs_->sign(id_, data_payload(t, xbar_));  // line 26: x̄_i unchanged
+
+  pending_ = PendingOp{OpCode::kRead, j, t, {}, std::move(done)};
+  net_.send(id_, server_, encode(m));  // line 27
+}
+
+void Client::on_message(NodeId from, BytesView msg) {
+  if (failed()) return;  // halted
+  if (from != server_) return;
+
+  const auto type = peek_type(msg);
+  if (!type.has_value() || *type != MsgType::kReply) {
+    fail(FailCause::kMalformedMessage);
+    return;
+  }
+  auto reply = decode_reply(msg);
+  if (!reply.has_value()) {
+    fail(FailCause::kMalformedMessage);
+    return;
+  }
+  handle_reply(*reply);
+}
+
+void Client::handle_reply(const ReplyMessage& m) {
+  if (!pending_.has_value()) {
+    // A correct server replies exactly once per SUBMIT.
+    fail(FailCause::kUnsolicitedReply);
+    return;
+  }
+  const bool is_read = pending_->oc == OpCode::kRead;
+  // The REPLY shape must match the pending operation (Algorithm 2 lines
+  // 111 / 114).
+  if (is_read != m.read.has_value()) {
+    fail(FailCause::kMalformedMessage);
+    return;
+  }
+
+  if (!update_version(m)) return;                      // lines 17 / 29
+  if (is_read && !check_data(m, pending_->target)) return;  // line 30
+
+  // Lines 18–19 / 31–32: sign and send COMMIT; the operation completes
+  // without waiting for any acknowledgement (wait-freedom).
+  send_commit();
+
+  PendingOp op = std::move(*pending_);
+  pending_.reset();
+  ++completed_ops_;
+
+  if (op.oc == OpCode::kWrite) {
+    WriteResult r;
+    r.t = op.t;
+    r.own = SignedVersion{version_, commit_sig_};
+    if (op.write_done) op.write_done(r);
+  } else {
+    ReadResult r;
+    r.t = op.t;
+    r.value = last_read_value_;
+    r.own = SignedVersion{version_, commit_sig_};
+    r.writer = op.target;
+    r.writer_version = last_read_writer_version_;
+    if (op.read_done) op.read_done(r);
+  }
+}
+
+bool Client::update_version(const ReplyMessage& m) {
+  const Version& vc = m.last.version;
+
+  // Structural validation (a Byzantine server may send anything): vector
+  // sizes and the committer index must be sane before we index with them.
+  if (m.c < 1 || m.c > n_ || vc.n() != n_ || static_cast<int>(m.P.size()) != n_ ||
+      static_cast<int>(vc.M.size()) != n_) {
+    fail(FailCause::kMalformedMessage);
+    return false;
+  }
+
+  // Line 35: the version must be the initial one or carry a valid
+  // COMMIT-signature by C_c.
+  if (!vc.is_zero() &&
+      !sigs_->verify(m.c, commit_payload(vc), m.last.commit_sig)) {
+    fail(FailCause::kBadCommitSignature);
+    return false;
+  }
+
+  // Line 36: our own version must be a predecessor, and the server must
+  // not have hidden or invented operations of ours.
+  if (!version_leq(version_, vc) || vc.v(id_) != version_.v(id_)) {
+    fail(FailCause::kVersionRegression);
+    return false;
+  }
+
+  version_ = vc;                      // line 37
+  Digest d = version_.m(m.c);         // line 38
+
+  for (const InvocationTuple& inv : m.L) {  // lines 39–45
+    const ClientId k = inv.client;
+    if (k < 1 || k > n_) {
+      fail(FailCause::kMalformedMessage);
+      return false;
+    }
+    // Line 41: the server must have received the COMMIT of C_k's previous
+    // operation — P[k] proves it and pins C_k's view-history prefix.
+    const Digest& mk = version_.m(k);
+    if (mk.present &&
+        !sigs_->verify(k, proof_payload(mk), m.P[static_cast<std::size_t>(k - 1)])) {
+      fail(FailCause::kBadProofSignature);
+      return false;
+    }
+    version_.v(k) += 1;  // line 42
+    // Line 43: we never run concurrently with ourselves, and the SUBMIT
+    // signature must bind (oc, target, position).
+    if (k == id_) {
+      fail(FailCause::kSelfConcurrent);
+      return false;
+    }
+    if (!sigs_->verify(k, submit_payload(inv.oc, inv.target, version_.v(k)),
+                       inv.submit_sig)) {
+      fail(FailCause::kBadSubmitSignature);
+      return false;
+    }
+    d = chain_step(d, k);   // line 44
+    version_.m(k) = d;      // line 45
+  }
+
+  version_.v(id_) += 1;                    // line 46
+  version_.m(id_) = chain_step(d, id_);    // line 47
+
+  // The position we just computed must equal the timestamp we submitted;
+  // otherwise the server inserted or dropped operations of ours (already
+  // excluded by line 36 + 43, but cheap to assert defensively).
+  if (version_.v(id_) != pending_->t) {
+    fail(FailCause::kVersionRegression);
+    return false;
+  }
+  return true;
+}
+
+bool Client::check_data(const ReplyMessage& m, ClientId j) {
+  const ReadPayload& rp = *m.read;
+  const Version& vj = rp.writer.version;
+
+  if (vj.n() != n_ || static_cast<int>(vj.M.size()) != n_) {
+    fail(FailCause::kMalformedMessage);
+    return false;
+  }
+
+  // Line 49: SVER[j] is initial or carries C_j's COMMIT-signature.
+  if (!vj.is_zero() && !sigs_->verify(j, commit_payload(vj), rp.writer.commit_sig)) {
+    fail(FailCause::kBadCommitSignature);
+    return false;
+  }
+
+  // Line 50: the value is bound to t_j by C_j's DATA-signature.
+  if (rp.tj != 0 &&
+      !sigs_->verify(j, data_payload(rp.tj, value_hash(rp.value)), rp.data_sig)) {
+    fail(FailCause::kBadDataSignature);
+    return false;
+  }
+  // Tightening consistent with the technical report: when t_j = 0, C_j has
+  // never submitted an operation, so the register must still hold ⊥ — no
+  // signature exists that could vouch for any other value.
+  if (rp.tj == 0 && rp.value.has_value()) {
+    fail(FailCause::kBadDataSignature);
+    return false;
+  }
+
+  // Line 51: the writer's version is in our past, and the returned data
+  // stems from the most recent operation of C_j in our view.
+  if (!version_leq(vj, m.last.version) || rp.tj != version_.v(j)) {
+    fail(FailCause::kStaleRead);
+    return false;
+  }
+
+  // Line 52: C_j's own entry matches t_j (COMMIT received) or t_j − 1
+  // (COMMIT still in flight).
+  if (!(vj.v(j) == rp.tj || (rp.tj > 0 && vj.v(j) == rp.tj - 1))) {
+    fail(FailCause::kBadWriterTimestamp);
+    return false;
+  }
+
+  last_read_value_ = rp.value;
+  last_read_writer_version_ = rp.writer;
+  return true;
+}
+
+void Client::send_commit() {
+  CommitMessage cm;
+  cm.version = version_;
+  cm.commit_sig = sigs_->sign(id_, commit_payload(version_));
+  cm.proof_sig = sigs_->sign(id_, proof_payload(version_.m(id_)));
+  commit_sig_ = cm.commit_sig;
+  net_.send(id_, server_, encode(cm));
+}
+
+}  // namespace faust::ustor

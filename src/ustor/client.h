@@ -1,0 +1,148 @@
+// USTOR client — Algorithm 1 of the paper.
+//
+// One instance per client C_i. Operations are asynchronous: `writex` /
+// `readx` send a SUBMIT message and invoke the given callback when the
+// operation completes (after the single REPLY round; the trailing COMMIT
+// is off the critical path, exactly as in §5, so the protocol is wait-free
+// whenever the server responds).
+//
+// Every check of lines 35–52 is implemented verbatim; any violation makes
+// the client emit fail_i (the `on_fail` hook) and halt, as the paper
+// prescribes.  Garbage from the server (undecodable messages, wrong vector
+// sizes, out-of-range indices) is routed into the same fail path — a
+// Byzantine server can stop a client but never crash or confuse it.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+#include "crypto/signature.h"
+#include "net/transport.h"
+#include "ustor/messages.h"
+#include "ustor/types.h"
+
+namespace faust::ustor {
+
+/// Why the client declared the server faulty (diagnostic detail carried
+/// alongside the paper's single fail_i event).
+enum class FailCause {
+  kNone,
+  kMalformedMessage,    // undecodable or ill-typed server message
+  kBadCommitSignature,  // line 35 / 49
+  kVersionRegression,   // line 36: (V_i,M_i) ⋠ (V_c,M_c) or V_c[i] ≠ V_i[i]
+  kBadProofSignature,   // line 41
+  kSelfConcurrent,      // line 43: own operation listed as concurrent
+  kBadSubmitSignature,  // line 43
+  kBadDataSignature,    // line 50
+  kStaleRead,           // line 51: (V_j,M_j) ⋠ (V_c,M_c) or t_j ≠ V_i[j]
+  kBadWriterTimestamp,  // line 52: V_j[j] ∉ {t_j, t_j − 1}
+  kUnsolicitedReply,    // REPLY with no operation in flight
+};
+
+/// Result of an extended write (the paper's writex): the operation's
+/// timestamp and the version it committed.
+struct WriteResult {
+  Timestamp t = 0;
+  SignedVersion own;  // (V_i, M_i) plus our COMMIT-signature on it
+};
+
+/// Result of an extended read (readx): the value, our committed version,
+/// and the register owner's largest committed version (V_j, M_j).
+struct ReadResult {
+  Timestamp t = 0;
+  Value value;
+  SignedVersion own;
+  ClientId writer = 0;  // register owner C_j
+  SignedVersion writer_version;
+};
+
+/// Client-side protocol engine (Algorithm 1).
+class Client : public net::Node {
+ public:
+  using WriteCallback = std::function<void(const WriteResult&)>;
+  using ReadCallback = std::function<void(const ReadResult&)>;
+
+  /// `id` ∈ [1, n]. The signature scheme is shared by all clients (and is
+  /// never given to the server). `server` is the server's node id.
+  Client(ClientId id, int n, std::shared_ptr<const crypto::SignatureScheme> sigs,
+         net::Transport& net, NodeId server = kServerNode);
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Extended write to own register X_i (paper's writex_i). At most one
+  /// operation may be in flight; see busy().
+  void writex(Value x, WriteCallback done);
+
+  /// Extended read of register X_j (paper's readx_i), 1 <= j <= n.
+  void readx(ClientId j, ReadCallback done);
+
+  /// True while an operation is awaiting its REPLY.
+  bool busy() const { return pending_.has_value(); }
+
+  /// True once fail_i has been emitted; the client is halted forever.
+  bool failed() const { return fail_cause_ != FailCause::kNone; }
+  FailCause fail_cause() const { return fail_cause_; }
+
+  /// The fail_i output action (§5): invoked exactly once, at detection.
+  std::function<void(FailCause)> on_fail;
+
+  ClientId id() const { return id_; }
+  int n() const { return n_; }
+
+  /// Current version (V_i, M_i) — last committed.
+  const Version& version() const { return version_; }
+
+  /// COMMIT-signature on the current version (⊥ before the first op).
+  const Bytes& commit_signature() const { return commit_sig_; }
+
+  /// Number of completed operations (diagnostics).
+  std::uint64_t completed_ops() const { return completed_ops_; }
+
+  // net::Node: handles REPLY messages.
+  void on_message(NodeId from, BytesView msg) override;
+
+ private:
+  struct PendingOp {
+    OpCode oc;
+    ClientId target;
+    Timestamp t;
+    WriteCallback write_done;  // set for writes
+    ReadCallback read_done;    // set for reads
+  };
+
+  void fail(FailCause cause);
+  void handle_reply(const ReplyMessage& m);
+
+  /// Lines 34–47. Returns false (after emitting fail) on any violation.
+  bool update_version(const ReplyMessage& m);
+
+  /// Lines 48–52. Returns false (after emitting fail) on any violation.
+  bool check_data(const ReplyMessage& m, ClientId j);
+
+  /// Signs and sends the COMMIT message for the current version and
+  /// refreshes commit_sig_ / proof material.
+  void send_commit();
+
+  const ClientId id_;
+  const int n_;
+  const std::shared_ptr<const crypto::SignatureScheme> sigs_;
+  net::Transport& net_;
+  const NodeId server_;
+
+  crypto::Hash xbar_;       // hash of own register's last written value
+  Version version_;         // (V_i, M_i)
+  Bytes commit_sig_;        // φ on version_ (empty before first commit)
+  FailCause fail_cause_ = FailCause::kNone;
+  std::optional<PendingOp> pending_;
+  std::uint64_t completed_ops_ = 0;
+
+  // Read-reply fields staged by check_data() for the completion callback.
+  Value last_read_value_;
+  SignedVersion last_read_writer_version_;
+};
+
+}  // namespace faust::ustor

@@ -1,0 +1,286 @@
+#include "ustor/messages.h"
+
+#include "wire/encoder.h"
+
+namespace faust::ustor {
+namespace {
+
+// Per-field helpers. Each decode helper leaves `r` in the error state on
+// malformed input; callers check r.ok() once at the end.
+
+void put_value(wire::Writer& w, const Value& v) {
+  w.put_u8(v.has_value() ? 1 : 0);
+  if (v.has_value()) w.put_bytes(*v);
+}
+
+Value get_value(wire::Reader& r) {
+  if (r.get_u8() == 0) return std::nullopt;
+  return r.get_bytes();
+}
+
+void put_digest(wire::Writer& w, const Digest& d) {
+  w.put_u8(d.present ? 1 : 0);
+  if (d.present) w.put_raw(BytesView(d.hash.data(), d.hash.size()));
+}
+
+Digest get_digest(wire::Reader& r) {
+  if (r.get_u8() == 0) return Digest::bottom();
+  const Bytes raw = r.get_raw(32);
+  Digest d;
+  if (raw.size() == 32) {
+    d.present = true;
+    std::copy(raw.begin(), raw.end(), d.hash.begin());
+  }
+  return d;
+}
+
+void put_version(wire::Writer& w, const Version& v) {
+  w.put_u32(static_cast<std::uint32_t>(v.V.size()));
+  for (const Timestamp t : v.V) w.put_u64(t);
+  for (const Digest& d : v.M) put_digest(w, d);
+}
+
+// Hard cap on decoded vector lengths: a Byzantine server must not be able
+// to make a client allocate unbounded memory from a short message.
+constexpr std::uint32_t kMaxN = 1 << 16;
+
+Version get_version(wire::Reader& r) {
+  const std::uint32_t n = r.get_u32();
+  if (n > kMaxN) {
+    (void)r.get_raw(SIZE_MAX);  // force error state
+    return Version();
+  }
+  Version v(static_cast<int>(n));
+  for (auto& t : v.V) t = r.get_u64();
+  for (auto& d : v.M) d = get_digest(r);
+  return v;
+}
+
+void put_signed_version(wire::Writer& w, const SignedVersion& sv) {
+  put_version(w, sv.version);
+  w.put_bytes(sv.commit_sig);
+}
+
+SignedVersion get_signed_version(wire::Reader& r) {
+  SignedVersion sv;
+  sv.version = get_version(r);
+  sv.commit_sig = r.get_bytes();
+  return sv;
+}
+
+void put_invocation(wire::Writer& w, const InvocationTuple& inv) {
+  w.put_u32(static_cast<std::uint32_t>(inv.client));
+  w.put_u8(static_cast<std::uint8_t>(inv.oc));
+  w.put_u32(static_cast<std::uint32_t>(inv.target));
+  w.put_bytes(inv.submit_sig);
+}
+
+InvocationTuple get_invocation(wire::Reader& r) {
+  InvocationTuple inv;
+  inv.client = static_cast<ClientId>(r.get_u32());
+  const std::uint8_t oc = r.get_u8();
+  if (oc > 1) (void)r.get_raw(SIZE_MAX);  // unknown opcode → error state
+  inv.oc = static_cast<OpCode>(oc);
+  inv.target = static_cast<ClientId>(r.get_u32());
+  inv.submit_sig = r.get_bytes();
+  return inv;
+}
+
+}  // namespace
+
+Bytes encode(const SubmitMessage& m) {
+  wire::Writer w;
+  w.put_u8(static_cast<std::uint8_t>(MsgType::kSubmit));
+  w.put_u64(m.t);
+  put_invocation(w, m.inv);
+  put_value(w, m.value);
+  w.put_bytes(m.data_sig);
+  return w.take();
+}
+
+Bytes encode(const ReplyMessage& m) {
+  wire::Writer w;
+  w.put_u8(static_cast<std::uint8_t>(MsgType::kReply));
+  w.put_u32(static_cast<std::uint32_t>(m.c));
+  put_signed_version(w, m.last);
+  w.put_u8(m.read.has_value() ? 1 : 0);
+  if (m.read.has_value()) {
+    put_signed_version(w, m.read->writer);
+    w.put_u64(m.read->tj);
+    put_value(w, m.read->value);
+    w.put_bytes(m.read->data_sig);
+  }
+  w.put_u32(static_cast<std::uint32_t>(m.L.size()));
+  for (const InvocationTuple& inv : m.L) put_invocation(w, inv);
+  w.put_u32(static_cast<std::uint32_t>(m.P.size()));
+  for (const Bytes& p : m.P) w.put_bytes(p);
+  return w.take();
+}
+
+Bytes encode(const CommitMessage& m) {
+  wire::Writer w;
+  w.put_u8(static_cast<std::uint8_t>(MsgType::kCommit));
+  put_version(w, m.version);
+  w.put_bytes(m.commit_sig);
+  w.put_bytes(m.proof_sig);
+  return w.take();
+}
+
+Bytes encode(const ProbeMessage&) {
+  wire::Writer w;
+  w.put_u8(static_cast<std::uint8_t>(MsgType::kProbe));
+  return w.take();
+}
+
+Bytes encode(const VersionMessage& m) {
+  wire::Writer w;
+  w.put_u8(static_cast<std::uint8_t>(MsgType::kVersion));
+  w.put_u32(static_cast<std::uint32_t>(m.committer));
+  put_signed_version(w, m.ver);
+  return w.take();
+}
+
+Bytes encode(const FailureMessage& m) {
+  wire::Writer w;
+  w.put_u8(static_cast<std::uint8_t>(MsgType::kFailure));
+  w.put_u8(m.has_evidence ? 1 : 0);
+  if (m.has_evidence) {
+    w.put_u32(static_cast<std::uint32_t>(m.committer_a));
+    put_signed_version(w, m.a);
+    w.put_u32(static_cast<std::uint32_t>(m.committer_b));
+    put_signed_version(w, m.b);
+  }
+  return w.take();
+}
+
+std::optional<MsgType> peek_type(BytesView data) {
+  if (data.empty()) return std::nullopt;
+  switch (data[0]) {
+    case 1: return MsgType::kSubmit;
+    case 2: return MsgType::kReply;
+    case 3: return MsgType::kCommit;
+    case 10: return MsgType::kProbe;
+    case 11: return MsgType::kVersion;
+    case 12: return MsgType::kFailure;
+    default: return std::nullopt;
+  }
+}
+
+namespace {
+
+/// Shared prologue: checks the tag and positions the reader after it.
+bool open(wire::Reader& r, MsgType expected) {
+  return r.get_u8() == static_cast<std::uint8_t>(expected) && r.ok();
+}
+
+}  // namespace
+
+std::optional<SubmitMessage> decode_submit(BytesView data) {
+  wire::Reader r(data);
+  if (!open(r, MsgType::kSubmit)) return std::nullopt;
+  SubmitMessage m;
+  m.t = r.get_u64();
+  m.inv = get_invocation(r);
+  m.value = get_value(r);
+  m.data_sig = r.get_bytes();
+  if (!r.ok() || !r.exhausted()) return std::nullopt;
+  return m;
+}
+
+std::optional<ReplyMessage> decode_reply(BytesView data) {
+  wire::Reader r(data);
+  if (!open(r, MsgType::kReply)) return std::nullopt;
+  ReplyMessage m;
+  m.c = static_cast<ClientId>(r.get_u32());
+  m.last = get_signed_version(r);
+  if (r.get_u8() == 1) {
+    ReadPayload rp;
+    rp.writer = get_signed_version(r);
+    rp.tj = r.get_u64();
+    rp.value = get_value(r);
+    rp.data_sig = r.get_bytes();
+    m.read = std::move(rp);
+  }
+  const std::uint32_t l = r.get_u32();
+  if (l > kMaxN) return std::nullopt;
+  m.L.reserve(l);
+  for (std::uint32_t q = 0; q < l && r.ok(); ++q) m.L.push_back(get_invocation(r));
+  const std::uint32_t np = r.get_u32();
+  if (np > kMaxN) return std::nullopt;
+  m.P.reserve(np);
+  for (std::uint32_t k = 0; k < np && r.ok(); ++k) m.P.push_back(r.get_bytes());
+  if (!r.ok() || !r.exhausted()) return std::nullopt;
+  return m;
+}
+
+std::optional<CommitMessage> decode_commit(BytesView data) {
+  wire::Reader r(data);
+  if (!open(r, MsgType::kCommit)) return std::nullopt;
+  CommitMessage m;
+  m.version = get_version(r);
+  m.commit_sig = r.get_bytes();
+  m.proof_sig = r.get_bytes();
+  if (!r.ok() || !r.exhausted()) return std::nullopt;
+  return m;
+}
+
+std::optional<ProbeMessage> decode_probe(BytesView data) {
+  wire::Reader r(data);
+  if (!open(r, MsgType::kProbe)) return std::nullopt;
+  if (!r.exhausted()) return std::nullopt;
+  return ProbeMessage{};
+}
+
+std::optional<VersionMessage> decode_version(BytesView data) {
+  wire::Reader r(data);
+  if (!open(r, MsgType::kVersion)) return std::nullopt;
+  VersionMessage m;
+  m.committer = static_cast<ClientId>(r.get_u32());
+  m.ver = get_signed_version(r);
+  if (!r.ok() || !r.exhausted()) return std::nullopt;
+  return m;
+}
+
+std::optional<FailureMessage> decode_failure(BytesView data) {
+  wire::Reader r(data);
+  if (!open(r, MsgType::kFailure)) return std::nullopt;
+  FailureMessage m;
+  m.has_evidence = r.get_u8() == 1;
+  if (m.has_evidence) {
+    m.committer_a = static_cast<ClientId>(r.get_u32());
+    m.a = get_signed_version(r);
+    m.committer_b = static_cast<ClientId>(r.get_u32());
+    m.b = get_signed_version(r);
+  }
+  if (!r.ok() || !r.exhausted()) return std::nullopt;
+  return m;
+}
+
+Bytes submit_payload(OpCode oc, ClientId target, Timestamp t) {
+  Bytes out = to_bytes("SUBMIT");
+  append_byte(out, static_cast<std::uint8_t>(oc));
+  append_u32(out, static_cast<std::uint32_t>(target));
+  append_u64(out, t);
+  return out;
+}
+
+Bytes data_payload(Timestamp t, const crypto::Hash& xbar) {
+  Bytes out = to_bytes("DATA");
+  append_u64(out, t);
+  append(out, BytesView(xbar.data(), xbar.size()));
+  return out;
+}
+
+Bytes commit_payload(const Version& ver) {
+  Bytes out = to_bytes("COMMIT");
+  append(out, encode_version(ver));
+  return out;
+}
+
+Bytes proof_payload(const Digest& mi) {
+  Bytes out = to_bytes("PROOF");
+  append(out, encode_digest(mi));
+  return out;
+}
+
+}  // namespace faust::ustor

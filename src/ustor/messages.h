@@ -1,0 +1,138 @@
+// Wire messages of the USTOR protocol (Algorithms 1 and 2) and of the
+// FAUST offline protocol (§6), plus the byte-string payloads that clients
+// sign (SUBMIT / DATA / COMMIT / PROOF, domain-separated).
+//
+// Decoding is defensive: `decode_*` returns std::nullopt on any malformed
+// input, and callers route that into the fail path — a Byzantine server
+// must never be able to crash a client with garbage bytes.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+#include "ustor/types.h"
+
+namespace faust::ustor {
+
+/// Message type tags (first byte of every message).
+enum class MsgType : std::uint8_t {
+  kSubmit = 1,
+  kReply = 2,
+  kCommit = 3,
+  // FAUST offline (client-to-client) messages:
+  kProbe = 10,
+  kVersion = 11,
+  kFailure = 12,
+};
+
+/// The invocation tuple (i, oc, j, σ) of §5: client i invokes `oc` on
+/// register X_j; σ is i's SUBMIT-signature binding (oc, j, t).
+struct InvocationTuple {
+  ClientId client = 0;
+  OpCode oc = OpCode::kRead;
+  ClientId target = 0;
+  Bytes submit_sig;
+
+  bool operator==(const InvocationTuple&) const = default;
+};
+
+/// ⟨SUBMIT, t, (i,oc,j,σ), x, δ⟩ — client → server, one per operation.
+struct SubmitMessage {
+  Timestamp t = 0;
+  InvocationTuple inv;
+  Value value;    // ⊥ for reads
+  Bytes data_sig; // δ: signature over (t, x̄_i)
+};
+
+/// A version together with the COMMIT-signature of the client that
+/// committed it (SVER[k] on the server; VER_i[k] entries in FAUST).
+struct SignedVersion {
+  Version version;
+  Bytes commit_sig;
+};
+
+/// The read-specific part of a REPLY: SVER[j] and MEM[j] of Algorithm 2.
+struct ReadPayload {
+  SignedVersion writer;  // (V^j, M^j, φ_j): largest version committed by C_j
+  Timestamp tj = 0;      // MEM[j].timestamp
+  Value value;           // MEM[j].value
+  Bytes data_sig;        // MEM[j].δ
+};
+
+/// ⟨REPLY, c, SVER[c], [SVER[j], MEM[j],] L, P⟩ — server → client.
+struct ReplyMessage {
+  ClientId c = 0;                    // client whose op committed last in the schedule
+  SignedVersion last;                // SVER[c]
+  std::optional<ReadPayload> read;   // present iff replying to a read
+  std::vector<InvocationTuple> L;    // concurrent (submitted, uncommitted) ops
+  std::vector<Bytes> P;              // P[k]: PROOF-signature of client k+1 (n entries)
+};
+
+/// ⟨COMMIT, V, M, φ, ψ⟩ — client → server after each REPLY.
+struct CommitMessage {
+  Version version;
+  Bytes commit_sig;  // φ: over the version
+  Bytes proof_sig;   // ψ: over M[i]
+};
+
+/// FAUST §6: "which is the maximal version you know?" (offline channel).
+struct ProbeMessage {};
+
+/// FAUST §6 reply to a probe, also sent spontaneously: the maximal version
+/// known to the sender, with the id of the client that committed it (the
+/// signature verifies against that committer, which need not be the
+/// sender).
+struct VersionMessage {
+  ClientId committer = 0;
+  SignedVersion ver;
+};
+
+/// FAUST §6: server exposed as faulty. When the detection stems from two
+/// incomparable committed versions, they are attached as transferable
+/// evidence; receivers verify it before treating the sender's claim as
+/// proof (defence against a compromised client spuriously killing the
+/// service — an extension beyond the paper, see DESIGN.md).
+struct FailureMessage {
+  bool has_evidence = false;
+  ClientId committer_a = 0;
+  SignedVersion a;
+  ClientId committer_b = 0;
+  SignedVersion b;
+};
+
+// --- Encoding (type tag + payload) ---------------------------------------
+
+Bytes encode(const SubmitMessage& m);
+Bytes encode(const ReplyMessage& m);
+Bytes encode(const CommitMessage& m);
+Bytes encode(const ProbeMessage& m);
+Bytes encode(const VersionMessage& m);
+Bytes encode(const FailureMessage& m);
+
+/// Peeks the type tag; nullopt on empty/unknown.
+std::optional<MsgType> peek_type(BytesView data);
+
+std::optional<SubmitMessage> decode_submit(BytesView data);
+std::optional<ReplyMessage> decode_reply(BytesView data);
+std::optional<CommitMessage> decode_commit(BytesView data);
+std::optional<ProbeMessage> decode_probe(BytesView data);
+std::optional<VersionMessage> decode_version(BytesView data);
+std::optional<FailureMessage> decode_failure(BytesView data);
+
+// --- Signature payloads (domain-separated canonical encodings) -----------
+
+/// SUBMIT ‖ oc ‖ j ‖ t — binds an invocation to its schedule position.
+Bytes submit_payload(OpCode oc, ClientId target, Timestamp t);
+
+/// DATA ‖ t ‖ x̄ — binds the writer's register hash to its timestamp.
+Bytes data_payload(Timestamp t, const crypto::Hash& xbar);
+
+/// COMMIT ‖ V ‖ M — the version a client vouches for.
+Bytes commit_payload(const Version& ver);
+
+/// PROOF ‖ M[i] — the digest of the signer's own view-history prefix.
+Bytes proof_payload(const Digest& mi);
+
+}  // namespace faust::ustor

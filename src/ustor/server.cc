@@ -1,0 +1,102 @@
+#include "ustor/server.h"
+
+#include "common/check.h"
+
+namespace faust::ustor {
+
+ServerCore::ServerCore(int n)
+    : n_(n),
+      MEM_(static_cast<std::size_t>(n)),
+      SVER_(static_cast<std::size_t>(n), SignedVersion{Version(n), {}}),
+      P_(static_cast<std::size_t>(n)) {
+  FAUST_CHECK(n >= 1);
+}
+
+ReplyMessage ServerCore::process_submit(const SubmitMessage& m) {
+  const ClientId i = m.inv.client;
+  FAUST_CHECK(i >= 1 && i <= n_);
+  const ClientId j = m.inv.target;
+  FAUST_CHECK(j >= 1 && j <= n_);
+
+  ReplyMessage reply;
+  if (m.inv.oc == OpCode::kRead) {
+    // Lines 108–111: a read refreshes the reader's timestamp and DATA
+    // signature but keeps its stored value.
+    MemEntry& me = mem(i);
+    me.t = m.t;
+    me.data_sig = m.data_sig;
+    ReadPayload rp;
+    rp.writer = sver(j);
+    rp.tj = mem(j).t;
+    rp.value = mem(j).value;
+    rp.data_sig = mem(j).data_sig;
+    reply.read = std::move(rp);
+  } else {
+    // Line 113.
+    mem(i) = MemEntry{m.t, m.value, m.data_sig};
+  }
+  reply.c = c_;
+  reply.last = sver(c_);
+  reply.L = L_;
+  reply.P = P_;
+
+  // Line 116: the reply excludes the submitting operation itself.
+  L_.push_back(m.inv);
+  schedule_.push_back(ScheduledOp{i, m.inv.oc, j, m.t});
+  return reply;
+}
+
+void ServerCore::process_commit(ClientId i, const CommitMessage& m) {
+  FAUST_CHECK(i >= 1 && i <= n_);
+  const Version& vc = sver(c_).version;
+
+  // Line 119: "V_i > V^c" on the timestamp vectors — pointwise >= and not
+  // equal. Committed versions of a correct execution are totally ordered
+  // by the schedule, so this promotes exactly the schedule-latest commit.
+  bool geq = m.version.n() == n_;
+  bool strict = false;
+  for (int k = 1; geq && k <= n_; ++k) {
+    if (m.version.v(k) < vc.v(k)) geq = false;
+    if (m.version.v(k) > vc.v(k)) strict = true;
+  }
+  if (geq && strict) {
+    c_ = i;  // line 120
+    // Line 121: drop this client's last tuple and everything before it.
+    for (std::size_t q = L_.size(); q > 0; --q) {
+      if (L_[q - 1].client == i) {
+        L_.erase(L_.begin(), L_.begin() + static_cast<std::ptrdiff_t>(q));
+        break;
+      }
+    }
+  }
+  sver(i) = SignedVersion{m.version, m.commit_sig};  // line 122
+  P_[static_cast<std::size_t>(i - 1)] = m.proof_sig;  // line 123
+}
+
+Server::Server(int n, net::Transport& net, NodeId self) : core_(n), net_(net), self_(self) {
+  net_.attach(self_, *this);
+}
+
+void Server::on_message(NodeId from, BytesView msg) {
+  const auto type = peek_type(msg);
+  if (!type.has_value()) return;  // clients are correct; ignore noise
+  switch (*type) {
+    case MsgType::kSubmit: {
+      auto m = decode_submit(msg);
+      if (!m.has_value() || m->inv.client != from) return;
+      ReplyMessage reply = core_.process_submit(*m);
+      net_.send(self_, from, encode(reply));
+      break;
+    }
+    case MsgType::kCommit: {
+      auto m = decode_commit(msg);
+      if (!m.has_value()) return;
+      core_.process_commit(static_cast<ClientId>(from), *m);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace faust::ustor

@@ -1,0 +1,98 @@
+// USTOR server — Algorithm 2 of the paper.
+//
+// The protocol state and the SUBMIT/COMMIT handlers live in `ServerCore`,
+// a plain struct with no I/O: the correct `Server` below owns one core and
+// forwards messages; the Byzantine servers in src/adversary own one or
+// more cores (a fork per client group) and distort what flows between
+// core and network.  The core also keeps a schedule log — the sequence in
+// which SUBMITs were processed — which *is* the linearization order when
+// the server is correct, and which tests/checkers consume as the oracle.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+#include "net/transport.h"
+#include "ustor/messages.h"
+#include "ustor/types.h"
+
+namespace faust::ustor {
+
+/// One scheduled operation, as logged by the server (test oracle).
+struct ScheduledOp {
+  ClientId client = 0;
+  OpCode oc = OpCode::kRead;
+  ClientId target = 0;
+  Timestamp t = 0;
+
+  bool operator==(const ScheduledOp&) const = default;
+};
+
+/// Protocol state + handlers of Algorithm 2, free of any transport.
+class ServerCore {
+ public:
+  explicit ServerCore(int n);
+
+  /// Lines 107–116: updates MEM, builds the REPLY, appends to L.
+  /// The caller sends the returned reply to the submitting client.
+  ReplyMessage process_submit(const SubmitMessage& m);
+
+  /// Lines 117–123: stores the version/signatures, advances the last
+  /// committed pointer `c`, prunes L.
+  void process_commit(ClientId i, const CommitMessage& m);
+
+  int n() const { return n_; }
+
+  /// The schedule so far (order of SUBMIT processing).
+  const std::vector<ScheduledOp>& schedule() const { return schedule_; }
+
+  /// Current length of the concurrent-operations list L (bench C6 tracks
+  /// its growth when COMMITs are withheld).
+  std::size_t pending_list_size() const { return L_.size(); }
+
+  // State is intentionally inspectable/mutable: the adversary variants
+  // (src/adversary) are "the same server, lying", and tests peek at it.
+  struct MemEntry {
+    Timestamp t = 0;
+    Value value;     // last written value (⊥ before the first write)
+    Bytes data_sig;  // last DATA-signature
+  };
+
+  MemEntry& mem(ClientId i) { return MEM_[static_cast<std::size_t>(i - 1)]; }
+  const MemEntry& mem(ClientId i) const { return MEM_[static_cast<std::size_t>(i - 1)]; }
+  SignedVersion& sver(ClientId i) { return SVER_[static_cast<std::size_t>(i - 1)]; }
+  const SignedVersion& sver(ClientId i) const { return SVER_[static_cast<std::size_t>(i - 1)]; }
+  ClientId last_committer() const { return c_; }
+  const std::vector<InvocationTuple>& L() const { return L_; }
+  const std::vector<Bytes>& P() const { return P_; }
+
+ private:
+  const int n_;
+  std::vector<MemEntry> MEM_;        // line 102
+  ClientId c_ = 1;                   // line 103
+  std::vector<SignedVersion> SVER_;  // line 104
+  std::vector<InvocationTuple> L_;   // line 105
+  std::vector<Bytes> P_;             // line 106
+  std::vector<ScheduledOp> schedule_;
+};
+
+/// The correct server: decodes messages, runs the core, replies.
+class Server : public net::Node {
+ public:
+  Server(int n, net::Transport& net, NodeId self = kServerNode);
+
+  void on_message(NodeId from, BytesView msg) override;
+
+  ServerCore& core() { return core_; }
+  const ServerCore& core() const { return core_; }
+
+ private:
+  ServerCore core_;
+  net::Transport& net_;
+  const NodeId self_;
+};
+
+}  // namespace faust::ustor

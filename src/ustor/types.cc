@@ -1,0 +1,88 @@
+#include "ustor/types.h"
+
+#include "common/check.h"
+
+namespace faust::ustor {
+
+Bytes encode_value(const Value& v) {
+  Bytes out;
+  if (v.has_value()) {
+    append_byte(out, 1);
+    append(out, *v);
+  } else {
+    append_byte(out, 0);
+  }
+  return out;
+}
+
+crypto::Hash value_hash(const Value& v) { return crypto::Sha256::digest(encode_value(v)); }
+
+Bytes encode_digest(const Digest& d) {
+  Bytes out;
+  if (d.present) {
+    append_byte(out, 1);
+    append(out, BytesView(d.hash.data(), d.hash.size()));
+  } else {
+    append_byte(out, 0);
+  }
+  return out;
+}
+
+Digest chain_step(const Digest& d, ClientId client) {
+  Bytes material = encode_digest(d);
+  append_u32(material, static_cast<std::uint32_t>(client));
+  return Digest::of(crypto::Sha256::digest(material));
+}
+
+bool Version::is_zero() const {
+  for (const Timestamp t : V) {
+    if (t != 0) return false;
+  }
+  for (const Digest& d : M) {
+    if (d.present) return false;
+  }
+  return true;
+}
+
+std::string Version::to_string() const {
+  std::string out = "[";
+  for (std::size_t k = 0; k < V.size(); ++k) {
+    if (k > 0) out += ",";
+    out += std::to_string(V[k]);
+  }
+  out += "]";
+  return out;
+}
+
+Bytes encode_version(const Version& ver) {
+  Bytes out;
+  append_u32(out, static_cast<std::uint32_t>(ver.V.size()));
+  for (const Timestamp t : ver.V) append_u64(out, t);
+  for (const Digest& d : ver.M) append(out, encode_digest(d));
+  return out;
+}
+
+bool version_leq(const Version& a, const Version& b) {
+  FAUST_CHECK(a.n() == b.n());
+  for (int k = 0; k < a.n(); ++k) {
+    const auto idx = static_cast<std::size_t>(k);
+    if (a.V[idx] > b.V[idx]) return false;
+    if (a.V[idx] == b.V[idx] && !(a.M[idx] == b.M[idx])) return false;
+  }
+  return true;
+}
+
+VersionOrder version_compare(const Version& a, const Version& b) {
+  const bool ab = version_leq(a, b);
+  const bool ba = version_leq(b, a);
+  if (ab && ba) return VersionOrder::kEqual;
+  if (ab) return VersionOrder::kLess;
+  if (ba) return VersionOrder::kGreater;
+  return VersionOrder::kIncomparable;
+}
+
+bool versions_comparable(const Version& a, const Version& b) {
+  return version_leq(a, b) || version_leq(b, a);
+}
+
+}  // namespace faust::ustor

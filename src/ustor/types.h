@@ -1,0 +1,96 @@
+// Core value types of the USTOR protocol (§5): register values, view-
+// history digests, and versions (V, M) with the partial order of Def. 7.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+#include "crypto/sha256.h"
+
+namespace faust::ustor {
+
+/// Operation code of an invocation (the `oc` of Algorithm 1).
+enum class OpCode : std::uint8_t { kRead = 0, kWrite = 1 };
+
+/// A register value. `std::nullopt` is the paper's ⊥ — the initial value
+/// of every register, outside the value domain X.
+using Value = std::optional<Bytes>;
+
+/// Canonical encoding of a Value (presence byte + payload); the input to
+/// value hashing and the wire format.
+Bytes encode_value(const Value& v);
+
+/// x̄ = H(encoding of v). The paper initializes x̄_i to ⊥ and glosses over
+/// hashing ⊥; we uniformly hash the canonical encoding so that a reader's
+/// recomputation (line 50 of Algorithm 1) matches the writer's DATA
+/// signature even before the first write.
+crypto::Hash value_hash(const Value& v);
+
+/// An entry of the digest vector M: either ⊥ or a SHA-256 digest of a view
+/// history prefix (the D(ω1..ωm) of §5).
+struct Digest {
+  bool present = false;
+  crypto::Hash hash{};
+
+  bool operator==(const Digest&) const = default;
+
+  static Digest bottom() { return {}; }
+  static Digest of(const crypto::Hash& h) { return Digest{true, h}; }
+};
+
+/// Canonical encoding of a Digest (presence byte + hash bytes if present).
+Bytes encode_digest(const Digest& d);
+
+/// One chain step of the digest recursion: D' = H(encode(D) || client).
+/// D(ω1..ωm) = chain_step(D(ω1..ω_{m-1}), i_m), with D() = ⊥.
+Digest chain_step(const Digest& d, ClientId client);
+
+/// A version (V, M): V[k] counts the operations of client C_{k+1} in the
+/// view history; M[k] is the digest of the view-history prefix ending at
+/// C_{k+1}'s last operation. Vectors are indexed 0-based internally; the
+/// paper's V_i[k] for client k is `V[k-1]` here. Accessors taking ClientId
+/// hide the shift.
+struct Version {
+  std::vector<Timestamp> V;
+  std::vector<Digest> M;
+
+  Version() = default;
+  explicit Version(int n) : V(static_cast<std::size_t>(n), 0), M(static_cast<std::size_t>(n)) {}
+
+  int n() const { return static_cast<int>(V.size()); }
+
+  Timestamp v(ClientId c) const { return V[static_cast<std::size_t>(c - 1)]; }
+  Timestamp& v(ClientId c) { return V[static_cast<std::size_t>(c - 1)]; }
+  const Digest& m(ClientId c) const { return M[static_cast<std::size_t>(c - 1)]; }
+  Digest& m(ClientId c) { return M[static_cast<std::size_t>(c - 1)]; }
+
+  /// True for the all-zero version (0^n, ⊥^n).
+  bool is_zero() const;
+
+  bool operator==(const Version&) const = default;
+
+  /// Human-readable "[v1,v2,...]" (digests omitted), for logs and examples.
+  std::string to_string() const;
+};
+
+/// Canonical encoding of a Version (the payload of COMMIT signatures).
+Bytes encode_version(const Version& ver);
+
+/// Decoded relationship between two versions under ≼ (Def. 7).
+enum class VersionOrder { kEqual, kLess, kGreater, kIncomparable };
+
+/// Definition 7: (Va,Ma) ≼ (Vb,Mb) iff Va <= Vb pointwise, and for every k
+/// with Va[k] == Vb[k], Ma[k] == Mb[k]. Requires equal n.
+bool version_leq(const Version& a, const Version& b);
+
+/// Full comparison; kIncomparable is the forking-evidence case.
+VersionOrder version_compare(const Version& a, const Version& b);
+
+/// True iff a ≼ b or b ≼ a. FAUST's consistency check (§6).
+bool versions_comparable(const Version& a, const Version& b);
+
+}  // namespace faust::ustor

@@ -1,0 +1,45 @@
+#include "wire/encoder.h"
+
+namespace faust::wire {
+
+bool Reader::need(std::size_t n) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t Reader::get_u8() {
+  if (!need(1)) return 0;
+  return data_[pos_++];
+}
+
+std::uint32_t Reader::get_u32() {
+  if (!need(4)) return 0;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{data_[pos_++]} << (8 * i);
+  return v;
+}
+
+std::uint64_t Reader::get_u64() {
+  if (!need(8)) return 0;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{data_[pos_++]} << (8 * i);
+  return v;
+}
+
+Bytes Reader::get_bytes() {
+  const std::uint32_t len = get_u32();
+  return get_raw(len);
+}
+
+Bytes Reader::get_raw(std::size_t n) {
+  if (!need(n)) return {};
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+}  // namespace faust::wire

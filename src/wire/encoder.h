@@ -1,0 +1,81 @@
+// Canonical binary encoding.
+//
+// All protocol messages and all signature payloads are encoded through
+// Writer/Reader (DESIGN.md, decision D3): fixed little-endian integers and
+// length-prefixed byte strings.  The encoding of a value is unique, so
+// signatures computed over encodings are unambiguous.
+//
+// Reader is hardened against malformed input: a Byzantine server may send
+// arbitrary bytes, so every `get_*` bounds-checks and a failed read flips
+// a sticky `ok()` flag instead of throwing or crashing.  Protocol code
+// checks `ok()` once after decoding and routes failures into the paper's
+// fail path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace faust::wire {
+
+/// Appends values to an owned byte buffer.
+class Writer {
+ public:
+  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+  void put_u32(std::uint32_t v) { append_u32(buf_, v); }
+  void put_u64(std::uint64_t v) { append_u64(buf_, v); }
+
+  /// Length-prefixed (u32) byte string.
+  void put_bytes(BytesView b) {
+    put_u32(static_cast<std::uint32_t>(b.size()));
+    append(buf_, b);
+  }
+
+  /// Raw bytes, no length prefix (for fixed-size fields like hashes).
+  void put_raw(BytesView b) { append(buf_, b); }
+
+  /// Moves the accumulated buffer out.
+  Bytes take() { return std::move(buf_); }
+
+  const Bytes& buffer() const { return buf_; }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Sequentially decodes a byte buffer with sticky error state.
+class Reader {
+ public:
+  explicit Reader(BytesView data) : data_(data) {}
+
+  std::uint8_t get_u8();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+
+  /// Length-prefixed byte string. Returns empty on error.
+  Bytes get_bytes();
+
+  /// Exactly `n` raw bytes. Returns empty on error.
+  Bytes get_raw(std::size_t n);
+
+  /// True iff no decode error occurred so far.
+  bool ok() const { return ok_; }
+
+  /// True iff every byte has been consumed (call together with ok() to
+  /// reject trailing garbage).
+  bool exhausted() const { return pos_ == data_.size(); }
+
+  /// Bytes remaining.
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  bool need(std::size_t n);
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace faust::wire

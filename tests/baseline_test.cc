@@ -1,0 +1,219 @@
+// Baseline tests: the lock-step fork-linearizable protocol works but
+// blocks (C3 of DESIGN.md — the paper's separation claim), and detects
+// forged chains; the naive baseline detects nothing.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "baseline/lockstep.h"
+#include "baseline/naive.h"
+#include "common/rng.h"
+#include "crypto/signature.h"
+#include "net/network.h"
+#include "sim/scheduler.h"
+#include "ustor/client.h"
+#include "ustor/server.h"
+
+namespace faust::baseline {
+namespace {
+
+constexpr int kN = 3;
+
+struct LockStepFixture : ::testing::Test {
+  sim::Scheduler sched;
+  net::Network net{sched, Rng(17), net::DelayModel{3, 9}};
+  std::shared_ptr<const crypto::SignatureScheme> sigs = crypto::make_hmac_scheme(kN);
+  LockStepServer server{kN, net};
+  std::vector<std::unique_ptr<LockStepClient>> clients;
+
+  void SetUp() override {
+    for (ClientId i = 1; i <= kN; ++i) {
+      clients.push_back(std::make_unique<LockStepClient>(i, kN, sigs, net));
+    }
+  }
+
+  LockStepClient& c(ClientId i) { return *clients[static_cast<std::size_t>(i - 1)]; }
+
+  bool write(ClientId i, std::string_view v) {
+    bool done = false;
+    c(i).write(to_bytes(v), [&] { done = true; });
+    while (!done && sched.step()) {
+    }
+    return done;
+  }
+
+  std::pair<bool, ustor::Value> read(ClientId i, ClientId j) {
+    bool done = false;
+    ustor::Value out;
+    c(i).read(j, [&](const ustor::Value& v) {
+      out = v;
+      done = true;
+    });
+    while (!done && sched.step()) {
+    }
+    return {done, out};
+  }
+};
+
+TEST_F(LockStepFixture, SequentialSemanticsCorrect) {
+  ASSERT_TRUE(write(1, "a"));
+  auto [ok, v] = read(2, 1);
+  ASSERT_TRUE(ok);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(to_string(*v), "a");
+  ASSERT_TRUE(write(1, "b"));
+  auto [ok2, v2] = read(3, 1);
+  ASSERT_TRUE(ok2);
+  EXPECT_EQ(to_string(*v2), "b");
+  sched.run();  // drain the final COMMIT
+  EXPECT_EQ(server.chain_length(), 4u);
+}
+
+TEST_F(LockStepFixture, UnwrittenRegisterReadsBottom) {
+  auto [ok, v] = read(1, 2);
+  ASSERT_TRUE(ok);
+  EXPECT_FALSE(v.has_value());
+}
+
+TEST_F(LockStepFixture, ConcurrentOpsSerializeThroughTheLock) {
+  int done = 0;
+  c(1).write(to_bytes("x"), [&] { ++done; });
+  c(2).read(1, [&](const ustor::Value&) { ++done; });
+  c(3).read(1, [&](const ustor::Value&) { ++done; });
+  // While the first grant is outstanding, the others must be queued.
+  sched.run_until(sched.now() + 4);  // one delivery's worth of time
+  EXPECT_LE(done, 1);
+  sched.run();
+  EXPECT_EQ(done, 3);  // all complete eventually — but serially
+}
+
+TEST_F(LockStepFixture, CrashedClientBlocksEveryoneForever) {
+  // The impossibility the paper exploits (§1): C1 crashes inside its
+  // critical window and the whole system wedges.
+  c(1).set_crash_on_grant(true);
+  c(1).write(to_bytes("doomed"), [] { FAIL() << "crashed client completed?"; });
+
+  bool c2_done = false;
+  c(2).read(1, [&](const ustor::Value&) { c2_done = true; });
+  bool c3_done = false;
+  c(3).write(to_bytes("stuck"), [&] { c3_done = true; });
+
+  sched.run();  // drain the entire simulation
+  EXPECT_FALSE(c2_done) << "fork-linearizable baseline is not wait-free";
+  EXPECT_FALSE(c3_done);
+  EXPECT_TRUE(server.grant_outstanding());
+  EXPECT_EQ(server.queued(), 2u);
+}
+
+TEST_F(LockStepFixture, UstorCompletesInTheSameScenario) {
+  // Control group: USTOR under the identical crash pattern stays live.
+  sim::Scheduler sched2;
+  net::Network net2(sched2, Rng(17), net::DelayModel{3, 9});
+  auto sigs2 = crypto::make_hmac_scheme(kN);
+  ustor::Server server2(kN, net2);
+  ustor::Client u1(1, kN, sigs2, net2);
+  ustor::Client u2(2, kN, sigs2, net2);
+  ustor::Client u3(3, kN, sigs2, net2);
+
+  u1.writex(to_bytes("doomed"), [](const ustor::WriteResult&) {});
+  sched2.run_until(sched2.now() + 9);  // SUBMIT delivered
+  net2.crash(1);                       // crash before COMMIT
+
+  bool c2_done = false, c3_done = false;
+  u2.readx(1, [&](const ustor::ReadResult&) { c2_done = true; });
+  u3.writex(to_bytes("fine"), [&](const ustor::WriteResult&) { c3_done = true; });
+  sched2.run();
+  EXPECT_TRUE(c2_done) << "USTOR is wait-free";
+  EXPECT_TRUE(c3_done);
+  EXPECT_FALSE(u2.failed());
+  EXPECT_FALSE(u3.failed());
+}
+
+TEST_F(LockStepFixture, ForgedChainEntryDetected) {
+  // A Byzantine lock-step server rewriting history is caught by the chain
+  // signatures during replay.
+  ASSERT_TRUE(write(1, "real"));
+
+  // Hand-craft a grant with a forged entry for C2 (the test plays server,
+  // delivering it via on_message directly).
+  ChainEntry forged;
+  forged.client = 1;
+  forged.oc = ustor::OpCode::kWrite;
+  forged.target = 1;
+  forged.value = to_bytes("forged");
+  forged.commit_sig = to_bytes("not a real signature");
+  LsGrant grant;
+  grant.base_seq = 0;
+  grant.delta = {forged};
+
+  bool failed = false;
+  c(2).on_fail = [&] { failed = true; };
+  bool completed = false;
+  c(2).read(1, [&](const ustor::Value&) { completed = true; });
+  // Deliver the forged grant straight to C2, impersonating the server.
+  c(2).on_message(kServerNode, encode(grant));
+  EXPECT_TRUE(failed);
+  EXPECT_FALSE(completed);
+  EXPECT_TRUE(c(2).failed());
+}
+
+TEST_F(LockStepFixture, GrantWithWrongBaseRejected) {
+  ASSERT_TRUE(write(1, "a"));
+  bool failed = false;
+  c(2).on_fail = [&] { failed = true; };
+  c(2).read(1, [](const ustor::Value&) {});
+  LsGrant grant;
+  grant.base_seq = 42;  // nonsense base
+  c(2).on_message(kServerNode, encode(grant));
+  EXPECT_TRUE(failed);
+}
+
+TEST(LockStepMessages, Roundtrip) {
+  ChainEntry e;
+  e.client = 2;
+  e.oc = ustor::OpCode::kWrite;
+  e.target = 2;
+  e.value = to_bytes("val");
+  e.commit_sig = to_bytes("sig");
+  LsGrant g;
+  g.base_seq = 7;
+  g.delta = {e};
+  const auto back = decode_ls_grant(encode(g));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->base_seq, 7u);
+  ASSERT_EQ(back->delta.size(), 1u);
+  EXPECT_EQ(back->delta[0].value, e.value);
+
+  EXPECT_TRUE(decode_ls_request(encode(LsRequest{3})).has_value());
+  EXPECT_TRUE(decode_ls_commit(encode(LsCommit{e})).has_value());
+  EXPECT_FALSE(decode_ls_grant(encode(LsRequest{3})).has_value());
+}
+
+TEST(Naive, NoIntegrityWhatsoever) {
+  sim::Scheduler sched;
+  net::Network net(sched, Rng(9), net::DelayModel{1, 2});
+  NaiveServer server(2, net);
+  NaiveClient c1(1, 2, net);
+  NaiveClient c2(2, 2, net);
+
+  bool wrote = false;
+  c1.write(to_bytes("truth"), [&] { wrote = true; });
+  sched.run();
+  ASSERT_TRUE(wrote);
+
+  server.lie_about(1, to_bytes("lie"));
+  ustor::Value got;
+  c2.read(1, [&](const ustor::Value& v) { got = v; });
+  sched.run();
+  EXPECT_EQ(to_string(*got), "lie");
+
+  server.lie_about(1, std::nullopt);  // even unwriting is possible
+  ustor::Value got2 = to_bytes("sentinel");
+  c2.read(1, [&](const ustor::Value& v) { got2 = v; });
+  sched.run();
+  EXPECT_FALSE(got2.has_value());
+}
+
+}  // namespace
+}  // namespace faust::baseline

@@ -1,0 +1,319 @@
+// Tests of the consistency checkers themselves: hand-built histories with
+// known verdicts, plus cross-validation of the polynomial linearizability
+// checker against the exhaustive Wing–Gong search on random histories.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "checker/causal.h"
+#include "checker/history.h"
+#include "checker/linearizability.h"
+#include "checker/weak_fork.h"
+#include "common/rng.h"
+
+namespace faust::checker {
+namespace {
+
+/// Tiny DSL for building histories by hand.
+struct H {
+  std::vector<OpRecord> ops;
+
+  int write(ClientId c, std::string_view v, sim::Time inv, sim::Time resp) {
+    OpRecord op;
+    op.id = static_cast<int>(ops.size());
+    op.client = c;
+    op.oc = ustor::OpCode::kWrite;
+    op.target = c;
+    op.value = to_bytes(v);
+    op.invoked = inv;
+    op.responded = resp;
+    op.t = 0;
+    ops.push_back(op);
+    return op.id;
+  }
+
+  int read(ClientId c, ClientId reg, std::optional<std::string> v, sim::Time inv,
+           sim::Time resp) {
+    OpRecord op;
+    op.id = static_cast<int>(ops.size());
+    op.client = c;
+    op.oc = ustor::OpCode::kRead;
+    op.target = reg;
+    op.value = v.has_value() ? ustor::Value(to_bytes(*v)) : std::nullopt;
+    op.invoked = inv;
+    op.responded = resp;
+    ops.push_back(op);
+    return op.id;
+  }
+};
+
+TEST(Linearizability, EmptyAndTrivialPass) {
+  H h;
+  EXPECT_TRUE(check_linearizable(h.ops).ok);
+  h.write(1, "a", 0, 10);
+  EXPECT_TRUE(check_linearizable(h.ops).ok);
+}
+
+TEST(Linearizability, SequentialReadAfterWritePasses) {
+  H h;
+  h.write(1, "a", 0, 10);
+  h.read(2, 1, "a", 20, 30);
+  EXPECT_TRUE(check_linearizable(h.ops).ok);
+  EXPECT_TRUE(check_linearizable_brute(h.ops));
+}
+
+TEST(Linearizability, StaleReadAfterCompletedWriteFails) {
+  H h;
+  h.write(1, "a", 0, 10);
+  h.read(2, 1, std::nullopt, 20, 30);  // ⊥ after the write completed
+  EXPECT_FALSE(check_linearizable(h.ops).ok);
+  EXPECT_FALSE(check_linearizable_brute(h.ops));
+}
+
+TEST(Linearizability, ConcurrentReadMayGoEitherWay) {
+  H h1;
+  h1.write(1, "a", 0, 100);
+  h1.read(2, 1, "a", 10, 20);  // read of in-flight write: fine
+  EXPECT_TRUE(check_linearizable(h1.ops).ok);
+  EXPECT_TRUE(check_linearizable_brute(h1.ops));
+
+  H h2;
+  h2.write(1, "a", 0, 100);
+  h2.read(2, 1, std::nullopt, 10, 20);  // or not yet: also fine
+  EXPECT_TRUE(check_linearizable(h2.ops).ok);
+  EXPECT_TRUE(check_linearizable_brute(h2.ops));
+}
+
+TEST(Linearizability, ReadFromTheFutureFails) {
+  H h;
+  h.read(2, 1, "a", 0, 5);  // completes before the write is invoked
+  h.write(1, "a", 10, 20);
+  EXPECT_FALSE(check_linearizable(h.ops).ok);
+  EXPECT_FALSE(check_linearizable_brute(h.ops));
+}
+
+TEST(Linearizability, NewOldInversionFails) {
+  // Both reads overlap nothing; r1 sees the newer write, the later r2
+  // sees the older one: no single linearization can explain it.
+  H h;
+  h.write(1, "old", 0, 5);
+  h.write(1, "new", 10, 15);
+  h.read(2, 1, "new", 16, 20);
+  h.read(3, 1, "old", 25, 30);
+  EXPECT_FALSE(check_linearizable(h.ops).ok);
+  EXPECT_FALSE(check_linearizable_brute(h.ops));
+}
+
+TEST(Linearizability, ThinAirValueFails) {
+  H h;
+  h.write(1, "a", 0, 10);
+  h.read(2, 1, "never-written", 20, 30);
+  EXPECT_FALSE(check_linearizable(h.ops).ok);
+}
+
+TEST(Linearizability, MultiRegisterIsLocal) {
+  H h;
+  h.write(1, "a", 0, 10);
+  h.write(2, "b", 0, 10);
+  h.read(3, 1, "a", 20, 30);
+  h.read(3, 2, "b", 40, 50);
+  EXPECT_TRUE(check_linearizable(h.ops).ok);
+}
+
+TEST(Linearizability, IncompleteWriteMayOrMayNotBeSeen) {
+  H h1;
+  h1.write(1, "a", 0, kNever);  // never completed
+  h1.read(2, 1, "a", 100, 110);
+  EXPECT_TRUE(check_linearizable(h1.ops).ok);
+
+  H h2;
+  h2.write(1, "a", 0, kNever);
+  h2.read(2, 1, std::nullopt, 100, 110);
+  EXPECT_TRUE(check_linearizable(h2.ops).ok);
+}
+
+TEST(Linearizability, CrossValidationAgainstBruteForce) {
+  // Random small SWMR histories; the two checkers must agree exactly.
+  Rng rng(2024);
+  int disagreements = 0;
+  int checked = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    H h;
+    const int n_clients = 2 + static_cast<int>(rng.next_below(2));
+    const int ops = 3 + static_cast<int>(rng.next_below(5));
+    std::vector<sim::Time> client_clock(static_cast<std::size_t>(n_clients) + 1, 0);
+    std::vector<std::vector<std::string>> written(static_cast<std::size_t>(n_clients) + 1);
+    for (int k = 0; k < ops; ++k) {
+      const ClientId c = 1 + static_cast<ClientId>(rng.next_below(
+                                 static_cast<std::uint64_t>(n_clients)));
+      auto& clock = client_clock[static_cast<std::size_t>(c)];
+      const sim::Time inv = clock + rng.next_below(8);
+      const sim::Time resp = inv + 1 + rng.next_below(10);
+      clock = resp + 1;
+      if (rng.chance(0.5)) {
+        const std::string v = "v" + std::to_string(trial) + "_" + std::to_string(k);
+        h.write(c, v, inv, resp);
+        written[static_cast<std::size_t>(c)].push_back(v);
+      } else {
+        const ClientId reg = 1 + static_cast<ClientId>(rng.next_below(
+                                     static_cast<std::uint64_t>(n_clients)));
+        const auto& w = written[static_cast<std::size_t>(reg)];
+        std::optional<std::string> v;
+        if (!w.empty() && rng.chance(0.7)) {
+          v = w[rng.next_below(w.size())];
+        }
+        h.read(c, reg, v, inv, resp);
+      }
+    }
+    ++checked;
+    const bool fast = check_linearizable(h.ops).ok;
+    const bool brute = check_linearizable_brute(h.ops);
+    if (fast != brute) ++disagreements;
+    EXPECT_EQ(fast, brute) << "disagreement on trial " << trial;
+  }
+  EXPECT_EQ(disagreements, 0) << "out of " << checked;
+}
+
+TEST(Causal, RespectsTransitiveCausality) {
+  // C1 writes a; C2 reads a then writes b; C3 reads b but misses a: a
+  // causally precedes b, so C3's view is impossible.
+  H bad;
+  bad.write(1, "a", 0, 10);
+  bad.read(2, 1, "a", 20, 30);
+  bad.write(2, "b", 40, 50);
+  bad.read(3, 2, "b", 60, 70);
+  bad.read(3, 1, std::nullopt, 80, 90);
+  EXPECT_FALSE(check_causal(bad.ops).ok);
+
+  H good = bad;
+  good.ops[4].value = to_bytes("a");  // C3 sees a as well
+  EXPECT_TRUE(check_causal(good.ops).ok);
+}
+
+TEST(Causal, AllowsDivergentOrderOfConcurrentWrites) {
+  // Two concurrent writes to different registers observed in different
+  // orders by different clients: causal (not sequentially consistent).
+  H h;
+  h.write(1, "a", 0, 10);
+  h.write(2, "b", 0, 10);
+  h.read(3, 1, "a", 20, 25);
+  h.read(3, 2, std::nullopt, 26, 30);
+  h.read(4, 2, "b", 20, 25);
+  h.read(4, 1, std::nullopt, 26, 30);
+  EXPECT_TRUE(check_causal(h.ops).ok);
+  // It is not linearizable, though.
+  EXPECT_FALSE(check_linearizable(h.ops).ok);
+}
+
+TEST(Causal, ProgramOrderWithinClientEnforced) {
+  // A client reads the new value, then the old one: its own program order
+  // plus reads-from forbids any serialization.
+  H h;
+  h.write(1, "v1", 0, 10);
+  h.write(1, "v2", 20, 30);
+  h.read(2, 1, "v2", 40, 50);
+  h.read(2, 1, "v1", 60, 70);
+  EXPECT_FALSE(check_causal(h.ops).ok);
+}
+
+TEST(Causal, ThinAirFails) {
+  H h;
+  h.read(2, 1, "ghost", 0, 10);
+  EXPECT_FALSE(check_causal(h.ops).ok);
+}
+
+TEST(WeakFork, ValidViewsAccepted) {
+  // Figure 3 shape, hand-built.
+  H h;
+  const int w1 = h.write(1, "u", 0, 10);
+  const int r1 = h.read(2, 1, std::nullopt, 20, 30);
+  const int r2 = h.read(2, 1, "u", 40, 50);
+  ViewMap views;
+  views[1] = {w1};
+  views[2] = {r1, w1, r2};
+  const auto res = validate_weak_fork_linearizable(h.ops, views);
+  EXPECT_TRUE(res.ok) << res.violation;
+  // Strict fork-linearizability rejects the same views (real-time order).
+  EXPECT_FALSE(validate_fork_linearizable(h.ops, views).ok);
+  // And no other views would help.
+  EXPECT_FALSE(exists_fork_linearizable_views(h.ops));
+}
+
+TEST(WeakFork, SequentialSpecViolationRejected) {
+  H h;
+  const int w1 = h.write(1, "u", 0, 10);
+  const int r1 = h.read(2, 1, std::nullopt, 20, 30);
+  ViewMap views;
+  views[1] = {w1};
+  views[2] = {w1, r1};  // read of ⊥ placed after the write
+  EXPECT_FALSE(validate_weak_fork_linearizable(h.ops, views).ok);
+}
+
+TEST(WeakFork, MissingOwnOpRejected) {
+  H h;
+  const int w1 = h.write(1, "u", 0, 10);
+  h.read(2, 1, "u", 20, 30);
+  ViewMap views;
+  views[1] = {w1};
+  views[2] = {w1};  // C2's view omits its own read
+  EXPECT_FALSE(validate_weak_fork_linearizable(h.ops, views).ok);
+}
+
+TEST(WeakFork, CausallyRequiredUpdateMissingRejected) {
+  // C2 read u (so w1 → r); a view of C2 omitting w1 is illegal even
+  // before the spec check — use a read that "guessed" the value.
+  H h;
+  const int w1 = h.write(1, "u", 0, 10);
+  const int w2 = h.write(1, "v", 20, 30);
+  const int r = h.read(2, 1, "v", 40, 50);
+  ViewMap views;
+  views[1] = {w1, w2};
+  views[2] = {w2, r};  // misses w1, which causally precedes w2 (program order)
+  const auto res = validate_weak_fork_linearizable(h.ops, views);
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(WeakFork, DoubleJoinRejected) {
+  // Views share two ops of C1 but disagree on the prefix at the first —
+  // at-most-one-join allows divergence only at the *last* common op.
+  H h;
+  const int w1 = h.write(1, "a", 0, 10);
+  const int w2 = h.write(1, "b", 20, 30);
+  const int r3 = h.read(3, 2, std::nullopt, 5, 8);
+  const int r2 = h.read(2, 1, "a", 12, 15);
+  ViewMap views;
+  // C2 saw [w1, r2, w2]; C3 saw [r3, w1, w2]: w1 and w2 are common, and
+  // the prefixes at w1 differ ([w1] vs [r3, w1]).
+  views[2] = {w1, r2, w2};
+  views[3] = {r3, w1, w2};
+  const auto res = validate_weak_fork_linearizable(h.ops, views);
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(WeakFork, SingleDivergentLastOpAccepted) {
+  // Same shape but only ONE common C1 op: allowed (the join happens at
+  // the last operation only).
+  H h;
+  const int w1 = h.write(1, "a", 0, 10);
+  const int r3 = h.read(3, 2, std::nullopt, 5, 8);
+  const int r2 = h.read(2, 1, "a", 12, 15);
+  ViewMap views;
+  views[2] = {w1, r2};
+  views[3] = {r3, w1};
+  const auto res = validate_weak_fork_linearizable(h.ops, views);
+  EXPECT_TRUE(res.ok) << res.violation;
+}
+
+TEST(WeakFork, LinearizableHistoryIsForkLinearizable) {
+  H h;
+  const int w1 = h.write(1, "a", 0, 10);
+  const int r2 = h.read(2, 1, "a", 20, 30);
+  EXPECT_TRUE(exists_fork_linearizable_views(h.ops));
+  ViewMap views;
+  views[1] = {w1, r2};
+  views[2] = {w1, r2};
+  EXPECT_TRUE(validate_fork_linearizable(h.ops, views).ok);
+}
+
+}  // namespace
+}  // namespace faust::checker

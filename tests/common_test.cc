@@ -1,0 +1,127 @@
+// Unit tests for src/common: bytes, hex, deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bytes.h"
+#include "common/hex.h"
+#include "common/rng.h"
+
+namespace faust {
+namespace {
+
+TEST(Bytes, AppendVariants) {
+  Bytes b;
+  append(b, std::string_view("ab"));
+  append_byte(b, 0x01);
+  append_u32(b, 0x04030201u);
+  append_u64(b, 0x0807060504030201ull);
+  ASSERT_EQ(b.size(), 2u + 1 + 4 + 8);
+  EXPECT_EQ(b[0], 'a');
+  EXPECT_EQ(b[2], 0x01);
+  // Little-endian layout.
+  EXPECT_EQ(b[3], 0x01);
+  EXPECT_EQ(b[6], 0x04);
+  EXPECT_EQ(b[7], 0x01);
+  EXPECT_EQ(b[14], 0x08);
+}
+
+TEST(Bytes, ToBytesRoundtrip) {
+  const Bytes b = to_bytes("hello");
+  EXPECT_EQ(to_string(b), "hello");
+  EXPECT_TRUE(to_bytes("").empty());
+}
+
+TEST(Bytes, ConstantTimeEqual) {
+  EXPECT_TRUE(constant_time_equal(to_bytes("abc"), to_bytes("abc")));
+  EXPECT_FALSE(constant_time_equal(to_bytes("abc"), to_bytes("abd")));
+  EXPECT_FALSE(constant_time_equal(to_bytes("abc"), to_bytes("abcd")));
+  EXPECT_TRUE(constant_time_equal(to_bytes(""), to_bytes("")));
+}
+
+TEST(Hex, EncodeDecode) {
+  const Bytes b{0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(hex_encode(b), "0001abff");
+  const auto back = hex_decode("0001abff");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, b);
+  EXPECT_EQ(hex_decode("0001ABFF"), b);  // upper case accepted
+}
+
+TEST(Hex, RejectsMalformed) {
+  EXPECT_FALSE(hex_decode("abc").has_value());   // odd length
+  EXPECT_FALSE(hex_decode("zz").has_value());    // non-hex
+  EXPECT_TRUE(hex_decode("").has_value());       // empty ok
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRangeAndCoversAll) {
+  Rng r(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = r.next_below(5);
+    EXPECT_LT(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NextInInclusive) {
+  Rng r(9);
+  bool lo_seen = false, hi_seen = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = r.next_in(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    lo_seen |= v == 3;
+    hi_seen |= v == 6;
+  }
+  EXPECT_TRUE(lo_seen);
+  EXPECT_TRUE(hi_seen);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ForkIndependentStreams) {
+  Rng parent(5);
+  Rng child = parent.fork();
+  // The child stream is not a suffix/copy of the parent stream.
+  Rng parent2(5);
+  (void)parent2.next_u64();  // parent consumed one draw for the fork
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.next_u64() == parent2.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace faust

@@ -1,0 +1,104 @@
+// Failure-injection tests: client crashes, server crashes (benign faults)
+// — wait-freedom for the survivors, no false Byzantine accusations, and
+// continued stability through the offline channel.
+#include <gtest/gtest.h>
+
+#include "adversary/misc_servers.h"
+#include "faust/cluster.h"
+
+namespace faust {
+namespace {
+
+TEST(Crash, ClientCrashDoesNotBlockOthers) {
+  ClusterConfig cfg;
+  cfg.n = 3;
+  Cluster cl(cfg);
+  cl.write(1, "a");
+  cl.net().crash(2);  // C2 vanishes
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_GT(cl.write(1, "w" + std::to_string(k)), 0u);
+    ASSERT_TRUE(cl.read(3, 1).has_value());
+  }
+  EXPECT_FALSE(cl.client(1).failed());
+  EXPECT_FALSE(cl.client(3).failed());
+}
+
+TEST(Crash, ClientCrashMidOperationLeavesLEntryButNoHarm) {
+  ClusterConfig cfg;
+  cfg.n = 3;
+  cfg.faust.dummy_read_period = 0;
+  Cluster cl(cfg);
+  // C2 submits and crashes before the commit leaves.
+  cl.client(2).write(to_bytes("half-done"), [](Timestamp) {});
+  cl.run_for(3);  // submit in flight
+  cl.net().crash(2);
+  cl.run_for(1'000);
+  // Others proceed; C2's submitted-but-uncommitted write is visible to
+  // readers scheduled after it (it is in the view history).
+  const ustor::Value v = cl.read(1, 2);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(to_string(*v), "half-done");
+  EXPECT_FALSE(cl.client(1).failed());
+}
+
+TEST(Crash, ServerCrashIsNotAccusedOfByzantineFault) {
+  ClusterConfig cfg;
+  cfg.n = 3;
+  cfg.faust.probe_interval = 2'000;
+  cfg.faust.probe_check_period = 500;
+  Cluster cl(cfg);
+  cl.write(1, "a");
+  cl.read(2, 1);
+  cl.net().crash(kServerNode);
+  cl.run_for(300'000);
+  EXPECT_FALSE(cl.any_failed()) << "accuracy: fail_i only on real misbehaviour";
+}
+
+TEST(Crash, MidProtocolServerSilenceKeepsAccuracy) {
+  // Server answers exactly 3 SUBMITs then goes silent: some operation is
+  // cut off mid-flight. Nobody may accuse it of Byzantine behaviour.
+  ClusterConfig cfg;
+  cfg.n = 2;
+  cfg.with_server = false;
+  cfg.faust.dummy_read_period = 0;
+  cfg.faust.probe_interval = 2'000;
+  cfg.faust.probe_check_period = 500;
+  Cluster cl(cfg);
+  adversary::SilencingServer server(cfg.n, cl.net(), /*serve_ops=*/3);
+
+  EXPECT_GT(cl.write(1, "a"), 0u);
+  ASSERT_TRUE(cl.read(2, 1).has_value());
+  EXPECT_GT(cl.write(1, "b"), 0u);
+  // This one never completes:
+  cl.client(2).read(1, [](const ustor::Value&, Timestamp) {
+    FAIL() << "operation against a silent server must not complete";
+  });
+  cl.run_for(300'000);
+  EXPECT_TRUE(server.silenced());
+  EXPECT_FALSE(cl.any_failed());
+  // Stability still advanced for the completed prefix via probing.
+  EXPECT_GE(cl.client(1).stability_cut()[1], 1u);
+}
+
+TEST(Crash, OfflineMailboxSurvivesLongPartitions) {
+  ClusterConfig cfg;
+  cfg.n = 2;
+  cfg.faust.dummy_read_period = 0;
+  cfg.faust.probe_interval = 1'000;
+  cfg.faust.probe_check_period = 300;
+  Cluster cl(cfg);
+  cl.write(1, "a");
+  cl.read(2, 1);
+  cl.net().crash(kServerNode);
+  cl.client(2).go_offline();
+  cl.run_for(50'000);  // C1's probes pile up in C2's mailbox
+  EXPECT_EQ(cl.client(1).fully_stable_timestamp(), 0u);
+  cl.client(2).go_online();
+  cl.run_for(50'000);
+  EXPECT_GE(cl.client(1).fully_stable_timestamp(), 1u)
+      << "probe answered after the partition healed";
+  EXPECT_FALSE(cl.any_failed());
+}
+
+}  // namespace
+}  // namespace faust

@@ -1,0 +1,145 @@
+// Crypto substrate tests: SHA-256 against FIPS 180-4 vectors, HMAC-SHA256
+// against RFC 4231 vectors, and the client signature schemes.
+#include <gtest/gtest.h>
+
+#include "common/hex.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "crypto/signature.h"
+
+namespace faust::crypto {
+namespace {
+
+std::string sha_hex(BytesView data) {
+  return hex_encode(hash_to_bytes(Sha256::digest(data)));
+}
+
+TEST(Sha256, FipsVectorEmpty) {
+  EXPECT_EQ(sha_hex(to_bytes("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, FipsVectorAbc) {
+  EXPECT_EQ(sha_hex(to_bytes("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, FipsVectorTwoBlocks) {
+  EXPECT_EQ(sha_hex(to_bytes("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, FipsVectorMillionA) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(hex_encode(hash_to_bytes(h.finish())),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const Bytes data = to_bytes("the quick brown fox jumps over the lazy dog, twice over");
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    Sha256 h;
+    h.update(BytesView(data.data(), split));
+    h.update(BytesView(data.data() + split, data.size() - split));
+    EXPECT_EQ(h.finish(), Sha256::digest(data)) << "split at " << split;
+  }
+}
+
+TEST(Sha256, PaddingBoundaries) {
+  // Lengths around the 55/56/64-byte padding edges must all be distinct
+  // and stable.
+  std::set<std::string> digests;
+  for (std::size_t len : {0u, 1u, 54u, 55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    digests.insert(sha_hex(Bytes(len, 0x5a)));
+  }
+  EXPECT_EQ(digests.size(), 12u);
+}
+
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const Bytes data = to_bytes("Hi There");
+  EXPECT_EQ(hex_encode(hash_to_bytes(hmac_sha256(key, data))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  const Bytes key = to_bytes("Jefe");
+  const Bytes data = to_bytes("what do ya want for nothing?");
+  EXPECT_EQ(hex_encode(hash_to_bytes(hmac_sha256(key, data))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  EXPECT_EQ(hex_encode(hash_to_bytes(hmac_sha256(key, data))),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, Rfc4231Case6LongKey) {
+  const Bytes key(131, 0xaa);  // longer than the block size: hashed first
+  const Bytes data = to_bytes("Test Using Larger Than Block-Size Key - Hash Key First");
+  EXPECT_EQ(hex_encode(hash_to_bytes(hmac_sha256(key, data))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Signatures, SignVerifyRoundtrip) {
+  const auto scheme = make_hmac_scheme(3);
+  const Bytes msg = to_bytes("payload");
+  for (ClientId c = 1; c <= 3; ++c) {
+    const Bytes sig = scheme->sign(c, msg);
+    EXPECT_EQ(sig.size(), scheme->signature_size());
+    EXPECT_TRUE(scheme->verify(c, msg, sig));
+  }
+}
+
+TEST(Signatures, WrongSignerRejected) {
+  const auto scheme = make_hmac_scheme(3);
+  const Bytes msg = to_bytes("payload");
+  const Bytes sig = scheme->sign(1, msg);
+  EXPECT_FALSE(scheme->verify(2, msg, sig));
+  EXPECT_FALSE(scheme->verify(3, msg, sig));
+}
+
+TEST(Signatures, TamperedMessageRejected) {
+  const auto scheme = make_hmac_scheme(2);
+  const Bytes sig = scheme->sign(1, to_bytes("payload"));
+  EXPECT_FALSE(scheme->verify(1, to_bytes("payloae"), sig));
+  EXPECT_FALSE(scheme->verify(1, to_bytes("payload "), sig));
+}
+
+TEST(Signatures, TamperedSignatureRejected) {
+  const auto scheme = make_hmac_scheme(2);
+  const Bytes msg = to_bytes("payload");
+  Bytes sig = scheme->sign(1, msg);
+  sig[0] ^= 1;
+  EXPECT_FALSE(scheme->verify(1, msg, sig));
+  sig[0] ^= 1;
+  sig.pop_back();
+  EXPECT_FALSE(scheme->verify(1, msg, sig));
+}
+
+TEST(Signatures, OutOfRangeSignerRejectedByVerify) {
+  const auto scheme = make_hmac_scheme(2);
+  EXPECT_FALSE(scheme->verify(0, to_bytes("m"), to_bytes("s")));
+  EXPECT_FALSE(scheme->verify(3, to_bytes("m"), to_bytes("s")));
+}
+
+TEST(Signatures, SchemesWithDifferentSeedsAreIncompatible) {
+  const auto a = make_hmac_scheme(2, 1);
+  const auto b = make_hmac_scheme(2, 2);
+  const Bytes msg = to_bytes("m");
+  EXPECT_FALSE(b->verify(1, msg, a->sign(1, msg)));
+}
+
+TEST(Signatures, NullSchemeAcceptsEverything) {
+  NullSignatureScheme null;
+  EXPECT_TRUE(null.verify(1, to_bytes("m"), to_bytes("anything")));
+  EXPECT_EQ(null.sign(1, to_bytes("m")).size(), 0u);
+  EXPECT_EQ(null.signature_size(), 0u);
+}
+
+}  // namespace
+}  // namespace faust::crypto

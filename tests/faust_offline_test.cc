@@ -1,0 +1,133 @@
+// Offline-channel behaviours of FAUST: probe rate limiting, flapping
+// connectivity, FAILURE delivery to clients that were offline during the
+// attack, and robustness against junk on the client-to-client channel.
+#include <gtest/gtest.h>
+
+#include "adversary/forking_server.h"
+#include "faust/cluster.h"
+
+namespace faust {
+namespace {
+
+TEST(Offline, ProbesAreRateLimitedPerInterval) {
+  ClusterConfig cfg;
+  cfg.n = 2;
+  cfg.faust.dummy_read_period = 0;
+  cfg.faust.probe_interval = 2'000;
+  cfg.faust.probe_check_period = 100;  // checks far more often than Δ
+  Cluster cl(cfg);
+  cl.net().crash(kServerNode);  // nothing to learn via the server
+  cl.run_for(20'000);
+  // Ten Δ windows elapsed; rate limiting keeps probes at ~1 per window
+  // per peer, even though the staleness check ran 200 times.
+  EXPECT_GE(cl.client(1).probes_sent(), 5u);
+  EXPECT_LE(cl.client(1).probes_sent(), 12u);
+}
+
+TEST(Offline, FailureNewsReachesLateJoiner) {
+  // C3 sleeps through the entire attack and its detection; the FAILURE
+  // message waits in its mailbox and fires the moment it returns.
+  ClusterConfig cfg;
+  cfg.n = 3;
+  cfg.with_server = false;
+  cfg.faust.dummy_read_period = 300;
+  cfg.faust.probe_interval = 2'000;
+  cfg.faust.probe_check_period = 500;
+  Cluster cl(cfg);
+  adversary::ForkingServer server(cfg.n, cl.net());
+
+  cl.write(1, "a");
+  cl.client(3).go_offline();
+
+  server.split(2);
+  cl.write(2, "fork-side");
+  cl.write(1, "main-side");
+  cl.run_for(200'000);
+  EXPECT_TRUE(cl.client(1).failed());
+  EXPECT_TRUE(cl.client(2).failed());
+  EXPECT_FALSE(cl.client(3).failed()) << "offline: not yet reachable";
+
+  cl.client(3).go_online();
+  cl.run_for(5'000);
+  EXPECT_TRUE(cl.client(3).failed()) << "mailbox delivered the FAILURE on return";
+  EXPECT_EQ(cl.client(3).failure_reason(), FailureReason::kPeerReport);
+}
+
+TEST(Offline, FlappingClientNeverMissesStability) {
+  ClusterConfig cfg;
+  cfg.n = 2;
+  cfg.faust.dummy_read_period = 0;
+  cfg.faust.probe_interval = 1'000;
+  cfg.faust.probe_check_period = 250;
+  Cluster cl(cfg);
+  const Timestamp t = cl.write(1, "x");
+  cl.read(2, 1);
+  cl.net().crash(kServerNode);
+
+  // C2 flaps on/off; probes queue while it is away and are answered in
+  // the on-windows — stability still converges.
+  for (int round = 0; round < 6; ++round) {
+    cl.client(2).go_offline();
+    cl.run_for(3'000);
+    cl.client(2).go_online();
+    cl.run_for(3'000);
+  }
+  EXPECT_GE(cl.client(1).fully_stable_timestamp(), t);
+  EXPECT_FALSE(cl.any_failed());
+}
+
+TEST(Offline, JunkOnTheOfflineChannelIsIgnored) {
+  ClusterConfig cfg;
+  cfg.n = 2;
+  Cluster cl(cfg);
+  cl.write(1, "x");
+  // Inject garbage and a non-protocol tag into C1's mailbox.
+  cl.mail().post(2, 1, to_bytes("not a protocol message"));
+  cl.mail().post(2, 1, Bytes{0xff, 0x00, 0x13});
+  cl.mail().post(2, 1, Bytes{});
+  cl.run_for(10'000);
+  EXPECT_FALSE(cl.client(1).failed()) << "junk mail is not evidence";
+}
+
+TEST(Offline, BogusEvidenceFailureMessageRejected) {
+  // A FAILURE message with evidence that does not verify must be ignored
+  // (failure-detection accuracy): craft one with comparable versions.
+  ClusterConfig cfg;
+  cfg.n = 2;
+  Cluster cl(cfg);
+  const Timestamp t = cl.write(1, "x");
+  ASSERT_GT(t, 0u);
+
+  ustor::FailureMessage bogus;
+  bogus.has_evidence = true;
+  bogus.committer_a = 1;
+  bogus.a.version = cl.client(1).engine().version();
+  bogus.a.commit_sig = cl.client(1).engine().commit_signature();
+  bogus.committer_b = 1;
+  bogus.b = bogus.a;  // identical versions: NOT incomparable
+  cl.mail().post(2, 1, ustor::encode(bogus));
+  cl.run_for(10'000);
+  EXPECT_FALSE(cl.client(1).failed()) << "comparable 'evidence' proves nothing";
+
+  // Forged signature: also rejected.
+  bogus.b.version.v(2) += 1;  // now incomparable, but the signature breaks
+  cl.mail().post(2, 1, ustor::encode(bogus));
+  cl.run_for(10'000);
+  EXPECT_FALSE(cl.client(1).failed());
+}
+
+TEST(Offline, ProbeFromPeerIsAnsweredEvenWhenIdle) {
+  ClusterConfig cfg;
+  cfg.n = 2;
+  cfg.faust.dummy_read_period = 0;
+  cfg.faust.probe_check_period = 0;  // C2 never probes on its own
+  Cluster cl(cfg);
+  cl.write(1, "x");
+  cl.mail().post(2, 1, ustor::encode(ustor::ProbeMessage{}));
+  cl.run_for(5'000);
+  // C1 answered with a VERSION message; C2 received it.
+  EXPECT_GE(cl.client(2).versions_received(), 1u);
+}
+
+}  // namespace
+}  // namespace faust

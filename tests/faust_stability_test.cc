@@ -1,0 +1,128 @@
+// Reproduction of Figure 2 / the §3 collaboration story: Alice and Bob in
+// Europe, Carlos asleep in America; Alice's stability cut reads exactly
+// stable_Alice([10, 8, 3]).
+#include <gtest/gtest.h>
+
+#include "faust/cluster.h"
+
+namespace faust {
+namespace {
+
+constexpr ClientId kAlice = 1;
+constexpr ClientId kBob = 2;
+constexpr ClientId kCarlos = 3;
+
+struct Figure2 : ::testing::Test {
+  ClusterConfig cfg;
+  std::unique_ptr<Cluster> cl;
+
+  void SetUp() override {
+    cfg.n = 3;
+    cfg.faust.dummy_read_period = 0;  // fully scripted: no background reads
+    cfg.faust.probe_interval = 1'000'000;  // and no probes during the story
+    cfg.faust.probe_check_period = 1'000'000;
+    cl = std::make_unique<Cluster>(cfg);
+  }
+};
+
+TEST_F(Figure2, StabilityCutOfAliceIsExactly_10_8_3) {
+  Cluster& c = *cl;
+
+  // Alice's operations t = 1..3, which Carlos observes before he leaves.
+  c.write(kAlice, "doc v1");
+  c.write(kAlice, "doc v2");
+  c.write(kAlice, "doc v3");
+  ASSERT_TRUE(c.read(kCarlos, kAlice).has_value());  // Carlos catches up
+  c.run_for(100);  // let Carlos's COMMIT reach the server
+  c.read(kAlice, kCarlos);  // t=4: Alice learns Carlos's version
+
+  c.client(kCarlos).go_offline();  // Carlos goes to sleep
+
+  // Alice continues editing: t = 5..8.
+  c.write(kAlice, "doc v4");
+  c.write(kAlice, "doc v5");
+  c.write(kAlice, "doc v6");
+  c.write(kAlice, "doc v7");
+
+  ASSERT_TRUE(c.read(kBob, kAlice).has_value());  // Bob is up to date (t<=8)
+  c.run_for(100);  // let Bob's COMMIT reach the server
+  c.read(kAlice, kBob);  // t=9: Alice learns Bob's version
+
+  c.write(kAlice, "doc v8");  // t=10
+
+  const FaustClient::StabilityCut& w = c.client(kAlice).stability_cut();
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_EQ(w[0], 10u) << "trivially consistent with herself up to t=10";
+  EXPECT_EQ(w[1], 8u) << "consistent with Bob up to t=8";
+  EXPECT_EQ(w[2], 3u) << "consistent with Carlos up to t=3";
+  EXPECT_EQ(c.client(kAlice).fully_stable_timestamp(), 3u);
+
+  // "It is unclear to Alice whether Carlos is only temporarily
+  // disconnected": nobody has failed.
+  EXPECT_FALSE(c.any_failed());
+}
+
+TEST_F(Figure2, CarlosReturnsAndEverythingStabilizes) {
+  Cluster& c = *cl;
+  c.write(kAlice, "v1");
+  c.write(kAlice, "v2");
+  c.write(kAlice, "v3");
+  c.read(kCarlos, kAlice);
+  c.run_for(100);
+  c.read(kAlice, kCarlos);
+  c.client(kCarlos).go_offline();
+  c.write(kAlice, "v4");
+  c.write(kAlice, "v5");
+  c.write(kAlice, "v6");
+  c.write(kAlice, "v7");
+  c.read(kBob, kAlice);
+  c.run_for(100);
+  c.read(kAlice, kBob);
+  c.write(kAlice, "v8");  // t=10, cut = [10,8,3]
+
+  // Carlos wakes up; with the server correct, §3 promises that all
+  // operations eventually become stable at all clients.
+  c.client(kCarlos).go_online();
+  c.read(kCarlos, kAlice);   // Carlos catches up to t=10
+  c.run_for(100);
+  c.read(kAlice, kCarlos);   // t=11: Alice learns it
+
+  const FaustClient::StabilityCut& w = c.client(kAlice).stability_cut();
+  EXPECT_EQ(w[0], 11u);
+  EXPECT_GE(w[2], 10u) << "Carlos now covers all of Alice's edits";
+  EXPECT_GE(c.client(kAlice).fully_stable_timestamp(), 8u);
+  EXPECT_FALSE(c.any_failed());
+}
+
+TEST_F(Figure2, BackgroundMachineryAlsoStabilizesEverything) {
+  // Same story but let dummy reads + probes do the propagation.
+  ClusterConfig bg;
+  bg.n = 3;
+  bg.faust.dummy_read_period = 200;
+  bg.faust.probe_interval = 3'000;
+  bg.faust.probe_check_period = 500;
+  Cluster c(bg);
+  const Timestamp t1 = c.write(kAlice, "v1");
+  const Timestamp t2 = c.write(kAlice, "v2");
+  c.run_for(30'000);
+  EXPECT_GE(c.client(kAlice).fully_stable_timestamp(), t2);
+  EXPECT_GT(t2, t1);
+  EXPECT_FALSE(c.any_failed());
+}
+
+TEST_F(Figure2, OfflineClientStallsFullStabilityOnly) {
+  Cluster& c = *cl;
+  c.client(kCarlos).go_offline();
+  c.write(kAlice, "v1");
+  c.read(kBob, kAlice);
+  c.run_for(100);
+  c.read(kAlice, kBob);
+  const auto& w = c.client(kAlice).stability_cut();
+  EXPECT_GE(w[1], 1u) << "stable w.r.t. Bob";
+  EXPECT_EQ(w[2], 0u) << "not stable w.r.t. Carlos";
+  EXPECT_EQ(c.client(kAlice).fully_stable_timestamp(), 0u);
+  EXPECT_FALSE(c.any_failed()) << "an offline peer is not a failure";
+}
+
+}  // namespace
+}  // namespace faust

@@ -1,0 +1,237 @@
+// FAUST service tests (Def. 5): stability propagation, failure detection
+// with accuracy and completeness, offline PROBE/VERSION/FAILURE flow.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "adversary/forking_server.h"
+#include "faust/cluster.h"
+
+namespace faust {
+namespace {
+
+TEST(Faust, WriteReadRoundtripWithTimestamps) {
+  Cluster cl;
+  const Timestamp t1 = cl.write(1, "hello");
+  EXPECT_EQ(t1, 1u);
+  const ustor::Value v = cl.read(2, 1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(to_string(*v), "hello");
+}
+
+TEST(Faust, TimestampsMonotonicAcrossUserOps) {
+  ClusterConfig cfg;
+  cfg.faust.dummy_read_period = 300;  // dummy reads consume timestamps too
+  Cluster cl(cfg);
+  Timestamp prev = 0;
+  for (int k = 0; k < 5; ++k) {
+    const Timestamp t = cl.write(1, "v" + std::to_string(k));
+    EXPECT_GT(t, prev) << "Def. 5 Integrity";
+    prev = t;
+    cl.run_for(700);  // let dummy reads interleave
+  }
+}
+
+TEST(Faust, StabilityAdvancesThroughDummyReads) {
+  Cluster cl;
+  const Timestamp t = cl.write(1, "data");
+  // No user activity at C2/C3 — their dummy reads and C1's must still
+  // propagate knowledge until C1's write is stable w.r.t. everyone.
+  cl.run_for(20'000);
+  EXPECT_GE(cl.client(1).fully_stable_timestamp(), t);
+  EXPECT_FALSE(cl.any_failed());
+}
+
+TEST(Faust, OnStableNotificationsAreMonotone) {
+  Cluster cl;
+  std::vector<FaustClient::StabilityCut> cuts;
+  cl.client(1).on_stable = [&](const FaustClient::StabilityCut& w) { cuts.push_back(w); };
+  cl.write(1, "a");
+  cl.write(1, "b");
+  cl.run_for(20'000);
+  ASSERT_FALSE(cuts.empty());
+  for (std::size_t k = 1; k < cuts.size(); ++k) {
+    for (std::size_t j = 0; j < cuts[k].size(); ++j) {
+      EXPECT_GE(cuts[k][j], cuts[k - 1][j]) << "cut must only advance";
+    }
+  }
+  // W[1] (own entry) reflects the latest own op.
+  EXPECT_GE(cuts.back()[0], 2u);
+}
+
+TEST(Faust, NoFalseFailuresUnderCorrectServer) {
+  ClusterConfig cfg;
+  cfg.n = 4;
+  cfg.seed = 99;
+  Cluster cl(cfg);
+  for (int round = 0; round < 15; ++round) {
+    cl.write((round % 4) + 1, "r" + std::to_string(round));
+    cl.read(((round + 1) % 4) + 1, (round % 4) + 1);
+    cl.run_for(1'000);
+  }
+  cl.run_for(50'000);
+  EXPECT_FALSE(cl.any_failed()) << "failure-detection accuracy (Def. 5.5)";
+}
+
+TEST(Faust, ForkDetectedAndPropagatedToAllClients) {
+  ClusterConfig cfg;
+  cfg.n = 4;
+  cfg.with_server = false;
+  Cluster cl(cfg);
+  adversary::ForkingServer server(cfg.n, cl.net());
+  server.isolate(3);
+  server.assign(4, server.fork_of(3));
+
+  // Activity in both forks ⇒ incomparable versions exist.
+  cl.write(1, "a");
+  cl.write(3, "b");
+  cl.read(2, 1);
+  cl.read(4, 3);
+
+  // Offline exchange (probes or failure broadcast) must catch it.
+  cl.run_for(200'000);
+  EXPECT_TRUE(cl.all_failed()) << "detection completeness (Def. 5.7)";
+  int incomparable = 0, peer = 0;
+  for (ClientId i = 1; i <= cfg.n; ++i) {
+    const auto reason = cl.client(i).failure_reason();
+    ASSERT_TRUE(reason.has_value());
+    if (*reason == FailureReason::kIncomparableVersions) ++incomparable;
+    if (*reason == FailureReason::kPeerReport) ++peer;
+  }
+  EXPECT_GE(incomparable, 1) << "someone saw the evidence first-hand";
+  EXPECT_GE(peer + incomparable, 4);
+}
+
+TEST(Faust, FailedClientStopsAcceptingOps) {
+  ClusterConfig cfg;
+  cfg.n = 2;
+  cfg.with_server = false;
+  Cluster cl(cfg);
+  adversary::ForkingServer server(cfg.n, cl.net());
+  cl.write(1, "a");
+  server.isolate(2);
+  cl.write(2, "b");
+  cl.run_for(200'000);
+  ASSERT_TRUE(cl.all_failed());
+  const Timestamp t = cl.write(1, "after-fail", /*step_budget=*/10'000);
+  EXPECT_EQ(t, 0u) << "halted client must not run operations";
+}
+
+TEST(Faust, StabilityDetectionSurvivesServerCrash) {
+  // §6's motivation for client-to-client probing: after the server goes
+  // silent, versions already exchanged still make operations stable.
+  ClusterConfig cfg;
+  cfg.n = 2;
+  cfg.faust.dummy_read_period = 0;  // manual control
+  cfg.faust.probe_interval = 2'000;
+  cfg.faust.probe_check_period = 500;
+  Cluster cl(cfg);
+
+  const Timestamp t = cl.write(1, "a");
+  const ustor::Value v = cl.read(2, 1);  // C2's version now covers C1's op
+  ASSERT_TRUE(v.has_value());
+
+  cl.net().crash(kServerNode);
+
+  // C1 can no longer reach the server, but probing C2 directly yields
+  // C2's version, which proves stability of C1's op w.r.t. C2.
+  cl.run_for(100'000);
+  EXPECT_FALSE(cl.any_failed()) << "a crashed server is not Byzantine evidence";
+  EXPECT_GE(cl.client(1).fully_stable_timestamp(), t);
+  EXPECT_GT(cl.client(1).probes_sent(), 0u);
+  EXPECT_GT(cl.client(1).versions_received(), 0u);
+}
+
+TEST(Faust, ProbeRoundtripUpdatesStaleEntries) {
+  ClusterConfig cfg;
+  cfg.n = 3;
+  cfg.faust.dummy_read_period = 0;
+  cfg.faust.probe_interval = 1'000;
+  cfg.faust.probe_check_period = 300;
+  Cluster cl(cfg);
+  cl.write(1, "x");
+  cl.read(3, 1);  // C3 knows C1's op; C2 knows nothing yet
+  cl.net().crash(kServerNode);
+  cl.run_for(50'000);
+  // C2 probed both; C3 (or C1) answered with the max version; C2's cut
+  // for its own ops stays 0 (it ran none) but it learned versions without
+  // declaring failure.
+  EXPECT_GT(cl.client(2).versions_received(), 0u);
+  EXPECT_FALSE(cl.any_failed());
+}
+
+TEST(Faust, EvidenceFreeFailureReportAccepted) {
+  // A USTOR-level detection (no transferable evidence) still halts
+  // everyone via the FAILURE broadcast. Use a garbage-sending server.
+  ClusterConfig cfg;
+  cfg.n = 3;
+  cfg.with_server = false;
+  Cluster cl(cfg);
+
+  class GarbageServer : public net::Node {
+   public:
+    explicit GarbageServer(net::Network& n) : net_(n) { net_.attach(kServerNode, *this); }
+    void on_message(NodeId from, BytesView) override {
+      net_.send(kServerNode, from, to_bytes("!!!! not a protocol message !!!!"));
+    }
+    net::Network& net_;
+  } server(cl.net());
+
+  cl.write(1, "x", /*step_budget=*/10'000);  // will fail, not complete
+  EXPECT_TRUE(cl.client(1).failed());
+  EXPECT_EQ(cl.client(1).failure_reason(), FailureReason::kUstorDetected);
+  cl.run_for(100'000);
+  EXPECT_TRUE(cl.all_failed()) << "peers accept the (unprovable) report";
+  EXPECT_EQ(cl.client(2).failure_reason(), FailureReason::kPeerReport);
+}
+
+TEST(Faust, FailureReportCarriesVerifiableEvidence) {
+  ClusterConfig cfg;
+  cfg.n = 2;
+  cfg.with_server = false;
+  Cluster cl(cfg);
+  adversary::ForkingServer server(cfg.n, cl.net());
+  cl.write(1, "a");
+  server.isolate(2);
+  cl.write(2, "b");
+  cl.run_for(300'000);
+  ASSERT_TRUE(cl.all_failed());
+
+  // At least one client detected the incomparability first-hand; its
+  // report carries evidence any third party can re-verify.
+  bool evidence_seen = false;
+  for (ClientId i = 1; i <= cfg.n; ++i) {
+    const auto& report = cl.client(i).failure_report();
+    ASSERT_TRUE(report.has_value());
+    EXPECT_FALSE(report->known_versions.empty());
+    if (report->evidence.has_value()) {
+      evidence_seen = true;
+      EXPECT_TRUE(verify_failure_evidence(*cl.sigs(), cfg.n, *report->evidence));
+      // Tampered evidence must not verify.
+      ustor::FailureMessage bad = *report->evidence;
+      bad.a.version.v(1) += 1;
+      EXPECT_FALSE(verify_failure_evidence(*cl.sigs(), cfg.n, bad));
+    }
+  }
+  EXPECT_TRUE(evidence_seen);
+}
+
+TEST(Faust, QueuedUserOpsRunInOrder) {
+  Cluster cl;
+  std::vector<Timestamp> ts;
+  cl.client(1).write(to_bytes("a"), [&](Timestamp t) { ts.push_back(t); });
+  cl.client(1).write(to_bytes("b"), [&](Timestamp t) { ts.push_back(t); });
+  cl.client(1).read(1, [&](const ustor::Value& v, Timestamp t) {
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(to_string(*v), "b");
+    ts.push_back(t);
+  });
+  cl.run_for(10'000);
+  ASSERT_EQ(ts.size(), 3u);
+  EXPECT_LT(ts[0], ts[1]);
+  EXPECT_LT(ts[1], ts[2]);
+}
+
+}  // namespace
+}  // namespace faust

@@ -1,0 +1,197 @@
+// Tests for the key-value layer over FAUST registers.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "adversary/forking_server.h"
+#include "faust/cluster.h"
+#include "kvstore/kv_client.h"
+
+namespace faust::kv {
+namespace {
+
+struct KvFixture : ::testing::Test {
+  ClusterConfig cfg;
+  std::unique_ptr<Cluster> cluster;
+  std::vector<std::unique_ptr<KvClient>> kv;
+
+  void SetUp() override {
+    cfg.n = 3;
+    cfg.seed = 55;
+    cfg.faust.dummy_read_period = 0;  // keep op streams deterministic
+    cfg.faust.probe_check_period = 0;
+    cluster = std::make_unique<Cluster>(cfg);
+    for (ClientId i = 1; i <= cfg.n; ++i) {
+      kv.push_back(std::make_unique<KvClient>(cluster->client(i)));
+    }
+  }
+
+  KvClient& store(ClientId i) { return *kv[static_cast<std::size_t>(i - 1)]; }
+
+  bool put(ClientId i, const std::string& k, const std::string& v) {
+    bool done = false;
+    store(i).put(k, v, [&](Timestamp) { done = true; });
+    drive(done);
+    return done;
+  }
+
+  std::optional<KvEntry> get(ClientId i, const std::string& k) {
+    bool done = false;
+    std::optional<KvEntry> out;
+    store(i).get(k, [&](std::optional<KvEntry> e) {
+      out = std::move(e);
+      done = true;
+    });
+    drive(done);
+    return out;
+  }
+
+  std::map<std::string, KvEntry> list(ClientId i) {
+    bool done = false;
+    std::map<std::string, KvEntry> out;
+    store(i).list([&](const std::map<std::string, KvEntry>& m) {
+      out = m;
+      done = true;
+    });
+    drive(done);
+    return out;
+  }
+
+  bool erase(ClientId i, const std::string& k) {
+    bool done = false;
+    store(i).erase(k, [&](Timestamp) { done = true; });
+    drive(done);
+    return done;
+  }
+
+  void drive(bool& done) {
+    std::size_t steps = 0;
+    while (!done && steps < 1'000'000 && cluster->sched().step()) ++steps;
+  }
+};
+
+TEST_F(KvFixture, PutGetAcrossClients) {
+  ASSERT_TRUE(put(1, "title", "FAUST"));
+  const auto e = get(2, "title");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->value, "FAUST");
+  EXPECT_EQ(e->writer, 1);
+}
+
+TEST_F(KvFixture, MissingKeyIsNullopt) {
+  EXPECT_FALSE(get(1, "nothing").has_value());
+  ASSERT_TRUE(put(2, "a", "1"));
+  EXPECT_FALSE(get(1, "b").has_value());
+}
+
+TEST_F(KvFixture, OwnOverwriteWins) {
+  ASSERT_TRUE(put(1, "k", "v1"));
+  ASSERT_TRUE(put(1, "k", "v2"));
+  const auto e = get(3, "k");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->value, "v2");
+  EXPECT_EQ(e->seq, 2u);
+}
+
+TEST_F(KvFixture, CrossWriterConflictResolvedDeterministically) {
+  // Same key written by two clients; winner = larger (seq, writer).
+  ASSERT_TRUE(put(1, "k", "from-1"));  // seq 1, writer 1
+  ASSERT_TRUE(put(2, "k", "from-2"));  // seq 1, writer 2 -> wins on writer id
+  for (ClientId reader = 1; reader <= 3; ++reader) {
+    const auto e = get(reader, "k");
+    ASSERT_TRUE(e.has_value());
+    EXPECT_EQ(e->value, "from-2") << "reader " << reader;
+    EXPECT_EQ(e->writer, 2);
+  }
+  // Client 1 writes again: seq 2 beats seq 1 regardless of writer id.
+  ASSERT_TRUE(put(1, "k", "from-1-again"));
+  const auto e = get(3, "k");
+  EXPECT_EQ(e->value, "from-1-again");
+}
+
+TEST_F(KvFixture, EraseRemovesOwnEntryOnly) {
+  ASSERT_TRUE(put(1, "k", "mine"));
+  ASSERT_TRUE(put(2, "k", "theirs"));
+  ASSERT_TRUE(erase(2, "k"));
+  const auto e = get(3, "k");
+  ASSERT_TRUE(e.has_value()) << "client 1's entry must survive";
+  EXPECT_EQ(e->value, "mine");
+  ASSERT_TRUE(erase(1, "k"));
+  EXPECT_FALSE(get(3, "k").has_value());
+}
+
+TEST_F(KvFixture, ListMergesAllPartitions) {
+  ASSERT_TRUE(put(1, "a", "1"));
+  ASSERT_TRUE(put(2, "b", "2"));
+  ASSERT_TRUE(put(3, "c", "3"));
+  const auto m = list(1);
+  ASSERT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.at("a").value, "1");
+  EXPECT_EQ(m.at("b").value, "2");
+  EXPECT_EQ(m.at("c").value, "3");
+  EXPECT_EQ(m.at("c").writer, 3);
+}
+
+TEST_F(KvFixture, ManyKeysRoundtrip) {
+  for (int k = 0; k < 20; ++k) {
+    ASSERT_TRUE(put((k % 3) + 1, "key" + std::to_string(k), "val" + std::to_string(k)));
+  }
+  const auto m = list(2);
+  ASSERT_EQ(m.size(), 20u);
+  for (int k = 0; k < 20; ++k) {
+    EXPECT_EQ(m.at("key" + std::to_string(k)).value, "val" + std::to_string(k));
+  }
+}
+
+TEST(KvCodec, MapRoundtripAndMalformedRejected) {
+  std::map<std::string, std::pair<std::string, std::uint64_t>> m;
+  m["alpha"] = {"1", 7};
+  m["beta"] = {"two", 9};
+  const Bytes enc = encode_map(m);
+  const auto back = decode_map(enc);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, m);
+
+  Bytes truncated(enc.begin(), enc.end() - 3);
+  EXPECT_FALSE(decode_map(truncated).has_value());
+  Bytes padded = enc;
+  padded.push_back(0);
+  EXPECT_FALSE(decode_map(padded).has_value());
+  EXPECT_TRUE(decode_map(encode_map({})).has_value());
+}
+
+TEST(KvUnderAttack, ForkDetectionFlowsThroughTheKvLayer) {
+  // The KV store inherits fail-awareness: a forked KV view is detected at
+  // the FAUST layer and the application learns about it via on_fail.
+  ClusterConfig cfg;
+  cfg.n = 2;
+  cfg.seed = 66;
+  cfg.with_server = false;
+  cfg.faust.dummy_read_period = 400;
+  cfg.faust.probe_interval = 3'000;
+  cfg.faust.probe_check_period = 700;
+  Cluster cluster(cfg);
+  adversary::ForkingServer server(cfg.n, cluster.net());
+  KvClient kv1(cluster.client(1));
+  KvClient kv2(cluster.client(2));
+
+  bool put_done = false;
+  kv1.put("secret", "v1", [&](Timestamp) { put_done = true; });
+  while (!put_done && cluster.sched().step()) {
+  }
+  ASSERT_TRUE(put_done);
+
+  server.isolate(2);  // fork the second client away
+  bool put2_done = false;
+  kv2.put("secret", "forked", [&](Timestamp) { put2_done = true; });
+  while (!put2_done && cluster.sched().step()) {
+  }
+  ASSERT_TRUE(put2_done);
+
+  cluster.run_for(300'000);
+  EXPECT_TRUE(cluster.all_failed()) << "KV clients learn their provider forked them";
+}
+
+}  // namespace
+}  // namespace faust::kv

@@ -1,0 +1,190 @@
+// Property-based tests, parameterized over seeds: randomized concurrent
+// workloads against a correct server are wait-free and linearizable
+// (Def. 5 items 1–2), timestamps respect Integrity (item 4), histories
+// are causally consistent (item 3), and random fork injections are always
+// detected (item 7) and never falsely reported (item 5).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adversary/forking_server.h"
+#include "checker/causal.h"
+#include "checker/linearizability.h"
+#include "common/rng.h"
+#include "faust/cluster.h"
+
+namespace faust {
+namespace {
+
+/// Asynchronous random workload: each client issues a random op stream
+/// with random think times, all recorded for the checkers.
+class Workload {
+ public:
+  Workload(Cluster& cl, std::uint64_t seed, int ops_per_client)
+      : cl_(cl), rng_(seed), remaining_(static_cast<std::size_t>(cl.n()) + 1, ops_per_client) {}
+
+  void start() {
+    for (ClientId i = 1; i <= cl_.n(); ++i) schedule_next(i);
+  }
+
+  bool all_issued_completed() const { return issued_ == completed_; }
+  int issued() const { return issued_; }
+  int completed() const { return completed_; }
+
+  /// Per-client user-op timestamps in completion order (Integrity check).
+  const std::vector<std::vector<Timestamp>>& timestamps() const { return ts_; }
+
+ private:
+  void schedule_next(ClientId i) {
+    if (remaining_[static_cast<std::size_t>(i)] <= 0) return;
+    remaining_[static_cast<std::size_t>(i)] -= 1;
+    cl_.sched().after(rng_.next_in(1, 40), [this, i] { issue(i); });
+  }
+
+  void issue(ClientId i) {
+    if (cl_.client(i).failed()) return;
+    ++issued_;
+    if (ts_.size() < static_cast<std::size_t>(cl_.n()) + 1) {
+      ts_.resize(static_cast<std::size_t>(cl_.n()) + 1);
+    }
+    if (rng_.chance(0.5)) {
+      const std::string v = "c" + std::to_string(i) + "-" + std::to_string(++write_counter_);
+      const int rec = cl_.recorder().begin(i, ustor::OpCode::kWrite, i, to_bytes(v),
+                                           cl_.sched().now());
+      cl_.client(i).write(to_bytes(v), [this, i, rec](Timestamp t) {
+        cl_.recorder().end(rec, cl_.sched().now(), t);
+        ts_[static_cast<std::size_t>(i)].push_back(t);
+        ++completed_;
+        schedule_next(i);
+      });
+    } else {
+      const ClientId j =
+          1 + static_cast<ClientId>(rng_.next_below(static_cast<std::uint64_t>(cl_.n())));
+      const int rec =
+          cl_.recorder().begin(i, ustor::OpCode::kRead, j, std::nullopt, cl_.sched().now());
+      cl_.client(i).read(j, [this, i, rec](const ustor::Value& v, Timestamp t) {
+        cl_.recorder().end(rec, cl_.sched().now(), t, v);
+        ts_[static_cast<std::size_t>(i)].push_back(t);
+        ++completed_;
+        schedule_next(i);
+      });
+    }
+  }
+
+  Cluster& cl_;
+  Rng rng_;
+  std::vector<int> remaining_;
+  std::vector<std::vector<Timestamp>> ts_;
+  int issued_ = 0;
+  int completed_ = 0;
+  int write_counter_ = 0;
+};
+
+class SeededTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeededTest, CorrectServerWaitFreeAndLinearizable) {
+  const std::uint64_t seed = GetParam();
+  ClusterConfig cfg;
+  cfg.seed = seed;
+  cfg.n = 2 + static_cast<int>(seed % 4);  // 2..5 clients
+  cfg.delay = net::DelayModel{1, 1 + seed % 20};
+  cfg.faust.dummy_read_period = 0;  // user ops only: clean history
+  cfg.faust.probe_check_period = 0;
+  Cluster cl(cfg);
+  Workload w(cl, seed * 7919 + 1, /*ops_per_client=*/8);
+  w.start();
+  cl.sched().run();  // drains: no recurring timers in this configuration
+
+  // Wait-freedom: every issued operation completed.
+  EXPECT_EQ(w.issued(), cfg.n * 8);
+  EXPECT_TRUE(w.all_issued_completed());
+  EXPECT_FALSE(cl.any_failed());
+
+  // Linearizability of the recorded history.
+  const auto res = checker::check_linearizable(cl.recorder().history());
+  EXPECT_TRUE(res.ok) << "seed " << seed << ": " << res.violation;
+
+  // Integrity: per-client timestamps strictly increase.
+  for (ClientId i = 1; i <= cfg.n; ++i) {
+    const auto& ts = w.timestamps()[static_cast<std::size_t>(i)];
+    for (std::size_t k = 1; k < ts.size(); ++k) {
+      EXPECT_GT(ts[k], ts[k - 1]) << "seed " << seed << " client " << i;
+    }
+  }
+}
+
+TEST_P(SeededTest, CorrectServerCausallyConsistent) {
+  const std::uint64_t seed = GetParam();
+  ClusterConfig cfg;
+  cfg.seed = seed ^ 0xc0ffee;
+  cfg.n = 3;
+  cfg.faust.dummy_read_period = 0;
+  cfg.faust.probe_check_period = 0;
+  Cluster cl(cfg);
+  Workload w(cl, seed + 17, /*ops_per_client=*/5);
+  w.start();
+  cl.sched().run();
+  ASSERT_TRUE(w.all_issued_completed());
+  const auto res = checker::check_causal(cl.recorder().history());
+  EXPECT_TRUE(res.ok) << "seed " << seed << ": " << res.violation;
+}
+
+TEST_P(SeededTest, SmallHistoriesCrossCheckedAgainstBruteForce) {
+  const std::uint64_t seed = GetParam();
+  ClusterConfig cfg;
+  cfg.seed = seed ^ 0xabcdef;
+  cfg.n = 2;
+  cfg.delay = net::DelayModel{1, 15};
+  cfg.faust.dummy_read_period = 0;
+  cfg.faust.probe_check_period = 0;
+  Cluster cl(cfg);
+  Workload w(cl, seed + 99, /*ops_per_client=*/4);
+  w.start();
+  cl.sched().run();
+  ASSERT_TRUE(w.all_issued_completed());
+  const auto& h = cl.recorder().history();
+  ASSERT_LE(h.size(), 8u);
+  EXPECT_TRUE(checker::check_linearizable(h).ok);
+  EXPECT_TRUE(checker::check_linearizable_brute(h));
+}
+
+TEST_P(SeededTest, RandomForkAlwaysDetectedNeverBefore) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed * 31 + 5);
+  ClusterConfig cfg;
+  cfg.seed = seed;
+  cfg.n = 3;
+  cfg.with_server = false;
+  cfg.faust.dummy_read_period = 400;
+  cfg.faust.probe_interval = 3'000;
+  cfg.faust.probe_check_period = 800;
+  Cluster cl(cfg);
+  adversary::ForkingServer server(cfg.n, cl.net());
+
+  const ClientId victim =
+      1 + static_cast<ClientId>(rng.next_below(static_cast<std::uint64_t>(cfg.n)));
+  const int pre_ops = 1 + static_cast<int>(rng.next_below(4));
+
+  int counter = 0;
+  for (int k = 0; k < pre_ops; ++k) {
+    cl.write((k % cfg.n) + 1, "pre" + std::to_string(++counter));
+    cl.read(((k + 1) % cfg.n) + 1, (k % cfg.n) + 1);
+  }
+  ASSERT_FALSE(cl.any_failed()) << "accuracy before the attack";
+
+  server.split(victim);  // the fork happens here
+  // Both sides keep working: activity on the main fork and on the victim.
+  cl.write(victim, "victim-side" + std::to_string(seed));
+  const ClientId other = victim == 1 ? 2 : 1;
+  cl.write(other, "main-side" + std::to_string(seed));
+
+  cl.run_for(400'000);
+  EXPECT_TRUE(cl.all_failed()) << "seed " << seed << ": fork must be detected everywhere";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededTest, ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace faust

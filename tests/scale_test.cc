@@ -1,0 +1,134 @@
+// Scale and boundary tests: degenerate n=1 deployments, larger clusters,
+// large values, long op streams, and the write-reply shape attack.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "adversary/forking_server.h"
+#include "adversary/tamper_server.h"
+#include "common/rng.h"
+#include "crypto/signature.h"
+#include "faust/cluster.h"
+#include "net/network.h"
+#include "sim/scheduler.h"
+#include "ustor/client.h"
+
+namespace faust {
+namespace {
+
+TEST(Scale, SingleClientClusterWorks) {
+  ClusterConfig cfg;
+  cfg.n = 1;
+  Cluster cl(cfg);
+  const Timestamp t1 = cl.write(1, "only me");
+  EXPECT_EQ(t1, 1u);
+  const ustor::Value v = cl.read(1, 1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(to_string(*v), "only me");
+  // With n=1 every op is trivially stable w.r.t. everyone immediately.
+  EXPECT_GE(cl.client(1).fully_stable_timestamp(), t1);
+  cl.run_for(10'000);
+  EXPECT_FALSE(cl.any_failed());
+}
+
+TEST(Scale, SixteenClientsConvergeToFullStability) {
+  ClusterConfig cfg;
+  cfg.n = 16;
+  cfg.seed = 321;
+  cfg.faust.dummy_read_period = 200;
+  cfg.faust.probe_interval = 10'000;
+  cfg.faust.probe_check_period = 2'000;
+  Cluster cl(cfg);
+  const Timestamp t = cl.write(1, "broadcast me");
+  // One dummy-read round-robin cycle at every client suffices; give a few.
+  cl.run_for(120'000);
+  EXPECT_GE(cl.client(1).fully_stable_timestamp(), t);
+  EXPECT_FALSE(cl.any_failed());
+}
+
+TEST(Scale, LargeValuesRoundtrip) {
+  ClusterConfig cfg;
+  cfg.n = 2;
+  Cluster cl(cfg);
+  Rng rng(42);
+  Bytes big(256 * 1024);
+  for (auto& b : big) b = static_cast<std::uint8_t>(rng.next_u64());
+  bool done = false;
+  cl.client(1).write(big, [&](Timestamp) { done = true; });
+  while (!done && cl.sched().step()) {
+  }
+  ASSERT_TRUE(done);
+  const ustor::Value v = cl.read(2, 1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, big) << "quarter-megabyte value must roundtrip bit-exactly";
+}
+
+TEST(Scale, LongOpStreamStaysHealthy) {
+  ClusterConfig cfg;
+  cfg.n = 3;
+  cfg.seed = 5150;
+  cfg.faust.dummy_read_period = 0;
+  cfg.faust.probe_check_period = 0;
+  Cluster cl(cfg);
+  for (int k = 0; k < 300; ++k) {
+    const ClientId w = (k % 3) + 1;
+    ASSERT_GT(cl.write(w, "v" + std::to_string(k)), 0u);
+    const ustor::Value v = cl.read(((k + 1) % 3) + 1, w);
+    ASSERT_TRUE(v.has_value());
+    ASSERT_EQ(to_string(*v), "v" + std::to_string(k));
+  }
+  EXPECT_FALSE(cl.any_failed());
+  // 300 writes + 300 reads + per-op overhead — timestamps reflect it.
+  EXPECT_GE(cl.client(1).engine().version().v(1), 100u);
+}
+
+TEST(Scale, WriteReplyWithReadPayloadRejected) {
+  // The inverse shape attack of kDropReadPayload: answering a write with
+  // a read-shaped reply must be rejected as malformed.
+  sim::Scheduler sched;
+  net::Network net(sched, Rng(4), net::DelayModel{2, 4});
+  auto sigs = crypto::make_hmac_scheme(2);
+  adversary::TamperServer server(2, net, adversary::Tamper::kAddReadPayload,
+                                 /*victim=*/1, /*fire_on_op=*/2);
+  ustor::Client c1(1, 2, sigs, net);
+  ustor::Client c2(2, 2, sigs, net);
+
+  bool first = false;
+  c1.writex(to_bytes("ok"), [&](const ustor::WriteResult&) { first = true; });
+  sched.run();
+  ASSERT_TRUE(first);
+
+  c1.writex(to_bytes("poisoned"), [](const ustor::WriteResult&) {
+    FAIL() << "shape-corrupted operation must not complete";
+  });
+  sched.run();
+  EXPECT_TRUE(c1.failed());
+  EXPECT_EQ(c1.fail_cause(), ustor::FailCause::kMalformedMessage);
+}
+
+TEST(Scale, ManyForksManyWorlds) {
+  // Every client forked into its own world: n mutually incomparable
+  // version chains, all detected once probes fire.
+  ClusterConfig cfg;
+  cfg.n = 4;
+  cfg.seed = 999;
+  cfg.with_server = false;
+  cfg.faust.dummy_read_period = 300;
+  cfg.faust.probe_interval = 2'500;
+  cfg.faust.probe_check_period = 600;
+  Cluster cl(cfg);
+  adversary::ForkingServer server(cfg.n, cl.net());
+  cl.write(1, "base");
+  cl.read(2, 1);
+  cl.read(3, 1);
+  cl.read(4, 1);
+  for (ClientId c = 2; c <= 4; ++c) server.split(c);
+  EXPECT_EQ(server.num_forks(), 4);
+  for (ClientId c = 1; c <= 4; ++c) cl.write(c, "world-" + std::to_string(c));
+  cl.run_for(400'000);
+  EXPECT_TRUE(cl.all_failed());
+}
+
+}  // namespace
+}  // namespace faust

@@ -1,0 +1,161 @@
+// Discrete-event scheduler tests: ordering, FIFO ties, cancellation,
+// bounded runs, virtual-time semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace faust::sim {
+namespace {
+
+TEST(Scheduler, RunsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.after(30, [&] { order.push_back(3); });
+  s.after(10, [&] { order.push_back(1); });
+  s.after(20, [&] { order.push_back(2); });
+  EXPECT_EQ(s.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30u);
+}
+
+TEST(Scheduler, SameTickIsFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.after(5, [&, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Scheduler, NestedScheduling) {
+  Scheduler s;
+  std::vector<int> order;
+  s.after(10, [&] {
+    order.push_back(1);
+    s.after(5, [&] { order.push_back(3); });
+    s.after(0, [&] { order.push_back(2); });
+  });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 15u);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool ran = false;
+  const EventId id = s.after(10, [&] { ran = true; });
+  s.cancel(id);
+  s.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Scheduler, CancelAfterRunIsNoop) {
+  Scheduler s;
+  bool ran = false;
+  const EventId id = s.after(1, [&] { ran = true; });
+  s.run();
+  EXPECT_TRUE(ran);
+  s.cancel(id);  // must not disturb anything
+  s.after(1, [&] {});
+  EXPECT_EQ(s.run(), 1u);
+}
+
+TEST(Scheduler, StepOneAtATime) {
+  Scheduler s;
+  int count = 0;
+  s.after(1, [&] { ++count; });
+  s.after(2, [&] { ++count; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadline) {
+  Scheduler s;
+  std::vector<Time> fired;
+  for (Time t : {5u, 10u, 15u, 20u}) {
+    s.at(t, [&, t] { fired.push_back(t); });
+  }
+  EXPECT_EQ(s.run_until(12), 2u);
+  EXPECT_EQ(fired, (std::vector<Time>{5, 10}));
+  EXPECT_EQ(s.now(), 12u);  // time advances to the deadline
+  EXPECT_EQ(s.run_until(100), 2u);
+  EXPECT_EQ(s.now(), 100u);
+}
+
+TEST(Scheduler, RunUntilInclusiveAtBoundary) {
+  Scheduler s;
+  bool ran = false;
+  s.at(10, [&] { ran = true; });
+  s.run_until(10);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Scheduler, RunWithEventBudget) {
+  Scheduler s;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) s.after(1, [&] { ++count; });
+  EXPECT_EQ(s.run(4), 4u);
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(s.pending(), 6u);
+}
+
+TEST(Scheduler, SelfPerpetuatingTimerWithCancel) {
+  Scheduler s;
+  int ticks = 0;
+  EventId id = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    id = s.after(10, tick);
+  };
+  id = s.after(10, tick);
+  s.run_until(55);
+  EXPECT_EQ(ticks, 5);
+  s.cancel(id);
+  s.run_until(1000);
+  EXPECT_EQ(ticks, 5);
+}
+
+TEST(Scheduler, ExecutedCounter) {
+  Scheduler s;
+  for (int i = 0; i < 3; ++i) s.after(1, [] {});
+  s.run();
+  EXPECT_EQ(s.executed(), 3u);
+}
+
+TEST(Scheduler, CancelledEventsNotCountedPending) {
+  Scheduler s;
+  const EventId a = s.after(1, [] {});
+  s.after(2, [] {});
+  s.cancel(a);
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(Scheduler, PendingSurvivesCancelOfExecutedEvent) {
+  Scheduler s;
+  const EventId a = s.after(1, [] {});
+  s.run();
+  s.after(2, [] {});
+  s.cancel(a);  // a already ran: must not disturb accounting
+  EXPECT_EQ(s.pending(), 1u);
+  EXPECT_EQ(s.run(), 1u);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Scheduler, DoubleCancelIsIdempotent) {
+  Scheduler s;
+  const EventId a = s.after(1, [] {});
+  s.cancel(a);
+  s.cancel(a);
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_EQ(s.run(), 0u);
+}
+
+}  // namespace
+}  // namespace faust::sim

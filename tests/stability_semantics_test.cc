@@ -1,0 +1,142 @@
+// Definition 5, item 6 (stability-detection accuracy) — the paper's
+// deepest semantic promise: if an operation is stable w.r.t. all clients,
+// the prefix of the execution up to it is linearizable, NO MATTER what
+// the server does afterwards. We mount a fork attack after a stable
+// prefix and machine-check both halves of the claim: the stable prefix
+// passes the linearizability checker while the full history fails it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "adversary/forking_server.h"
+#include "checker/history.h"
+#include "checker/linearizability.h"
+#include "faust/cluster.h"
+
+namespace faust {
+namespace {
+
+using checker::OpRecord;
+
+/// Ops of `history` that completed no later than `cutoff`.
+std::vector<OpRecord> prefix_until(const std::vector<OpRecord>& history, sim::Time cutoff) {
+  std::vector<OpRecord> out;
+  for (const OpRecord& op : history) {
+    if (op.complete() && op.responded <= cutoff) out.push_back(op);
+  }
+  return out;
+}
+
+TEST(StabilitySemantics, StablePrefixStaysLinearizableThroughAFork) {
+  ClusterConfig cfg;
+  cfg.n = 3;
+  cfg.seed = 1234;
+  cfg.with_server = false;
+  cfg.faust.dummy_read_period = 300;
+  cfg.faust.probe_interval = 2'000;
+  cfg.faust.probe_check_period = 500;
+  Cluster cl(cfg);
+  adversary::ForkingServer server(cfg.n, cl.net());
+
+  // Phase 1 — honest service; the recorder captures user operations.
+  const Timestamp t1 = cl.write(1, "stable-1");
+  ASSERT_TRUE(cl.read(2, 1).has_value());
+  cl.write(2, "stable-2");
+  ASSERT_TRUE(cl.read(3, 2).has_value());
+  const Timestamp t2 = cl.write(1, "stable-3");
+  ASSERT_GT(t2, t1);
+
+  // Let the background machinery make everything stable.
+  cl.run_for(30'000);
+  ASSERT_GE(cl.client(1).fully_stable_timestamp(), t2)
+      << "phase-1 operations must be stable before the attack";
+  const sim::Time stable_cutoff = cl.sched().now();
+  const std::size_t stable_ops = cl.recorder().history().size();
+
+  // Phase 2 — the provider forks C3 into a stale world and both sides
+  // keep operating. C3's reads now return values that contradict real
+  // time.
+  server.split(3);
+  cl.write(1, "post-fork-main");
+  cl.run_for(50);  // real-time gap: the write strictly precedes the read
+  const ustor::Value stale = cl.read(3, 1);  // C3 sees the pre-fork value
+  ASSERT_TRUE(stale.has_value());
+  EXPECT_EQ(to_string(*stale), "stable-3") << "the fork serves stale data";
+  cl.write(3, "post-fork-victim");
+
+  const auto& full = cl.recorder().history();
+  ASSERT_GT(full.size(), stable_ops);
+
+  // The FULL history is not linearizable (C3's stale read skips a
+  // completed write) ...
+  EXPECT_FALSE(checker::check_linearizable(full).ok);
+
+  // ... but the prefix up to the stability cut is, exactly as Def. 5.6
+  // guarantees: what was stable before the attack can never be retracted.
+  const auto prefix = prefix_until(full, stable_cutoff);
+  EXPECT_EQ(prefix.size(), stable_ops);
+  const auto res = checker::check_linearizable(prefix);
+  EXPECT_TRUE(res.ok) << res.violation;
+
+  // Epilogue: the attack is eventually detected everywhere.
+  cl.run_for(300'000);
+  EXPECT_TRUE(cl.all_failed());
+}
+
+TEST(StabilitySemantics, CutNeverRegresses) {
+  // The stability cut is monotone per entry, across normal operation,
+  // offline periods, server crash and detection.
+  ClusterConfig cfg;
+  cfg.n = 3;
+  cfg.seed = 77;
+  cfg.faust.probe_interval = 2'000;
+  cfg.faust.probe_check_period = 400;
+  Cluster cl(cfg);
+
+  std::vector<FaustClient::StabilityCut> cuts;
+  cl.client(1).on_stable = [&](const FaustClient::StabilityCut& w) { cuts.push_back(w); };
+
+  cl.write(1, "a");
+  cl.run_for(5'000);
+  cl.client(3).go_offline();
+  cl.write(1, "b");
+  cl.run_for(5'000);
+  cl.client(3).go_online();
+  cl.write(1, "c");
+  cl.run_for(10'000);
+  cl.net().crash(kServerNode);
+  cl.run_for(50'000);
+
+  ASSERT_GE(cuts.size(), 2u);
+  for (std::size_t k = 1; k < cuts.size(); ++k) {
+    for (std::size_t j = 0; j < cuts[k].size(); ++j) {
+      EXPECT_GE(cuts[k][j], cuts[k - 1][j]) << "notification " << k << " entry " << j;
+    }
+  }
+  EXPECT_FALSE(cl.any_failed());
+}
+
+TEST(StabilitySemantics, StableImpliesCommonViewPairwise) {
+  // Pairwise form of Def. 5.6: if C1's op is stable w.r.t. C2, then C2's
+  // version provably covers it — check the raw versions.
+  ClusterConfig cfg;
+  cfg.n = 3;
+  cfg.seed = 88;
+  cfg.faust.dummy_read_period = 0;
+  cfg.faust.probe_check_period = 0;
+  Cluster cl(cfg);
+
+  const Timestamp t = cl.write(1, "x");
+  ASSERT_TRUE(cl.read(2, 1).has_value());
+  cl.run_for(200);
+  cl.read(1, 2);  // C1 learns C2's version
+
+  const auto& w = cl.client(1).stability_cut();
+  ASSERT_GE(w[1], t) << "stable w.r.t. C2";
+  // C2's engine version must dominate C1's op position.
+  EXPECT_GE(cl.client(2).engine().version().v(1), t);
+}
+
+}  // namespace
+}  // namespace faust

@@ -1,0 +1,163 @@
+// USTOR under a tampering server: every corruption mode of
+// adversary::TamperServer must be detected immediately and attributed to
+// the right check of Algorithm 1 (failure-detection *completeness* for
+// non-forking misbehaviour, and the C5 attack campaign of DESIGN.md).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "adversary/misc_servers.h"
+#include "adversary/tamper_server.h"
+#include "common/rng.h"
+#include "crypto/signature.h"
+#include "net/network.h"
+#include "sim/scheduler.h"
+#include "ustor/client.h"
+
+namespace faust::ustor {
+namespace {
+
+using adversary::Tamper;
+using adversary::TamperServer;
+
+constexpr int kN = 3;
+constexpr ClientId kVictim = 2;
+
+struct Case {
+  Tamper mode;
+  std::set<FailCause> expected;
+};
+
+class TamperTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(TamperTest, DetectedWithExpectedCause) {
+  const Case& param = GetParam();
+
+  sim::Scheduler sched;
+  net::Network net(sched, Rng(11), net::DelayModel{5, 5});
+  auto sigs = crypto::make_hmac_scheme(kN);
+  // The victim's 2nd operation (the read below) triggers the corruption.
+  TamperServer server(kN, net, param.mode, kVictim, /*fire_on_op=*/2);
+
+  std::vector<std::unique_ptr<Client>> clients;
+  for (ClientId i = 1; i <= kN; ++i) clients.push_back(std::make_unique<Client>(i, kN, sigs, net));
+  Client& c1 = *clients[0];
+  Client& victim = *clients[static_cast<std::size_t>(kVictim - 1)];
+
+  const auto drive = [&](Client& cl, auto&& fn) {
+    bool done = false;
+    fn(cl, done);
+    while (!done && !cl.failed() && sched.step()) {
+    }
+    return done;
+  };
+  const auto write_sync = [&](Client& cl, std::string_view v) {
+    return drive(cl, [&](Client& x, bool& done) {
+      x.writex(to_bytes(v), [&done](const WriteResult&) { done = true; });
+    });
+  };
+
+  // Setup history: two committed writes by C1 (gives the replay attack
+  // something stale to serve), one write by the victim (victim op #1).
+  ASSERT_TRUE(write_sync(c1, "a"));
+  ASSERT_TRUE(write_sync(c1, "b"));
+  ASSERT_TRUE(write_sync(victim, "v"));
+
+  // Victim op #2: a read of X1 concurrent with a write by C1, so the
+  // reply's L is non-empty (exercising the PROOF/SUBMIT signature paths).
+  bool read_done = false;
+  c1.writex(to_bytes("c"), [](const WriteResult&) {});
+  victim.readx(1, [&](const ReadResult&) { read_done = true; });
+  sched.run();
+
+  if (param.mode == Tamper::kNone) {
+    EXPECT_TRUE(read_done);
+    EXPECT_FALSE(victim.failed());
+    return;
+  }
+
+  EXPECT_TRUE(server.fired());
+  EXPECT_FALSE(read_done) << "corrupted operation must not complete";
+  ASSERT_TRUE(victim.failed());
+  EXPECT_TRUE(param.expected.count(victim.fail_cause()) > 0)
+      << "got cause " << static_cast<int>(victim.fail_cause());
+  // Only the victim is attacked; others remain healthy (USTOR alone has
+  // no failure propagation — that is FAUST's job).
+  EXPECT_FALSE(c1.failed());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTampers, TamperTest,
+    ::testing::Values(
+        Case{Tamper::kNone, {}},
+        Case{Tamper::kValue, {FailCause::kBadDataSignature}},
+        Case{Tamper::kValueFreshSig, {FailCause::kBadDataSignature}},
+        Case{Tamper::kStaleTimestamp, {FailCause::kStaleRead}},
+        Case{Tamper::kVersionVector, {FailCause::kBadCommitSignature}},
+        Case{Tamper::kCommitSig, {FailCause::kBadCommitSignature}},
+        Case{Tamper::kWriterCommitSig, {FailCause::kBadCommitSignature}},
+        Case{Tamper::kDataSig, {FailCause::kBadDataSignature}},
+        Case{Tamper::kProofSig, {FailCause::kBadProofSignature}},
+        Case{Tamper::kSubmitSigInL, {FailCause::kBadSubmitSignature}},
+        Case{Tamper::kEchoSelfInL, {FailCause::kSelfConcurrent}},
+        Case{Tamper::kDuplicateInL, {FailCause::kBadProofSignature}},
+        Case{Tamper::kWrongCommitter, {FailCause::kBadCommitSignature}},
+        Case{Tamper::kGarbage, {FailCause::kMalformedMessage}},
+        Case{Tamper::kDropReadPayload, {FailCause::kMalformedMessage}}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return "mode_" + std::to_string(static_cast<int>(info.param.mode));
+    });
+
+TEST(CommitDropping, CommittingClientDetectsOmission) {
+  sim::Scheduler sched;
+  net::Network net(sched, Rng(3), net::DelayModel{2, 4});
+  auto sigs = crypto::make_hmac_scheme(2);
+  adversary::CommitDroppingServer server(2, net);
+  Client c1(1, 2, sigs, net);
+  Client c2(2, 2, sigs, net);
+
+  bool w1 = false;
+  c1.writex(to_bytes("a"), [&](const WriteResult&) { w1 = true; });
+  sched.run();
+  EXPECT_TRUE(w1);  // the first op completes (nothing to compare yet)
+  EXPECT_FALSE(c1.failed());
+
+  // The server dropped C1's COMMIT; C1's next reply cannot extend C1's own
+  // version (V^c[1] = 0 ≠ 1) — line 36 fires.
+  c1.writex(to_bytes("b"), [](const WriteResult&) {});
+  sched.run();
+  EXPECT_TRUE(c1.failed());
+  EXPECT_EQ(c1.fail_cause(), FailCause::kVersionRegression);
+}
+
+TEST(MalformedFuzz, RandomServerBytesNeverCrashOnlyFail) {
+  // A "server" that answers every SUBMIT with random bytes. Clients must
+  // fail cleanly (kMalformedMessage or a signature cause), never crash.
+  class FuzzServer : public net::Node {
+   public:
+    FuzzServer(net::Network& n, Rng rng) : net_(n), rng_(rng) { net_.attach(kServerNode, *this); }
+    void on_message(NodeId from, BytesView) override {
+      Bytes junk(rng_.next_in(0, 300));
+      for (auto& b : junk) b = static_cast<std::uint8_t>(rng_.next_u64());
+      net_.send(kServerNode, from, junk);
+    }
+    net::Network& net_;
+    Rng rng_;
+  };
+
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    sim::Scheduler sched;
+    net::Network net(sched, Rng(seed), net::DelayModel{1, 3});
+    auto sigs = crypto::make_hmac_scheme(2);
+    FuzzServer server(net, Rng(seed * 31 + 7));
+    Client c1(1, 2, sigs, net);
+    c1.writex(to_bytes("x"), [](const WriteResult&) { FAIL() << "must not complete"; });
+    sched.run();
+    EXPECT_TRUE(c1.failed());
+  }
+}
+
+}  // namespace
+}  // namespace faust::ustor

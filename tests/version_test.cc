@@ -1,0 +1,144 @@
+// Tests for the version/digest algebra of §5: the ≼ order of Def. 7, the
+// digest chain D(ω1..ωm), and value hashing.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ustor/types.h"
+
+namespace faust::ustor {
+namespace {
+
+Version ver(std::initializer_list<Timestamp> ts) {
+  Version v(static_cast<int>(ts.size()));
+  int k = 1;
+  for (const Timestamp t : ts) v.v(k++) = t;
+  return v;
+}
+
+/// Builds a version whose digests are consistent with a single chain, as
+/// the protocol produces: M[k] = digest of the chain at C_k's last op.
+Version chained_from(const std::vector<int>& op_clients, std::size_t count, int n) {
+  Version v(n);
+  Digest d = Digest::bottom();
+  for (std::size_t q = 0; q < count && q < op_clients.size(); ++q) {
+    const int c = op_clients[q];
+    d = chain_step(d, c);
+    v.v(c) += 1;
+    v.m(c) = d;
+  }
+  return v;
+}
+
+Version chained(std::initializer_list<int> op_clients, int n) {
+  const std::vector<int> ops(op_clients);
+  return chained_from(ops, ops.size(), n);
+}
+
+TEST(Version, ZeroDetection) {
+  Version v(3);
+  EXPECT_TRUE(v.is_zero());
+  v.v(2) = 1;
+  EXPECT_FALSE(v.is_zero());
+  Version w(3);
+  w.m(1) = chain_step(Digest::bottom(), 1);
+  EXPECT_FALSE(w.is_zero());
+}
+
+TEST(Version, LeqReflexive) {
+  const Version v = chained({1, 2, 1, 3}, 3);
+  EXPECT_TRUE(version_leq(v, v));
+  EXPECT_EQ(version_compare(v, v), VersionOrder::kEqual);
+}
+
+TEST(Version, PrefixChainsAreOrdered) {
+  const Version a = chained({1, 2}, 3);
+  const Version b = chained({1, 2, 3, 1}, 3);
+  EXPECT_TRUE(version_leq(a, b));
+  EXPECT_FALSE(version_leq(b, a));
+  EXPECT_EQ(version_compare(a, b), VersionOrder::kLess);
+  EXPECT_EQ(version_compare(b, a), VersionOrder::kGreater);
+  EXPECT_TRUE(versions_comparable(a, b));
+}
+
+TEST(Version, DivergedChainsIncomparable) {
+  // Same op counts per client but different orders -> different digests.
+  const Version a = chained({1, 2}, 2);
+  const Version b = chained({2, 1}, 2);
+  EXPECT_FALSE(version_leq(a, b));
+  EXPECT_FALSE(version_leq(b, a));
+  EXPECT_EQ(version_compare(a, b), VersionOrder::kIncomparable);
+  EXPECT_FALSE(versions_comparable(a, b));
+}
+
+TEST(Version, ForkedSuffixesIncomparable) {
+  // Common prefix [1], then fork: one world sees 1's next op, the other
+  // sees 2's. V vectors are ordered only if digests agree on equal
+  // entries — they do not.
+  const Version a = chained({1, 1}, 2);    // V = [2,0]
+  const Version b = chained({1, 2}, 2);    // V = [1,1]
+  EXPECT_EQ(version_compare(a, b), VersionOrder::kIncomparable);
+}
+
+TEST(Version, DigestMismatchBlocksOrderOnEqualEntry) {
+  Version a = chained({1, 2}, 2);
+  Version b = chained({1, 2, 2}, 2);
+  // Corrupt a's digest for client 1 (same count, different digest).
+  a.m(1) = chain_step(Digest::bottom(), 2);
+  EXPECT_FALSE(version_leq(a, b));
+}
+
+TEST(Version, LeqTransitiveOnChains) {
+  Rng rng(4);
+  const int n = 4;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<int> ops;
+    for (int i = 0; i < 12; ++i) ops.push_back(static_cast<int>(rng.next_in(1, n)));
+    const auto take = [&](std::size_t count) {
+      return chained_from(ops, count, n);
+    };
+    const std::size_t i = rng.next_below(ops.size());
+    const std::size_t j = rng.next_in(i, ops.size() - 1);
+    const std::size_t k = rng.next_in(j, ops.size() - 1);
+    const Version a = take(i), b = take(j), c = take(k);
+    EXPECT_TRUE(version_leq(a, b));
+    EXPECT_TRUE(version_leq(b, c));
+    EXPECT_TRUE(version_leq(a, c));
+  }
+}
+
+TEST(Digest, ChainIsPositionSensitive) {
+  const Digest d1 = chain_step(chain_step(Digest::bottom(), 1), 2);
+  const Digest d2 = chain_step(chain_step(Digest::bottom(), 2), 1);
+  EXPECT_FALSE(d1 == d2);
+}
+
+TEST(Digest, BottomEncodesDistinctly) {
+  EXPECT_NE(encode_digest(Digest::bottom()), encode_digest(chain_step(Digest::bottom(), 1)));
+}
+
+TEST(Version, EncodingInjective) {
+  const Version a = chained({1, 2, 1}, 3);
+  Version b = a;
+  b.v(3) = 1;
+  EXPECT_NE(encode_version(a), encode_version(b));
+  Version c = a;
+  c.m(2) = chain_step(c.m(2), 3);
+  EXPECT_NE(encode_version(a), encode_version(c));
+}
+
+TEST(Value, HashDistinguishesBottomFromEmpty) {
+  EXPECT_NE(value_hash(std::nullopt), value_hash(Bytes{}));
+}
+
+TEST(Value, HashDistinct) {
+  EXPECT_NE(value_hash(to_bytes("a")), value_hash(to_bytes("b")));
+  EXPECT_EQ(value_hash(to_bytes("a")), value_hash(to_bytes("a")));
+}
+
+TEST(Version, ToStringFormat) {
+  EXPECT_EQ(ver({1, 2, 3}).to_string(), "[1,2,3]");
+  EXPECT_EQ(Version(1).to_string(), "[0]");
+}
+
+}  // namespace
+}  // namespace faust::ustor

@@ -1,0 +1,240 @@
+// Wire-format tests: encoder/reader primitives, roundtrips of every
+// protocol message, and hardening against malformed input.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ustor/messages.h"
+#include "wire/encoder.h"
+
+namespace faust::ustor {
+namespace {
+
+using wire::Reader;
+using wire::Writer;
+
+TEST(Encoder, PrimitivesRoundtrip) {
+  Writer w;
+  w.put_u8(0xab);
+  w.put_u32(0xdeadbeef);
+  w.put_u64(0x1122334455667788ull);
+  w.put_bytes(to_bytes("str"));
+  const Bytes buf = w.take();
+
+  Reader r(buf);
+  EXPECT_EQ(r.get_u8(), 0xab);
+  EXPECT_EQ(r.get_u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.get_u64(), 0x1122334455667788ull);
+  EXPECT_EQ(to_string(r.get_bytes()), "str");
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Encoder, ReaderStickyErrorOnTruncation) {
+  Writer w;
+  w.put_u64(7);
+  const Bytes buf = w.take();
+  Reader r(BytesView(buf.data(), 4));  // truncated
+  EXPECT_EQ(r.get_u64(), 0u);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.get_u32(), 0u);  // still failing, no crash
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Encoder, BytesLengthLying) {
+  Writer w;
+  w.put_u32(1000);  // claims 1000 bytes follow
+  w.put_u8(1);
+  const Bytes buf = w.take();
+  Reader r(buf);
+  EXPECT_TRUE(r.get_bytes().empty());
+  EXPECT_FALSE(r.ok());
+}
+
+Version sample_version(int n, std::uint64_t salt) {
+  Version v(n);
+  for (int k = 1; k <= n; ++k) {
+    v.v(k) = salt + static_cast<std::uint64_t>(k);
+    v.m(k) = chain_step(Digest::bottom(), k);
+  }
+  return v;
+}
+
+TEST(Messages, SubmitRoundtrip) {
+  SubmitMessage m;
+  m.t = 42;
+  m.inv = {2, OpCode::kWrite, 2, to_bytes("sig")};
+  m.value = to_bytes("payload");
+  m.data_sig = to_bytes("dsig");
+  const auto back = decode_submit(encode(m));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->t, 42u);
+  EXPECT_EQ(back->inv, m.inv);
+  EXPECT_EQ(back->value, m.value);
+  EXPECT_EQ(back->data_sig, m.data_sig);
+}
+
+TEST(Messages, SubmitReadHasBottomValue) {
+  SubmitMessage m;
+  m.t = 1;
+  m.inv = {1, OpCode::kRead, 3, to_bytes("s")};
+  m.value = std::nullopt;
+  m.data_sig = to_bytes("d");
+  const auto back = decode_submit(encode(m));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_FALSE(back->value.has_value());
+  EXPECT_EQ(back->inv.oc, OpCode::kRead);
+}
+
+TEST(Messages, ReplyWriteShapeRoundtrip) {
+  ReplyMessage m;
+  m.c = 3;
+  m.last = {sample_version(4, 10), to_bytes("csig")};
+  m.L.push_back({1, OpCode::kRead, 2, to_bytes("s1")});
+  m.L.push_back({4, OpCode::kWrite, 4, to_bytes("s2")});
+  m.P = {to_bytes("p1"), Bytes{}, to_bytes("p3"), Bytes{}};
+  const auto back = decode_reply(encode(m));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->c, 3);
+  EXPECT_EQ(back->last.version, m.last.version);
+  EXPECT_FALSE(back->read.has_value());
+  ASSERT_EQ(back->L.size(), 2u);
+  EXPECT_EQ(back->L[1], m.L[1]);
+  EXPECT_EQ(back->P, m.P);
+}
+
+TEST(Messages, ReplyReadShapeRoundtrip) {
+  ReplyMessage m;
+  m.c = 1;
+  m.last = {sample_version(2, 5), to_bytes("csig")};
+  ReadPayload rp;
+  rp.writer = {sample_version(2, 3), to_bytes("wsig")};
+  rp.tj = 9;
+  rp.value = to_bytes("data");
+  rp.data_sig = to_bytes("dsig");
+  m.read = rp;
+  m.P = {Bytes{}, Bytes{}};
+  const auto back = decode_reply(encode(m));
+  ASSERT_TRUE(back.has_value());
+  ASSERT_TRUE(back->read.has_value());
+  EXPECT_EQ(back->read->tj, 9u);
+  EXPECT_EQ(back->read->value, rp.value);
+  EXPECT_EQ(back->read->writer.version, rp.writer.version);
+}
+
+TEST(Messages, CommitRoundtrip) {
+  CommitMessage m;
+  m.version = sample_version(3, 7);
+  m.commit_sig = to_bytes("c");
+  m.proof_sig = to_bytes("p");
+  const auto back = decode_commit(encode(m));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->version, m.version);
+  EXPECT_EQ(back->commit_sig, m.commit_sig);
+  EXPECT_EQ(back->proof_sig, m.proof_sig);
+}
+
+TEST(Messages, OfflineMessagesRoundtrip) {
+  EXPECT_TRUE(decode_probe(encode(ProbeMessage{})).has_value());
+
+  VersionMessage vm;
+  vm.committer = 2;
+  vm.ver = {sample_version(3, 1), to_bytes("sig")};
+  const auto vback = decode_version(encode(vm));
+  ASSERT_TRUE(vback.has_value());
+  EXPECT_EQ(vback->committer, 2);
+  EXPECT_EQ(vback->ver.version, vm.ver.version);
+
+  FailureMessage fm;
+  fm.has_evidence = true;
+  fm.committer_a = 1;
+  fm.a = {sample_version(3, 2), to_bytes("sa")};
+  fm.committer_b = 3;
+  fm.b = {sample_version(3, 9), to_bytes("sb")};
+  const auto fback = decode_failure(encode(fm));
+  ASSERT_TRUE(fback.has_value());
+  EXPECT_TRUE(fback->has_evidence);
+  EXPECT_EQ(fback->committer_b, 3);
+  EXPECT_EQ(fback->b.version, fm.b.version);
+
+  FailureMessage bare;
+  const auto bback = decode_failure(encode(bare));
+  ASSERT_TRUE(bback.has_value());
+  EXPECT_FALSE(bback->has_evidence);
+}
+
+TEST(Messages, PeekType) {
+  EXPECT_EQ(peek_type(encode(ProbeMessage{})), MsgType::kProbe);
+  EXPECT_EQ(peek_type(Bytes{}), std::nullopt);
+  EXPECT_EQ(peek_type(Bytes{0x63}), std::nullopt);
+}
+
+TEST(Messages, WrongTagRejected) {
+  const Bytes probe = encode(ProbeMessage{});
+  EXPECT_FALSE(decode_version(probe).has_value());
+  EXPECT_FALSE(decode_submit(probe).has_value());
+}
+
+TEST(Messages, TrailingGarbageRejected) {
+  SubmitMessage m;
+  m.t = 1;
+  m.inv = {1, OpCode::kWrite, 1, to_bytes("s")};
+  m.value = to_bytes("v");
+  m.data_sig = to_bytes("d");
+  Bytes buf = encode(m);
+  buf.push_back(0x00);
+  EXPECT_FALSE(decode_submit(buf).has_value());
+}
+
+TEST(Messages, TruncationFuzzNeverCrashes) {
+  ReplyMessage m;
+  m.c = 1;
+  m.last = {sample_version(3, 5), to_bytes("csig")};
+  ReadPayload rp;
+  rp.writer = {sample_version(3, 2), to_bytes("w")};
+  rp.tj = 5;
+  rp.value = to_bytes("data");
+  rp.data_sig = to_bytes("d");
+  m.read = rp;
+  m.L.push_back({2, OpCode::kRead, 1, to_bytes("s")});
+  m.P = {Bytes{}, to_bytes("p"), Bytes{}};
+  const Bytes full = encode(m);
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    EXPECT_FALSE(decode_reply(BytesView(full.data(), len)).has_value());
+  }
+  EXPECT_TRUE(decode_reply(full).has_value());
+}
+
+TEST(Messages, RandomBytesFuzzNeverCrashes) {
+  Rng rng(99);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes junk(rng.next_below(200));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next_u64());
+    // Must never crash; may occasionally decode if the bytes happen to
+    // form a valid message (fine).
+    (void)decode_submit(junk);
+    (void)decode_reply(junk);
+    (void)decode_commit(junk);
+    (void)decode_probe(junk);
+    (void)decode_version(junk);
+    (void)decode_failure(junk);
+  }
+  SUCCEED();
+}
+
+TEST(Messages, OversizedVectorCapRejected) {
+  // A tiny message claiming a gigantic L must fail cleanly, not allocate.
+  Writer w;
+  w.put_u8(2);  // kReply
+  w.put_u32(1);
+  // last = zero version of size 1 + empty sig
+  w.put_u32(1);
+  w.put_u64(0);
+  w.put_u8(0);
+  w.put_u32(0);
+  w.put_u8(0);             // no read payload
+  w.put_u32(0xffffffffu);  // |L| = 4 billion
+  EXPECT_FALSE(decode_reply(w.take()).has_value());
+}
+
+}  // namespace
+}  // namespace faust::ustor
