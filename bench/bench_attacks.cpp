@@ -160,4 +160,5 @@ BENCHMARK(BM_CommitOmissionDetection)->Iterations(1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "json_main.h"
+FAUST_BENCH_MAIN();

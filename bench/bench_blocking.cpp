@@ -158,4 +158,5 @@ BENCHMARK(BM_HealthyThroughputUstorVsLockstep)->Arg(2)->Arg(4)->Arg(8)->Arg(16)-
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "json_main.h"
+FAUST_BENCH_MAIN();

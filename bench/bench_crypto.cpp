@@ -143,4 +143,5 @@ BENCHMARK(BM_UstorWorkloadNullCrypto)->Arg(4)->Arg(16)->Arg(64)->MinTime(0.2);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "json_main.h"
+FAUST_BENCH_MAIN();

@@ -115,4 +115,5 @@ BENCHMARK(BM_StabilityLagVsDummyReadPeriod)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "json_main.h"
+FAUST_BENCH_MAIN();

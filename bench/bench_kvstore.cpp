@@ -102,4 +102,5 @@ BENCHMARK(BM_KvPartitionSizeScaling)->Arg(8)->Arg(64)->Arg(256)->MinTime(0.1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "json_main.h"
+FAUST_BENCH_MAIN();

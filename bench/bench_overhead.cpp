@@ -135,4 +135,5 @@ BENCHMARK(BM_LiveBytesPerOp)->RangeMultiplier(2)->Range(2, 64)->Iterations(1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "json_main.h"
+FAUST_BENCH_MAIN();

@@ -135,4 +135,5 @@ BENCHMARK(BM_LockStepLatencyUnderContention)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->I
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "json_main.h"
+FAUST_BENCH_MAIN();

@@ -121,4 +121,5 @@ BENCHMARK(BM_ThreadBusPingPong)->MinTime(0.1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "json_main.h"
+FAUST_BENCH_MAIN();

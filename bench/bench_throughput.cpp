@@ -145,4 +145,5 @@ BENCHMARK(BM_NaiveThroughput)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Iterations(1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "json_main.h"
+FAUST_BENCH_MAIN();

@@ -118,7 +118,7 @@ void BM_PendingListGrowthWithoutCommits(benchmark::State& state) {
                sigs->sign(i, ustor::submit_payload(ustor::OpCode::kWrite, i, 1))};
       m.value = to_bytes("v");
       m.data_sig = sigs->sign(i, ustor::data_payload(1, ustor::value_hash(m.value)));
-      const ustor::ReplyMessage reply = server.core().process_submit(m);
+      const ustor::ReplySnapshot reply = server.core().process_submit(m);
       reply_bytes = static_cast<double>(ustor::encode(reply).size());
     }
     final_l = static_cast<double>(server.core().pending_list_size());
@@ -159,4 +159,5 @@ BENCHMARK(BM_PendingListWithCommits)->Arg(16)->Arg(64)->Arg(256)->Iterations(1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "json_main.h"
+FAUST_BENCH_MAIN();

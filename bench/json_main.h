@@ -1,0 +1,59 @@
+// Shared main() for every bench_*.cpp: in addition to the console table,
+// each run writes machine-readable results to BENCH_<name>.json in the
+// working directory (Google Benchmark's JSON schema: per-benchmark name,
+// iterations, real_time/cpu_time in ns, and all user counters such as
+// ops_per_sec), so the perf trajectory of the project is recorded run
+// over run. Passing an explicit --benchmark_out=... overrides the
+// default. Set FAUST_BENCH_SMOKE=1 to run each benchmark for a minimal
+// interval (CI smoke mode).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace faust::benchmain {
+
+inline int run(int argc, char** argv) {
+  // Derive <name> from argv[0]: ".../bench_crypto" → "BENCH_crypto.json".
+  std::string base = argc > 0 ? argv[0] : "bench";
+  if (const std::size_t slash = base.find_last_of('/'); slash != std::string::npos) {
+    base = base.substr(slash + 1);
+  }
+  constexpr const char kPrefix[] = "bench_";
+  if (base.rfind(kPrefix, 0) == 0) base = base.substr(sizeof(kPrefix) - 1);
+
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    // Exact flag prefix: "--benchmark_out_format" alone must not suppress
+    // the default output file.
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  }
+
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_" + base + ".json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  std::string smoke_flag = "--benchmark_min_time=0.001";
+  if (const char* smoke = std::getenv("FAUST_BENCH_SMOKE"); smoke && smoke[0] == '1') {
+    args.push_back(smoke_flag.data());
+  }
+
+  int ac = static_cast<int>(args.size());
+  benchmark::Initialize(&ac, args.data());
+  if (benchmark::ReportUnrecognizedArguments(ac, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace faust::benchmain
+
+#define FAUST_BENCH_MAIN()                                            \
+  int main(int argc, char** argv) { return faust::benchmain::run(argc, argv); }

@@ -59,7 +59,7 @@ void ForkingServer::on_message(NodeId from, BytesView msg) {
       auto m = ustor::decode_submit(msg);
       if (!m.has_value()) return;
       captured_[client] = *m;
-      ustor::ReplyMessage reply = core.process_submit(*m);
+      const ustor::ReplySnapshot reply = core.process_submit(*m);
       net_.send(self_, from, ustor::encode(reply));
       break;
     }

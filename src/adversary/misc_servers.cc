@@ -12,7 +12,7 @@ void CommitDroppingServer::on_message(NodeId from, BytesView msg) {
   if (!type.has_value() || *type != ustor::MsgType::kSubmit) return;  // drop COMMITs
   auto m = ustor::decode_submit(msg);
   if (!m.has_value()) return;
-  ustor::ReplyMessage reply = core_.process_submit(*m);
+  const ustor::ReplySnapshot reply = core_.process_submit(*m);
   net_.send(self_, from, ustor::encode(reply));
 }
 
@@ -30,7 +30,7 @@ void SilencingServer::on_message(NodeId from, BytesView msg) {
       auto m = ustor::decode_submit(msg);
       if (!m.has_value()) return;
       ++served_;
-      ustor::ReplyMessage reply = core_.process_submit(*m);
+      const ustor::ReplySnapshot reply = core_.process_submit(*m);
       net_.send(self_, from, ustor::encode(reply));
       break;
     }

@@ -41,7 +41,8 @@ void TamperServer::on_message(NodeId from, BytesView msg) {
     case ustor::MsgType::kSubmit: {
       auto m = ustor::decode_submit(msg);
       if (!m.has_value()) return;
-      ustor::ReplyMessage reply = core_.process_submit(*m);
+      // Materialized: the tamper modes below mutate the reply freely.
+      ustor::ReplyMessage reply = core_.process_submit(*m).materialize();
       const ClientId client = m->inv.client;
       mem_history_[client].push_back(core_.mem(client));
       if (client == victim_ && ++victim_ops_ == fire_on_op_ && mode_ != Tamper::kNone &&

@@ -4,7 +4,7 @@
 
 namespace faust::crypto {
 
-Hash hmac_sha256(BytesView key, BytesView data) {
+HmacKey::HmacKey(BytesView key) {
   constexpr std::size_t kBlock = 64;
   std::uint8_t k[kBlock] = {0};
   if (key.size() > kBlock) {
@@ -14,21 +14,28 @@ Hash hmac_sha256(BytesView key, BytesView data) {
     std::memcpy(k, key.data(), key.size());
   }
 
-  std::uint8_t ipad[kBlock], opad[kBlock];
-  for (std::size_t i = 0; i < kBlock; ++i) {
-    ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
-    opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
-  }
-
+  std::uint8_t pad[kBlock];
+  for (std::size_t i = 0; i < kBlock; ++i) pad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
   Sha256 inner;
-  inner.update(BytesView(ipad, kBlock));
+  inner.update(BytesView(pad, kBlock));
+  inner_ = inner.midstate();
+
+  for (std::size_t i = 0; i < kBlock; ++i) pad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  Sha256 outer;
+  outer.update(BytesView(pad, kBlock));
+  outer_ = outer.midstate();
+}
+
+Hash HmacKey::mac(BytesView data) const {
+  Sha256 inner(inner_);
   inner.update(data);
   const Hash inner_digest = inner.finish();
 
-  Sha256 outer;
-  outer.update(BytesView(opad, kBlock));
+  Sha256 outer(outer_);
   outer.update(BytesView(inner_digest.data(), inner_digest.size()));
   return outer.finish();
 }
+
+Hash hmac_sha256(BytesView key, BytesView data) { return HmacKey(key).mac(data); }
 
 }  // namespace faust::crypto

@@ -3,6 +3,14 @@
 // This is the collision-resistant hash function H assumed in §2 of the
 // paper. It backs register-value hashes, the digest chains D(ω1..ωm) of
 // §5, and the HMAC-based signature scheme.
+//
+// The compression function is dispatched at runtime: on x86-64 CPUs with
+// the SHA extensions the hardware path (sha256_ni.cc) is used, otherwise
+// the portable scalar path. Both produce identical output.
+//
+// A context can be snapshotted at a block boundary (`midstate`) and
+// resumed later; HMAC uses this to precompute its key pads once per key
+// instead of re-absorbing them on every MAC (see crypto/hmac.h).
 #pragma once
 
 #include <array>
@@ -20,7 +28,21 @@ using Hash = std::array<std::uint8_t, 32>;
 /// `finish()` may be called exactly once.
 class Sha256 {
  public:
+  /// Compression state captured at a 64-byte block boundary. Lets a hash
+  /// resume from a precomputed prefix.
+  struct Midstate {
+    std::uint32_t state[8];
+    std::uint64_t bytes = 0;  // bytes absorbed; always a multiple of 64
+  };
+
   Sha256();
+
+  /// Resumes from a midstate (as if the prefix had just been absorbed).
+  explicit Sha256(const Midstate& m);
+
+  /// Captures the current state. Only valid at a block boundary, i.e.
+  /// after absorbing a multiple of 64 bytes.
+  Midstate midstate() const;
 
   /// Absorbs `data` into the hash state.
   void update(BytesView data);
@@ -33,8 +55,6 @@ class Sha256 {
   static Hash digest(BytesView data);
 
  private:
-  void compress(const std::uint8_t block[64]);
-
   std::uint32_t state_[8];
   std::uint64_t total_len_ = 0;        // bytes absorbed so far
   std::uint8_t buffer_[64];            // partial block

@@ -1,0 +1,19 @@
+// Internal: SHA-256 compression backends. sha256.cc dispatches between
+// them once at startup; both consume whole 64-byte blocks in batches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace faust::crypto::detail {
+
+/// True iff this binary AND this CPU support the x86 SHA extensions.
+bool sha_ni_available();
+
+/// Hardware compression (x86 SHA-NI). Only callable if sha_ni_available().
+void compress_sha_ni(std::uint32_t state[8], const std::uint8_t* blocks, std::size_t nblocks);
+
+/// Portable scalar compression.
+void compress_portable(std::uint32_t state[8], const std::uint8_t* blocks, std::size_t nblocks);
+
+}  // namespace faust::crypto::detail

@@ -13,23 +13,24 @@ HmacSignatureScheme::HmacSignatureScheme(int num_clients, BytesView master_seed)
     Bytes material = to_bytes("faust-client-key");
     append(material, master_seed);
     append_u32(material, static_cast<std::uint32_t>(i));
-    keys_.push_back(hash_to_bytes(Sha256::digest(material)));
+    const Hash key = Sha256::digest(material);
+    keys_.emplace_back(BytesView(key.data(), key.size()));
   }
 }
 
-const Bytes& HmacSignatureScheme::key_for(ClientId signer) const {
+const HmacKey& HmacSignatureScheme::key_for(ClientId signer) const {
   FAUST_CHECK(signer >= 1 && static_cast<std::size_t>(signer) <= keys_.size());
   return keys_[static_cast<std::size_t>(signer - 1)];
 }
 
 Bytes HmacSignatureScheme::sign(ClientId signer, BytesView message) const {
-  return hash_to_bytes(hmac_sha256(key_for(signer), message));
+  return hash_to_bytes(key_for(signer).mac(message));
 }
 
 bool HmacSignatureScheme::verify(ClientId signer, BytesView message, BytesView signature) const {
   if (signer < 1 || static_cast<std::size_t>(signer) > keys_.size()) return false;
-  const Bytes expected = hash_to_bytes(hmac_sha256(key_for(signer), message));
-  return constant_time_equal(expected, signature);
+  const Hash expected = key_for(signer).mac(message);
+  return constant_time_equal(BytesView(expected.data(), expected.size()), signature);
 }
 
 std::shared_ptr<SignatureScheme> make_hmac_scheme(int num_clients, std::uint64_t seed) {

@@ -16,6 +16,7 @@
 
 #include "common/bytes.h"
 #include "common/ids.h"
+#include "crypto/hmac.h"
 #include "crypto/sha256.h"
 
 namespace faust::crypto {
@@ -41,7 +42,8 @@ class SignatureScheme {
 
 /// HMAC-SHA256 "signatures" with one key per client, all derived from a
 /// master seed. Holds the keys of all n clients; hand an instance to each
-/// client but never to the server.
+/// client but never to the server. Keys are stored as precomputed HmacKey
+/// pad midstates, so each sign/verify skips the two key-pad compressions.
 class HmacSignatureScheme final : public SignatureScheme {
  public:
   /// Derives n client keys from `master_seed` (domain-separated SHA-256).
@@ -52,9 +54,9 @@ class HmacSignatureScheme final : public SignatureScheme {
   std::size_t signature_size() const override { return 32; }
 
  private:
-  const Bytes& key_for(ClientId signer) const;
+  const HmacKey& key_for(ClientId signer) const;
 
-  std::vector<Bytes> keys_;  // keys_[i-1] belongs to client i
+  std::vector<HmacKey> keys_;  // keys_[i-1] belongs to client i
 };
 
 /// No-op scheme: empty signatures, verification always succeeds. ONLY for

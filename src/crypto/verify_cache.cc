@@ -1,0 +1,53 @@
+#include "crypto/verify_cache.h"
+
+#include "common/check.h"
+
+namespace faust::crypto {
+
+VerifyCache::VerifyCache(std::shared_ptr<const SignatureScheme> inner, std::size_t max_entries)
+    : inner_(std::move(inner)), max_entries_(max_entries) {
+  FAUST_CHECK(inner_ != nullptr);
+  FAUST_CHECK(max_entries_ >= 1);
+}
+
+Hash VerifyCache::key_of(ClientId signer, BytesView message, BytesView signature) {
+  // VERIFY ‖ signer ‖ H(message) ‖ signature — hashing the message first
+  // keeps the key computation O(|message|) with a fixed-size tail, and
+  // domain-separates the key from every protocol payload.
+  const Hash mh = Sha256::digest(message);
+  std::uint8_t head[10] = {'V', 'E', 'R', 'I', 'F', 'Y'};
+  for (int i = 0; i < 4; ++i) {
+    head[6 + i] = static_cast<std::uint8_t>(static_cast<std::uint32_t>(signer) >> (8 * i));
+  }
+  Sha256 h;
+  h.update(BytesView(head, sizeof(head)));
+  h.update(BytesView(mh.data(), mh.size()));
+  h.update(signature);
+  return h.finish();
+}
+
+Bytes VerifyCache::sign(ClientId signer, BytesView message) const {
+  Bytes sig = inner_->sign(signer, message);
+  if (inner_->signature_size() == 0) return sig;  // see verify()
+  if (cache_.size() >= max_entries_) cache_.clear();
+  cache_.insert(key_of(signer, message, sig));
+  return sig;
+}
+
+bool VerifyCache::verify(ClientId signer, BytesView message, BytesView signature) const {
+  // A scheme with empty signatures (NullSignatureScheme, the crypto-cost
+  // ablation) verifies for free; keying the cache would only add work.
+  if (inner_->signature_size() == 0) return inner_->verify(signer, message, signature);
+  const Hash key = key_of(signer, message, signature);
+  if (cache_.contains(key)) {
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  if (!inner_->verify(signer, message, signature)) return false;
+  if (cache_.size() >= max_entries_) cache_.clear();
+  cache_.insert(key);
+  return true;
+}
+
+}  // namespace faust::crypto

@@ -1,0 +1,79 @@
+// Memoization of successful signature verifications.
+//
+// The USTOR workload has extreme temporal locality: the same signed
+// versions and proofs recur in reply after reply until they are replaced
+// (cf. Martina et al., "A unified approach to the performance analysis of
+// caching systems"). VerifyCache wraps any SignatureScheme and remembers
+// which (signer, message, signature) triples have already verified, so a
+// recurring triple costs one hash instead of a full MAC/signature check.
+//
+// Soundness: an entry is keyed by SHA-256 over the signer id, the SHA-256
+// of the message, and the full signature bytes. Under collision
+// resistance, a hit implies the exact same triple verified before —
+// deterministic verification means the answer is still true. A tampered
+// signature or payload produces a different key, misses, and goes through
+// full verification; the cache can therefore never launder a forgery
+// (regression-tested against the Byzantine tamper suite). Only positive
+// results are stored: failures are rare (and fatal to the session), so
+// caching them buys nothing and would grow the attack surface.
+//
+// Capacity is bounded; when full, the cache resets wholesale (epoch
+// clear). That is O(1) amortized, keeps no LRU bookkeeping on the hot
+// path, and a cold round simply re-verifies.
+//
+// Thread-compatibility: like SignatureScheme, instances are used from a
+// single simulation thread.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+#include "crypto/sha256.h"
+#include "crypto/signature.h"
+
+namespace faust::crypto {
+
+class VerifyCache final : public SignatureScheme {
+ public:
+  explicit VerifyCache(std::shared_ptr<const SignatureScheme> inner,
+                       std::size_t max_entries = 4096);
+
+  /// Delegates to the inner scheme, then primes the cache with the fresh
+  /// (signer, message, signature) triple: our own signatures verify for
+  /// free when a correct server echoes them back.
+  Bytes sign(ClientId signer, BytesView message) const override;
+
+  /// Cache hit: true without touching the inner scheme. Miss: full inner
+  /// verification; successes are inserted.
+  bool verify(ClientId signer, BytesView message, BytesView signature) const override;
+
+  std::size_t signature_size() const override { return inner_->signature_size(); }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::size_t entries() const { return cache_.size(); }
+
+ private:
+  struct HashKeyHasher {
+    std::size_t operator()(const Hash& h) const {
+      // The key is itself a SHA-256 output: any 8 bytes are uniform.
+      std::size_t v;
+      static_assert(sizeof(v) <= sizeof(Hash));
+      __builtin_memcpy(&v, h.data(), sizeof(v));
+      return v;
+    }
+  };
+
+  static Hash key_of(ClientId signer, BytesView message, BytesView signature);
+
+  const std::shared_ptr<const SignatureScheme> inner_;
+  const std::size_t max_entries_;
+  mutable std::unordered_set<Hash, HashKeyHasher> cache_;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+};
+
+}  // namespace faust::crypto

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "crypto/verify_cache.h"
 #include "ustor/messages.h"
 
 namespace faust {
@@ -30,7 +31,9 @@ FaustClient::FaustClient(ClientId id, int n,
                          FaustConfig config)
     : id_(id),
       n_(n),
-      sigs_(sigs),
+      // FAUST re-verifies the same maximal versions on every probe reply
+      // and dummy read; the VerifyCache memoizes those (PERF.md).
+      sigs_(std::make_shared<crypto::VerifyCache>(sigs)),
       mail_(mail),
       sched_(sched),
       config_(config),

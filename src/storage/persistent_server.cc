@@ -43,7 +43,7 @@ void PersistentServer::apply(NodeId from, BytesView msg, bool live) {
     case ustor::MsgType::kSubmit: {
       const auto m = ustor::decode_submit(msg);
       if (!m.has_value() || m->inv.client != from) return;
-      ustor::ReplyMessage reply = core_.process_submit(*m);
+      const ustor::ReplySnapshot reply = core_.process_submit(*m);
       if (live) net_.send(self_, from, ustor::encode(reply));
       break;
     }

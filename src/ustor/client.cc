@@ -1,16 +1,31 @@
 #include "ustor/client.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.h"
 
 namespace faust::ustor {
+namespace {
+
+bool same_bytes(BytesView a, BytesView b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+}  // namespace
 
 Client::Client(ClientId id, int n, std::shared_ptr<const crypto::SignatureScheme> sigs,
                net::Transport& net, NodeId server)
-    : id_(id), n_(n), sigs_(std::move(sigs)), net_(net), server_(server), version_(n) {
+    : id_(id),
+      n_(n),
+      sigs_(std::make_shared<crypto::VerifyCache>(std::move(sigs))),
+      net_(net),
+      server_(server),
+      version_(n),
+      verified_commit_(static_cast<std::size_t>(n)),
+      verified_proof_(static_cast<std::size_t>(n)),
+      verified_data_(static_cast<std::size_t>(n)) {
   FAUST_CHECK(id_ >= 1 && id_ <= n_);
-  FAUST_CHECK(sigs_ != nullptr);
   xbar_ = value_hash(std::nullopt);  // x̄_i of the initial value ⊥
   net_.attach(id_, *this);
 }
@@ -71,7 +86,10 @@ void Client::on_message(NodeId from, BytesView msg) {
     fail(FailCause::kMalformedMessage);
     return;
   }
-  auto reply = decode_reply(msg);
+  // Zero-copy decode: the view's byte fields alias `msg`, which stays
+  // alive for the whole delivery callback. handle_reply copies the few
+  // fields it keeps.
+  auto reply = decode_reply_view(msg);
   if (!reply.has_value()) {
     fail(FailCause::kMalformedMessage);
     return;
@@ -79,7 +97,7 @@ void Client::on_message(NodeId from, BytesView msg) {
   handle_reply(*reply);
 }
 
-void Client::handle_reply(const ReplyMessage& m) {
+void Client::handle_reply(const ReplyMessageView& m) {
   if (!pending_.has_value()) {
     // A correct server replies exactly once per SUBMIT.
     fail(FailCause::kUnsolicitedReply);
@@ -120,7 +138,42 @@ void Client::handle_reply(const ReplyMessage& m) {
   }
 }
 
-bool Client::update_version(const ReplyMessage& m) {
+bool Client::commit_sig_valid(ClientId committer, const Version& v, BytesView sig) {
+  SignedVersion& memo = verified_commit_[static_cast<std::size_t>(committer - 1)];
+  if (!memo.commit_sig.empty() && memo.version == v && same_bytes(memo.commit_sig, sig)) {
+    return true;
+  }
+  if (!sigs_->verify(committer, commit_payload(v), sig)) return false;
+  memo.version = v;
+  memo.commit_sig.assign(sig.begin(), sig.end());
+  return true;
+}
+
+bool Client::proof_sig_valid(ClientId k, const Digest& mk, BytesView sig) {
+  auto& [memo_digest, memo_sig] = verified_proof_[static_cast<std::size_t>(k - 1)];
+  if (!memo_sig.empty() && memo_digest == mk && same_bytes(memo_sig, sig)) return true;
+  if (!sigs_->verify(k, proof_payload(mk), sig)) return false;
+  memo_digest = mk;
+  memo_sig.assign(sig.begin(), sig.end());
+  return true;
+}
+
+bool Client::data_sig_valid(ClientId j, Timestamp tj, const ValueView& value, BytesView sig) {
+  VerifiedData& memo = verified_data_[static_cast<std::size_t>(j - 1)];
+  const bool value_matches =
+      memo.value.has_value() == value.has_value() &&
+      (!value.has_value() || same_bytes(*memo.value, *value));
+  if (!memo.sig.empty() && memo.tj == tj && value_matches && same_bytes(memo.sig, sig)) {
+    return true;
+  }
+  if (!sigs_->verify(j, data_payload(tj, value_hash_view(value)), sig)) return false;
+  memo.tj = tj;
+  memo.value = to_owned(value);
+  memo.sig.assign(sig.begin(), sig.end());
+  return true;
+}
+
+bool Client::update_version(const ReplyMessageView& m) {
   const Version& vc = m.last.version;
 
   // Structural validation (a Byzantine server may send anything): vector
@@ -133,8 +186,7 @@ bool Client::update_version(const ReplyMessage& m) {
 
   // Line 35: the version must be the initial one or carry a valid
   // COMMIT-signature by C_c.
-  if (!vc.is_zero() &&
-      !sigs_->verify(m.c, commit_payload(vc), m.last.commit_sig)) {
+  if (!vc.is_zero() && !commit_sig_valid(m.c, vc, m.last.commit_sig)) {
     fail(FailCause::kBadCommitSignature);
     return false;
   }
@@ -149,7 +201,7 @@ bool Client::update_version(const ReplyMessage& m) {
   version_ = vc;                      // line 37
   Digest d = version_.m(m.c);         // line 38
 
-  for (const InvocationTuple& inv : m.L) {  // lines 39–45
+  for (const InvocationTupleView& inv : m.L) {  // lines 39–45
     const ClientId k = inv.client;
     if (k < 1 || k > n_) {
       fail(FailCause::kMalformedMessage);
@@ -158,8 +210,7 @@ bool Client::update_version(const ReplyMessage& m) {
     // Line 41: the server must have received the COMMIT of C_k's previous
     // operation — P[k] proves it and pins C_k's view-history prefix.
     const Digest& mk = version_.m(k);
-    if (mk.present &&
-        !sigs_->verify(k, proof_payload(mk), m.P[static_cast<std::size_t>(k - 1)])) {
+    if (mk.present && !proof_sig_valid(k, mk, m.P[static_cast<std::size_t>(k - 1)])) {
       fail(FailCause::kBadProofSignature);
       return false;
     }
@@ -192,8 +243,8 @@ bool Client::update_version(const ReplyMessage& m) {
   return true;
 }
 
-bool Client::check_data(const ReplyMessage& m, ClientId j) {
-  const ReadPayload& rp = *m.read;
+bool Client::check_data(const ReplyMessageView& m, ClientId j) {
+  const ReadPayloadView& rp = *m.read;
   const Version& vj = rp.writer.version;
 
   if (vj.n() != n_ || static_cast<int>(vj.M.size()) != n_) {
@@ -202,14 +253,13 @@ bool Client::check_data(const ReplyMessage& m, ClientId j) {
   }
 
   // Line 49: SVER[j] is initial or carries C_j's COMMIT-signature.
-  if (!vj.is_zero() && !sigs_->verify(j, commit_payload(vj), rp.writer.commit_sig)) {
+  if (!vj.is_zero() && !commit_sig_valid(j, vj, rp.writer.commit_sig)) {
     fail(FailCause::kBadCommitSignature);
     return false;
   }
 
   // Line 50: the value is bound to t_j by C_j's DATA-signature.
-  if (rp.tj != 0 &&
-      !sigs_->verify(j, data_payload(rp.tj, value_hash(rp.value)), rp.data_sig)) {
+  if (rp.tj != 0 && !data_sig_valid(j, rp.tj, rp.value, rp.data_sig)) {
     fail(FailCause::kBadDataSignature);
     return false;
   }
@@ -235,8 +285,8 @@ bool Client::check_data(const ReplyMessage& m, ClientId j) {
     return false;
   }
 
-  last_read_value_ = rp.value;
-  last_read_writer_version_ = rp.writer;
+  last_read_value_ = to_owned(rp.value);
+  last_read_writer_version_ = rp.writer.to_owned();
   return true;
 }
 
@@ -246,6 +296,11 @@ void Client::send_commit() {
   cm.commit_sig = sigs_->sign(id_, commit_payload(version_));
   cm.proof_sig = sigs_->sign(id_, proof_payload(version_.m(id_)));
   commit_sig_ = cm.commit_sig;
+  // Prime the memo with our own commit: when the server next echoes our
+  // version back as SVER[c], it is skipped without re-verification.
+  SignedVersion& memo = verified_commit_[static_cast<std::size_t>(id_ - 1)];
+  memo.version = version_;
+  memo.commit_sig = commit_sig_;
   net_.send(id_, server_, encode(cm));
 }
 

@@ -11,15 +11,24 @@
 // prescribes.  Garbage from the server (undecodable messages, wrong vector
 // sizes, out-of-range indices) is routed into the same fail path — a
 // Byzantine server can stop a client but never crash or confuse it.
+//
+// Hot-path engineering (PERF.md): replies are decoded zero-copy
+// (decode_reply_view) and verified through two memo layers — exact-match
+// memos for the recurring COMMIT/PROOF entries, and a VerifyCache for
+// everything else.  Neither weakens any check: a memo hit requires
+// byte-exact equality with a previously *verified* input, so forged or
+// tampered data always goes through (and fails) full verification.
 #pragma once
 
 #include <deque>
 #include <functional>
 #include <memory>
+#include <utility>
 
 #include "common/bytes.h"
 #include "common/ids.h"
 #include "crypto/signature.h"
+#include "crypto/verify_cache.h"
 #include "net/transport.h"
 #include "ustor/messages.h"
 #include "ustor/types.h"
@@ -102,6 +111,10 @@ class Client : public net::Node {
   /// Number of completed operations (diagnostics).
   std::uint64_t completed_ops() const { return completed_ops_; }
 
+  /// The signature-verification cache this client funnels all signature
+  /// checks through (diagnostics: hit/miss counts).
+  const crypto::VerifyCache& verify_cache() const { return *sigs_; }
+
   // net::Node: handles REPLY messages.
   void on_message(NodeId from, BytesView msg) override;
 
@@ -115,21 +128,33 @@ class Client : public net::Node {
   };
 
   void fail(FailCause cause);
-  void handle_reply(const ReplyMessage& m);
+  void handle_reply(const ReplyMessageView& m);
 
   /// Lines 34–47. Returns false (after emitting fail) on any violation.
-  bool update_version(const ReplyMessage& m);
+  bool update_version(const ReplyMessageView& m);
 
   /// Lines 48–52. Returns false (after emitting fail) on any violation.
-  bool check_data(const ReplyMessage& m, ClientId j);
+  bool check_data(const ReplyMessageView& m, ClientId j);
 
   /// Signs and sends the COMMIT message for the current version and
   /// refreshes commit_sig_ / proof material.
   void send_commit();
 
+  /// Line 35/49 with memo: true iff `sig` is `committer`'s COMMIT
+  /// signature over `v`. Skips verification when (v, sig) equals the last
+  /// pair that verified for this committer.
+  bool commit_sig_valid(ClientId committer, const Version& v, BytesView sig);
+
+  /// Line 41 with memo: true iff `sig` is C_k's PROOF signature over mk.
+  bool proof_sig_valid(ClientId k, const Digest& mk, BytesView sig);
+
+  /// Line 50 with memo: true iff `sig` is C_j's DATA signature binding
+  /// (tj, H(value)).
+  bool data_sig_valid(ClientId j, Timestamp tj, const ValueView& value, BytesView sig);
+
   const ClientId id_;
   const int n_;
-  const std::shared_ptr<const crypto::SignatureScheme> sigs_;
+  const std::shared_ptr<const crypto::VerifyCache> sigs_;
   net::Transport& net_;
   const NodeId server_;
 
@@ -143,6 +168,17 @@ class Client : public net::Node {
   // Read-reply fields staged by check_data() for the completion callback.
   Value last_read_value_;
   SignedVersion last_read_writer_version_;
+
+  // Exact-match memos of the last successfully verified inputs, one slot
+  // per peer (empty signature = no entry). See class comment.
+  std::vector<SignedVersion> verified_commit_;  // [k-1]: (version, φ_k)
+  std::vector<std::pair<Digest, Bytes>> verified_proof_;  // [k-1]: (M[k], ψ_k)
+  struct VerifiedData {
+    Timestamp tj = 0;
+    Value value;
+    Bytes sig;
+  };
+  std::vector<VerifiedData> verified_data_;  // [j-1]: (t_j, value, δ_j)
 };
 
 }  // namespace faust::ustor

@@ -6,16 +6,18 @@ namespace faust::ustor {
 namespace {
 
 // Per-field helpers. Each decode helper leaves `r` in the error state on
-// malformed input; callers check r.ok() once at the end.
+// malformed input; callers check r.ok() once at the end.  Decoding is
+// zero-copy throughout: byte fields come out as views into the source
+// buffer, and the owned decode_* entry points deep-copy at the end.
 
 void put_value(wire::Writer& w, const Value& v) {
   w.put_u8(v.has_value() ? 1 : 0);
   if (v.has_value()) w.put_bytes(*v);
 }
 
-Value get_value(wire::Reader& r) {
+ValueView get_value(wire::Reader& r) {
   if (r.get_u8() == 0) return std::nullopt;
-  return r.get_bytes();
+  return r.get_bytes_view();
 }
 
 void put_digest(wire::Writer& w, const Digest& d) {
@@ -25,7 +27,7 @@ void put_digest(wire::Writer& w, const Digest& d) {
 
 Digest get_digest(wire::Reader& r) {
   if (r.get_u8() == 0) return Digest::bottom();
-  const Bytes raw = r.get_raw(32);
+  const BytesView raw = r.get_view(32);
   Digest d;
   if (raw.size() == 32) {
     d.present = true;
@@ -47,7 +49,7 @@ constexpr std::uint32_t kMaxN = 1 << 16;
 Version get_version(wire::Reader& r) {
   const std::uint32_t n = r.get_u32();
   if (n > kMaxN) {
-    (void)r.get_raw(SIZE_MAX);  // force error state
+    (void)r.get_view(SIZE_MAX);  // force error state
     return Version();
   }
   Version v(static_cast<int>(n));
@@ -61,10 +63,10 @@ void put_signed_version(wire::Writer& w, const SignedVersion& sv) {
   w.put_bytes(sv.commit_sig);
 }
 
-SignedVersion get_signed_version(wire::Reader& r) {
-  SignedVersion sv;
+SignedVersionView get_signed_version(wire::Reader& r) {
+  SignedVersionView sv;
   sv.version = get_version(r);
-  sv.commit_sig = r.get_bytes();
+  sv.commit_sig = r.get_bytes_view();
   return sv;
 }
 
@@ -75,21 +77,153 @@ void put_invocation(wire::Writer& w, const InvocationTuple& inv) {
   w.put_bytes(inv.submit_sig);
 }
 
-InvocationTuple get_invocation(wire::Reader& r) {
-  InvocationTuple inv;
+InvocationTupleView get_invocation(wire::Reader& r) {
+  InvocationTupleView inv;
   inv.client = static_cast<ClientId>(r.get_u32());
   const std::uint8_t oc = r.get_u8();
-  if (oc > 1) (void)r.get_raw(SIZE_MAX);  // unknown opcode → error state
+  if (oc > 1) (void)r.get_view(SIZE_MAX);  // unknown opcode → error state
   inv.oc = static_cast<OpCode>(oc);
   inv.target = static_cast<ClientId>(r.get_u32());
-  inv.submit_sig = r.get_bytes();
+  inv.submit_sig = r.get_bytes_view();
   return inv;
+}
+
+InvocationTuple to_owned(const InvocationTupleView& v) {
+  return InvocationTuple{v.client, v.oc, v.target,
+                         Bytes(v.submit_sig.begin(), v.submit_sig.end())};
+}
+
+// Exact encoded sizes of the composite fields (mirror the put_* helpers).
+
+std::size_t value_size(const Value& v) {
+  return 1 + (v.has_value() ? 4 + v->size() : 0);
+}
+
+std::size_t version_size(const Version& v) { return encoded_version_size(v); }
+
+std::size_t signed_version_size(const SignedVersion& sv) {
+  return version_size(sv.version) + 4 + sv.commit_sig.size();
+}
+
+std::size_t invocation_size(const InvocationTuple& inv) {
+  return 4 + 1 + 4 + 4 + inv.submit_sig.size();
+}
+
+std::size_t read_payload_size(const ReadPayload& rp) {
+  return signed_version_size(rp.writer) + 8 + value_size(rp.value) + 4 + rp.data_sig.size();
+}
+
+std::size_t reply_body_size(const SignedVersion& last, const std::optional<ReadPayload>& read,
+                            const std::vector<InvocationTuple>& L, std::size_t l_count,
+                            const std::vector<Bytes>& P) {
+  std::size_t sz = 1 + 4 + signed_version_size(last) + 1;
+  if (read.has_value()) sz += read_payload_size(*read);
+  sz += 4;
+  for (std::size_t q = 0; q < l_count; ++q) sz += invocation_size(L[q]);
+  sz += 4;
+  for (const Bytes& p : P) sz += 4 + p.size();
+  return sz;
+}
+
+/// Shared REPLY encoding body, so ReplyMessage and ReplySnapshot produce
+/// byte-identical output. Only the first `l_count` entries of L belong to
+/// this reply (a snapshot's shared vector may have grown since).
+void encode_reply_body(wire::Writer& w, ClientId c, const SignedVersion& last,
+                       const std::optional<ReadPayload>& read,
+                       const std::vector<InvocationTuple>& L, std::size_t l_count,
+                       const std::vector<Bytes>& P) {
+  w.put_u8(static_cast<std::uint8_t>(MsgType::kReply));
+  w.put_u32(static_cast<std::uint32_t>(c));
+  put_signed_version(w, last);
+  w.put_u8(read.has_value() ? 1 : 0);
+  if (read.has_value()) {
+    put_signed_version(w, read->writer);
+    w.put_u64(read->tj);
+    put_value(w, read->value);
+    w.put_bytes(read->data_sig);
+  }
+  w.put_u32(static_cast<std::uint32_t>(l_count));
+  for (std::size_t q = 0; q < l_count; ++q) put_invocation(w, L[q]);
+  w.put_u32(static_cast<std::uint32_t>(P.size()));
+  for (const Bytes& p : P) w.put_bytes(p);
+}
+
+/// Clamp a snapshot's logical length to the vector it aliases (a
+/// hand-built snapshot could disagree; never read past the end).
+std::size_t snapshot_l_count(const ReplySnapshot& m) {
+  return m.L ? std::min(m.l_count, m.L->size()) : 0;
 }
 
 }  // namespace
 
+Value to_owned(const ValueView& v) {
+  if (!v.has_value()) return std::nullopt;
+  return Bytes(v->begin(), v->end());
+}
+
+ReplyMessage ReplyMessageView::materialize() const {
+  ReplyMessage m;
+  m.c = c;
+  m.last = last.to_owned();
+  if (read.has_value()) {
+    ReadPayload rp;
+    rp.writer = read->writer.to_owned();
+    rp.tj = read->tj;
+    rp.value = ustor::to_owned(read->value);
+    rp.data_sig = Bytes(read->data_sig.begin(), read->data_sig.end());
+    m.read = std::move(rp);
+  }
+  m.L.reserve(L.size());
+  for (const InvocationTupleView& inv : L) m.L.push_back(to_owned(inv));
+  m.P.reserve(P.size());
+  for (const BytesView& p : P) m.P.emplace_back(p.begin(), p.end());
+  return m;
+}
+
+ReplyMessage ReplySnapshot::materialize() const {
+  ReplyMessage m;
+  m.c = c;
+  m.last = last;
+  m.read = read;
+  const std::size_t lc = snapshot_l_count(*this);
+  if (L) m.L.assign(L->begin(), L->begin() + static_cast<std::ptrdiff_t>(lc));
+  if (P) m.P = *P;
+  return m;
+}
+
+std::size_t size_hint(const SubmitMessage& m) {
+  return 1 + 8 + invocation_size(m.inv) + value_size(m.value) + 4 + m.data_sig.size();
+}
+
+std::size_t size_hint(const ReplyMessage& m) {
+  return reply_body_size(m.last, m.read, m.L, m.L.size(), m.P);
+}
+
+std::size_t size_hint(const ReplySnapshot& m) {
+  static const std::vector<InvocationTuple> kNoL;
+  static const std::vector<Bytes> kNoP;
+  return reply_body_size(m.last, m.read, m.L ? *m.L : kNoL, snapshot_l_count(m),
+                         m.P ? *m.P : kNoP);
+}
+
+std::size_t size_hint(const CommitMessage& m) {
+  return 1 + version_size(m.version) + 4 + m.commit_sig.size() + 4 + m.proof_sig.size();
+}
+
+std::size_t size_hint(const ProbeMessage&) { return 1; }
+
+std::size_t size_hint(const VersionMessage& m) {
+  return 1 + 4 + signed_version_size(m.ver);
+}
+
+std::size_t size_hint(const FailureMessage& m) {
+  std::size_t sz = 1 + 1;
+  if (m.has_evidence) sz += 4 + signed_version_size(m.a) + 4 + signed_version_size(m.b);
+  return sz;
+}
+
 Bytes encode(const SubmitMessage& m) {
-  wire::Writer w;
+  wire::Writer w(size_hint(m));
   w.put_u8(static_cast<std::uint8_t>(MsgType::kSubmit));
   w.put_u64(m.t);
   put_invocation(w, m.inv);
@@ -99,26 +233,22 @@ Bytes encode(const SubmitMessage& m) {
 }
 
 Bytes encode(const ReplyMessage& m) {
-  wire::Writer w;
-  w.put_u8(static_cast<std::uint8_t>(MsgType::kReply));
-  w.put_u32(static_cast<std::uint32_t>(m.c));
-  put_signed_version(w, m.last);
-  w.put_u8(m.read.has_value() ? 1 : 0);
-  if (m.read.has_value()) {
-    put_signed_version(w, m.read->writer);
-    w.put_u64(m.read->tj);
-    put_value(w, m.read->value);
-    w.put_bytes(m.read->data_sig);
-  }
-  w.put_u32(static_cast<std::uint32_t>(m.L.size()));
-  for (const InvocationTuple& inv : m.L) put_invocation(w, inv);
-  w.put_u32(static_cast<std::uint32_t>(m.P.size()));
-  for (const Bytes& p : m.P) w.put_bytes(p);
+  wire::Writer w(size_hint(m));
+  encode_reply_body(w, m.c, m.last, m.read, m.L, m.L.size(), m.P);
+  return w.take();
+}
+
+Bytes encode(const ReplySnapshot& m) {
+  static const std::vector<InvocationTuple> kNoL;
+  static const std::vector<Bytes> kNoP;
+  wire::Writer w(size_hint(m));
+  encode_reply_body(w, m.c, m.last, m.read, m.L ? *m.L : kNoL, snapshot_l_count(m),
+                    m.P ? *m.P : kNoP);
   return w.take();
 }
 
 Bytes encode(const CommitMessage& m) {
-  wire::Writer w;
+  wire::Writer w(size_hint(m));
   w.put_u8(static_cast<std::uint8_t>(MsgType::kCommit));
   put_version(w, m.version);
   w.put_bytes(m.commit_sig);
@@ -127,13 +257,13 @@ Bytes encode(const CommitMessage& m) {
 }
 
 Bytes encode(const ProbeMessage&) {
-  wire::Writer w;
+  wire::Writer w(std::size_t{1});
   w.put_u8(static_cast<std::uint8_t>(MsgType::kProbe));
   return w.take();
 }
 
 Bytes encode(const VersionMessage& m) {
-  wire::Writer w;
+  wire::Writer w(size_hint(m));
   w.put_u8(static_cast<std::uint8_t>(MsgType::kVersion));
   w.put_u32(static_cast<std::uint32_t>(m.committer));
   put_signed_version(w, m.ver);
@@ -141,7 +271,7 @@ Bytes encode(const VersionMessage& m) {
 }
 
 Bytes encode(const FailureMessage& m) {
-  wire::Writer w;
+  wire::Writer w(size_hint(m));
   w.put_u8(static_cast<std::uint8_t>(MsgType::kFailure));
   w.put_u8(m.has_evidence ? 1 : 0);
   if (m.has_evidence) {
@@ -180,26 +310,26 @@ std::optional<SubmitMessage> decode_submit(BytesView data) {
   if (!open(r, MsgType::kSubmit)) return std::nullopt;
   SubmitMessage m;
   m.t = r.get_u64();
-  m.inv = get_invocation(r);
-  m.value = get_value(r);
+  m.inv = to_owned(get_invocation(r));
+  m.value = to_owned(get_value(r));
   m.data_sig = r.get_bytes();
   if (!r.ok() || !r.exhausted()) return std::nullopt;
   return m;
 }
 
-std::optional<ReplyMessage> decode_reply(BytesView data) {
+std::optional<ReplyMessageView> decode_reply_view(BytesView data) {
   wire::Reader r(data);
   if (!open(r, MsgType::kReply)) return std::nullopt;
-  ReplyMessage m;
+  ReplyMessageView m;
   m.c = static_cast<ClientId>(r.get_u32());
   m.last = get_signed_version(r);
   if (r.get_u8() == 1) {
-    ReadPayload rp;
+    ReadPayloadView rp;
     rp.writer = get_signed_version(r);
     rp.tj = r.get_u64();
     rp.value = get_value(r);
-    rp.data_sig = r.get_bytes();
-    m.read = std::move(rp);
+    rp.data_sig = r.get_bytes_view();
+    m.read = rp;
   }
   const std::uint32_t l = r.get_u32();
   if (l > kMaxN) return std::nullopt;
@@ -208,9 +338,15 @@ std::optional<ReplyMessage> decode_reply(BytesView data) {
   const std::uint32_t np = r.get_u32();
   if (np > kMaxN) return std::nullopt;
   m.P.reserve(np);
-  for (std::uint32_t k = 0; k < np && r.ok(); ++k) m.P.push_back(r.get_bytes());
+  for (std::uint32_t k = 0; k < np && r.ok(); ++k) m.P.push_back(r.get_bytes_view());
   if (!r.ok() || !r.exhausted()) return std::nullopt;
   return m;
+}
+
+std::optional<ReplyMessage> decode_reply(BytesView data) {
+  const auto view = decode_reply_view(data);
+  if (!view.has_value()) return std::nullopt;
+  return view->materialize();
 }
 
 std::optional<CommitMessage> decode_commit(BytesView data) {
@@ -227,7 +363,7 @@ std::optional<CommitMessage> decode_commit(BytesView data) {
 std::optional<ProbeMessage> decode_probe(BytesView data) {
   wire::Reader r(data);
   if (!open(r, MsgType::kProbe)) return std::nullopt;
-  if (!r.exhausted()) return std::nullopt;
+  if (!r.ok() || !r.exhausted()) return std::nullopt;
   return ProbeMessage{};
 }
 
@@ -236,8 +372,9 @@ std::optional<VersionMessage> decode_version(BytesView data) {
   if (!open(r, MsgType::kVersion)) return std::nullopt;
   VersionMessage m;
   m.committer = static_cast<ClientId>(r.get_u32());
-  m.ver = get_signed_version(r);
+  const SignedVersionView sv = get_signed_version(r);
   if (!r.ok() || !r.exhausted()) return std::nullopt;
+  m.ver = sv.to_owned();
   return m;
 }
 
@@ -248,16 +385,22 @@ std::optional<FailureMessage> decode_failure(BytesView data) {
   m.has_evidence = r.get_u8() == 1;
   if (m.has_evidence) {
     m.committer_a = static_cast<ClientId>(r.get_u32());
-    m.a = get_signed_version(r);
+    const SignedVersionView a = get_signed_version(r);
     m.committer_b = static_cast<ClientId>(r.get_u32());
-    m.b = get_signed_version(r);
+    const SignedVersionView b = get_signed_version(r);
+    if (!r.ok() || !r.exhausted()) return std::nullopt;
+    m.a = a.to_owned();
+    m.b = b.to_owned();
+    return m;
   }
   if (!r.ok() || !r.exhausted()) return std::nullopt;
   return m;
 }
 
 Bytes submit_payload(OpCode oc, ClientId target, Timestamp t) {
-  Bytes out = to_bytes("SUBMIT");
+  Bytes out;
+  out.reserve(6 + 1 + 4 + 8);
+  append(out, std::string_view("SUBMIT"));
   append_byte(out, static_cast<std::uint8_t>(oc));
   append_u32(out, static_cast<std::uint32_t>(target));
   append_u64(out, t);
@@ -265,21 +408,27 @@ Bytes submit_payload(OpCode oc, ClientId target, Timestamp t) {
 }
 
 Bytes data_payload(Timestamp t, const crypto::Hash& xbar) {
-  Bytes out = to_bytes("DATA");
+  Bytes out;
+  out.reserve(4 + 8 + xbar.size());
+  append(out, std::string_view("DATA"));
   append_u64(out, t);
   append(out, BytesView(xbar.data(), xbar.size()));
   return out;
 }
 
 Bytes commit_payload(const Version& ver) {
-  Bytes out = to_bytes("COMMIT");
-  append(out, encode_version(ver));
+  Bytes out;
+  out.reserve(6 + encoded_version_size(ver));
+  append(out, std::string_view("COMMIT"));
+  append_version(out, ver);
   return out;
 }
 
 Bytes proof_payload(const Digest& mi) {
-  Bytes out = to_bytes("PROOF");
-  append(out, encode_digest(mi));
+  Bytes out;
+  out.reserve(5 + 1 + 32);
+  append(out, std::string_view("PROOF"));
+  append_digest(out, mi);
   return out;
 }
 

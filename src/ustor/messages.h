@@ -5,8 +5,23 @@
 // Decoding is defensive: `decode_*` returns std::nullopt on any malformed
 // input, and callers route that into the fail path — a Byzantine server
 // must never be able to crash a client with garbage bytes.
+//
+// Two representations exist for the hot REPLY path (see PERF.md):
+//  - Owned structs (`ReplyMessage` etc.) whose byte fields are `Bytes`.
+//    Safe to keep anywhere; used by tests, adversaries and encoding.
+//  - View structs (`ReplyMessageView` etc.) whose byte fields are
+//    `BytesView` into the decoded buffer. Zero-copy: decoding allocates
+//    only the version vectors. Valid ONLY while the source buffer is
+//    alive and unmodified; the client processes a reply entirely within
+//    the delivery callback, so it decodes views and copies just the few
+//    fields it retains.
+//
+// `size_hint(m)` returns the exact encoded size of `m`; `encode` uses it
+// to reserve so that encoding performs a single allocation.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -102,14 +117,99 @@ struct FailureMessage {
   SignedVersion b;
 };
 
+// --- Zero-copy view variants (hot client decode path) ---------------------
+
+/// Register value as a view: nullopt is ⊥, otherwise a view of the bytes.
+using ValueView = std::optional<BytesView>;
+
+/// InvocationTuple whose signature is a view into the decode buffer.
+struct InvocationTupleView {
+  ClientId client = 0;
+  OpCode oc = OpCode::kRead;
+  ClientId target = 0;
+  BytesView submit_sig;
+};
+
+/// SignedVersion whose signature is a view into the decode buffer.
+struct SignedVersionView {
+  Version version;
+  BytesView commit_sig;
+
+  /// Deep copy, for the few fields a client retains past the buffer.
+  SignedVersion to_owned() const {
+    return SignedVersion{version, Bytes(commit_sig.begin(), commit_sig.end())};
+  }
+};
+
+/// ReadPayload over views.
+struct ReadPayloadView {
+  SignedVersionView writer;
+  Timestamp tj = 0;
+  ValueView value;
+  BytesView data_sig;
+};
+
+/// ReplyMessage over views: decoding allocates only the version vectors
+/// and the L/P vectors of views, never the signature/value bytes.
+struct ReplyMessageView {
+  ClientId c = 0;
+  SignedVersionView last;
+  std::optional<ReadPayloadView> read;
+  std::vector<InvocationTupleView> L;
+  std::vector<BytesView> P;
+
+  /// Deep copy into the owned representation.
+  ReplyMessage materialize() const;
+};
+
+/// Converts a ValueView back to an owned Value.
+Value to_owned(const ValueView& v);
+
+// --- Server-side reply snapshot (copy-on-write, see PERF.md) --------------
+
+/// What ServerCore::process_submit returns: the REPLY content with L and P
+/// SHARED with the server state instead of deep-copied. The snapshot's
+/// logical L is the first `l_count` entries of `*L`: the server may append
+/// to the shared vector after the snapshot is taken (the submitting op
+/// itself, line 116), which leaves the prefix untouched — so consumers
+/// must read at most `l_count` entries and must not hold iterators into
+/// `*L` across server calls. Any mutation that would disturb the prefix
+/// (the COMMIT-time prune) clones first if a snapshot is still alive, so
+/// a held snapshot always observes the state it was taken from. Encode it
+/// directly, or `materialize()` a mutable deep copy (adversaries do, to
+/// distort it).
+struct ReplySnapshot {
+  ClientId c = 0;
+  SignedVersion last;
+  std::optional<ReadPayload> read;
+  std::shared_ptr<const std::vector<InvocationTuple>> L;
+  std::size_t l_count = 0;  // logical |L|: entries of *L this reply covers
+  std::shared_ptr<const std::vector<Bytes>> P;
+  std::uint64_t generation = 0;  // server state generation when taken
+
+  /// Deep copy into a free-standing, mutable ReplyMessage.
+  ReplyMessage materialize() const;
+};
+
 // --- Encoding (type tag + payload) ---------------------------------------
 
 Bytes encode(const SubmitMessage& m);
 Bytes encode(const ReplyMessage& m);
+Bytes encode(const ReplySnapshot& m);
 Bytes encode(const CommitMessage& m);
 Bytes encode(const ProbeMessage& m);
 Bytes encode(const VersionMessage& m);
 Bytes encode(const FailureMessage& m);
+
+/// Exact encoded size of each message (what encode() will produce); used
+/// to reserve the Writer buffer so encoding allocates exactly once.
+std::size_t size_hint(const SubmitMessage& m);
+std::size_t size_hint(const ReplyMessage& m);
+std::size_t size_hint(const ReplySnapshot& m);
+std::size_t size_hint(const CommitMessage& m);
+std::size_t size_hint(const ProbeMessage& m);
+std::size_t size_hint(const VersionMessage& m);
+std::size_t size_hint(const FailureMessage& m);
 
 /// Peeks the type tag; nullopt on empty/unknown.
 std::optional<MsgType> peek_type(BytesView data);
@@ -120,6 +220,11 @@ std::optional<CommitMessage> decode_commit(BytesView data);
 std::optional<ProbeMessage> decode_probe(BytesView data);
 std::optional<VersionMessage> decode_version(BytesView data);
 std::optional<FailureMessage> decode_failure(BytesView data);
+
+/// Zero-copy REPLY decode: all byte fields view into `data`, which must
+/// outlive the returned message. Same validation and nullopt-on-garbage
+/// behavior as decode_reply.
+std::optional<ReplyMessageView> decode_reply_view(BytesView data);
 
 // --- Signature payloads (domain-separated canonical encodings) -----------
 

@@ -8,17 +8,47 @@ ServerCore::ServerCore(int n)
     : n_(n),
       MEM_(static_cast<std::size_t>(n)),
       SVER_(static_cast<std::size_t>(n), SignedVersion{Version(n), {}}),
-      P_(static_cast<std::size_t>(n)) {
+      L_(std::make_shared<std::vector<InvocationTuple>>()),
+      P_(std::make_shared<std::vector<Bytes>>(static_cast<std::size_t>(n))) {
   FAUST_CHECK(n >= 1);
 }
 
-ReplyMessage ServerCore::process_submit(const SubmitMessage& m) {
+ServerCore::ServerCore(const ServerCore& other)
+    : n_(other.n_),
+      MEM_(other.MEM_),
+      c_(other.c_),
+      SVER_(other.SVER_),
+      L_(std::make_shared<std::vector<InvocationTuple>>(*other.L_)),
+      P_(std::make_shared<std::vector<Bytes>>(*other.P_)),
+      schedule_(other.schedule_),
+      gen_(other.gen_),
+      cow_clones_(other.cow_clones_) {}
+
+std::vector<InvocationTuple>& ServerCore::mutable_L() {
+  if (L_.use_count() > 1) {
+    L_ = std::make_shared<std::vector<InvocationTuple>>(*L_);
+    ++cow_clones_;
+  }
+  ++gen_;
+  return *L_;
+}
+
+std::vector<Bytes>& ServerCore::mutable_P() {
+  if (P_.use_count() > 1) {
+    P_ = std::make_shared<std::vector<Bytes>>(*P_);
+    ++cow_clones_;
+  }
+  ++gen_;
+  return *P_;
+}
+
+ReplySnapshot ServerCore::process_submit(const SubmitMessage& m) {
   const ClientId i = m.inv.client;
   FAUST_CHECK(i >= 1 && i <= n_);
   const ClientId j = m.inv.target;
   FAUST_CHECK(j >= 1 && j <= n_);
 
-  ReplyMessage reply;
+  ReplySnapshot reply;
   if (m.inv.oc == OpCode::kRead) {
     // Lines 108–111: a read refreshes the reader's timestamp and DATA
     // signature but keeps its stored value.
@@ -37,11 +67,17 @@ ReplyMessage ServerCore::process_submit(const SubmitMessage& m) {
   }
   reply.c = c_;
   reply.last = sver(c_);
+  // Line 116: the reply excludes the submitting operation itself — the
+  // snapshot covers only the current l_count entries, so the push below
+  // appends past every live snapshot's prefix and needs no clone. L and P
+  // are shared untouched: a submit deep-copies nothing.
   reply.L = L_;
+  reply.l_count = L_->size();
   reply.P = P_;
+  reply.generation = gen_;
 
-  // Line 116: the reply excludes the submitting operation itself.
-  L_.push_back(m.inv);
+  L_->push_back(m.inv);
+  ++gen_;
   schedule_.push_back(ScheduledOp{i, m.inv.oc, j, m.t});
   return reply;
 }
@@ -62,15 +98,17 @@ void ServerCore::process_commit(ClientId i, const CommitMessage& m) {
   if (geq && strict) {
     c_ = i;  // line 120
     // Line 121: drop this client's last tuple and everything before it.
-    for (std::size_t q = L_.size(); q > 0; --q) {
-      if (L_[q - 1].client == i) {
-        L_.erase(L_.begin(), L_.begin() + static_cast<std::ptrdiff_t>(q));
+    const std::vector<InvocationTuple>& L = *L_;
+    for (std::size_t q = L.size(); q > 0; --q) {
+      if (L[q - 1].client == i) {
+        std::vector<InvocationTuple>& lm = mutable_L();
+        lm.erase(lm.begin(), lm.begin() + static_cast<std::ptrdiff_t>(q));
         break;
       }
     }
   }
   sver(i) = SignedVersion{m.version, m.commit_sig};  // line 122
-  P_[static_cast<std::size_t>(i - 1)] = m.proof_sig;  // line 123
+  mutable_P()[static_cast<std::size_t>(i - 1)] = m.proof_sig;  // line 123
 }
 
 Server::Server(int n, net::Transport& net, NodeId self) : core_(n), net_(net), self_(self) {
@@ -84,7 +122,7 @@ void Server::on_message(NodeId from, BytesView msg) {
     case MsgType::kSubmit: {
       auto m = decode_submit(msg);
       if (!m.has_value() || m->inv.client != from) return;
-      ReplyMessage reply = core_.process_submit(*m);
+      const ReplySnapshot reply = core_.process_submit(*m);
       net_.send(self_, from, encode(reply));
       break;
     }

@@ -7,6 +7,11 @@
 // core and network.  The core also keeps a schedule log — the sequence in
 // which SUBMITs were processed — which *is* the linearization order when
 // the server is correct, and which tests/checkers consume as the oracle.
+//
+// Replies are copy-on-write snapshots (ReplySnapshot): process_submit no
+// longer deep-copies L and P into every reply; it hands out shared
+// references and clones only if it must mutate state while a snapshot is
+// still alive (see PERF.md).
 #pragma once
 
 #include <cstdint>
@@ -36,9 +41,18 @@ class ServerCore {
  public:
   explicit ServerCore(int n);
 
-  /// Lines 107–116: updates MEM, builds the REPLY, appends to L.
-  /// The caller sends the returned reply to the submitting client.
-  ReplyMessage process_submit(const SubmitMessage& m);
+  /// Deep copy: a forked core (src/adversary "same server, lying") gets
+  /// its own L/P vectors — the two worlds must diverge independently.
+  /// Snapshots already handed out keep aliasing the original's state.
+  ServerCore(const ServerCore& other);
+  ServerCore(ServerCore&&) = default;
+  ServerCore& operator=(const ServerCore&) = delete;
+
+  /// Lines 107–116: updates MEM, builds the REPLY, appends to L.  The
+  /// returned snapshot shares L and P with the server state (no deep
+  /// copy); it remains valid and immutable across later submits/commits.
+  /// The caller encodes it directly, or materialize()s a mutable copy.
+  ReplySnapshot process_submit(const SubmitMessage& m);
 
   /// Lines 117–123: stores the version/signatures, advances the last
   /// committed pointer `c`, prunes L.
@@ -51,7 +65,18 @@ class ServerCore {
 
   /// Current length of the concurrent-operations list L (bench C6 tracks
   /// its growth when COMMITs are withheld).
-  std::size_t pending_list_size() const { return L_.size(); }
+  std::size_t pending_list_size() const { return L_->size(); }
+
+  /// Bumped on every mutation of the reply-visible state (L, P); each
+  /// ReplySnapshot records the generation it was taken at.
+  std::uint64_t generation() const { return gen_; }
+
+  /// Number of times a COW clone was forced by a still-alive snapshot.
+  /// Submits never clone (they append past every snapshot's l_count
+  /// prefix); only a COMMIT that prunes L or updates P while a snapshot
+  /// is still held clones — near zero in steady state, where replies are
+  /// encoded and dropped before the COMMIT arrives.
+  std::uint64_t cow_clones() const { return cow_clones_; }
 
   // State is intentionally inspectable/mutable: the adversary variants
   // (src/adversary) are "the same server, lying", and tests peek at it.
@@ -66,17 +91,24 @@ class ServerCore {
   SignedVersion& sver(ClientId i) { return SVER_[static_cast<std::size_t>(i - 1)]; }
   const SignedVersion& sver(ClientId i) const { return SVER_[static_cast<std::size_t>(i - 1)]; }
   ClientId last_committer() const { return c_; }
-  const std::vector<InvocationTuple>& L() const { return L_; }
-  const std::vector<Bytes>& P() const { return P_; }
+  const std::vector<InvocationTuple>& L() const { return *L_; }
+  const std::vector<Bytes>& P() const { return *P_; }
 
  private:
+  /// Copy-on-write accessors: clone the shared vector iff a snapshot
+  /// still references it, then bump the state generation.
+  std::vector<InvocationTuple>& mutable_L();
+  std::vector<Bytes>& mutable_P();
+
   const int n_;
   std::vector<MemEntry> MEM_;        // line 102
   ClientId c_ = 1;                   // line 103
   std::vector<SignedVersion> SVER_;  // line 104
-  std::vector<InvocationTuple> L_;   // line 105
-  std::vector<Bytes> P_;             // line 106
+  std::shared_ptr<std::vector<InvocationTuple>> L_;  // line 105 (COW-shared)
+  std::shared_ptr<std::vector<Bytes>> P_;            // line 106 (COW-shared)
   std::vector<ScheduledOp> schedule_;
+  std::uint64_t gen_ = 0;
+  std::uint64_t cow_clones_ = 0;
 };
 
 /// The correct server: decodes messages, runs the core, replies.

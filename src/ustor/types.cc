@@ -15,16 +15,31 @@ Bytes encode_value(const Value& v) {
   return out;
 }
 
-crypto::Hash value_hash(const Value& v) { return crypto::Sha256::digest(encode_value(v)); }
+crypto::Hash value_hash_view(const std::optional<BytesView>& v) {
+  crypto::Sha256 h;
+  const std::uint8_t presence = v.has_value() ? 1 : 0;
+  h.update(BytesView(&presence, 1));
+  if (v.has_value()) h.update(*v);
+  return h.finish();
+}
 
-Bytes encode_digest(const Digest& d) {
-  Bytes out;
+crypto::Hash value_hash(const Value& v) {
+  if (!v.has_value()) return value_hash_view(std::nullopt);
+  return value_hash_view(BytesView(*v));
+}
+
+void append_digest(Bytes& out, const Digest& d) {
   if (d.present) {
     append_byte(out, 1);
     append(out, BytesView(d.hash.data(), d.hash.size()));
   } else {
     append_byte(out, 0);
   }
+}
+
+Bytes encode_digest(const Digest& d) {
+  Bytes out;
+  append_digest(out, d);
   return out;
 }
 
@@ -54,11 +69,22 @@ std::string Version::to_string() const {
   return out;
 }
 
-Bytes encode_version(const Version& ver) {
-  Bytes out;
+std::size_t encoded_version_size(const Version& ver) {
+  std::size_t sz = 4 + ver.V.size() * 8;
+  for (const Digest& d : ver.M) sz += d.present ? 33u : 1u;
+  return sz;
+}
+
+void append_version(Bytes& out, const Version& ver) {
   append_u32(out, static_cast<std::uint32_t>(ver.V.size()));
   for (const Timestamp t : ver.V) append_u64(out, t);
-  for (const Digest& d : ver.M) append(out, encode_digest(d));
+  for (const Digest& d : ver.M) append_digest(out, d);
+}
+
+Bytes encode_version(const Version& ver) {
+  Bytes out;
+  out.reserve(encoded_version_size(ver));
+  append_version(out, ver);
   return out;
 }
 
@@ -72,9 +98,21 @@ bool version_leq(const Version& a, const Version& b) {
   return true;
 }
 
+// Single pass instead of two version_leq scans: tracks both directions at
+// once and bails as soon as neither can hold.
 VersionOrder version_compare(const Version& a, const Version& b) {
-  const bool ab = version_leq(a, b);
-  const bool ba = version_leq(b, a);
+  FAUST_CHECK(a.n() == b.n());
+  bool ab = true, ba = true;  // a ≼ b, b ≼ a still possible
+  const std::size_t n = a.V.size();
+  for (std::size_t k = 0; k < n && (ab || ba); ++k) {
+    if (a.V[k] < b.V[k]) {
+      ba = false;
+    } else if (a.V[k] > b.V[k]) {
+      ab = false;
+    } else if (!(a.M[k] == b.M[k])) {
+      return VersionOrder::kIncomparable;
+    }
+  }
   if (ab && ba) return VersionOrder::kEqual;
   if (ab) return VersionOrder::kLess;
   if (ba) return VersionOrder::kGreater;
@@ -82,7 +120,7 @@ VersionOrder version_compare(const Version& a, const Version& b) {
 }
 
 bool versions_comparable(const Version& a, const Version& b) {
-  return version_leq(a, b) || version_leq(b, a);
+  return version_compare(a, b) != VersionOrder::kIncomparable;
 }
 
 }  // namespace faust::ustor

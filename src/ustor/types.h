@@ -30,6 +30,12 @@ Bytes encode_value(const Value& v);
 /// signature even before the first write.
 crypto::Hash value_hash(const Value& v);
 
+/// Same hash over a borrowed value (the zero-copy decode path); hashes
+/// incrementally instead of materializing the canonical encoding. Named
+/// distinctly because Bytes converts to BytesView, which would make an
+/// overload ambiguous.
+crypto::Hash value_hash_view(const std::optional<BytesView>& v);
+
 /// An entry of the digest vector M: either ⊥ or a SHA-256 digest of a view
 /// history prefix (the D(ω1..ωm) of §5).
 struct Digest {
@@ -44,6 +50,10 @@ struct Digest {
 
 /// Canonical encoding of a Digest (presence byte + hash bytes if present).
 Bytes encode_digest(const Digest& d);
+
+/// Appends the canonical Digest encoding in place (the single source of
+/// truth shared by encode_digest and the signature payloads).
+void append_digest(Bytes& out, const Digest& d);
 
 /// One chain step of the digest recursion: D' = H(encode(D) || client).
 /// D(ω1..ωm) = chain_step(D(ω1..ω_{m-1}), i_m), with D() = ⊥.
@@ -79,6 +89,13 @@ struct Version {
 
 /// Canonical encoding of a Version (the payload of COMMIT signatures).
 Bytes encode_version(const Version& ver);
+
+/// Appends the canonical Version encoding in place (the single source of
+/// truth shared by encode_version and commit_payload).
+void append_version(Bytes& out, const Version& ver);
+
+/// Exact byte length of encode_version(ver), for buffer reservation.
+std::size_t encoded_version_size(const Version& ver);
 
 /// Decoded relationship between two versions under ≼ (Def. 7).
 enum class VersionOrder { kEqual, kLess, kGreater, kIncomparable };

@@ -30,16 +30,25 @@ std::uint64_t Reader::get_u64() {
 }
 
 Bytes Reader::get_bytes() {
-  const std::uint32_t len = get_u32();
-  return get_raw(len);
+  const BytesView v = get_bytes_view();
+  return Bytes(v.begin(), v.end());
 }
 
 Bytes Reader::get_raw(std::size_t n) {
+  const BytesView v = get_view(n);
+  return Bytes(v.begin(), v.end());
+}
+
+BytesView Reader::get_bytes_view() {
+  const std::uint32_t len = get_u32();
+  return get_view(len);
+}
+
+BytesView Reader::get_view(std::size_t n) {
   if (!need(n)) return {};
-  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
-            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  const BytesView v = data_.subspan(pos_, n);
   pos_ += n;
-  return out;
+  return v;
 }
 
 }  // namespace faust::wire

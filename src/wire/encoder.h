@@ -10,6 +10,15 @@
 // a sticky `ok()` flag instead of throwing or crashing.  Protocol code
 // checks `ok()` once after decoding and routes failures into the paper's
 // fail path.
+//
+// Two performance affordances (see PERF.md):
+//  - Writer takes a capacity hint so that a message whose exact encoded
+//    size is known up front (`size_hint` in ustor/messages.h) is encoded
+//    with a single allocation.
+//  - Reader::get_view / get_bytes_view return views INTO the source
+//    buffer instead of copying.  A view is valid only while the buffer
+//    passed to the Reader constructor is alive and unmodified; callers
+//    that keep decoded data beyond that lifetime must copy.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +31,12 @@ namespace faust::wire {
 /// Appends values to an owned byte buffer.
 class Writer {
  public:
+  Writer() = default;
+
+  /// Pre-allocates `capacity_hint` bytes so that encoding a message of a
+  /// known size performs exactly one allocation.
+  explicit Writer(std::size_t capacity_hint) { buf_.reserve(capacity_hint); }
+
   void put_u8(std::uint8_t v) { buf_.push_back(v); }
   void put_u32(std::uint32_t v) { append_u32(buf_, v); }
   void put_u64(std::uint64_t v) { append_u64(buf_, v); }
@@ -54,11 +69,24 @@ class Reader {
   std::uint32_t get_u32();
   std::uint64_t get_u64();
 
-  /// Length-prefixed byte string. Returns empty on error.
+  /// Length-prefixed byte string, copied out. Returns an empty string on
+  /// error; since a legitimately empty string is also `{}`, callers MUST
+  /// distinguish the two via ok().
   Bytes get_bytes();
 
-  /// Exactly `n` raw bytes. Returns empty on error.
+  /// Exactly `n` raw bytes, copied out. Returns empty on error; callers
+  /// distinguish a real empty result from failure via ok().
   Bytes get_raw(std::size_t n);
+
+  /// Length-prefixed byte string as a zero-copy view into the source
+  /// buffer. Empty view on error (disambiguate via ok()). The view is
+  /// valid only while the source buffer outlives it.
+  BytesView get_bytes_view();
+
+  /// Exactly `n` raw bytes as a zero-copy view into the source buffer.
+  /// Empty view on error (disambiguate via ok()); same lifetime contract
+  /// as get_bytes_view().
+  BytesView get_view(std::size_t n);
 
   /// True iff no decode error occurred so far.
   bool ok() const { return ok_; }

@@ -1,0 +1,110 @@
+// Copy-on-write reply snapshots: process_submit must not deep-copy L/P,
+// snapshots must stay valid across later state mutations, and the encoded
+// bytes must be identical to the old deep-copy semantics.
+#include <gtest/gtest.h>
+
+#include "crypto/signature.h"
+#include "ustor/messages.h"
+#include "ustor/server.h"
+
+namespace faust::ustor {
+namespace {
+
+SubmitMessage make_submit(ClientId i, Timestamp t, OpCode oc = OpCode::kWrite) {
+  SubmitMessage m;
+  m.t = t;
+  m.inv = {i, oc, i, to_bytes("ssig")};
+  m.value = oc == OpCode::kWrite ? Value(to_bytes("v")) : std::nullopt;
+  m.data_sig = to_bytes("dsig");
+  return m;
+}
+
+TEST(ReplySnapshot, SharesLAndPAcrossConsecutiveSubmits) {
+  ServerCore core(4);
+  const ReplySnapshot r1 = core.process_submit(make_submit(1, 1));
+  const ReplySnapshot r2 = core.process_submit(make_submit(2, 1));
+  // Submits deep-copy nothing: both snapshots alias the live vectors.
+  EXPECT_EQ(r1.P.get(), r2.P.get());
+  EXPECT_EQ(r1.L.get(), r2.L.get());
+  EXPECT_EQ(core.cow_clones(), 0u);
+  // Each snapshot's logical L excludes the submitting op (line 116).
+  EXPECT_EQ(r1.l_count, 0u);
+  EXPECT_EQ(r2.l_count, 1u);
+  EXPECT_EQ(core.pending_list_size(), 2u);
+  // The later push is invisible to the earlier snapshot's encoding.
+  EXPECT_EQ(r1.materialize().L.size(), 0u);
+  EXPECT_EQ(r2.materialize().L.size(), 1u);
+}
+
+TEST(ReplySnapshot, SnapshotImmutableAcrossCommit) {
+  ServerCore core(2);
+  (void)core.process_submit(make_submit(1, 1));
+  const ReplySnapshot before = core.process_submit(make_submit(2, 1));
+  ASSERT_EQ(before.l_count, 1u);
+  const Bytes encoded_before = encode(before);
+
+  // A commit mutates P (and possibly L); the held snapshot must not see it.
+  CommitMessage cm;
+  cm.version = Version(2);
+  cm.version.v(1) = 1;
+  cm.commit_sig = to_bytes("c");
+  cm.proof_sig = to_bytes("p");
+  core.process_commit(1, cm);
+
+  EXPECT_EQ(encode(before), encoded_before);
+  EXPECT_TRUE((*before.P)[0].empty());          // snapshot: pre-commit P
+  EXPECT_EQ(core.P()[0], to_bytes("p"));        // live state: post-commit P
+  EXPECT_GE(core.cow_clones(), 1u);             // the commit had to clone
+}
+
+TEST(ReplySnapshot, NoCloneWhenSnapshotDropped) {
+  ServerCore core(2);
+  (void)core.process_submit(make_submit(1, 1));  // snapshot dropped here
+  const std::uint64_t clones_before = core.cow_clones();
+
+  CommitMessage cm;
+  cm.version = Version(2);
+  cm.version.v(1) = 1;
+  cm.commit_sig = to_bytes("c");
+  cm.proof_sig = to_bytes("p");
+  core.process_commit(1, cm);
+  // Steady state: replies are encoded and freed before the COMMIT arrives,
+  // so the P update mutates in place.
+  EXPECT_EQ(core.cow_clones(), clones_before);
+}
+
+TEST(ReplySnapshot, GenerationAdvancesWithMutations) {
+  ServerCore core(2);
+  const ReplySnapshot r1 = core.process_submit(make_submit(1, 1));
+  const ReplySnapshot r2 = core.process_submit(make_submit(2, 1));
+  EXPECT_LT(r1.generation, r2.generation);
+  EXPECT_GE(core.generation(), r2.generation);
+}
+
+TEST(ReplySnapshot, CopiedCoreDivergesIndependently) {
+  // The adversary forking servers copy a ServerCore and drive the two
+  // worlds apart; the copy must own its L/P, not alias the original's.
+  ServerCore a(2);
+  (void)a.process_submit(make_submit(1, 1));
+  ServerCore b(a);
+  (void)b.process_submit(make_submit(2, 1));
+  EXPECT_EQ(a.pending_list_size(), 1u);
+  EXPECT_EQ(b.pending_list_size(), 2u);
+  EXPECT_NE(&a.L(), &b.L());
+  EXPECT_NE(&a.P(), &b.P());
+}
+
+TEST(ReplySnapshot, MaterializeMatchesSnapshotEncoding) {
+  ServerCore core(3);
+  (void)core.process_submit(make_submit(2, 1));
+  const ReplySnapshot snap = core.process_submit(make_submit(1, 1, OpCode::kRead));
+  const ReplyMessage owned = snap.materialize();
+  EXPECT_EQ(encode(snap), encode(owned));
+  EXPECT_EQ(owned.L.size(), snap.l_count);
+  EXPECT_EQ(owned.P.size(), snap.P->size());
+  ASSERT_TRUE(owned.read.has_value());
+  EXPECT_EQ(owned.c, snap.c);
+}
+
+}  // namespace
+}  // namespace faust::ustor

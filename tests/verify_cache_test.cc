@@ -1,0 +1,113 @@
+// VerifyCache: memoization must never weaken verification. The stale-hit
+// regression cases mirror the Byzantine tamper scenarios of
+// ustor_byzantine_test.cc at the crypto layer: any change to the signer,
+// payload, or signature bytes must bypass the cache and fail.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "crypto/signature.h"
+#include "crypto/verify_cache.h"
+
+namespace faust::crypto {
+namespace {
+
+struct VerifyCacheFixture : ::testing::Test {
+  std::shared_ptr<SignatureScheme> inner = make_hmac_scheme(4);
+  VerifyCache cache{inner};
+};
+
+TEST_F(VerifyCacheFixture, HitAfterVerify) {
+  const Bytes msg = to_bytes("payload");
+  const Bytes sig = inner->sign(1, msg);
+  EXPECT_TRUE(cache.verify(1, msg, sig));
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_TRUE(cache.verify(1, msg, sig));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST_F(VerifyCacheFixture, SignPrimesCache) {
+  const Bytes msg = to_bytes("own-message");
+  const Bytes sig = cache.sign(2, msg);
+  EXPECT_TRUE(cache.verify(2, msg, sig));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST_F(VerifyCacheFixture, TamperedSignatureNeverHits) {
+  const Bytes msg = to_bytes("payload");
+  Bytes sig = inner->sign(1, msg);
+  ASSERT_TRUE(cache.verify(1, msg, sig));  // cached
+
+  // Byzantine tamper: flip one bit of the cached signature.
+  Bytes bad = sig;
+  bad[0] ^= 0x01;
+  EXPECT_FALSE(cache.verify(1, msg, bad));
+  // Every subsequent attempt with the forged signature still fails.
+  EXPECT_FALSE(cache.verify(1, msg, bad));
+  // The genuine triple still verifies (and still hits).
+  EXPECT_TRUE(cache.verify(1, msg, sig));
+}
+
+TEST_F(VerifyCacheFixture, TamperedPayloadNeverHits) {
+  const Bytes msg = to_bytes("payload");
+  const Bytes sig = inner->sign(1, msg);
+  ASSERT_TRUE(cache.verify(1, msg, sig));
+
+  Bytes other = msg;
+  other.push_back(0x00);
+  EXPECT_FALSE(cache.verify(1, other, sig));
+  Bytes flipped = msg;
+  flipped[0] ^= 0x80;
+  EXPECT_FALSE(cache.verify(1, flipped, sig));
+}
+
+TEST_F(VerifyCacheFixture, WrongSignerNeverHits) {
+  const Bytes msg = to_bytes("payload");
+  const Bytes sig = inner->sign(1, msg);
+  ASSERT_TRUE(cache.verify(1, msg, sig));
+  // Client 2 did not produce this signature; the cache entry for signer 1
+  // must not vouch for it.
+  EXPECT_FALSE(cache.verify(2, msg, sig));
+}
+
+TEST_F(VerifyCacheFixture, FailedVerificationIsNotCached) {
+  const Bytes msg = to_bytes("payload");
+  Bytes bad = inner->sign(1, msg);
+  bad[5] ^= 0xff;
+  EXPECT_FALSE(cache.verify(1, msg, bad));
+  EXPECT_FALSE(cache.verify(1, msg, bad));
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
+TEST(VerifyCacheEviction, BoundedAndCorrectAfterReset) {
+  auto inner = make_hmac_scheme(2);
+  VerifyCache cache(inner, /*max_entries=*/8);
+  Bytes msgs[20], sigs[20];
+  for (int i = 0; i < 20; ++i) {
+    msgs[i] = to_bytes("m" + std::to_string(i));
+    sigs[i] = inner->sign(1, msgs[i]);
+    EXPECT_TRUE(cache.verify(1, msgs[i], sigs[i]));
+    EXPECT_LE(cache.entries(), 8u);
+  }
+  // After eviction resets, everything still verifies (just re-checked).
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(cache.verify(1, msgs[i], sigs[i]));
+  }
+}
+
+TEST(VerifyCacheNullScheme, BypassesCaching) {
+  auto inner = std::make_shared<NullSignatureScheme>();
+  VerifyCache cache(inner);
+  EXPECT_TRUE(cache.verify(1, to_bytes("m"), {}));
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.signature_size(), 0u);
+}
+
+}  // namespace
+}  // namespace faust::crypto

@@ -1,0 +1,262 @@
+// Zero-copy wire layer: Reader view primitives, decode_reply_view
+// equivalence with the owned decoder, size_hint exactness, and hardening
+// of the view path against truncated/malformed input.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ustor/messages.h"
+#include "wire/encoder.h"
+
+namespace faust::ustor {
+namespace {
+
+using wire::Reader;
+using wire::Writer;
+
+TEST(ReaderViews, ViewsAliasSourceBuffer) {
+  Writer w;
+  w.put_bytes(to_bytes("hello"));
+  w.put_raw(to_bytes("raw"));
+  const Bytes buf = w.take();
+
+  Reader r(buf);
+  const BytesView s = r.get_bytes_view();
+  const BytesView raw = r.get_view(3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.exhausted());
+  // Zero-copy: the views point into `buf`, not at copies.
+  EXPECT_GE(s.data(), buf.data());
+  EXPECT_LE(s.data() + s.size(), buf.data() + buf.size());
+  EXPECT_GE(raw.data(), buf.data());
+  EXPECT_EQ(to_string(Bytes(s.begin(), s.end())), "hello");
+  EXPECT_EQ(to_string(Bytes(raw.begin(), raw.end())), "raw");
+}
+
+TEST(ReaderViews, EmptyStringVsErrorDistinguishedByOk) {
+  // A legitimately empty byte string: ok() stays true.
+  Writer w;
+  w.put_bytes(Bytes{});
+  const Bytes good = w.take();
+  Reader r1(good);
+  EXPECT_TRUE(r1.get_bytes_view().empty());
+  EXPECT_TRUE(r1.ok());
+  EXPECT_TRUE(r1.exhausted());
+
+  // A lying length prefix: same empty view, but ok() flips.
+  Writer w2;
+  w2.put_u32(5);  // claims 5 bytes, none follow
+  const Bytes bad = w2.take();
+  Reader r2(bad);
+  EXPECT_TRUE(r2.get_bytes_view().empty());
+  EXPECT_FALSE(r2.ok());
+
+  // Same contract for the owned variants.
+  Reader r3(good);
+  EXPECT_TRUE(r3.get_bytes().empty());
+  EXPECT_TRUE(r3.ok());
+  Reader r4(bad);
+  EXPECT_TRUE(r4.get_bytes().empty());
+  EXPECT_FALSE(r4.ok());
+}
+
+TEST(ReaderViews, StickyErrorAcrossViewCalls) {
+  const Bytes buf = to_bytes("abc");
+  Reader r(buf);
+  EXPECT_TRUE(r.get_view(10).empty());
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.get_view(1).empty());  // still failing, no crash
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(WriterReserve, CapacityHintDoesNotChangeOutput) {
+  Writer plain;
+  plain.put_u32(7);
+  plain.put_bytes(to_bytes("payload"));
+
+  Writer hinted(64);
+  hinted.put_u32(7);
+  hinted.put_bytes(to_bytes("payload"));
+  EXPECT_EQ(plain.buffer(), hinted.buffer());
+}
+
+Version sample_version(int n, std::uint64_t salt) {
+  Version v(n);
+  for (int k = 1; k <= n; ++k) {
+    v.v(k) = salt + static_cast<std::uint64_t>(k);
+    v.m(k) = chain_step(Digest::bottom(), k);
+  }
+  return v;
+}
+
+ReplyMessage sample_reply(int n) {
+  ReplyMessage m;
+  m.c = 2;
+  m.last = {sample_version(n, 9), to_bytes("csig")};
+  ReadPayload rp;
+  rp.writer = {sample_version(n, 4), to_bytes("wsig")};
+  rp.tj = 13;
+  rp.value = to_bytes("the-value");
+  rp.data_sig = to_bytes("dsig");
+  m.read = rp;
+  m.L.push_back({1, OpCode::kRead, 2, to_bytes("s1")});
+  m.L.push_back({3, OpCode::kWrite, 3, to_bytes("s2")});
+  for (int k = 0; k < n; ++k) m.P.push_back(k % 2 ? to_bytes("p") : Bytes{});
+  return m;
+}
+
+TEST(ReplyView, MatchesOwnedDecode) {
+  const ReplyMessage m = sample_reply(3);
+  const Bytes buf = encode(m);
+  const auto view = decode_reply_view(buf);
+  ASSERT_TRUE(view.has_value());
+  const auto owned = decode_reply(buf);
+  ASSERT_TRUE(owned.has_value());
+
+  // The materialized view equals the owned decode field by field.
+  const ReplyMessage mat = view->materialize();
+  EXPECT_EQ(mat.c, owned->c);
+  EXPECT_EQ(mat.last.version, owned->last.version);
+  EXPECT_EQ(mat.last.commit_sig, owned->last.commit_sig);
+  ASSERT_TRUE(mat.read.has_value());
+  EXPECT_EQ(mat.read->tj, owned->read->tj);
+  EXPECT_EQ(mat.read->value, owned->read->value);
+  EXPECT_EQ(mat.read->data_sig, owned->read->data_sig);
+  EXPECT_EQ(mat.L, owned->L);
+  EXPECT_EQ(mat.P, owned->P);
+
+  // And the view's byte fields alias the buffer (true zero-copy).
+  const auto in_buf = [&](BytesView v) {
+    return v.empty() || (v.data() >= buf.data() && v.data() + v.size() <= buf.data() + buf.size());
+  };
+  EXPECT_TRUE(in_buf(view->last.commit_sig));
+  EXPECT_TRUE(in_buf(view->read->data_sig));
+  EXPECT_TRUE(in_buf(*view->read->value));
+  for (const auto& inv : view->L) EXPECT_TRUE(in_buf(inv.submit_sig));
+  for (const auto& p : view->P) EXPECT_TRUE(in_buf(p));
+}
+
+TEST(ReplyView, TruncationFuzzNeverCrashes) {
+  const Bytes full = encode(sample_reply(3));
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    EXPECT_FALSE(decode_reply_view(BytesView(full.data(), len)).has_value());
+  }
+  EXPECT_TRUE(decode_reply_view(full).has_value());
+}
+
+TEST(ReplyView, RandomBytesFuzzNeverCrashes) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes junk(rng.next_below(200));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next_u64());
+    (void)decode_reply_view(junk);
+  }
+  SUCCEED();
+}
+
+// --- size_hint: exact for every message type, random shapes --------------
+
+Bytes random_bytes(Rng& rng, std::size_t max_len) {
+  Bytes b(rng.next_below(max_len));
+  for (auto& x : b) x = static_cast<std::uint8_t>(rng.next_u64());
+  return b;
+}
+
+Version random_version(Rng& rng, int n) {
+  Version v(n);
+  for (int k = 1; k <= n; ++k) {
+    v.v(k) = rng.next_below(1000);
+    if (rng.next_below(2)) v.m(k) = chain_step(Digest::bottom(), k);
+  }
+  return v;
+}
+
+InvocationTuple random_invocation(Rng& rng, int n) {
+  return {static_cast<ClientId>(1 + rng.next_below(static_cast<std::size_t>(n))),
+          rng.next_below(2) ? OpCode::kWrite : OpCode::kRead,
+          static_cast<ClientId>(1 + rng.next_below(static_cast<std::size_t>(n))),
+          random_bytes(rng, 40)};
+}
+
+TEST(SizeHint, ExactForRandomMessages) {
+  Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = static_cast<int>(1 + rng.next_below(6));
+
+    SubmitMessage sm;
+    sm.t = rng.next_u64();
+    sm.inv = random_invocation(rng, n);
+    sm.value = rng.next_below(2) ? Value(random_bytes(rng, 64)) : std::nullopt;
+    sm.data_sig = random_bytes(rng, 40);
+    const Bytes se = encode(sm);
+    EXPECT_EQ(se.size(), size_hint(sm));
+    ASSERT_TRUE(decode_submit(se).has_value());
+
+    ReplyMessage rm;
+    rm.c = static_cast<ClientId>(1 + rng.next_below(static_cast<std::size_t>(n)));
+    rm.last = {random_version(rng, n), random_bytes(rng, 40)};
+    if (rng.next_below(2)) {
+      ReadPayload rp;
+      rp.writer = {random_version(rng, n), random_bytes(rng, 40)};
+      rp.tj = rng.next_below(100);
+      rp.value = rng.next_below(2) ? Value(random_bytes(rng, 64)) : std::nullopt;
+      rp.data_sig = random_bytes(rng, 40);
+      rm.read = std::move(rp);
+    }
+    for (std::size_t q = rng.next_below(4); q > 0; --q) {
+      rm.L.push_back(random_invocation(rng, n));
+    }
+    for (int k = 0; k < n; ++k) rm.P.push_back(random_bytes(rng, 40));
+    const Bytes re = encode(rm);
+    EXPECT_EQ(re.size(), size_hint(rm));
+    const auto rb = decode_reply(re);
+    ASSERT_TRUE(rb.has_value());
+    EXPECT_EQ(rb->last.version, rm.last.version);
+    EXPECT_EQ(rb->L, rm.L);
+    EXPECT_EQ(rb->P, rm.P);
+
+    CommitMessage cm;
+    cm.version = random_version(rng, n);
+    cm.commit_sig = random_bytes(rng, 40);
+    cm.proof_sig = random_bytes(rng, 40);
+    const Bytes ce = encode(cm);
+    EXPECT_EQ(ce.size(), size_hint(cm));
+    ASSERT_TRUE(decode_commit(ce).has_value());
+
+    VersionMessage vm;
+    vm.committer = 1;
+    vm.ver = {random_version(rng, n), random_bytes(rng, 40)};
+    const Bytes ve = encode(vm);
+    EXPECT_EQ(ve.size(), size_hint(vm));
+    ASSERT_TRUE(decode_version(ve).has_value());
+
+    FailureMessage fm;
+    fm.has_evidence = rng.next_below(2) == 1;
+    if (fm.has_evidence) {
+      fm.committer_a = 1;
+      fm.a = {random_version(rng, n), random_bytes(rng, 40)};
+      fm.committer_b = 2;
+      fm.b = {random_version(rng, n), random_bytes(rng, 40)};
+    }
+    const Bytes fe = encode(fm);
+    EXPECT_EQ(fe.size(), size_hint(fm));
+    ASSERT_TRUE(decode_failure(fe).has_value());
+
+    EXPECT_EQ(encode(ProbeMessage{}).size(), size_hint(ProbeMessage{}));
+  }
+}
+
+TEST(SizeHint, ReplySnapshotEncodesIdenticallyToMaterialized) {
+  const ReplyMessage m = sample_reply(4);
+  ReplySnapshot snap;
+  snap.c = m.c;
+  snap.last = m.last;
+  snap.read = m.read;
+  snap.L = std::make_shared<const std::vector<InvocationTuple>>(m.L);
+  snap.l_count = m.L.size();
+  snap.P = std::make_shared<const std::vector<Bytes>>(m.P);
+  EXPECT_EQ(encode(snap), encode(m));
+  EXPECT_EQ(encode(snap).size(), size_hint(snap));
+}
+
+}  // namespace
+}  // namespace faust::ustor
