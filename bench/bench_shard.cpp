@@ -1,0 +1,217 @@
+// Scale-out economics of the sharded KV layer (src/shard).
+//
+// A fixed total workload — kTotalKeys keys written by n clients — is
+// served by S co-scheduled FAUST deployments, S ∈ {1, 2, 4}. Every
+// per-operation cost that grows with the keyspace shrinks by the shard
+// factor, because a client's register in each shard carries only the keys
+// homed there: a put encodes + hashes a partition of ~K/(S·n) entries
+// instead of ~K/n, and a get decodes n such partitions of the home shard
+// only. The fixed per-op protocol cost (O(n) signatures, one RTT) is
+// untouched, so aggregate put/get throughput scales near-linearly in S
+// until the fixed cost dominates — the BENCH_shard.json artifacts record
+// the measured S=4 vs S=1 ratio (≥ 2.5× on the reference machine, see
+// PERF.md "Sharding").
+//
+// BM_KvPutUnsharded / BM_KvGetUnsharded run the identical workload on the
+// pre-sharding code path (one Cluster + plain KvClient) as the baseline:
+// S=1 sharded vs unsharded isolates the router/facade overhead (~noise).
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "faust/cluster.h"
+#include "kvstore/kv_client.h"
+#include "shard/sharded_cluster.h"
+#include "shard/sharded_kv_client.h"
+
+namespace {
+
+using namespace faust;
+
+constexpr int kWriters = 3;          // clients per deployment (and per shard)
+constexpr int kTotalKeys = 3072;     // fixed total workload, spread over shards
+constexpr std::size_t kValueLen = 96;
+
+std::string key_name(int k) { return "key-" + std::to_string(k); }
+
+std::string value_for(int k, int round) {
+  std::string v = "v" + std::to_string(round) + "-" + std::to_string(k) + "-";
+  v.resize(kValueLen, 'x');
+  return v;
+}
+
+struct ShardRig {
+  explicit ShardRig(std::size_t shards) {
+    shard::ShardedClusterConfig cfg;
+    cfg.shards = shards;
+    cfg.seed = 4242;
+    cfg.shard_template.n = kWriters;
+    cfg.shard_template.delay = net::DelayModel{5, 5};
+    cfg.shard_template.faust.dummy_read_period = 0;
+    cfg.shard_template.faust.probe_check_period = 0;
+    cluster = std::make_unique<shard::ShardedCluster>(cfg);
+    for (ClientId i = 1; i <= kWriters; ++i) {
+      kv.push_back(std::make_unique<shard::ShardedKvClient>(*cluster, i));
+    }
+    for (int k = 0; k < kTotalKeys; ++k) {
+      put(k, /*round=*/0);
+    }
+  }
+
+  void put(int k, int round) {
+    bool done = false;
+    kv[static_cast<std::size_t>(k % kWriters)]->put(key_name(k), value_for(k, round),
+                                                    [&](Timestamp) { done = true; });
+    cluster->drive(done);
+  }
+
+  void get(int k) {
+    bool done = false;
+    kv[static_cast<std::size_t>(k % kWriters)]->get(key_name(k),
+                                                    [&](const shard::ShardedGetResult& r) {
+                                                      benchmark::DoNotOptimize(r.entry);
+                                                      done = true;
+                                                    });
+    cluster->drive(done);
+  }
+
+  std::unique_ptr<shard::ShardedCluster> cluster;
+  std::vector<std::unique_ptr<shard::ShardedKvClient>> kv;
+};
+
+/// Rigs are expensive to prepopulate (kTotalKeys puts), so they are built
+/// once per shard count and shared by the put/get benchmarks — the
+/// workload only overwrites values, never changes shapes.
+ShardRig& rig_for(std::size_t shards) {
+  static std::map<std::size_t, std::unique_ptr<ShardRig>> rigs;
+  auto& slot = rigs[shards];
+  if (!slot) slot = std::make_unique<ShardRig>(shards);
+  return *slot;
+}
+
+void BM_ShardedKvPut(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  ShardRig& rig = rig_for(shards);
+  int k = 0, round = 1;
+  for (auto _ : state) {
+    rig.put(k, round);
+    if (++k == kTotalKeys) {
+      k = 0;
+      ++round;
+    }
+  }
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["total_keys"] = kTotalKeys;
+  state.counters["puts_per_sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ShardedKvPut)->Arg(1)->Arg(2)->Arg(4)->MinTime(0.2);
+
+void BM_ShardedKvGet(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  ShardRig& rig = rig_for(shards);
+  int k = 0;
+  for (auto _ : state) {
+    rig.get(k);
+    if (++k == kTotalKeys) k = 0;
+  }
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["total_keys"] = kTotalKeys;
+  state.counters["gets_per_sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ShardedKvGet)->Arg(1)->Arg(2)->Arg(4)->MinTime(0.2);
+
+// --- Pre-sharding baseline: identical workload, one deployment ------------
+
+struct UnshardedRig {
+  UnshardedRig() {
+    ClusterConfig cfg;
+    cfg.n = kWriters;
+    cfg.seed = 4242;
+    cfg.delay = net::DelayModel{5, 5};
+    cfg.faust.dummy_read_period = 0;
+    cfg.faust.probe_check_period = 0;
+    cluster = std::make_unique<Cluster>(cfg);
+    for (ClientId i = 1; i <= kWriters; ++i) {
+      kv.push_back(std::make_unique<kv::KvClient>(cluster->client(i)));
+    }
+    for (int k = 0; k < kTotalKeys; ++k) put(k, 0);
+  }
+
+  void put(int k, int round) {
+    bool done = false;
+    kv[static_cast<std::size_t>(k % kWriters)]->put(key_name(k), value_for(k, round),
+                                                    [&](Timestamp) { done = true; });
+    while (!done && cluster->sched().step()) {
+    }
+  }
+
+  void get(int k) {
+    bool done = false;
+    kv[static_cast<std::size_t>(k % kWriters)]->get(key_name(k),
+                                                    [&](std::optional<kv::KvEntry> e) {
+                                                      benchmark::DoNotOptimize(e);
+                                                      done = true;
+                                                    });
+    while (!done && cluster->sched().step()) {
+    }
+  }
+
+  std::unique_ptr<Cluster> cluster;
+  std::vector<std::unique_ptr<kv::KvClient>> kv;
+};
+
+UnshardedRig& unsharded_rig() {
+  static UnshardedRig rig;
+  return rig;
+}
+
+void BM_KvPutUnsharded(benchmark::State& state) {
+  UnshardedRig& rig = unsharded_rig();
+  int k = 0, round = 1;
+  for (auto _ : state) {
+    rig.put(k, round);
+    if (++k == kTotalKeys) {
+      k = 0;
+      ++round;
+    }
+  }
+  state.counters["puts_per_sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_KvPutUnsharded)->MinTime(0.2);
+
+void BM_KvGetUnsharded(benchmark::State& state) {
+  UnshardedRig& rig = unsharded_rig();
+  int k = 0;
+  for (auto _ : state) {
+    rig.get(k);
+    if (++k == kTotalKeys) k = 0;
+  }
+  state.counters["gets_per_sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_KvGetUnsharded)->MinTime(0.2);
+
+// --- Routing itself is noise ----------------------------------------------
+
+void BM_ShardRouterRoute(benchmark::State& state) {
+  const shard::ShardRouter router(static_cast<std::size_t>(state.range(0)), 4242);
+  int k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.shard_of(key_name(k)));
+    if (++k == kTotalKeys) k = 0;
+  }
+  state.counters["routes_per_sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ShardRouterRoute)->Arg(4)->Arg(64)->MinTime(0.1);
+
+}  // namespace
+
+#include "json_main.h"
+FAUST_BENCH_MAIN();

@@ -1,0 +1,101 @@
+// Sharded KV service: one logical key-value store spread over several
+// independent FAUST deployments, with rendezvous routing, aggregated
+// fail-awareness, and per-home-shard stability.
+//
+//   build/examples/sharded_kv
+#include <cstdio>
+#include <string>
+
+#include "adversary/forking_server.h"
+#include "shard/sharded_cluster.h"
+#include "shard/sharded_kv_client.h"
+#include "ustor/server.h"
+
+using namespace faust;
+
+int main() {
+  std::printf("FAUST sharded KV — S independent deployments, one service\n");
+  std::printf("=========================================================\n\n");
+
+  // Three shards, each a full FAUST deployment (own server, signature
+  // scheme, network, mailbox), co-scheduled on one deterministic clock.
+  // Shard 0 and 1 get honest servers; shard 2's provider will fork.
+  shard::ShardedClusterConfig cfg;
+  cfg.shards = 3;
+  cfg.seed = 2026;
+  cfg.shard_template.n = 2;
+  cfg.shard_template.with_server = false;
+  cfg.shard_template.faust.dummy_read_period = 400;
+  cfg.shard_template.faust.probe_interval = 3'000;
+  cfg.shard_template.faust.probe_check_period = 700;
+  shard::ShardedCluster sc(cfg);
+  ustor::Server server0(cfg.shard_template.n, sc.shard(0).net());
+  ustor::Server server1(cfg.shard_template.n, sc.shard(1).net());
+  adversary::ForkingServer server2(cfg.shard_template.n, sc.shard(2).net());
+
+  shard::ShardedKvClient alice(sc, 1);
+  shard::ShardedKvClient bob(sc, 2);
+  alice.on_fail = [](std::size_t s, FailureReason) {
+    std::printf("  !! fail on shard %zu — that provider forked or corrupted state\n", s);
+  };
+
+  std::printf("routing (rendezvous hashing over %zu shards):\n", sc.shards());
+  const char* keys[] = {"users/alice", "users/bob", "posts/1", "posts/2", "config/theme"};
+  for (const char* k : keys) {
+    std::printf("  %-14s -> shard %zu\n", k, sc.router().shard_of(k));
+  }
+
+  std::printf("\nalice puts all five keys; each goes only to its home shard\n");
+  for (const char* k : keys) {
+    bool done = false;
+    alice.put(k, std::string("by-alice:") + k, [&](Timestamp) { done = true; });
+    sc.drive(done);
+  }
+
+  bool got = false;
+  shard::ShardedListResult all;
+  bob.list([&](const shard::ShardedListResult& r) {
+    all = r;
+    got = true;
+  });
+  sc.drive(got);
+  std::printf("bob lists (concurrent fan-out over every shard): %zu keys, complete=%s\n",
+              all.entries.size(), all.complete ? "yes" : "no");
+
+  std::printf("\nletting dummy reads advance every shard's stability cut...\n");
+  sc.run_for(30'000);
+  for (const char* k : keys) {
+    got = false;
+    shard::ShardedGetResult r;
+    alice.get(k, [&](const shard::ShardedGetResult& res) {
+      r = res;
+      got = true;
+    });
+    sc.drive(got);
+    sc.run_for(10'000);  // cut catches up with the observing reads
+    std::printf("  %-14s shard %zu  read_ts=%-4llu stable=%s\n", k, r.shard,
+                (unsigned long long)r.read_ts, alice.stable(r) ? "yes" : "not yet");
+  }
+
+  std::printf("\nshard 2's provider now forks its clients apart\n");
+  server2.isolate(2);
+  bool done = false;
+  bob.put("posts/2", "forked-write", [&](Timestamp) { done = true; });
+  sc.drive(done);
+  sc.run_for(300'000);
+
+  std::printf("\nfailed shards (alice's view): ");
+  for (const std::size_t s : alice.failed_shards()) std::printf("%zu ", s);
+  std::printf("\nkeys homed on healthy shards keep serving; a list flags the gap:\n");
+  got = false;
+  bob.list([&](const shard::ShardedListResult& r) {
+    all = r;
+    got = true;
+  });
+  sc.drive(got);
+  std::printf("  %zu keys visible, complete=%s\n", all.entries.size(),
+              all.complete ? "yes" : "no");
+  std::printf("\nthe blast radius of a compromised provider is one shard's keys —\n");
+  std::printf("fail-awareness (fail_i, stability) aggregates per home shard.\n");
+  return 0;
+}

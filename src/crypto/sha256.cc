@@ -108,6 +108,7 @@ Sha256::Midstate Sha256::midstate() const {
 }
 
 void Sha256::update(BytesView data) {
+  if (data.empty()) return;  // also: a null-data view has no bytes to memcpy
   total_len_ += data.size();
   std::size_t offset = 0;
   if (buffer_len_ > 0) {

@@ -5,11 +5,14 @@
 
 namespace faust {
 
-Cluster::Cluster(ClusterConfig config) : config_(config) {
+Cluster::Cluster(ClusterConfig config)
+    : config_(config),
+      owned_sched_(config.scheduler ? nullptr : std::make_unique<sim::Scheduler>()),
+      sched_(config.scheduler ? config.scheduler : owned_sched_.get()) {
   FAUST_CHECK(config_.n >= 1);
   Rng root(config_.seed);
-  net_ = std::make_unique<net::Network>(sched_, root.fork(), config_.delay);
-  mail_ = std::make_unique<net::Mailbox>(sched_, root.fork(), config_.mail_min_delay,
+  net_ = std::make_unique<net::Network>(*sched_, root.fork(), config_.delay);
+  mail_ = std::make_unique<net::Mailbox>(*sched_, root.fork(), config_.mail_min_delay,
                                          config_.mail_max_delay);
   sigs_ = crypto::make_hmac_scheme(config_.n, root.next_u64());
   if (config_.with_server) {
@@ -18,7 +21,7 @@ Cluster::Cluster(ClusterConfig config) : config_(config) {
   clients_.reserve(static_cast<std::size_t>(config_.n));
   for (ClientId i = 1; i <= config_.n; ++i) {
     clients_.push_back(std::make_unique<FaustClient>(i, config_.n, sigs_, *net_, *mail_,
-                                                     sched_, config_.faust));
+                                                     *sched_, config_.faust));
   }
 }
 
@@ -29,7 +32,7 @@ FaustClient& Cluster::client(ClientId i) {
 
 Timestamp Cluster::write(ClientId i, std::string_view value, std::size_t step_budget) {
   const int rec =
-      recorder_.begin(i, ustor::OpCode::kWrite, i, to_bytes(value), sched_.now());
+      recorder_.begin(i, ustor::OpCode::kWrite, i, to_bytes(value), sched_->now());
   bool done = false;
   Timestamp out = 0;
   client(i).write(to_bytes(value), [&](Timestamp t) {
@@ -37,13 +40,13 @@ Timestamp Cluster::write(ClientId i, std::string_view value, std::size_t step_bu
     out = t;
   });
   std::size_t steps = 0;
-  while (!done && steps < step_budget && sched_.step()) ++steps;
-  if (done) recorder_.end(rec, sched_.now(), out);
+  while (!done && steps < step_budget && sched_->step()) ++steps;
+  if (done) recorder_.end(rec, sched_->now(), out);
   return out;
 }
 
 ustor::Value Cluster::read(ClientId i, ClientId j, bool* completed, std::size_t step_budget) {
-  const int rec = recorder_.begin(i, ustor::OpCode::kRead, j, std::nullopt, sched_.now());
+  const int rec = recorder_.begin(i, ustor::OpCode::kRead, j, std::nullopt, sched_->now());
   bool done = false;
   Timestamp ts = 0;
   ustor::Value out;
@@ -53,8 +56,8 @@ ustor::Value Cluster::read(ClientId i, ClientId j, bool* completed, std::size_t 
     out = v;
   });
   std::size_t steps = 0;
-  while (!done && steps < step_budget && sched_.step()) ++steps;
-  if (done) recorder_.end(rec, sched_.now(), ts, out);
+  while (!done && steps < step_budget && sched_->step()) ++steps;
+  if (done) recorder_.end(rec, sched_->now(), ts, out);
   if (completed != nullptr) *completed = done;
   return out;
 }

@@ -32,6 +32,20 @@ struct ClusterConfig {
   sim::Time mail_max_delay = 200;
   FaustConfig faust;                  // FAUST timers
   bool with_server = true;            // false: caller attaches own server
+  /// Co-scheduling hook: when set, the cluster runs on this external
+  /// scheduler (which must outlive it) instead of owning one. ShardedCluster
+  /// uses it to drive S independent deployments on a single event loop, so
+  /// multi-shard scenarios stay deterministic under one seed.
+  ///
+  /// Lifetime contract, both directions: the scheduler outlives the
+  /// cluster, AND the scheduler must not be stepped after this cluster is
+  /// destroyed while events it scheduled are still pending — in-flight
+  /// network/mailbox deliveries capture cluster-owned objects, and only
+  /// the FaustClient timers are cancelled on destruction. Destroy the
+  /// co-scheduled clusters and their scheduler together (as ShardedCluster
+  /// does); tearing down a single shard mid-run needs a drain/cancel
+  /// protocol that does not exist yet (ROADMAP: shard rebalancing).
+  sim::Scheduler* scheduler = nullptr;
 };
 
 /// A fully wired simulated deployment.
@@ -42,8 +56,9 @@ class Cluster {
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
-  sim::Scheduler& sched() { return sched_; }
+  sim::Scheduler& sched() { return *sched_; }
   net::Network& net() { return *net_; }
+  const net::Network& net() const { return *net_; }
   net::Mailbox& mail() { return *mail_; }
   const std::shared_ptr<const crypto::SignatureScheme>& sigs() const { return sigs_; }
   int n() const { return config_.n; }
@@ -67,14 +82,16 @@ class Cluster {
                     std::size_t step_budget = 1'000'000);
 
   /// Advances virtual time by `d`, processing everything due in between.
-  void run_for(sim::Time d) { sched_.run_until(sched_.now() + d); }
+  /// Under an external scheduler this advances every co-scheduled cluster.
+  void run_for(sim::Time d) { sched_->run_until(sched_->now() + d); }
 
   bool any_failed() const;
   bool all_failed() const;
 
  private:
   const ClusterConfig config_;
-  sim::Scheduler sched_;
+  std::unique_ptr<sim::Scheduler> owned_sched_;  // null when external
+  sim::Scheduler* const sched_;
   std::unique_ptr<net::Network> net_;
   std::unique_ptr<net::Mailbox> mail_;
   std::shared_ptr<const crypto::SignatureScheme> sigs_;

@@ -1,5 +1,6 @@
 #include "kvstore/kv_client.h"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
@@ -25,10 +26,14 @@ std::optional<std::map<std::string, std::pair<std::string, std::uint64_t>>> deco
   if (!r.ok() || count > (1u << 20)) return std::nullopt;
   std::map<std::string, std::pair<std::string, std::uint64_t>> m;
   for (std::uint32_t k = 0; k < count && r.ok(); ++k) {
-    const std::string key = to_string(r.get_bytes());
-    const std::string value = to_string(r.get_bytes());
+    std::string key = to_string(r.get_bytes_view());
+    std::string value = to_string(r.get_bytes_view());
     const std::uint64_t seq = r.get_u64();
-    m[key] = {value, seq};
+    if (!r.ok()) return std::nullopt;
+    // Canonical form: encode_map emits keys in strictly ascending order, so
+    // any other order (or a duplicate) is a forgery, not a partition.
+    if (!m.empty() && key <= m.rbegin()->first) return std::nullopt;
+    m.emplace_hint(m.end(), std::move(key), std::pair{std::move(value), seq});
   }
   if (!r.ok() || !r.exhausted()) return std::nullopt;
   return m;
@@ -56,33 +61,32 @@ void KvClient::publish(PutHandler done) {
 void KvClient::snapshot(std::function<void(std::map<std::string, KvEntry>)> done) {
   // Read all n partitions sequentially (the FAUST client runs one op at a
   // time anyway), merging as results arrive.
-  auto merged = std::make_shared<std::map<std::string, KvEntry>>();
-  auto done_ptr =
-      std::make_shared<std::function<void(std::map<std::string, KvEntry>)>>(std::move(done));
-  read_partition(1, merged, done_ptr);
+  auto snap = std::make_shared<Snapshot>();
+  snap->done = std::move(done);
+  read_partition(1, std::move(snap));
 }
 
-void KvClient::read_partition(
-    ClientId j, std::shared_ptr<std::map<std::string, KvEntry>> merged,
-    std::shared_ptr<std::function<void(std::map<std::string, KvEntry>)>> done) {
+void KvClient::read_partition(ClientId j, std::shared_ptr<Snapshot> snap) {
   if (j > faust_.n()) {
-    (*done)(std::move(*merged));
+    last_snapshot_ts_ = snap->max_read_ts;
+    snap->done(std::move(snap->merged));
     return;
   }
-  faust_.read(j, [this, j, merged, done](const ustor::Value& v, Timestamp) {
+  faust_.read(j, [this, j, snap](const ustor::Value& v, Timestamp t) {
+    snap->max_read_ts = std::max(snap->max_read_ts, t);
     if (v.has_value()) {
       if (const auto part = decode_map(*v)) {
         for (const auto& [key, entry] : *part) {
-          const auto it = merged->find(key);
+          const auto it = snap->merged.find(key);
           // Winner: lexicographically largest (seq, writer).
-          if (it == merged->end() || entry.second > it->second.seq ||
+          if (it == snap->merged.end() || entry.second > it->second.seq ||
               (entry.second == it->second.seq && j > it->second.writer)) {
-            (*merged)[key] = KvEntry{entry.first, j, entry.second};
+            snap->merged[key] = KvEntry{entry.first, j, entry.second};
           }
         }
       }
     }
-    read_partition(j + 1, merged, done);
+    read_partition(j + 1, snap);
   });
 }
 

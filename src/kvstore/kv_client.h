@@ -14,6 +14,7 @@
 // inherited from the FAUST layer for free.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -68,20 +69,47 @@ class KvClient {
   }
 
   FaustClient& faust() { return faust_; }
+  const FaustClient& faust() const { return faust_; }
+
+  /// Coordination hook for the sharded layer: raises the put counter so
+  /// the next put/erase uses a sequence number > `seen`. A ShardedKvClient
+  /// spreads one logical client over S per-shard KvClients; syncing the
+  /// counters before every op makes the (seq, writer) winner of any
+  /// cross-writer conflict identical to a single-deployment oracle, where
+  /// the counter counts ALL of the client's ops, not just one shard's.
+  void advance_seq(std::uint64_t seen) { put_seq_ = std::max(put_seq_, seen); }
+
+  /// Current put counter (the seq the most recent put/erase used).
+  std::uint64_t put_seq() const { return put_seq_; }
+
+  /// FAUST timestamp of the most recent completed snapshot (the largest
+  /// read timestamp among its n register reads). A merged get/list result
+  /// is *stable* once the stability cut covers this timestamp: every read
+  /// that observed the merge is then in the linearizable prefix (Def. 5
+  /// item 6), and with it the winning writes it saw.
+  Timestamp last_snapshot_ts() const { return last_snapshot_ts_; }
 
  private:
+  /// In-flight snapshot accumulator (get/list may overlap; each op carries
+  /// its own).
+  struct Snapshot {
+    std::map<std::string, KvEntry> merged;
+    Timestamp max_read_ts = 0;
+    std::function<void(std::map<std::string, KvEntry>)> done;
+  };
+
   void publish(PutHandler done);
 
   /// Collects all n registers, then merges and calls `done`.
   void snapshot(std::function<void(std::map<std::string, KvEntry>)> done);
 
   /// Reads partition j, merges it, recurses to j+1; fires `done` past n.
-  void read_partition(ClientId j, std::shared_ptr<std::map<std::string, KvEntry>> merged,
-                      std::shared_ptr<std::function<void(std::map<std::string, KvEntry>)>> done);
+  void read_partition(ClientId j, std::shared_ptr<Snapshot> snap);
 
   FaustClient& faust_;
   std::map<std::string, std::pair<std::string, std::uint64_t>> own_;  // key -> (value, seq)
   std::uint64_t put_seq_ = 0;
+  Timestamp last_snapshot_ts_ = 0;
 };
 
 }  // namespace faust::kv

@@ -34,6 +34,14 @@ struct DelayModel {
 struct ChannelStats {
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
+
+  /// Accumulation across channels or deployments (the sharded harness sums
+  /// every shard's fabric into one aggregate).
+  ChannelStats& operator+=(const ChannelStats& other) {
+    messages += other.messages;
+    bytes += other.bytes;
+    return *this;
+  }
 };
 
 /// The simulated network fabric (the Transport used by tests/benches).

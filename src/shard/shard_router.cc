@@ -1,0 +1,55 @@
+#include "shard/shard_router.h"
+
+#include "common/check.h"
+
+namespace faust::shard {
+namespace {
+
+// FNV-1a over the key bytes; cheap and good enough as a rendezvous input
+// once finalized through splitmix64 (routing is placement, not crypto: a
+// client choosing its own keys only skews its own shard load).
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(std::size_t shards, std::uint64_t seed) {
+  FAUST_CHECK(shards >= 1);
+  tags_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    tags_.push_back(splitmix64(seed ^ (0x51a2d0c4b3e6f795ULL + s)));
+  }
+}
+
+std::uint64_t ShardRouter::score(std::size_t shard, std::string_view key) const {
+  return splitmix64(fnv1a(key) ^ tags_[shard]);
+}
+
+std::size_t ShardRouter::shard_of(std::string_view key) const {
+  const std::uint64_t kh = fnv1a(key);
+  std::size_t best = 0;
+  std::uint64_t best_score = splitmix64(kh ^ tags_[0]);
+  for (std::size_t s = 1; s < tags_.size(); ++s) {
+    const std::uint64_t sc = splitmix64(kh ^ tags_[s]);
+    if (sc > best_score) {
+      best_score = sc;
+      best = s;
+    }
+  }
+  return best;
+}
+
+}  // namespace faust::shard

@@ -1,0 +1,44 @@
+// Key → shard placement for the sharded KV service.
+//
+// Rendezvous (highest-random-weight) hashing: every shard gets a seeded
+// 64-bit tag; a key lands on the shard maximizing a mixed hash of
+// (key, tag). Compared to modulo placement this keeps the map minimally
+// disruptive — growing from S to S+1 shards moves only the keys whose new
+// maximum is the new shard (≈ 1/(S+1) of them), everything else stays
+// put — which is what makes rebalancing a live deployment tractable
+// (key-access locality per Jain, DEC-TR-592, makes moved keys re-warm
+// their per-shard caches quickly).
+//
+// Routing is pure computation over the key bytes: every client and every
+// test computes the same placement with no coordination, so the sharded
+// client and the differential oracle can be compared key-for-key.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace faust::shard {
+
+class ShardRouter {
+ public:
+  /// `shards` >= 1. `seed` perturbs the whole placement (deployments with
+  /// different seeds shard differently; all parties of one deployment must
+  /// share the seed).
+  explicit ShardRouter(std::size_t shards, std::uint64_t seed = 0);
+
+  std::size_t shards() const { return tags_.size(); }
+
+  /// Home shard of `key` — argmax over score(s, key), ties to the lower
+  /// index (can't happen unless the mixer collides, but keeps the map
+  /// total and deterministic regardless).
+  std::size_t shard_of(std::string_view key) const;
+
+  /// The rendezvous weight of `key` on `shard` (exposed for tests).
+  std::uint64_t score(std::size_t shard, std::string_view key) const;
+
+ private:
+  std::vector<std::uint64_t> tags_;
+};
+
+}  // namespace faust::shard

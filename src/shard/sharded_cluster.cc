@@ -1,0 +1,56 @@
+#include "shard/sharded_cluster.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace faust::shard {
+
+ShardedCluster::ShardedCluster(ShardedClusterConfig config)
+    : config_(config), router_(config.shards, config.seed) {
+  FAUST_CHECK(config_.shards >= 1);
+  Rng root(config_.seed);
+  shards_.reserve(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    ClusterConfig c = config_.shard_template;
+    c.seed = root.next_u64();  // independent delays & keys per shard
+    c.scheduler = &sched_;     // co-scheduled: one deterministic clock
+    shards_.push_back(std::make_unique<Cluster>(c));
+  }
+}
+
+Cluster& ShardedCluster::shard(std::size_t s) {
+  FAUST_CHECK(s < shards_.size());
+  return *shards_[s];
+}
+
+const Cluster& ShardedCluster::shard(std::size_t s) const {
+  FAUST_CHECK(s < shards_.size());
+  return *shards_[s];
+}
+
+bool ShardedCluster::drive(const bool& done, std::size_t step_budget) {
+  sched_.run_while([&done] { return !done; }, step_budget);
+  return done;
+}
+
+bool ShardedCluster::any_failed() const {
+  for (const auto& s : shards_) {
+    if (s->any_failed()) return true;
+  }
+  return false;
+}
+
+bool ShardedCluster::all_failed() const {
+  for (const auto& s : shards_) {
+    if (!s->all_failed()) return false;
+  }
+  return true;
+}
+
+net::ChannelStats ShardedCluster::total_traffic() const {
+  net::ChannelStats total;
+  for (const auto& s : shards_) total += s->net().total();
+  return total;
+}
+
+}  // namespace faust::shard

@@ -1,0 +1,75 @@
+// ShardedCluster — S independent FAUST deployments co-scheduled on ONE
+// sim::Scheduler.
+//
+// Each shard is a full Cluster (own network, mailbox, signature scheme,
+// server, n FaustClients): shards share no protocol state and no trust —
+// compromising one shard's server forks at most the keys homed there.
+// Running them on a single scheduler keeps multi-shard scenarios
+// deterministic: a root seed derives every shard's seed, and event order
+// across shards is fixed by the shared virtual clock, so the differential
+// tests can replay the same workload against a single-deployment oracle.
+//
+// The scale-out economics (PERF.md "Sharding"): every per-operation cost
+// that grows with the keyspace — partition encode/decode, value hashing
+// for DATA signatures, bytes on the wire — shrinks by the shard factor,
+// because a client's partition in each shard holds only the keys homed
+// there.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "faust/cluster.h"
+#include "shard/shard_router.h"
+
+namespace faust::shard {
+
+/// Knobs for ShardedCluster assembly.
+struct ShardedClusterConfig {
+  std::size_t shards = 2;
+  std::uint64_t seed = 1;        // root seed; each shard's is derived from it
+  /// Per-shard template: n, delays and FAUST timers are applied to every
+  /// shard; `seed` and `scheduler` in here are overridden.
+  ClusterConfig shard_template;
+};
+
+/// S co-scheduled deployments plus the routing table over them.
+class ShardedCluster {
+ public:
+  explicit ShardedCluster(ShardedClusterConfig config = {});
+
+  ShardedCluster(const ShardedCluster&) = delete;
+  ShardedCluster& operator=(const ShardedCluster&) = delete;
+
+  sim::Scheduler& sched() { return sched_; }
+  const ShardRouter& router() const { return router_; }
+  std::size_t shards() const { return shards_.size(); }
+
+  /// Clients per shard (every client has a register in every shard).
+  int n() const { return config_.shard_template.n; }
+
+  Cluster& shard(std::size_t s);
+  const Cluster& shard(std::size_t s) const;
+
+  /// Advances virtual time by `d` across every shard.
+  void run_for(sim::Time d) { sched_.run_until(sched_.now() + d); }
+
+  /// Drives the shared scheduler until `done` flips or the budget runs
+  /// out; returns the final value of `done`.
+  bool drive(const bool& done, std::size_t step_budget = 1'000'000);
+
+  /// fail_i fired anywhere / on every client of every shard.
+  bool any_failed() const;
+  bool all_failed() const;
+
+  /// Aggregate traffic over every shard's fabric.
+  net::ChannelStats total_traffic() const;
+
+ private:
+  const ShardedClusterConfig config_;
+  sim::Scheduler sched_;
+  ShardRouter router_;
+  std::vector<std::unique_ptr<Cluster>> shards_;
+};
+
+}  // namespace faust::shard

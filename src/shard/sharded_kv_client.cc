@@ -1,0 +1,208 @@
+#include "shard/sharded_kv_client.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace faust::shard {
+
+ShardedKvClient::ShardedKvClient(ShardedCluster& deployment, ClientId id)
+    : deployment_(deployment), id_(id) {
+  const std::size_t s_count = deployment_.shards();
+  kv_.reserve(s_count);
+  pending_.resize(s_count);
+  chained_on_fail_.reserve(s_count);
+  for (std::size_t s = 0; s < s_count; ++s) {
+    FaustClient& f = deployment_.shard(s).client(id_);
+    kv_.push_back(std::make_unique<kv::KvClient>(f));
+    // Surface the shard's fail_i through the sharded client, preserving
+    // any handler the harness installed before us, and flush the ops the
+    // halted FaustClient would otherwise leave dangling.
+    chained_on_fail_.push_back(f.on_fail);
+    auto prev = f.on_fail;
+    f.on_fail = [this, s, prev = std::move(prev)](FailureReason reason) {
+      if (prev) prev(reason);
+      settle_failed_shard(s);
+      if (on_fail) on_fail(s, reason);
+    };
+  }
+}
+
+void ShardedKvClient::settle_failed_shard(std::size_t s) {
+  // Detach first: an abort thunk may issue follow-up ops (which now take
+  // the failed-shard fast path) or erase itself via the normal-completion
+  // guard; neither may disturb this iteration.
+  auto aborts = std::move(pending_[s]);
+  pending_[s].clear();
+  for (auto& [id, abort] : aborts) abort();
+}
+
+ShardedKvClient::~ShardedKvClient() {
+  // Settle whatever is still in flight: copies of each op's completion
+  // lambda remain queued inside the deployment's callback chains and
+  // capture `this`. Firing the abort path flips the ticket's fired flag,
+  // so a delivery arriving after destruction returns before touching the
+  // dead object (the shared flag outlives us by value capture).
+  for (std::size_t s = 0; s < kv_.size(); ++s) settle_failed_shard(s);
+  for (std::size_t s = 0; s < kv_.size(); ++s) {
+    deployment_.shard(s).client(id_).on_fail = std::move(chained_on_fail_[s]);
+  }
+}
+
+void ShardedKvClient::put(std::string key, std::string value, PutHandler done) {
+  const std::size_t s = home_shard(key);
+  kv::KvClient& kv = *kv_[s];
+  if (kv.faust().failed()) {
+    // fail_i halted the home shard: the write cannot take effect. Report
+    // completion-with-timestamp-0 (the Cluster::write convention) rather
+    // than leaving the caller waiting on a halted client.
+    if (done) done(0);
+    return;
+  }
+  // The shard can also fail *mid-operation* (the halted FaustClient drops
+  // its callbacks); the pending_ ticket lets settle_failed_shard complete
+  // the op with t=0, and the fired flag keeps the two paths idempotent.
+  const std::uint64_t id = ++next_op_;
+  auto fired = std::make_shared<bool>(false);
+  PutHandler complete = [this, s, id, fired, done = std::move(done)](Timestamp t) {
+    if (*fired) return;
+    *fired = true;
+    pending_[s].erase(id);
+    if (done) done(t);
+  };
+  pending_[s].emplace(id, [complete] { complete(0); });
+  kv.advance_seq(seq_);  // oracle-aligned (see header)
+  kv.put(std::move(key), std::move(value), std::move(complete));
+  seq_ = kv.put_seq();
+}
+
+void ShardedKvClient::erase(const std::string& key, PutHandler done) {
+  const std::size_t s = home_shard(key);
+  kv::KvClient& kv = *kv_[s];
+  if (kv.faust().failed()) {
+    if (done) done(0);
+    return;
+  }
+  const std::uint64_t id = ++next_op_;
+  auto fired = std::make_shared<bool>(false);
+  PutHandler complete = [this, s, id, fired, done = std::move(done)](Timestamp t) {
+    if (*fired) return;
+    *fired = true;
+    pending_[s].erase(id);
+    if (done) done(t);
+  };
+  pending_[s].emplace(id, [complete] { complete(0); });
+  kv.advance_seq(seq_);
+  kv.erase(key, std::move(complete));
+  seq_ = kv.put_seq();
+}
+
+void ShardedKvClient::get(const std::string& key, GetHandler done) {
+  const std::size_t s = home_shard(key);
+  kv::KvClient& kv = *kv_[s];
+  if (kv.faust().failed()) {
+    ShardedGetResult r;
+    r.shard = s;
+    r.shard_failed = true;
+    done(r);
+    return;
+  }
+  const std::uint64_t id = ++next_op_;
+  auto fired = std::make_shared<bool>(false);
+  auto complete = [this, s, id, fired,
+                   done = std::move(done)](const ShardedGetResult& r) {
+    if (*fired) return;
+    *fired = true;
+    pending_[s].erase(id);
+    done(r);
+  };
+  pending_[s].emplace(id, [s, complete] {
+    ShardedGetResult r;
+    r.shard = s;
+    r.shard_failed = true;
+    complete(r);
+  });
+  kv.get(key, [&kv, s, complete](std::optional<kv::KvEntry> e) {
+    ShardedGetResult r;
+    r.entry = std::move(e);
+    r.shard = s;
+    r.read_ts = kv.last_snapshot_ts();
+    r.shard_failed = kv.faust().failed();
+    complete(r);
+  });
+}
+
+void ShardedKvClient::list(ListHandler done) {
+  auto fan = std::make_shared<Fan>();
+  fan->result.complete = true;
+  fan->done = std::move(done);
+  // Count the live shards before issuing anything, so an early synchronous
+  // completion cannot fire the handler while later shards are still being
+  // dispatched.
+  std::vector<std::size_t> live;
+  live.reserve(kv_.size());
+  for (std::size_t s = 0; s < kv_.size(); ++s) {
+    if (kv_[s]->faust().failed()) {
+      fan->result.complete = false;
+    } else {
+      live.push_back(s);
+    }
+  }
+  fan->waiting = live.size();
+  if (live.empty()) {
+    fan->done(fan->result);
+    return;
+  }
+  for (const std::size_t s : live) {
+    const std::uint64_t id = ++next_op_;
+    auto fired = std::make_shared<bool>(false);
+    // ok=false: the shard failed mid-list — its keys are missing, but the
+    // healthy shards' results must still be delivered.
+    auto finish = [this, s, id, fired, fan](bool ok,
+                                            const std::map<std::string, kv::KvEntry>* m) {
+      if (*fired) return;
+      *fired = true;
+      pending_[s].erase(id);
+      if (ok) {
+        for (const auto& [key, entry] : *m) {
+          // Home-shard filter: a key can only leak into a foreign shard's
+          // registers under a misbehaving party; it must not shadow (or
+          // resurrect) the home shard's authoritative entry.
+          if (home_shard(key) == s) fan->result.entries[key] = entry;
+        }
+      } else {
+        fan->result.complete = false;
+      }
+      if (--fan->waiting == 0) fan->done(fan->result);
+    };
+    pending_[s].emplace(id, [finish] { finish(false, nullptr); });
+    kv_[s]->list([finish](const std::map<std::string, kv::KvEntry>& m) { finish(true, &m); });
+  }
+}
+
+bool ShardedKvClient::any_shard_failed() const {
+  for (const auto& kv : kv_) {
+    if (kv->faust().failed()) return true;
+  }
+  return false;
+}
+
+std::vector<std::size_t> ShardedKvClient::failed_shards() const {
+  std::vector<std::size_t> out;
+  for (std::size_t s = 0; s < kv_.size(); ++s) {
+    if (kv_[s]->faust().failed()) out.push_back(s);
+  }
+  return out;
+}
+
+bool ShardedKvClient::stable(const ShardedGetResult& r) const {
+  if (r.shard_failed || r.read_ts == 0) return false;
+  return shard_stable_ts(r.shard) >= r.read_ts;
+}
+
+Timestamp ShardedKvClient::shard_stable_ts(std::size_t s) const {
+  FAUST_CHECK(s < kv_.size());
+  return kv_[s]->faust().fully_stable_timestamp();
+}
+
+}  // namespace faust::shard

@@ -1,0 +1,147 @@
+// ShardedKvClient — one logical multi-writer KV client spread over the S
+// deployments of a ShardedCluster.
+//
+// Routing: a key's home shard is fixed by the deployment's ShardRouter;
+// puts and gets go only to the home shard, list fans out to every shard
+// concurrently and merges (each shard's read pipeline advances
+// independently on the shared scheduler, so a full list costs ~one
+// shard's latency, not S of them).
+//
+// Oracle equivalence: each per-shard kv::KvClient keeps its own put
+// counter, but conflict winners are chosen by (seq, writer) — so the
+// counters are synced to a single cross-shard op counter before every
+// put/erase (KvClient::advance_seq). The merged sharded view is then
+// key-for-key identical to one un-sharded deployment replaying the same
+// ops, which is exactly what tests/shard_differential_test.cc checks.
+//
+// Fail-aware semantics aggregate across shards:
+//   * fail_i on ANY shard surfaces through `on_fail(shard, reason)`, and
+//     ops routed to a failed shard complete immediately with
+//     `shard_failed` set (a get) or timestamp 0 (a put) instead of
+//     hanging — the paper's fail_i halts the underlying FaustClient.
+//   * a key's value is *stable* only when its home shard's stability cut
+//     covers the reads that observed the winning write: stable(result)
+//     compares the get's home-shard read timestamp against that shard's
+//     fully-stable timestamp. Other shards' cuts are irrelevant to this
+//     key — stability, like the data, is partitioned.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kvstore/kv_client.h"
+#include "shard/sharded_cluster.h"
+
+namespace faust::shard {
+
+/// A sharded get: the merged entry plus the home shard's fail-aware
+/// context.
+struct ShardedGetResult {
+  std::optional<kv::KvEntry> entry;
+  std::size_t shard = 0;      // the key's home shard
+  Timestamp read_ts = 0;      // home-shard timestamp of the observing reads
+  bool shard_failed = false;  // fail_i had fired on the home shard
+};
+
+/// A sharded list: merged across every live shard.
+struct ShardedListResult {
+  std::map<std::string, kv::KvEntry> entries;
+  bool complete = false;  // false when a failed shard's keys are missing
+};
+
+/// KV facade over one client id across every shard of a ShardedCluster.
+class ShardedKvClient {
+ public:
+  using PutHandler = kv::KvClient::PutHandler;
+  using GetHandler = std::function<void(const ShardedGetResult&)>;
+  using ListHandler = std::function<void(const ShardedListResult&)>;
+  using FailHandler = std::function<void(std::size_t shard, FailureReason)>;
+
+  /// Binds client `id` of every shard. The deployment must outlive this
+  /// object; at most one ShardedKvClient (or plain KvClient) per
+  /// (deployment, id) — they must not share FaustClients.
+  ShardedKvClient(ShardedCluster& deployment, ClientId id);
+
+  /// Destruction settles every in-flight op with its failure outcome
+  /// (put → t=0, get → shard_failed, list → complete=false), so handlers
+  /// are never silently dropped. Like a plain KvClient, the object must
+  /// not be destroyed and the deployment then stepped further while its
+  /// underlying FAUST ops are still pending — tear client and deployment
+  /// down together (or drain first).
+  ~ShardedKvClient();
+
+  ShardedKvClient(const ShardedKvClient&) = delete;
+  ShardedKvClient& operator=(const ShardedKvClient&) = delete;
+
+  /// Upserts key := value in the key's home shard. `done(t)` delivers the
+  /// home-shard register-write timestamp — or 0 immediately if that shard
+  /// already failed.
+  void put(std::string key, std::string value, PutHandler done = {});
+
+  /// Removes this client's entry for `key` from its home shard.
+  void erase(const std::string& key, PutHandler done = {});
+
+  /// Merged lookup in the key's home shard.
+  void get(const std::string& key, GetHandler done);
+
+  /// Concurrent fan-out over all shards, merged. Keys homed on a failed
+  /// shard are absent and `complete` is false.
+  void list(ListHandler done);
+
+  /// fail_i of any shard's underlying FaustClient, with the shard index.
+  FailHandler on_fail;
+
+  std::size_t home_shard(std::string_view key) const {
+    return deployment_.router().shard_of(key);
+  }
+
+  bool any_shard_failed() const;
+  std::vector<std::size_t> failed_shards() const;
+
+  /// True iff the result's observing reads are covered by the home
+  /// shard's stability cut — the merged value is then in the linearizable
+  /// prefix of that shard (Def. 5 item 6) and can never be rolled back.
+  bool stable(const ShardedGetResult& r) const;
+
+  /// The fully-stable timestamp of this client in shard `s`.
+  Timestamp shard_stable_ts(std::size_t s) const;
+
+  ClientId id() const { return id_; }
+  std::size_t shards() const { return kv_.size(); }
+
+  /// The per-shard KV client (tests inspect partitions and counters).
+  kv::KvClient& shard_kv(std::size_t s) { return *kv_[s]; }
+
+ private:
+  /// Fan-out accumulator for list().
+  struct Fan {
+    ShardedListResult result;
+    std::size_t waiting = 0;
+    ListHandler done;
+  };
+
+  /// Completes every op still in flight on shard `s` with its failure
+  /// outcome. fail_i mid-operation halts the FaustClient and drops its
+  /// queued callbacks, so without this flush a handler dispatched before
+  /// the detection would never fire (and a list() would discard the
+  /// healthy shards' results).
+  void settle_failed_shard(std::size_t s);
+
+  ShardedCluster& deployment_;
+  const ClientId id_;
+  std::uint64_t seq_ = 0;      // cross-shard op counter (oracle-aligned)
+  std::uint64_t next_op_ = 0;  // in-flight op ids (pending_ keys)
+  std::vector<std::unique_ptr<kv::KvClient>> kv_;          // [shard]
+  /// [shard]: abort thunk per in-flight op; each thunk completes its op
+  /// with the failed-shard outcome (idempotent with the normal path).
+  std::vector<std::map<std::uint64_t, std::function<void()>>> pending_;
+  std::vector<FaustClient::FailHandler> chained_on_fail_;  // restored at dtor
+};
+
+}  // namespace faust::shard

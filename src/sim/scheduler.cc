@@ -55,6 +55,13 @@ std::size_t Scheduler::run(std::size_t max_events) {
   return n;
 }
 
+std::size_t Scheduler::run_while(const std::function<bool()>& keep_going,
+                                 std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && keep_going() && step()) ++n;
+  return n;
+}
+
 std::size_t Scheduler::run_until(Time deadline) {
   std::size_t n = 0;
   Event ev;

@@ -58,6 +58,14 @@ class Scheduler {
   /// number of events executed.
   std::size_t run_until(Time deadline);
 
+  /// Runs events while `keep_going()` returns true, up to `max_events`.
+  /// The predicate is evaluated before every step, so a harness can drive
+  /// "until this callback fired" without hand-rolling the loop (the
+  /// sharded deployments co-scheduled on one Scheduler all advance
+  /// together). Returns the number of events executed.
+  std::size_t run_while(const std::function<bool()>& keep_going,
+                        std::size_t max_events = SIZE_MAX);
+
   /// Number of live (non-cancelled, not yet executed) events.
   std::size_t pending() const { return alive_.size(); }
 

@@ -15,8 +15,14 @@ void put_value(wire::Writer& w, const Value& v) {
   if (v.has_value()) w.put_bytes(*v);
 }
 
+// Presence flags are encoded as exactly 0 or 1; any other value is
+// rejected so that decodable messages have a unique encoding (decision
+// D3) — the wire-fuzz suite asserts decode∘encode is the identity on
+// every accepted buffer.
 ValueView get_value(wire::Reader& r) {
-  if (r.get_u8() == 0) return std::nullopt;
+  const std::uint8_t present = r.get_u8();
+  if (present > 1) r.poison();
+  if (present != 1) return std::nullopt;
   return r.get_bytes_view();
 }
 
@@ -26,7 +32,9 @@ void put_digest(wire::Writer& w, const Digest& d) {
 }
 
 Digest get_digest(wire::Reader& r) {
-  if (r.get_u8() == 0) return Digest::bottom();
+  const std::uint8_t present = r.get_u8();
+  if (present > 1) r.poison();
+  if (present != 1) return Digest::bottom();
   const BytesView raw = r.get_view(32);
   Digest d;
   if (raw.size() == 32) {
@@ -49,7 +57,7 @@ constexpr std::uint32_t kMaxN = 1 << 16;
 Version get_version(wire::Reader& r) {
   const std::uint32_t n = r.get_u32();
   if (n > kMaxN) {
-    (void)r.get_view(SIZE_MAX);  // force error state
+    r.poison();
     return Version();
   }
   Version v(static_cast<int>(n));
@@ -81,7 +89,7 @@ InvocationTupleView get_invocation(wire::Reader& r) {
   InvocationTupleView inv;
   inv.client = static_cast<ClientId>(r.get_u32());
   const std::uint8_t oc = r.get_u8();
-  if (oc > 1) (void)r.get_view(SIZE_MAX);  // unknown opcode → error state
+  if (oc > 1) r.poison();  // unknown opcode
   inv.oc = static_cast<OpCode>(oc);
   inv.target = static_cast<ClientId>(r.get_u32());
   inv.submit_sig = r.get_bytes_view();
@@ -323,7 +331,9 @@ std::optional<ReplyMessageView> decode_reply_view(BytesView data) {
   ReplyMessageView m;
   m.c = static_cast<ClientId>(r.get_u32());
   m.last = get_signed_version(r);
-  if (r.get_u8() == 1) {
+  const std::uint8_t has_read = r.get_u8();
+  if (has_read > 1) return std::nullopt;
+  if (has_read == 1) {
     ReadPayloadView rp;
     rp.writer = get_signed_version(r);
     rp.tj = r.get_u64();
@@ -382,7 +392,9 @@ std::optional<FailureMessage> decode_failure(BytesView data) {
   wire::Reader r(data);
   if (!open(r, MsgType::kFailure)) return std::nullopt;
   FailureMessage m;
-  m.has_evidence = r.get_u8() == 1;
+  const std::uint8_t has_evidence = r.get_u8();
+  if (has_evidence > 1) return std::nullopt;
+  m.has_evidence = has_evidence == 1;
   if (m.has_evidence) {
     m.committer_a = static_cast<ClientId>(r.get_u32());
     const SignedVersionView a = get_signed_version(r);

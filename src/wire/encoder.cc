@@ -45,8 +45,15 @@ BytesView Reader::get_bytes_view() {
 }
 
 BytesView Reader::get_view(std::size_t n) {
-  if (!need(n)) return {};
-  const BytesView v = data_.subspan(pos_, n);
+  if (!need(n)) return {};  // error sentinel: data() == nullptr
+  BytesView v = data_.subspan(pos_, n);
+  if (v.data() == nullptr) {
+    // Reader over an empty source buffer: subspan has no address to point
+    // at, so substitute a static one — a successful read must never be
+    // mistaken for the error sentinel.
+    static constexpr std::uint8_t kPresentEmpty = 0;
+    v = BytesView(&kPresentEmpty, 0);
+  }
   pos_ += n;
   return v;
 }

@@ -69,24 +69,38 @@ class Reader {
   std::uint32_t get_u32();
   std::uint64_t get_u64();
 
-  /// Length-prefixed byte string, copied out. Returns an empty string on
-  /// error; since a legitimately empty string is also `{}`, callers MUST
-  /// distinguish the two via ok().
+  /// Length-prefixed byte string, copied out. An owned byte string cannot
+  /// carry a presence sentinel, so `{}` on error equals a legitimately
+  /// empty string; callers needing the distinction without consulting
+  /// ok() use get_bytes_view(), whose error sentinel is distinct.
   Bytes get_bytes();
 
-  /// Exactly `n` raw bytes, copied out. Returns empty on error; callers
-  /// distinguish a real empty result from failure via ok().
+  /// Exactly `n` raw bytes, copied out. Same empty-vs-error note as
+  /// get_bytes(); get_view() carries the distinct sentinel.
   Bytes get_raw(std::size_t n);
 
   /// Length-prefixed byte string as a zero-copy view into the source
-  /// buffer. Empty view on error (disambiguate via ok()). The view is
-  /// valid only while the source buffer outlives it.
+  /// buffer. A present-but-empty string decodes to a zero-length view
+  /// with a NON-null data(); a decode error returns the distinct error
+  /// sentinel (null data(), see is_error()). The view is valid only while
+  /// the source buffer outlives it.
   BytesView get_bytes_view();
 
   /// Exactly `n` raw bytes as a zero-copy view into the source buffer.
-  /// Empty view on error (disambiguate via ok()); same lifetime contract
-  /// as get_bytes_view().
+  /// Same present-vs-error sentinel and lifetime contract as
+  /// get_bytes_view().
   BytesView get_view(std::size_t n);
+
+  /// True iff `v` is the error sentinel of get_view / get_bytes_view
+  /// (failed reads return a view with null data(); successful reads never
+  /// do, even for zero-length strings or an empty source buffer).
+  static bool is_error(BytesView v) { return v.data() == nullptr; }
+
+  /// Poisons the reader: all subsequent reads fail and ok() is false.
+  /// Decoders use it to reject inputs that are well-formed at the byte
+  /// level but violate canonicality (unknown enum value, out-of-order
+  /// key, oversized count).
+  void poison() { ok_ = false; }
 
   /// True iff no decode error occurred so far.
   bool ok() const { return ok_; }

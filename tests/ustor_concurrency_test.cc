@@ -107,26 +107,28 @@ TEST_F(ConcurrencyFixture, ChainedConcurrencyAcrossFourClients) {
 
   int done = 0;
   std::vector<Value> got(kN * kN);
+  // One outstanding op per client: chain the reads per client. The chain
+  // objects must outlive every in-flight callback, i.e. the settle().
+  struct Chain {
+    ConcurrencyFixture* fix;
+    ClientId reader;
+    ClientId next = 1;
+    int* done;
+    std::vector<Value>* got;
+    void step() {
+      if (next > kN) return;
+      const ClientId j = next++;
+      fix->c(reader).readx(j, [this, j](const ReadResult& r) {
+        (*got)[static_cast<std::size_t>((reader - 1) * kN + (j - 1))] = r.value;
+        ++*done;
+        step();
+      });
+    }
+  };
+  std::vector<std::unique_ptr<Chain>> chains;
   for (ClientId i = 1; i <= kN; ++i) {
-    // One outstanding op per client: chain the reads per client.
-    struct Chain {
-      ConcurrencyFixture* fix;
-      ClientId reader;
-      ClientId next = 1;
-      int* done;
-      std::vector<Value>* got;
-      void step() {
-        if (next > kN) return;
-        const ClientId j = next++;
-        fix->c(reader).readx(j, [this, j](const ReadResult& r) {
-          (*got)[static_cast<std::size_t>((reader - 1) * kN + (j - 1))] = r.value;
-          ++*done;
-          step();
-        });
-      }
-    };
-    auto* chain = new Chain{this, i, 1, &done, &got};
-    chain->step();  // leaks a tiny fixture object at test end: fine
+    chains.push_back(std::make_unique<Chain>(Chain{this, i, 1, &done, &got}));
+    chains.back()->step();
   }
   settle();
   ASSERT_EQ(done, kN * kN);

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "crypto/signature.h"
 #include "crypto/verify_cache.h"
@@ -96,6 +98,55 @@ TEST(VerifyCacheEviction, BoundedAndCorrectAfterReset) {
   // After eviction resets, everything still verifies (just re-checked).
   for (int i = 0; i < 20; ++i) {
     EXPECT_TRUE(cache.verify(1, msgs[i], sigs[i]));
+  }
+}
+
+TEST(VerifyCacheStress, EvictionCyclesNeverWeakenVerification) {
+  // Stress the epoch-clear eviction: push an order of magnitude past
+  // capacity so every entry of the early epochs is cached and then
+  // wholesale-evicted, then attack exactly those cached-then-evicted
+  // triples. A forged variant must re-verify from scratch and fail — an
+  // eviction (or any amount of cache churn) must never downgrade
+  // verification to acceptance.
+  auto inner = make_hmac_scheme(3);
+  VerifyCache cache(inner, /*max_entries=*/64);
+
+  struct Entry {
+    ClientId signer;
+    Bytes msg, sig;
+  };
+  std::vector<Entry> entries;
+  for (int i = 0; i < 640; ++i) {
+    const ClientId signer = static_cast<ClientId>(1 + i % 3);
+    Bytes msg = to_bytes("stress-payload-" + std::to_string(i));
+    Bytes sig = inner->sign(signer, msg);
+    ASSERT_TRUE(cache.verify(signer, msg, sig));
+    ASSERT_LE(cache.entries(), 64u) << "capacity bound violated at " << i;
+    entries.push_back({signer, std::move(msg), std::move(sig)});
+  }
+  ASSERT_GT(cache.misses(), 0u);
+
+  // The first epochs' entries were verified, cached, and later evicted.
+  for (int i = 0; i < 200; ++i) {
+    const Entry& e = entries[static_cast<std::size_t>(i)];
+    // Tampered signature: one flipped bit, varying position.
+    Bytes bad_sig = e.sig;
+    bad_sig[static_cast<std::size_t>(i) % bad_sig.size()] ^=
+        static_cast<std::uint8_t>(1u << (i % 8));
+    EXPECT_FALSE(cache.verify(e.signer, e.msg, bad_sig)) << "entry " << i;
+    // Tampered payload under the genuine signature.
+    Bytes bad_msg = e.msg;
+    bad_msg.push_back(0x00);
+    EXPECT_FALSE(cache.verify(e.signer, bad_msg, e.sig)) << "entry " << i;
+    // Signer confusion.
+    const ClientId other = static_cast<ClientId>(1 + (e.signer % 3));
+    EXPECT_FALSE(cache.verify(other, e.msg, e.sig)) << "entry " << i;
+  }
+
+  // And the genuine evicted triples still verify (via re-verification).
+  for (int i = 0; i < 200; ++i) {
+    const Entry& e = entries[static_cast<std::size_t>(i)];
+    EXPECT_TRUE(cache.verify(e.signer, e.msg, e.sig)) << "entry " << i;
   }
 }
 

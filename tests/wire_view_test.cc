@@ -59,6 +59,48 @@ TEST(ReaderViews, EmptyStringVsErrorDistinguishedByOk) {
   EXPECT_FALSE(r4.ok());
 }
 
+TEST(ReaderViews, PresentButEmptyIsDistinctFromErrorSentinel) {
+  // Regression for the get_bytes empty-vs-error ambiguity: the view API
+  // now carries a distinct sentinel — a successful zero-length read has a
+  // non-null data() pointing into (or at the end of) the buffer, while a
+  // failed read returns the null-data error view, so the two are
+  // distinguishable without consulting ok().
+  Writer w;
+  w.put_bytes(Bytes{});
+  const Bytes good = w.take();
+  Reader r1(good);
+  const BytesView present = r1.get_bytes_view();
+  EXPECT_TRUE(present.empty());
+  EXPECT_FALSE(Reader::is_error(present));
+  EXPECT_NE(present.data(), nullptr);
+  EXPECT_TRUE(r1.ok());
+
+  Writer w2;
+  w2.put_u32(5);  // lying length prefix
+  const Bytes bad = w2.take();
+  Reader r2(bad);
+  const BytesView err = r2.get_bytes_view();
+  EXPECT_TRUE(err.empty());
+  EXPECT_TRUE(Reader::is_error(err));
+  EXPECT_FALSE(r2.ok());
+
+  // Zero-length raw read: present, not error.
+  Reader r3(good);
+  (void)r3.get_u32();
+  const BytesView raw0 = r3.get_view(0);
+  EXPECT_FALSE(Reader::is_error(raw0));
+  EXPECT_TRUE(r3.ok());
+
+  // Even a reader over an empty source buffer distinguishes the two: a
+  // zero-byte read succeeds (static sentinel address), a one-byte read is
+  // the error view.
+  Reader r4(BytesView{});
+  EXPECT_FALSE(Reader::is_error(r4.get_view(0)));
+  EXPECT_TRUE(r4.ok());
+  EXPECT_TRUE(Reader::is_error(r4.get_view(1)));
+  EXPECT_FALSE(r4.ok());
+}
+
 TEST(ReaderViews, StickyErrorAcrossViewCalls) {
   const Bytes buf = to_bytes("abc");
   Reader r(buf);
