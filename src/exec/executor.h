@@ -1,0 +1,68 @@
+// The execution seam: timers and deferred callbacks behind one interface.
+//
+// Protocol code (FaustClient, the network fabrics, the KV layers) is
+// written against exec::Executor only, so the exact same objects run on
+// two substrates:
+//
+//   * sim::Scheduler — the deterministic discrete-event loop over virtual
+//     time (tests, benches, differential oracles);
+//   * rt::ThreadedRuntime — one OS thread per runtime, pacing deadlines
+//     against a monotonic clock (the threaded shard mode).
+//
+// This mirrors the net::Transport seam (DESIGN.md decision D2) one layer
+// down: Transport abstracts message delivery, Executor abstracts time.
+//
+// Time is in abstract "ticks" exactly as in sim::Scheduler; a runtime
+// decides what a tick means in wall-clock terms (the simulator: nothing;
+// ThreadedRuntime: a configurable real duration, zero by default, i.e.
+// virtual deadlines executed as fast as the thread can drain them).
+//
+// Threading contract: how member calls may be issued is defined by the
+// implementation. sim::Scheduler is single-threaded. ThreadedRuntime
+// accepts after/at/cancel/post from any thread, and runs every task on
+// its own runtime thread — tasks scheduled on one executor never run
+// concurrently with each other, which is what lets single-threaded
+// protocol objects run unchanged on top of it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace faust::exec {
+
+/// Abstract time in ticks since the start of the run.
+using Time = std::uint64_t;
+
+/// Handle for cancelling a scheduled event. 0 is never a valid id, so
+/// implementations may return it for "nothing scheduled".
+using EventId = std::uint64_t;
+
+/// Minimal timer/callback executor (see file comment).
+class Executor {
+ public:
+  using Task = std::function<void()>;
+
+  virtual ~Executor() = default;
+
+  /// Current time in ticks. Starts at 0.
+  virtual Time now() const = 0;
+
+  /// Schedules `task` to run `delay` ticks from now(). Returns an id
+  /// usable with `cancel`.
+  virtual EventId after(Time delay, Task task) = 0;
+
+  /// Schedules `task` at absolute time `when`. A `when` in the past is
+  /// clamped to "as soon as possible".
+  virtual EventId at(Time when, Task task) = 0;
+
+  /// Cancels a pending event; no-op if it already ran or was cancelled.
+  virtual void cancel(EventId id) = 0;
+
+  /// Schedules `task` to run as soon as possible, after everything
+  /// already due. Equivalent to after(0, ...); the hook exists so
+  /// cross-thread callers can marshal work onto the executor's thread
+  /// without talking about time at all.
+  virtual EventId post(Task task) { return after(0, std::move(task)); }
+};
+
+}  // namespace faust::exec

@@ -7,12 +7,13 @@ namespace faust {
 
 Cluster::Cluster(ClusterConfig config)
     : config_(config),
-      owned_sched_(config.scheduler ? nullptr : std::make_unique<sim::Scheduler>()),
-      sched_(config.scheduler ? config.scheduler : owned_sched_.get()) {
+      owned_sched_(config.executor ? nullptr : std::make_unique<sim::Scheduler>()),
+      exec_(config.executor ? config.executor : owned_sched_.get()),
+      sim_(dynamic_cast<sim::Scheduler*>(exec_)) {
   FAUST_CHECK(config_.n >= 1);
   Rng root(config_.seed);
-  net_ = std::make_unique<net::Network>(*sched_, root.fork(), config_.delay);
-  mail_ = std::make_unique<net::Mailbox>(*sched_, root.fork(), config_.mail_min_delay,
+  net_ = std::make_unique<net::Network>(*exec_, root.fork(), config_.delay);
+  mail_ = std::make_unique<net::Mailbox>(*exec_, root.fork(), config_.mail_min_delay,
                                          config_.mail_max_delay);
   sigs_ = crypto::make_hmac_scheme(config_.n, root.next_u64());
   if (config_.with_server) {
@@ -21,8 +22,13 @@ Cluster::Cluster(ClusterConfig config)
   clients_.reserve(static_cast<std::size_t>(config_.n));
   for (ClientId i = 1; i <= config_.n; ++i) {
     clients_.push_back(std::make_unique<FaustClient>(i, config_.n, sigs_, *net_, *mail_,
-                                                     *sched_, config_.faust));
+                                                     *exec_, config_.faust));
   }
+}
+
+sim::Scheduler& Cluster::sched() {
+  FAUST_CHECK(sim_ != nullptr);  // stepping makes no sense on a threaded runtime
+  return *sim_;
 }
 
 FaustClient& Cluster::client(ClientId i) {
@@ -31,8 +37,9 @@ FaustClient& Cluster::client(ClientId i) {
 }
 
 Timestamp Cluster::write(ClientId i, std::string_view value, std::size_t step_budget) {
+  sim::Scheduler& sched = this->sched();
   const int rec =
-      recorder_.begin(i, ustor::OpCode::kWrite, i, to_bytes(value), sched_->now());
+      recorder_.begin(i, ustor::OpCode::kWrite, i, to_bytes(value), sched.now());
   bool done = false;
   Timestamp out = 0;
   client(i).write(to_bytes(value), [&](Timestamp t) {
@@ -40,13 +47,14 @@ Timestamp Cluster::write(ClientId i, std::string_view value, std::size_t step_bu
     out = t;
   });
   std::size_t steps = 0;
-  while (!done && steps < step_budget && sched_->step()) ++steps;
-  if (done) recorder_.end(rec, sched_->now(), out);
+  while (!done && steps < step_budget && sched.step()) ++steps;
+  if (done) recorder_.end(rec, sched.now(), out);
   return out;
 }
 
 ustor::Value Cluster::read(ClientId i, ClientId j, bool* completed, std::size_t step_budget) {
-  const int rec = recorder_.begin(i, ustor::OpCode::kRead, j, std::nullopt, sched_->now());
+  sim::Scheduler& sched = this->sched();
+  const int rec = recorder_.begin(i, ustor::OpCode::kRead, j, std::nullopt, sched.now());
   bool done = false;
   Timestamp ts = 0;
   ustor::Value out;
@@ -56,8 +64,8 @@ ustor::Value Cluster::read(ClientId i, ClientId j, bool* completed, std::size_t 
     out = v;
   });
   std::size_t steps = 0;
-  while (!done && steps < step_budget && sched_->step()) ++steps;
-  if (done) recorder_.end(rec, sched_->now(), ts, out);
+  while (!done && steps < step_budget && sched.step()) ++steps;
+  if (done) recorder_.end(rec, sched.now(), ts, out);
   if (completed != nullptr) *completed = done;
   return out;
 }

@@ -32,20 +32,23 @@ struct ClusterConfig {
   sim::Time mail_max_delay = 200;
   FaustConfig faust;                  // FAUST timers
   bool with_server = true;            // false: caller attaches own server
-  /// Co-scheduling hook: when set, the cluster runs on this external
-  /// scheduler (which must outlive it) instead of owning one. ShardedCluster
-  /// uses it to drive S independent deployments on a single event loop, so
-  /// multi-shard scenarios stay deterministic under one seed.
+  /// Execution hook: when set, the cluster runs on this external executor
+  /// (which must outlive it) instead of owning a sim::Scheduler.
+  /// ShardedCluster uses it two ways: kDeterministic passes one shared
+  /// sim::Scheduler to every shard (S deployments on a single event loop,
+  /// deterministic under one seed), kThreaded passes each shard its own
+  /// rt::ThreadedRuntime (one OS thread per shard).
   ///
-  /// Lifetime contract, both directions: the scheduler outlives the
-  /// cluster, AND the scheduler must not be stepped after this cluster is
+  /// Lifetime contract, both directions: the executor outlives the
+  /// cluster, AND the executor must not run further after this cluster is
   /// destroyed while events it scheduled are still pending — in-flight
   /// network/mailbox deliveries capture cluster-owned objects, and only
   /// the FaustClient timers are cancelled on destruction. Destroy the
-  /// co-scheduled clusters and their scheduler together (as ShardedCluster
-  /// does); tearing down a single shard mid-run needs a drain/cancel
-  /// protocol that does not exist yet (ROADMAP: shard rebalancing).
-  sim::Scheduler* scheduler = nullptr;
+  /// co-scheduled clusters and their executor together, stopping a
+  /// threaded runtime first (as ShardedCluster does); tearing down a
+  /// single shard mid-run needs a drain/cancel protocol that does not
+  /// exist yet (ROADMAP: shard rebalancing).
+  exec::Executor* executor = nullptr;
 };
 
 /// A fully wired simulated deployment.
@@ -56,7 +59,15 @@ class Cluster {
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
-  sim::Scheduler& sched() { return *sched_; }
+  /// The executor everything in this deployment runs on.
+  exec::Executor& exec() { return *exec_; }
+
+  /// The simulation scheduler, for harnesses that step virtual time.
+  /// Only valid when the cluster owns one or was given a sim::Scheduler
+  /// as its executor (FAUST_CHECKed) — i.e. never under a threaded
+  /// runtime, where time cannot be stepped from outside.
+  sim::Scheduler& sched();
+
   net::Network& net() { return *net_; }
   const net::Network& net() const { return *net_; }
   net::Mailbox& mail() { return *mail_; }
@@ -73,17 +84,19 @@ class Cluster {
 
   /// Synchronous write at client i; returns the operation timestamp, or 0
   /// if the operation did not complete within `step_budget` events.
+  /// Simulation-only (drives the scheduler; see sched()).
   Timestamp write(ClientId i, std::string_view value, std::size_t step_budget = 1'000'000);
 
   /// Synchronous read of register j at client i. `completed`, if given,
   /// reports whether the operation finished (⊥ is a legal return value,
-  /// so the value alone cannot tell).
+  /// so the value alone cannot tell). Simulation-only.
   ustor::Value read(ClientId i, ClientId j, bool* completed = nullptr,
                     std::size_t step_budget = 1'000'000);
 
   /// Advances virtual time by `d`, processing everything due in between.
-  /// Under an external scheduler this advances every co-scheduled cluster.
-  void run_for(sim::Time d) { sched_->run_until(sched_->now() + d); }
+  /// Under an external scheduler this advances every co-scheduled
+  /// cluster. Simulation-only.
+  void run_for(sim::Time d) { sched().run_until(sched().now() + d); }
 
   bool any_failed() const;
   bool all_failed() const;
@@ -91,7 +104,8 @@ class Cluster {
  private:
   const ClusterConfig config_;
   std::unique_ptr<sim::Scheduler> owned_sched_;  // null when external
-  sim::Scheduler* const sched_;
+  exec::Executor* const exec_;
+  sim::Scheduler* const sim_;  // exec_ if it is a simulator, else null
   std::unique_ptr<net::Network> net_;
   std::unique_ptr<net::Mailbox> mail_;
   std::shared_ptr<const crypto::SignatureScheme> sigs_;

@@ -27,22 +27,22 @@ bool verify_failure_evidence(const crypto::SignatureScheme& sigs, int n,
 
 FaustClient::FaustClient(ClientId id, int n,
                          std::shared_ptr<const crypto::SignatureScheme> sigs,
-                         net::Transport& net, net::Mailbox& mail, sim::Scheduler& sched,
+                         net::Transport& net, net::Mailbox& mail, exec::Executor& exec,
                          FaustConfig config)
     : id_(id),
       n_(n),
       // FAUST re-verifies the same maximal versions on every probe reply
       // and dummy read; the VerifyCache memoizes those (PERF.md).
-      sigs_(std::make_shared<crypto::VerifyCache>(sigs)),
+      sigs_(std::make_shared<crypto::VerifyCache>(sigs, config.verify_cache_entries)),
       mail_(mail),
-      sched_(sched),
+      exec_(exec),
       config_(config),
-      ustor_(id, n, std::move(sigs), net),
+      ustor_(id, n, std::move(sigs), net, kServerNode, config.verify_cache_entries),
       VER_(static_cast<std::size_t>(n)),
       W_(static_cast<std::size_t>(n), 0) {
   for (auto& kv : VER_) {
     kv.sv.version = ustor::Version(n);
-    kv.updated_at = sched_.now();
+    kv.updated_at = exec_.now();
   }
   // USTOR's fail_i feeds straight into FAUST's failure handling. No
   // transferable evidence exists for these causes (the offending message
@@ -56,8 +56,8 @@ FaustClient::FaustClient(ClientId id, int n,
 }
 
 FaustClient::~FaustClient() {
-  sched_.cancel(dummy_timer_);
-  sched_.cancel(probe_timer_);
+  exec_.cancel(dummy_timer_);
+  exec_.cancel(probe_timer_);
 }
 
 Timestamp FaustClient::fully_stable_timestamp() const {
@@ -125,7 +125,7 @@ void FaustClient::start_op(PendingUserOp op) {
 
 void FaustClient::arm_dummy_timer() {
   if (config_.dummy_read_period == 0 || n_ < 2) return;
-  dummy_timer_ = sched_.after(config_.dummy_read_period, [this] {
+  dummy_timer_ = exec_.after(config_.dummy_read_period, [this] {
     dummy_tick();
     if (!failed_) arm_dummy_timer();
   });
@@ -155,7 +155,7 @@ void FaustClient::dummy_tick() {
 
 void FaustClient::arm_probe_timer() {
   if (config_.probe_check_period == 0 || n_ < 2) return;
-  probe_timer_ = sched_.after(config_.probe_check_period, [this] {
+  probe_timer_ = exec_.after(config_.probe_check_period, [this] {
     probe_tick();
     if (!failed_) arm_probe_timer();
   });
@@ -163,7 +163,7 @@ void FaustClient::arm_probe_timer() {
 
 void FaustClient::probe_tick() {
   if (failed_ || !online_) return;
-  const sim::Time now = sched_.now();
+  const sim::Time now = exec_.now();
   for (ClientId j = 1; j <= n_; ++j) {
     if (j == id_) continue;
     if (now - ver(j).updated_at > config_.probe_interval) {
@@ -212,7 +212,7 @@ bool FaustClient::ingest(ClientId j, ClientId committer, const ustor::SignedVers
   // handle_version_msg). Old-but-valid data relayed by the server must
   // not count as liveness of C_j — otherwise a server replaying a frozen
   // fork would suppress the probes that expose it.
-  slot.updated_at = sched_.now();
+  slot.updated_at = exec_.now();
   slot.committer = committer;
   slot.sv = sv;
   if (max_slot_ == 0 || ustor::version_leq(ver(max_slot_).sv.version, sv.version)) {
@@ -250,8 +250,8 @@ void FaustClient::detect_failure(FailureReason reason,
     if (ver(j).committer != 0) report.known_versions.emplace_back(ver(j).committer, ver(j).sv);
   }
   failure_report_ = std::move(report);
-  sched_.cancel(dummy_timer_);
-  sched_.cancel(probe_timer_);
+  exec_.cancel(dummy_timer_);
+  exec_.cancel(probe_timer_);
   queue_.clear();
 
   // Alert every other client over the offline channel (§6); mailbox
@@ -304,7 +304,7 @@ void FaustClient::handle_version_msg(ClientId from, const ustor::VersionMessage&
   // A VERSION message is direct client-to-client contact, which the
   // server cannot forge or replay: it does refresh the staleness clock,
   // whether or not it carries news.
-  ver(from).updated_at = sched_.now();
+  ver(from).updated_at = exec_.now();
   if (m.ver.version.is_zero()) return;
   // The version arrived from `from`, so it reflects from's knowledge: it
   // lands in slot `from`, but verifies against its committer's key.

@@ -23,6 +23,7 @@
 
 #include "common/ids.h"
 #include "crypto/signature.h"
+#include "exec/executor.h"
 #include "net/mailbox.h"
 #include "net/network.h"  // Mailbox users still need the sim network
 #include "sim/scheduler.h"
@@ -46,6 +47,11 @@ struct FaustConfig {
   sim::Time probe_interval = 5000;
   /// How often to scan VER for stale entries.
   sim::Time probe_check_period = 1000;
+  /// Capacity of the signature-verification caches (the USTOR engine's
+  /// and the FAUST layer's own), in verified triples. The default suits a
+  /// stand-alone deployment; ShardedCluster sizes it to the per-shard
+  /// working set (PERF.md "Per-shard cache sizing").
+  std::size_t verify_cache_entries = 4096;
 };
 
 /// Everything a client knew at the moment it declared the server faulty —
@@ -79,8 +85,11 @@ class FaustClient {
   using WriteHandler = std::function<void(Timestamp)>;
   using ReadHandler = std::function<void(const ustor::Value&, Timestamp)>;
 
+  /// Timers and deferred work go through `exec`; under a
+  /// rt::ThreadedRuntime every call into this object must be made from
+  /// (or posted onto) that runtime's thread.
   FaustClient(ClientId id, int n, std::shared_ptr<const crypto::SignatureScheme> sigs,
-              net::Transport& net, net::Mailbox& mail, sim::Scheduler& sched,
+              net::Transport& net, net::Mailbox& mail, exec::Executor& exec,
               FaustConfig config = {});
   ~FaustClient();
 
@@ -179,7 +188,7 @@ class FaustClient {
   const int n_;
   const std::shared_ptr<const crypto::SignatureScheme> sigs_;
   net::Mailbox& mail_;
-  sim::Scheduler& sched_;
+  exec::Executor& exec_;
   const FaustConfig config_;
   ustor::Client ustor_;
 

@@ -6,8 +6,8 @@
 
 namespace faust::net {
 
-Mailbox::Mailbox(sim::Scheduler& sched, Rng rng, sim::Time min_delay, sim::Time max_delay)
-    : sched_(sched), rng_(std::move(rng)), min_delay_(min_delay), max_delay_(max_delay) {}
+Mailbox::Mailbox(exec::Executor& exec, Rng rng, sim::Time min_delay, sim::Time max_delay)
+    : exec_(exec), rng_(std::move(rng)), min_delay_(min_delay), max_delay_(max_delay) {}
 
 void Mailbox::register_client(ClientId client, Handler handler) {
   Box& box = boxes_[client];
@@ -48,7 +48,7 @@ void Mailbox::flush(ClientId client) {
 void Mailbox::schedule_delivery(ClientId to, Letter letter) {
   const sim::Time delay =
       min_delay_ == max_delay_ ? min_delay_ : rng_.next_in(min_delay_, max_delay_);
-  sched_.after(delay, [this, to, l = std::move(letter)]() {
+  exec_.after(delay, [this, to, l = std::move(letter)]() {
     Box& box = boxes_[to];
     if (!box.is_online) {
       // Went offline again before delivery; requeue (still never lost).

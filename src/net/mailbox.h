@@ -15,7 +15,8 @@
 #include "common/bytes.h"
 #include "common/ids.h"
 #include "common/rng.h"
-#include "sim/scheduler.h"
+#include "exec/executor.h"
+#include "sim/scheduler.h"  // sim::Time (= exec::Time)
 
 namespace faust::net {
 
@@ -27,7 +28,8 @@ class Mailbox {
 
   /// `delivery_delay` is added once the recipient is online — it models
   /// the latency of the out-of-band medium.
-  Mailbox(sim::Scheduler& sched, Rng rng, sim::Time min_delay = 50, sim::Time max_delay = 200);
+  /// Runs on any exec::Executor (see net::Network for the contract).
+  Mailbox(exec::Executor& exec, Rng rng, sim::Time min_delay = 50, sim::Time max_delay = 200);
 
   /// Registers `client`'s delivery handler. Clients start online.
   void register_client(ClientId client, Handler handler);
@@ -58,7 +60,7 @@ class Mailbox {
   void flush(ClientId client);
   void schedule_delivery(ClientId to, Letter letter);
 
-  sim::Scheduler& sched_;
+  exec::Executor& exec_;
   Rng rng_;
   sim::Time min_delay_, max_delay_;
   std::unordered_map<ClientId, Box> boxes_;

@@ -4,8 +4,8 @@
 
 namespace faust::net {
 
-Network::Network(sim::Scheduler& sched, Rng rng, DelayModel delay)
-    : sched_(sched), rng_(std::move(rng)), delay_(delay) {}
+Network::Network(exec::Executor& exec, Rng rng, DelayModel delay)
+    : exec_(exec), rng_(std::move(rng)), delay_(delay) {}
 
 void Network::attach(NodeId id, Node& node) { nodes_[id] = &node; }
 
@@ -23,11 +23,11 @@ void Network::send(NodeId from, NodeId to, Bytes msg) {
   // FIFO per channel: a message never overtakes an earlier one. Equal
   // delivery times are fine — the scheduler runs same-tick events in
   // schedule (i.e. send) order.
-  const sim::Time earliest = sched_.now() + delay_.sample(rng_);
+  const sim::Time earliest = exec_.now() + delay_.sample(rng_);
   const sim::Time when = std::max(earliest, ch.last_scheduled);
   ch.last_scheduled = when;
 
-  sched_.at(when, [this, from, to, m = std::move(msg)]() {
+  exec_.at(when, [this, from, to, m = std::move(msg)]() {
     if (crashed(to) || crashed(from)) return;  // crash between send and delivery
     auto it = nodes_.find(to);
     if (it == nodes_.end()) return;

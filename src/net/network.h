@@ -15,8 +15,9 @@
 #include "common/bytes.h"
 #include "common/ids.h"
 #include "common/rng.h"
+#include "exec/executor.h"
 #include "net/transport.h"
-#include "sim/scheduler.h"
+#include "sim/scheduler.h"  // sim::Time (= exec::Time) for the delay model
 
 namespace faust::net {
 
@@ -51,7 +52,10 @@ struct ChannelStats {
 /// and the Network live in one harness struct).
 class Network : public Transport {
  public:
-  Network(sim::Scheduler& sched, Rng rng, DelayModel delay = {});
+  /// Runs on any exec::Executor: the deterministic simulator in tests,
+  /// a rt::ThreadedRuntime in the threaded shard mode. All calls into a
+  /// Network (attach/send/crash) must come from the executor's thread.
+  Network(exec::Executor& exec, Rng rng, DelayModel delay = {});
 
   /// Attaches `node` under `id`, replacing any previous attachment.
   void attach(NodeId id, Node& node) override;
@@ -80,7 +84,7 @@ class Network : public Transport {
     ChannelStats stats;
   };
 
-  sim::Scheduler& sched_;
+  exec::Executor& exec_;
   Rng rng_;
   DelayModel delay_;
   std::unordered_map<NodeId, Node*> nodes_;

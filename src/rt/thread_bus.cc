@@ -9,15 +9,20 @@ namespace faust::rt {
 void ThreadBus::attach(NodeId id, net::Node& node) {
   std::lock_guard lock(boxes_mu_);
   FAUST_CHECK(!stopped_);
-  auto [it, inserted] = boxes_.try_emplace(id, std::make_unique<Box>());
+  auto [it, inserted] = boxes_.try_emplace(id, std::make_shared<Box>());
+  FAUST_CHECK(inserted);  // re-attach under threads would race; fail loudly
   Box& box = *it->second;
-  FAUST_CHECK(inserted);  // re-attach under threads would race; forbid it
+  // The box becomes visible to senders the moment boxes_mu_ is released,
+  // never earlier: a send() racing this attach either misses the map
+  // entry (message dropped, as for any unknown node) or finds a fully
+  // initialized box. Setting `node` before the worker starts keeps the
+  // worker's first delivery safe.
   box.node = &node;
   box.worker = std::thread([this, &box] { worker_loop(box); });
 }
 
 void ThreadBus::detach(NodeId id) {
-  std::unique_ptr<Box> box;
+  std::shared_ptr<Box> box;
   {
     std::lock_guard lock(boxes_mu_);
     auto it = boxes_.find(id);
@@ -34,17 +39,17 @@ void ThreadBus::detach(NodeId id) {
 }
 
 void ThreadBus::send(NodeId from, NodeId to, Bytes msg) {
-  Box* box = nullptr;
+  std::shared_ptr<Box> box;
   {
     std::lock_guard lock(boxes_mu_);
     auto it = boxes_.find(to);
     if (it == boxes_.end()) return;  // unknown destination: dropped
-    box = it->second.get();
+    box = it->second;
   }
-  // The box itself is never deleted while workers may still reference it
-  // (stop()/detach() join first), so using the raw pointer here is safe
-  // as long as callers do not race send() with detach() of the same node,
-  // which the usage contract forbids.
+  // The shared_ptr keeps the box alive across the enqueue even if the
+  // node detaches (and its worker joins) concurrently; a box marked
+  // stopping simply drops the message, matching the unknown-destination
+  // case.
   {
     std::lock_guard lock(box->mu);
     if (box->stopping) return;
@@ -71,7 +76,7 @@ void ThreadBus::worker_loop(Box& box) {
 }
 
 void ThreadBus::stop() {
-  std::unordered_map<NodeId, std::unique_ptr<Box>> boxes;
+  std::unordered_map<NodeId, std::shared_ptr<Box>> boxes;
   {
     std::lock_guard lock(boxes_mu_);
     if (stopped_) return;

@@ -27,10 +27,17 @@ namespace faust::rt {
 
 /// Multi-threaded message bus implementing net::Transport.
 ///
-/// Usage: attach all nodes, exchange traffic, then destroy (or stop());
+/// Usage: attach nodes, exchange traffic, then destroy (or stop());
 /// destruction joins all delivery threads after draining is abandoned.
-/// attach() must not race with send() for the same node id — attach
-/// everything first, as the tests do.
+///
+/// Attach/detach are safe at any point, including while traffic is
+/// already flowing from other threads: the node table is mutated under a
+/// lock, a message sent before its destination attaches is dropped
+/// (exactly like a send to an unknown node), and a box stays alive —
+/// shared ownership — until every in-flight send() that resolved it has
+/// let go, so detach never frees state under a concurrent sender.
+/// Re-attaching a live id is a usage error and fails loudly
+/// (FAUST_CHECK), as does attaching after stop().
 class ThreadBus : public net::Transport {
  public:
   ThreadBus() = default;
@@ -69,7 +76,9 @@ class ThreadBus : public net::Transport {
   void worker_loop(Box& box);
 
   mutable std::mutex boxes_mu_;  // guards the map structure only
-  std::unordered_map<NodeId, std::unique_ptr<Box>> boxes_;
+  // shared_ptr: a sender that resolved a box keeps it alive across the
+  // enqueue even if the node detaches concurrently (see class comment).
+  std::unordered_map<NodeId, std::shared_ptr<Box>> boxes_;
   std::atomic<std::uint64_t> delivered_{0};
   bool stopped_ = false;
 };

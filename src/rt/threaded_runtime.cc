@@ -1,0 +1,124 @@
+#include "rt/threaded_runtime.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace faust::rt {
+
+ThreadedRuntime::ThreadedRuntime(ThreadedRuntimeConfig config)
+    : config_(config), paused_(config.start_paused) {
+  worker_ = std::thread([this] { worker_loop(); });
+  thread_id_ = worker_.get_id();
+}
+
+ThreadedRuntime::~ThreadedRuntime() { stop(); }
+
+exec::EventId ThreadedRuntime::after(Time delay, Task task) {
+  std::lock_guard lock(mu_);
+  if (stopping_) return 0;
+  // From the runtime thread, now_ is the deadline of the executing event,
+  // so relative timers compose exactly as in the simulator; from outside,
+  // it is the latest executed deadline — "delay from current progress".
+  const Time when = now_.load(std::memory_order_relaxed) + delay;
+  const EventId id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id, std::move(task)});
+  alive_.insert(id);
+  cv_.notify_one();
+  return id;
+}
+
+exec::EventId ThreadedRuntime::at(Time when, Task task) {
+  std::lock_guard lock(mu_);
+  if (stopping_) return 0;
+  when = std::max(when, now_.load(std::memory_order_relaxed));
+  const EventId id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id, std::move(task)});
+  alive_.insert(id);
+  cv_.notify_one();
+  return id;
+}
+
+void ThreadedRuntime::cancel(EventId id) {
+  if (id == 0) return;
+  std::lock_guard lock(mu_);
+  if (stopping_) return;
+  // Lazy cancellation, as in the simulator: the tombstone is reclaimed
+  // when the entry reaches the front of the queue. The alive_ guard keeps
+  // cancels of already-run (or already-cancelled) ids — e.g. a timer task
+  // cancelling its own event id — from leaking permanent tombstones.
+  if (alive_.erase(id) > 0) cancelled_.insert(id);
+}
+
+void ThreadedRuntime::start() {
+  std::lock_guard lock(mu_);
+  if (paused_) start_ = std::chrono::steady_clock::now();  // re-anchor pacing
+  paused_ = false;
+  cv_.notify_all();
+}
+
+void ThreadedRuntime::stop() {
+  FAUST_CHECK(!on_runtime_thread());  // joining yourself deadlocks
+  {
+    std::lock_guard lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+  std::lock_guard lock(mu_);
+  while (!queue_.empty()) queue_.pop();  // undelivered events are dropped
+  alive_.clear();
+  cancelled_.clear();
+  idle_cv_.notify_all();
+}
+
+void ThreadedRuntime::drain() {
+  std::unique_lock lock(mu_);
+  idle_cv_.wait(lock, [this] { return stopping_ || (queue_.empty() && !busy_); });
+}
+
+void ThreadedRuntime::worker_loop() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    if (stopping_) return;
+    if (paused_ || queue_.empty()) {
+      idle_cv_.notify_all();
+      cv_.wait(lock, [this] { return stopping_ || (!paused_ && !queue_.empty()); });
+      continue;
+    }
+    if (cancelled_.erase(queue_.top().id) > 0) {
+      queue_.pop();
+      continue;
+    }
+    if (config_.tick.count() > 0) {
+      // Pace against the monotonic clock. A newly scheduled earlier event
+      // or stop() notifies cv_, so the wait re-evaluates with the new
+      // front of the queue.
+      const auto due = start_ + queue_.top().when * config_.tick;
+      if (std::chrono::steady_clock::now() < due) {
+        cv_.wait_until(lock, due);
+        continue;
+      }
+    }
+    Event ev{queue_.top().when, queue_.top().seq, queue_.top().id,
+             std::move(queue_.top().task)};
+    queue_.pop();
+    alive_.erase(ev.id);
+    // Sole writer of now_: inserts clamp to >= now_, so popped deadlines
+    // are non-decreasing and a plain store keeps it monotonic.
+    if (ev.when > now_.load(std::memory_order_relaxed)) {
+      now_.store(ev.when, std::memory_order_release);
+    }
+    busy_ = true;
+    lock.unlock();
+    ev.task();  // may re-enter after/at/cancel
+    ev.task = nullptr;  // release captures outside the lock
+    executed_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+    busy_ = false;
+  }
+}
+
+}  // namespace faust::rt

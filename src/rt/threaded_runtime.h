@@ -1,0 +1,141 @@
+// A real (non-simulated) exec::Executor: one OS thread owning a
+// monotonic-clock timer wheel and a run-ASAP task queue.
+//
+// This is the execution substrate of the threaded shard mode
+// (ShardedCluster ExecMode::kThreaded): each shard's whole deployment —
+// network fabric, mailbox, server, FaustClients and their timers — is
+// bound to one ThreadedRuntime, so every event of that shard runs on that
+// shard's thread. Per-node handler serialization (the net::Node contract)
+// holds trivially, the single-threaded protocol objects run unchanged,
+// and S shards saturate S cores. It is the same move ThreadBus makes for
+// message delivery (one thread per mailbox), lifted to the executor seam
+// so timers come along.
+//
+// Time model: deadlines are in abstract ticks, exactly as in
+// sim::Scheduler. `tick` configures what a tick means against the
+// monotonic clock:
+//   * tick == 0 (default): deadlines order execution but cost no real
+//     time — the thread drains events in (deadline, schedule order) as
+//     fast as it can, advancing its virtual now() to each executed
+//     deadline. This is virtual time per runtime: protocol timers (probe
+//     intervals, dummy-read periods) keep their relative semantics while
+//     wall-clock throughput is limited only by compute.
+//   * tick > 0: an event with deadline `when` does not run before
+//     start + when*tick on the monotonic clock (timers pace real time).
+//
+// Thread-safety: now/after/at/cancel/post may be called from any thread;
+// tasks run only on the runtime thread, never concurrently. After stop()
+// every scheduling call is a harmless no-op, which is what lets protocol
+// objects cancel their timers during teardown after the thread is gone.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_set>
+
+#include "exec/executor.h"
+
+namespace faust::rt {
+
+/// Knobs for a ThreadedRuntime.
+struct ThreadedRuntimeConfig {
+  /// Real duration of one tick (see file comment). 0 = fast-forward.
+  std::chrono::nanoseconds tick{0};
+  /// When true the thread starts parked and runs nothing until start():
+  /// lets a harness construct a whole deployment (attach nodes, arm
+  /// timers) before any event can fire. ShardedCluster relies on this.
+  bool start_paused = false;
+};
+
+/// Single-threaded executor over the monotonic clock (see file comment).
+class ThreadedRuntime final : public exec::Executor {
+ public:
+  using Time = exec::Time;
+  using EventId = exec::EventId;
+
+  explicit ThreadedRuntime(ThreadedRuntimeConfig config = {});
+  ~ThreadedRuntime() override;  // stop()s and joins
+
+  ThreadedRuntime(const ThreadedRuntime&) = delete;
+  ThreadedRuntime& operator=(const ThreadedRuntime&) = delete;
+
+  // exec::Executor -----------------------------------------------------
+
+  /// Ticks: the largest deadline executed so far (virtual time, advanced
+  /// event by event like the simulator's clock).
+  Time now() const override { return now_.load(std::memory_order_acquire); }
+
+  EventId after(Time delay, Task task) override;
+  EventId at(Time when, Task task) override;
+  void cancel(EventId id) override;
+
+  // Lifecycle ----------------------------------------------------------
+
+  /// Releases a runtime constructed with start_paused. Idempotent.
+  void start();
+
+  /// Signals the thread to finish the task in flight, drops everything
+  /// still queued, and joins. Idempotent; must not be called from the
+  /// runtime thread itself. After stop() the executor accepts and
+  /// discards all scheduling calls.
+  void stop();
+
+  /// Blocks until the queue is empty and no task is running. Only
+  /// meaningful while external posters are quiescent and no task rearms
+  /// itself unconditionally (a self-rearming timer never drains).
+  void drain();
+
+  /// True when called from the runtime's own thread (tasks may assert
+  /// they were marshalled correctly).
+  bool on_runtime_thread() const { return std::this_thread::get_id() == thread_id_; }
+
+  /// Tasks executed since construction (diagnostics).
+  std::uint64_t executed() const { return executed_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t seq;  // tie-breaker: schedule order
+    EventId id;
+    // max-heap: invert for earliest-first, FIFO within a deadline.
+    bool operator<(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+    mutable Task task;  // moved out at pop time (top() is const)
+  };
+
+  void worker_loop();
+
+  const ThreadedRuntimeConfig config_;
+
+  mutable std::mutex mu_;
+  // Pacing anchor for tick > 0: tick 0 of the deadline clock. Anchored
+  // when the runtime first runs (construction, or start() for a paused
+  // runtime) so assembly time under start_paused never counts against
+  // deadlines. Guarded by mu_.
+  std::chrono::steady_clock::time_point start_ = std::chrono::steady_clock::now();
+  std::condition_variable cv_;       // wakes the worker
+  std::condition_variable idle_cv_;  // wakes drain()
+  std::priority_queue<Event> queue_;
+  std::unordered_set<EventId> alive_;      // scheduled, not yet run/cancelled
+  std::unordered_set<EventId> cancelled_;  // cancelled but still in queue_
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  bool paused_;
+  bool stopping_ = false;
+  bool busy_ = false;  // a task is running
+
+  std::atomic<Time> now_{0};
+  std::atomic<std::uint64_t> executed_{0};
+
+  std::thread worker_;
+  std::thread::id thread_id_;
+};
+
+}  // namespace faust::rt

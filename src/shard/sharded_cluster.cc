@@ -1,5 +1,8 @@
 #include "shard/sharded_cluster.h"
 
+#include <algorithm>
+#include <thread>
+
 #include "common/check.h"
 #include "common/rng.h"
 
@@ -8,14 +11,60 @@ namespace faust::shard {
 ShardedCluster::ShardedCluster(ShardedClusterConfig config)
     : config_(config), router_(config.shards, config.seed) {
   FAUST_CHECK(config_.shards >= 1);
+
+  // Per-shard cache sizing (ROADMAP): each shard's caches see only the
+  // keys homed there, so the capacity a single deployment needs can be
+  // divided by the shard factor without losing hits — but never below
+  // the fixed per-deployment working set floor (PERF.md).
+  verify_cache_entries_ =
+      config_.verify_cache_entries != 0
+          ? config_.verify_cache_entries
+          : std::max(kMinVerifyCacheEntries,
+                     config_.shard_template.faust.verify_cache_entries / config_.shards);
+
+  if (threaded()) {
+    // Paused until every shard is fully assembled: an armed FaustClient
+    // timer must not fire (and start sending through a shard's network)
+    // while later shards — or later clients of the same shard — are
+    // still being constructed on this thread.
+    runtimes_.reserve(config_.shards);
+    for (std::size_t s = 0; s < config_.shards; ++s) {
+      rt::ThreadedRuntimeConfig rc;
+      rc.tick = config_.tick;
+      rc.start_paused = true;
+      runtimes_.push_back(std::make_unique<rt::ThreadedRuntime>(rc));
+    }
+  }
+
   Rng root(config_.seed);
   shards_.reserve(config_.shards);
   for (std::size_t s = 0; s < config_.shards; ++s) {
     ClusterConfig c = config_.shard_template;
     c.seed = root.next_u64();  // independent delays & keys per shard
-    c.scheduler = &sched_;     // co-scheduled: one deterministic clock
+    c.executor = threaded() ? static_cast<exec::Executor*>(runtimes_[s].get())
+                            : static_cast<exec::Executor*>(&sched_);
+    c.faust.verify_cache_entries = verify_cache_entries_;
     shards_.push_back(std::make_unique<Cluster>(c));
   }
+
+  for (auto& r : runtimes_) r->start();
+}
+
+ShardedCluster::~ShardedCluster() { stop(); }
+
+void ShardedCluster::stop() {
+  for (auto& r : runtimes_) r->stop();
+}
+
+sim::Scheduler& ShardedCluster::sched() {
+  FAUST_CHECK(!threaded());  // a threaded deployment has no central clock
+  return sched_;
+}
+
+exec::Executor& ShardedCluster::shard_exec(std::size_t s) {
+  FAUST_CHECK(s < shards_.size());
+  if (threaded()) return *runtimes_[s];
+  return sched_;
 }
 
 Cluster& ShardedCluster::shard(std::size_t s) {
@@ -29,8 +78,32 @@ const Cluster& ShardedCluster::shard(std::size_t s) const {
 }
 
 bool ShardedCluster::drive(const bool& done, std::size_t step_budget) {
-  sched_.run_while([&done] { return !done; }, step_budget);
+  sched().run_while([&done] { return !done; }, step_budget);
   return done;
+}
+
+bool ShardedCluster::await(const std::atomic<bool>& done, std::chrono::milliseconds timeout) {
+  if (!threaded()) {
+    // One event per microsecond of budget is far beyond any real rate;
+    // the point is a deterministic bound, not wall-clock fidelity.
+    const auto budget = static_cast<std::size_t>(timeout.count()) * 1000;
+    sched().run_while([&done] { return !done.load(std::memory_order_acquire); }, budget);
+    return done.load(std::memory_order_acquire);
+  }
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  // Spin-then-sleep: completions are typically microseconds away (the
+  // shard threads are compute-bound), so yield a while before backing
+  // off to a sleep that caps the polling cost of long waits.
+  int spins = 0;
+  while (!done.load(std::memory_order_acquire)) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    if (++spins < 256) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+  return true;
 }
 
 bool ShardedCluster::any_failed() const {

@@ -1,13 +1,26 @@
-// ShardedCluster — S independent FAUST deployments co-scheduled on ONE
-// sim::Scheduler.
+// ShardedCluster — S independent FAUST deployments, co-scheduled on ONE
+// sim::Scheduler (kDeterministic) or spread over S runtime threads
+// (kThreaded).
 //
 // Each shard is a full Cluster (own network, mailbox, signature scheme,
 // server, n FaustClients): shards share no protocol state and no trust —
 // compromising one shard's server forks at most the keys homed there.
-// Running them on a single scheduler keeps multi-shard scenarios
-// deterministic: a root seed derives every shard's seed, and event order
-// across shards is fixed by the shared virtual clock, so the differential
-// tests can replay the same workload against a single-deployment oracle.
+//
+// Execution modes (the exec::Executor seam makes the shards agnostic):
+//
+//   * kDeterministic — every shard on a single shared sim::Scheduler. A
+//     root seed derives every shard's seed, and event order across shards
+//     is fixed by the shared virtual clock, so the differential tests can
+//     replay the same workload against a single-deployment oracle,
+//     bit-identically.
+//   * kThreaded — every shard on its own rt::ThreadedRuntime (one OS
+//     thread per shard, owning that shard's delivery drain and timer
+//     wheel). Shards share no state, so S shards run on S cores and the
+//     per-op savings of sharding (PERF.md) multiply into wall-clock
+//     throughput. Executions are NOT deterministic across runs; the
+//     differential oracle for this mode checks set-equivalence of the
+//     merged views and history linearizability, not event order
+//     (tests/shard_threaded_test.cc).
 //
 // The scale-out economics (PERF.md "Sharding"): every per-operation cost
 // that grows with the keyspace — partition encode/decode, value hashing
@@ -16,59 +29,121 @@
 // there.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <vector>
 
 #include "faust/cluster.h"
+#include "rt/threaded_runtime.h"
 #include "shard/shard_router.h"
 
 namespace faust::shard {
+
+/// How the S deployments execute (see file comment).
+enum class ExecMode {
+  kDeterministic,  // one shared sim::Scheduler, bit-identical replays
+  kThreaded,       // one rt::ThreadedRuntime (OS thread) per shard
+};
 
 /// Knobs for ShardedCluster assembly.
 struct ShardedClusterConfig {
   std::size_t shards = 2;
   std::uint64_t seed = 1;        // root seed; each shard's is derived from it
+  ExecMode mode = ExecMode::kDeterministic;
+  /// kThreaded only: real duration of one tick on each shard's runtime
+  /// (0 = fast-forward; see rt::ThreadedRuntime).
+  std::chrono::nanoseconds tick{0};
+  /// Per-shard VerifyCache capacity. 0 = auto: size the template capacity
+  /// down to the per-shard working set (PERF.md "Per-shard cache
+  /// sizing"), never below kMinVerifyCacheEntries.
+  std::size_t verify_cache_entries = 0;
   /// Per-shard template: n, delays and FAUST timers are applied to every
-  /// shard; `seed` and `scheduler` in here are overridden.
+  /// shard; `seed` and `executor` in here are overridden (and
+  /// `faust.verify_cache_entries` is re-sized per shard, see above).
   ClusterConfig shard_template;
 };
 
 /// S co-scheduled deployments plus the routing table over them.
 class ShardedCluster {
  public:
+  /// Floor for the auto-sized per-shard VerifyCache: must stay above the
+  /// steady-state working set of one shard's deployment — O(n²) signed
+  /// versions + O(n) proofs + O(n) data signatures (PERF.md).
+  static constexpr std::size_t kMinVerifyCacheEntries = 512;
+
   explicit ShardedCluster(ShardedClusterConfig config = {});
+
+  /// Threaded mode: stop()s every runtime. Any ShardedKvClient bound to
+  /// this deployment must be destroyed (or quiescent) first — see
+  /// ShardedKvClient's destructor contract.
+  ~ShardedCluster();
 
   ShardedCluster(const ShardedCluster&) = delete;
   ShardedCluster& operator=(const ShardedCluster&) = delete;
 
-  sim::Scheduler& sched() { return sched_; }
+  ExecMode mode() const { return config_.mode; }
+  bool threaded() const { return config_.mode == ExecMode::kThreaded; }
+
+  /// The shared simulation scheduler. Deterministic mode only
+  /// (FAUST_CHECKed): a threaded deployment has no central clock.
+  sim::Scheduler& sched();
+
+  /// The executor shard `s` runs on: the shared scheduler in
+  /// deterministic mode, the shard's own runtime in threaded mode.
+  /// Cross-thread work for a shard must be post()ed here.
+  exec::Executor& shard_exec(std::size_t s);
+
   const ShardRouter& router() const { return router_; }
   std::size_t shards() const { return shards_.size(); }
 
   /// Clients per shard (every client has a register in every shard).
   int n() const { return config_.shard_template.n; }
 
+  /// The effective per-shard VerifyCache capacity after auto-sizing.
+  std::size_t verify_cache_entries() const { return verify_cache_entries_; }
+
   Cluster& shard(std::size_t s);
   const Cluster& shard(std::size_t s) const;
 
-  /// Advances virtual time by `d` across every shard.
-  void run_for(sim::Time d) { sched_.run_until(sched_.now() + d); }
+  /// Advances virtual time by `d` across every shard. Deterministic only.
+  void run_for(sim::Time d) { sched().run_until(sched().now() + d); }
 
   /// Drives the shared scheduler until `done` flips or the budget runs
-  /// out; returns the final value of `done`.
+  /// out; returns the final value of `done`. Deterministic only.
   bool drive(const bool& done, std::size_t step_budget = 1'000'000);
 
+  /// Mode-generic completion wait: deterministic — steps the scheduler
+  /// until `done` flips (the timeout bounds *events*, one per ~µs as a
+  /// rough budget); threaded — blocks this thread until the shard
+  /// runtimes flip `done` or the wall-clock timeout expires. Returns the
+  /// final value of `done`.
+  bool await(const std::atomic<bool>& done,
+             std::chrono::milliseconds timeout = std::chrono::seconds(30));
+
+  /// Threaded mode: joins every shard's runtime thread (idempotent,
+  /// no-op in deterministic mode). After this the deployment is frozen:
+  /// no event will ever run again, and cross-thread reads of shard state
+  /// (failure flags, stability cuts, traffic counters) are safe.
+  void stop();
+
   /// fail_i fired anywhere / on every client of every shard.
+  /// Threaded mode: only meaningful at quiescence (or after stop()).
   bool any_failed() const;
   bool all_failed() const;
 
-  /// Aggregate traffic over every shard's fabric.
+  /// Aggregate traffic over every shard's fabric. Same caveat.
   net::ChannelStats total_traffic() const;
 
  private:
   const ShardedClusterConfig config_;
-  sim::Scheduler sched_;
+  std::size_t verify_cache_entries_ = 0;
+  sim::Scheduler sched_;  // deterministic mode's shared clock (else idle)
   ShardRouter router_;
+  // Declared before shards_: destroyed after them. Threads are joined in
+  // ~ShardedCluster (stop()) *before* any member teardown, so no event
+  // can touch a half-destroyed shard.
+  std::vector<std::unique_ptr<rt::ThreadedRuntime>> runtimes_;
   std::vector<std::unique_ptr<Cluster>> shards_;
 };
 

@@ -1,5 +1,7 @@
 #include "shard/sharded_kv_client.h"
 
+#include <atomic>
+#include <thread>
 #include <utility>
 
 #include "common/check.h"
@@ -11,30 +13,26 @@ ShardedKvClient::ShardedKvClient(ShardedCluster& deployment, ClientId id)
   const std::size_t s_count = deployment_.shards();
   kv_.reserve(s_count);
   pending_.resize(s_count);
-  chained_on_fail_.reserve(s_count);
+  chained_on_fail_.resize(s_count);
   for (std::size_t s = 0; s < s_count; ++s) {
-    FaustClient& f = deployment_.shard(s).client(id_);
-    kv_.push_back(std::make_unique<kv::KvClient>(f));
-    // Surface the shard's fail_i through the sharded client, preserving
-    // any handler the harness installed before us, and flush the ops the
-    // halted FaustClient would otherwise leave dangling.
-    chained_on_fail_.push_back(f.on_fail);
-    auto prev = f.on_fail;
-    f.on_fail = [this, s, prev = std::move(prev)](FailureReason reason) {
-      if (prev) prev(reason);
-      settle_failed_shard(s);
-      if (on_fail) on_fail(s, reason);
-    };
+    kv_.push_back(std::make_unique<kv::KvClient>(deployment_.shard(s).client(id_)));
   }
-}
-
-void ShardedKvClient::settle_failed_shard(std::size_t s) {
-  // Detach first: an abort thunk may issue follow-up ops (which now take
-  // the failed-shard fast path) or erase itself via the normal-completion
-  // guard; neither may disturb this iteration.
-  auto aborts = std::move(pending_[s]);
-  pending_[s].clear();
-  for (auto& [id, abort] : aborts) abort();
+  // Surface each shard's fail_i through the sharded client, preserving
+  // any handler the harness installed before us, and flush the ops the
+  // halted FaustClient would otherwise leave dangling. The handler swap
+  // mutates FaustClient state, so it runs on the shard's own thread.
+  for (std::size_t s = 0; s < s_count; ++s) {
+    dispatch_sync(s, [this, s] {
+      FaustClient& f = deployment_.shard(s).client(id_);
+      chained_on_fail_[s] = f.on_fail;
+      auto prev = f.on_fail;
+      f.on_fail = [this, s, prev = std::move(prev)](FailureReason reason) {
+        if (prev) prev(reason);
+        settle_failed_shard(s);
+        if (on_fail) on_fail(s, reason);
+      };
+    });
+  }
 }
 
 ShardedKvClient::~ShardedKvClient() {
@@ -42,15 +40,68 @@ ShardedKvClient::~ShardedKvClient() {
   // lambda remain queued inside the deployment's callback chains and
   // capture `this`. Firing the abort path flips the ticket's fired flag,
   // so a delivery arriving after destruction returns before touching the
-  // dead object (the shared flag outlives us by value capture).
+  // dead object (the shared flag outlives us by value capture). By the
+  // destructor contract the deployment is quiescent (threaded: stopped),
+  // so touching the shards inline is safe here.
   for (std::size_t s = 0; s < kv_.size(); ++s) settle_failed_shard(s);
   for (std::size_t s = 0; s < kv_.size(); ++s) {
     deployment_.shard(s).client(id_).on_fail = std::move(chained_on_fail_[s]);
   }
 }
 
+void ShardedKvClient::dispatch(std::size_t s, std::function<void()> body) {
+  if (deployment_.threaded()) {
+    deployment_.shard_exec(s).post(std::move(body));
+  } else {
+    body();
+  }
+}
+
+void ShardedKvClient::dispatch_sync(std::size_t s, const std::function<void()>& body) {
+  if (!deployment_.threaded()) {
+    body();
+    return;
+  }
+  std::atomic<bool> ran{false};
+  const exec::EventId posted = deployment_.shard_exec(s).post([&body, &ran] {
+    body();
+    ran.store(true, std::memory_order_release);
+  });
+  if (posted == 0) return;  // runtime already stopped: nothing will run
+  while (!ran.load(std::memory_order_acquire)) std::this_thread::yield();
+}
+
+void ShardedKvClient::settle_failed_shard(std::size_t s) {
+  // Detach first: an abort thunk may issue follow-up ops (which now take
+  // the failed-shard fast path) or erase itself via the normal-completion
+  // guard; neither may disturb this iteration — and the thunks relock
+  // mu_, so it cannot be held while they run.
+  std::map<std::uint64_t, std::function<void()>> aborts;
+  {
+    std::lock_guard lock(mu_);
+    aborts = std::move(pending_[s]);
+    pending_[s].clear();
+  }
+  for (auto& [id, abort] : aborts) abort();
+}
+
 void ShardedKvClient::put(std::string key, std::string value, PutHandler done) {
   const std::size_t s = home_shard(key);
+  dispatch(s, [this, s, key = std::move(key), value = std::move(value),
+               done = std::move(done)]() mutable {
+    put_on_shard(s, std::move(key), std::move(value), std::move(done), /*is_erase=*/false);
+  });
+}
+
+void ShardedKvClient::erase(const std::string& key, PutHandler done) {
+  const std::size_t s = home_shard(key);
+  dispatch(s, [this, s, key, done = std::move(done)]() mutable {
+    put_on_shard(s, key, {}, std::move(done), /*is_erase=*/true);
+  });
+}
+
+void ShardedKvClient::put_on_shard(std::size_t s, std::string key, std::string value,
+                                   PutHandler done, bool is_erase) {
   kv::KvClient& kv = *kv_[s];
   if (kv.faust().failed()) {
     // fail_i halted the home shard: the write cannot take effect. Report
@@ -62,43 +113,46 @@ void ShardedKvClient::put(std::string key, std::string value, PutHandler done) {
   // The shard can also fail *mid-operation* (the halted FaustClient drops
   // its callbacks); the pending_ ticket lets settle_failed_shard complete
   // the op with t=0, and the fired flag keeps the two paths idempotent.
-  const std::uint64_t id = ++next_op_;
+  //
+  // The ticket's sequence number is drawn from the cross-shard counter up
+  // front (oracle alignment, see header): every shard's counter trails
+  // seq_, so advance_seq(my_seq - 1) makes this publication use exactly
+  // my_seq — without holding mu_ across the encode/sign work below, which
+  // is what the threaded mode parallelizes.
+  std::uint64_t id, my_seq;
   auto fired = std::make_shared<bool>(false);
-  PutHandler complete = [this, s, id, fired, done = std::move(done)](Timestamp t) {
-    if (*fired) return;
-    *fired = true;
-    pending_[s].erase(id);
-    if (done) done(t);
-  };
-  pending_[s].emplace(id, [complete] { complete(0); });
-  kv.advance_seq(seq_);  // oracle-aligned (see header)
-  kv.put(std::move(key), std::move(value), std::move(complete));
-  seq_ = kv.put_seq();
-}
-
-void ShardedKvClient::erase(const std::string& key, PutHandler done) {
-  const std::size_t s = home_shard(key);
-  kv::KvClient& kv = *kv_[s];
-  if (kv.faust().failed()) {
-    if (done) done(0);
-    return;
+  PutHandler complete;
+  {
+    std::lock_guard lock(mu_);
+    id = ++next_op_;
+    my_seq = ++seq_;
+    complete = [this, s, id, fired, done = std::move(done)](Timestamp t) {
+      {
+        std::lock_guard relock(mu_);
+        if (*fired) return;
+        *fired = true;
+        pending_[s].erase(id);
+      }
+      if (done) done(t);
+    };
+    pending_[s].emplace(id, [complete] { complete(0); });
   }
-  const std::uint64_t id = ++next_op_;
-  auto fired = std::make_shared<bool>(false);
-  PutHandler complete = [this, s, id, fired, done = std::move(done)](Timestamp t) {
-    if (*fired) return;
-    *fired = true;
-    pending_[s].erase(id);
-    if (done) done(t);
-  };
-  pending_[s].emplace(id, [complete] { complete(0); });
-  kv.advance_seq(seq_);
-  kv.erase(key, std::move(complete));
-  seq_ = kv.put_seq();
+  kv.advance_seq(my_seq - 1);
+  if (is_erase) {
+    kv.erase(key, std::move(complete));
+  } else {
+    kv.put(std::move(key), std::move(value), std::move(complete));
+  }
 }
 
 void ShardedKvClient::get(const std::string& key, GetHandler done) {
   const std::size_t s = home_shard(key);
+  dispatch(s, [this, s, key, done = std::move(done)]() mutable {
+    get_on_shard(s, key, std::move(done));
+  });
+}
+
+void ShardedKvClient::get_on_shard(std::size_t s, const std::string& key, GetHandler done) {
   kv::KvClient& kv = *kv_[s];
   if (kv.faust().failed()) {
     ShardedGetResult r;
@@ -107,21 +161,28 @@ void ShardedKvClient::get(const std::string& key, GetHandler done) {
     done(r);
     return;
   }
-  const std::uint64_t id = ++next_op_;
+  std::uint64_t id;
   auto fired = std::make_shared<bool>(false);
-  auto complete = [this, s, id, fired,
-                   done = std::move(done)](const ShardedGetResult& r) {
-    if (*fired) return;
-    *fired = true;
-    pending_[s].erase(id);
-    done(r);
-  };
-  pending_[s].emplace(id, [s, complete] {
-    ShardedGetResult r;
-    r.shard = s;
-    r.shard_failed = true;
-    complete(r);
-  });
+  std::function<void(const ShardedGetResult&)> complete;
+  {
+    std::lock_guard lock(mu_);
+    id = ++next_op_;
+    complete = [this, s, id, fired, done = std::move(done)](const ShardedGetResult& r) {
+      {
+        std::lock_guard relock(mu_);
+        if (*fired) return;
+        *fired = true;
+        pending_[s].erase(id);
+      }
+      done(r);
+    };
+    pending_[s].emplace(id, [s, complete] {
+      ShardedGetResult r;
+      r.shard = s;
+      r.shard_failed = true;
+      complete(r);
+    });
+  }
   kv.get(key, [&kv, s, complete](std::optional<kv::KvEntry> e) {
     ShardedGetResult r;
     r.entry = std::move(e);
@@ -136,30 +197,32 @@ void ShardedKvClient::list(ListHandler done) {
   auto fan = std::make_shared<Fan>();
   fan->result.complete = true;
   fan->done = std::move(done);
-  // Count the live shards before issuing anything, so an early synchronous
-  // completion cannot fire the handler while later shards are still being
-  // dispatched.
-  std::vector<std::size_t> live;
-  live.reserve(kv_.size());
+  // Every shard gets a slot before anything is dispatched, so an early
+  // completion (a failed shard reports synchronously when inline) cannot
+  // fire the handler while later shards are still being dispatched.
+  fan->waiting = kv_.size();
   for (std::size_t s = 0; s < kv_.size(); ++s) {
-    if (kv_[s]->faust().failed()) {
-      fan->result.complete = false;
-    } else {
-      live.push_back(s);
-    }
+    dispatch(s, [this, s, fan] { list_on_shard(s, fan); });
   }
-  fan->waiting = live.size();
-  if (live.empty()) {
-    fan->done(fan->result);
-    return;
+}
+
+void ShardedKvClient::list_on_shard(std::size_t s, const std::shared_ptr<Fan>& fan) {
+  std::uint64_t id = 0;
+  {
+    std::lock_guard lock(mu_);
+    id = ++next_op_;
   }
-  for (const std::size_t s : live) {
-    const std::uint64_t id = ++next_op_;
-    auto fired = std::make_shared<bool>(false);
-    // ok=false: the shard failed mid-list — its keys are missing, but the
-    // healthy shards' results must still be delivered.
-    auto finish = [this, s, id, fired, fan](bool ok,
-                                            const std::map<std::string, kv::KvEntry>* m) {
+  auto fired = std::make_shared<bool>(false);
+  // ok=false: the shard failed — its keys are missing, but the healthy
+  // shards' results must still be delivered. The fan state is shared
+  // across shard threads, so it is folded under mu_; the user handler
+  // fires outside the lock, from whichever shard finishes last.
+  auto finish = [this, s, id, fired, fan](bool ok,
+                                          const std::map<std::string, kv::KvEntry>* m) {
+    ListHandler done_now;
+    ShardedListResult result_now;
+    {
+      std::lock_guard lock(mu_);
       if (*fired) return;
       *fired = true;
       pending_[s].erase(id);
@@ -173,11 +236,23 @@ void ShardedKvClient::list(ListHandler done) {
       } else {
         fan->result.complete = false;
       }
-      if (--fan->waiting == 0) fan->done(fan->result);
-    };
-    pending_[s].emplace(id, [finish] { finish(false, nullptr); });
-    kv_[s]->list([finish](const std::map<std::string, kv::KvEntry>& m) { finish(true, &m); });
+      if (--fan->waiting == 0) {
+        done_now = std::move(fan->done);
+        result_now = std::move(fan->result);
+      }
+    }
+    if (done_now) done_now(result_now);
+  };
+  kv::KvClient& kv = *kv_[s];
+  if (kv.faust().failed()) {
+    finish(false, nullptr);
+    return;
   }
+  {
+    std::lock_guard lock(mu_);
+    pending_[s].emplace(id, [finish] { finish(false, nullptr); });
+  }
+  kv.list([finish](const std::map<std::string, kv::KvEntry>& m) { finish(true, &m); });
 }
 
 bool ShardedKvClient::any_shard_failed() const {

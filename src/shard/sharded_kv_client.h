@@ -4,15 +4,28 @@
 // Routing: a key's home shard is fixed by the deployment's ShardRouter;
 // puts and gets go only to the home shard, list fans out to every shard
 // concurrently and merges (each shard's read pipeline advances
-// independently on the shared scheduler, so a full list costs ~one
-// shard's latency, not S of them).
+// independently, so a full list costs ~one shard's latency, not S of
+// them).
+//
+// Execution modes: in a kDeterministic deployment every operation runs
+// inline on the caller's thread, exactly as before the executor seam. In
+// a kThreaded deployment each operation's body is post()ed onto the home
+// shard's runtime (list: onto every shard's runtime), so the protocol
+// objects are only ever touched by their owning shard thread; completion
+// handlers therefore run on shard threads, and concurrent completions
+// from different shards merge under an internal mutex. Operations may be
+// issued from any one caller thread; the object itself is not a
+// multi-producer API (one logical client = one issuing thread, matching
+// the paper's well-formed executions).
 //
 // Oracle equivalence: each per-shard kv::KvClient keeps its own put
-// counter, but conflict winners are chosen by (seq, writer) — so the
-// counters are synced to a single cross-shard op counter before every
-// put/erase (KvClient::advance_seq). The merged sharded view is then
-// key-for-key identical to one un-sharded deployment replaying the same
-// ops, which is exactly what tests/shard_differential_test.cc checks.
+// counter, but conflict winners are chosen by (seq, writer) — so every
+// put/erase draws a ticket from a single cross-shard op counter and
+// aligns the home shard's counter to it (KvClient::advance_seq). The
+// merged sharded view is then key-for-key identical to one un-sharded
+// deployment replaying the same ops, which is exactly what
+// tests/shard_differential_test.cc checks (and its threaded sibling
+// checks as set-equivalence at quiescent points).
 //
 // Fail-aware semantics aggregate across shards:
 //   * fail_i on ANY shard surfaces through `on_fail(shard, reason)`, and
@@ -30,6 +43,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -73,15 +87,18 @@ class ShardedKvClient {
   /// are never silently dropped. Like a plain KvClient, the object must
   /// not be destroyed and the deployment then stepped further while its
   /// underlying FAUST ops are still pending — tear client and deployment
-  /// down together (or drain first).
+  /// down together (or drain first). Threaded deployments must be
+  /// stop()ped (or quiescent) before this destructor runs: it restores
+  /// handler chains the shard threads would otherwise be reading.
   ~ShardedKvClient();
 
   ShardedKvClient(const ShardedKvClient&) = delete;
   ShardedKvClient& operator=(const ShardedKvClient&) = delete;
 
   /// Upserts key := value in the key's home shard. `done(t)` delivers the
-  /// home-shard register-write timestamp — or 0 immediately if that shard
-  /// already failed.
+  /// home-shard register-write timestamp — or 0 if that shard already
+  /// failed (immediately when inline; from the shard thread when
+  /// threaded).
   void put(std::string key, std::string value, PutHandler done = {});
 
   /// Removes this client's entry for `key` from its home shard.
@@ -95,18 +112,22 @@ class ShardedKvClient {
   void list(ListHandler done);
 
   /// fail_i of any shard's underlying FaustClient, with the shard index.
+  /// Threaded mode: invoked on the failing shard's thread; install it
+  /// before traffic starts and treat it as a cross-thread callback.
   FailHandler on_fail;
 
   std::size_t home_shard(std::string_view key) const {
     return deployment_.router().shard_of(key);
   }
 
+  /// Threaded mode: meaningful only at quiescence (no op in flight).
   bool any_shard_failed() const;
   std::vector<std::size_t> failed_shards() const;
 
   /// True iff the result's observing reads are covered by the home
   /// shard's stability cut — the merged value is then in the linearizable
   /// prefix of that shard (Def. 5 item 6) and can never be rolled back.
+  /// Threaded mode: meaningful only at quiescence.
   bool stable(const ShardedGetResult& r) const;
 
   /// The fully-stable timestamp of this client in shard `s`.
@@ -115,26 +136,48 @@ class ShardedKvClient {
   ClientId id() const { return id_; }
   std::size_t shards() const { return kv_.size(); }
 
-  /// The per-shard KV client (tests inspect partitions and counters).
+  /// The per-shard KV client (tests inspect partitions and counters; in
+  /// threaded mode only from the shard's thread or at quiescence).
   kv::KvClient& shard_kv(std::size_t s) { return *kv_[s]; }
 
  private:
-  /// Fan-out accumulator for list().
+  /// Fan-out accumulator for list(); mutated under mu_.
   struct Fan {
     ShardedListResult result;
     std::size_t waiting = 0;
     ListHandler done;
   };
 
+  /// Runs `body` on shard `s`'s executor thread: inline when the
+  /// deployment is deterministic (single-threaded), post()ed when
+  /// threaded. All protocol-object access funnels through this.
+  void dispatch(std::size_t s, std::function<void()> body);
+
+  /// Posts `body` to shard `s` and waits for it to run (threaded), or
+  /// runs it inline (deterministic). Construction-time only.
+  void dispatch_sync(std::size_t s, const std::function<void()>& body);
+
+  // Operation bodies; always run on shard `s`'s thread.
+  void put_on_shard(std::size_t s, std::string key, std::string value, PutHandler done,
+                    bool is_erase);
+  void get_on_shard(std::size_t s, const std::string& key, GetHandler done);
+  void list_on_shard(std::size_t s, const std::shared_ptr<Fan>& fan);
+
   /// Completes every op still in flight on shard `s` with its failure
   /// outcome. fail_i mid-operation halts the FaustClient and drops its
   /// queued callbacks, so without this flush a handler dispatched before
   /// the detection would never fire (and a list() would discard the
-  /// healthy shards' results).
+  /// healthy shards' results). Runs on shard `s`'s thread (or at
+  /// teardown, when nothing else runs).
   void settle_failed_shard(std::size_t s);
 
   ShardedCluster& deployment_;
   const ClientId id_;
+
+  /// Guards seq_, next_op_, pending_ and Fan state: the only state shared
+  /// across shard threads. Never held across a protocol call or a user
+  /// handler.
+  std::mutex mu_;
   std::uint64_t seq_ = 0;      // cross-shard op counter (oracle-aligned)
   std::uint64_t next_op_ = 0;  // in-flight op ids (pending_ keys)
   std::vector<std::unique_ptr<kv::KvClient>> kv_;          // [shard]

@@ -1,5 +1,6 @@
 #include "sim/scheduler.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.h"
@@ -9,7 +10,7 @@ namespace faust::sim {
 EventId Scheduler::after(Time delay, Task task) { return at(now_ + delay, std::move(task)); }
 
 EventId Scheduler::at(Time when, Task task) {
-  FAUST_CHECK(when >= now_);
+  when = std::max(when, now_);  // Executor contract: the past runs ASAP
   const EventId id = next_id_++;
   queue_.push(Event{when, next_seq_++, id, std::move(task)});
   alive_.insert(id);

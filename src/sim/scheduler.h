@@ -16,34 +16,41 @@
 #include <queue>
 #include <unordered_set>
 
+#include "exec/executor.h"
+
 namespace faust::sim {
 
-/// Virtual time, in ticks since the start of the run.
-using Time = std::uint64_t;
+/// Virtual time, in ticks since the start of the run (the executor seam's
+/// abstract ticks — one and the same type).
+using Time = exec::Time;
 
 /// Handle for cancelling a scheduled event.
-using EventId = std::uint64_t;
+using EventId = exec::EventId;
 
-/// Deterministic event loop over virtual time.
+/// Deterministic event loop over virtual time; the exec::Executor
+/// implementation used by everything that must replay bit-identically.
 ///
 /// Events scheduled for the same tick run in schedule order (FIFO), which
 /// keeps executions reproducible without a tie-breaking RNG.
-class Scheduler {
+///
+/// Single-threaded: all member calls (including those of the Executor
+/// interface) must come from the one thread that steps the loop.
+class Scheduler final : public exec::Executor {
  public:
-  using Task = std::function<void()>;
+  using Task = exec::Executor::Task;
 
   /// Current virtual time. Starts at 0.
-  Time now() const { return now_; }
+  Time now() const override { return now_; }
 
   /// Schedules `task` to run `delay` ticks from now. Returns an id usable
   /// with `cancel`.
-  EventId after(Time delay, Task task);
+  EventId after(Time delay, Task task) override;
 
   /// Schedules `task` at absolute virtual time `when` (>= now()).
-  EventId at(Time when, Task task);
+  EventId at(Time when, Task task) override;
 
   /// Cancels a pending event; no-op if it already ran or was cancelled.
-  void cancel(EventId id);
+  void cancel(EventId id) override;
 
   /// Runs the next pending event, advancing virtual time to it.
   /// Returns false if no events are pending.

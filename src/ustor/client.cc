@@ -15,10 +15,10 @@ bool same_bytes(BytesView a, BytesView b) {
 }  // namespace
 
 Client::Client(ClientId id, int n, std::shared_ptr<const crypto::SignatureScheme> sigs,
-               net::Transport& net, NodeId server)
+               net::Transport& net, NodeId server, std::size_t verify_cache_entries)
     : id_(id),
       n_(n),
-      sigs_(std::make_shared<crypto::VerifyCache>(std::move(sigs))),
+      sigs_(std::make_shared<crypto::VerifyCache>(std::move(sigs), verify_cache_entries)),
       net_(net),
       server_(server),
       version_(n),

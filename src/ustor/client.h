@@ -76,8 +76,11 @@ class Client : public net::Node {
 
   /// `id` ∈ [1, n]. The signature scheme is shared by all clients (and is
   /// never given to the server). `server` is the server's node id.
+  /// `verify_cache_entries` bounds the VerifyCache this client wraps the
+  /// scheme in (see crypto/verify_cache.h for the eviction policy).
   Client(ClientId id, int n, std::shared_ptr<const crypto::SignatureScheme> sigs,
-         net::Transport& net, NodeId server = kServerNode);
+         net::Transport& net, NodeId server = kServerNode,
+         std::size_t verify_cache_entries = 4096);
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;

@@ -76,6 +76,77 @@ TEST(ThreadBus, SendToUnknownNodeIsDropped) {
   EXPECT_EQ(bus.delivered(), 0u);
 }
 
+TEST(ThreadBus, AttachAfterTrafficHasStartedIsSafe) {
+  // Regression for the historical attach-vs-send contract ("attach
+  // everything first"): attaching a node while other threads are already
+  // hammering the bus must be safe. Messages sent before the attach are
+  // dropped like any unknown-destination send; everything sent after the
+  // attach returns must be delivered.
+  ThreadBus bus;
+  class Counter : public net::Node {
+   public:
+    void on_message(NodeId, BytesView) override { ++received; }
+    std::atomic<int> received{0};
+  } early, late;
+  bus.attach(1, early);
+
+  std::atomic<bool> stop_producers{false};
+  std::atomic<int> sent_to_2_after_attach{0};
+  std::atomic<bool> attached_2{false};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 3; ++t) {
+    producers.emplace_back([&] {
+      while (!stop_producers.load(std::memory_order_acquire)) {
+        bus.send(1, 1, to_bytes("x"));
+        // Sample the flag BEFORE sending: only a send that *began* after
+        // the attach completed is guaranteed delivery.
+        const bool counted = attached_2.load(std::memory_order_acquire);
+        bus.send(1, 2, to_bytes("y"));  // unknown at first, then live
+        if (counted) sent_to_2_after_attach.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Let traffic flow, then attach node 2 mid-fire.
+  while (early.received.load() < 200) std::this_thread::yield();
+  bus.attach(2, late);
+  attached_2.store(true, std::memory_order_release);
+  while (sent_to_2_after_attach.load() < 200) std::this_thread::yield();
+  stop_producers.store(true, std::memory_order_release);
+  for (auto& p : producers) p.join();
+  bus.drain();
+  bus.stop();
+
+  // Every send that *began* after the attach returned must have landed;
+  // racing sends may add more on top, never fewer.
+  EXPECT_GE(late.received.load(), sent_to_2_after_attach.load());
+  EXPECT_GT(early.received.load(), 0);
+}
+
+TEST(ThreadBus, DetachUnderFireDropsButNeverCrashes) {
+  // The other half of the hardening: a sender that resolved the box keeps
+  // it alive (shared ownership), so detach while sends are in flight
+  // drops messages instead of freeing state under the sender.
+  for (int round = 0; round < 20; ++round) {
+    ThreadBus bus;
+    class Sink : public net::Node {
+     public:
+      void on_message(NodeId, BytesView) override { ++received; }
+      std::atomic<int> received{0};
+    } sink;
+    bus.attach(7, sink);
+    std::atomic<bool> stop{false};
+    std::thread producer([&] {
+      while (!stop.load(std::memory_order_acquire)) bus.send(1, 7, to_bytes("m"));
+    });
+    while (sink.received.load() == 0) std::this_thread::yield();
+    bus.detach(7);  // mid-fire
+    stop.store(true, std::memory_order_release);
+    producer.join();
+    bus.stop();
+  }
+  SUCCEED();
+}
+
 TEST(ThreadBus, StopIsIdempotentAndJoins) {
   ThreadBus bus;
   Echo a(bus);

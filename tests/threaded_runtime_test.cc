@@ -1,0 +1,249 @@
+// rt::ThreadedRuntime semantics: the executor-seam contract (deadline
+// order, FIFO within a deadline, cancel, virtual now()), the monotonic
+// pacing mode, cross-thread posting, pause/stop lifecycle — and the
+// paper's whole FAUST stack running unchanged on a runtime thread, which
+// is the point of the seam.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "exec/executor.h"
+#include "faust/cluster.h"
+#include "rt/threaded_runtime.h"
+#include "sim/scheduler.h"
+
+namespace faust::rt {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Spin until `flag` (set on the runtime thread) or a generous deadline.
+bool await_flag(const std::atomic<bool>& flag, std::chrono::milliseconds timeout = 10s) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!flag.load(std::memory_order_acquire)) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::yield();
+  }
+  return true;
+}
+
+TEST(ThreadedRuntime, DeadlineOrderFifoWithinDeadline) {
+  ThreadedRuntimeConfig cfg;
+  cfg.start_paused = true;  // freeze so the schedule order is ours to pick
+  ThreadedRuntime rt(cfg);
+
+  std::vector<int> order;  // written only on the runtime thread
+  rt.after(200, [&] { order.push_back(3); });
+  rt.after(100, [&] { order.push_back(1); });
+  rt.after(200, [&] { order.push_back(4); });  // same deadline: after 3
+  rt.after(150, [&] { order.push_back(2); });
+  std::atomic<bool> done{false};
+  rt.after(300, [&] { done.store(true, std::memory_order_release); });
+
+  rt.start();
+  ASSERT_TRUE(await_flag(done));
+  rt.stop();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(rt.now(), 300u) << "now() must advance to the last executed deadline";
+  EXPECT_EQ(rt.executed(), 5u);
+}
+
+TEST(ThreadedRuntime, CancelPreventsExecution) {
+  ThreadedRuntimeConfig cfg;
+  cfg.start_paused = true;
+  ThreadedRuntime rt(cfg);
+
+  std::atomic<bool> cancelled_ran{false};
+  std::atomic<bool> done{false};
+  const exec::EventId id = rt.after(10, [&] { cancelled_ran.store(true); });
+  rt.after(20, [&] { done.store(true, std::memory_order_release); });
+  rt.cancel(id);
+  rt.cancel(id);       // double-cancel is a no-op
+  rt.cancel(9999999);  // as is cancelling garbage
+
+  rt.start();
+  ASSERT_TRUE(await_flag(done));
+  rt.stop();
+  EXPECT_FALSE(cancelled_ran.load());
+}
+
+TEST(ThreadedRuntime, PostRunsSoonAndInFifoOrder) {
+  ThreadedRuntime rt;
+  std::vector<int> order;
+  std::atomic<bool> done{false};
+  rt.post([&] { order.push_back(1); });
+  rt.post([&] { order.push_back(2); });
+  rt.post([&] { done.store(true, std::memory_order_release); });
+  ASSERT_TRUE(await_flag(done));
+  rt.stop();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(ThreadedRuntime, RelativeTimersComposeOnTheRuntimeThread) {
+  // A task that rearms itself: each iteration's after() is relative to
+  // the executing event's deadline, as in the simulator.
+  ThreadedRuntime rt;
+  std::atomic<int> fired{0};
+  std::atomic<bool> done{false};
+  std::function<void()> tick = [&] {
+    if (fired.fetch_add(1) + 1 == 5) {
+      done.store(true, std::memory_order_release);
+      return;
+    }
+    rt.after(100, tick);
+  };
+  rt.after(100, tick);
+  ASSERT_TRUE(await_flag(done));
+  rt.stop();
+  EXPECT_EQ(fired.load(), 5);
+  EXPECT_EQ(rt.now(), 500u) << "5 rearms x 100 ticks of virtual time";
+}
+
+TEST(ThreadedRuntime, PacedTickWaitsForTheMonotonicClock) {
+  ThreadedRuntimeConfig cfg;
+  cfg.tick = 1ms;
+  // Deadlines pace against the runtime's construction instant, so the
+  // stopwatch must start before the constructor runs.
+  const auto t0 = std::chrono::steady_clock::now();
+  ThreadedRuntime rt(cfg);
+  std::atomic<bool> done{false};
+  rt.after(25, [&] { done.store(true, std::memory_order_release); });
+  ASSERT_TRUE(await_flag(done));
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  rt.stop();
+  EXPECT_GE(elapsed, 25ms) << "a 25-tick deadline at 1 ms/tick must pace real time";
+}
+
+TEST(ThreadedRuntime, CrossThreadPostsAllRunSerialized) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  ThreadedRuntime rt;
+  std::atomic<int> ran{0};
+  std::atomic<int> in_task{0};
+  std::atomic<bool> overlapped{false};
+  {
+    std::vector<std::thread> producers;
+    for (int t = 0; t < kThreads; ++t) {
+      producers.emplace_back([&] {
+        for (int k = 0; k < kPerThread; ++k) {
+          rt.post([&] {
+            if (in_task.fetch_add(1) != 0) overlapped.store(true);
+            EXPECT_TRUE(rt.on_runtime_thread());
+            in_task.fetch_sub(1);
+            ran.fetch_add(1, std::memory_order_relaxed);
+          });
+        }
+      });
+    }
+    for (auto& p : producers) p.join();
+  }
+  rt.drain();
+  rt.stop();
+  EXPECT_EQ(ran.load(), kThreads * kPerThread);
+  EXPECT_FALSE(overlapped.load()) << "tasks must never run concurrently";
+}
+
+TEST(ThreadedRuntime, StartPausedHoldsEventsAndStopDropsThem) {
+  ThreadedRuntimeConfig cfg;
+  cfg.start_paused = true;
+  ThreadedRuntime rt(cfg);
+  std::atomic<bool> ran{false};
+  rt.post([&] { ran.store(true); });
+  std::this_thread::sleep_for(10ms);
+  EXPECT_FALSE(ran.load()) << "paused runtime must not execute";
+  rt.stop();  // never started: queued work is dropped
+  EXPECT_FALSE(ran.load());
+  // After stop, scheduling degrades to a harmless no-op.
+  EXPECT_EQ(rt.post([&] { ran.store(true); }), 0u);
+  EXPECT_EQ(rt.after(5, [&] { ran.store(true); }), 0u);
+  rt.cancel(1);
+  std::this_thread::sleep_for(5ms);
+  EXPECT_FALSE(ran.load());
+}
+
+// --- The seam's purpose: the FAUST stack on a runtime thread ------------
+
+TEST(ThreadedRuntime, FullFaustClusterRunsOnARuntimeThread) {
+  // The exact Cluster the simulator runs — network, mailbox, server,
+  // FaustClients with their dummy-read and probe timers — bound to a
+  // ThreadedRuntime instead. Everything must be driven through post():
+  // the protocol objects stay single-threaded, owned by the runtime.
+  // Assembly happens while the runtime is paused — armed timers must not
+  // fire into a half-built deployment (the rule ShardedCluster encodes).
+  ThreadedRuntimeConfig rt_cfg;
+  rt_cfg.start_paused = true;
+  ThreadedRuntime rt(rt_cfg);
+  ClusterConfig cfg;
+  cfg.n = 3;
+  cfg.seed = 7;
+  cfg.executor = &rt;
+  Cluster cluster(cfg);
+  rt.start();
+
+  std::atomic<bool> wrote{false};
+  Timestamp wrote_ts = 0;
+  rt.post([&] {
+    cluster.client(1).write(to_bytes("hello-threads"), [&](Timestamp t) {
+      wrote_ts = t;
+      wrote.store(true, std::memory_order_release);
+    });
+  });
+  ASSERT_TRUE(await_flag(wrote));
+  EXPECT_GT(wrote_ts, 0u);
+
+  std::atomic<bool> read_done{false};
+  ustor::Value got;
+  rt.post([&] {
+    cluster.client(2).read(1, [&](const ustor::Value& v, Timestamp) {
+      got = v;
+      read_done.store(true, std::memory_order_release);
+    });
+  });
+  ASSERT_TRUE(await_flag(read_done));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(to_string(*got), "hello-threads");
+
+  // With dummy reads and probes live on the runtime's timer wheel, the
+  // stability cut must eventually cover the write (stable_i of §6).
+  std::atomic<bool> stable{false};
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (!stable.load() && std::chrono::steady_clock::now() < deadline) {
+    std::atomic<bool> probed{false};
+    rt.post([&] {
+      if (cluster.client(1).fully_stable_timestamp() >= wrote_ts) stable.store(true);
+      probed.store(true, std::memory_order_release);
+    });
+    if (!await_flag(probed)) break;
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_TRUE(stable.load()) << "stability cut never covered the write";
+
+  // Teardown order matters and is part of the contract: stop the runtime
+  // (joins the thread), then destroy the cluster — its timer cancels hit
+  // a stopped executor, which must be a harmless no-op.
+  rt.stop();
+  EXPECT_FALSE(cluster.any_failed());
+}
+
+TEST(ThreadedRuntime, SimSchedulerSatisfiesTheSameSeamContract) {
+  // The other side of the seam: sim::Scheduler through the Executor
+  // interface, same deadline-order/FIFO/cancel/post semantics.
+  sim::Scheduler sched;
+  exec::Executor& ex = sched;
+  std::vector<int> order;
+  ex.after(200, [&] { order.push_back(2); });
+  ex.after(100, [&] { order.push_back(1); });
+  const exec::EventId dead = ex.after(150, [&] { order.push_back(99); });
+  ex.cancel(dead);
+  ex.post([&] { order.push_back(0); });  // post = after(0): runs first
+  EXPECT_EQ(ex.now(), 0u);
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(ex.now(), 200u);
+}
+
+}  // namespace
+}  // namespace faust::rt
