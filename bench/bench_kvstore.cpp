@@ -1,14 +1,15 @@
-// Application-layer costs: the key-value store built over FAUST registers
-// (src/kvstore). put = 1 register write; get/list = n register reads —
-// the design inherits USTOR's O(n)-bytes/op and 1-RTT/op economics, so a
-// get costs ~n RTTs. Reported per n and per partition size.
+// Application-layer costs: the key-value store built over FAUST
+// registers, driven through the unified api::Store facade. put = 1
+// register write; get/list = n register reads — the design inherits
+// USTOR's O(n)-bytes/op and 1-RTT/op economics, so a get costs ~n RTTs.
+// Reported per n and per partition size.
 #include <benchmark/benchmark.h>
 
 #include <memory>
 #include <vector>
 
+#include "api/store.h"
 #include "faust/cluster.h"
-#include "kvstore/kv_client.h"
 
 namespace {
 
@@ -24,31 +25,20 @@ struct KvRig {
     cfg.faust.probe_check_period = 0;
     cluster = std::make_unique<Cluster>(cfg);
     for (ClientId i = 1; i <= n; ++i) {
-      kv.push_back(std::make_unique<kv::KvClient>(cluster->client(i)));
+      stores.push_back(api::open_store(*cluster, i));
     }
   }
 
   void put(ClientId i, const std::string& k, const std::string& v) {
-    bool done = false;
-    kv[static_cast<std::size_t>(i - 1)]->put(k, v, [&](Timestamp) { done = true; });
-    while (!done && cluster->sched().step()) {
-    }
+    stores[static_cast<std::size_t>(i - 1)]->put(k, v).settle();
   }
 
-  std::optional<kv::KvEntry> get(ClientId i, const std::string& k) {
-    bool done = false;
-    std::optional<kv::KvEntry> out;
-    kv[static_cast<std::size_t>(i - 1)]->get(k, [&](std::optional<kv::KvEntry> e) {
-      out = std::move(e);
-      done = true;
-    });
-    while (!done && cluster->sched().step()) {
-    }
-    return out;
+  api::GetResult get(ClientId i, const std::string& k) {
+    return stores[static_cast<std::size_t>(i - 1)]->get(k).settle();
   }
 
   std::unique_ptr<Cluster> cluster;
-  std::vector<std::unique_ptr<kv::KvClient>> kv;
+  std::vector<std::unique_ptr<api::Store>> stores;
 };
 
 void BM_KvPut(benchmark::State& state) {

@@ -13,8 +13,10 @@
 // PERF.md "Sharding").
 //
 // BM_KvPutUnsharded / BM_KvGetUnsharded run the identical workload on the
-// pre-sharding code path (one Cluster + plain KvClient) as the baseline:
-// S=1 sharded vs unsharded isolates the router/facade overhead (~noise).
+// single-deployment backend (one Cluster behind the same api::Store
+// facade) as the baseline: S=1 sharded vs unsharded isolates the
+// router/facade overhead (~noise). Everything here drives the unified
+// api::Store surface; the legacy clients are the engines underneath.
 #include <benchmark/benchmark.h>
 
 #include <map>
@@ -22,10 +24,10 @@
 #include <string>
 #include <vector>
 
+#include "api/store.h"
 #include "faust/cluster.h"
-#include "kvstore/kv_client.h"
+#include "shard/shard_router.h"
 #include "shard/sharded_cluster.h"
-#include "shard/sharded_kv_client.h"
 
 namespace {
 
@@ -54,7 +56,7 @@ struct ShardRig {
     cfg.shard_template.faust.probe_check_period = 0;
     cluster = std::make_unique<shard::ShardedCluster>(cfg);
     for (ClientId i = 1; i <= kWriters; ++i) {
-      kv.push_back(std::make_unique<shard::ShardedKvClient>(*cluster, i));
+      kv.push_back(api::open_store(*cluster, i));
     }
     for (int k = 0; k < kTotalKeys; ++k) {
       put(k, /*round=*/0);
@@ -62,24 +64,15 @@ struct ShardRig {
   }
 
   void put(int k, int round) {
-    bool done = false;
-    kv[static_cast<std::size_t>(k % kWriters)]->put(key_name(k), value_for(k, round),
-                                                    [&](Timestamp) { done = true; });
-    cluster->drive(done);
+    kv[static_cast<std::size_t>(k % kWriters)]->put(key_name(k), value_for(k, round)).settle();
   }
 
   void get(int k) {
-    bool done = false;
-    kv[static_cast<std::size_t>(k % kWriters)]->get(key_name(k),
-                                                    [&](const shard::ShardedGetResult& r) {
-                                                      benchmark::DoNotOptimize(r.entry);
-                                                      done = true;
-                                                    });
-    cluster->drive(done);
+    benchmark::DoNotOptimize(kv[static_cast<std::size_t>(k % kWriters)]->get(key_name(k)).settle());
   }
 
   std::unique_ptr<shard::ShardedCluster> cluster;
-  std::vector<std::unique_ptr<shard::ShardedKvClient>> kv;
+  std::vector<std::unique_ptr<api::Store>> kv;
 };
 
 /// Rigs are expensive to prepopulate (kTotalKeys puts), so they are built
@@ -137,32 +130,21 @@ struct UnshardedRig {
     cfg.faust.probe_check_period = 0;
     cluster = std::make_unique<Cluster>(cfg);
     for (ClientId i = 1; i <= kWriters; ++i) {
-      kv.push_back(std::make_unique<kv::KvClient>(cluster->client(i)));
+      kv.push_back(api::open_store(*cluster, i));
     }
     for (int k = 0; k < kTotalKeys; ++k) put(k, 0);
   }
 
   void put(int k, int round) {
-    bool done = false;
-    kv[static_cast<std::size_t>(k % kWriters)]->put(key_name(k), value_for(k, round),
-                                                    [&](Timestamp) { done = true; });
-    while (!done && cluster->sched().step()) {
-    }
+    kv[static_cast<std::size_t>(k % kWriters)]->put(key_name(k), value_for(k, round)).settle();
   }
 
   void get(int k) {
-    bool done = false;
-    kv[static_cast<std::size_t>(k % kWriters)]->get(key_name(k),
-                                                    [&](std::optional<kv::KvEntry> e) {
-                                                      benchmark::DoNotOptimize(e);
-                                                      done = true;
-                                                    });
-    while (!done && cluster->sched().step()) {
-    }
+    benchmark::DoNotOptimize(kv[static_cast<std::size_t>(k % kWriters)]->get(key_name(k)).settle());
   }
 
   std::unique_ptr<Cluster> cluster;
-  std::vector<std::unique_ptr<kv::KvClient>> kv;
+  std::vector<std::unique_ptr<api::Store>> kv;
 };
 
 UnshardedRig& unsharded_rig() {

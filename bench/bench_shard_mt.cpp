@@ -11,9 +11,10 @@
 // work in flight; a strictly sequential driver would measure latency, not
 // throughput.
 //
-// Both modes run the exact same batches through the same ShardedKvClient
-// code; the only difference is the executor behind the seam
-// (sim::Scheduler vs one rt::ThreadedRuntime per shard). The JSON
+// Both modes run the exact same batches through the same api::Store
+// facade (and the ShardedKvClient engine under it); the only difference
+// is the executor behind the seam (sim::Scheduler vs one
+// rt::ThreadedRuntime per shard). The JSON
 // artifact records hw_cores: on a multi-core host the threaded S=4
 // configuration is expected to approach min(S, cores)× the deterministic
 // S=4 throughput; on a single-core host it can only show the overhead of
@@ -28,8 +29,8 @@
 #include <thread>
 #include <vector>
 
+#include "api/store.h"
 #include "shard/sharded_cluster.h"
-#include "shard/sharded_kv_client.h"
 
 namespace {
 
@@ -60,7 +61,7 @@ struct MtRig {
     cfg.shard_template.faust.probe_check_period = 0;
     cluster = std::make_unique<shard::ShardedCluster>(cfg);
     for (ClientId i = 1; i <= kWriters; ++i) {
-      kv.push_back(std::make_unique<shard::ShardedKvClient>(*cluster, i));
+      kv.push_back(api::open_store(*cluster, i));
     }
     // Pre-populate pipelined, in key chunks so no FaustClient queue grows
     // unboundedly.
@@ -69,12 +70,15 @@ struct MtRig {
       run_batch(count, [&](int i) {
         const int k = base + i;
         kv[static_cast<std::size_t>(k % kWriters)]->put(
-            key_name(k), value_for(k, 0), [this](Timestamp) { op_done(); });
+            key_name(k), value_for(k, 0), [this](const api::PutResult&) { op_done(); });
       });
     }
   }
 
-  ~MtRig() { cluster->stop(); }
+  ~MtRig() {
+    cluster->stop();  // freeze shard threads before the stores unwind
+    kv.clear();
+  }
 
   /// Issues `count` ops via `issue(i)` (each must arrange op_done() on
   /// completion), then drains the batch in whichever way the mode needs.
@@ -94,7 +98,7 @@ struct MtRig {
   }
 
   std::unique_ptr<shard::ShardedCluster> cluster;
-  std::vector<std::unique_ptr<shard::ShardedKvClient>> kv;
+  std::vector<std::unique_ptr<api::Store>> kv;
   std::atomic<int> completed_{0};
   int target_ = 0;
   std::atomic<bool> batch_done_{false};
@@ -129,7 +133,7 @@ void BM_MtShardedPut(benchmark::State& state) {
     rig.run_batch(kBatch, [&rig, base, r](int i) {
       const int key = (base + i) % kTotalKeys;
       rig.kv[static_cast<std::size_t>(key % kWriters)]->put(
-          key_name(key), value_for(key, r), [&rig](Timestamp) { rig.op_done(); });
+          key_name(key), value_for(key, r), [&rig](const api::PutResult&) { rig.op_done(); });
     });
     k += kBatch;
     if (k >= kTotalKeys) {
@@ -160,7 +164,7 @@ void BM_MtShardedGet(benchmark::State& state) {
     rig.run_batch(kBatch, [&rig, base](int i) {
       const int key = (base + i) % kTotalKeys;
       rig.kv[static_cast<std::size_t>(key % kWriters)]->get(
-          key_name(key), [&rig](const shard::ShardedGetResult& r) {
+          key_name(key), [&rig](const api::GetResult& r) {
             benchmark::DoNotOptimize(r.entry);
             rig.op_done();
           });

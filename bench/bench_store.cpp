@@ -1,0 +1,170 @@
+// Single-op issue vs batched apply() through the api::Store facade, at
+// S=1 and S=4 deterministic shards.
+//
+// The batch surface is where the facade pays for itself: apply() routes
+// a batch to its home shards, preserves per-shard program order, and
+// coalesces adjacent mutations into ONE signed publication per shard
+// (and adjacent reads into ONE merged snapshot per shard). A batch of B
+// puts therefore costs S publications instead of B — every per-op cost
+// that the sharding work shrank by the shard factor (partition codec,
+// value hashing, wire bytes, RTTs) is amortized again by the batch
+// factor, and the verified-signature caches see one new signed version
+// per shard instead of B. Single-op issue through the same facade is the
+// baseline; the BENCH_store.json artifact records the ratio (the
+// acceptance bar is >= 1.1x batched-over-single put throughput at S=4;
+// measured is far above).
+//
+// Deterministic mode on purpose: the comparison is about protocol work
+// per op, not thread parallelism (bench_shard_mt covers that axis), so
+// the numbers are reproducible on any host.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/store.h"
+#include "shard/sharded_cluster.h"
+
+namespace {
+
+using namespace faust;
+
+constexpr int kWriters = 3;       // clients per deployment (and per shard)
+constexpr int kTotalKeys = 3072;  // fixed total workload, as in BENCH_shard
+constexpr std::size_t kValueLen = 96;
+constexpr int kBatch = 256;       // ops per batched apply()
+
+std::string key_name(int k) { return "key-" + std::to_string(k); }
+
+std::string value_for(int k, int round) {
+  std::string v = "v" + std::to_string(round) + "-" + std::to_string(k) + "-";
+  v.resize(kValueLen, 'x');
+  return v;
+}
+
+struct StoreRig {
+  explicit StoreRig(std::size_t shards) {
+    shard::ShardedClusterConfig cfg;
+    cfg.shards = shards;
+    cfg.seed = 4242;
+    cfg.shard_template.n = kWriters;
+    cfg.shard_template.delay = net::DelayModel{5, 5};
+    cfg.shard_template.faust.dummy_read_period = 0;
+    cfg.shard_template.faust.probe_check_period = 0;
+    cluster = std::make_unique<shard::ShardedCluster>(cfg);
+    for (ClientId i = 1; i <= kWriters; ++i) {
+      kv.push_back(api::open_store(*cluster, i));
+    }
+    // Prepopulate batched (it is exactly the fast path this bench pins).
+    for (ClientId i = 1; i <= kWriters; ++i) {
+      std::vector<api::Op> ops;
+      for (int k = i - 1; k < kTotalKeys; k += kWriters) {
+        ops.push_back(api::Op::put(key_name(k), value_for(k, 0)));
+      }
+      store(i).apply(std::move(ops)).settle();
+    }
+  }
+
+  api::Store& store(ClientId i) { return *kv[static_cast<std::size_t>(i - 1)]; }
+
+  std::unique_ptr<shard::ShardedCluster> cluster;
+  std::vector<std::unique_ptr<api::Store>> kv;
+};
+
+/// Rigs are expensive to prepopulate; one per shard count, shared by all
+/// benchmarks — the workload only overwrites values, never changes shapes.
+StoreRig& rig_for(std::size_t shards) {
+  static std::map<std::size_t, std::unique_ptr<StoreRig>> rigs;
+  auto& slot = rigs[shards];
+  if (!slot) slot = std::make_unique<StoreRig>(shards);
+  return *slot;
+}
+
+void BM_StorePutSingleOp(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  StoreRig& rig = rig_for(shards);
+  int k = 0, round = 1;
+  for (auto _ : state) {
+    rig.store((k % kWriters) + 1).put(key_name(k), value_for(k, round)).settle();
+    if (++k == kTotalKeys) {
+      k = 0;
+      ++round;
+    }
+  }
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["batch"] = 1;
+  state.counters["puts_per_sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_StorePutSingleOp)->Arg(1)->Arg(4)->MinTime(0.2);
+
+void BM_StorePutBatched(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  StoreRig& rig = rig_for(shards);
+  int k = 0, round = 1;
+  for (auto _ : state) {
+    // One apply() of kBatch puts per writer in rotation, as in the
+    // single-op loop — identical keys and values, one coalesced batch.
+    const ClientId writer = static_cast<ClientId>((k / kBatch) % kWriters + 1);
+    std::vector<api::Op> ops;
+    ops.reserve(kBatch);
+    for (int j = 0; j < kBatch; ++j) {
+      const int key = (k + j) % kTotalKeys;
+      ops.push_back(api::Op::put(key_name(key), value_for(key, round)));
+    }
+    rig.store(writer).apply(std::move(ops)).settle();
+    k += kBatch;
+    if (k >= kTotalKeys) {
+      k = 0;
+      ++round;
+    }
+  }
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["batch"] = kBatch;
+  state.counters["puts_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kBatch, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_StorePutBatched)->Arg(1)->Arg(4)->MinTime(0.2);
+
+void BM_StoreGetSingleOp(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  StoreRig& rig = rig_for(shards);
+  int k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rig.store((k % kWriters) + 1).get(key_name(k)).settle());
+    if (++k == kTotalKeys) k = 0;
+  }
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["batch"] = 1;
+  state.counters["gets_per_sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_StoreGetSingleOp)->Arg(1)->Arg(4)->MinTime(0.2);
+
+void BM_StoreGetBatched(benchmark::State& state) {
+  // Adjacent gets share one merged snapshot per shard: a batch of B gets
+  // costs S snapshots (S*n register reads) instead of B*n reads.
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  StoreRig& rig = rig_for(shards);
+  int k = 0;
+  for (auto _ : state) {
+    const ClientId reader = static_cast<ClientId>((k / kBatch) % kWriters + 1);
+    std::vector<api::Op> ops;
+    ops.reserve(kBatch);
+    for (int j = 0; j < kBatch; ++j) ops.push_back(api::Op::get(key_name((k + j) % kTotalKeys)));
+    benchmark::DoNotOptimize(rig.store(reader).apply(std::move(ops)).settle());
+    k = (k + kBatch) % kTotalKeys;
+  }
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["batch"] = kBatch;
+  state.counters["gets_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kBatch, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_StoreGetBatched)->Arg(1)->Arg(4)->MinTime(0.2);
+
+}  // namespace
+
+#include "json_main.h"
+FAUST_BENCH_MAIN();

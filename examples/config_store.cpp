@@ -1,36 +1,29 @@
-// A fail-aware distributed configuration store built on the KV layer —
-// three operators manage a service's configuration through an untrusted
-// hosting provider; conflicting updates resolve deterministically, and a
-// provider that serves different operators different configurations is
-// detected and the store fenced.
+// A fail-aware distributed configuration store built on the unified
+// faust::api::Store facade — three operators manage a service's
+// configuration through an untrusted hosting provider; conflicting
+// updates resolve deterministically, and a provider that serves
+// different operators different configurations is detected and the store
+// fenced.
 //
 //   build/examples/config_store
 #include <cstdio>
 
 #include "adversary/forking_server.h"
+#include "api/store.h"
 #include "faust/cluster.h"
-#include "kvstore/kv_client.h"
 
 using namespace faust;
 
 namespace {
 
-void drive(Cluster& cluster, bool& done) {
-  while (!done && cluster.sched().step()) {
+void show(api::Store& store, const char* who) {
+  const api::ListResult r = store.list().settle();
+  std::printf("  %s sees %zu config keys (complete=%s):\n", who, r.entries.size(),
+              r.complete ? "yes" : "no");
+  for (const auto& [key, entry] : r.entries) {
+    std::printf("    %-22s = %-14s (set by operator %d, rev %llu)\n", key.c_str(),
+                entry.value.c_str(), entry.writer, (unsigned long long)entry.seq);
   }
-}
-
-void show(kv::KvClient& store, Cluster& cluster, const char* who) {
-  bool done = false;
-  store.list([&](const std::map<std::string, kv::KvEntry>& m) {
-    std::printf("  %s sees %zu config keys:\n", who, m.size());
-    for (const auto& [key, entry] : m) {
-      std::printf("    %-22s = %-14s (set by operator %d, rev %llu)\n", key.c_str(),
-                  entry.value.c_str(), entry.writer, (unsigned long long)entry.seq);
-    }
-    done = true;
-  });
-  drive(cluster, done);
 }
 
 }  // namespace
@@ -49,37 +42,49 @@ int main() {
   Cluster cluster(cfg);
   adversary::ForkingServer server(cfg.n, cluster.net());  // behaves until told otherwise
 
-  kv::KvClient ops1(cluster.client(1));
-  kv::KvClient ops2(cluster.client(2));
-  kv::KvClient ops3(cluster.client(3));
+  auto ops1 = api::open_store(cluster, 1);
+  auto ops2 = api::open_store(cluster, 2);
+  auto ops3 = api::open_store(cluster, 3);
 
-  for (ClientId i = 1; i <= 3; ++i) {
-    cluster.client(i).on_fail = [i](FailureReason) {
-      std::printf("  !! operator %d: PROVIDER COMPROMISED — config store fenced\n", i);
-    };
-  }
+  const api::Store::EventHandler alarm = [](const api::Event& e) {
+    if (e.kind == api::Event::Kind::kShardFailed) {
+      std::printf("  !! PROVIDER COMPROMISED — config store fenced\n");
+    }
+  };
+  ops1->on_event(alarm);
+  ops2->on_event(alarm);
+  ops3->on_event(alarm);
 
-  const auto put = [&](kv::KvClient& store, const char* k, const char* v, const char* who) {
-    bool done = false;
-    store.put(k, v, [&](Timestamp) { done = true; });
-    drive(cluster, done);
-    std::printf("  %s sets %s = %s\n", who, k, v);
+  const auto put = [&](api::Store& store, const char* k, const char* v, const char* who) {
+    const api::PutResult r = store.put(k, v).settle();
+    std::printf("  %s sets %s = %s (t=%llu)\n", who, k, v, (unsigned long long)r.ts);
   };
 
   std::printf("-- operators configure the service -----------------------------\n");
-  put(ops1, "max_connections", "1024", "operator 1");
-  put(ops2, "tls.min_version", "1.3", "operator 2");
-  put(ops3, "log.level", "info", "operator 3");
-  put(ops1, "log.level", "debug", "operator 1");  // conflicting update
+  put(*ops1, "max_connections", "1024", "operator 1");
+  put(*ops2, "tls.min_version", "1.3", "operator 2");
+  put(*ops3, "log.level", "info", "operator 3");
+  put(*ops1, "log.level", "debug", "operator 1");  // conflicting update
 
   std::printf("\n-- everyone agrees on the merged configuration ------------------\n");
-  show(ops2, cluster, "operator 2");
+  show(*ops2, "operator 2");
   std::printf("  (log.level: operator 1's later revision wins deterministically)\n");
+
+  std::printf("\n-- a whole rollout lands atomically as one batch ----------------\n");
+  const api::BatchResult batch = ops1->apply({
+      api::Op::put("feature.rollout", "5%"),
+      api::Op::put("feature.cohort", "beta"),
+      api::Op::get("log.level"),
+  }).settle();
+  std::printf("  one publication carried %zu changes (shared t=%llu), and the batched\n",
+              std::size_t{2}, (unsigned long long)batch.results[0].put.ts);
+  std::printf("  read saw log.level=%s at the same read point\n",
+              batch.results[2].get.entry ? batch.results[2].get.entry->value.c_str() : "?");
 
   std::printf("\n-- the provider forks operator 3 off --------------------------\n");
   server.split(3);
-  put(ops3, "feature.rollout", "100%", "operator 3 (in the forked world)");
-  put(ops1, "feature.rollout", "5%", "operator 1 (in the real world)");
+  put(*ops3, "feature.rollout", "100%", "operator 3 (in the forked world)");
+  put(*ops1, "feature.rollout", "5%", "operator 1 (in the real world)");
   std::printf("\n  operator 3's view is now silently stale — until FAUST's probes run:\n\n");
 
   cluster.run_for(300'000);

@@ -13,8 +13,12 @@
 //   EOF
 //
 // Commands:
-//   write <client> <value...>   write to the client's register
-//   read <client> <register>    read a register
+//   write <client> <value...>   write to the client's register (raw layer)
+//   read <client> <register>    read a register (raw layer)
+//   put <client> <key> <v...>   KV put through the api::Store facade
+//   get <client> <key>          KV get (with stability context)
+//   del <client> <key>          KV erase (no-op when the key is absent)
+//   kvlist <client>             merged KV view
 //   run <ticks>                 advance virtual time
 //   cut <client>                print the client's stability cut
 //   offline <client> / online <client>
@@ -24,10 +28,13 @@
 //   help / quit
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "adversary/forking_server.h"
+#include "api/store.h"
 #include "faust/cluster.h"
 
 using namespace faust;
@@ -47,6 +54,7 @@ struct Repl {
   ClusterConfig cfg;
   Cluster cluster;
   adversary::ForkingServer server;
+  std::vector<std::unique_ptr<api::Store>> stores;  // KV surface per client
 
   Repl()
       : cfg(make_config()),
@@ -62,7 +70,13 @@ struct Repl {
         }
       };
     }
+    // Opened after the raw hooks so the facade chains (and preserves) them.
+    for (ClientId i = 1; i <= cfg.n; ++i) {
+      stores.push_back(api::open_store(cluster, i));
+    }
   }
+
+  api::Store& store(int c) { return *stores[static_cast<std::size_t>(c - 1)]; }
 
   static ClusterConfig make_config() {
     ClusterConfig cfg;
@@ -116,6 +130,71 @@ struct Repl {
         std::printf("  C%d read X%d = %s\n", c, reg,
                     v.has_value() ? ("\"" + to_string(*v) + "\"").c_str() : "⊥");
       }
+    } else if (cmd == "put") {
+      int c = 0;
+      std::string key, value, word;
+      in >> c >> key;
+      while (in >> word) value += (value.empty() ? "" : " ") + word;
+      if (!valid_client(c) || key.empty() || value.empty()) {
+        std::printf("usage: put <client> <key> <value>\n");
+        return;
+      }
+      const api::PutResult r = store(c).put(key, value).settle();
+      if (r.failed || r.ts == 0) {
+        std::printf("  put by C%d did not complete (client fenced or server down)\n", c);
+      } else {
+        std::printf("  C%d put %s = \"%s\" (t=%llu)\n", c, key.c_str(), value.c_str(),
+                    (unsigned long long)r.ts);
+      }
+    } else if (cmd == "get") {
+      int c = 0;
+      std::string key;
+      in >> c >> key;
+      if (!valid_client(c) || key.empty()) {
+        std::printf("usage: get <client> <key>\n");
+        return;
+      }
+      const api::GetResult r = store(c).get(key).settle();
+      if (r.failed) {
+        std::printf("  get by C%d did not complete (client fenced or server down)\n", c);
+      } else if (!r.entry) {
+        std::printf("  C%d: %s is unset\n", c, key.c_str());
+      } else {
+        std::printf("  C%d got %s = \"%s\" (writer C%d rev %llu, %s)\n", c, key.c_str(),
+                    r.entry->value.c_str(), r.entry->writer,
+                    (unsigned long long)r.entry->seq,
+                    store(c).stable(r) ? "stable" : "not yet stable");
+      }
+    } else if (cmd == "del") {
+      int c = 0;
+      std::string key;
+      in >> c >> key;
+      if (!valid_client(c) || key.empty()) {
+        std::printf("usage: del <client> <key>\n");
+        return;
+      }
+      const api::PutResult r = store(c).erase(key).settle();
+      if (r.failed) {
+        std::printf("  del by C%d did not complete (client fenced or server down)\n", c);
+      } else if (r.ts == 0) {
+        std::printf("  C%d del %s: no-op (not in C%d's partition)\n", c, key.c_str(), c);
+      } else {
+        std::printf("  C%d deleted %s (t=%llu)\n", c, key.c_str(), (unsigned long long)r.ts);
+      }
+    } else if (cmd == "kvlist") {
+      int c = 0;
+      in >> c;
+      if (!valid_client(c)) {
+        std::printf("usage: kvlist <client>\n");
+        return;
+      }
+      const api::ListResult r = store(c).list().settle();
+      std::printf("  C%d sees %zu keys (complete=%s)\n", c, r.entries.size(),
+                  r.complete ? "yes" : "no");
+      for (const auto& [key, e] : r.entries) {
+        std::printf("    %-18s = \"%s\" (writer C%d rev %llu)\n", key.c_str(),
+                    e.value.c_str(), e.writer, (unsigned long long)e.seq);
+      }
     } else if (cmd == "run") {
       sim::Time ticks = 0;
       in >> ticks;
@@ -168,6 +247,7 @@ struct Repl {
     } else if (cmd == "help") {
       std::printf(
           "commands: write <c> <v> | read <c> <reg> | run <ticks> | cut <c> |\n"
+          "          put <c> <k> <v> | get <c> <k> | del <c> <k> | kvlist <c> |\n"
           "          offline <c> | online <c> | fork split|isolate <c> |\n"
           "          verbose | status | quit\n");
     } else if (cmd == "quit" || cmd == "exit") {

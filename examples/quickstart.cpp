@@ -1,26 +1,15 @@
-// Quickstart: assemble a FAUST deployment (Figure 1's topology), run a
-// few operations, and watch stability notifications arrive.
+// Quickstart: assemble a FAUST deployment (Figure 1's topology), open the
+// unified faust::api::Store client surface over it, run a few operations,
+// and watch stability notifications arrive.
 //
 //   build/examples/quickstart
 #include <cstdio>
 #include <string>
 
+#include "api/store.h"
 #include "faust/cluster.h"
 
 using namespace faust;
-
-namespace {
-
-std::string cut_to_string(const FaustClient::StabilityCut& w) {
-  std::string s = "[";
-  for (std::size_t j = 0; j < w.size(); ++j) {
-    if (j > 0) s += ",";
-    s += std::to_string(w[j]);
-  }
-  return s + "]";
-}
-
-}  // namespace
 
 int main() {
   std::printf("FAUST quickstart — fail-aware untrusted storage (DSN'09)\n");
@@ -39,34 +28,43 @@ int main() {
   std::printf("          offline client-to-client mailbox (%llu..%llu ticks)\n\n",
               (unsigned long long)cfg.mail_min_delay, (unsigned long long)cfg.mail_max_delay);
 
-  // Subscribe to the fail-aware outputs of client 1.
-  cluster.client(1).on_stable = [&](const FaustClient::StabilityCut& w) {
-    std::printf("  [t=%6llu] stable_1(%s)\n", (unsigned long long)cluster.sched().now(),
-                cut_to_string(w).c_str());
-  };
-  cluster.client(1).on_fail = [](FailureReason) {
-    std::printf("  fail_1 — the server is faulty!\n");
-  };
+  // One Store per principal — the same API would drive a sharded or
+  // threaded deployment (see examples/sharded_kv and threaded_shards).
+  auto alice = api::open_store(cluster, 1);
+  auto bob = api::open_store(cluster, 2);
 
-  // Write and read through the service.
-  std::printf("client 1 writes \"hello, untrusted world\" to its register X1\n");
-  const Timestamp t1 = cluster.write(1, "hello, untrusted world");
-  std::printf("  -> completed with timestamp %llu (single round trip)\n\n",
-              (unsigned long long)t1);
+  // Subscribe to the unified fail-aware events of client 1.
+  alice->on_event([&](const api::Event& e) {
+    if (e.kind == api::Event::Kind::kStabilityAdvanced) {
+      std::printf("  [t=%6llu] stability advanced: fully stable up to op %llu\n",
+                  (unsigned long long)cluster.sched().now(),
+                  (unsigned long long)e.stable_ts);
+    } else {
+      std::printf("  FAILURE EVENT — the server is faulty!\n");
+    }
+  });
 
-  std::printf("client 2 reads X1\n");
-  const ustor::Value v = cluster.read(2, 1);
-  std::printf("  -> \"%s\"\n\n", v.has_value() ? to_string(*v).c_str() : "⊥");
+  // Write and read through the service. A Ticket is the completion token:
+  // settle() drives the deterministic scheduler until the op finishes.
+  std::printf("alice puts greeting := \"hello, untrusted world\"\n");
+  const api::PutResult put = alice->put("greeting", "hello, untrusted world").settle();
+  std::printf("  -> register write timestamp %llu (stable yet: %s)\n\n",
+              (unsigned long long)put.ts, put.stable ? "yes" : "no");
+
+  std::printf("bob reads it back\n");
+  const api::GetResult got = bob->get("greeting").settle();
+  std::printf("  -> \"%s\" (written by client %d, observed at read_ts %llu)\n\n",
+              got.entry ? got.entry->value.c_str() : "⊥", got.entry ? got.entry->writer : 0,
+              (unsigned long long)got.read_ts);
 
   std::printf("letting background dummy reads & probes propagate stability...\n");
   cluster.run_for(20'000);
 
-  std::printf("\nclient 1 stability cut: %s\n",
-              cut_to_string(cluster.client(1).stability_cut()).c_str());
-  std::printf("fully stable up to timestamp %llu — the prefix of the execution up to\n",
-              (unsigned long long)cluster.client(1).fully_stable_timestamp());
-  std::printf("that operation is linearizable at every client (Def. 5, item 6).\n");
+  std::printf("\nalice's put is now stable: %s — the prefix of the execution up to it\n",
+              alice->stable(put) ? "yes" : "no");
+  std::printf("is linearizable at every client (Def. 5, item 6); even a later server\n");
+  std::printf("compromise cannot rewrite that history undetected.\n");
   std::printf("\nno failures detected: the provider behaved. Try examples/forking_attack\n");
   std::printf("to see what happens when it does not.\n");
-  return 0;
+  return cluster.any_failed() ? 1 : 0;
 }

@@ -1,14 +1,17 @@
-// Sharded KV service: one logical key-value store spread over several
-// independent FAUST deployments, with rendezvous routing, aggregated
-// fail-awareness, and per-home-shard stability.
+// Sharded KV service through the unified faust::api::Store facade: one
+// logical key-value store spread over several independent FAUST
+// deployments, with rendezvous routing, aggregated fail-awareness, and
+// per-home-shard stability — the exact same Store API as the
+// single-deployment examples.
 //
 //   build/examples/sharded_kv
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "adversary/forking_server.h"
+#include "api/store.h"
 #include "shard/sharded_cluster.h"
-#include "shard/sharded_kv_client.h"
 #include "ustor/server.h"
 
 using namespace faust;
@@ -33,68 +36,56 @@ int main() {
   ustor::Server server1(cfg.shard_template.n, sc.shard(1).net());
   adversary::ForkingServer server2(cfg.shard_template.n, sc.shard(2).net());
 
-  shard::ShardedKvClient alice(sc, 1);
-  shard::ShardedKvClient bob(sc, 2);
-  alice.on_fail = [](std::size_t s, FailureReason) {
-    std::printf("  !! fail on shard %zu — that provider forked or corrupted state\n", s);
-  };
+  auto alice = api::open_store(sc, 1);
+  auto bob = api::open_store(sc, 2);
+  alice->on_event([](const api::Event& e) {
+    if (e.kind == api::Event::Kind::kShardFailed) {
+      std::printf("  !! fail on shard %zu — that provider forked or corrupted state\n",
+                  e.shard);
+    }
+  });
 
-  std::printf("routing (rendezvous hashing over %zu shards):\n", sc.shards());
+  std::printf("routing (rendezvous hashing over %zu shards):\n", alice->shards());
   const char* keys[] = {"users/alice", "users/bob", "posts/1", "posts/2", "config/theme"};
   for (const char* k : keys) {
-    std::printf("  %-14s -> shard %zu\n", k, sc.router().shard_of(k));
+    std::printf("  %-14s -> shard %zu\n", k, alice->home_shard(k));
   }
 
-  std::printf("\nalice puts all five keys; each goes only to its home shard\n");
-  for (const char* k : keys) {
-    bool done = false;
-    alice.put(k, std::string("by-alice:") + k, [&](Timestamp) { done = true; });
-    sc.drive(done);
-  }
+  std::printf("\nalice puts all five keys as ONE batch: the ops pipeline across the\n");
+  std::printf("shards and coalesce into one signed publication per shard\n");
+  std::vector<api::Op> ops;
+  for (const char* k : keys) ops.push_back(api::Op::put(k, std::string("by-alice:") + k));
+  const api::BatchResult batch = alice->apply(std::move(ops)).settle();
+  std::printf("  batch ok=%s; per-op home shards:", batch.ok ? "yes" : "no");
+  for (const auto& r : batch.results) std::printf(" %zu", r.put.shard);
+  std::printf("\n");
 
-  bool got = false;
-  shard::ShardedListResult all;
-  bob.list([&](const shard::ShardedListResult& r) {
-    all = r;
-    got = true;
-  });
-  sc.drive(got);
+  const api::ListResult all = bob->list().settle();
   std::printf("bob lists (concurrent fan-out over every shard): %zu keys, complete=%s\n",
               all.entries.size(), all.complete ? "yes" : "no");
 
   std::printf("\nletting dummy reads advance every shard's stability cut...\n");
   sc.run_for(30'000);
   for (const char* k : keys) {
-    got = false;
-    shard::ShardedGetResult r;
-    alice.get(k, [&](const shard::ShardedGetResult& res) {
-      r = res;
-      got = true;
-    });
-    sc.drive(got);
+    api::GetResult r = alice->get(k).settle();
     sc.run_for(10'000);  // cut catches up with the observing reads
     std::printf("  %-14s shard %zu  read_ts=%-4llu stable=%s\n", k, r.shard,
-                (unsigned long long)r.read_ts, alice.stable(r) ? "yes" : "not yet");
+                (unsigned long long)r.read_ts, alice->stable(r) ? "yes" : "not yet");
   }
 
   std::printf("\nshard 2's provider now forks its clients apart\n");
   server2.isolate(2);
-  bool done = false;
-  bob.put("posts/2", "forked-write", [&](Timestamp) { done = true; });
-  sc.drive(done);
+  bob->put("posts/2", "forked-write").settle();
   sc.run_for(300'000);
 
   std::printf("\nfailed shards (alice's view): ");
-  for (const std::size_t s : alice.failed_shards()) std::printf("%zu ", s);
+  for (std::size_t s = 0; s < alice->shards(); ++s) {
+    if (alice->failed(s)) std::printf("%zu ", s);
+  }
   std::printf("\nkeys homed on healthy shards keep serving; a list flags the gap:\n");
-  got = false;
-  bob.list([&](const shard::ShardedListResult& r) {
-    all = r;
-    got = true;
-  });
-  sc.drive(got);
-  std::printf("  %zu keys visible, complete=%s\n", all.entries.size(),
-              all.complete ? "yes" : "no");
+  const api::ListResult after = bob->list().settle();
+  std::printf("  %zu keys visible, complete=%s\n", after.entries.size(),
+              after.complete ? "yes" : "no");
   std::printf("\nthe blast radius of a compromised provider is one shard's keys —\n");
   std::printf("fail-awareness (fail_i, stability) aggregates per home shard.\n");
   return 0;

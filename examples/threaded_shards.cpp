@@ -1,15 +1,17 @@
-// Threaded shard execution: the same sharded KV service as
-// examples/sharded_kv.cpp, but with every shard's deployment running on
-// its own OS thread (ShardedCluster ExecMode::kThreaded).
+// Threaded shard execution through the unified faust::api::Store facade:
+// the same sharded KV service as examples/sharded_kv.cpp, but with every
+// shard's deployment running on its own OS thread (ShardedCluster
+// ExecMode::kThreaded) — and the exact same Store calls.
 //
 // The protocol objects are identical to the simulated ones — the
-// exec::Executor seam swaps the substrate underneath them. On a machine
-// with >= S cores, the pipelined batch below runs up to S× faster than
-// the single-threaded co-scheduled mode, because the S deployments share
-// no protocol state (PERF.md "Threaded shards").
+// exec::Executor seam swaps the substrate underneath them, and the
+// facade's tickets resolve by blocking wait() instead of scheduler
+// stepping, transparently. On a machine with >= S cores, the pipelined
+// phases below run up to S× faster than the single-threaded co-scheduled
+// mode, because the S deployments share no protocol state (PERF.md
+// "Threaded shards").
 //
 // Build & run:  cmake --build build && ./build/threaded_shards
-#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -17,8 +19,8 @@
 #include <thread>
 #include <vector>
 
+#include "api/store.h"
 #include "shard/sharded_cluster.h"
-#include "shard/sharded_kv_client.h"
 
 using namespace faust;
 
@@ -36,49 +38,62 @@ int main() {
   cfg.shard_template.faust.probe_check_period = 0;
   shard::ShardedCluster cluster(cfg);
 
-  std::vector<std::unique_ptr<shard::ShardedKvClient>> kv;
+  std::vector<std::unique_ptr<api::Store>> kv;
   for (ClientId i = 1; i <= kClients; ++i) {
-    kv.push_back(std::make_unique<shard::ShardedKvClient>(cluster, i));
+    kv.push_back(api::open_store(cluster, i));
   }
 
   std::printf("sharded KV, S=%zu shards, one OS thread each (host has %u cores)\n",
               cluster.shards(), std::thread::hardware_concurrency());
 
-  // A pipelined batch: every shard has work in flight at once, so the
-  // shard threads crunch signatures and partition codecs in parallel.
-  std::atomic<int> completed{0};
-  std::atomic<bool> all_done{false};
-  const auto t0 = std::chrono::steady_clock::now();
-  for (int k = 0; k < kKeys; ++k) {
-    kv[static_cast<std::size_t>(k % kClients)]->put(
-        "key-" + std::to_string(k), "value-" + std::to_string(k), [&](Timestamp) {
-          if (completed.fetch_add(1) + 1 == kKeys) all_done.store(true);
-        });
+  // Phase 1 — pipelined single ops: every shard has work in flight at
+  // once, so the shard threads crunch signatures and partition codecs in
+  // parallel. Tickets are collected first and waited on at the end.
+  auto t0 = std::chrono::steady_clock::now();
+  {
+    std::vector<api::Ticket<api::PutResult>> tickets;
+    tickets.reserve(kKeys);
+    for (int k = 0; k < kKeys; ++k) {
+      tickets.push_back(kv[static_cast<std::size_t>(k % kClients)]->put(
+          "key-" + std::to_string(k), "value-" + std::to_string(k)));
+    }
+    for (auto& t : tickets) t.wait();
   }
-  cluster.await(all_done, std::chrono::seconds(60));
-  const auto dt = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0);
-  std::printf("pipelined %d puts in %.3f s (%.0f puts/s aggregate)\n", kKeys, dt.count(),
-              kKeys / dt.count());
+  auto dt = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0);
+  std::printf("pipelined %d single puts in %.3f s (%.0f puts/s aggregate)\n", kKeys,
+              dt.count(), kKeys / dt.count());
+
+  // Phase 2 — the same work as ONE batch per client: the facade coalesces
+  // each client's keys into one publication per shard (4 publications per
+  // client instead of 200), and the per-shard chains run on all shard
+  // threads at once.
+  t0 = std::chrono::steady_clock::now();
+  {
+    std::vector<api::Ticket<api::BatchResult>> tickets;
+    for (ClientId i = 1; i <= kClients; ++i) {
+      std::vector<api::Op> ops;
+      for (int k = i - 1; k < kKeys; k += kClients) {
+        ops.push_back(api::Op::put("key-" + std::to_string(k), "batched-" + std::to_string(k)));
+      }
+      tickets.push_back(kv[static_cast<std::size_t>(i - 1)]->apply(std::move(ops)));
+    }
+    for (auto& t : tickets) t.wait();
+  }
+  dt = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0);
+  std::printf("the same %d puts as 3 batched applies in %.3f s (%.0f puts/s)\n", kKeys,
+              dt.count(), kKeys / dt.count());
 
   // Reads route to the key's home shard; a fan-out list merges all S.
-  std::atomic<bool> got{false};
-  kv[0]->get("key-42", [&](const shard::ShardedGetResult& r) {
-    std::printf("key-42 lives on shard %zu: %s\n", r.shard,
-                r.entry ? r.entry->value.c_str() : "(absent)");
-    got.store(true);
-  });
-  cluster.await(got, std::chrono::seconds(10));
+  const api::GetResult r = kv[0]->get("key-42").wait();
+  std::printf("key-42 lives on shard %zu: %s\n", r.shard,
+              r.entry ? r.entry->value.c_str() : "(absent)");
 
-  std::atomic<bool> listed{false};
-  kv[0]->list([&](const shard::ShardedListResult& r) {
-    std::printf("fan-out list merged %zu keys from %zu shards (complete=%s)\n",
-                r.entries.size(), cluster.shards(), r.complete ? "yes" : "no");
-    listed.store(true);
-  });
-  cluster.await(listed, std::chrono::seconds(30));
+  const api::ListResult l = kv[0]->list().wait();
+  std::printf("fan-out list merged %zu keys from %zu shards (complete=%s)\n",
+              l.entries.size(), cluster.shards(), l.complete ? "yes" : "no");
 
   // Teardown order is part of the threaded contract: freeze the shard
-  // threads first, then let the clients and deployment unwind.
+  // threads first, then let the stores and deployment unwind.
   cluster.stop();
   std::printf("done; no shard failed: %s\n", cluster.any_failed() ? "NO (failure!)" : "yes");
   return cluster.any_failed() ? 1 : 0;

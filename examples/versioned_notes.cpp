@@ -1,15 +1,17 @@
-// A miniature Wiki / shared-notes application built on the FAUST public
-// API — the kind of "Web 2.0 collaboration tool" the paper's introduction
-// motivates. Each author keeps a page in their own register; everyone
-// reads everyone's pages; the application surfaces FAUST's stability
-// information as a per-page "verified by all collaborators" badge.
+// A miniature Wiki / shared-notes application built on the unified
+// faust::api::Store facade — the kind of "Web 2.0 collaboration tool" the
+// paper's introduction motivates. Each author keeps pages under their own
+// key prefix; everyone reads everyone's pages; the application surfaces
+// FAUST's stability information as a per-revision "verified by all
+// collaborators" badge, straight off the facade's result structs.
 //
 //   build/examples/versioned_notes
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <string>
-#include <vector>
 
+#include "api/store.h"
 #include "faust/cluster.h"
 
 using namespace faust;
@@ -17,28 +19,28 @@ using namespace faust;
 namespace {
 
 struct NotesApp {
-  Cluster& cluster;
-  ClientId me;
-  std::map<Timestamp, std::string> my_edits;  // timestamp -> content
+  api::Store& store;
+  const char* name;
+  std::map<Timestamp, std::string> my_edits;  // publication timestamp -> content
 
   void save_page(const std::string& content) {
-    const Timestamp t = cluster.write(me, content);
-    my_edits[t] = content;
-    std::printf("  [author %d] saved revision (t=%llu): \"%s\"\n", me,
-                (unsigned long long)t, content.c_str());
+    const api::PutResult r = store.put("page/" + std::string(name), content).settle();
+    my_edits[r.ts] = content;
+    std::printf("  [%s] saved revision (t=%llu): \"%s\"\n", name, (unsigned long long)r.ts,
+                content.c_str());
   }
 
-  std::string load_page(ClientId author) {
-    const ustor::Value v = cluster.read(me, author);
-    return v.has_value() ? to_string(*v) : "(empty page)";
+  std::string load_page(const std::string& author) {
+    const api::GetResult r = store.get("page/" + author).settle();
+    return r.entry ? r.entry->value : "(empty page)";
   }
 
   /// A revision is "verified" once it is stable w.r.t. every collaborator:
   /// from then on the prefix of the execution up to it is linearizable, no
   /// matter what the provider does later.
   void print_status() {
-    const Timestamp stable = cluster.client(me).fully_stable_timestamp();
-    std::printf("  [author %d] revisions:\n", me);
+    const Timestamp stable = store.stable_ts(0);
+    std::printf("  [%s] revisions:\n", name);
     for (const auto& [t, content] : my_edits) {
       std::printf("     t=%-3llu %-34s %s\n", (unsigned long long)t, content.c_str(),
                   t <= stable ? "[verified by all collaborators]" : "[pending verification]");
@@ -60,9 +62,12 @@ int main() {
   cfg.faust.probe_check_period = 1'000;
   Cluster cluster(cfg);
 
-  NotesApp alice{cluster, 1, {}};
-  NotesApp bob{cluster, 2, {}};
-  NotesApp carol{cluster, 3, {}};
+  auto s1 = api::open_store(cluster, 1);
+  auto s2 = api::open_store(cluster, 2);
+  auto s3 = api::open_store(cluster, 3);
+  NotesApp alice{*s1, "alice", {}};
+  NotesApp bob{*s2, "bob", {}};
+  NotesApp carol{*s3, "carol", {}};
 
   std::printf("-- everyone drafts their page ---------------------------------\n");
   alice.save_page("Meeting notes: kickoff");
@@ -70,9 +75,9 @@ int main() {
   carol.save_page("TODO list");
 
   std::printf("\n-- cross reading ----------------------------------------------\n");
-  std::printf("  bob sees alice's page:  \"%s\"\n", bob.load_page(1).c_str());
-  std::printf("  carol sees bob's page:  \"%s\"\n", carol.load_page(2).c_str());
-  std::printf("  alice sees carol's page:\"%s\"\n", alice.load_page(3).c_str());
+  std::printf("  bob sees alice's page:  \"%s\"\n", bob.load_page("alice").c_str());
+  std::printf("  carol sees bob's page:  \"%s\"\n", carol.load_page("bob").c_str());
+  std::printf("  alice sees carol's page:\"%s\"\n", alice.load_page("carol").c_str());
 
   std::printf("\n-- edits keep flowing -----------------------------------------\n");
   alice.save_page("Meeting notes: kickoff + action items");

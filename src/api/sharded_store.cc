@@ -1,0 +1,119 @@
+// api::Store over a sharded deployment: wraps shard::ShardedKvClient
+// (the legacy sharded engine, which already owns routing, cross-shard
+// sequence coordination and fail-settling) and translates its hooks into
+// facade events. Works in both execution modes; under kThreaded the
+// engine posts every op body onto the home shard's runtime.
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "api/store.h"
+#include "shard/sharded_cluster.h"
+#include "shard/sharded_kv_client.h"
+
+namespace faust::api {
+namespace {
+
+class ShardedStore final : public Store {
+ public:
+  ShardedStore(shard::ShardedCluster& deployment, ClientId id)
+      : deployment_(deployment), id_(id), kv_(deployment, id) {
+    if (deployment_.threaded()) {
+      core_->mode = detail::StoreCore::Mode::kBlock;
+    } else {
+      core_->mode = detail::StoreCore::Mode::kStep;
+      core_->sched = &deployment_.sched();
+    }
+    kv_.on_fail = [this](std::size_t s, FailureReason reason) {
+      Event e;
+      e.kind = Event::Kind::kShardFailed;
+      e.shard = s;
+      e.reason = reason;
+      emit(e);
+    };
+    // Surface each shard's stable_i as a facade event, preserving any
+    // handler the harness installed. The swap mutates FaustClient state,
+    // so it runs on the shard's own thread; a shard whose runtime is
+    // already stopped is skipped (and not "restored" at destruction).
+    chained_stable_.resize(deployment_.shards());
+    hooked_.assign(deployment_.shards(), false);
+    for (std::size_t s = 0; s < deployment_.shards(); ++s) {
+      hooked_[s] = run_on_shard_sync(s, [this, s] {
+        FaustClient& f = deployment_.shard(s).client(id_);
+        chained_stable_[s] = f.on_stable;
+        auto prev = f.on_stable;
+        f.on_stable = [this, s, prev = std::move(prev)](const FaustClient::StabilityCut& w) {
+          if (prev) prev(w);
+          Event e;
+          e.kind = Event::Kind::kStabilityAdvanced;
+          e.shard = s;
+          e.stable_ts = deployment_.shard(s).client(id_).fully_stable_timestamp();
+          emit(e);
+        };
+      });
+    }
+  }
+
+  /// Restores the stability hooks, then lets the wrapped engine's
+  /// destructor settle every in-flight op (which resolves the facade's
+  /// outstanding tickets with their failure outcomes). Destructor
+  /// contract as everywhere in the shard layer: threaded deployments must
+  /// be stop()ped (or quiescent) first.
+  ~ShardedStore() override {
+    begin_close();  // chains settle inline once ~kv_ aborts their steps
+    for (std::size_t s = 0; s < chained_stable_.size(); ++s) {
+      if (hooked_[s]) {
+        deployment_.shard(s).client(id_).on_stable = std::move(chained_stable_[s]);
+      }
+    }
+  }
+
+  ClientId id() const override { return id_; }
+  std::size_t shards() const override { return deployment_.shards(); }
+  std::size_t home_shard(std::string_view key) const override {
+    return deployment_.router().shard_of(key);
+  }
+  Timestamp stable_ts(std::size_t s) const override {
+    return deployment_.shard(s).client(id_).fully_stable_timestamp();
+  }
+  bool failed(std::size_t s) const override {
+    return deployment_.shard(s).client(id_).failed();
+  }
+
+ protected:
+  std::uint64_t engine_next_seq() override { return kv_.draw_seq(); }
+
+  void engine_mutate(std::size_t s, std::vector<kv::KvClient::SeqChange> changes,
+                     MutateDone done) override {
+    kv_.apply_on_shard(s, std::move(changes), std::move(done));
+  }
+
+  void engine_snapshot(std::size_t s, SnapshotDone done) override {
+    kv_.snapshot_on_shard(s, std::move(done));
+  }
+
+ private:
+  bool run_on_shard_sync(std::size_t s, const std::function<void()>& body) {
+    if (!deployment_.threaded()) {
+      body();
+      return true;
+    }
+    return exec::post_sync(deployment_.shard_exec(s), body);
+  }
+
+  shard::ShardedCluster& deployment_;
+  const ClientId id_;
+  shard::ShardedKvClient kv_;
+  std::vector<FaustClient::StableHandler> chained_stable_;  // restored at dtor...
+  std::vector<bool> hooked_;  // ...per shard, only if its hook swap ran
+};
+
+}  // namespace
+
+std::unique_ptr<Store> open_store(shard::ShardedCluster& deployment, ClientId id) {
+  return std::make_unique<ShardedStore>(deployment, id);
+}
+
+}  // namespace faust::api

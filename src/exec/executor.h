@@ -25,8 +25,11 @@
 // protocol objects run unchanged on top of it.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <thread>
 
 namespace faust::exec {
 
@@ -64,5 +67,38 @@ class Executor {
   /// without talking about time at all.
   virtual EventId post(Task task) { return after(0, std::move(task)); }
 };
+
+/// Runs `body` on `exec`'s thread and waits for it to finish. Returns
+/// false when the executor shut down without running it — either the
+/// post was refused outright (a stopped runtime returns id 0) or the
+/// runtime stopped after accepting the task and dropped its queue, which
+/// the wait detects by probing with further posts. Must not be called
+/// from the executor's own thread (it would wait on itself); for a
+/// single-threaded executor like sim::Scheduler run the body inline
+/// instead. The posted task owns its state (shared, body copied), so an
+/// early false return never leaves it with dangling captures; but note
+/// that stop()ping the executor concurrently with a post_sync on it is
+/// outside the runtime's threading contract (one controlling thread), and
+/// under such a race a false return only means the body was not yet
+/// OBSERVED to run.
+inline bool post_sync(Executor& exec, std::function<void()> body) {
+  auto ran = std::make_shared<std::atomic<bool>>(false);
+  if (exec.post([ran, body = std::move(body)] {
+        body();
+        ran->store(true, std::memory_order_release);
+      }) == 0) {
+    return false;
+  }
+  std::uint32_t spins = 0;
+  while (!ran->load(std::memory_order_acquire)) {
+    // Probe occasionally: once stopped, every post returns 0, and the
+    // accepted-then-dropped task will never run.
+    if (++spins % 1024 == 0 && exec.post([] {}) == 0) {
+      return ran->load(std::memory_order_acquire);
+    }
+    std::this_thread::yield();
+  }
+  return true;
+}
 
 }  // namespace faust::exec

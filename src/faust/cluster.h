@@ -68,6 +68,11 @@ class Cluster {
   /// runtime, where time cannot be stepped from outside.
   sim::Scheduler& sched();
 
+  /// True when the deployment runs on a sim::Scheduler (sched() is legal
+  /// and callers drive completion by stepping it); false under a threaded
+  /// runtime, where work must be post()ed onto exec() and waited for.
+  bool simulated() const { return sim_ != nullptr; }
+
   net::Network& net() { return *net_; }
   const net::Network& net() const { return *net_; }
   net::Mailbox& mail() { return *mail_; }

@@ -47,8 +47,33 @@ void KvClient::put(std::string key, std::string value, PutHandler done) {
 }
 
 void KvClient::erase(const std::string& key, PutHandler done) {
-  own_.erase(key);
+  if (own_.erase(key) == 0) {
+    // The key was never in this client's partition: republishing would
+    // re-sign the identical map for nothing. Complete immediately with 0
+    // ("no register write was needed").
+    if (done) done(0);
+    return;
+  }
   ++put_seq_;  // keeps (seq, writer) strictly advancing across publications
+  publish(std::move(done));
+}
+
+void KvClient::apply_with_seqs(const std::vector<SeqChange>& changes, PutHandler done) {
+  bool any = false;
+  for (const auto& change : changes) {
+    if (change.seq == 0) continue;  // caller-marked no-op
+    if (change.value.has_value()) {
+      own_[change.key] = {*change.value, change.seq};
+    } else {
+      own_.erase(change.key);
+    }
+    put_seq_ = std::max(put_seq_, change.seq);
+    any = true;
+  }
+  if (!any) {
+    if (done) done(0);
+    return;
+  }
   publish(std::move(done));
 }
 
@@ -58,7 +83,7 @@ void KvClient::publish(PutHandler done) {
   });
 }
 
-void KvClient::snapshot(std::function<void(std::map<std::string, KvEntry>)> done) {
+void KvClient::snapshot(std::function<void(std::map<std::string, KvEntry>, Timestamp)> done) {
   // Read all n partitions sequentially (the FAUST client runs one op at a
   // time anyway), merging as results arrive.
   auto snap = std::make_shared<Snapshot>();
@@ -69,7 +94,7 @@ void KvClient::snapshot(std::function<void(std::map<std::string, KvEntry>)> done
 void KvClient::read_partition(ClientId j, std::shared_ptr<Snapshot> snap) {
   if (j > faust_.n()) {
     last_snapshot_ts_ = snap->max_read_ts;
-    snap->done(std::move(snap->merged));
+    snap->done(std::move(snap->merged), snap->max_read_ts);
     return;
   }
   faust_.read(j, [this, j, snap](const ustor::Value& v, Timestamp t) {
@@ -91,18 +116,20 @@ void KvClient::read_partition(ClientId j, std::shared_ptr<Snapshot> snap) {
 }
 
 void KvClient::get(const std::string& key, GetHandler done) {
-  snapshot([key, done = std::move(done)](std::map<std::string, KvEntry> merged) {
+  snapshot([key, done = std::move(done)](std::map<std::string, KvEntry> merged, Timestamp ts) {
     auto it = merged.find(key);
     if (it == merged.end()) {
-      done(std::nullopt);
+      done(std::nullopt, ts);
     } else {
-      done(std::move(it->second));
+      done(std::move(it->second), ts);
     }
   });
 }
 
 void KvClient::list(ListHandler done) {
-  snapshot([done = std::move(done)](std::map<std::string, KvEntry> merged) { done(merged); });
+  snapshot([done = std::move(done)](std::map<std::string, KvEntry> merged, Timestamp ts) {
+    done(merged, ts);
+  });
 }
 
 }  // namespace faust::kv

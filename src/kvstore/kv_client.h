@@ -20,6 +20,8 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "faust/faust_client.h"
 
@@ -32,6 +34,10 @@ struct KvEntry {
   std::uint64_t seq = 0;     // the writer's put counter at that put
 };
 
+inline bool operator==(const KvEntry& a, const KvEntry& b) {
+  return a.value == b.value && a.writer == b.writer && a.seq == b.seq;
+}
+
 /// Serialization of a client's private map (exposed for tests).
 Bytes encode_map(const std::map<std::string, std::pair<std::string, std::uint64_t>>& m);
 std::optional<std::map<std::string, std::pair<std::string, std::uint64_t>>> decode_map(
@@ -41,8 +47,11 @@ std::optional<std::map<std::string, std::pair<std::string, std::uint64_t>>> deco
 class KvClient {
  public:
   using PutHandler = std::function<void(Timestamp)>;
-  using GetHandler = std::function<void(std::optional<KvEntry>)>;
-  using ListHandler = std::function<void(const std::map<std::string, KvEntry>&)>;
+  /// `done(entry, read_ts)`: read_ts is the largest FAUST timestamp among
+  /// the observing register reads — the snapshot is *stable* once the
+  /// stability cut covers it (see last_snapshot_ts()).
+  using GetHandler = std::function<void(std::optional<KvEntry>, Timestamp)>;
+  using ListHandler = std::function<void(const std::map<std::string, KvEntry>&, Timestamp)>;
 
   /// Borrows `faust`; the caller keeps it alive. Multiple KvClients must
   /// not share one FaustClient.
@@ -54,8 +63,33 @@ class KvClient {
   void put(std::string key, std::string value, PutHandler done = {});
 
   /// Removes `key` from this client's partition (other writers' entries
-  /// for the key survive and may win subsequent merges).
+  /// for the key survive and may win subsequent merges). When the key is
+  /// not in this client's own partition the erase is a no-op: nothing is
+  /// re-signed or republished and `done(0)` fires immediately — 0 marks
+  /// "no register write was needed", not a failure.
   void erase(const std::string& key, PutHandler done = {});
+
+  /// One batch change with its sequence number pre-drawn by the caller
+  /// (api::Store draws tickets at plan time, in program order, so that a
+  /// batch's winners are identical on every backend — see store.h).
+  /// seq == 0 marks a no-op (an erase of a key the caller knows is
+  /// absent): the change is skipped entirely.
+  struct SeqChange {
+    std::string key;
+    std::optional<std::string> value;  // nullopt = erase
+    std::uint64_t seq = 0;
+  };
+
+  /// Applies every change in order under its pre-drawn sequence number
+  /// and publishes the partition ONCE (or not at all when every change is
+  /// a no-op — `done(0)` then fires immediately). Conflict winners are
+  /// exactly as if the changes had been individual put/erase calls with
+  /// those sequence numbers; the intermediate register states are simply
+  /// never materialized. This is the batching engine under
+  /// api::Store::apply. The caller's sequence numbers must be fresh
+  /// (larger than any this client used before); put_seq() advances past
+  /// them.
+  void apply_with_seqs(const std::vector<SeqChange>& changes, PutHandler done = {});
 
   /// Merged lookup across all n partitions (issues n register reads).
   void get(const std::string& key, GetHandler done);
@@ -95,13 +129,14 @@ class KvClient {
   struct Snapshot {
     std::map<std::string, KvEntry> merged;
     Timestamp max_read_ts = 0;
-    std::function<void(std::map<std::string, KvEntry>)> done;
+    std::function<void(std::map<std::string, KvEntry>, Timestamp)> done;
   };
 
   void publish(PutHandler done);
 
-  /// Collects all n registers, then merges and calls `done`.
-  void snapshot(std::function<void(std::map<std::string, KvEntry>)> done);
+  /// Collects all n registers, then merges and calls `done` with the
+  /// merged map and the snapshot's observing-read timestamp.
+  void snapshot(std::function<void(std::map<std::string, KvEntry>, Timestamp)> done);
 
   /// Reads partition j, merges it, recurses to j+1; fires `done` past n.
   void read_partition(ClientId j, std::shared_ptr<Snapshot> snap);

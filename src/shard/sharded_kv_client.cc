@@ -20,9 +20,12 @@ ShardedKvClient::ShardedKvClient(ShardedCluster& deployment, ClientId id)
   // Surface each shard's fail_i through the sharded client, preserving
   // any handler the harness installed before us, and flush the ops the
   // halted FaustClient would otherwise leave dangling. The handler swap
-  // mutates FaustClient state, so it runs on the shard's own thread.
+  // mutates FaustClient state, so it runs on the shard's own thread; if
+  // a shard's runtime is already stopped the swap never happens and the
+  // destructor must not "restore" anything there.
+  hooked_.assign(s_count, false);
   for (std::size_t s = 0; s < s_count; ++s) {
-    dispatch_sync(s, [this, s] {
+    hooked_[s] = dispatch_sync(s, [this, s] {
       FaustClient& f = deployment_.shard(s).client(id_);
       chained_on_fail_[s] = f.on_fail;
       auto prev = f.on_fail;
@@ -45,30 +48,26 @@ ShardedKvClient::~ShardedKvClient() {
   // so touching the shards inline is safe here.
   for (std::size_t s = 0; s < kv_.size(); ++s) settle_failed_shard(s);
   for (std::size_t s = 0; s < kv_.size(); ++s) {
-    deployment_.shard(s).client(id_).on_fail = std::move(chained_on_fail_[s]);
+    if (hooked_[s]) {
+      deployment_.shard(s).client(id_).on_fail = std::move(chained_on_fail_[s]);
+    }
   }
 }
 
-void ShardedKvClient::dispatch(std::size_t s, std::function<void()> body) {
+bool ShardedKvClient::dispatch(std::size_t s, std::function<void()> body) {
   if (deployment_.threaded()) {
-    deployment_.shard_exec(s).post(std::move(body));
-  } else {
-    body();
+    return deployment_.shard_exec(s).post(std::move(body)) != 0;
   }
+  body();
+  return true;
 }
 
-void ShardedKvClient::dispatch_sync(std::size_t s, const std::function<void()>& body) {
+bool ShardedKvClient::dispatch_sync(std::size_t s, const std::function<void()>& body) {
   if (!deployment_.threaded()) {
     body();
-    return;
+    return true;
   }
-  std::atomic<bool> ran{false};
-  const exec::EventId posted = deployment_.shard_exec(s).post([&body, &ran] {
-    body();
-    ran.store(true, std::memory_order_release);
-  });
-  if (posted == 0) return;  // runtime already stopped: nothing will run
-  while (!ran.load(std::memory_order_acquire)) std::this_thread::yield();
+  return exec::post_sync(deployment_.shard_exec(s), body);
 }
 
 void ShardedKvClient::settle_failed_shard(std::size_t s) {
@@ -107,6 +106,13 @@ void ShardedKvClient::put_on_shard(std::size_t s, std::string key, std::string v
     // fail_i halted the home shard: the write cannot take effect. Report
     // completion-with-timestamp-0 (the Cluster::write convention) rather
     // than leaving the caller waiting on a halted client.
+    if (done) done(0);
+    return;
+  }
+  if (is_erase && kv.own_partition().find(key) == kv.own_partition().end()) {
+    // No-op erase: KvClient will not publish, so drawing a cross-shard
+    // sequence ticket here would desynchronize the counters from the
+    // single-deployment oracle (which does not bump either).
     if (done) done(0);
     return;
   }
@@ -183,11 +189,11 @@ void ShardedKvClient::get_on_shard(std::size_t s, const std::string& key, GetHan
       complete(r);
     });
   }
-  kv.get(key, [&kv, s, complete](std::optional<kv::KvEntry> e) {
+  kv.get(key, [&kv, s, complete](std::optional<kv::KvEntry> e, Timestamp read_ts) {
     ShardedGetResult r;
     r.entry = std::move(e);
     r.shard = s;
-    r.read_ts = kv.last_snapshot_ts();
+    r.read_ts = read_ts;
     r.shard_failed = kv.faust().failed();
     complete(r);
   });
@@ -252,7 +258,93 @@ void ShardedKvClient::list_on_shard(std::size_t s, const std::shared_ptr<Fan>& f
     std::lock_guard lock(mu_);
     pending_[s].emplace(id, [finish] { finish(false, nullptr); });
   }
-  kv.list([finish](const std::map<std::string, kv::KvEntry>& m) { finish(true, &m); });
+  kv.list([finish](const std::map<std::string, kv::KvEntry>& m, Timestamp) { finish(true, &m); });
+}
+
+std::uint64_t ShardedKvClient::draw_seq() {
+  std::lock_guard lock(mu_);
+  return ++seq_;
+}
+
+void ShardedKvClient::apply_on_shard(std::size_t s,
+                                     std::vector<kv::KvClient::SeqChange> changes,
+                                     MutateHandler done) {
+  FAUST_CHECK(s < kv_.size());
+  // Arm the pending ticket on the CALLER's thread, before dispatching:
+  // if the shard's runtime stops (or its fail_i settles the shard) before
+  // the body ever runs, destruction-settling still completes the op.
+  std::uint64_t id;
+  auto fired = std::make_shared<bool>(false);
+  MutateHandler complete;
+  {
+    std::lock_guard lock(mu_);
+    id = ++next_op_;
+    complete = [this, s, id, fired, done = std::move(done)](Timestamp t, bool failed) {
+      {
+        std::lock_guard relock(mu_);
+        if (*fired) return;
+        *fired = true;
+        pending_[s].erase(id);
+      }
+      if (done) done(t, failed);
+    };
+    pending_[s].emplace(id, [complete] { complete(0, /*failed=*/true); });
+  }
+  if (!dispatch(s, [this, s, changes = std::move(changes), complete]() mutable {
+        mutate_on_shard(s, std::move(changes), std::move(complete));
+      })) {
+    complete(0, /*failed=*/true);  // runtime stopped: the body never runs
+  }
+}
+
+void ShardedKvClient::mutate_on_shard(std::size_t s,
+                                      std::vector<kv::KvClient::SeqChange> changes,
+                                      MutateHandler complete) {
+  kv::KvClient& kv = *kv_[s];
+  if (kv.faust().failed()) {
+    complete(0, /*failed=*/true);
+    return;
+  }
+  kv.apply_with_seqs(changes, [complete](Timestamp t) { complete(t, /*failed=*/false); });
+}
+
+void ShardedKvClient::snapshot_on_shard(std::size_t s, SnapshotHandler done) {
+  FAUST_CHECK(s < kv_.size());
+  // Same arm-before-dispatch discipline as apply_on_shard.
+  std::uint64_t id;
+  auto fired = std::make_shared<bool>(false);
+  SnapshotHandler complete;
+  {
+    std::lock_guard lock(mu_);
+    id = ++next_op_;
+    complete = [this, s, id, fired, done = std::move(done)](
+                   std::optional<std::map<std::string, kv::KvEntry>> m, Timestamp ts) {
+      {
+        std::lock_guard relock(mu_);
+        if (*fired) return;
+        *fired = true;
+        pending_[s].erase(id);
+      }
+      if (done) done(std::move(m), ts);
+    };
+    pending_[s].emplace(id, [complete] { complete(std::nullopt, 0); });
+  }
+  if (!dispatch(s, [this, s, complete]() mutable {
+        snapshot_shard(s, std::move(complete));
+      })) {
+    complete(std::nullopt, 0);  // runtime stopped: the body never runs
+  }
+}
+
+void ShardedKvClient::snapshot_shard(std::size_t s, SnapshotHandler complete) {
+  kv::KvClient& kv = *kv_[s];
+  if (kv.faust().failed()) {
+    complete(std::nullopt, 0);
+    return;
+  }
+  kv.list([complete](const std::map<std::string, kv::KvEntry>& m, Timestamp ts) {
+    complete(m, ts);
+  });
 }
 
 bool ShardedKvClient::any_shard_failed() const {

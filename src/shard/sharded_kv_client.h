@@ -101,8 +101,44 @@ class ShardedKvClient {
   /// threaded).
   void put(std::string key, std::string value, PutHandler done = {});
 
-  /// Removes this client's entry for `key` from its home shard.
+  /// Removes this client's entry for `key` from its home shard. Erasing a
+  /// key absent from this client's home-shard partition is a complete
+  /// no-op (no cross-shard sequence ticket, no publication) and completes
+  /// with t=0, matching KvClient::erase.
   void erase(const std::string& key, PutHandler done = {});
+
+  // --- Batch engine hooks (the api::Store facade drives these) ----------
+
+  /// `done(t, failed)`: t is the publication timestamp (0 when nothing
+  /// needed publishing or the shard failed); `failed` disambiguates the
+  /// two t=0 cases.
+  using MutateHandler = std::function<void(Timestamp, bool failed)>;
+  /// `done(merged, read_ts)`: the shard's full merged snapshot, or
+  /// nullopt when the shard failed.
+  using SnapshotHandler =
+      std::function<void(std::optional<std::map<std::string, kv::KvEntry>>, Timestamp)>;
+
+  /// Draws one cross-shard sequence ticket. The facade draws tickets at
+  /// plan time, in batch program order, so a batch's winners (and exact
+  /// per-entry sequence numbers) are identical to the single-deployment
+  /// oracle replaying the same ops — regardless of the order the shard
+  /// chains execute in (which races under kThreaded). Thread-safe.
+  std::uint64_t draw_seq();
+
+  /// Applies `changes` (with their pre-drawn tickets, KvClient
+  /// apply_with_seqs rules) to shard `s`'s partition in ONE publication.
+  /// The caller must route only keys homed on `s` here. The op is
+  /// registered in the pending set BEFORE it is dispatched to the shard
+  /// thread, so it settles with the failure outcome even when the runtime
+  /// stops before the body ever runs.
+  void apply_on_shard(std::size_t s, std::vector<kv::KvClient::SeqChange> changes,
+                      MutateHandler done);
+
+  /// One merged snapshot of shard `s` (n register reads), serving any
+  /// number of point lookups and list contributions at a batch's read
+  /// point. Settles with (nullopt, 0) if the shard fails (or its runtime
+  /// stops) mid-operation; same arm-before-dispatch guarantee as above.
+  void snapshot_on_shard(std::size_t s, SnapshotHandler done);
 
   /// Merged lookup in the key's home shard.
   void get(const std::string& key, GetHandler done);
@@ -150,18 +186,24 @@ class ShardedKvClient {
 
   /// Runs `body` on shard `s`'s executor thread: inline when the
   /// deployment is deterministic (single-threaded), post()ed when
-  /// threaded. All protocol-object access funnels through this.
-  void dispatch(std::size_t s, std::function<void()> body);
+  /// threaded. All protocol-object access funnels through this. Returns
+  /// false when a stopped runtime refused the post (the body will never
+  /// run); ops with an armed pending ticket must then settle themselves.
+  bool dispatch(std::size_t s, std::function<void()> body);
 
   /// Posts `body` to shard `s` and waits for it to run (threaded), or
-  /// runs it inline (deterministic). Construction-time only.
-  void dispatch_sync(std::size_t s, const std::function<void()>& body);
+  /// runs it inline (deterministic). Construction-time only. Returns
+  /// false when the shard's runtime was stopped and the body never ran.
+  bool dispatch_sync(std::size_t s, const std::function<void()>& body);
 
   // Operation bodies; always run on shard `s`'s thread.
   void put_on_shard(std::size_t s, std::string key, std::string value, PutHandler done,
                     bool is_erase);
   void get_on_shard(std::size_t s, const std::string& key, GetHandler done);
   void list_on_shard(std::size_t s, const std::shared_ptr<Fan>& fan);
+  void mutate_on_shard(std::size_t s, std::vector<kv::KvClient::SeqChange> changes,
+                       MutateHandler complete);
+  void snapshot_shard(std::size_t s, SnapshotHandler complete);
 
   /// Completes every op still in flight on shard `s` with its failure
   /// outcome. fail_i mid-operation halts the FaustClient and drops its
@@ -185,6 +227,9 @@ class ShardedKvClient {
   /// with the failed-shard outcome (idempotent with the normal path).
   std::vector<std::map<std::uint64_t, std::function<void()>>> pending_;
   std::vector<FaustClient::FailHandler> chained_on_fail_;  // restored at dtor
+  /// [shard]: the fail hook swap actually ran (its runtime was alive);
+  /// only then does the destructor restore chained_on_fail_.
+  std::vector<bool> hooked_;
 };
 
 }  // namespace faust::shard

@@ -1,10 +1,14 @@
-// Tests for the key-value layer over FAUST registers.
+// Tests for the key-value layer over FAUST registers, driven through the
+// unified faust::api::Store facade (the kv::KvClient engine underneath is
+// additionally pinned by the differential tests, which replay against it
+// directly as the oracle).
 #include <gtest/gtest.h>
 
 #include <memory>
 #include <vector>
 
 #include "adversary/forking_server.h"
+#include "api/store.h"
 #include "faust/cluster.h"
 #include "kvstore/kv_client.h"
 
@@ -14,7 +18,7 @@ namespace {
 struct KvFixture : ::testing::Test {
   ClusterConfig cfg;
   std::unique_ptr<Cluster> cluster;
-  std::vector<std::unique_ptr<KvClient>> kv;
+  std::vector<std::unique_ptr<api::Store>> stores;
 
   void SetUp() override {
     cfg.n = 3;
@@ -23,124 +27,124 @@ struct KvFixture : ::testing::Test {
     cfg.faust.probe_check_period = 0;
     cluster = std::make_unique<Cluster>(cfg);
     for (ClientId i = 1; i <= cfg.n; ++i) {
-      kv.push_back(std::make_unique<KvClient>(cluster->client(i)));
+      stores.push_back(api::open_store(*cluster, i));
     }
   }
 
-  KvClient& store(ClientId i) { return *kv[static_cast<std::size_t>(i - 1)]; }
+  api::Store& store(ClientId i) { return *stores[static_cast<std::size_t>(i - 1)]; }
 
-  bool put(ClientId i, const std::string& k, const std::string& v) {
-    bool done = false;
-    store(i).put(k, v, [&](Timestamp) { done = true; });
-    drive(done);
-    return done;
+  api::PutResult put(ClientId i, const std::string& k, const std::string& v) {
+    return store(i).put(k, v).settle();
   }
 
-  std::optional<KvEntry> get(ClientId i, const std::string& k) {
-    bool done = false;
-    std::optional<KvEntry> out;
-    store(i).get(k, [&](std::optional<KvEntry> e) {
-      out = std::move(e);
-      done = true;
-    });
-    drive(done);
-    return out;
+  api::GetResult get(ClientId i, const std::string& k) {
+    return store(i).get(k).settle();
   }
 
-  std::map<std::string, KvEntry> list(ClientId i) {
-    bool done = false;
-    std::map<std::string, KvEntry> out;
-    store(i).list([&](const std::map<std::string, KvEntry>& m) {
-      out = m;
-      done = true;
-    });
-    drive(done);
-    return out;
-  }
+  api::ListResult list(ClientId i) { return store(i).list().settle(); }
 
-  bool erase(ClientId i, const std::string& k) {
-    bool done = false;
-    store(i).erase(k, [&](Timestamp) { done = true; });
-    drive(done);
-    return done;
-  }
-
-  void drive(bool& done) {
-    std::size_t steps = 0;
-    while (!done && steps < 1'000'000 && cluster->sched().step()) ++steps;
+  api::PutResult erase(ClientId i, const std::string& k) {
+    return store(i).erase(k).settle();
   }
 };
 
 TEST_F(KvFixture, PutGetAcrossClients) {
-  ASSERT_TRUE(put(1, "title", "FAUST"));
-  const auto e = get(2, "title");
-  ASSERT_TRUE(e.has_value());
-  EXPECT_EQ(e->value, "FAUST");
-  EXPECT_EQ(e->writer, 1);
+  const api::PutResult p = put(1, "title", "FAUST");
+  EXPECT_GT(p.ts, 0u);
+  EXPECT_FALSE(p.failed);
+  const api::GetResult e = get(2, "title");
+  ASSERT_TRUE(e.entry.has_value());
+  EXPECT_EQ(e.entry->value, "FAUST");
+  EXPECT_EQ(e.entry->writer, 1);
+  EXPECT_GT(e.read_ts, 0u) << "single-deployment gets report their observing reads too";
+  EXPECT_FALSE(e.failed);
 }
 
 TEST_F(KvFixture, MissingKeyIsNullopt) {
-  EXPECT_FALSE(get(1, "nothing").has_value());
-  ASSERT_TRUE(put(2, "a", "1"));
-  EXPECT_FALSE(get(1, "b").has_value());
+  EXPECT_FALSE(get(1, "nothing").entry.has_value());
+  ASSERT_GT(put(2, "a", "1").ts, 0u);
+  EXPECT_FALSE(get(1, "b").entry.has_value());
 }
 
 TEST_F(KvFixture, OwnOverwriteWins) {
-  ASSERT_TRUE(put(1, "k", "v1"));
-  ASSERT_TRUE(put(1, "k", "v2"));
-  const auto e = get(3, "k");
-  ASSERT_TRUE(e.has_value());
-  EXPECT_EQ(e->value, "v2");
-  EXPECT_EQ(e->seq, 2u);
+  ASSERT_GT(put(1, "k", "v1").ts, 0u);
+  ASSERT_GT(put(1, "k", "v2").ts, 0u);
+  const api::GetResult e = get(3, "k");
+  ASSERT_TRUE(e.entry.has_value());
+  EXPECT_EQ(e.entry->value, "v2");
+  EXPECT_EQ(e.entry->seq, 2u);
 }
 
 TEST_F(KvFixture, CrossWriterConflictResolvedDeterministically) {
   // Same key written by two clients; winner = larger (seq, writer).
-  ASSERT_TRUE(put(1, "k", "from-1"));  // seq 1, writer 1
-  ASSERT_TRUE(put(2, "k", "from-2"));  // seq 1, writer 2 -> wins on writer id
+  ASSERT_GT(put(1, "k", "from-1").ts, 0u);  // seq 1, writer 1
+  ASSERT_GT(put(2, "k", "from-2").ts, 0u);  // seq 1, writer 2 -> wins on writer id
   for (ClientId reader = 1; reader <= 3; ++reader) {
-    const auto e = get(reader, "k");
-    ASSERT_TRUE(e.has_value());
-    EXPECT_EQ(e->value, "from-2") << "reader " << reader;
-    EXPECT_EQ(e->writer, 2);
+    const api::GetResult e = get(reader, "k");
+    ASSERT_TRUE(e.entry.has_value());
+    EXPECT_EQ(e.entry->value, "from-2") << "reader " << reader;
+    EXPECT_EQ(e.entry->writer, 2);
   }
   // Client 1 writes again: seq 2 beats seq 1 regardless of writer id.
-  ASSERT_TRUE(put(1, "k", "from-1-again"));
-  const auto e = get(3, "k");
-  EXPECT_EQ(e->value, "from-1-again");
+  ASSERT_GT(put(1, "k", "from-1-again").ts, 0u);
+  const api::GetResult e = get(3, "k");
+  EXPECT_EQ(e.entry->value, "from-1-again");
 }
 
 TEST_F(KvFixture, EraseRemovesOwnEntryOnly) {
-  ASSERT_TRUE(put(1, "k", "mine"));
-  ASSERT_TRUE(put(2, "k", "theirs"));
-  ASSERT_TRUE(erase(2, "k"));
-  const auto e = get(3, "k");
-  ASSERT_TRUE(e.has_value()) << "client 1's entry must survive";
-  EXPECT_EQ(e->value, "mine");
-  ASSERT_TRUE(erase(1, "k"));
-  EXPECT_FALSE(get(3, "k").has_value());
+  ASSERT_GT(put(1, "k", "mine").ts, 0u);
+  ASSERT_GT(put(2, "k", "theirs").ts, 0u);
+  ASSERT_GT(erase(2, "k").ts, 0u);
+  const api::GetResult e = get(3, "k");
+  ASSERT_TRUE(e.entry.has_value()) << "client 1's entry must survive";
+  EXPECT_EQ(e.entry->value, "mine");
+  ASSERT_GT(erase(1, "k").ts, 0u);
+  EXPECT_FALSE(get(3, "k").entry.has_value());
+}
+
+TEST_F(KvFixture, EraseOfAbsentKeyIssuesNoRegisterWrite) {
+  // The no-op-publish satellite: erasing a key the caller never wrote
+  // must not re-sign and republish the unchanged partition.
+  ASSERT_GT(put(1, "present", "v").ts, 0u);
+  const std::uint64_t msgs_before = cluster->net().total().messages;
+  const std::uint64_t sched_before = cluster->sched().executed();
+
+  const api::PutResult r = erase(1, "never-written");
+  EXPECT_EQ(r.ts, 0u) << "no publication happened, so there is no write timestamp";
+  EXPECT_FALSE(r.failed) << "a no-op erase is a success, not a failure";
+
+  EXPECT_EQ(cluster->net().total().messages, msgs_before)
+      << "no-op erase must not put a register write (or anything else) on the wire";
+  EXPECT_EQ(cluster->sched().executed(), sched_before)
+      << "the op completes inline, without scheduling protocol events";
+
+  // And the sequence counter did not advance: the next put's entry gets
+  // the seq right after the first put's.
+  ASSERT_GT(put(1, "present", "v2").ts, 0u);
+  EXPECT_EQ(get(2, "present").entry->seq, 2u);
 }
 
 TEST_F(KvFixture, ListMergesAllPartitions) {
-  ASSERT_TRUE(put(1, "a", "1"));
-  ASSERT_TRUE(put(2, "b", "2"));
-  ASSERT_TRUE(put(3, "c", "3"));
-  const auto m = list(1);
-  ASSERT_EQ(m.size(), 3u);
-  EXPECT_EQ(m.at("a").value, "1");
-  EXPECT_EQ(m.at("b").value, "2");
-  EXPECT_EQ(m.at("c").value, "3");
-  EXPECT_EQ(m.at("c").writer, 3);
+  ASSERT_GT(put(1, "a", "1").ts, 0u);
+  ASSERT_GT(put(2, "b", "2").ts, 0u);
+  ASSERT_GT(put(3, "c", "3").ts, 0u);
+  const api::ListResult m = list(1);
+  EXPECT_TRUE(m.complete);
+  ASSERT_EQ(m.entries.size(), 3u);
+  EXPECT_EQ(m.entries.at("a").value, "1");
+  EXPECT_EQ(m.entries.at("b").value, "2");
+  EXPECT_EQ(m.entries.at("c").value, "3");
+  EXPECT_EQ(m.entries.at("c").writer, 3);
 }
 
 TEST_F(KvFixture, ManyKeysRoundtrip) {
   for (int k = 0; k < 20; ++k) {
-    ASSERT_TRUE(put((k % 3) + 1, "key" + std::to_string(k), "val" + std::to_string(k)));
+    ASSERT_GT(put((k % 3) + 1, "key" + std::to_string(k), "val" + std::to_string(k)).ts, 0u);
   }
-  const auto m = list(2);
-  ASSERT_EQ(m.size(), 20u);
+  const api::ListResult m = list(2);
+  ASSERT_EQ(m.entries.size(), 20u);
   for (int k = 0; k < 20; ++k) {
-    EXPECT_EQ(m.at("key" + std::to_string(k)).value, "val" + std::to_string(k));
+    EXPECT_EQ(m.entries.at("key" + std::to_string(k)).value, "val" + std::to_string(k));
   }
 }
 
@@ -161,9 +165,9 @@ TEST(KvCodec, MapRoundtripAndMalformedRejected) {
   EXPECT_TRUE(decode_map(encode_map({})).has_value());
 }
 
-TEST(KvUnderAttack, ForkDetectionFlowsThroughTheKvLayer) {
-  // The KV store inherits fail-awareness: a forked KV view is detected at
-  // the FAUST layer and the application learns about it via on_fail.
+TEST(KvUnderAttack, ForkDetectionFlowsThroughTheStoreFacade) {
+  // The store inherits fail-awareness: a forked view is detected at the
+  // FAUST layer and the application learns about it via on_event.
   ClusterConfig cfg;
   cfg.n = 2;
   cfg.seed = 66;
@@ -173,24 +177,26 @@ TEST(KvUnderAttack, ForkDetectionFlowsThroughTheKvLayer) {
   cfg.faust.probe_check_period = 700;
   Cluster cluster(cfg);
   adversary::ForkingServer server(cfg.n, cluster.net());
-  KvClient kv1(cluster.client(1));
-  KvClient kv2(cluster.client(2));
+  auto kv1 = api::open_store(cluster, 1);
+  auto kv2 = api::open_store(cluster, 2);
 
-  bool put_done = false;
-  kv1.put("secret", "v1", [&](Timestamp) { put_done = true; });
-  while (!put_done && cluster.sched().step()) {
-  }
-  ASSERT_TRUE(put_done);
+  bool fail_event = false;
+  kv1->on_event([&](const api::Event& e) {
+    if (e.kind == api::Event::Kind::kShardFailed) {
+      EXPECT_EQ(e.shard, 0u);
+      fail_event = true;
+    }
+  });
 
+  ASSERT_GT(kv1->put("secret", "v1").settle().ts, 0u);
   server.isolate(2);  // fork the second client away
-  bool put2_done = false;
-  kv2.put("secret", "forked", [&](Timestamp) { put2_done = true; });
-  while (!put2_done && cluster.sched().step()) {
-  }
-  ASSERT_TRUE(put2_done);
+  ASSERT_GT(kv2->put("secret", "forked").settle().ts, 0u);
 
   cluster.run_for(300'000);
-  EXPECT_TRUE(cluster.all_failed()) << "KV clients learn their provider forked them";
+  EXPECT_TRUE(cluster.all_failed()) << "clients learn their provider forked them";
+  EXPECT_TRUE(fail_event) << "the failure surfaced through the unified event hook";
+  EXPECT_TRUE(kv1->failed(0));
+  EXPECT_TRUE(kv1->any_failed());
 }
 
 }  // namespace

@@ -103,8 +103,11 @@ struct Model {
                                                         ++counters[static_cast<std::size_t>(w - 1)]};
   }
   void erase(ClientId w, const std::string& key) {
-    partitions[static_cast<std::size_t>(w - 1)].erase(key);
-    ++counters[static_cast<std::size_t>(w - 1)];
+    // No-op-erase rule: erasing a key absent from the writer's own
+    // partition consumes no sequence number (and publishes nothing).
+    if (partitions[static_cast<std::size_t>(w - 1)].erase(key) > 0) {
+      ++counters[static_cast<std::size_t>(w - 1)];
+    }
   }
   std::map<std::string, kv::KvEntry> merged() const {
     std::map<std::string, kv::KvEntry> out;
@@ -155,7 +158,7 @@ struct OracleRig {
   std::optional<kv::KvEntry> get(ClientId i, const std::string& k) {
     bool done = false;
     std::optional<kv::KvEntry> out;
-    kv[static_cast<std::size_t>(i - 1)]->get(k, [&](std::optional<kv::KvEntry> e) {
+    kv[static_cast<std::size_t>(i - 1)]->get(k, [&](std::optional<kv::KvEntry> e, Timestamp) {
       out = std::move(e);
       done = true;
     });
@@ -166,10 +169,11 @@ struct OracleRig {
   std::map<std::string, kv::KvEntry> list(ClientId i) {
     bool done = false;
     std::map<std::string, kv::KvEntry> out;
-    kv[static_cast<std::size_t>(i - 1)]->list([&](const std::map<std::string, kv::KvEntry>& m) {
-      out = m;
-      done = true;
-    });
+    kv[static_cast<std::size_t>(i - 1)]->list(
+        [&](const std::map<std::string, kv::KvEntry>& m, Timestamp) {
+          out = m;
+          done = true;
+        });
     drive(done);
     EXPECT_TRUE(done);
     return out;

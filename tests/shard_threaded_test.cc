@@ -58,8 +58,10 @@ struct Model {
         value, ++counters[static_cast<std::size_t>(w - 1)]};
   }
   void erase(ClientId w, const std::string& key) {
-    partitions[static_cast<std::size_t>(w - 1)].erase(key);
-    ++counters[static_cast<std::size_t>(w - 1)];
+    // No-op-erase rule: absent keys consume no sequence number.
+    if (partitions[static_cast<std::size_t>(w - 1)].erase(key) > 0) {
+      ++counters[static_cast<std::size_t>(w - 1)];
+    }
   }
   std::map<std::string, kv::KvEntry> merged() const {
     std::map<std::string, kv::KvEntry> out;
