@@ -96,8 +96,8 @@ ustor::ReplyMessage TamperServer::corrupt(ustor::ReplyMessage reply,
       if (mems.size() < 2) break;  // nothing older to replay yet
       const ustor::ServerCore::MemEntry& stale = mems[mems.size() - 2];
       reply.read->tj = stale.t;
-      reply.read->value = stale.value;
-      reply.read->data_sig = stale.data_sig;
+      reply.read->value = ustor::to_owned(stale.value);
+      reply.read->data_sig = stale.data_sig.to_bytes();
       // Pair it with the newest old version whose own entry is <= stale.t
       // (the most convincing consistent lie available to the server).
       const auto& svers = sver_history_[j];

@@ -96,15 +96,14 @@ class SingleStore final : public Store {
 
   void engine_snapshot(std::size_t, SnapshotDone done) override {
     // Adapt the snapshot completion onto the mutate-shaped pending slot:
-    // the abort path reports (0, failed) which maps to (nullopt, 0).
-    auto result = std::make_shared<std::optional<std::map<std::string, kv::KvEntry>>>();
+    // the abort path reports (0, failed) which maps to (nullptr, 0). The
+    // merged map is only BORROWED through the slot — the engine's list
+    // callback runs `complete` synchronously, so the pointer parked in
+    // `result` is alive exactly when the armed done reads it.
+    auto result = std::make_shared<const std::map<std::string, kv::KvEntry>*>(nullptr);
     MutateDone complete =
         arm([result, done = std::move(done)](Timestamp ts, bool failed) {
-          if (failed) {
-            done(std::nullopt, 0);
-          } else {
-            done(std::move(*result), ts);
-          }
+          done(failed ? nullptr : *result, failed ? 0 : ts);
         });
     if (!dispatch([this, result, complete]() mutable {
           if (faust_.failed()) {
@@ -113,7 +112,7 @@ class SingleStore final : public Store {
           }
           kv_.list(
               [result, complete](const std::map<std::string, kv::KvEntry>& m, Timestamp ts) {
-                *result = m;
+                *result = &m;
                 complete(ts, /*failed=*/false);
               });
         })) {

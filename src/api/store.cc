@@ -220,8 +220,8 @@ void Store::run_step(std::size_t s, std::size_t step_index,
 
   const auto snapshot_complete =
       [this, s, step_index, plan, ctx](
-          std::optional<std::map<std::string, kv::KvEntry>> merged, Timestamp read_ts) {
-        const bool failed = !merged.has_value();
+          const std::map<std::string, kv::KvEntry>* merged, Timestamp read_ts) {
+        const bool failed = merged == nullptr;
         const Timestamp cut = (!failed && read_ts > 0) ? stable_ts(s) : 0;
         {
           std::lock_guard lock(ctx->mu);
@@ -262,7 +262,7 @@ void Store::run_step(std::size_t s, std::size_t step_index,
   if (closing_.load(std::memory_order_acquire)) {
     // begin_close(): settle the rest of the chain without new engine
     // work (which would re-arm already-drained pending slots).
-    snapshot_complete(std::nullopt, 0);
+    snapshot_complete(nullptr, 0);
     return;
   }
   engine_snapshot(s, snapshot_complete);

@@ -353,9 +353,12 @@ class Store {
                              MutateDone done) = 0;
 
   /// `done(merged, read_ts)` — one full merged snapshot of shard `s`
-  /// (nullopt when the shard failed).
+  /// (null when the shard failed). The map is BORROWED: valid only for
+  /// the duration of the callback (it may be the engine's merged-view
+  /// memo, served without a copy — a batch's gets read it in place and
+  /// only kList contributions copy out of it).
   using SnapshotDone =
-      std::function<void(std::optional<std::map<std::string, kv::KvEntry>>, Timestamp)>;
+      std::function<void(const std::map<std::string, kv::KvEntry>*, Timestamp)>;
   virtual void engine_snapshot(std::size_t shard, SnapshotDone done) = 0;
 
   /// Implementations forward fail_i / stable_i through this.

@@ -8,9 +8,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace faust {
@@ -20,6 +22,48 @@ using Bytes = std::vector<std::uint8_t>;
 
 /// Read-only, non-owning view over bytes (cheap to pass by value).
 using BytesView = std::span<const std::uint8_t>;
+
+/// An immutable byte string that shares ownership of its backing buffer
+/// (possibly viewing only a slice of it). Copying is a refcount bump, so
+/// large payloads — register values holding whole KV partitions — travel
+/// from the wire into server memory and back out without being copied
+/// (PERF.md "O(change) operations"). An empty SharedBytes has no backing
+/// buffer at all.
+class SharedBytes {
+ public:
+  SharedBytes() = default;
+
+  /// Takes ownership of `b` (one move, no copy).
+  static SharedBytes owned(Bytes b) {
+    auto owner = std::make_shared<const Bytes>(std::move(b));
+    BytesView view(*owner);
+    return SharedBytes(std::move(owner), view);
+  }
+
+  /// Copies `b` into a fresh buffer.
+  static SharedBytes copy_of(BytesView b) { return owned(Bytes(b.begin(), b.end())); }
+
+  /// Shares `owner` and views the given slice of it (`view` must point
+  /// into `*owner`, which the shared ownership keeps alive).
+  static SharedBytes slice(std::shared_ptr<const Bytes> owner, BytesView view) {
+    return SharedBytes(std::move(owner), view);
+  }
+
+  BytesView view() const { return view_; }
+  std::size_t size() const { return view_.size(); }
+  bool empty() const { return view_.empty(); }
+
+  /// Materializes an owned copy (for consumers that mutate, e.g. the
+  /// adversarial reply-distortion paths).
+  Bytes to_bytes() const { return Bytes(view_.begin(), view_.end()); }
+
+ private:
+  SharedBytes(std::shared_ptr<const Bytes> owner, BytesView view)
+      : owner_(std::move(owner)), view_(view) {}
+
+  std::shared_ptr<const Bytes> owner_;
+  BytesView view_;
+};
 
 /// Appends `src` to `dst` in place.
 void append(Bytes& dst, BytesView src);

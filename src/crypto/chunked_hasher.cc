@@ -1,0 +1,190 @@
+#include "crypto/chunked_hasher.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace faust::crypto {
+namespace {
+
+/// Merges overlapping/adjacent ranges in place (inputs need not be sorted).
+void normalize(std::vector<ChunkedHasher::ByteRange>& ranges) {
+  std::sort(ranges.begin(), ranges.end());
+  std::size_t out = 0;
+  for (const auto& r : ranges) {
+    if (r.second <= r.first) continue;  // empty
+    if (out > 0 && r.first <= ranges[out - 1].second) {
+      ranges[out - 1].second = std::max(ranges[out - 1].second, r.second);
+    } else {
+      ranges[out++] = r;
+    }
+  }
+  ranges.resize(out);
+}
+
+}  // namespace
+
+Hash ChunkedHasher::leaf_hash(BytesView chunk) {
+  Sha256 h;
+  const std::uint8_t tag = 0x00;
+  h.update(BytesView(&tag, 1));
+  h.update(chunk);
+  return h.finish();
+}
+
+Hash ChunkedHasher::digest(BytesView data) {
+  ChunkedHasher t;
+  t.reset(data);
+  return t.root();
+}
+
+void ChunkedHasher::reset(BytesView data) {
+  levels_.clear();
+  size_ = data.size();
+  init_ = true;
+  const std::size_t leaves = leaf_count(data.size());
+  rebuild(data, {ByteRange{0, std::max<std::size_t>(data.size(), 1)}});
+  FAUST_CHECK(levels_[0].size() == leaves);
+}
+
+void ChunkedHasher::update(BytesView data, const std::vector<ByteRange>& dirty) {
+  FAUST_CHECK(init_);
+  std::vector<ByteRange> leaf_dirty = dirty;
+  if (data.size() != size_) {
+    // The tail moved (or the last chunk's boundary did): the leaf holding
+    // the last byte the buffers can still share, and everything after it,
+    // is suspect. Explicit ranges must already reach data.size()
+    // (contract); this also covers pure tail growth/truncation.
+    const std::size_t common = std::min<std::size_t>(size_, data.size());
+    leaf_dirty.push_back(ByteRange{common > 0 ? common - 1 : 0,
+                                   std::max<std::size_t>(data.size(), 1)});
+  }
+  size_ = data.size();
+  rebuild(data, std::move(leaf_dirty));
+}
+
+void ChunkedHasher::update_diff(BytesView old_data, BytesView new_data) {
+  FAUST_CHECK(init_);
+  FAUST_CHECK(old_data.size() == size_);
+  const std::size_t common = std::min(old_data.size(), new_data.size());
+
+  // Block-wise prefix scan: memcmp is an order of magnitude cheaper per
+  // byte than SHA-256, which is the whole point of diff-verification.
+  constexpr std::size_t kBlock = 512;
+  std::size_t a = 0;
+  while (a < common) {
+    const std::size_t len = std::min(kBlock, common - a);
+    if (std::memcmp(old_data.data() + a, new_data.data() + a, len) != 0) {
+      while (a < common && old_data[a] == new_data[a]) ++a;
+      break;
+    }
+    a += len;
+  }
+
+  if (old_data.size() != new_data.size()) {
+    // Shifted tail: everything from the first difference onward is dirty.
+    update(new_data, ByteRange{std::min(a, new_data.size()), new_data.size()});
+    return;
+  }
+  if (a == common) return;  // identical buffers: the tree is already right
+
+  std::size_t b = common;  // one past the last differing byte
+  while (b > a) {
+    const std::size_t len = std::min(kBlock, b - a);
+    if (std::memcmp(old_data.data() + b - len, new_data.data() + b - len, len) != 0) {
+      while (b > a && old_data[b - 1] == new_data[b - 1]) --b;
+      break;
+    }
+    b -= len;
+  }
+  update(new_data, ByteRange{a, b});
+}
+
+void ChunkedHasher::rebuild(BytesView data, std::vector<ByteRange> byte_dirty) {
+  const std::size_t leaves = leaf_count(data.size());
+
+  // Byte ranges -> leaf index ranges (clipped to the new leaf count).
+  std::vector<ByteRange> dirty;
+  dirty.reserve(byte_dirty.size());
+  for (const auto& [begin, end] : byte_dirty) {
+    if (end <= begin) continue;
+    const std::size_t lo = std::min(begin / kChunkSize, leaves);
+    const std::size_t hi = std::min((end + kChunkSize - 1) / kChunkSize, leaves);
+    if (hi > lo) dirty.push_back(ByteRange{lo, hi});
+  }
+  if (levels_.empty()) levels_.emplace_back();
+  std::size_t old_count = levels_[0].size();
+  if (old_count != leaves) {
+    // Added/removed leaves are dirty by definition.
+    const std::size_t from = std::min(old_count, leaves);
+    if (leaves > from) dirty.push_back(ByteRange{from, leaves});
+    levels_[0].resize(leaves);
+  }
+  normalize(dirty);
+
+  for (const auto& [lo, hi] : dirty) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::size_t off = i * kChunkSize;
+      const std::size_t len = std::min(kChunkSize, data.size() - std::min(off, data.size()));
+      levels_[0][i] = leaf_hash(data.subspan(off, len));
+      ++chunks_hashed_;
+    }
+  }
+
+  // Propagate level by level until a single node remains.
+  std::size_t level = 0;
+  while (levels_[level].size() > 1 || levels_.size() > level + 1) {
+    const std::size_t child_count = levels_[level].size();
+    if (child_count == 1) {
+      // The tree shrank: drop now-superfluous upper levels.
+      levels_.resize(level + 1);
+      break;
+    }
+    const std::size_t parent_count = (child_count + kFanout - 1) / kFanout;
+    if (levels_.size() == level + 1) levels_.emplace_back();
+    std::vector<Hash>& parents = levels_[level + 1];
+    const std::size_t old_parents = parents.size();
+
+    std::vector<ByteRange> parent_dirty;
+    parent_dirty.reserve(dirty.size() + 1);
+    for (const auto& [lo, hi] : dirty) {
+      parent_dirty.push_back(ByteRange{lo / kFanout, (hi + kFanout - 1) / kFanout});
+    }
+    if (old_parents != parent_count || old_count != child_count) {
+      // The last parent's child set may have changed shape.
+      const std::size_t from =
+          std::min(old_count, child_count) / kFanout;
+      if (parent_count > from) parent_dirty.push_back(ByteRange{from, parent_count});
+      parents.resize(parent_count);
+    }
+    normalize(parent_dirty);
+
+    for (const auto& [lo, hi] : parent_dirty) {
+      for (std::size_t p = lo; p < hi; ++p) {
+        const std::size_t first = p * kFanout;
+        const std::size_t count = std::min(kFanout, child_count - first);
+        Sha256 h;
+        const std::uint8_t tag = 0x01;
+        h.update(BytesView(&tag, 1));
+        h.update(BytesView(levels_[level][first].data(), count * sizeof(Hash)));
+        parents[p] = h.finish();
+      }
+    }
+
+    dirty = std::move(parent_dirty);
+    old_count = old_parents;
+    ++level;
+  }
+
+  Sha256 h;
+  const std::uint8_t tag = 0x02;
+  h.update(BytesView(&tag, 1));
+  Bytes len;
+  append_u64(len, size_);
+  h.update(len);
+  h.update(BytesView(levels_.back()[0].data(), sizeof(Hash)));
+  root_ = h.finish();
+}
+
+}  // namespace faust::crypto

@@ -1,0 +1,91 @@
+// ChunkedHasher — an incrementally maintainable hash of a byte buffer.
+//
+// The flat SHA-256 of a register value costs O(|value|) on every change.
+// For the KV layer's partition encodings the change set per operation is
+// one entry, so this class hashes the buffer as a fixed-fanout hash tree
+// over kChunkSize-byte chunks: after a localized edit only the touched
+// chunks and their root paths are rehashed — O(chunk + log) instead of
+// O(|value|) (PERF.md "O(change) operations").
+//
+// The root is a collision-resistant commitment to the exact byte string:
+//   leaf_i  = H(0x00 ‖ chunk_i)                 (chunks of kChunkSize bytes)
+//   node    = H(0x01 ‖ child hashes)            (up to kFanout children)
+//   root    = H(0x02 ‖ le64(total_len) ‖ top)
+// Domain separation (0x00/0x01/0x02) rules out leaf/node confusion and
+// the length binding pins the chunk boundaries, so two distinct buffers
+// cannot share a root without a SHA-256 collision. A forged chunk
+// presented with a stale sibling path therefore cannot reproduce the
+// signed root — the Byzantine regression tests pin this.
+//
+// Both the signer and every verifier of a DATA payload must agree on the
+// scheme; ustor::DigestMode selects it deployment-wide (ustor/types.h).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace faust::crypto {
+
+class ChunkedHasher {
+ public:
+  static constexpr std::size_t kChunkSize = 1024;
+  static constexpr std::size_t kFanout = 16;
+
+  /// A half-open byte range [begin, end) of the (new) buffer.
+  using ByteRange = std::pair<std::size_t, std::size_t>;
+
+  /// One-shot root over `data` (what a verifier without prior state pays).
+  static Hash digest(BytesView data);
+
+  /// Builds the full tree over `data` (O(|data|) hashing).
+  void reset(BytesView data);
+
+  /// True once reset() or update() ran; root() is then valid.
+  bool initialized() const { return init_; }
+
+  /// Size of the buffer the current root commits to.
+  std::uint64_t size() const { return size_; }
+
+  const Hash& root() const { return root_; }
+
+  /// Re-derives the root after an edit. Contract: every byte of `data`
+  /// NOT covered by a range in `dirty` is unchanged from the previous
+  /// buffer AND sits at the same offset. A change that shifted the tail
+  /// (insert/erase) must therefore pass a range extending to
+  /// `data.size()`; pure tail growth/truncation is detected from the size
+  /// change and needs no explicit range. Cost: O(dirty bytes + tree path).
+  void update(BytesView data, const std::vector<ByteRange>& dirty);
+  void update(BytesView data, ByteRange dirty) { update(data, std::vector<ByteRange>{dirty}); }
+
+  /// Diffs `new_data` against `old_data` (which MUST be the buffer the
+  /// current tree was built over) and updates over the changed span.
+  /// Verifiers use this: comparing bytes is far cheaper than hashing
+  /// them, so an unchanged prefix/suffix costs a memcmp, not a SHA-256.
+  void update_diff(BytesView old_data, BytesView new_data);
+
+  /// Diagnostics: leaf chunks hashed so far (the O(change) claim in
+  /// numbers — tests and benches read it).
+  std::uint64_t chunks_hashed() const { return chunks_hashed_; }
+
+ private:
+  static Hash leaf_hash(BytesView chunk);
+
+  static std::size_t leaf_count(std::size_t bytes) {
+    return bytes == 0 ? 1 : (bytes + kChunkSize - 1) / kChunkSize;
+  }
+
+  /// Recomputes the dirty leaves and every ancestor level, then the root.
+  void rebuild(BytesView data, std::vector<ByteRange> leaf_dirty);
+
+  std::vector<std::vector<Hash>> levels_;  // [0] = leaves; shrinks to 1 node
+  Hash root_{};
+  std::uint64_t size_ = 0;
+  bool init_ = false;
+  std::uint64_t chunks_hashed_ = 0;
+};
+
+}  // namespace faust::crypto

@@ -37,7 +37,8 @@ FaustClient::FaustClient(ClientId id, int n,
       mail_(mail),
       exec_(exec),
       config_(config),
-      ustor_(id, n, std::move(sigs), net, kServerNode, config.verify_cache_entries),
+      ustor_(id, n, std::move(sigs), net, kServerNode, config.verify_cache_entries,
+             config.data_digest),
       VER_(static_cast<std::size_t>(n)),
       W_(static_cast<std::size_t>(n), 0) {
   for (auto& kv : VER_) {
@@ -67,16 +68,29 @@ Timestamp FaustClient::fully_stable_timestamp() const {
 }
 
 void FaustClient::write(Bytes value, WriteHandler done) {
+  write_shared(std::make_shared<const Bytes>(std::move(value)), std::nullopt, std::move(done));
+}
+
+void FaustClient::write_shared(std::shared_ptr<const Bytes> value,
+                               const std::optional<crypto::Hash>& digest, WriteHandler done) {
   if (failed_) return;
+  FAUST_CHECK(value != nullptr);
   PendingUserOp op;
   op.is_write = true;
   op.value = std::move(value);
+  op.digest = digest;
   op.write_done = std::move(done);
   queue_.push_back(std::move(op));
   pump();
 }
 
 void FaustClient::read(ClientId j, ReadHandler done) {
+  read_ex(j, done ? ReadExHandler([done = std::move(done)](const ustor::Value& v, Timestamp t,
+                                                           const ReadMeta&) { done(v, t); })
+                  : ReadExHandler{});
+}
+
+void FaustClient::read_ex(ClientId j, ReadExHandler done) {
   if (failed_) return;
   FAUST_CHECK(j >= 1 && j <= n_);
   PendingUserOp op;
@@ -96,7 +110,7 @@ void FaustClient::pump() {
 void FaustClient::start_op(PendingUserOp op) {
   op_in_flight_ = true;
   if (op.is_write) {
-    ustor_.writex(std::move(op.value),
+    ustor_.writex(std::move(op.value), op.digest ? &*op.digest : nullptr,
                   [this, done = std::move(op.write_done)](const ustor::WriteResult& r) {
                     op_in_flight_ = false;
                     const bool ok = ingest(id_, id_, r.own, /*already_verified=*/true);
@@ -116,7 +130,7 @@ void FaustClient::start_op(PendingUserOp op) {
         ok = ingest(j, j, r.writer_version, /*already_verified=*/true);
       }
       if (ok) ok = ingest(id_, id_, r.own, /*already_verified=*/true);
-      if (done) done(r.value, r.t);
+      if (done) done(r.value, r.t, ReadMeta{r.writer_ts, r.value_digest});
       if (ok) recompute_stability();
       pump();
     });

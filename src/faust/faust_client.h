@@ -52,6 +52,13 @@ struct FaustConfig {
   /// stand-alone deployment; ShardedCluster sizes it to the per-shard
   /// working set (PERF.md "Per-shard cache sizing").
   std::size_t verify_cache_entries = 4096;
+  /// How DATA-signature payload digests are computed. Deployment-wide:
+  /// every client must use the same mode (the verifier recomputes the
+  /// signer's digest). kChunked makes re-digesting an edited register
+  /// value O(change) instead of O(value) on both the signing and the
+  /// verifying side (PERF.md "O(change) operations"); kFlat is the
+  /// paper-literal H and the legacy-comparison knob.
+  ustor::DigestMode data_digest = ustor::DigestMode::kChunked;
 };
 
 /// Everything a client knew at the moment it declared the server faulty —
@@ -73,6 +80,16 @@ struct FailureReport {
 bool verify_failure_evidence(const crypto::SignatureScheme& sigs, int n,
                              const ustor::FailureMessage& evidence);
 
+/// Verified provenance of a read's value, delivered alongside it by
+/// read_ex: the writer's timestamp t_j and the value digest x̄_j that the
+/// (checked) DATA signature covers. (writer, writer_ts, value_digest) is
+/// a sound cache key for anything derived from the bytes — the KV layer
+/// keys its decode memos on it.
+struct ReadMeta {
+  Timestamp writer_ts = 0;
+  crypto::Hash value_digest{};
+};
+
 /// A fail-aware client: the user-facing API of the FAUST service.
 class FaustClient {
  public:
@@ -84,6 +101,7 @@ class FaustClient {
   using FailHandler = std::function<void(FailureReason)>;
   using WriteHandler = std::function<void(Timestamp)>;
   using ReadHandler = std::function<void(const ustor::Value&, Timestamp)>;
+  using ReadExHandler = std::function<void(const ustor::Value&, Timestamp, const ReadMeta&)>;
 
   /// Timers and deferred work go through `exec`; under a
   /// rt::ThreadedRuntime every call into this object must be made from
@@ -100,8 +118,19 @@ class FaustClient {
   /// timestamp. Operations queue behind any in-flight (user or dummy) op.
   void write(Bytes value, WriteHandler done = {});
 
+  /// Zero-copy write: the buffer is shared, not copied, and an optional
+  /// precomputed digest skips re-hashing it (the KV layer's incremental
+  /// encoder maintains both across edits). `digest`, when given, must
+  /// equal value_digest(config().data_digest, *value).
+  void write_shared(std::shared_ptr<const Bytes> value,
+                    const std::optional<crypto::Hash>& digest, WriteHandler done = {});
+
   /// Reads register X_j; `done(value, t)` as above.
   void read(ClientId j, ReadHandler done = {});
+
+  /// Like read(), additionally delivering the verified (writer_ts,
+  /// value_digest) binding of the value (see ReadMeta).
+  void read_ex(ClientId j, ReadExHandler done);
 
   /// stable_i — fired whenever the stability cut advances.
   StableHandler on_stable;
@@ -131,6 +160,10 @@ class FaustClient {
   ClientId id() const { return id_; }
   int n() const { return n_; }
 
+  /// The configuration this client was built with (the KV layer reads the
+  /// digest mode off it).
+  const FaustConfig& config() const { return config_; }
+
   /// The wrapped protocol engine (tests inspect it).
   ustor::Client& engine() { return ustor_; }
 
@@ -150,10 +183,11 @@ class FaustClient {
 
   struct PendingUserOp {
     bool is_write = false;
-    Bytes value;        // writes
-    ClientId target = 0;  // reads
+    std::shared_ptr<const Bytes> value;   // writes (shared, never copied)
+    std::optional<crypto::Hash> digest;   // writes: precomputed x̄, if any
+    ClientId target = 0;                  // reads
     WriteHandler write_done;
-    ReadHandler read_done;
+    ReadExHandler read_done;
   };
 
   KnownVersion& ver(ClientId j) { return VER_[static_cast<std::size_t>(j - 1)]; }

@@ -1,53 +1,254 @@
 #include "kvstore/kv_client.h"
 
-#include <algorithm>
+#include <cstring>
 #include <memory>
 #include <utility>
 
+#include "common/check.h"
 #include "wire/encoder.h"
 
 namespace faust::kv {
+namespace {
+
+// Entry wire layout (matching wire::Writer: LE integers, length-prefixed
+// byte strings): u32 klen | key | u32 vlen | value | u64 seq. The buffer
+// opens with a u32 entry count. Fixed per-entry overhead:
+constexpr std::size_t kEntryFixed = 4 + 4 + 8;
+constexpr std::size_t kHeaderSize = 4;
+
+std::size_t entry_size(const PartitionEntry& e) {
+  return kEntryFixed + e.key.size() + e.value.size();
+}
+
+void write_u32_at(Bytes& b, std::size_t off, std::uint32_t v) {
+  b[off] = static_cast<std::uint8_t>(v);
+  b[off + 1] = static_cast<std::uint8_t>(v >> 8);
+  b[off + 2] = static_cast<std::uint8_t>(v >> 16);
+  b[off + 3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void write_u64_at(Bytes& b, std::size_t off, std::uint64_t v) {
+  for (int k = 0; k < 8; ++k) b[off + static_cast<std::size_t>(k)] = static_cast<std::uint8_t>(v >> (8 * k));
+}
+
+/// Writes one entry's bytes at `off` (the space must already exist).
+void write_entry_at(Bytes& b, std::size_t off, const PartitionEntry& e) {
+  write_u32_at(b, off, static_cast<std::uint32_t>(e.key.size()));
+  off += 4;
+  std::memcpy(b.data() + off, e.key.data(), e.key.size());
+  off += e.key.size();
+  write_u32_at(b, off, static_cast<std::uint32_t>(e.value.size()));
+  off += 4;
+  std::memcpy(b.data() + off, e.value.data(), e.value.size());
+  off += e.value.size();
+  write_u64_at(b, off, e.seq);
+}
+
+Partition::iterator lower_bound_key(Partition& p, std::string_view key) {
+  return std::lower_bound(p.begin(), p.end(), key,
+                          [](const PartitionEntry& e, std::string_view k) { return e.key < k; });
+}
+
+}  // namespace
+
+Bytes encode_partition(const Partition& p) {
+  std::size_t total = kHeaderSize;
+  for (const PartitionEntry& e : p) total += entry_size(e);
+  Bytes out;
+  out.resize(total);
+  write_u32_at(out, 0, static_cast<std::uint32_t>(p.size()));
+  std::size_t off = kHeaderSize;
+  for (const PartitionEntry& e : p) {
+    write_entry_at(out, off, e);
+    off += entry_size(e);
+  }
+  return out;
+}
+
+std::optional<Partition> decode_partition(BytesView data) {
+  wire::Reader r(data);
+  const std::uint32_t count = r.get_u32();
+  if (!r.ok() || count > (1u << 20)) return std::nullopt;
+  Partition p;
+  // Reserve against the structural bound, not the untrusted header: every
+  // real entry occupies at least kEntryFixed bytes, so a short forged
+  // buffer claiming 2^20 entries cannot force a large allocation.
+  p.reserve(std::min<std::size_t>(count, r.remaining() / kEntryFixed + 1));
+  for (std::uint32_t k = 0; k < count && r.ok(); ++k) {
+    PartitionEntry e;
+    e.key = to_string(r.get_bytes_view());
+    e.value = to_string(r.get_bytes_view());
+    e.seq = r.get_u64();
+    if (!r.ok()) return std::nullopt;
+    // Canonical form: encode_partition emits keys in strictly ascending
+    // order, so any other order (or a duplicate) is a forgery.
+    if (!p.empty() && e.key <= p.back().key) return std::nullopt;
+    p.push_back(std::move(e));
+  }
+  if (!r.ok() || !r.exhausted()) return std::nullopt;
+  return p;
+}
 
 Bytes encode_map(const std::map<std::string, std::pair<std::string, std::uint64_t>>& m) {
-  wire::Writer w;
-  w.put_u32(static_cast<std::uint32_t>(m.size()));
-  for (const auto& [key, entry] : m) {
-    w.put_bytes(to_bytes(key));
-    w.put_bytes(to_bytes(entry.first));
-    w.put_u64(entry.second);
-  }
-  return w.take();
+  Partition p;
+  p.reserve(m.size());
+  for (const auto& [key, entry] : m) p.push_back(PartitionEntry{key, entry.first, entry.second});
+  return encode_partition(p);
 }
 
 std::optional<std::map<std::string, std::pair<std::string, std::uint64_t>>> decode_map(
     BytesView data) {
-  wire::Reader r(data);
-  const std::uint32_t count = r.get_u32();
-  if (!r.ok() || count > (1u << 20)) return std::nullopt;
+  const auto p = decode_partition(data);
+  if (!p.has_value()) return std::nullopt;
   std::map<std::string, std::pair<std::string, std::uint64_t>> m;
-  for (std::uint32_t k = 0; k < count && r.ok(); ++k) {
-    std::string key = to_string(r.get_bytes_view());
-    std::string value = to_string(r.get_bytes_view());
-    const std::uint64_t seq = r.get_u64();
-    if (!r.ok()) return std::nullopt;
-    // Canonical form: encode_map emits keys in strictly ascending order, so
-    // any other order (or a duplicate) is a forgery, not a partition.
-    if (!m.empty() && key <= m.rbegin()->first) return std::nullopt;
-    m.emplace_hint(m.end(), std::move(key), std::pair{std::move(value), seq});
+  for (const PartitionEntry& e : *p) {
+    m.emplace_hint(m.end(), e.key, std::pair{e.value, e.seq});
   }
-  if (!r.ok() || !r.exhausted()) return std::nullopt;
   return m;
 }
 
-KvClient::KvClient(FaustClient& faust) : faust_(faust) {}
+KvClient::KvClient(FaustClient& faust, KvTuning tuning)
+    : faust_(faust),
+      tuning_(tuning),
+      part_memo_(static_cast<std::size_t>(faust.n())) {}
+
+bool KvClient::owns_key(std::string_view key) const {
+  const auto it = std::lower_bound(
+      own_.begin(), own_.end(), key,
+      [](const PartitionEntry& e, std::string_view k) { return e.key < k; });
+  return it != own_.end() && it->key == key;
+}
+
+BytesView KvClient::encoded_partition() {
+  if (!enc_valid_) rebuild_encoding();
+  return BytesView(*enc_);
+}
+
+Bytes& KvClient::mutable_enc() {
+  // An in-flight publication may still share the buffer (FaustClient
+  // queues ops); clone before patching so its bytes stay frozen.
+  if (enc_.use_count() > 1) enc_ = std::make_shared<Bytes>(*enc_);
+  return *enc_;
+}
+
+void KvClient::rebuild_encoding() {
+  enc_ = std::make_shared<Bytes>(encode_partition(own_));
+  enc_off_.clear();
+  enc_off_.reserve(own_.size());
+  std::size_t off = kHeaderSize;
+  for (const PartitionEntry& e : own_) {
+    enc_off_.push_back(off);
+    off += entry_size(e);
+  }
+  if (chunked()) enc_hasher_.reset(BytesView(*enc_));
+  enc_valid_ = true;
+  ++encode_rebuilds_;
+}
+
+void KvClient::splice_replace(std::size_t idx) {
+  Bytes& b = mutable_enc();
+  const std::size_t off = enc_off_[idx];
+  const std::size_t old_end = idx + 1 < enc_off_.size() ? enc_off_[idx + 1] : b.size();
+  const std::size_t old_sz = old_end - off;
+  const std::size_t new_sz = entry_size(own_[idx]);
+  if (new_sz > old_sz) {
+    b.insert(b.begin() + static_cast<std::ptrdiff_t>(off), new_sz - old_sz, 0);
+  } else if (new_sz < old_sz) {
+    b.erase(b.begin() + static_cast<std::ptrdiff_t>(off),
+            b.begin() + static_cast<std::ptrdiff_t>(off + (old_sz - new_sz)));
+  }
+  write_entry_at(b, off, own_[idx]);
+  if (new_sz != old_sz) {
+    const std::ptrdiff_t delta =
+        static_cast<std::ptrdiff_t>(new_sz) - static_cast<std::ptrdiff_t>(old_sz);
+    for (std::size_t i = idx + 1; i < enc_off_.size(); ++i) {
+      enc_off_[i] = static_cast<std::size_t>(static_cast<std::ptrdiff_t>(enc_off_[i]) + delta);
+    }
+  }
+  if (chunked()) {
+    // Same-size edits dirty only the entry's chunks; a resize shifts the
+    // whole tail (the tree handles the length change internally).
+    enc_hasher_.update(BytesView(b),
+                       crypto::ChunkedHasher::ByteRange{off, new_sz == old_sz ? off + new_sz
+                                                                              : b.size()});
+  }
+  ++encode_splices_;
+}
+
+void KvClient::splice_insert(std::size_t idx) {
+  Bytes& b = mutable_enc();
+  const std::size_t off = idx < enc_off_.size() ? enc_off_[idx] : b.size();
+  const std::size_t sz = entry_size(own_[idx]);
+  b.insert(b.begin() + static_cast<std::ptrdiff_t>(off), sz, 0);
+  write_entry_at(b, off, own_[idx]);
+  write_u32_at(b, 0, static_cast<std::uint32_t>(own_.size()));
+  enc_off_.insert(enc_off_.begin() + static_cast<std::ptrdiff_t>(idx), off);
+  for (std::size_t i = idx + 1; i < enc_off_.size(); ++i) enc_off_[i] += sz;
+  if (chunked()) {
+    enc_hasher_.update(BytesView(b), {crypto::ChunkedHasher::ByteRange{0, kHeaderSize},
+                                      crypto::ChunkedHasher::ByteRange{off, b.size()}});
+  }
+  ++encode_splices_;
+}
+
+void KvClient::splice_erase(std::size_t idx, std::size_t old_size) {
+  Bytes& b = mutable_enc();
+  const std::size_t off = enc_off_[idx];
+  b.erase(b.begin() + static_cast<std::ptrdiff_t>(off),
+          b.begin() + static_cast<std::ptrdiff_t>(off + old_size));
+  write_u32_at(b, 0, static_cast<std::uint32_t>(own_.size()));
+  enc_off_.erase(enc_off_.begin() + static_cast<std::ptrdiff_t>(idx));
+  for (std::size_t i = idx; i < enc_off_.size(); ++i) enc_off_[i] -= old_size;
+  if (chunked()) {
+    enc_hasher_.update(BytesView(b), {crypto::ChunkedHasher::ByteRange{0, kHeaderSize},
+                                      crypto::ChunkedHasher::ByteRange{off, b.size()}});
+  }
+  ++encode_splices_;
+}
+
+bool KvClient::apply_change(const std::string& key, std::optional<std::string> value,
+                            std::uint64_t seq) {
+  const bool incremental = tuning_.incremental_encode && enc_valid_;
+  auto it = lower_bound_key(own_, key);
+  const bool found = it != own_.end() && it->key == key;
+  const std::size_t idx = static_cast<std::size_t>(it - own_.begin());
+  if (value.has_value()) {
+    if (found) {
+      it->value = std::move(*value);
+      it->seq = seq;
+      if (incremental) {
+        splice_replace(idx);
+      } else {
+        enc_valid_ = false;
+      }
+    } else {
+      own_.insert(it, PartitionEntry{key, std::move(*value), seq});
+      if (incremental) {
+        splice_insert(idx);
+      } else {
+        enc_valid_ = false;
+      }
+    }
+    return true;
+  }
+  if (!found) return false;
+  const std::size_t old_size = entry_size(*it);
+  own_.erase(it);
+  if (incremental) {
+    splice_erase(idx, old_size);
+  } else {
+    enc_valid_ = false;
+  }
+  return true;
+}
 
 void KvClient::put(std::string key, std::string value, PutHandler done) {
-  own_[std::move(key)] = {std::move(value), ++put_seq_};
+  apply_change(key, std::move(value), ++put_seq_);
   publish(std::move(done));
 }
 
 void KvClient::erase(const std::string& key, PutHandler done) {
-  if (own_.erase(key) == 0) {
+  if (!owns_key(key)) {
     // The key was never in this client's partition: republishing would
     // re-sign the identical map for nothing. Complete immediately with 0
     // ("no register write was needed").
@@ -55,6 +256,7 @@ void KvClient::erase(const std::string& key, PutHandler done) {
     return;
   }
   ++put_seq_;  // keeps (seq, writer) strictly advancing across publications
+  apply_change(key, std::nullopt, 0);
   publish(std::move(done));
 }
 
@@ -62,11 +264,7 @@ void KvClient::apply_with_seqs(const std::vector<SeqChange>& changes, PutHandler
   bool any = false;
   for (const auto& change : changes) {
     if (change.seq == 0) continue;  // caller-marked no-op
-    if (change.value.has_value()) {
-      own_[change.key] = {*change.value, change.seq};
-    } else {
-      own_.erase(change.key);
-    }
+    apply_change(change.key, change.value, change.seq);
     put_seq_ = std::max(put_seq_, change.seq);
     any = true;
   }
@@ -78,36 +276,59 @@ void KvClient::apply_with_seqs(const std::vector<SeqChange>& changes, PutHandler
 }
 
 void KvClient::publish(PutHandler done) {
-  faust_.write(encode_map(own_), [done = std::move(done)](Timestamp t) {
+  if (!enc_valid_) rebuild_encoding();
+  std::optional<crypto::Hash> digest;
+  if (chunked()) digest = enc_hasher_.root();
+  // The buffer itself is shared with the write (zero-copy down to the
+  // wire encoding); the next splice clones it iff it is still in flight.
+  faust_.write_shared(enc_, digest, [done = std::move(done)](Timestamp t) {
     if (done) done(t);
   });
 }
 
-void KvClient::snapshot(std::function<void(std::map<std::string, KvEntry>, Timestamp)> done) {
+void KvClient::snapshot(
+    std::function<void(const std::map<std::string, KvEntry>&, Timestamp)> done) {
   // Read all n partitions sequentially (the FAUST client runs one op at a
-  // time anyway), merging as results arrive.
+  // time anyway), folding each result as it arrives.
   auto snap = std::make_shared<Snapshot>();
+  const std::size_t n = static_cast<std::size_t>(faust_.n());
+  snap->parts.resize(n);
+  snap->fps.resize(n);
   snap->done = std::move(done);
   read_partition(1, std::move(snap));
 }
 
 void KvClient::read_partition(ClientId j, std::shared_ptr<Snapshot> snap) {
   if (j > faust_.n()) {
-    last_snapshot_ts_ = snap->max_read_ts;
-    snap->done(std::move(snap->merged), snap->max_read_ts);
+    finish_snapshot(snap);
     return;
   }
-  faust_.read(j, [this, j, snap](const ustor::Value& v, Timestamp t) {
+  faust_.read_ex(j, [this, j, snap](const ustor::Value& v, Timestamp t, const ReadMeta& meta) {
     snap->max_read_ts = std::max(snap->max_read_ts, t);
     if (v.has_value()) {
-      if (const auto part = decode_map(*v)) {
-        for (const auto& [key, entry] : *part) {
-          const auto it = snap->merged.find(key);
-          // Winner: lexicographically largest (seq, writer).
-          if (it == snap->merged.end() || entry.second > it->second.seq ||
-              (entry.second == it->second.seq && j > it->second.writer)) {
-            snap->merged[key] = KvEntry{entry.first, j, entry.second};
-          }
+      const std::size_t slot = static_cast<std::size_t>(j - 1);
+      const PartFp fp{true, meta.value_digest};
+      snap->fps[slot] = fp;
+      PartMemo& memo = part_memo_[slot];
+      if (tuning_.decode_memo && memo.part && memo.fp == fp) {
+        // The verified triple matches a previous decode of byte-identical
+        // content (digest collision resistance): replay it. A tampered
+        // value never gets here — it already failed the DATA-signature
+        // check inside the FAUST/USTOR layer and halted the client.
+        ++decode_memo_hits_;
+        snap->parts[slot] = memo.part;
+      } else {
+        ++decode_memo_misses_;
+        auto decoded = decode_partition(*v);
+        // A signed-but-undecodable buffer cannot come from a correct
+        // writer; treat it as an empty partition (the pre-memo behaviour
+        // skipped it identically).
+        auto part = std::make_shared<const Partition>(decoded.has_value() ? std::move(*decoded)
+                                                                          : Partition{});
+        snap->parts[slot] = part;
+        if (tuning_.decode_memo) {
+          memo.fp = fp;
+          memo.part = std::move(part);
         }
       }
     }
@@ -115,21 +336,52 @@ void KvClient::read_partition(ClientId j, std::shared_ptr<Snapshot> snap) {
   });
 }
 
+void KvClient::finish_snapshot(const std::shared_ptr<Snapshot>& snap) {
+  last_snapshot_ts_ = snap->max_read_ts;
+  if (tuning_.decode_memo && merged_cache_ && snap->fps == merged_fps_) {
+    // Every register returned the same verified content the cached merge
+    // was built from: serve it without merging (the read-heavy steady
+    // state of a get).
+    ++merged_cache_hits_;
+    const auto cache = merged_cache_;  // pin across the user callback
+    snap->done(*cache, snap->max_read_ts);
+    return;
+  }
+  auto merged = std::make_shared<std::map<std::string, KvEntry>>();
+  for (std::size_t slot = 0; slot < snap->parts.size(); ++slot) {
+    if (!snap->parts[slot]) continue;
+    const ClientId j = static_cast<ClientId>(slot + 1);
+    for (const PartitionEntry& e : *snap->parts[slot]) {
+      auto [it, inserted] = merged->try_emplace(e.key);
+      // Winner: lexicographically largest (seq, writer).
+      if (inserted || e.seq > it->second.seq ||
+          (e.seq == it->second.seq && j > it->second.writer)) {
+        it->second = KvEntry{e.value, j, e.seq};
+      }
+    }
+  }
+  if (tuning_.decode_memo) {
+    merged_cache_ = merged;
+    merged_fps_ = snap->fps;
+  }
+  snap->done(*merged, snap->max_read_ts);
+}
+
 void KvClient::get(const std::string& key, GetHandler done) {
-  snapshot([key, done = std::move(done)](std::map<std::string, KvEntry> merged, Timestamp ts) {
-    auto it = merged.find(key);
+  snapshot([key, done = std::move(done)](const std::map<std::string, KvEntry>& merged,
+                                         Timestamp ts) {
+    const auto it = merged.find(key);
     if (it == merged.end()) {
       done(std::nullopt, ts);
     } else {
-      done(std::move(it->second), ts);
+      done(it->second, ts);
     }
   });
 }
 
 void KvClient::list(ListHandler done) {
-  snapshot([done = std::move(done)](std::map<std::string, KvEntry> merged, Timestamp ts) {
-    done(merged, ts);
-  });
+  snapshot([done = std::move(done)](const std::map<std::string, KvEntry>& merged,
+                                    Timestamp ts) { done(merged, ts); });
 }
 
 }  // namespace faust::kv

@@ -12,17 +12,31 @@
 // state: once the underlying register writes are stable, so is the merged
 // view. All fail-aware semantics (fail_i, stability, causality) are
 // inherited from the FAUST layer for free.
+//
+// O(change) engineering (PERF.md "O(change) operations"): per-op cost
+// tracks the CHANGE SET, not the keyspace. A put patches the single
+// affected entry's bytes in the kept canonical encoding (the sorted-key
+// format makes splice offsets computable) and, under chunked DATA
+// digests, re-hashes only the touched chunks; a get whose registers
+// return unchanged verified (writer, timestamp, digest) triples skips
+// decoding — and when EVERY register is unchanged, the whole merge — via
+// version-keyed memos. KvTuning::{incremental_encode, decode_memo} force
+// the legacy full-reencode/full-decode paths for differential comparison;
+// published bytes and merged views are identical in both modes.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
+#include "crypto/chunked_hasher.h"
 #include "faust/faust_client.h"
 
 namespace faust::kv {
@@ -38,10 +52,48 @@ inline bool operator==(const KvEntry& a, const KvEntry& b) {
   return a.value == b.value && a.writer == b.writer && a.seq == b.seq;
 }
 
-/// Serialization of a client's private map (exposed for tests).
+/// One entry of a writer's partition.
+struct PartitionEntry {
+  std::string key;
+  std::string value;
+  std::uint64_t seq = 0;
+
+  bool operator==(const PartitionEntry&) const = default;
+};
+
+/// A decoded partition: entries in strictly ascending key order. A flat
+/// sorted vector, not a tree — the wire format is already canonically
+/// ordered, so decoding is an append loop plus an adjacency duplicate
+/// check, and lookups are binary searches with no pointer chasing.
+using Partition = std::vector<PartitionEntry>;
+
+/// Serialization of a partition (canonical: ascending keys, unique).
+Bytes encode_partition(const Partition& p);
+
+/// Strict decode: nullopt on malformed bytes, out-of-order or duplicate
+/// keys, or trailing garbage (any such buffer is a forgery, not a
+/// partition — encode_partition never produces it).
+std::optional<Partition> decode_partition(BytesView data);
+
+/// Map-based conveniences over the same wire format (tests and models).
 Bytes encode_map(const std::map<std::string, std::pair<std::string, std::uint64_t>>& m);
 std::optional<std::map<std::string, std::pair<std::string, std::uint64_t>>> decode_map(
     BytesView data);
+
+/// Performance knobs (NOT semantics: both settings of each produce
+/// byte-identical publications and identical merged views — the
+/// differential tests replay both). Defaults are the fast paths; the
+/// legacy settings exist as the comparison baseline and escape hatch.
+struct KvTuning {
+  /// Patch the kept canonical encoding in place on each change (false:
+  /// re-encode the whole partition on every publish, the pre-O(change)
+  /// behaviour).
+  bool incremental_encode = true;
+  /// Cache decoded partitions per writer keyed by the VERIFIED (writer,
+  /// timestamp, digest) triple, plus the merged view keyed by all n
+  /// triples (false: re-decode and re-merge every snapshot).
+  bool decode_memo = true;
+};
 
 /// Key-value facade over one FaustClient.
 class KvClient {
@@ -54,8 +106,9 @@ class KvClient {
   using ListHandler = std::function<void(const std::map<std::string, KvEntry>&, Timestamp)>;
 
   /// Borrows `faust`; the caller keeps it alive. Multiple KvClients must
-  /// not share one FaustClient.
-  explicit KvClient(FaustClient& faust);
+  /// not share one FaustClient. The DATA digest mode is read off the
+  /// FaustClient's config (it is deployment-wide).
+  explicit KvClient(FaustClient& faust, KvTuning tuning = {});
 
   /// Upserts key := value in this client's partition and publishes the
   /// whole partition to its register. `done` receives the register
@@ -91,16 +144,25 @@ class KvClient {
   /// them.
   void apply_with_seqs(const std::vector<SeqChange>& changes, PutHandler done = {});
 
-  /// Merged lookup across all n partitions (issues n register reads).
+  /// Merged lookup across all n partitions (issues n register reads; an
+  /// unchanged snapshot is served from the merged-view memo without
+  /// decoding or copying anything).
   void get(const std::string& key, GetHandler done);
 
-  /// Full merged snapshot across all partitions.
+  /// Full merged snapshot across all partitions. The map reference is
+  /// valid only for the duration of the callback.
   void list(ListHandler done);
 
   /// This client's own pending partition (local, pre-publication view).
-  const std::map<std::string, std::pair<std::string, std::uint64_t>>& own_partition() const {
-    return own_;
-  }
+  const Partition& own_partition() const { return own_; }
+
+  /// True iff `key` is in this client's own partition (binary search).
+  bool owns_key(std::string_view key) const;
+
+  /// The maintained canonical encoding of own_partition() — what the next
+  /// publish ships. Tests pin that the incremental splices keep it equal
+  /// to a from-scratch encode_partition().
+  BytesView encoded_partition();
 
   FaustClient& faust() { return faust_; }
   const FaustClient& faust() const { return faust_; }
@@ -123,28 +185,107 @@ class KvClient {
   /// item 6), and with it the winning writes it saw.
   Timestamp last_snapshot_ts() const { return last_snapshot_ts_; }
 
+  // --- Diagnostics (the O(change) claims in numbers; tests + benches) ----
+
+  /// Publications that patched the kept encoding vs rebuilt it.
+  std::uint64_t encode_splices() const { return encode_splices_; }
+  std::uint64_t encode_rebuilds() const { return encode_rebuilds_; }
+  /// Register reads whose decoded partition came from / missed the
+  /// version-keyed memo.
+  std::uint64_t decode_memo_hits() const { return decode_memo_hits_; }
+  std::uint64_t decode_memo_misses() const { return decode_memo_misses_; }
+  /// Snapshots served whole from the merged-view memo (no merge ran).
+  std::uint64_t merged_cache_hits() const { return merged_cache_hits_; }
+
  private:
-  /// In-flight snapshot accumulator (get/list may overlap; each op carries
-  /// its own).
-  struct Snapshot {
-    std::map<std::string, KvEntry> merged;
-    Timestamp max_read_ts = 0;
-    std::function<void(std::map<std::string, KvEntry>, Timestamp)> done;
+  /// Verified fingerprint of one register's content: what the decode memo
+  /// is keyed by. Only values that passed the DATA-signature check (which
+  /// binds digest AND writer timestamp) ever produce one, so a hit can
+  /// only replay a previously VERIFIED decode of byte-identical content
+  /// (collision resistance of the digest). The timestamp itself is NOT
+  /// part of the equality: t_j advances on every op of C_j — reads
+  /// included — while the bytes stand still, so keying on it would
+  /// invalidate unchanged content (the reader's own slot on every
+  /// snapshot, every slot under dummy reads); freshness of t_j is already
+  /// enforced by USTOR's line-51 check before a value ever reaches us.
+  struct PartFp {
+    bool present = false;     // register held a value (not ⊥)
+    crypto::Hash digest{};    // verified x̄_j
+
+    bool operator==(const PartFp&) const = default;
   };
+
+  struct PartMemo {
+    PartFp fp;
+    std::shared_ptr<const Partition> part;  // null = no memo yet
+  };
+
+  /// In-flight snapshot accumulator (get/list may overlap; each op
+  /// carries its own, and pins the decoded partitions it observed via
+  /// shared ownership, so a concurrent snapshot refreshing a memo slot
+  /// cannot mutate what this one merges).
+  struct Snapshot {
+    std::vector<std::shared_ptr<const Partition>> parts;  // [j-1]; null = ⊥
+    std::vector<PartFp> fps;                              // [j-1]
+    Timestamp max_read_ts = 0;
+    std::function<void(const std::map<std::string, KvEntry>&, Timestamp)> done;
+  };
+
+  bool chunked() const {
+    return faust_.config().data_digest == ustor::DigestMode::kChunked;
+  }
+
+  /// Applies one change to own_ (and the kept encoding, when valid).
+  /// Returns false iff it was an erase of an absent key.
+  bool apply_change(const std::string& key, std::optional<std::string> value,
+                    std::uint64_t seq);
+
+  /// Re-encodes own_ from scratch (and rebuilds the chunk tree).
+  void rebuild_encoding();
+
+  /// Clones the encoding buffer iff a prior publication still shares it.
+  Bytes& mutable_enc();
+
+  void splice_replace(std::size_t idx);
+  void splice_insert(std::size_t idx);
+  void splice_erase(std::size_t idx, std::size_t old_size);
 
   void publish(PutHandler done);
 
-  /// Collects all n registers, then merges and calls `done` with the
-  /// merged map and the snapshot's observing-read timestamp.
-  void snapshot(std::function<void(std::map<std::string, KvEntry>, Timestamp)> done);
+  /// Collects all n registers, then merges (or replays the merged-view
+  /// memo) and calls `done`; the map reference is valid only within the
+  /// callback.
+  void snapshot(std::function<void(const std::map<std::string, KvEntry>&, Timestamp)> done);
 
-  /// Reads partition j, merges it, recurses to j+1; fires `done` past n.
+  /// Reads partition j, folds it into the snapshot, recurses to j+1;
+  /// finishes past n.
   void read_partition(ClientId j, std::shared_ptr<Snapshot> snap);
+  void finish_snapshot(const std::shared_ptr<Snapshot>& snap);
 
   FaustClient& faust_;
-  std::map<std::string, std::pair<std::string, std::uint64_t>> own_;  // key -> (value, seq)
+  const KvTuning tuning_;
+
+  Partition own_;  // ascending by key
   std::uint64_t put_seq_ = 0;
+
+  // The kept canonical encoding of own_ (valid iff enc_valid_): shared
+  // with in-flight publications, cloned on write only when still aliased.
+  std::shared_ptr<Bytes> enc_;
+  std::vector<std::size_t> enc_off_;  // [i] = byte offset of entry i
+  crypto::ChunkedHasher enc_hasher_;  // mirrors *enc_ (chunked mode only)
+  bool enc_valid_ = false;
+
+  std::vector<PartMemo> part_memo_;  // [j-1]: version-keyed decode memo
+  std::shared_ptr<const std::map<std::string, KvEntry>> merged_cache_;
+  std::vector<PartFp> merged_fps_;  // fingerprints merged_cache_ was built from
+
   Timestamp last_snapshot_ts_ = 0;
+
+  std::uint64_t encode_splices_ = 0;
+  std::uint64_t encode_rebuilds_ = 0;
+  std::uint64_t decode_memo_hits_ = 0;
+  std::uint64_t decode_memo_misses_ = 0;
+  std::uint64_t merged_cache_hits_ = 0;
 };
 
 }  // namespace faust::kv

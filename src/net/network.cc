@@ -27,11 +27,14 @@ void Network::send(NodeId from, NodeId to, Bytes msg) {
   const sim::Time when = std::max(earliest, ch.last_scheduled);
   ch.last_scheduled = when;
 
-  exec_.at(when, [this, from, to, m = std::move(msg)]() {
+  // The buffer is moved into shared ownership once and delivered as such:
+  // a receiver that retains a slice (the server keeps submitted register
+  // values) pins the buffer instead of copying it.
+  exec_.at(when, [this, from, to, m = std::make_shared<const Bytes>(std::move(msg))]() {
     if (crashed(to) || crashed(from)) return;  // crash between send and delivery
     auto it = nodes_.find(to);
     if (it == nodes_.end()) return;
-    it->second->on_message(from, m);
+    it->second->on_shared_message(from, m);
   });
 }
 

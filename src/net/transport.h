@@ -10,6 +10,8 @@
 //     the simulator unchanged.
 #pragma once
 
+#include <memory>
+
 #include "common/bytes.h"
 #include "common/ids.h"
 
@@ -24,6 +26,15 @@ class Node {
   /// the call; copy it if needed beyond that. For any given node, calls
   /// are serialized (never concurrent with each other).
   virtual void on_message(NodeId from, BytesView msg) = 0;
+
+  /// Shared-ownership delivery: a transport that retains messages in
+  /// shared buffers hands the buffer itself over, so a receiver that
+  /// wants to KEEP (part of) the message pins it instead of copying —
+  /// the USTOR server stores submitted register values this way
+  /// (PERF.md "O(change) operations"). Default: plain on_message.
+  virtual void on_shared_message(NodeId from, const std::shared_ptr<const Bytes>& msg) {
+    on_message(from, BytesView(*msg));
+  }
 };
 
 /// Point-to-point reliable FIFO message fabric.

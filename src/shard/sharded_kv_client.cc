@@ -8,14 +8,14 @@
 
 namespace faust::shard {
 
-ShardedKvClient::ShardedKvClient(ShardedCluster& deployment, ClientId id)
+ShardedKvClient::ShardedKvClient(ShardedCluster& deployment, ClientId id, kv::KvTuning tuning)
     : deployment_(deployment), id_(id) {
   const std::size_t s_count = deployment_.shards();
   kv_.reserve(s_count);
   pending_.resize(s_count);
   chained_on_fail_.resize(s_count);
   for (std::size_t s = 0; s < s_count; ++s) {
-    kv_.push_back(std::make_unique<kv::KvClient>(deployment_.shard(s).client(id_)));
+    kv_.push_back(std::make_unique<kv::KvClient>(deployment_.shard(s).client(id_), tuning));
   }
   // Surface each shard's fail_i through the sharded client, preserving
   // any handler the harness installed before us, and flush the ops the
@@ -109,7 +109,7 @@ void ShardedKvClient::put_on_shard(std::size_t s, std::string key, std::string v
     if (done) done(0);
     return;
   }
-  if (is_erase && kv.own_partition().find(key) == kv.own_partition().end()) {
+  if (is_erase && !kv.owns_key(key)) {
     // No-op erase: KvClient will not publish, so drawing a cross-shard
     // sequence ticket here would desynchronize the counters from the
     // single-deployment oracle (which does not bump either).
@@ -318,32 +318,32 @@ void ShardedKvClient::snapshot_on_shard(std::size_t s, SnapshotHandler done) {
     std::lock_guard lock(mu_);
     id = ++next_op_;
     complete = [this, s, id, fired, done = std::move(done)](
-                   std::optional<std::map<std::string, kv::KvEntry>> m, Timestamp ts) {
+                   const std::map<std::string, kv::KvEntry>* m, Timestamp ts) {
       {
         std::lock_guard relock(mu_);
         if (*fired) return;
         *fired = true;
         pending_[s].erase(id);
       }
-      if (done) done(std::move(m), ts);
+      if (done) done(m, ts);
     };
-    pending_[s].emplace(id, [complete] { complete(std::nullopt, 0); });
+    pending_[s].emplace(id, [complete] { complete(nullptr, 0); });
   }
   if (!dispatch(s, [this, s, complete]() mutable {
         snapshot_shard(s, std::move(complete));
       })) {
-    complete(std::nullopt, 0);  // runtime stopped: the body never runs
+    complete(nullptr, 0);  // runtime stopped: the body never runs
   }
 }
 
 void ShardedKvClient::snapshot_shard(std::size_t s, SnapshotHandler complete) {
   kv::KvClient& kv = *kv_[s];
   if (kv.faust().failed()) {
-    complete(std::nullopt, 0);
+    complete(nullptr, 0);
     return;
   }
   kv.list([complete](const std::map<std::string, kv::KvEntry>& m, Timestamp ts) {
-    complete(m, ts);
+    complete(&m, ts);
   });
 }
 

@@ -79,8 +79,10 @@ class ShardedKvClient {
 
   /// Binds client `id` of every shard. The deployment must outlive this
   /// object; at most one ShardedKvClient (or plain KvClient) per
-  /// (deployment, id) — they must not share FaustClients.
-  ShardedKvClient(ShardedCluster& deployment, ClientId id);
+  /// (deployment, id) — they must not share FaustClients. `tuning` is
+  /// applied to every per-shard engine (the differential tests force the
+  /// legacy paths through it).
+  ShardedKvClient(ShardedCluster& deployment, ClientId id, kv::KvTuning tuning = {});
 
   /// Destruction settles every in-flight op with its failure outcome
   /// (put → t=0, get → shard_failed, list → complete=false), so handlers
@@ -113,10 +115,12 @@ class ShardedKvClient {
   /// needed publishing or the shard failed); `failed` disambiguates the
   /// two t=0 cases.
   using MutateHandler = std::function<void(Timestamp, bool failed)>;
-  /// `done(merged, read_ts)`: the shard's full merged snapshot, or
-  /// nullopt when the shard failed.
+  /// `done(merged, read_ts)`: the shard's full merged snapshot, or null
+  /// when the shard failed. The map is borrowed — valid only for the
+  /// duration of the callback (it may be the engine's merged-view memo,
+  /// served without a copy).
   using SnapshotHandler =
-      std::function<void(std::optional<std::map<std::string, kv::KvEntry>>, Timestamp)>;
+      std::function<void(const std::map<std::string, kv::KvEntry>*, Timestamp)>;
 
   /// Draws one cross-shard sequence ticket. The facade draws tickets at
   /// plan time, in batch program order, so a batch's winners (and exact

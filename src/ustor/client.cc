@@ -15,18 +15,22 @@ bool same_bytes(BytesView a, BytesView b) {
 }  // namespace
 
 Client::Client(ClientId id, int n, std::shared_ptr<const crypto::SignatureScheme> sigs,
-               net::Transport& net, NodeId server, std::size_t verify_cache_entries)
+               net::Transport& net, NodeId server, std::size_t verify_cache_entries,
+               DigestMode digest_mode)
     : id_(id),
       n_(n),
       sigs_(std::make_shared<crypto::VerifyCache>(std::move(sigs), verify_cache_entries)),
       net_(net),
       server_(server),
+      digest_mode_(digest_mode),
+      bottom_digest_(value_digest(digest_mode, std::nullopt)),
       version_(n),
       verified_commit_(static_cast<std::size_t>(n)),
       verified_proof_(static_cast<std::size_t>(n)),
-      verified_data_(static_cast<std::size_t>(n)) {
+      verified_data_(static_cast<std::size_t>(n)),
+      data_hashers_(digest_mode == DigestMode::kChunked ? static_cast<std::size_t>(n) : 0) {
   FAUST_CHECK(id_ >= 1 && id_ <= n_);
-  xbar_ = value_hash(std::nullopt);  // x̄_i of the initial value ⊥
+  xbar_ = bottom_digest_;  // x̄_i of the initial value ⊥
   net_.attach(id_, *this);
 }
 
@@ -38,23 +42,35 @@ void Client::fail(FailCause cause) {
 }
 
 void Client::writex(Value x, WriteCallback done) {
+  const ValueView view = x.has_value() ? ValueView(BytesView(*x)) : ValueView(std::nullopt);
+  writex_impl(view, nullptr, std::move(done));
+}
+
+void Client::writex(std::shared_ptr<const Bytes> x, const crypto::Hash* precomputed_xbar,
+                    WriteCallback done) {
+  FAUST_CHECK(x != nullptr);
+  writex_impl(ValueView(BytesView(*x)), precomputed_xbar, std::move(done));
+}
+
+void Client::writex_impl(const ValueView& x_view, const crypto::Hash* precomputed_xbar,
+                         WriteCallback done) {
   FAUST_CHECK(!busy());  // well-formed executions: one op at a time
   if (failed()) return;
 
-  const Timestamp t = version_.v(id_) + 1;  // line 12
-  xbar_ = value_hash(x);                    // line 13
+  const Timestamp t = version_.v(id_) + 1;                              // line 12
+  xbar_ = precomputed_xbar ? *precomputed_xbar
+                           : value_digest(digest_mode_, x_view);        // line 13
 
-  SubmitMessage m;
-  m.t = t;
-  m.inv.client = id_;
-  m.inv.oc = OpCode::kWrite;
-  m.inv.target = id_;  // writes go to own register X_i
-  m.inv.submit_sig = sigs_->sign(id_, submit_payload(OpCode::kWrite, id_, t));
-  m.value = std::move(x);
-  m.data_sig = sigs_->sign(id_, data_payload(t, xbar_));
+  InvocationTuple inv;
+  inv.client = id_;
+  inv.oc = OpCode::kWrite;
+  inv.target = id_;  // writes go to own register X_i
+  inv.submit_sig = sigs_->sign(id_, submit_payload(OpCode::kWrite, id_, t));
+  const Bytes data_sig = sigs_->sign(id_, data_payload(t, xbar_));
 
   pending_ = PendingOp{OpCode::kWrite, id_, t, std::move(done), {}};
-  net_.send(id_, server_, encode(m));  // line 15
+  // line 15; the value bytes are copied exactly once, into the wire buffer
+  net_.send(id_, server_, encode_submit(t, inv, x_view, data_sig));
 }
 
 void Client::readx(ClientId j, ReadCallback done) {
@@ -134,6 +150,8 @@ void Client::handle_reply(const ReplyMessageView& m) {
     r.own = SignedVersion{version_, commit_sig_};
     r.writer = op.target;
     r.writer_version = last_read_writer_version_;
+    r.writer_ts = last_read_writer_ts_;
+    r.value_digest = last_read_digest_;
     if (op.read_done) op.read_done(r);
   }
 }
@@ -164,12 +182,45 @@ bool Client::data_sig_valid(ClientId j, Timestamp tj, const ValueView& value, By
       memo.value.has_value() == value.has_value() &&
       (!value.has_value() || same_bytes(*memo.value, *value));
   if (!memo.sig.empty() && memo.tj == tj && value_matches && same_bytes(memo.sig, sig)) {
+    staged_digest_ = memo.digest;
     return true;
   }
-  if (!sigs_->verify(j, data_payload(tj, value_hash_view(value)), sig)) return false;
+  crypto::Hash digest;
+  if (digest_mode_ == DigestMode::kChunked && value.has_value()) {
+    // Incremental re-digest against the last VERIFIED value of C_j: the
+    // hasher's tree mirrors memo.value, so only chunks that actually
+    // differ are rehashed. The root is derived from the RECEIVED bytes
+    // either way — a tampered value yields a root its signature cannot
+    // cover, and the check below fails exactly as with a full rehash.
+    crypto::ChunkedHasher& h = data_hashers_[static_cast<std::size_t>(j - 1)];
+    if (h.initialized() && memo.value.has_value()) {
+      h.update_diff(BytesView(*memo.value), *value);
+    } else {
+      h.reset(*value);
+    }
+    digest = h.root();
+  } else {
+    digest = value_digest(digest_mode_, value);
+  }
+  if (!sigs_->verify(j, data_payload(tj, digest), sig)) {
+    // The hasher now mirrors the REJECTED bytes while memo.value still
+    // holds the verified ones; restore the invariant before the fail path
+    // runs (the client halts right after, but keep the state honest).
+    if (digest_mode_ == DigestMode::kChunked && value.has_value()) {
+      crypto::ChunkedHasher& h = data_hashers_[static_cast<std::size_t>(j - 1)];
+      if (memo.value.has_value()) {
+        h.reset(BytesView(*memo.value));
+      } else {
+        h = crypto::ChunkedHasher{};
+      }
+    }
+    return false;
+  }
   memo.tj = tj;
   memo.value = to_owned(value);
   memo.sig.assign(sig.begin(), sig.end());
+  memo.digest = digest;
+  staged_digest_ = digest;
   return true;
 }
 
@@ -263,6 +314,7 @@ bool Client::check_data(const ReplyMessageView& m, ClientId j) {
     fail(FailCause::kBadDataSignature);
     return false;
   }
+  if (rp.tj == 0) staged_digest_ = bottom_digest_;
   // Tightening consistent with the technical report: when t_j = 0, C_j has
   // never submitted an operation, so the register must still hold ⊥ — no
   // signature exists that could vouch for any other value.
@@ -287,6 +339,8 @@ bool Client::check_data(const ReplyMessageView& m, ClientId j) {
 
   last_read_value_ = to_owned(rp.value);
   last_read_writer_version_ = rp.writer.to_owned();
+  last_read_writer_ts_ = rp.tj;
+  last_read_digest_ = staged_digest_;
   return true;
 }
 

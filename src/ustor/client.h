@@ -27,6 +27,7 @@
 
 #include "common/bytes.h"
 #include "common/ids.h"
+#include "crypto/chunked_hasher.h"
 #include "crypto/signature.h"
 #include "crypto/verify_cache.h"
 #include "net/transport.h"
@@ -66,6 +67,14 @@ struct ReadResult {
   SignedVersion own;
   ClientId writer = 0;  // register owner C_j
   SignedVersion writer_version;
+  /// The VERIFIED binding of the value: t_j (the writer's timestamp the
+  /// DATA signature was checked against; 0 for a never-written register)
+  /// and the value digest x̄_j that signature covers. Collision resistance
+  /// makes (writer, writer_ts, value_digest) a sound cache key for any
+  /// derived artifact of the value — the KV layer's decode memos key on
+  /// it (PERF.md "O(change) operations").
+  Timestamp writer_ts = 0;
+  crypto::Hash value_digest{};
 };
 
 /// Client-side protocol engine (Algorithm 1).
@@ -78,9 +87,12 @@ class Client : public net::Node {
   /// never given to the server). `server` is the server's node id.
   /// `verify_cache_entries` bounds the VerifyCache this client wraps the
   /// scheme in (see crypto/verify_cache.h for the eviction policy).
+  /// `digest_mode` selects how DATA payload digests are computed; every
+  /// client of a deployment must use the same mode (the verifier
+  /// recomputes the signer's digest).
   Client(ClientId id, int n, std::shared_ptr<const crypto::SignatureScheme> sigs,
          net::Transport& net, NodeId server = kServerNode,
-         std::size_t verify_cache_entries = 4096);
+         std::size_t verify_cache_entries = 4096, DigestMode digest_mode = DigestMode::kFlat);
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
@@ -88,6 +100,16 @@ class Client : public net::Node {
   /// Extended write to own register X_i (paper's writex_i). At most one
   /// operation may be in flight; see busy().
   void writex(Value x, WriteCallback done);
+
+  /// Zero-copy write: the value is a shared immutable buffer whose bytes
+  /// are copied exactly once, into the wire encoding. When
+  /// `precomputed_xbar` is non-null it is used as x̄_i instead of
+  /// re-digesting the buffer — the caller (the KV layer's incremental
+  /// encoder) maintains the digest across edits and MUST pass exactly
+  /// value_digest(mode, *x); a wrong digest only invalidates the caller's
+  /// own DATA signature, which every verifier then rejects.
+  void writex(std::shared_ptr<const Bytes> x, const crypto::Hash* precomputed_xbar,
+              WriteCallback done);
 
   /// Extended read of register X_j (paper's readx_i), 1 <= j <= n.
   void readx(ClientId j, ReadCallback done);
@@ -152,14 +174,27 @@ class Client : public net::Node {
   bool proof_sig_valid(ClientId k, const Digest& mk, BytesView sig);
 
   /// Line 50 with memo: true iff `sig` is C_j's DATA signature binding
-  /// (tj, H(value)).
+  /// (tj, x̄(value)). On success stages the verified digest in
+  /// staged_digest_. Under DigestMode::kChunked the digest of a changed
+  /// value is re-derived incrementally: the per-writer ChunkedHasher
+  /// mirrors the last VERIFIED value, so only chunks that differ from it
+  /// are rehashed (a memcmp scan finds them). A forged value therefore
+  /// still produces ITS OWN root — never the memoized one — and fails the
+  /// signature check exactly like the flat mode.
   bool data_sig_valid(ClientId j, Timestamp tj, const ValueView& value, BytesView sig);
+
+  /// Shared writex body: `x_view` aliases either the owned value or the
+  /// shared buffer; exactly one wire copy is made.
+  void writex_impl(const ValueView& x_view, const crypto::Hash* precomputed_xbar,
+                   WriteCallback done);
 
   const ClientId id_;
   const int n_;
   const std::shared_ptr<const crypto::VerifyCache> sigs_;
   net::Transport& net_;
   const NodeId server_;
+  const DigestMode digest_mode_;
+  const crypto::Hash bottom_digest_;  // x̄ of ⊥ (mode-independent)
 
   crypto::Hash xbar_;       // hash of own register's last written value
   Version version_;         // (V_i, M_i)
@@ -171,6 +206,9 @@ class Client : public net::Node {
   // Read-reply fields staged by check_data() for the completion callback.
   Value last_read_value_;
   SignedVersion last_read_writer_version_;
+  Timestamp last_read_writer_ts_ = 0;
+  crypto::Hash last_read_digest_{};
+  crypto::Hash staged_digest_{};  // set by data_sig_valid on success
 
   // Exact-match memos of the last successfully verified inputs, one slot
   // per peer (empty signature = no entry). See class comment.
@@ -180,8 +218,12 @@ class Client : public net::Node {
     Timestamp tj = 0;
     Value value;
     Bytes sig;
+    crypto::Hash digest{};  // x̄ the signature was verified against
   };
   std::vector<VerifiedData> verified_data_;  // [j-1]: (t_j, value, δ_j)
+  /// [j-1]: chunked-mode incremental digest state, mirroring
+  /// verified_data_[j-1].value (kChunked only; see data_sig_valid).
+  std::vector<crypto::ChunkedHasher> data_hashers_;
 };
 
 }  // namespace faust::ustor

@@ -10,9 +10,19 @@ namespace {
 // zero-copy throughout: byte fields come out as views into the source
 // buffer, and the owned decode_* entry points deep-copy at the end.
 
-void put_value(wire::Writer& w, const Value& v) {
+void put_value(wire::Writer& w, const ValueView& v) {
   w.put_u8(v.has_value() ? 1 : 0);
   if (v.has_value()) w.put_bytes(*v);
+}
+
+ValueView as_view(const Value& v) {
+  if (!v.has_value()) return std::nullopt;
+  return BytesView(*v);
+}
+
+ValueView as_view(const SharedValue& v) {
+  if (!v.has_value()) return std::nullopt;
+  return v->view();
 }
 
 // Presence flags are encoded as exactly 0 or 1; any other value is
@@ -103,7 +113,7 @@ InvocationTuple to_owned(const InvocationTupleView& v) {
 
 // Exact encoded sizes of the composite fields (mirror the put_* helpers).
 
-std::size_t value_size(const Value& v) {
+std::size_t value_size(const ValueView& v) {
   return 1 + (v.has_value() ? 4 + v->size() : 0);
 }
 
@@ -117,15 +127,33 @@ std::size_t invocation_size(const InvocationTuple& inv) {
   return 4 + 1 + 4 + 4 + inv.submit_sig.size();
 }
 
-std::size_t read_payload_size(const ReadPayload& rp) {
-  return signed_version_size(rp.writer) + 8 + value_size(rp.value) + 4 + rp.data_sig.size();
+/// The read part of a REPLY, flattened to views so that ReplyMessage
+/// (owned) and ReplySnapshot (shared slices) encode byte-identically.
+struct ReadPartView {
+  const SignedVersion* writer = nullptr;  // null = no read payload
+  Timestamp tj = 0;
+  ValueView value;
+  BytesView data_sig;
+};
+
+ReadPartView read_part(const std::optional<ReadPayload>& read) {
+  if (!read.has_value()) return {};
+  return ReadPartView{&read->writer, read->tj, as_view(read->value), BytesView(read->data_sig)};
 }
 
-std::size_t reply_body_size(const SignedVersion& last, const std::optional<ReadPayload>& read,
+ReadPartView read_part(const std::optional<ReadPayloadShared>& read) {
+  if (!read.has_value()) return {};
+  return ReadPartView{&read->writer, read->tj, as_view(read->value), read->data_sig.view()};
+}
+
+std::size_t reply_body_size(const SignedVersion& last, const ReadPartView& read,
                             const std::vector<InvocationTuple>& L, std::size_t l_count,
                             const std::vector<Bytes>& P) {
   std::size_t sz = 1 + 4 + signed_version_size(last) + 1;
-  if (read.has_value()) sz += read_payload_size(*read);
+  if (read.writer != nullptr) {
+    sz += signed_version_size(*read.writer) + 8 + value_size(read.value) + 4 +
+          read.data_sig.size();
+  }
   sz += 4;
   for (std::size_t q = 0; q < l_count; ++q) sz += invocation_size(L[q]);
   sz += 4;
@@ -137,18 +165,17 @@ std::size_t reply_body_size(const SignedVersion& last, const std::optional<ReadP
 /// byte-identical output. Only the first `l_count` entries of L belong to
 /// this reply (a snapshot's shared vector may have grown since).
 void encode_reply_body(wire::Writer& w, ClientId c, const SignedVersion& last,
-                       const std::optional<ReadPayload>& read,
-                       const std::vector<InvocationTuple>& L, std::size_t l_count,
-                       const std::vector<Bytes>& P) {
+                       const ReadPartView& read, const std::vector<InvocationTuple>& L,
+                       std::size_t l_count, const std::vector<Bytes>& P) {
   w.put_u8(static_cast<std::uint8_t>(MsgType::kReply));
   w.put_u32(static_cast<std::uint32_t>(c));
   put_signed_version(w, last);
-  w.put_u8(read.has_value() ? 1 : 0);
-  if (read.has_value()) {
-    put_signed_version(w, read->writer);
-    w.put_u64(read->tj);
-    put_value(w, read->value);
-    w.put_bytes(read->data_sig);
+  w.put_u8(read.writer != nullptr ? 1 : 0);
+  if (read.writer != nullptr) {
+    put_signed_version(w, *read.writer);
+    w.put_u64(read.tj);
+    put_value(w, read.value);
+    w.put_bytes(read.data_sig);
   }
   w.put_u32(static_cast<std::uint32_t>(l_count));
   for (std::size_t q = 0; q < l_count; ++q) put_invocation(w, L[q]);
@@ -167,6 +194,15 @@ std::size_t snapshot_l_count(const ReplySnapshot& m) {
 Value to_owned(const ValueView& v) {
   if (!v.has_value()) return std::nullopt;
   return Bytes(v->begin(), v->end());
+}
+
+ReadPayloadShared to_shared(ReadPayload rp) {
+  ReadPayloadShared out;
+  out.writer = std::move(rp.writer);
+  out.tj = rp.tj;
+  out.value = to_shared(std::move(rp.value));
+  out.data_sig = SharedBytes::owned(std::move(rp.data_sig));
+  return out;
 }
 
 ReplyMessage ReplyMessageView::materialize() const {
@@ -192,7 +228,7 @@ ReplyMessage ReplySnapshot::materialize() const {
   ReplyMessage m;
   m.c = c;
   m.last = last;
-  m.read = read;
+  if (read.has_value()) m.read = read->materialize();
   const std::size_t lc = snapshot_l_count(*this);
   if (L) m.L.assign(L->begin(), L->begin() + static_cast<std::ptrdiff_t>(lc));
   if (P) m.P = *P;
@@ -200,17 +236,17 @@ ReplyMessage ReplySnapshot::materialize() const {
 }
 
 std::size_t size_hint(const SubmitMessage& m) {
-  return 1 + 8 + invocation_size(m.inv) + value_size(m.value) + 4 + m.data_sig.size();
+  return 1 + 8 + invocation_size(m.inv) + value_size(as_view(m.value)) + 4 + m.data_sig.size();
 }
 
 std::size_t size_hint(const ReplyMessage& m) {
-  return reply_body_size(m.last, m.read, m.L, m.L.size(), m.P);
+  return reply_body_size(m.last, read_part(m.read), m.L, m.L.size(), m.P);
 }
 
 std::size_t size_hint(const ReplySnapshot& m) {
   static const std::vector<InvocationTuple> kNoL;
   static const std::vector<Bytes> kNoP;
-  return reply_body_size(m.last, m.read, m.L ? *m.L : kNoL, snapshot_l_count(m),
+  return reply_body_size(m.last, read_part(m.read), m.L ? *m.L : kNoL, snapshot_l_count(m),
                          m.P ? *m.P : kNoP);
 }
 
@@ -230,19 +266,24 @@ std::size_t size_hint(const FailureMessage& m) {
   return sz;
 }
 
-Bytes encode(const SubmitMessage& m) {
-  wire::Writer w(size_hint(m));
+Bytes encode_submit(Timestamp t, const InvocationTuple& inv, const ValueView& value,
+                    BytesView data_sig) {
+  wire::Writer w(1 + 8 + invocation_size(inv) + value_size(value) + 4 + data_sig.size());
   w.put_u8(static_cast<std::uint8_t>(MsgType::kSubmit));
-  w.put_u64(m.t);
-  put_invocation(w, m.inv);
-  put_value(w, m.value);
-  w.put_bytes(m.data_sig);
+  w.put_u64(t);
+  put_invocation(w, inv);
+  put_value(w, value);
+  w.put_bytes(data_sig);
   return w.take();
+}
+
+Bytes encode(const SubmitMessage& m) {
+  return encode_submit(m.t, m.inv, as_view(m.value), BytesView(m.data_sig));
 }
 
 Bytes encode(const ReplyMessage& m) {
   wire::Writer w(size_hint(m));
-  encode_reply_body(w, m.c, m.last, m.read, m.L, m.L.size(), m.P);
+  encode_reply_body(w, m.c, m.last, read_part(m.read), m.L, m.L.size(), m.P);
   return w.take();
 }
 
@@ -250,7 +291,7 @@ Bytes encode(const ReplySnapshot& m) {
   static const std::vector<InvocationTuple> kNoL;
   static const std::vector<Bytes> kNoP;
   wire::Writer w(size_hint(m));
-  encode_reply_body(w, m.c, m.last, m.read, m.L ? *m.L : kNoL, snapshot_l_count(m),
+  encode_reply_body(w, m.c, m.last, read_part(m.read), m.L ? *m.L : kNoL, snapshot_l_count(m),
                     m.P ? *m.P : kNoP);
   return w.take();
 }
@@ -313,15 +354,26 @@ bool open(wire::Reader& r, MsgType expected) {
 
 }  // namespace
 
-std::optional<SubmitMessage> decode_submit(BytesView data) {
+std::optional<SubmitMessageView> decode_submit_view(BytesView data) {
   wire::Reader r(data);
   if (!open(r, MsgType::kSubmit)) return std::nullopt;
-  SubmitMessage m;
+  SubmitMessageView m;
   m.t = r.get_u64();
-  m.inv = to_owned(get_invocation(r));
-  m.value = to_owned(get_value(r));
-  m.data_sig = r.get_bytes();
+  m.inv = get_invocation(r);
+  m.value = get_value(r);
+  m.data_sig = r.get_bytes_view();
   if (!r.ok() || !r.exhausted()) return std::nullopt;
+  return m;
+}
+
+std::optional<SubmitMessage> decode_submit(BytesView data) {
+  const auto view = decode_submit_view(data);
+  if (!view.has_value()) return std::nullopt;
+  SubmitMessage m;
+  m.t = view->t;
+  m.inv = to_owned(view->inv);
+  m.value = to_owned(view->value);
+  m.data_sig.assign(view->data_sig.begin(), view->data_sig.end());
   return m;
 }
 

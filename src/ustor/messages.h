@@ -162,10 +162,38 @@ struct ReplyMessageView {
   ReplyMessage materialize() const;
 };
 
+/// SubmitMessage over views (the server's zero-copy decode path): the
+/// value and signatures alias the delivered message buffer, which the
+/// server retains via shared ownership instead of copying the value out.
+struct SubmitMessageView {
+  Timestamp t = 0;
+  InvocationTupleView inv;
+  ValueView value;
+  BytesView data_sig;
+};
+
 /// Converts a ValueView back to an owned Value.
 Value to_owned(const ValueView& v);
 
 // --- Server-side reply snapshot (copy-on-write, see PERF.md) --------------
+
+/// ReadPayload whose value/DATA-signature share the writer's retained
+/// SUBMIT buffer (zero-copy server storage): the read part of a
+/// ReplySnapshot. Encoded in place; materialize() for a mutable copy.
+struct ReadPayloadShared {
+  SignedVersion writer;
+  Timestamp tj = 0;
+  SharedValue value;
+  SharedBytes data_sig;
+
+  ReadPayload materialize() const {
+    return ReadPayload{writer, tj, to_owned(value), data_sig.to_bytes()};
+  }
+};
+
+/// Wraps an owned ReadPayload into the shared representation (moves the
+/// bytes into fresh shared buffers); hand-built snapshot convenience.
+ReadPayloadShared to_shared(ReadPayload rp);
 
 /// What ServerCore::process_submit returns: the REPLY content with L and P
 /// SHARED with the server state instead of deep-copied. The snapshot's
@@ -181,7 +209,7 @@ Value to_owned(const ValueView& v);
 struct ReplySnapshot {
   ClientId c = 0;
   SignedVersion last;
-  std::optional<ReadPayload> read;
+  std::optional<ReadPayloadShared> read;
   std::shared_ptr<const std::vector<InvocationTuple>> L;
   std::size_t l_count = 0;  // logical |L|: entries of *L this reply covers
   std::shared_ptr<const std::vector<Bytes>> P;
@@ -216,6 +244,17 @@ std::optional<MsgType> peek_type(BytesView data);
 
 std::optional<SubmitMessage> decode_submit(BytesView data);
 std::optional<ReplyMessage> decode_reply(BytesView data);
+
+/// Zero-copy SUBMIT decode (the server's hot path): all byte fields view
+/// into `data`, which must outlive the returned message. Same validation
+/// as decode_submit.
+std::optional<SubmitMessageView> decode_submit_view(BytesView data);
+
+/// Encodes a SUBMIT directly from borrowed parts (the zero-copy write
+/// path: the value bytes are copied exactly once, into the wire buffer).
+/// Byte-identical to encode(SubmitMessage) over the same content.
+Bytes encode_submit(Timestamp t, const InvocationTuple& inv, const ValueView& value,
+                    BytesView data_sig);
 std::optional<CommitMessage> decode_commit(BytesView data);
 std::optional<ProbeMessage> decode_probe(BytesView data);
 std::optional<VersionMessage> decode_version(BytesView data);

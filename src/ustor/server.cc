@@ -42,28 +42,29 @@ std::vector<Bytes>& ServerCore::mutable_P() {
   return *P_;
 }
 
-ReplySnapshot ServerCore::process_submit(const SubmitMessage& m) {
-  const ClientId i = m.inv.client;
+ReplySnapshot ServerCore::submit_impl(Timestamp t, InvocationTuple inv, SharedValue value,
+                                      SharedBytes data_sig) {
+  const ClientId i = inv.client;
   FAUST_CHECK(i >= 1 && i <= n_);
-  const ClientId j = m.inv.target;
+  const ClientId j = inv.target;
   FAUST_CHECK(j >= 1 && j <= n_);
 
   ReplySnapshot reply;
-  if (m.inv.oc == OpCode::kRead) {
+  if (inv.oc == OpCode::kRead) {
     // Lines 108–111: a read refreshes the reader's timestamp and DATA
     // signature but keeps its stored value.
     MemEntry& me = mem(i);
-    me.t = m.t;
-    me.data_sig = m.data_sig;
-    ReadPayload rp;
+    me.t = t;
+    me.data_sig = std::move(data_sig);
+    ReadPayloadShared rp;
     rp.writer = sver(j);
     rp.tj = mem(j).t;
-    rp.value = mem(j).value;
+    rp.value = mem(j).value;  // refcount bump, not a value copy
     rp.data_sig = mem(j).data_sig;
     reply.read = std::move(rp);
   } else {
     // Line 113.
-    mem(i) = MemEntry{m.t, m.value, m.data_sig};
+    mem(i) = MemEntry{t, std::move(value), std::move(data_sig)};
   }
   reply.c = c_;
   reply.last = sver(c_);
@@ -76,10 +77,24 @@ ReplySnapshot ServerCore::process_submit(const SubmitMessage& m) {
   reply.P = P_;
   reply.generation = gen_;
 
-  L_->push_back(m.inv);
+  schedule_.push_back(ScheduledOp{i, inv.oc, j, t});
+  L_->push_back(std::move(inv));
   ++gen_;
-  schedule_.push_back(ScheduledOp{i, m.inv.oc, j, m.t});
   return reply;
+}
+
+ReplySnapshot ServerCore::process_submit(const SubmitMessage& m) {
+  return submit_impl(m.t, m.inv, to_shared(m.value), SharedBytes::copy_of(m.data_sig));
+}
+
+ReplySnapshot ServerCore::process_submit(const SubmitMessageView& m,
+                                         const std::shared_ptr<const Bytes>& buffer) {
+  SharedValue value;
+  if (m.value.has_value()) value = SharedBytes::slice(buffer, *m.value);
+  InvocationTuple inv{m.inv.client, m.inv.oc, m.inv.target,
+                      Bytes(m.inv.submit_sig.begin(), m.inv.submit_sig.end())};
+  return submit_impl(m.t, std::move(inv), std::move(value),
+                     SharedBytes::slice(buffer, m.data_sig));
 }
 
 void ServerCore::process_commit(ClientId i, const CommitMessage& m) {
@@ -116,6 +131,7 @@ Server::Server(int n, net::Transport& net, NodeId self) : core_(n), net_(net), s
 }
 
 void Server::on_message(NodeId from, BytesView msg) {
+  // No shared buffer to retain: fall back to copying the value into MEM.
   const auto type = peek_type(msg);
   if (!type.has_value()) return;  // clients are correct; ignore noise
   switch (*type) {
@@ -135,6 +151,20 @@ void Server::on_message(NodeId from, BytesView msg) {
     default:
       break;
   }
+}
+
+void Server::on_shared_message(NodeId from, const std::shared_ptr<const Bytes>& msg) {
+  const BytesView bytes(*msg);
+  if (peek_type(bytes) != MsgType::kSubmit) {
+    on_message(from, bytes);  // COMMITs and noise: the small/legacy path
+    return;
+  }
+  // Zero-copy SUBMIT: decode views and let MEM retain slices of `msg` —
+  // the register value crosses the server without being copied.
+  const auto m = decode_submit_view(bytes);
+  if (!m.has_value() || m->inv.client != from) return;
+  const ReplySnapshot reply = core_.process_submit(*m, msg);
+  net_.send(self_, from, encode(reply));
 }
 
 }  // namespace faust::ustor

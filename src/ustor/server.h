@@ -54,6 +54,14 @@ class ServerCore {
   /// The caller encodes it directly, or materialize()s a mutable copy.
   ReplySnapshot process_submit(const SubmitMessage& m);
 
+  /// Zero-copy variant (the correct server's hot path): `m` views into
+  /// `buffer`, and MEM retains the value and DATA signature as shared
+  /// slices of it — a submitted register value is never copied out of the
+  /// delivered message (PERF.md "O(change) operations"). Behaviour and
+  /// reply bytes are identical to the owned overload.
+  ReplySnapshot process_submit(const SubmitMessageView& m,
+                               const std::shared_ptr<const Bytes>& buffer);
+
   /// Lines 117–123: stores the version/signatures, advances the last
   /// committed pointer `c`, prunes L.
   void process_commit(ClientId i, const CommitMessage& m);
@@ -80,10 +88,13 @@ class ServerCore {
 
   // State is intentionally inspectable/mutable: the adversary variants
   // (src/adversary) are "the same server, lying", and tests peek at it.
+  // The value/signature are shared slices of the writer's retained SUBMIT
+  // message (or owned buffers on the legacy ingest path) — consumers that
+  // mutate take to_owned()/to_bytes() copies.
   struct MemEntry {
     Timestamp t = 0;
-    Value value;     // last written value (⊥ before the first write)
-    Bytes data_sig;  // last DATA-signature
+    SharedValue value;     // last written value (⊥ before the first write)
+    SharedBytes data_sig;  // last DATA-signature
   };
 
   MemEntry& mem(ClientId i) { return MEM_[static_cast<std::size_t>(i - 1)]; }
@@ -99,6 +110,11 @@ class ServerCore {
   /// still references it, then bump the state generation.
   std::vector<InvocationTuple>& mutable_L();
   std::vector<Bytes>& mutable_P();
+
+  /// Lines 107–116 over ownership-agnostic inputs (both overloads above
+  /// funnel here).
+  ReplySnapshot submit_impl(Timestamp t, InvocationTuple inv, SharedValue value,
+                            SharedBytes data_sig);
 
   const int n_;
   std::vector<MemEntry> MEM_;        // line 102
@@ -117,6 +133,10 @@ class Server : public net::Node {
   Server(int n, net::Transport& net, NodeId self = kServerNode);
 
   void on_message(NodeId from, BytesView msg) override;
+
+  /// Shared delivery (net::Network uses this): SUBMITs take the zero-copy
+  /// path, retaining the value as a slice of `msg` instead of copying it.
+  void on_shared_message(NodeId from, const std::shared_ptr<const Bytes>& msg) override;
 
   ServerCore& core() { return core_; }
   const ServerCore& core() const { return core_; }

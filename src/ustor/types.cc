@@ -1,8 +1,29 @@
 #include "ustor/types.h"
 
+#include <utility>
+
 #include "common/check.h"
+#include "crypto/chunked_hasher.h"
 
 namespace faust::ustor {
+
+Value to_owned(const SharedValue& v) {
+  if (!v.has_value()) return std::nullopt;
+  return v->to_bytes();
+}
+
+SharedValue to_shared(Value v) {
+  if (!v.has_value()) return std::nullopt;
+  return SharedBytes::owned(std::move(*v));
+}
+
+crypto::Hash value_digest(DigestMode mode, const std::optional<BytesView>& v) {
+  // ⊥ hashes identically in both modes (domain-separated from every
+  // present-value digest: flat starts with presence byte 0, chunked roots
+  // start with tag 0x02).
+  if (mode == DigestMode::kFlat || !v.has_value()) return value_hash_view(v);
+  return crypto::ChunkedHasher::digest(*v);
+}
 
 Bytes encode_value(const Value& v) {
   Bytes out;

@@ -20,6 +20,27 @@ enum class OpCode : std::uint8_t { kRead = 0, kWrite = 1 };
 /// of every register, outside the value domain X.
 using Value = std::optional<Bytes>;
 
+/// A register value sharing its backing buffer (the zero-copy sibling of
+/// Value: server MEM entries are slices of the retained SUBMIT message).
+using SharedValue = std::optional<SharedBytes>;
+
+/// Materializes an owned Value (copies the bytes).
+Value to_owned(const SharedValue& v);
+
+/// Wraps an owned Value into shared ownership (one move, no copy).
+SharedValue to_shared(Value v);
+
+/// How DATA-signature payload digests x̄ are computed. All clients of one
+/// deployment must agree (the verifier recomputes the signer's digest):
+/// FaustConfig::data_digest selects it deployment-wide.
+enum class DigestMode : std::uint8_t {
+  kFlat,     // x̄ = SHA-256 over the canonical value encoding (the paper's H)
+  kChunked,  // x̄ = crypto::ChunkedHasher root: O(change) re-digests on edits
+};
+
+/// x̄ of `v` under `mode` (⊥ digests identically in both modes).
+crypto::Hash value_digest(DigestMode mode, const std::optional<BytesView>& v);
+
 /// Canonical encoding of a Value (presence byte + payload); the input to
 /// value hashing and the wire format.
 Bytes encode_value(const Value& v);

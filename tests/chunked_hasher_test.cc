@@ -1,0 +1,197 @@
+// ChunkedHasher: the incremental hash tree must be (1) a FUNCTION of the
+// byte string — every update path converges to the one-shot digest — and
+// (2) a binding commitment — no forged chunk, stale sibling path, or
+// length game can reproduce a root it did not earn. The Byzantine cases
+// mirror the VerifyCache/tamper suites at the chunk-tree layer.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "crypto/chunked_hasher.h"
+
+namespace faust::crypto {
+namespace {
+
+constexpr std::size_t kB = ChunkedHasher::kChunkSize;
+constexpr std::size_t kF = ChunkedHasher::kFanout;
+
+Bytes pattern_bytes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next_u64());
+  return out;
+}
+
+TEST(ChunkedHasher, ResetMatchesOneShotAcrossSizes) {
+  const std::size_t sizes[] = {0,          1,           kB - 1,      kB,
+                               kB + 1,     2 * kB,      kF * kB - 1, kF * kB,
+                               kF * kB + 1, 3 * kF * kB + 17};
+  for (const std::size_t n : sizes) {
+    const Bytes data = pattern_bytes(n, 7 + n);
+    ChunkedHasher h;
+    h.reset(data);
+    EXPECT_EQ(h.root(), ChunkedHasher::digest(data)) << "size " << n;
+    EXPECT_EQ(h.size(), n);
+    // Deterministic: same bytes, same root.
+    EXPECT_EQ(ChunkedHasher::digest(data), ChunkedHasher::digest(data));
+  }
+}
+
+TEST(ChunkedHasher, DistinctContentDistinctRoot) {
+  const Bytes a = pattern_bytes(5 * kB, 1);
+  Bytes b = a;
+  b[3 * kB + 100] ^= 0x01;
+  EXPECT_NE(ChunkedHasher::digest(a), ChunkedHasher::digest(b));
+  // Length binding: a zero-extended buffer is a different commitment even
+  // though every shared chunk hashes identically.
+  Bytes c = a;
+  c.push_back(0x00);
+  EXPECT_NE(ChunkedHasher::digest(a), ChunkedHasher::digest(c));
+  EXPECT_NE(ChunkedHasher::digest(Bytes{}), ChunkedHasher::digest(Bytes{0x00}));
+}
+
+TEST(ChunkedHasher, InPlaceEditUpdateMatchesFullRecompute) {
+  Bytes data = pattern_bytes(10 * kB + 333, 42);
+  ChunkedHasher h;
+  h.reset(data);
+  Rng rng(99);
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t at = rng.next_below(data.size());
+    const std::size_t len = 1 + rng.next_below(64);
+    const std::size_t end = std::min(data.size(), at + len);
+    for (std::size_t i = at; i < end; ++i) data[i] = static_cast<std::uint8_t>(rng.next_u64());
+    h.update(BytesView(data), ChunkedHasher::ByteRange{at, end});
+    ASSERT_EQ(h.root(), ChunkedHasher::digest(data)) << "round " << round;
+  }
+}
+
+TEST(ChunkedHasher, SizeChangingUpdatesMatchFullRecompute) {
+  Bytes data = pattern_bytes(4 * kB + 50, 5);
+  ChunkedHasher h;
+  h.reset(data);
+  Rng rng(17);
+  for (int round = 0; round < 60; ++round) {
+    const std::size_t kind = rng.next_below(4);
+    std::size_t from = data.empty() ? 0 : rng.next_below(data.size());
+    if (kind == 0) {  // insert mid-buffer
+      Bytes ins = pattern_bytes(1 + rng.next_below(200), 1000 + static_cast<std::uint64_t>(round));
+      data.insert(data.begin() + static_cast<std::ptrdiff_t>(from), ins.begin(), ins.end());
+    } else if (kind == 1 && !data.empty()) {  // erase mid-buffer
+      const std::size_t len = std::min<std::size_t>(1 + rng.next_below(200), data.size() - from);
+      data.erase(data.begin() + static_cast<std::ptrdiff_t>(from),
+                 data.begin() + static_cast<std::ptrdiff_t>(from + len));
+    } else if (kind == 2) {  // append
+      from = data.size();
+      Bytes app = pattern_bytes(1 + rng.next_below(3 * kB), 2000 + static_cast<std::uint64_t>(round));
+      data.insert(data.end(), app.begin(), app.end());
+    } else {  // truncate
+      data.resize(data.size() - std::min<std::size_t>(data.size(), rng.next_below(2 * kB)));
+      from = data.size();
+    }
+    h.update(BytesView(data), ChunkedHasher::ByteRange{std::min(from, data.size()), data.size()});
+    ASSERT_EQ(h.root(), ChunkedHasher::digest(data)) << "round " << round << " kind " << kind;
+  }
+}
+
+TEST(ChunkedHasher, MultiRangeUpdateMatchesFullRecompute) {
+  // The KV splice path dirties two disjoint ranges on insert/erase (the
+  // count header and the shifted tail).
+  Bytes data = pattern_bytes(20 * kB, 8);
+  ChunkedHasher h;
+  h.reset(data);
+  data[1] ^= 0xff;
+  for (std::size_t i = 11 * kB; i < data.size(); ++i) data[i] ^= 0x5a;
+  h.update(BytesView(data), {ChunkedHasher::ByteRange{0, 4},
+                             ChunkedHasher::ByteRange{11 * kB, data.size()}});
+  EXPECT_EQ(h.root(), ChunkedHasher::digest(data));
+}
+
+TEST(ChunkedHasher, UpdateDiffMatchesFullRecompute) {
+  Bytes data = pattern_bytes(8 * kB + 77, 3);
+  ChunkedHasher h;
+  h.reset(data);
+  Rng rng(23);
+  for (int round = 0; round < 40; ++round) {
+    const Bytes old = data;
+    const std::size_t kind = rng.next_below(3);
+    if (kind == 0 && !data.empty()) {  // scattered same-size edits
+      for (int e = 0; e < 3; ++e) {
+        data[rng.next_below(data.size())] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+      }
+    } else if (kind == 1) {  // splice-like insert
+      const std::size_t at = data.empty() ? 0 : rng.next_below(data.size());
+      Bytes ins = pattern_bytes(rng.next_below(100), 31 + static_cast<std::uint64_t>(round));
+      data.insert(data.begin() + static_cast<std::ptrdiff_t>(at), ins.begin(), ins.end());
+    } else if (!data.empty()) {  // splice-like erase
+      const std::size_t at = rng.next_below(data.size());
+      const std::size_t len = std::min<std::size_t>(rng.next_below(100), data.size() - at);
+      data.erase(data.begin() + static_cast<std::ptrdiff_t>(at),
+                 data.begin() + static_cast<std::ptrdiff_t>(at + len));
+    }
+    h.update_diff(BytesView(old), BytesView(data));
+    ASSERT_EQ(h.root(), ChunkedHasher::digest(data)) << "round " << round;
+  }
+}
+
+TEST(ChunkedHasher, UpdateDiffOfIdenticalBuffersHashesNothing) {
+  const Bytes data = pattern_bytes(16 * kB, 12);
+  ChunkedHasher h;
+  h.reset(data);
+  const std::uint64_t before = h.chunks_hashed();
+  h.update_diff(BytesView(data), BytesView(data));
+  EXPECT_EQ(h.chunks_hashed(), before) << "unchanged bytes must cost memcmp, not SHA";
+  EXPECT_EQ(h.root(), ChunkedHasher::digest(data));
+}
+
+TEST(ChunkedHasher, OneByteEditRehashesOChunkNotOBuffer) {
+  // The O(change) claim itself: a point edit in a 256-chunk buffer must
+  // rehash one leaf (plus tree path nodes, which are not leaves).
+  Bytes data = pattern_bytes(256 * kB, 77);
+  ChunkedHasher h;
+  h.reset(data);
+  const Bytes old = data;
+  const std::uint64_t before = h.chunks_hashed();
+  data[100 * kB + 5] ^= 0x40;
+  h.update_diff(BytesView(old), BytesView(data));
+  EXPECT_LE(h.chunks_hashed() - before, 1u);
+  EXPECT_EQ(h.root(), ChunkedHasher::digest(data));
+}
+
+TEST(ChunkedHasher, ForgedChunkWithStaleSiblingPathFailsVerification) {
+  // The Byzantine regression of the satellite list: an attacker swaps one
+  // chunk but presents the OLD tree (stale siblings / stale root). The
+  // root is a binding commitment, so the honest recomputation over the
+  // forged bytes can never equal the signed root.
+  const Bytes honest = pattern_bytes(32 * kB + 9, 55);
+  ChunkedHasher tree;
+  tree.reset(honest);
+  const Hash signed_root = tree.root();
+
+  Bytes forged = honest;
+  forged[17 * kB + 3] ^= 0x01;  // one forged chunk
+
+  // (a) A verifier recomputing from scratch rejects.
+  EXPECT_NE(ChunkedHasher::digest(forged), signed_root);
+
+  // (b) A verifier diffing against the last VERIFIED value derives the
+  // forged buffer's own root — identical to the from-scratch digest, and
+  // still != the signed root. The memoized tree cannot launder it.
+  tree.update_diff(BytesView(honest), BytesView(forged));
+  EXPECT_EQ(tree.root(), ChunkedHasher::digest(forged));
+  EXPECT_NE(tree.root(), signed_root);
+
+  // (c) The stale-path attack itself: presenting the old root for the
+  // forged bytes is exactly (a)/(b) failing — and an "update" that LIES
+  // about the dirty range (claims nothing changed) leaves the stale root
+  // in place, which then does NOT match the bytes on any honest recheck.
+  ChunkedHasher stale;
+  stale.reset(honest);
+  stale.update(BytesView(forged), ChunkedHasher::ByteRange{0, 0});  // claimed no-op
+  EXPECT_EQ(stale.root(), signed_root) << "the lie preserves the stale root...";
+  EXPECT_NE(stale.root(), ChunkedHasher::digest(forged)) << "...which the bytes disprove";
+}
+
+}  // namespace
+}  // namespace faust::crypto

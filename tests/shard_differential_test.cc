@@ -126,15 +126,17 @@ struct Model {
 
 /// The single-deployment oracle (the pre-sharding code path).
 struct OracleRig {
-  explicit OracleRig(std::uint64_t seed) {
+  explicit OracleRig(std::uint64_t seed, kv::KvTuning tuning = {},
+                     ustor::DigestMode digest = ustor::DigestMode::kChunked) {
     ClusterConfig cfg;
     cfg.n = kClients;
     cfg.seed = seed;
     cfg.faust.dummy_read_period = 0;  // deterministic op streams
     cfg.faust.probe_check_period = 0;
+    cfg.faust.data_digest = digest;
     cluster = std::make_unique<Cluster>(cfg);
     for (ClientId i = 1; i <= kClients; ++i) {
-      kv.push_back(std::make_unique<kv::KvClient>(cluster->client(i)));
+      kv.push_back(std::make_unique<kv::KvClient>(cluster->client(i), tuning));
     }
   }
 
@@ -185,16 +187,18 @@ struct OracleRig {
 
 /// The system under test.
 struct ShardedRig {
-  ShardedRig(std::size_t shards, std::uint64_t seed) {
+  ShardedRig(std::size_t shards, std::uint64_t seed, kv::KvTuning tuning = {},
+             ustor::DigestMode digest = ustor::DigestMode::kChunked) {
     ShardedClusterConfig cfg;
     cfg.shards = shards;
     cfg.seed = seed;
     cfg.shard_template.n = kClients;
     cfg.shard_template.faust.dummy_read_period = 0;
     cfg.shard_template.faust.probe_check_period = 0;
+    cfg.shard_template.faust.data_digest = digest;
     cluster = std::make_unique<ShardedCluster>(cfg);
     for (ClientId i = 1; i <= kClients; ++i) {
-      kv.push_back(std::make_unique<ShardedKvClient>(*cluster, i));
+      kv.push_back(std::make_unique<ShardedKvClient>(*cluster, i, tuning));
     }
   }
 
@@ -257,15 +261,19 @@ void expect_views_equal(const std::map<std::string, kv::KvEntry>& sharded,
   }
 }
 
-void run_differential_workload(std::size_t shards, std::uint64_t seed) {
-  SCOPED_TRACE(::testing::Message() << "S=" << shards << " seed=" << seed);
+void run_differential_workload(std::size_t shards, std::uint64_t seed, kv::KvTuning tuning = {},
+                               ustor::DigestMode digest = ustor::DigestMode::kChunked) {
+  SCOPED_TRACE(::testing::Message() << "S=" << shards << " seed=" << seed
+                                    << " incremental=" << tuning.incremental_encode
+                                    << " memo=" << tuning.decode_memo
+                                    << " chunked=" << (digest == ustor::DigestMode::kChunked));
   constexpr int kOps = 48;
   constexpr int kCheckEvery = 12;
   constexpr int kKeyPool = 16;
 
   Rng rng(seed);
-  ShardedRig sharded(shards, seed);
-  OracleRig oracle(seed ^ 0xdeadbeef);  // independent timing, same ops
+  ShardedRig sharded(shards, seed, tuning, digest);
+  OracleRig oracle(seed ^ 0xdeadbeef, tuning, digest);  // independent timing, same ops
   Model model;
 
   for (int op = 1; op <= kOps; ++op) {
@@ -314,6 +322,60 @@ TEST(ShardDifferential, MergedViewsAgreeAcrossShardCountsAndSeeds) {
     for (const std::uint64_t seed : {101u, 202u, 303u}) {
       run_differential_workload(shards, seed);
       if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(ShardDifferential, LegacyFullReencodePathAgreesToo) {
+  // The O(change) machinery behind a knob: with incremental encoding,
+  // decode memos AND chunked digests all forced OFF, the same workloads
+  // must still agree with the oracle and the model — the knob selects a
+  // cost model, never semantics.
+  const kv::KvTuning legacy{/*incremental_encode=*/false, /*decode_memo=*/false};
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{3}}) {
+    run_differential_workload(shards, 101, legacy, ustor::DigestMode::kFlat);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(ShardDifferential, DeltaAndLegacyModesProduceIdenticalViewsAndStability) {
+  // Replay ONE op stream through two sharded deployments with identical
+  // seeds, one on the delta paths and one forced legacy: merged views
+  // must match key-for-key and every shard's stability cut must advance
+  // identically (the knobs change neither message counts nor sizes, so
+  // even the virtual-time schedules coincide).
+  const kv::KvTuning legacy{false, false};
+  ShardedRig delta(2, 505);
+  ShardedRig forced(2, 505, legacy, ustor::DigestMode::kFlat);
+  Rng rng(606);
+  for (int op = 0; op < 30; ++op) {
+    const ClientId who = static_cast<ClientId>(1 + rng.next_below(kClients));
+    const std::string key = "key-" + std::to_string(rng.next_below(12));
+    if (rng.next_below(4) == 0) {
+      delta.erase(who, key);
+      forced.erase(who, key);
+    } else {
+      const std::string value = "v" + std::to_string(op);
+      delta.put(who, key, value);
+      forced.put(who, key, value);
+    }
+  }
+  const ShardedListResult a = delta.list(1);
+  const ShardedListResult b = forced.list(1);
+  EXPECT_TRUE(a.complete);
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  for (const auto& [key, want] : b.entries) {
+    const auto it = a.entries.find(key);
+    ASSERT_NE(it, a.entries.end()) << key;
+    EXPECT_EQ(it->second.value, want.value) << key;
+    EXPECT_EQ(it->second.writer, want.writer) << key;
+    EXPECT_EQ(it->second.seq, want.seq) << key;
+  }
+  for (ClientId i = 1; i <= kClients; ++i) {
+    for (std::size_t s = 0; s < 2; ++s) {
+      EXPECT_EQ(delta.kv[static_cast<std::size_t>(i - 1)]->shard_stable_ts(s),
+                forced.kv[static_cast<std::size_t>(i - 1)]->shard_stable_ts(s))
+          << "client " << i << " shard " << s;
     }
   }
 }

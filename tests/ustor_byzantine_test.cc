@@ -28,6 +28,10 @@ constexpr ClientId kVictim = 2;
 struct Case {
   Tamper mode;
   std::set<FailCause> expected;
+  /// The digest scheme the clients run (the tamper detection must hold
+  /// under the chunked incremental verifier exactly as under the flat
+  /// hash — a forged value produces its own root, never the memoized one).
+  DigestMode digest = DigestMode::kFlat;
 };
 
 class TamperTest : public ::testing::TestWithParam<Case> {};
@@ -42,7 +46,10 @@ TEST_P(TamperTest, DetectedWithExpectedCause) {
   TamperServer server(kN, net, param.mode, kVictim, /*fire_on_op=*/2);
 
   std::vector<std::unique_ptr<Client>> clients;
-  for (ClientId i = 1; i <= kN; ++i) clients.push_back(std::make_unique<Client>(i, kN, sigs, net));
+  for (ClientId i = 1; i <= kN; ++i) {
+    clients.push_back(std::make_unique<Client>(i, kN, sigs, net, kServerNode, 4096,
+                                               param.digest));
+  }
   Client& c1 = *clients[0];
   Client& victim = *clients[static_cast<std::size_t>(kVictim - 1)];
 
@@ -108,6 +115,24 @@ INSTANTIATE_TEST_SUITE_P(
         Case{Tamper::kDropReadPayload, {FailCause::kMalformedMessage}}),
     [](const ::testing::TestParamInfo<Case>& info) {
       return "mode_" + std::to_string(static_cast<int>(info.param.mode));
+    });
+
+// The value-affecting attacks again, under chunked DATA digests: the
+// incremental verifier (memcmp-diff + partial rehash against the last
+// VERIFIED value) must reject exactly what the full rehash rejects — a
+// forged chunk presented with a stale sibling path cannot reproduce the
+// signed root, and a replayed stale value still trips the freshness
+// checks before any memo is consulted.
+INSTANTIATE_TEST_SUITE_P(
+    ChunkedDigestTampers, TamperTest,
+    ::testing::Values(
+        Case{Tamper::kNone, {}, DigestMode::kChunked},
+        Case{Tamper::kValue, {FailCause::kBadDataSignature}, DigestMode::kChunked},
+        Case{Tamper::kValueFreshSig, {FailCause::kBadDataSignature}, DigestMode::kChunked},
+        Case{Tamper::kStaleTimestamp, {FailCause::kStaleRead}, DigestMode::kChunked},
+        Case{Tamper::kDataSig, {FailCause::kBadDataSignature}, DigestMode::kChunked}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return "chunked_mode_" + std::to_string(static_cast<int>(info.param.mode));
     });
 
 TEST(CommitDropping, CommittingClientDetectsOmission) {

@@ -292,7 +292,7 @@ TEST(SizeHint, ReplySnapshotEncodesIdenticallyToMaterialized) {
   ReplySnapshot snap;
   snap.c = m.c;
   snap.last = m.last;
-  snap.read = m.read;
+  if (m.read.has_value()) snap.read = to_shared(*m.read);
   snap.L = std::make_shared<const std::vector<InvocationTuple>>(m.L);
   snap.l_count = m.L.size();
   snap.P = std::make_shared<const std::vector<Bytes>>(m.P);
