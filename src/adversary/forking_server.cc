@@ -63,6 +63,18 @@ void ForkingServer::on_message(NodeId from, BytesView msg) {
       net_.send(self_, from, ustor::encode(reply));
       break;
     }
+    case ustor::MsgType::kSubmitDelta: {
+      // Expand against the client's own fork (the base it last submitted
+      // lives there) and serve a full REPLY — always accepted under D6.
+      const auto dm = ustor::decode_submit_delta_view(msg);
+      if (!dm.has_value()) return;
+      auto m = ustor::expand_submit_delta(core, *dm);
+      if (!m.has_value()) return;
+      captured_[client] = *m;
+      const ustor::ReplySnapshot reply = core.process_submit(*m);
+      net_.send(self_, from, ustor::encode(reply));
+      break;
+    }
     case ustor::MsgType::kCommit: {
       auto m = ustor::decode_commit(msg);
       if (!m.has_value()) return;

@@ -9,7 +9,17 @@ CommitDroppingServer::CommitDroppingServer(int n, net::Transport& net, NodeId se
 
 void CommitDroppingServer::on_message(NodeId from, BytesView msg) {
   const auto type = ustor::peek_type(msg);
-  if (!type.has_value() || *type != ustor::MsgType::kSubmit) return;  // drop COMMITs
+  if (!type.has_value()) return;
+  if (*type == ustor::MsgType::kSubmitDelta) {
+    const auto dm = ustor::decode_submit_delta_view(msg);
+    if (!dm.has_value()) return;
+    const auto m = ustor::expand_submit_delta(core_, *dm);
+    if (!m.has_value()) return;
+    const ustor::ReplySnapshot reply = core_.process_submit(*m);
+    net_.send(self_, from, ustor::encode(reply));
+    return;
+  }
+  if (*type != ustor::MsgType::kSubmit) return;  // drop COMMITs
   auto m = ustor::decode_submit(msg);
   if (!m.has_value()) return;
   const ustor::ReplySnapshot reply = core_.process_submit(*m);
@@ -28,6 +38,17 @@ void SilencingServer::on_message(NodeId from, BytesView msg) {
     case ustor::MsgType::kSubmit: {
       if (silenced()) return;  // crash: no reply, ever
       auto m = ustor::decode_submit(msg);
+      if (!m.has_value()) return;
+      ++served_;
+      const ustor::ReplySnapshot reply = core_.process_submit(*m);
+      net_.send(self_, from, ustor::encode(reply));
+      break;
+    }
+    case ustor::MsgType::kSubmitDelta: {
+      if (silenced()) return;
+      const auto dm = ustor::decode_submit_delta_view(msg);
+      if (!dm.has_value()) return;
+      const auto m = ustor::expand_submit_delta(core_, *dm);
       if (!m.has_value()) return;
       ++served_;
       const ustor::ReplySnapshot reply = core_.process_submit(*m);

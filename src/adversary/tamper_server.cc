@@ -41,25 +41,18 @@ void TamperServer::on_message(NodeId from, BytesView msg) {
     case ustor::MsgType::kSubmit: {
       auto m = ustor::decode_submit(msg);
       if (!m.has_value()) return;
-      // Materialized: the tamper modes below mutate the reply freely.
-      ustor::ReplyMessage reply = core_.process_submit(*m).materialize();
-      const ClientId client = m->inv.client;
-      mem_history_[client].push_back(core_.mem(client));
-      if (client == victim_ && ++victim_ops_ == fire_on_op_ && mode_ != Tamper::kNone &&
-          !fired_) {
-        fired_ = true;
-        if (mode_ == Tamper::kGarbage) {
-          // Not even a decodable message.
-          Bytes junk(64);
-          for (std::size_t i = 0; i < junk.size(); ++i) {
-            junk[i] = static_cast<std::uint8_t>(0xa5 ^ i);
-          }
-          net_.send(self_, from, junk);
-          return;
-        }
-        reply = corrupt(std::move(reply), *m);
-      }
-      net_.send(self_, from, ustor::encode(reply));
+      handle_submit(from, *m);
+      break;
+    }
+    case ustor::MsgType::kSubmitDelta: {
+      // This adversary does not speak the delta reply protocol: it expands
+      // the delta into the equivalent full SUBMIT and serves (or corrupts)
+      // a full REPLY, which the D6 negotiation always accepts.
+      const auto dm = ustor::decode_submit_delta_view(msg);
+      if (!dm.has_value()) return;
+      const auto m = ustor::expand_submit_delta(core_, *dm);
+      if (!m.has_value()) return;
+      handle_submit(from, *m);
       break;
     }
     case ustor::MsgType::kCommit: {
@@ -73,6 +66,27 @@ void TamperServer::on_message(NodeId from, BytesView msg) {
     default:
       break;
   }
+}
+
+void TamperServer::handle_submit(NodeId from, const ustor::SubmitMessage& m) {
+  // Materialized: the tamper modes below mutate the reply freely.
+  ustor::ReplyMessage reply = core_.process_submit(m).materialize();
+  const ClientId client = m.inv.client;
+  mem_history_[client].push_back(core_.mem(client));
+  if (client == victim_ && ++victim_ops_ == fire_on_op_ && mode_ != Tamper::kNone && !fired_) {
+    fired_ = true;
+    if (mode_ == Tamper::kGarbage) {
+      // Not even a decodable message.
+      Bytes junk(64);
+      for (std::size_t i = 0; i < junk.size(); ++i) {
+        junk[i] = static_cast<std::uint8_t>(0xa5 ^ i);
+      }
+      net_.send(self_, from, junk);
+      return;
+    }
+    reply = corrupt(std::move(reply), m);
+  }
+  net_.send(self_, from, ustor::encode(reply));
 }
 
 ustor::ReplyMessage TamperServer::corrupt(ustor::ReplyMessage reply,

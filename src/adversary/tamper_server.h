@@ -52,6 +52,9 @@ class TamperServer : public net::Node {
   bool fired() const { return fired_; }
 
  private:
+  /// Shared SUBMIT body for the full and (expanded) delta forms.
+  void handle_submit(NodeId from, const ustor::SubmitMessage& m);
+
   ustor::ReplyMessage corrupt(ustor::ReplyMessage reply, const ustor::SubmitMessage& m);
 
   ustor::ServerCore core_;

@@ -38,7 +38,7 @@ FaustClient::FaustClient(ClientId id, int n,
       exec_(exec),
       config_(config),
       ustor_(id, n, std::move(sigs), net, kServerNode, config.verify_cache_entries,
-             config.data_digest),
+             config.data_digest, config.wire_deltas),
       VER_(static_cast<std::size_t>(n)),
       W_(static_cast<std::size_t>(n), 0) {
   for (auto& kv : VER_) {
@@ -84,6 +84,23 @@ void FaustClient::write_shared(std::shared_ptr<const Bytes> value,
   pump();
 }
 
+void FaustClient::write_delta(const crypto::Hash& base_digest, const crypto::Hash& new_root,
+                              std::uint64_t new_size, std::vector<ustor::Splice> splices,
+                              WriteHandler done) {
+  if (failed_) return;
+  FAUST_CHECK(deltas_active());
+  PendingUserOp op;
+  op.is_write = true;
+  op.is_delta_write = true;
+  op.base_digest = base_digest;
+  op.new_root = new_root;
+  op.new_size = new_size;
+  op.splices = std::move(splices);
+  op.write_done = std::move(done);
+  queue_.push_back(std::move(op));
+  pump();
+}
+
 void FaustClient::read(ClientId j, ReadHandler done) {
   read_ex(j, done ? ReadExHandler([done = std::move(done)](const ustor::Value& v, Timestamp t,
                                                            const ReadMeta&) { done(v, t); })
@@ -110,14 +127,19 @@ void FaustClient::pump() {
 void FaustClient::start_op(PendingUserOp op) {
   op_in_flight_ = true;
   if (op.is_write) {
-    ustor_.writex(std::move(op.value), op.digest ? &*op.digest : nullptr,
-                  [this, done = std::move(op.write_done)](const ustor::WriteResult& r) {
-                    op_in_flight_ = false;
-                    const bool ok = ingest(id_, id_, r.own, /*already_verified=*/true);
-                    if (done) done(r.t);
-                    if (ok) recompute_stability();
-                    pump();
-                  });
+    auto write_cb = [this, done = std::move(op.write_done)](const ustor::WriteResult& r) {
+      op_in_flight_ = false;
+      const bool ok = ingest(id_, id_, r.own, /*already_verified=*/true);
+      if (done) done(r.t);
+      if (ok) recompute_stability();
+      pump();
+    };
+    if (op.is_delta_write) {
+      ustor_.writex_delta(op.base_digest, op.new_root, op.new_size, std::move(op.splices),
+                          std::move(write_cb));
+      return;
+    }
+    ustor_.writex(std::move(op.value), op.digest ? &*op.digest : nullptr, std::move(write_cb));
   } else {
     const ClientId j = op.target;
     ustor_.readx(j, [this, j, done = std::move(op.read_done)](const ustor::ReadResult& r) {

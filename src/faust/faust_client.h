@@ -59,6 +59,12 @@ struct FaustConfig {
   /// verifying side (PERF.md "O(change) operations"); kFlat is the
   /// paper-literal H and the legacy-comparison knob.
   ustor::DigestMode data_digest = ustor::DigestMode::kChunked;
+  /// D6: ship splice deltas on the wire (SUBMIT_DELTA / REPLY_DELTA) so
+  /// bytes per op track the change set, not the register size. Effective
+  /// only under kChunked (deltas verify against the chunk trees); any base
+  /// mismatch degrades to the full-value path, so this is safe to leave on
+  /// — the differential oracle pins on/off equivalence.
+  bool wire_deltas = true;
 };
 
 /// Everything a client knew at the moment it declared the server faulty —
@@ -125,6 +131,20 @@ class FaustClient {
   void write_shared(std::shared_ptr<const Bytes> value,
                     const std::optional<crypto::Hash>& digest, WriteHandler done = {});
 
+  /// D6 delta write: publishes only the splices carrying the previous
+  /// published value (whose chunk-tree root is `base_digest`) forward to
+  /// the new one (root `new_root`, total `new_size` bytes). Requires
+  /// deltas_active(); callers fall back to write_shared otherwise.
+  void write_delta(const crypto::Hash& base_digest, const crypto::Hash& new_root,
+                   std::uint64_t new_size, std::vector<ustor::Splice> splices,
+                   WriteHandler done = {});
+
+  /// True when this client speaks the delta wire protocol (config knob on
+  /// and chunked digests in use).
+  bool deltas_active() const {
+    return config_.wire_deltas && config_.data_digest == ustor::DigestMode::kChunked;
+  }
+
   /// Reads register X_j; `done(value, t)` as above.
   void read(ClientId j, ReadHandler done = {});
 
@@ -188,6 +208,12 @@ class FaustClient {
     ClientId target = 0;                  // reads
     WriteHandler write_done;
     ReadExHandler read_done;
+    // Delta writes (D6): set when is_delta_write.
+    bool is_delta_write = false;
+    crypto::Hash base_digest{};
+    crypto::Hash new_root{};
+    std::uint64_t new_size = 0;
+    std::vector<ustor::Splice> splices;
   };
 
   KnownVersion& ver(ClientId j) { return VER_[static_cast<std::size_t>(j - 1)]; }

@@ -131,8 +131,18 @@ Bytes& KvClient::mutable_enc() {
   return *enc_;
 }
 
+void KvClient::log_splice(std::size_t offset, std::size_t erase_len, BytesView insert) {
+  if (!splice_log_valid_) return;
+  pending_splices_.push_back(
+      ustor::Splice{offset, erase_len, Bytes(insert.begin(), insert.end())});
+}
+
 void KvClient::rebuild_encoding() {
   enc_ = std::make_shared<Bytes>(encode_partition(own_));
+  // Splice offsets referred to the discarded buffer; the next publish
+  // ships the full encoding and reseeds the log.
+  pending_splices_.clear();
+  splice_log_valid_ = false;
   enc_off_.clear();
   enc_off_.reserve(own_.size());
   std::size_t off = kHeaderSize;
@@ -172,6 +182,7 @@ void KvClient::splice_replace(std::size_t idx) {
                        crypto::ChunkedHasher::ByteRange{off, new_sz == old_sz ? off + new_sz
                                                                               : b.size()});
   }
+  log_splice(off, old_sz, BytesView(b.data() + off, new_sz));
   ++encode_splices_;
 }
 
@@ -188,6 +199,8 @@ void KvClient::splice_insert(std::size_t idx) {
     enc_hasher_.update(BytesView(b), {crypto::ChunkedHasher::ByteRange{0, kHeaderSize},
                                       crypto::ChunkedHasher::ByteRange{off, b.size()}});
   }
+  log_splice(off, 0, BytesView(b.data() + off, sz));
+  log_splice(0, kHeaderSize, BytesView(b.data(), kHeaderSize));
   ++encode_splices_;
 }
 
@@ -203,6 +216,8 @@ void KvClient::splice_erase(std::size_t idx, std::size_t old_size) {
     enc_hasher_.update(BytesView(b), {crypto::ChunkedHasher::ByteRange{0, kHeaderSize},
                                       crypto::ChunkedHasher::ByteRange{off, b.size()}});
   }
+  log_splice(off, old_size, BytesView());
+  log_splice(0, kHeaderSize, BytesView(b.data(), kHeaderSize));
   ++encode_splices_;
 }
 
@@ -279,6 +294,42 @@ void KvClient::publish(PutHandler done) {
   if (!enc_valid_) rebuild_encoding();
   std::optional<crypto::Hash> digest;
   if (chunked()) digest = enc_hasher_.root();
+
+  // D6: ship the logged splices instead of the encoding when that is
+  // actually smaller. The first publication is always full (it seeds the
+  // server's base and the verifiers' chunk trees); after that, per-op
+  // bytes track the change set.
+  if (faust_.deltas_active() && digest.has_value() && published_ > 0 && splice_log_valid_ &&
+      !pending_splices_.empty()) {
+    std::size_t delta_bytes = 0;
+    for (const ustor::Splice& s : pending_splices_) delta_bytes += 20 + s.insert.size();
+    if (delta_bytes < enc_->size()) {
+      ++publish_deltas_;
+      ++published_;
+      const crypto::Hash new_root = *digest;
+      std::vector<ustor::Splice> splices = std::move(pending_splices_);
+      pending_splices_.clear();
+      const crypto::Hash base = last_pub_root_;
+      last_pub_root_ = new_root;
+      faust_.write_delta(base, new_root, enc_->size(), std::move(splices),
+                         [done = std::move(done)](Timestamp t) {
+                           if (done) done(t);
+                         });
+      return;
+    }
+  }
+
+  ++publish_fulls_;
+  ++published_;
+  pending_splices_.clear();
+  if (digest.has_value()) {
+    last_pub_root_ = *digest;
+    // From this full publication on, incremental splices can be logged
+    // against a server-known base.
+    splice_log_valid_ = faust_.deltas_active();
+  } else {
+    splice_log_valid_ = false;
+  }
   // The buffer itself is shared with the write (zero-copy down to the
   // wire encoding); the next splice clones it iff it is still in flight.
   faust_.write_shared(enc_, digest, [done = std::move(done)](Timestamp t) {

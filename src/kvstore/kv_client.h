@@ -196,6 +196,11 @@ class KvClient {
   std::uint64_t decode_memo_misses() const { return decode_memo_misses_; }
   /// Snapshots served whole from the merged-view memo (no merge ran).
   std::uint64_t merged_cache_hits() const { return merged_cache_hits_; }
+  /// Publications shipped as splice deltas vs full encodings (D6: bytes
+  /// per op track the change set once the first full publish seeds the
+  /// server's base).
+  std::uint64_t publish_deltas() const { return publish_deltas_; }
+  std::uint64_t publish_fulls() const { return publish_fulls_; }
 
  private:
   /// Verified fingerprint of one register's content: what the decode memo
@@ -250,6 +255,10 @@ class KvClient {
   void splice_insert(std::size_t idx);
   void splice_erase(std::size_t idx, std::size_t old_size);
 
+  /// Appends one wire splice to the pending delta log (no-op while the
+  /// log is invalid). `insert` views the freshly patched encoding.
+  void log_splice(std::size_t offset, std::size_t erase_len, BytesView insert);
+
   void publish(PutHandler done);
 
   /// Collects all n registers, then merges (or replays the merged-view
@@ -275,6 +284,15 @@ class KvClient {
   crypto::ChunkedHasher enc_hasher_;  // mirrors *enc_ (chunked mode only)
   bool enc_valid_ = false;
 
+  // D6 delta-publish log: the wire splices applied to *enc_ since the
+  // last publication, in order (each relative to the evolving buffer —
+  // exactly the form SUBMIT_DELTA ships). Valid only between publishes
+  // under deltas; a rebuild_encoding() discards it (offsets lost).
+  std::vector<ustor::Splice> pending_splices_;
+  bool splice_log_valid_ = false;
+  crypto::Hash last_pub_root_{};  // chunk-tree root of the last publication
+  std::uint64_t published_ = 0;   // publications so far (first must be full)
+
   std::vector<PartMemo> part_memo_;  // [j-1]: version-keyed decode memo
   std::shared_ptr<const std::map<std::string, KvEntry>> merged_cache_;
   std::vector<PartFp> merged_fps_;  // fingerprints merged_cache_ was built from
@@ -286,6 +304,8 @@ class KvClient {
   std::uint64_t decode_memo_hits_ = 0;
   std::uint64_t decode_memo_misses_ = 0;
   std::uint64_t merged_cache_hits_ = 0;
+  std::uint64_t publish_deltas_ = 0;
+  std::uint64_t publish_fulls_ = 0;
 };
 
 }  // namespace faust::kv

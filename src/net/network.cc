@@ -20,6 +20,13 @@ void Network::send(NodeId from, NodeId to, Bytes msg) {
   total_.messages += 1;
   total_.bytes += msg.size();
 
+  const std::size_t bucket =
+      msg.empty() ? 0 : (msg[0] < kTypeBuckets ? msg[0] : std::size_t{0});
+  ch.by_type[bucket].messages += 1;
+  ch.by_type[bucket].bytes += msg.size();
+  total_by_type_[bucket].messages += 1;
+  total_by_type_[bucket].bytes += msg.size();
+
   // FIFO per channel: a message never overtakes an earlier one. Equal
   // delivery times are fine — the scheduler runs same-tick events in
   // schedule (i.e. send) order.
@@ -43,6 +50,12 @@ void Network::crash(NodeId id) { crashed_[id] = 1; }
 ChannelStats Network::channel(NodeId from, NodeId to) const {
   auto it = channels_.find({from, to});
   return it == channels_.end() ? ChannelStats{} : it->second.stats;
+}
+
+ChannelStats Network::channel_for(NodeId from, NodeId to, std::uint8_t tag) const {
+  auto it = channels_.find({from, to});
+  if (it == channels_.end()) return ChannelStats{};
+  return it->second.by_type[tag < kTypeBuckets ? tag : 0];
 }
 
 }  // namespace faust::net

@@ -8,6 +8,7 @@
 // reliable and failures are per-party.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <unordered_map>
@@ -78,10 +79,27 @@ class Network : public Transport {
   /// Counters for the (from,to) directed channel.
   ChannelStats channel(NodeId from, NodeId to) const;
 
+  /// Messages are bucketed by their leading wire tag (ustor::MsgType
+  /// values; bench JSON reports bytes/op per message type). Tags >=
+  /// kTypeBuckets and empty messages land in bucket 0 (never produced by
+  /// this codebase's encoders).
+  static constexpr std::size_t kTypeBuckets = 16;
+  using TypeStats = std::array<ChannelStats, kTypeBuckets>;
+
+  /// Aggregate per-type counters over all channels.
+  const TypeStats& total_by_type() const { return total_by_type_; }
+  const ChannelStats& total_for(std::uint8_t tag) const {
+    return total_by_type_[tag < kTypeBuckets ? tag : 0];
+  }
+
+  /// Per-type counters for the (from,to) directed channel.
+  ChannelStats channel_for(NodeId from, NodeId to, std::uint8_t tag) const;
+
  private:
   struct ChannelState {
     sim::Time last_scheduled = 0;  // FIFO: next delivery not before this
     ChannelStats stats;
+    TypeStats by_type;
   };
 
   exec::Executor& exec_;
@@ -91,6 +109,7 @@ class Network : public Transport {
   std::map<std::pair<NodeId, NodeId>, ChannelState> channels_;
   std::unordered_map<NodeId, char> crashed_;
   ChannelStats total_;
+  TypeStats total_by_type_{};
 };
 
 }  // namespace faust::net

@@ -13,6 +13,7 @@
 // on_message calls never overlap, since one thread drains its mailbox).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <deque>
@@ -21,6 +22,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "net/network.h"  // net::ChannelStats, bucket layout shared with Network
 #include "net/transport.h"
 
 namespace faust::rt {
@@ -62,6 +64,12 @@ class ThreadBus : public net::Transport {
   /// Messages delivered so far (all nodes).
   std::uint64_t delivered() const;
 
+  /// Aggregate traffic counters, bucketed by leading wire tag exactly like
+  /// net::Network (bucket 0 collects empty messages and out-of-range tags).
+  net::ChannelStats total() const;
+  net::Network::TypeStats total_by_type() const;
+  net::ChannelStats total_for(std::uint8_t tag) const;
+
  private:
   struct Box {
     net::Node* node = nullptr;
@@ -81,6 +89,10 @@ class ThreadBus : public net::Transport {
   std::unordered_map<NodeId, std::shared_ptr<Box>> boxes_;
   std::atomic<std::uint64_t> delivered_{0};
   bool stopped_ = false;
+
+  mutable std::mutex stats_mu_;  // guards the traffic counters
+  net::ChannelStats total_;
+  net::Network::TypeStats total_by_type_{};
 };
 
 }  // namespace faust::rt

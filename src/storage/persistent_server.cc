@@ -21,7 +21,9 @@ PersistentServer::PersistentServer(int n, net::Transport& net, std::string log_p
 void PersistentServer::on_message(NodeId from, BytesView msg) {
   const auto type = ustor::peek_type(msg);
   if (!type.has_value()) return;
-  if (*type != ustor::MsgType::kSubmit && *type != ustor::MsgType::kCommit) return;
+  if (*type != ustor::MsgType::kSubmit && *type != ustor::MsgType::kSubmitDelta &&
+      *type != ustor::MsgType::kCommit)
+    return;
 
   // Write-ahead: the record is durable before the state changes or any
   // reply leaves. A crash after the append and before the reply costs the
@@ -43,6 +45,18 @@ void PersistentServer::apply(NodeId from, BytesView msg, bool live) {
     case ustor::MsgType::kSubmit: {
       const auto m = ustor::decode_submit(msg);
       if (!m.has_value() || m->inv.client != from) return;
+      const ustor::ReplySnapshot reply = core_.process_submit(*m);
+      if (live) net_.send(self_, from, ustor::encode(reply));
+      break;
+    }
+    case ustor::MsgType::kSubmitDelta: {
+      // The WAL stores the delta as received; expansion against the core's
+      // current state is deterministic because replay preserves order, so
+      // recovery rebuilds exactly the state the live run had.
+      const auto dm = ustor::decode_submit_delta_view(msg);
+      if (!dm.has_value() || dm->inv.client != from) return;
+      const auto m = ustor::expand_submit_delta(core_, *dm);
+      if (!m.has_value()) return;
       const ustor::ReplySnapshot reply = core_.process_submit(*m);
       if (live) net_.send(self_, from, ustor::encode(reply));
       break;

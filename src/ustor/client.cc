@@ -16,13 +16,14 @@ bool same_bytes(BytesView a, BytesView b) {
 
 Client::Client(ClientId id, int n, std::shared_ptr<const crypto::SignatureScheme> sigs,
                net::Transport& net, NodeId server, std::size_t verify_cache_entries,
-               DigestMode digest_mode)
+               DigestMode digest_mode, bool wire_deltas)
     : id_(id),
       n_(n),
       sigs_(std::make_shared<crypto::VerifyCache>(std::move(sigs), verify_cache_entries)),
       net_(net),
       server_(server),
       digest_mode_(digest_mode),
+      wire_deltas_(wire_deltas && digest_mode == DigestMode::kChunked),
       bottom_digest_(value_digest(digest_mode, std::nullopt)),
       version_(n),
       verified_commit_(static_cast<std::size_t>(n)),
@@ -73,24 +74,73 @@ void Client::writex_impl(const ValueView& x_view, const crypto::Hash* precompute
   net_.send(id_, server_, encode_submit(t, inv, x_view, data_sig));
 }
 
+void Client::writex_delta(const crypto::Hash& base_digest, const crypto::Hash& new_root,
+                          std::uint64_t new_size, std::vector<Splice> splices,
+                          WriteCallback done) {
+  FAUST_CHECK(!busy());
+  FAUST_CHECK(wire_deltas_);
+  if (failed()) return;
+
+  const Timestamp t = version_.v(id_) + 1;  // line 12
+  xbar_ = new_root;                         // line 13: caller-maintained root
+
+  InvocationTuple inv;
+  inv.client = id_;
+  inv.oc = OpCode::kWrite;
+  inv.target = id_;
+  inv.submit_sig = sigs_->sign(id_, submit_payload(OpCode::kWrite, id_, t));
+  const Bytes data_sig = sigs_->sign(id_, data_payload(t, new_root));
+
+  pending_ = PendingOp{OpCode::kWrite, id_, t, std::move(done), {}};
+  ++delta_submits_;
+  net_.send(id_, server_,
+            encode_submit_delta(t, inv, base_digest, new_root, new_size,
+                                std::span<const Splice>(splices), BytesView(data_sig)));
+}
+
 void Client::readx(ClientId j, ReadCallback done) {
   FAUST_CHECK(!busy());
   FAUST_CHECK(j >= 1 && j <= n_);
   if (failed()) return;
 
+  pending_ = PendingOp{OpCode::kRead, j, 0, {}, std::move(done)};
+  send_read_submit(j, /*allow_delta=*/true);
+}
+
+void Client::send_read_submit(ClientId j, bool allow_delta) {
   const Timestamp t = version_.v(id_) + 1;  // line 25
+  pending_->t = t;
 
-  SubmitMessage m;
-  m.t = t;
-  m.inv.client = id_;
-  m.inv.oc = OpCode::kRead;
-  m.inv.target = j;
-  m.inv.submit_sig = sigs_->sign(id_, submit_payload(OpCode::kRead, j, t));
-  m.value = std::nullopt;
-  m.data_sig = sigs_->sign(id_, data_payload(t, xbar_));  // line 26: x̄_i unchanged
+  InvocationTuple inv;
+  inv.client = id_;
+  inv.oc = OpCode::kRead;
+  inv.target = j;
+  inv.submit_sig = sigs_->sign(id_, submit_payload(OpCode::kRead, j, t));
+  const Bytes data_sig = sigs_->sign(id_, data_payload(t, xbar_));  // line 26: x̄_i unchanged
 
-  pending_ = PendingOp{OpCode::kRead, j, t, {}, std::move(done)};
-  net_.send(id_, server_, encode(m));  // line 27
+  const VerifiedData& memo = verified_data_[static_cast<std::size_t>(j - 1)];
+  const bool advertise =
+      allow_delta && wire_deltas_ && !memo.sig.empty() && memo.value.has_value();
+  pending_->advertised = advertise;
+  if (advertise) {
+    ++delta_reads_advertised_;
+    net_.send(id_, server_,
+              encode_submit_read_base(t, inv, memo.tj, memo.digest, BytesView(data_sig)));
+  } else {
+    net_.send(id_, server_, encode_submit(t, inv, std::nullopt, BytesView(data_sig)));  // line 27
+  }
+}
+
+bool Client::has_verified_base(ClientId j) const {
+  const VerifiedData& memo = verified_data_[static_cast<std::size_t>(j - 1)];
+  return !memo.sig.empty() && memo.value.has_value();
+}
+
+void Client::evict_verified_value(ClientId j) {
+  verified_data_[static_cast<std::size_t>(j - 1)] = VerifiedData{};
+  if (digest_mode_ == DigestMode::kChunked) {
+    data_hashers_[static_cast<std::size_t>(j - 1)] = crypto::ChunkedHasher{};
+  }
 }
 
 void Client::on_message(NodeId from, BytesView msg) {
@@ -98,6 +148,15 @@ void Client::on_message(NodeId from, BytesView msg) {
   if (from != server_) return;
 
   const auto type = peek_type(msg);
+  if (type == MsgType::kReplyDelta) {
+    auto reply = decode_reply_delta_view(msg);
+    if (!reply.has_value()) {
+      fail(FailCause::kMalformedMessage);
+      return;
+    }
+    handle_reply_delta(*reply);
+    return;
+  }
   if (!type.has_value() || *type != MsgType::kReply) {
     fail(FailCause::kMalformedMessage);
     return;
@@ -130,6 +189,10 @@ void Client::handle_reply(const ReplyMessageView& m) {
   if (!update_version(m)) return;                      // lines 17 / 29
   if (is_read && !check_data(m, pending_->target)) return;  // line 30
 
+  complete_op();
+}
+
+void Client::complete_op() {
   // Lines 18–19 / 31–32: sign and send COMMIT; the operation completes
   // without waiting for any acknowledgement (wait-freedom).
   send_commit();
@@ -154,6 +217,84 @@ void Client::handle_reply(const ReplyMessageView& m) {
     r.value_digest = last_read_digest_;
     if (op.read_done) op.read_done(r);
   }
+}
+
+void Client::handle_reply_delta(const ReplyDeltaMessageView& m) {
+  if (!pending_.has_value()) {
+    fail(FailCause::kUnsolicitedReply);
+    return;
+  }
+  // Only a read that advertised a base may be answered with REPLY_DELTA.
+  if (pending_->oc != OpCode::kRead || !pending_->advertised) {
+    fail(FailCause::kMalformedMessage);
+    return;
+  }
+  const ClientId j = pending_->target;
+
+  // Resolve the candidate value against the memoized verified base. The
+  // server echoes the base digest it served against; anything other than
+  // our memo's digest (evicted, rotated, or a lie) is unresolvable.
+  const VerifiedData& memo = verified_data_[static_cast<std::size_t>(j - 1)];
+  bool resolved = false;
+  Bytes rebuilt;  // owns the spliced reconstruction while we verify it
+  ValueView candidate = std::nullopt;
+  if (!memo.sig.empty() && memo.value.has_value() && memo.digest == m.read.base_digest) {
+    if (m.read.unchanged) {
+      candidate = BytesView(*memo.value);
+      resolved = true;
+    } else {
+      auto applied = apply_delta(BytesView(*memo.value),
+                                 std::span<const SpliceView>(m.read.splices), m.read.new_size);
+      if (applied.has_value()) {
+        rebuilt = std::move(*applied);
+        candidate = BytesView(rebuilt);
+        resolved = true;
+      }
+    }
+  }
+
+  // Lines 34–52 run verbatim on a full-reply view over the delta reply;
+  // the reconstruction stands in for the wire value.
+  ReplyMessageView full;
+  full.c = m.c;
+  full.last = m.last;
+  ReadPayloadView rp;
+  rp.writer = m.read.writer;
+  rp.tj = m.read.tj;
+  rp.value = candidate;
+  rp.data_sig = m.read.data_sig;
+  full.read = rp;
+  full.L = m.L;
+  full.P = m.P;
+
+  if (!update_version(full)) return;  // genuine violations: fail_i as ever
+  if (!resolved) {
+    retry_read_full();
+    return;
+  }
+  delta_tolerant_ = true;
+  const bool data_ok = check_data(full, j);
+  delta_tolerant_ = false;
+  if (!data_ok) {
+    if (failed()) return;  // staleness/commit-sig violations already failed
+    retry_read_full();     // the delta did not check out: re-read in full
+    return;
+  }
+  if (m.read.unchanged) {
+    ++delta_replies_unchanged_;
+  } else {
+    ++delta_replies_spliced_;
+  }
+  complete_op();
+}
+
+void Client::retry_read_full() {
+  ++delta_fallbacks_;
+  // Commit the version we just absorbed FIRST: without it, the server's L
+  // still lists the absorbed operation and the retried reply would flag it
+  // as self-concurrency (line 43).
+  send_commit();
+  send_read_submit(pending_->target, /*allow_delta=*/false);
 }
 
 bool Client::commit_sig_valid(ClientId committer, const Version& v, BytesView sig) {
@@ -217,7 +358,10 @@ bool Client::data_sig_valid(ClientId j, Timestamp tj, const ValueView& value, By
     return false;
   }
   memo.tj = tj;
-  memo.value = to_owned(value);
+  // Skip the O(K) copy when the bytes already match — which is also the
+  // case where `value` may alias memo.value itself (an "unchanged" delta
+  // reply verifies the memoized bytes in place).
+  if (!value_matches) memo.value = to_owned(value);
   memo.sig.assign(sig.begin(), sig.end());
   memo.digest = digest;
   staged_digest_ = digest;
@@ -309,9 +453,13 @@ bool Client::check_data(const ReplyMessageView& m, ClientId j) {
     return false;
   }
 
-  // Line 50: the value is bound to t_j by C_j's DATA-signature.
+  // Line 50: the value is bound to t_j by C_j's DATA-signature. Under
+  // delta_tolerant_ (the value is a local reconstruction from a delta), a
+  // failed binding condemns the delta, not the server: return false so the
+  // caller retries in full — that retry either verifies or yields primary
+  // evidence that fails the client for real.
   if (rp.tj != 0 && !data_sig_valid(j, rp.tj, rp.value, rp.data_sig)) {
-    fail(FailCause::kBadDataSignature);
+    if (!delta_tolerant_) fail(FailCause::kBadDataSignature);
     return false;
   }
   if (rp.tj == 0) staged_digest_ = bottom_digest_;
@@ -319,7 +467,7 @@ bool Client::check_data(const ReplyMessageView& m, ClientId j) {
   // never submitted an operation, so the register must still hold ⊥ — no
   // signature exists that could vouch for any other value.
   if (rp.tj == 0 && rp.value.has_value()) {
-    fail(FailCause::kBadDataSignature);
+    if (!delta_tolerant_) fail(FailCause::kBadDataSignature);
     return false;
   }
 

@@ -90,9 +90,14 @@ class Client : public net::Node {
   /// `digest_mode` selects how DATA payload digests are computed; every
   /// client of a deployment must use the same mode (the verifier
   /// recomputes the signer's digest).
+  /// `wire_deltas` opts into the D6 delta wire protocol (SUBMIT_DELTA /
+  /// REPLY_DELTA); it only takes effect under DigestMode::kChunked, whose
+  /// chunk trees make deltas verifiable. Replies degrade to the full-value
+  /// path on any base mismatch, so mixed deployments stay correct.
   Client(ClientId id, int n, std::shared_ptr<const crypto::SignatureScheme> sigs,
          net::Transport& net, NodeId server = kServerNode,
-         std::size_t verify_cache_entries = 4096, DigestMode digest_mode = DigestMode::kFlat);
+         std::size_t verify_cache_entries = 4096, DigestMode digest_mode = DigestMode::kFlat,
+         bool wire_deltas = false);
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
@@ -111,7 +116,19 @@ class Client : public net::Node {
   void writex(std::shared_ptr<const Bytes> x, const crypto::Hash* precomputed_xbar,
               WriteCallback done);
 
+  /// Delta write (D6): ships only the splices that carry the last
+  /// published value forward, plus the new chunk-tree root the caller
+  /// maintains incrementally. `base_digest` must be the root of the value
+  /// currently held by the server (our previous publish); on any server-
+  /// side mismatch the submit is dropped and the caller's timeout/retry
+  /// machinery re-publishes in full. Requires wire deltas to be active.
+  void writex_delta(const crypto::Hash& base_digest, const crypto::Hash& new_root,
+                    std::uint64_t new_size, std::vector<Splice> splices, WriteCallback done);
+
   /// Extended read of register X_j (paper's readx_i), 1 <= j <= n.
+  /// With wire deltas active and a verified value of X_j memoized, the
+  /// request advertises (t_j, x̄_j) so the server may answer with an
+  /// "unchanged" token or a splice run instead of the full value.
   void readx(ClientId j, ReadCallback done);
 
   /// True while an operation is awaiting its REPLY.
@@ -136,6 +153,26 @@ class Client : public net::Node {
   /// Number of completed operations (diagnostics).
   std::uint64_t completed_ops() const { return completed_ops_; }
 
+  /// True when the D6 delta wire protocol is in effect for this client.
+  bool wire_deltas() const { return wire_deltas_; }
+
+  // D6 outcome counters (diagnostics; benches surface them as JSON).
+  std::uint64_t delta_submits() const { return delta_submits_; }
+  std::uint64_t delta_reads_advertised() const { return delta_reads_advertised_; }
+  std::uint64_t delta_replies_unchanged() const { return delta_replies_unchanged_; }
+  std::uint64_t delta_replies_spliced() const { return delta_replies_spliced_; }
+  std::uint64_t delta_fallbacks() const { return delta_fallbacks_; }
+
+  /// True iff a verified present value of X_j is memoized (i.e. the next
+  /// read of j will advertise a base under wire deltas).
+  bool has_verified_base(ClientId j) const;
+
+  /// Test hook: drops the verified-value memo (and chunk-tree state) for
+  /// X_j, as a bounded-memory deployment would under cache pressure. The
+  /// next delta reply against the forgotten base cannot resolve and must
+  /// fall back to a full read.
+  void evict_verified_value(ClientId j);
+
   /// The signature-verification cache this client funnels all signature
   /// checks through (diagnostics: hit/miss counts).
   const crypto::VerifyCache& verify_cache() const { return *sigs_; }
@@ -150,10 +187,31 @@ class Client : public net::Node {
     Timestamp t;
     WriteCallback write_done;  // set for writes
     ReadCallback read_done;    // set for reads
+    bool advertised = false;   // read carried an advertised base (D6)
   };
 
   void fail(FailCause cause);
   void handle_reply(const ReplyMessageView& m);
+
+  /// REPLY_DELTA path (D6): resolves the candidate value against the
+  /// memoized base, then runs the verbatim checks of lines 34–52 on the
+  /// reconstruction. Unresolvable or unverifiable deltas degrade to a
+  /// full-value retry; genuine protocol violations still emit fail_i.
+  void handle_reply_delta(const ReplyDeltaMessageView& m);
+
+  /// D6 fallback: commits the absorbed version (so the retried reply does
+  /// not list our own just-absorbed operation as concurrent), then
+  /// re-issues the pending read as a plain full-value SUBMIT. At most one
+  /// fallback per op: the retry never advertises a base.
+  void retry_read_full();
+
+  /// Sends the SUBMIT for the pending read of X_j, advertising the
+  /// memoized base when `allow_delta` and one is available.
+  void send_read_submit(ClientId j, bool allow_delta);
+
+  /// Lines 18–19 / 31–32 + completion: signs and sends COMMIT, pops the
+  /// pending op and invokes its callback.
+  void complete_op();
 
   /// Lines 34–47. Returns false (after emitting fail) on any violation.
   bool update_version(const ReplyMessageView& m);
@@ -194,6 +252,7 @@ class Client : public net::Node {
   net::Transport& net_;
   const NodeId server_;
   const DigestMode digest_mode_;
+  const bool wire_deltas_;            // D6 active (requires kChunked)
   const crypto::Hash bottom_digest_;  // x̄ of ⊥ (mode-independent)
 
   crypto::Hash xbar_;       // hash of own register's last written value
@@ -202,6 +261,21 @@ class Client : public net::Node {
   FailCause fail_cause_ = FailCause::kNone;
   std::optional<PendingOp> pending_;
   std::uint64_t completed_ops_ = 0;
+
+  /// Set only while check_data() re-runs lines 48–52 on a value
+  /// RECONSTRUCTED from a delta: the two data-signature rejections then
+  /// mean "the delta (or the server's unchanged claim) did not check out"
+  /// — grounds for the full-value fallback, not for fail_i, since a full
+  /// retry will either verify or produce primary evidence of misbehavior.
+  /// Every other check (commit sigs, version order, staleness) stays a
+  /// hard failure regardless.
+  bool delta_tolerant_ = false;
+
+  std::uint64_t delta_submits_ = 0;
+  std::uint64_t delta_reads_advertised_ = 0;
+  std::uint64_t delta_replies_unchanged_ = 0;
+  std::uint64_t delta_replies_spliced_ = 0;
+  std::uint64_t delta_fallbacks_ = 0;
 
   // Read-reply fields staged by check_data() for the completion callback.
   Value last_read_value_;

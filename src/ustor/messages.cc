@@ -127,6 +127,65 @@ std::size_t invocation_size(const InvocationTuple& inv) {
   return 4 + 1 + 4 + 4 + inv.submit_sig.size();
 }
 
+// Delta-message helpers. Hashes here are always-present raw 32-byte
+// fields (unlike the optional Digest), so they carry no presence flag.
+
+void put_hash(wire::Writer& w, const crypto::Hash& h) {
+  w.put_raw(BytesView(h.data(), h.size()));
+}
+
+crypto::Hash get_hash(wire::Reader& r) {
+  crypto::Hash h{};
+  const BytesView raw = r.get_view(32);
+  if (raw.size() == 32) std::copy(raw.begin(), raw.end(), h.begin());
+  return h;
+}
+
+void put_splice(wire::Writer& w, std::uint64_t offset, std::uint64_t erase_len,
+                BytesView insert) {
+  w.put_u64(offset);
+  w.put_u64(erase_len);
+  w.put_bytes(insert);
+}
+
+SpliceView get_splice(wire::Reader& r) {
+  SpliceView s;
+  s.offset = r.get_u64();
+  s.erase_len = r.get_u64();
+  s.insert = r.get_bytes_view();
+  return s;
+}
+
+std::size_t splice_size(std::size_t insert_len) { return 8 + 8 + 4 + insert_len; }
+
+template <typename S>
+std::size_t splices_size(const std::vector<S>& ss) {
+  std::size_t sz = 4;  // count prefix
+  for (const auto& s : ss) sz += splice_size(s.insert.size());
+  return sz;
+}
+
+// Splices apply sequentially: each offset refers to the buffer as left by
+// the previous splice, which is exactly how KvClient's incremental encoder
+// produced them. Every bound is checked against the evolving buffer, so a
+// Byzantine splice list can never read or write out of range — it just
+// yields nullopt and the receiver falls back to the full-value path.
+template <typename S>
+std::optional<Bytes> apply_delta_impl(BytesView base, std::span<const S> splices,
+                                      std::uint64_t expected_size) {
+  Bytes buf(base.begin(), base.end());
+  for (const S& s : splices) {
+    if (s.offset > buf.size()) return std::nullopt;
+    if (s.erase_len > buf.size() - s.offset) return std::nullopt;
+    const auto at = buf.begin() + static_cast<std::ptrdiff_t>(s.offset);
+    buf.erase(at, at + static_cast<std::ptrdiff_t>(s.erase_len));
+    buf.insert(buf.begin() + static_cast<std::ptrdiff_t>(s.offset), s.insert.begin(),
+               s.insert.end());
+  }
+  if (buf.size() != expected_size) return std::nullopt;
+  return buf;
+}
+
 /// The read part of a REPLY, flattened to views so that ReplyMessage
 /// (owned) and ReplySnapshot (shared slices) encode byte-identically.
 struct ReadPartView {
@@ -196,6 +255,16 @@ Value to_owned(const ValueView& v) {
   return Bytes(v->begin(), v->end());
 }
 
+std::optional<Bytes> apply_delta(BytesView base, std::span<const Splice> splices,
+                                 std::uint64_t expected_size) {
+  return apply_delta_impl<Splice>(base, splices, expected_size);
+}
+
+std::optional<Bytes> apply_delta(BytesView base, std::span<const SpliceView> splices,
+                                 std::uint64_t expected_size) {
+  return apply_delta_impl<SpliceView>(base, splices, expected_size);
+}
+
 ReadPayloadShared to_shared(ReadPayload rp) {
   ReadPayloadShared out;
   out.writer = std::move(rp.writer);
@@ -250,6 +319,28 @@ std::size_t size_hint(const ReplySnapshot& m) {
                          m.P ? *m.P : kNoP);
 }
 
+std::size_t size_hint(const SubmitDeltaMessage& m) {
+  std::size_t sz = 1 + 8 + invocation_size(m.inv) + 4 + m.data_sig.size();
+  if (m.inv.oc == OpCode::kWrite) {
+    sz += 32 + 32 + 8 + splices_size(m.splices);  // base, root, size, splices
+  } else {
+    sz += 8 + 32;  // base_ts, base_digest
+  }
+  return sz;
+}
+
+std::size_t size_hint(const ReplyDeltaMessage& m) {
+  std::size_t sz = 1 + 4 + signed_version_size(m.last) + signed_version_size(m.read.writer) +
+                   8 + 1 + 32;
+  if (!m.read.unchanged) sz += 8 + splices_size(m.read.splices);
+  sz += 4 + m.read.data_sig.size();
+  sz += 4;
+  for (const InvocationTuple& inv : m.L) sz += invocation_size(inv);
+  sz += 4;
+  for (const Bytes& p : m.P) sz += 4 + p.size();
+  return sz;
+}
+
 std::size_t size_hint(const CommitMessage& m) {
   return 1 + version_size(m.version) + 4 + m.commit_sig.size() + 4 + m.proof_sig.size();
 }
@@ -296,6 +387,115 @@ Bytes encode(const ReplySnapshot& m) {
   return w.take();
 }
 
+Bytes encode_submit_delta(Timestamp t, const InvocationTuple& inv,
+                          const crypto::Hash& base_digest, const crypto::Hash& new_root,
+                          std::uint64_t new_size, std::span<const Splice> splices,
+                          BytesView data_sig) {
+  std::size_t sz = 1 + 8 + invocation_size(inv) + 32 + 32 + 8 + 4 + 4 + data_sig.size();
+  for (const Splice& s : splices) sz += splice_size(s.insert.size());
+  wire::Writer w(sz);
+  w.put_u8(static_cast<std::uint8_t>(MsgType::kSubmitDelta));
+  w.put_u64(t);
+  put_invocation(w, inv);
+  put_hash(w, base_digest);
+  put_hash(w, new_root);
+  w.put_u64(new_size);
+  w.put_u32(static_cast<std::uint32_t>(splices.size()));
+  for (const Splice& s : splices) put_splice(w, s.offset, s.erase_len, BytesView(s.insert));
+  w.put_bytes(data_sig);
+  return w.take();
+}
+
+Bytes encode_submit_read_base(Timestamp t, const InvocationTuple& inv, Timestamp base_ts,
+                              const crypto::Hash& base_digest, BytesView data_sig) {
+  wire::Writer w(1 + 8 + invocation_size(inv) + 8 + 32 + 4 + data_sig.size());
+  w.put_u8(static_cast<std::uint8_t>(MsgType::kSubmitDelta));
+  w.put_u64(t);
+  put_invocation(w, inv);
+  w.put_u64(base_ts);
+  put_hash(w, base_digest);
+  w.put_bytes(data_sig);
+  return w.take();
+}
+
+Bytes encode(const SubmitDeltaMessage& m) {
+  if (m.inv.oc == OpCode::kWrite) {
+    return encode_submit_delta(m.t, m.inv, m.base_digest, m.new_root, m.new_size,
+                               std::span<const Splice>(m.splices), BytesView(m.data_sig));
+  }
+  return encode_submit_read_base(m.t, m.inv, m.base_ts, m.base_digest, BytesView(m.data_sig));
+}
+
+Bytes encode(const ReplyDeltaMessage& m) {
+  wire::Writer w(size_hint(m));
+  w.put_u8(static_cast<std::uint8_t>(MsgType::kReplyDelta));
+  w.put_u32(static_cast<std::uint32_t>(m.c));
+  put_signed_version(w, m.last);
+  put_signed_version(w, m.read.writer);
+  w.put_u64(m.read.tj);
+  w.put_u8(m.read.unchanged ? 1 : 0);
+  put_hash(w, m.read.base_digest);
+  if (!m.read.unchanged) {
+    w.put_u64(m.read.new_size);
+    w.put_u32(static_cast<std::uint32_t>(m.read.splices.size()));
+    for (const Splice& s : m.read.splices) put_splice(w, s.offset, s.erase_len, BytesView(s.insert));
+  }
+  w.put_bytes(m.read.data_sig);
+  w.put_u32(static_cast<std::uint32_t>(m.L.size()));
+  for (const InvocationTuple& inv : m.L) put_invocation(w, inv);
+  w.put_u32(static_cast<std::uint32_t>(m.P.size()));
+  for (const Bytes& p : m.P) w.put_bytes(p);
+  return w.take();
+}
+
+Bytes encode_reply_delta(const ReplySnapshot& snap, const ReadDeltaPlan& plan) {
+  static const std::vector<InvocationTuple> kNoL;
+  static const std::vector<Bytes> kNoP;
+  static const SignedVersion kNoWriter;
+  const std::vector<InvocationTuple>& L = snap.L ? *snap.L : kNoL;
+  const std::size_t lc = snapshot_l_count(snap);
+  const std::vector<Bytes>& P = snap.P ? *snap.P : kNoP;
+  const ReadPartView read = read_part(snap.read);
+  const SignedVersion& writer = read.writer != nullptr ? *read.writer : kNoWriter;
+
+  std::size_t nsplices = 0;
+  std::size_t splice_bytes = 0;
+  for (const auto& run : plan.runs) {
+    nsplices += run.size();
+    for (const Splice& s : run) splice_bytes += splice_size(s.insert.size());
+  }
+  std::size_t sz =
+      1 + 4 + signed_version_size(snap.last) + signed_version_size(writer) + 8 + 1 + 32;
+  if (!plan.unchanged) sz += 8 + 4 + splice_bytes;
+  sz += 4 + read.data_sig.size();
+  sz += 4;
+  for (std::size_t q = 0; q < lc; ++q) sz += invocation_size(L[q]);
+  sz += 4;
+  for (const Bytes& p : P) sz += 4 + p.size();
+
+  wire::Writer w(sz);
+  w.put_u8(static_cast<std::uint8_t>(MsgType::kReplyDelta));
+  w.put_u32(static_cast<std::uint32_t>(snap.c));
+  put_signed_version(w, snap.last);
+  put_signed_version(w, writer);
+  w.put_u64(read.tj);
+  w.put_u8(plan.unchanged ? 1 : 0);
+  put_hash(w, plan.base_digest);
+  if (!plan.unchanged) {
+    w.put_u64(plan.new_size);
+    w.put_u32(static_cast<std::uint32_t>(nsplices));
+    for (const auto& run : plan.runs) {
+      for (const Splice& s : run) put_splice(w, s.offset, s.erase_len, BytesView(s.insert));
+    }
+  }
+  w.put_bytes(read.data_sig);
+  w.put_u32(static_cast<std::uint32_t>(lc));
+  for (std::size_t q = 0; q < lc; ++q) put_invocation(w, L[q]);
+  w.put_u32(static_cast<std::uint32_t>(P.size()));
+  for (const Bytes& p : P) w.put_bytes(p);
+  return w.take();
+}
+
 Bytes encode(const CommitMessage& m) {
   wire::Writer w(size_hint(m));
   w.put_u8(static_cast<std::uint8_t>(MsgType::kCommit));
@@ -338,6 +538,8 @@ std::optional<MsgType> peek_type(BytesView data) {
     case 1: return MsgType::kSubmit;
     case 2: return MsgType::kReply;
     case 3: return MsgType::kCommit;
+    case 4: return MsgType::kSubmitDelta;
+    case 5: return MsgType::kReplyDelta;
     case 10: return MsgType::kProbe;
     case 11: return MsgType::kVersion;
     case 12: return MsgType::kFailure;
@@ -409,6 +611,104 @@ std::optional<ReplyMessage> decode_reply(BytesView data) {
   const auto view = decode_reply_view(data);
   if (!view.has_value()) return std::nullopt;
   return view->materialize();
+}
+
+std::optional<SubmitDeltaMessageView> decode_submit_delta_view(BytesView data) {
+  wire::Reader r(data);
+  if (!open(r, MsgType::kSubmitDelta)) return std::nullopt;
+  SubmitDeltaMessageView m;
+  m.t = r.get_u64();
+  m.inv = get_invocation(r);
+  if (!r.ok()) return std::nullopt;  // need a trustworthy oc to pick the form
+  if (m.inv.oc == OpCode::kWrite) {
+    m.base_digest = get_hash(r);
+    m.new_root = get_hash(r);
+    m.new_size = r.get_u64();
+    const std::uint32_t ns = r.get_u32();
+    if (ns > kMaxN) return std::nullopt;
+    m.splices.reserve(ns);
+    for (std::uint32_t q = 0; q < ns && r.ok(); ++q) m.splices.push_back(get_splice(r));
+  } else {
+    m.base_ts = r.get_u64();
+    m.base_digest = get_hash(r);
+  }
+  m.data_sig = r.get_bytes_view();
+  if (!r.ok() || !r.exhausted()) return std::nullopt;
+  return m;
+}
+
+std::optional<SubmitDeltaMessage> decode_submit_delta(BytesView data) {
+  const auto view = decode_submit_delta_view(data);
+  if (!view.has_value()) return std::nullopt;
+  SubmitDeltaMessage m;
+  m.t = view->t;
+  m.inv = to_owned(view->inv);
+  m.base_digest = view->base_digest;
+  m.new_root = view->new_root;
+  m.new_size = view->new_size;
+  m.splices.reserve(view->splices.size());
+  for (const SpliceView& s : view->splices) {
+    m.splices.push_back(Splice{s.offset, s.erase_len, Bytes(s.insert.begin(), s.insert.end())});
+  }
+  m.base_ts = view->base_ts;
+  m.data_sig.assign(view->data_sig.begin(), view->data_sig.end());
+  return m;
+}
+
+std::optional<ReplyDeltaMessageView> decode_reply_delta_view(BytesView data) {
+  wire::Reader r(data);
+  if (!open(r, MsgType::kReplyDelta)) return std::nullopt;
+  ReplyDeltaMessageView m;
+  m.c = static_cast<ClientId>(r.get_u32());
+  m.last = get_signed_version(r);
+  m.read.writer = get_signed_version(r);
+  m.read.tj = r.get_u64();
+  const std::uint8_t unchanged = r.get_u8();
+  if (unchanged > 1) return std::nullopt;
+  m.read.unchanged = unchanged == 1;
+  m.read.base_digest = get_hash(r);
+  if (!m.read.unchanged) {
+    m.read.new_size = r.get_u64();
+    const std::uint32_t ns = r.get_u32();
+    if (ns > kMaxN) return std::nullopt;
+    m.read.splices.reserve(ns);
+    for (std::uint32_t q = 0; q < ns && r.ok(); ++q) m.read.splices.push_back(get_splice(r));
+  }
+  m.read.data_sig = r.get_bytes_view();
+  const std::uint32_t l = r.get_u32();
+  if (l > kMaxN) return std::nullopt;
+  m.L.reserve(l);
+  for (std::uint32_t q = 0; q < l && r.ok(); ++q) m.L.push_back(get_invocation(r));
+  const std::uint32_t np = r.get_u32();
+  if (np > kMaxN) return std::nullopt;
+  m.P.reserve(np);
+  for (std::uint32_t k = 0; k < np && r.ok(); ++k) m.P.push_back(r.get_bytes_view());
+  if (!r.ok() || !r.exhausted()) return std::nullopt;
+  return m;
+}
+
+std::optional<ReplyDeltaMessage> decode_reply_delta(BytesView data) {
+  const auto view = decode_reply_delta_view(data);
+  if (!view.has_value()) return std::nullopt;
+  ReplyDeltaMessage m;
+  m.c = view->c;
+  m.last = view->last.to_owned();
+  m.read.writer = view->read.writer.to_owned();
+  m.read.tj = view->read.tj;
+  m.read.unchanged = view->read.unchanged;
+  m.read.base_digest = view->read.base_digest;
+  m.read.new_size = view->read.new_size;
+  m.read.splices.reserve(view->read.splices.size());
+  for (const SpliceView& s : view->read.splices) {
+    m.read.splices.push_back(
+        Splice{s.offset, s.erase_len, Bytes(s.insert.begin(), s.insert.end())});
+  }
+  m.read.data_sig.assign(view->read.data_sig.begin(), view->read.data_sig.end());
+  m.L.reserve(view->L.size());
+  for (const InvocationTupleView& inv : view->L) m.L.push_back(to_owned(inv));
+  m.P.reserve(view->P.size());
+  for (const BytesView& p : view->P) m.P.emplace_back(p.begin(), p.end());
+  return m;
 }
 
 std::optional<CommitMessage> decode_commit(BytesView data) {

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/bytes.h"
@@ -36,6 +37,8 @@ enum class MsgType : std::uint8_t {
   kSubmit = 1,
   kReply = 2,
   kCommit = 3,
+  kSubmitDelta = 4,  // SUBMIT shipping a splice delta / an advertised read base
+  kReplyDelta = 5,   // read REPLY shipping a splice delta / "unchanged" token
   // FAUST offline (client-to-client) messages:
   kProbe = 10,
   kVersion = 11,
@@ -117,6 +120,92 @@ struct FailureMessage {
   SignedVersion b;
 };
 
+// --- Delta messages (O(change) on the wire, DESIGN.md D6) -----------------
+
+/// One edit step of a value delta: erase `erase_len` bytes at `offset`,
+/// then insert `insert` there. Splices apply SEQUENTIALLY — each offset
+/// addresses the intermediate buffer after all previous splices — so a
+/// list of splices composes edits the way they were made, and chained
+/// deltas concatenate into one list.
+struct Splice {
+  std::uint64_t offset = 0;
+  std::uint64_t erase_len = 0;
+  Bytes insert;
+
+  bool operator==(const Splice&) const = default;
+};
+
+/// Splice whose insert bytes view into the decode buffer.
+struct SpliceView {
+  std::uint64_t offset = 0;
+  std::uint64_t erase_len = 0;
+  BytesView insert;
+};
+
+/// Applies `splices` sequentially to `base`. Returns nullopt if any
+/// splice reaches past the end of the evolving buffer or the final size
+/// differs from `expected_size` — a malformed delta is rejected as a
+/// whole, never partially applied. The result can only grow by the total
+/// insert bytes (themselves bounded by the carrying message), so a
+/// Byzantine sender cannot force an oversized allocation.
+std::optional<Bytes> apply_delta(BytesView base, std::span<const Splice> splices,
+                                 std::uint64_t expected_size);
+std::optional<Bytes> apply_delta(BytesView base, std::span<const SpliceView> splices,
+                                 std::uint64_t expected_size);
+
+/// ⟨SUBMIT_DELTA, t, (i,oc,j,σ), …, δ⟩ — client → server. Two forms,
+/// selected by the opcode (any mismatch between opcode and fields is
+/// non-canonical and rejected at decode):
+///   * kWrite: ships `splices` against the client's previously submitted
+///     value (whose chunk-tree root is `base_digest`) instead of the full
+///     bytes; `new_root`/`new_size` describe the spliced result and δ is
+///     the fresh DATA signature over (t, new_root). Verifiers rehash only
+///     the dirty chunks against the base tree they hold — a server cannot
+///     forge a delta that roots correctly.
+///   * kRead: a plain read that ADVERTISES the reader's last verified
+///     (base_ts, base_digest) for register X_j, inviting a REPLY_DELTA
+///     (or "unchanged" token) against that base.
+struct SubmitDeltaMessage {
+  Timestamp t = 0;
+  InvocationTuple inv;
+  // kWrite form:
+  crypto::Hash base_digest{};
+  crypto::Hash new_root{};
+  std::uint64_t new_size = 0;
+  std::vector<Splice> splices;
+  // kRead form (base_digest doubles as the advertised digest):
+  Timestamp base_ts = 0;
+  Bytes data_sig;
+};
+
+/// The read payload of a REPLY_DELTA: MEM[j] expressed against the
+/// reader's advertised base. `unchanged` is the O(1) token (the value
+/// still digests to `base_digest`); otherwise `splices` rebuild the
+/// current value from the base. The DATA signature always covers the
+/// CURRENT (tj, root) — a server lying "unchanged" about a changed value
+/// ships a signature over a root the base digest cannot reproduce, which
+/// the verifier rejects.
+struct ReadPayloadDelta {
+  SignedVersion writer;
+  Timestamp tj = 0;
+  bool unchanged = false;
+  crypto::Hash base_digest{};
+  std::uint64_t new_size = 0;
+  std::vector<Splice> splices;
+  Bytes data_sig;
+};
+
+/// ⟨REPLY_DELTA, c, SVER[c], read-delta, L, P⟩ — server → client, only
+/// ever answering an advertising read. Version/L/P parts are verbatim
+/// ReplyMessage fields; only the value travels as a delta.
+struct ReplyDeltaMessage {
+  ClientId c = 0;
+  SignedVersion last;
+  ReadPayloadDelta read;
+  std::vector<InvocationTuple> L;
+  std::vector<Bytes> P;
+};
+
 // --- Zero-copy view variants (hot client decode path) ---------------------
 
 /// Register value as a view: nullopt is ⊥, otherwise a view of the bytes.
@@ -172,6 +261,38 @@ struct SubmitMessageView {
   BytesView data_sig;
 };
 
+/// SubmitDeltaMessage over views (the server's zero-copy decode path).
+struct SubmitDeltaMessageView {
+  Timestamp t = 0;
+  InvocationTupleView inv;
+  crypto::Hash base_digest{};
+  crypto::Hash new_root{};
+  std::uint64_t new_size = 0;
+  std::vector<SpliceView> splices;
+  Timestamp base_ts = 0;
+  BytesView data_sig;
+};
+
+/// ReadPayloadDelta over views.
+struct ReadPayloadDeltaView {
+  SignedVersionView writer;
+  Timestamp tj = 0;
+  bool unchanged = false;
+  crypto::Hash base_digest{};
+  std::uint64_t new_size = 0;
+  std::vector<SpliceView> splices;
+  BytesView data_sig;
+};
+
+/// ReplyDeltaMessage over views (the client's hot decode path).
+struct ReplyDeltaMessageView {
+  ClientId c = 0;
+  SignedVersionView last;
+  ReadPayloadDeltaView read;
+  std::vector<InvocationTupleView> L;
+  std::vector<BytesView> P;
+};
+
 /// Converts a ValueView back to an owned Value.
 Value to_owned(const ValueView& v);
 
@@ -224,6 +345,8 @@ struct ReplySnapshot {
 Bytes encode(const SubmitMessage& m);
 Bytes encode(const ReplyMessage& m);
 Bytes encode(const ReplySnapshot& m);
+Bytes encode(const SubmitDeltaMessage& m);
+Bytes encode(const ReplyDeltaMessage& m);
 Bytes encode(const CommitMessage& m);
 Bytes encode(const ProbeMessage& m);
 Bytes encode(const VersionMessage& m);
@@ -234,6 +357,8 @@ Bytes encode(const FailureMessage& m);
 std::size_t size_hint(const SubmitMessage& m);
 std::size_t size_hint(const ReplyMessage& m);
 std::size_t size_hint(const ReplySnapshot& m);
+std::size_t size_hint(const SubmitDeltaMessage& m);
+std::size_t size_hint(const ReplyDeltaMessage& m);
 std::size_t size_hint(const CommitMessage& m);
 std::size_t size_hint(const ProbeMessage& m);
 std::size_t size_hint(const VersionMessage& m);
@@ -264,6 +389,47 @@ std::optional<FailureMessage> decode_failure(BytesView data);
 /// outlive the returned message. Same validation and nullopt-on-garbage
 /// behavior as decode_reply.
 std::optional<ReplyMessageView> decode_reply_view(BytesView data);
+
+// --- Delta codecs ---------------------------------------------------------
+
+std::optional<SubmitDeltaMessage> decode_submit_delta(BytesView data);
+std::optional<ReplyDeltaMessage> decode_reply_delta(BytesView data);
+
+/// Zero-copy decodes: byte fields (splice inserts, signatures) view into
+/// `data`, which must outlive the returned message.
+std::optional<SubmitDeltaMessageView> decode_submit_delta_view(BytesView data);
+std::optional<ReplyDeltaMessageView> decode_reply_delta_view(BytesView data);
+
+/// Encodes the write form of SUBMIT_DELTA directly from borrowed parts.
+/// Byte-identical to encode(SubmitDeltaMessage) over the same content
+/// (inv.oc must be kWrite).
+Bytes encode_submit_delta(Timestamp t, const InvocationTuple& inv,
+                          const crypto::Hash& base_digest, const crypto::Hash& new_root,
+                          std::uint64_t new_size, std::span<const Splice> splices,
+                          BytesView data_sig);
+
+/// Encodes the read form of SUBMIT_DELTA (an advertised-base read).
+/// Byte-identical to encode(SubmitDeltaMessage) over the same content
+/// (inv.oc must be kRead).
+Bytes encode_submit_read_base(Timestamp t, const InvocationTuple& inv, Timestamp base_ts,
+                              const crypto::Hash& base_digest, BytesView data_sig);
+
+/// The server's plan for answering an advertised-base read without
+/// materializing a ReplyDeltaMessage: either "unchanged" or the ordered
+/// runs of splice records that carry the base forward to the current
+/// value. The spans borrow the server's delta history and must stay
+/// alive until encode_reply_delta returns.
+struct ReadDeltaPlan {
+  bool unchanged = false;
+  crypto::Hash base_digest{};  // the client's advertised base (echoed)
+  std::uint64_t new_size = 0;  // current value size (spliced form only)
+  std::vector<std::span<const Splice>> runs;
+};
+
+/// Encodes a REPLY_DELTA from a reply snapshot plus a delta plan, without
+/// copying the splice history. Byte-identical to encode(ReplyDeltaMessage)
+/// over the same content. The snapshot's read payload must be present.
+Bytes encode_reply_delta(const ReplySnapshot& snap, const ReadDeltaPlan& plan);
 
 // --- Signature payloads (domain-separated canonical encodings) -----------
 

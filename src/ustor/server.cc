@@ -1,6 +1,9 @@
 #include "ustor/server.h"
 
+#include <span>
+
 #include "common/check.h"
+#include "crypto/chunked_hasher.h"
 
 namespace faust::ustor {
 
@@ -63,8 +66,13 @@ ReplySnapshot ServerCore::submit_impl(Timestamp t, InvocationTuple inv, SharedVa
     rp.data_sig = mem(j).data_sig;
     reply.read = std::move(rp);
   } else {
-    // Line 113.
-    mem(i) = MemEntry{t, std::move(value), std::move(data_sig)};
+    // Line 113. A full write discards the delta bookkeeping: the new
+    // MemEntry starts with no known digest and an empty history.
+    MemEntry fresh;
+    fresh.t = t;
+    fresh.value = std::move(value);
+    fresh.data_sig = std::move(data_sig);
+    mem(i) = std::move(fresh);
   }
   reply.c = c_;
   reply.last = sver(c_);
@@ -95,6 +103,115 @@ ReplySnapshot ServerCore::process_submit(const SubmitMessageView& m,
                       Bytes(m.inv.submit_sig.begin(), m.inv.submit_sig.end())};
   return submit_impl(m.t, std::move(inv), std::move(value),
                      SharedBytes::slice(buffer, m.data_sig));
+}
+
+bool ServerCore::ensure_digest(ClientId i) {
+  MemEntry& me = mem(i);
+  if (!me.value.has_value()) return false;
+  if (!me.digest_known) {
+    me.digest = crypto::ChunkedHasher::digest(me.value->view());
+    me.digest_known = true;
+  }
+  return true;
+}
+
+std::optional<ReplySnapshot> ServerCore::process_submit_delta(
+    const SubmitDeltaMessageView& m, const std::shared_ptr<const Bytes>& buffer) {
+  const ClientId i = m.inv.client;
+  if (i < 1 || i > n_) return std::nullopt;
+  if (m.inv.oc != OpCode::kWrite || m.inv.target != i) return std::nullopt;
+  MemEntry& me = mem(i);
+  if (!me.value.has_value()) return std::nullopt;  // no base to splice against
+  auto applied =
+      apply_delta(me.value->view(), std::span<const SpliceView>(m.splices), m.new_size);
+  if (!applied.has_value()) return std::nullopt;
+
+  // Chain bookkeeping: if the writer's claimed base matches the root of
+  // the value we actually hold, the new record extends the history chain;
+  // otherwise the chain restarts at this record. The server never verifies
+  // new_root — it cannot (untrusted); verifiers check it against the DATA
+  // signature and their own rehash.
+  ensure_digest(i);
+  std::deque<DeltaRecord> history;
+  if (me.digest == m.base_digest) history = std::move(me.history);
+  DeltaRecord rec;
+  rec.from = m.base_digest;
+  rec.to = m.new_root;
+  rec.new_size = m.new_size;
+  rec.splices.reserve(m.splices.size());
+  std::size_t wire = 4;  // splice-count prefix
+  for (const SpliceView& s : m.splices) {
+    rec.splices.push_back(Splice{s.offset, s.erase_len, Bytes(s.insert.begin(), s.insert.end())});
+    wire += 8 + 8 + 4 + s.insert.size();
+  }
+  rec.wire_bytes = wire;
+  history.push_back(std::move(rec));
+  while (history.size() > kDeltaHistoryDepth) history.pop_front();
+
+  InvocationTuple inv{m.inv.client, m.inv.oc, m.inv.target,
+                      Bytes(m.inv.submit_sig.begin(), m.inv.submit_sig.end())};
+  SharedBytes sig = buffer ? SharedBytes::slice(buffer, m.data_sig)
+                           : SharedBytes::copy_of(m.data_sig);
+  ReplySnapshot reply = submit_impl(m.t, std::move(inv),
+                                    SharedBytes::owned(std::move(*applied)), std::move(sig));
+  // submit_impl replaced mem(i) with a bare entry; restore the delta state.
+  MemEntry& fresh = mem(i);
+  fresh.digest_known = true;
+  fresh.digest = m.new_root;
+  fresh.history = std::move(history);
+  return reply;
+}
+
+ServerCore::ReadServing ServerCore::plan_read_delta(ClientId j, const crypto::Hash& base,
+                                                    ReadDeltaPlan* plan) {
+  plan->unchanged = false;
+  plan->base_digest = base;
+  plan->runs.clear();
+  if (!ensure_digest(j)) return ReadServing::kFull;  // register still ⊥
+  const MemEntry& me = mem(j);
+  if (me.digest == base) {
+    plan->unchanged = true;
+    return ReadServing::kUnchanged;
+  }
+  // Walk the history back from the newest record, looking for the reader's
+  // base; give up if the accumulated splice bytes already match the full
+  // value (a delta that isn't smaller buys nothing).
+  const std::size_t full_size = me.value->view().size();
+  std::size_t bytes = 0;
+  std::size_t start = me.history.size();
+  for (std::size_t q = me.history.size(); q > 0; --q) {
+    bytes += me.history[q - 1].wire_bytes;
+    if (bytes >= full_size) return ReadServing::kFull;
+    if (me.history[q - 1].from == base) {
+      start = q - 1;
+      break;
+    }
+  }
+  if (start == me.history.size()) return ReadServing::kFull;  // base too old
+  plan->new_size = full_size;
+  plan->runs.reserve(me.history.size() - start);
+  for (std::size_t q = start; q < me.history.size(); ++q) {
+    plan->runs.push_back(std::span<const Splice>(me.history[q].splices));
+  }
+  return ReadServing::kDelta;
+}
+
+std::optional<SubmitMessage> expand_submit_delta(const ServerCore& core,
+                                                 const SubmitDeltaMessageView& m) {
+  SubmitMessage out;
+  out.t = m.t;
+  out.inv = InvocationTuple{m.inv.client, m.inv.oc, m.inv.target,
+                            Bytes(m.inv.submit_sig.begin(), m.inv.submit_sig.end())};
+  out.data_sig.assign(m.data_sig.begin(), m.data_sig.end());
+  if (m.inv.oc == OpCode::kRead) return out;  // advertised-base read: no value
+  if (m.inv.client < 1 || m.inv.client > core.n()) return std::nullopt;
+  const ServerCore::MemEntry& me = core.mem(m.inv.client);
+  if (!me.value.has_value()) return std::nullopt;
+  auto applied =
+      apply_delta(me.value->view(), std::span<const SpliceView>(m.splices), m.new_size);
+  if (!applied.has_value()) return std::nullopt;
+  out.value = std::move(*applied);
+  return out;
 }
 
 void ServerCore::process_commit(ClientId i, const CommitMessage& m) {
@@ -142,6 +259,12 @@ void Server::on_message(NodeId from, BytesView msg) {
       net_.send(self_, from, encode(reply));
       break;
     }
+    case MsgType::kSubmitDelta: {
+      const auto m = decode_submit_delta_view(msg);
+      if (!m.has_value() || m->inv.client != from) return;
+      handle_submit_delta(from, *m, nullptr);
+      break;
+    }
     case MsgType::kCommit: {
       auto m = decode_commit(msg);
       if (!m.has_value()) return;
@@ -153,9 +276,54 @@ void Server::on_message(NodeId from, BytesView msg) {
   }
 }
 
+void Server::handle_submit_delta(NodeId from, const SubmitDeltaMessageView& m,
+                                 const std::shared_ptr<const Bytes>& buffer) {
+  if (m.inv.oc == OpCode::kWrite) {
+    const auto reply = core_.process_submit_delta(m, buffer);
+    // A baseless/out-of-bounds delta is dropped: correct clients never
+    // send one, and a Byzantine client only hurts itself.
+    if (!reply.has_value()) return;
+    net_.send(self_, from, encode(*reply));
+    return;
+  }
+  // Advertised-base read: run the ordinary read, then shrink the reply to
+  // an "unchanged" token or a splice run if the reader's base allows it.
+  const ClientId j = m.inv.target;
+  if (j < 1 || j > core_.n()) return;
+  SubmitMessageView full;
+  full.t = m.t;
+  full.inv = m.inv;
+  full.value = std::nullopt;
+  full.data_sig = m.data_sig;
+  ReplySnapshot reply;
+  if (buffer) {
+    reply = core_.process_submit(full, buffer);
+  } else {
+    SubmitMessage owned;
+    owned.t = m.t;
+    owned.inv = InvocationTuple{m.inv.client, m.inv.oc, m.inv.target,
+                                Bytes(m.inv.submit_sig.begin(), m.inv.submit_sig.end())};
+    owned.data_sig.assign(m.data_sig.begin(), m.data_sig.end());
+    reply = core_.process_submit(owned);
+  }
+  ReadDeltaPlan plan;
+  if (core_.plan_read_delta(j, m.base_digest, &plan) == ServerCore::ReadServing::kFull) {
+    net_.send(self_, from, encode(reply));  // D6 fallback: full value
+  } else {
+    net_.send(self_, from, encode_reply_delta(reply, plan));
+  }
+}
+
 void Server::on_shared_message(NodeId from, const std::shared_ptr<const Bytes>& msg) {
   const BytesView bytes(*msg);
-  if (peek_type(bytes) != MsgType::kSubmit) {
+  const auto type = peek_type(bytes);
+  if (type == MsgType::kSubmitDelta) {
+    const auto m = decode_submit_delta_view(bytes);
+    if (!m.has_value() || m->inv.client != from) return;
+    handle_submit_delta(from, *m, msg);
+    return;
+  }
+  if (type != MsgType::kSubmit) {
     on_message(from, bytes);  // COMMITs and noise: the small/legacy path
     return;
   }

@@ -15,7 +15,9 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/bytes.h"
@@ -62,6 +64,32 @@ class ServerCore {
   ReplySnapshot process_submit(const SubmitMessageView& m,
                                const std::shared_ptr<const Bytes>& buffer);
 
+  /// SUBMIT_DELTA write form (D6): applies the splices to the retained
+  /// value, records the delta for later advertised-base reads, then runs
+  /// the ordinary submit. nullopt if there is no base value or the splice
+  /// list is out of bounds — a correct client never sends either, so the
+  /// server silently drops (the client's resend/fallback machinery owns
+  /// recovery). `buffer` may be null (owned-copy path).
+  std::optional<ReplySnapshot> process_submit_delta(const SubmitDeltaMessageView& m,
+                                                    const std::shared_ptr<const Bytes>& buffer);
+
+  /// How an advertised-base read can be served.
+  enum class ReadServing {
+    kFull,       // base unknown / history too old / delta not smaller
+    kUnchanged,  // stored root equals the advertised base
+    kDelta,      // plan->runs carries the base forward to the current value
+  };
+
+  /// Decides how to answer a read of register `j` whose client advertised
+  /// `base` as its last verified chunk-tree root. On kDelta the plan's
+  /// spans borrow mem(j).history and are valid until the next mutation of
+  /// that register.
+  ReadServing plan_read_delta(ClientId j, const crypto::Hash& base, ReadDeltaPlan* plan);
+
+  /// Lazily computes mem(i).digest (chunk-tree root of the stored value);
+  /// false iff the register is still ⊥.
+  bool ensure_digest(ClientId i);
+
   /// Lines 117–123: stores the version/signatures, advances the last
   /// committed pointer `c`, prunes L.
   void process_commit(ClientId i, const CommitMessage& m);
@@ -91,10 +119,31 @@ class ServerCore {
   // The value/signature are shared slices of the writer's retained SUBMIT
   // message (or owned buffers on the legacy ingest path) — consumers that
   // mutate take to_owned()/to_bytes() copies.
+  /// One accepted SUBMIT_DELTA, kept so later advertised-base reads can be
+  /// served as splices: the records of one history chain (`to` of each is
+  /// the `from` of the next).
+  struct DeltaRecord {
+    crypto::Hash from{};  // chunk-tree root the splices apply against
+    crypto::Hash to{};    // root after applying them (the writer's claim)
+    std::uint64_t new_size = 0;
+    std::vector<Splice> splices;
+    std::size_t wire_bytes = 0;  // encoded size of the splice list
+  };
+
+  /// How many delta records to retain per register; a reader whose base is
+  /// older than the window falls back to the full value.
+  static constexpr std::size_t kDeltaHistoryDepth = 8;
+
   struct MemEntry {
     Timestamp t = 0;
     SharedValue value;     // last written value (⊥ before the first write)
     SharedBytes data_sig;  // last DATA-signature
+    // Delta bookkeeping (D6). `digest` is the chunk-tree root of `value`,
+    // computed lazily on the first delta-path touch; a full write resets
+    // all three (the whole MemEntry is replaced).
+    bool digest_known = false;
+    crypto::Hash digest{};
+    std::deque<DeltaRecord> history;
   };
 
   MemEntry& mem(ClientId i) { return MEM_[static_cast<std::size_t>(i - 1)]; }
@@ -127,6 +176,15 @@ class ServerCore {
   std::uint64_t cow_clones_ = 0;
 };
 
+/// Expands a SUBMIT_DELTA into the equivalent full SUBMIT against `core`'s
+/// current state: write form applies the splices to the stored value, read
+/// form carries no value. Used by servers that do not speak the delta
+/// protocol themselves (adversaries, the WAL replayer) — replying with a
+/// full REPLY to a delta-speaking client is always acceptable under the
+/// D6 negotiation. nullopt on a baseless or out-of-bounds delta.
+std::optional<SubmitMessage> expand_submit_delta(const ServerCore& core,
+                                                 const SubmitDeltaMessageView& m);
+
 /// The correct server: decodes messages, runs the core, replies.
 class Server : public net::Node {
  public:
@@ -142,6 +200,11 @@ class Server : public net::Node {
   const ServerCore& core() const { return core_; }
 
  private:
+  /// Shared SUBMIT_DELTA handling for both delivery paths; `buffer` is
+  /// null on the owned (on_message) path.
+  void handle_submit_delta(NodeId from, const SubmitDeltaMessageView& m,
+                           const std::shared_ptr<const Bytes>& buffer);
+
   ServerCore core_;
   net::Transport& net_;
   const NodeId self_;

@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -55,6 +56,20 @@ SignedVersion random_signed_version(Rng& rng, int n) {
   return {random_version(rng, n), random_bytes(rng, 24)};
 }
 
+crypto::Hash random_hash(Rng& rng) {
+  crypto::Hash h{};
+  for (auto& b : h) b = static_cast<std::uint8_t>(rng.next_u64());
+  return h;
+}
+
+std::vector<Splice> random_splices(Rng& rng) {
+  std::vector<Splice> out;
+  for (std::size_t q = rng.next_below(4); q > 0; --q) {
+    out.push_back(Splice{rng.next_below(64), rng.next_below(16), random_bytes(rng, 24)});
+  }
+  return out;
+}
+
 /// One random, valid encoding of every message type.
 std::vector<Bytes> random_corpus(Rng& rng) {
   const int n = static_cast<int>(1 + rng.next_below(5));
@@ -81,6 +96,47 @@ std::vector<Bytes> random_corpus(Rng& rng) {
   for (std::size_t q = rng.next_below(3); q > 0; --q) rm.L.push_back(random_invocation(rng, n));
   for (int k = 0; k < n; ++k) rm.P.push_back(random_bytes(rng, 24));
   corpus.push_back(encode(rm));
+
+  // SUBMIT_DELTA, write form (the opcode selects the wire shape, so it is
+  // pinned rather than random).
+  SubmitDeltaMessage sdw;
+  sdw.t = rng.next_u64();
+  sdw.inv = random_invocation(rng, n);
+  sdw.inv.oc = OpCode::kWrite;
+  sdw.base_digest = random_hash(rng);
+  sdw.new_root = random_hash(rng);
+  sdw.new_size = rng.next_below(4096);
+  sdw.splices = random_splices(rng);
+  sdw.data_sig = random_bytes(rng, 24);
+  corpus.push_back(encode(sdw));
+
+  // SUBMIT_DELTA, read form (an advertised-base read).
+  SubmitDeltaMessage sdr;
+  sdr.t = rng.next_u64();
+  sdr.inv = random_invocation(rng, n);
+  sdr.inv.oc = OpCode::kRead;
+  sdr.base_ts = rng.next_below(1000);
+  sdr.base_digest = random_hash(rng);
+  sdr.data_sig = random_bytes(rng, 24);
+  corpus.push_back(encode(sdr));
+
+  // REPLY_DELTA: alternates between the "unchanged" token and the spliced
+  // shape (the presence byte selects which fields exist on the wire).
+  ReplyDeltaMessage rd;
+  rd.c = static_cast<ClientId>(1 + rng.next_below(static_cast<std::size_t>(n)));
+  rd.last = random_signed_version(rng, n);
+  rd.read.writer = random_signed_version(rng, n);
+  rd.read.tj = rng.next_below(100);
+  rd.read.unchanged = rng.next_below(2) == 1;
+  rd.read.base_digest = random_hash(rng);
+  if (!rd.read.unchanged) {
+    rd.read.new_size = rng.next_below(4096);
+    rd.read.splices = random_splices(rng);
+  }
+  rd.read.data_sig = random_bytes(rng, 24);
+  for (std::size_t q = rng.next_below(3); q > 0; --q) rd.L.push_back(random_invocation(rng, n));
+  for (int k = 0; k < n; ++k) rd.P.push_back(random_bytes(rng, 24));
+  corpus.push_back(encode(rd));
 
   CommitMessage cm;
   cm.version = random_version(rng, n);
@@ -119,6 +175,12 @@ std::optional<Bytes> decode_and_reencode(BytesView data) {
       return std::nullopt;
     case MsgType::kReply:
       if (const auto m = decode_reply(data)) return encode(*m);
+      return std::nullopt;
+    case MsgType::kSubmitDelta:
+      if (const auto m = decode_submit_delta(data)) return encode(*m);
+      return std::nullopt;
+    case MsgType::kReplyDelta:
+      if (const auto m = decode_reply_delta(data)) return encode(*m);
       return std::nullopt;
     case MsgType::kCommit:
       if (const auto m = decode_commit(data)) return encode(*m);
@@ -195,6 +257,45 @@ TEST(WireFuzz, RandomGarbageNeverCrashesAndNeverDecodesNonCanonically) {
       const auto re = decode_and_reencode(junk);
       if (re.has_value()) EXPECT_EQ(*re, junk);
     }
+  }
+}
+
+TEST(WireFuzz, ApplyDeltaRejectsOutOfBoundsSplicesAndSizeLies) {
+  const Bytes base = to_bytes("0123456789");
+  const auto apply = [&](std::vector<Splice> s, std::uint64_t expected) {
+    return apply_delta(BytesView(base), std::span<const Splice>(s), expected);
+  };
+
+  // A splice offset past the end of the evolving buffer is rejected whole.
+  EXPECT_FALSE(apply({Splice{11, 0, to_bytes("x")}}, 11).has_value());
+  // An erase reaching past the end is rejected.
+  EXPECT_FALSE(apply({Splice{5, 6, {}}}, 4).has_value());
+  // A final size that does not match the spliced result is rejected even
+  // when every splice is individually in bounds.
+  EXPECT_FALSE(apply({Splice{0, 0, to_bytes("ab")}}, 10).has_value());
+  // A second splice may run out of bounds on the SHRUNKEN intermediate
+  // buffer even though it would fit the original.
+  EXPECT_FALSE(apply({Splice{0, 8, {}}, Splice{2, 1, {}}}, 1).has_value());
+
+  // The empty splice list is the identity (only usable when sizes agree).
+  {
+    const auto r = apply({}, base.size());
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(*r, base);
+  }
+  // Inserting at exactly the end is an append, not out-of-bounds.
+  {
+    const auto r = apply({Splice{10, 0, to_bytes("!")}}, 11);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(to_string(*r), "0123456789!");
+  }
+  // Overlapping offsets are well-defined: splices apply SEQUENTIALLY, each
+  // against the buffer produced by the previous one. "0123456789" →(0,5,"AB")
+  // "AB56789" →(1,2,"Z") "AZ6789".
+  {
+    const auto r = apply({Splice{0, 5, to_bytes("AB")}, Splice{1, 2, to_bytes("Z")}}, 6);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(to_string(*r), "AZ6789");
   }
 }
 
