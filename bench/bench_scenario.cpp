@@ -1,0 +1,112 @@
+// Crash recovery & tail latency under the seeded scenario harness
+// (src/scenario, DESIGN.md D7).
+//
+// Two deployments of the SAME seeded Zipf workload over S=3 durable
+// shards:
+//
+//   BM_ScenarioCrashFree — no failures: the baseline op-latency
+//     distribution (p50/p99/max, µs of wall clock per completed op) with
+//     WAL + snapshot cadence running. This is the durability tax on the
+//     happy path.
+//   BM_ScenarioKillRestart — the same stream with two mid-run
+//     kill/restart events: whole-shard process death, downtime, recovery
+//     from verified snapshot + log suffix, client reconnect/resume. The
+//     counters add recovery_ms (pure restart-to-serving time, excluded
+//     ops none) and restarts_from_snapshot; p99/max absorb the ops that
+//     rode through an outage.
+//
+// The differential oracle (scenario_test) proves the two runs converge to
+// byte-identical merged views; this bench records what the crashes COST.
+// BENCH_scenario.pre.json holds the crash-free run, .post.json the
+// kill/restart run — the pre/post pair measures failure overhead rather
+// than a code-change delta, which is the comparison this harness exists
+// to pin over time. FAUST_BENCH_SMOKE=1 shrinks the stream for CI.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "scenario/runner.h"
+
+namespace {
+
+using namespace faust;
+
+std::uint64_t scenario_ops() {
+  if (const char* smoke = std::getenv("FAUST_BENCH_SMOKE"); smoke && smoke[0] == '1') {
+    return 120;
+  }
+  return 600;
+}
+
+scenario::ScenarioConfig base_config(const std::string& dir) {
+  scenario::ScenarioConfig cfg;
+  cfg.workload.seed = 2026;
+  cfg.workload.n_keys = 100'000;
+  cfg.workload.n_ops = scenario_ops();
+  cfg.workload.n_writers = 2;
+  cfg.shards = 3;
+  cfg.cluster_seed = 11;
+  cfg.snapshot_every = 16;
+  cfg.dir = dir;
+  return cfg;
+}
+
+std::string fresh_dir(const std::string& tag, int iteration) {
+  const std::string dir = (std::filesystem::temp_directory_path() /
+                           ("faust_bench_scn_" + tag + "_" + std::to_string(iteration)))
+                              .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+void report(benchmark::State& state, const scenario::ScenarioResult& r) {
+  state.counters["ops"] = static_cast<double>(r.ops);
+  state.counters["p50_us"] = r.p50_us;
+  state.counters["p99_us"] = r.p99_us;
+  state.counters["max_us"] = r.max_us;
+  state.counters["restarts"] = static_cast<double>(r.restarts);
+  state.counters["restarts_from_snapshot"] = static_cast<double>(r.restarts_from_snapshot);
+  state.counters["recovery_ms"] = r.recovery_ms_total;
+  state.counters["snapshots_written"] = static_cast<double>(r.snapshots_written);
+  state.counters["wal_records"] = static_cast<double>(r.wal_records);
+  state.counters["complete"] = r.complete && !r.any_failed ? 1.0 : 0.0;
+}
+
+void BM_ScenarioCrashFree(benchmark::State& state) {
+  int iteration = 0;
+  scenario::ScenarioResult last;
+  for (auto _ : state) {
+    const std::string dir = fresh_dir("free", iteration++);
+    scenario::ScenarioConfig cfg = base_config(dir);
+    last = scenario::run_scenario(cfg);
+    benchmark::DoNotOptimize(last.merged_digest);
+    std::filesystem::remove_all(dir);
+  }
+  report(state, last);
+}
+BENCHMARK(BM_ScenarioCrashFree)->Unit(benchmark::kMillisecond)->MinTime(0.05);
+
+void BM_ScenarioKillRestart(benchmark::State& state) {
+  int iteration = 0;
+  scenario::ScenarioResult last;
+  for (auto _ : state) {
+    const std::string dir = fresh_dir("kill", iteration++);
+    scenario::ScenarioConfig cfg = base_config(dir);
+    const std::uint64_t n = cfg.workload.n_ops;
+    cfg.kills = {scenario::KillEvent{n / 3, 0, 4'000},
+                 scenario::KillEvent{(2 * n) / 3, 2, 4'000}};
+    last = scenario::run_scenario(cfg);
+    benchmark::DoNotOptimize(last.merged_digest);
+    std::filesystem::remove_all(dir);
+  }
+  report(state, last);
+}
+BENCHMARK(BM_ScenarioKillRestart)->Unit(benchmark::kMillisecond)->MinTime(0.05);
+
+}  // namespace
+
+#include "json_main.h"
+FAUST_BENCH_MAIN();

@@ -1,5 +1,7 @@
 #include "faust/cluster.h"
 
+#include <filesystem>
+
 #include "common/check.h"
 #include "common/rng.h"
 
@@ -17,7 +19,13 @@ Cluster::Cluster(ClusterConfig config)
                                          config_.mail_max_delay);
   sigs_ = crypto::make_hmac_scheme(config_.n, root.next_u64());
   if (config_.with_server) {
-    server_ = std::make_unique<ustor::Server>(config_.n, *net_);
+    if (durable()) {
+      std::filesystem::create_directories(config_.durability_dir);
+      pserver_ = std::make_unique<storage::PersistentServer>(
+          config_.n, *net_, config_.durability_dir, config_.durability);
+    } else {
+      server_ = std::make_unique<ustor::Server>(config_.n, *net_);
+    }
   }
   clients_.reserve(static_cast<std::size_t>(config_.n));
   for (ClientId i = 1; i <= config_.n; ++i) {
@@ -68,6 +76,28 @@ ustor::Value Cluster::read(ClientId i, ClientId j, bool* completed, std::size_t 
   if (done) recorder_.end(rec, sched.now(), ts, out);
   if (completed != nullptr) *completed = done;
   return out;
+}
+
+void Cluster::crash_server() {
+  FAUST_CHECK(durable());
+  FAUST_CHECK(pserver_ != nullptr);
+  // Fence first: kill() bumps the server's delivery epoch, so anything in
+  // flight to or from the pre-crash incarnation is dropped — a stale
+  // REPLY arriving after restart would otherwise look unsolicited and
+  // fail the client. The PersistentServer destructor detaches the node.
+  net_->kill(kServerNode);
+  pserver_.reset();
+}
+
+void Cluster::restart_server() {
+  FAUST_CHECK(durable());
+  FAUST_CHECK(pserver_ == nullptr);
+  // Constructor-time recovery + net attach; attach() revives the killed
+  // node by bumping its epoch once more, so messages queued while it was
+  // down are dropped too.
+  pserver_ = std::make_unique<storage::PersistentServer>(
+      config_.n, *net_, config_.durability_dir, config_.durability);
+  for (auto& c : clients_) c->reconnect();
 }
 
 bool Cluster::any_failed() const {

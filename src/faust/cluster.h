@@ -19,6 +19,7 @@
 #include "net/mailbox.h"
 #include "net/network.h"
 #include "sim/scheduler.h"
+#include "storage/persistent_server.h"
 #include "ustor/server.h"
 
 namespace faust {
@@ -32,6 +33,12 @@ struct ClusterConfig {
   sim::Time mail_max_delay = 200;
   FaustConfig faust;                  // FAUST timers
   bool with_server = true;            // false: caller attaches own server
+  /// Non-empty: the server is a crash-durable storage::PersistentServer
+  /// rooted in this directory (created if absent), and crash_server()/
+  /// restart_server() become legal. server() is nullptr in this mode;
+  /// use pserver().
+  std::string durability_dir;
+  storage::DurabilityOptions durability;  // snapshot cadence (durable mode)
   /// Execution hook: when set, the cluster runs on this external executor
   /// (which must outlive it) instead of owning a sim::Scheduler.
   /// ShardedCluster uses it two ways: kDeterministic passes one shared
@@ -81,8 +88,29 @@ class Cluster {
 
   FaustClient& client(ClientId i);
 
-  /// The correct server, or nullptr when with_server was false.
+  /// The correct server, or nullptr when with_server was false or the
+  /// cluster is durable (see pserver()).
   ustor::Server* server() { return server_.get(); }
+
+  /// The durable server, or nullptr outside durable mode / while crashed.
+  storage::PersistentServer* pserver() { return pserver_.get(); }
+
+  /// True when this cluster was built with a durability_dir.
+  bool durable() const { return !config_.durability_dir.empty(); }
+
+  /// True while the (durable) server is attached and processing.
+  bool server_up() const { return pserver_ != nullptr || server_ != nullptr; }
+
+  /// Transiently crashes the durable server: in-flight messages to/from
+  /// it are dropped (net().kill epoch fencing — a stale pre-crash REPLY
+  /// can never reach a post-restart client) and its memory state is
+  /// destroyed. Its WAL and snapshot survive on disk.
+  void crash_server();
+
+  /// Rebuilds the durable server from disk (constructor-time recovery:
+  /// verified snapshot + log suffix, or full replay) and reconnects every
+  /// healthy client so in-flight operations resume exactly once.
+  void restart_server();
 
   /// History recorded by the synchronous helpers (checker input).
   checker::HistoryRecorder& recorder() { return recorder_; }
@@ -115,6 +143,7 @@ class Cluster {
   std::unique_ptr<net::Mailbox> mail_;
   std::shared_ptr<const crypto::SignatureScheme> sigs_;
   std::unique_ptr<ustor::Server> server_;
+  std::unique_ptr<storage::PersistentServer> pserver_;  // durable mode
   std::vector<std::unique_ptr<FaustClient>> clients_;
   checker::HistoryRecorder recorder_;
 };

@@ -177,6 +177,14 @@ class FaustClient {
   void go_online();
   bool online() const { return online_; }
 
+  /// Reconnect after a server restart: delegates to the engine's
+  /// resubmit() so an in-flight operation resumes against the recovered
+  /// server (exactly-once via its duplicate detection). Queued user ops
+  /// behind the in-flight one drain normally once it completes.
+  void reconnect() {
+    if (!failed_) ustor_.resubmit();
+  }
+
   ClientId id() const { return id_; }
   int n() const { return n_; }
 

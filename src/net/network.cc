@@ -7,7 +7,13 @@ namespace faust::net {
 Network::Network(exec::Executor& exec, Rng rng, DelayModel delay)
     : exec_(exec), rng_(std::move(rng)), delay_(delay) {}
 
-void Network::attach(NodeId id, Node& node) { nodes_[id] = &node; }
+void Network::attach(NodeId id, Node& node) {
+  // Re-attaching after a kill is a revival: bump the epoch again so that
+  // anything sent towards the dead node during its downtime (stamped with
+  // the post-kill epoch) stays undeliverable to the new incarnation.
+  if (killed_.erase(id) > 0) ++epoch_[id];
+  nodes_[id] = &node;
+}
 
 void Network::detach(NodeId id) { nodes_.erase(id); }
 
@@ -36,9 +42,15 @@ void Network::send(NodeId from, NodeId to, Bytes msg) {
 
   // The buffer is moved into shared ownership once and delivered as such:
   // a receiver that retains a slice (the server keeps submitted register
-  // values) pins the buffer instead of copying it.
-  exec_.at(when, [this, from, to, m = std::make_shared<const Bytes>(std::move(msg))]() {
+  // values) pins the buffer instead of copying it. Both endpoints' epochs
+  // are stamped at send time: a kill() (or kill+revive) of either endpoint
+  // between send and delivery invalidates the message.
+  const std::uint64_t ef = epoch_of(from);
+  const std::uint64_t et = epoch_of(to);
+  exec_.at(when, [this, from, to, ef, et,
+                  m = std::make_shared<const Bytes>(std::move(msg))]() {
     if (crashed(to) || crashed(from)) return;  // crash between send and delivery
+    if (epoch_of(from) != ef || epoch_of(to) != et) return;  // kill/revive raced it
     auto it = nodes_.find(to);
     if (it == nodes_.end()) return;
     it->second->on_shared_message(from, m);
@@ -46,6 +58,11 @@ void Network::send(NodeId from, NodeId to, Bytes msg) {
 }
 
 void Network::crash(NodeId id) { crashed_[id] = 1; }
+
+void Network::kill(NodeId id) {
+  ++epoch_[id];
+  killed_.insert(id);
+}
 
 ChannelStats Network::channel(NodeId from, NodeId to) const {
   auto it = channels_.find({from, to});

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <map>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/bytes.h"
 #include "common/ids.h"
@@ -73,6 +74,21 @@ class Network : public Transport {
   void crash(NodeId id);
   bool crashed(NodeId id) const { return crashed_.count(id) > 0; }
 
+  /// Kills `id` TRANSIENTLY (a crash the node may come back from, unlike
+  /// crash()): every message currently in flight from or to `id` is
+  /// dropped, and so is anything sent to it while it is down. Delivery is
+  /// epoch-gated — send() stamps both endpoints' epochs onto the message,
+  /// kill() bumps the victim's epoch, and a later attach() of the same id
+  /// bumps it again — so a restarted node can never receive a message from
+  /// a previous incarnation of the channel (a stale pre-crash REPLY would
+  /// otherwise race the resubmitted operation and trip the client's
+  /// unsolicited-reply check). The node object itself is NOT detached;
+  /// destroy/detach it separately.
+  void kill(NodeId id);
+
+  /// True between kill(id) and the next attach(id, ...).
+  bool killed(NodeId id) const { return killed_.count(id) > 0; }
+
   /// Aggregate counters over all channels.
   const ChannelStats& total() const { return total_; }
 
@@ -102,12 +118,19 @@ class Network : public Transport {
     TypeStats by_type;
   };
 
+  std::uint64_t epoch_of(NodeId id) const {
+    auto it = epoch_.find(id);
+    return it == epoch_.end() ? 0 : it->second;
+  }
+
   exec::Executor& exec_;
   Rng rng_;
   DelayModel delay_;
   std::unordered_map<NodeId, Node*> nodes_;
   std::map<std::pair<NodeId, NodeId>, ChannelState> channels_;
   std::unordered_map<NodeId, char> crashed_;
+  std::unordered_map<NodeId, std::uint64_t> epoch_;  // bumped by kill + revival
+  std::unordered_set<NodeId> killed_;                // currently-down transients
   ChannelStats total_;
   TypeStats total_by_type_{};
 };

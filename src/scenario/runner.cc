@@ -1,0 +1,203 @@
+#include "scenario/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "common/check.h"
+#include "crypto/chunked_hasher.h"
+#include "shard/sharded_kv_client.h"
+#include "wire/encoder.h"
+
+namespace faust::scenario {
+namespace {
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+}  // namespace
+
+crypto::Hash merged_view_digest(const std::map<std::string, kv::KvEntry>& view) {
+  wire::Writer w;
+  for (const auto& [key, e] : view) {
+    w.put_bytes(BytesView(reinterpret_cast<const std::uint8_t*>(key.data()), key.size()));
+    w.put_bytes(
+        BytesView(reinterpret_cast<const std::uint8_t*>(e.value.data()), e.value.size()));
+    w.put_u32(static_cast<std::uint32_t>(e.writer));
+    w.put_u64(e.seq);
+  }
+  const Bytes encoded = w.take();
+  return crypto::ChunkedHasher::digest(encoded);
+}
+
+ScenarioResult run_scenario(const ScenarioConfig& config) {
+  FAUST_CHECK(config.kills.empty() || !config.dir.empty());
+  const bool det = config.mode == shard::ExecMode::kDeterministic;
+
+  shard::ShardedClusterConfig sc_cfg;
+  sc_cfg.shards = config.shards;
+  sc_cfg.seed = config.cluster_seed;
+  sc_cfg.mode = config.mode;
+  sc_cfg.durability_root = config.dir;
+  sc_cfg.shard_template.n = config.workload.n_writers;
+  sc_cfg.shard_template.durability.snapshot_every = config.snapshot_every;
+  // Dummy reads OFF: they consume client timestamps on a timer, which
+  // would make the op stream's engine footprint depend on virtual-time
+  // trajectory — the crash and crash-free runs must issue IDENTICAL
+  // engine ops. Probes stay on (they carry no timestamps) so stability
+  // cuts still advance.
+  sc_cfg.shard_template.faust.dummy_read_period = 0;
+  shard::ShardedCluster sc(sc_cfg);
+
+  std::vector<std::unique_ptr<shard::ShardedKvClient>> kv;
+  for (ClientId i = 1; i <= config.workload.n_writers; ++i) {
+    kv.push_back(std::make_unique<shard::ShardedKvClient>(sc, i));
+  }
+
+  ScenarioResult result;
+  WorkloadGenerator gen(config.workload);
+
+  // Restart bookkeeping, written from restart callbacks (which run on a
+  // shard's thread in threaded mode).
+  std::atomic<int> restarts_done{0};
+  std::atomic<int> restarts_snapshot{0};
+  std::atomic<std::uint64_t> recovery_ns{0};
+
+  std::vector<double> latencies;
+  latencies.reserve(config.workload.n_ops);
+  const auto op_timeout = std::chrono::milliseconds(config.op_budget_ms);
+
+  for (std::uint64_t i = 0; i < config.workload.n_ops; ++i) {
+    const Op op = gen.next();
+    const std::string key = key_name(op.key);
+    shard::ShardedKvClient& client = *kv[static_cast<std::size_t>(op.writer - 1)];
+
+    std::atomic<bool> done{false};
+    const auto begin = std::chrono::steady_clock::now();
+    switch (op.kind) {
+      case Op::Kind::kPut:
+        client.put(key, op.value, [&done](Timestamp) {
+          done.store(true, std::memory_order_release);
+        });
+        break;
+      case Op::Kind::kGet:
+        client.get(key, [&done](const shard::ShardedGetResult&) {
+          done.store(true, std::memory_order_release);
+        });
+        break;
+      case Op::Kind::kErase:
+        client.erase(key, [&done](Timestamp) {
+          done.store(true, std::memory_order_release);
+        });
+        break;
+    }
+
+    // Kill events fire with the op already in flight: if it was routed to
+    // the killed shard, its SUBMIT (or the REPLY) is dropped by the epoch
+    // fence, and completion requires the full recover-reconnect-resume
+    // path — exactly what the scenario is here to exercise.
+    for (const KillEvent& kill : config.kills) {
+      if (kill.at_op != i) continue;
+      FAUST_CHECK(kill.shard < config.shards);
+      sc.kill_shard(kill.shard);
+      Cluster& cluster = sc.shard(kill.shard);
+      sc.shard_exec(kill.shard).after(
+          kill.downtime,
+          [&cluster, &restarts_done, &restarts_snapshot, &recovery_ns] {
+            // Already on the shard's executor (its thread in threaded
+            // mode): recover directly — post_sync from here would
+            // deadlock against ourselves.
+            const auto t0 = std::chrono::steady_clock::now();
+            cluster.restart_server();
+            const auto t1 = std::chrono::steady_clock::now();
+            recovery_ns.fetch_add(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
+            if (cluster.pserver()->recovered_from_snapshot()) {
+              restarts_snapshot.fetch_add(1);
+            }
+            restarts_done.fetch_add(1);
+          });
+    }
+
+    if (!sc.await(done, op_timeout)) {
+      result.complete = false;
+      result.ops = i;
+      result.any_failed = true;  // a hung op is a failed scenario
+      return result;
+    }
+    const auto end = std::chrono::steady_clock::now();
+    latencies.push_back(
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin).count()) /
+        1000.0);
+  }
+  result.ops = config.workload.n_ops;
+
+  // Wait out any restart still pending (its kill came so late no
+  // subsequent op needed the shard); the merged fan-out below needs every
+  // shard up.
+  while (restarts_done.load(std::memory_order_acquire) <
+         static_cast<int>(config.kills.size())) {
+    if (det) {
+      sc.sched().step();
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  if (det && config.drain_time > 0) {
+    sc.run_for(config.drain_time);  // probes converge the stability cuts
+  }
+
+  std::atomic<bool> listed{false};
+  shard::ShardedListResult merged;
+  kv[0]->list([&](const shard::ShardedListResult& r) {
+    merged = r;
+    listed.store(true, std::memory_order_release);
+  });
+  if (!sc.await(listed, op_timeout)) {
+    result.complete = false;
+    result.any_failed = true;
+    return result;
+  }
+  result.merged = std::move(merged.entries);
+  result.merged_complete = merged.complete;
+  result.merged_digest = merged_view_digest(result.merged);
+
+  if (det) {
+    for (std::size_t s = 0; s < config.shards; ++s) {
+      result.shard_stable.push_back(kv[0]->shard_stable_ts(s));
+    }
+  }
+
+  result.complete = true;
+  result.any_failed = sc.any_failed();
+  result.restarts = restarts_done.load();
+  result.restarts_from_snapshot = restarts_snapshot.load();
+  result.recovery_ms_total = static_cast<double>(recovery_ns.load()) / 1e6;
+
+  std::sort(latencies.begin(), latencies.end());
+  result.p50_us = percentile(latencies, 0.50);
+  result.p99_us = percentile(latencies, 0.99);
+  result.max_us = latencies.empty() ? 0 : latencies.back();
+
+  // Durability counters, read at quiescence (every op completed, every
+  // restart done). Threaded mode: the clients above are about to go
+  // quiet; shard threads only tick timers now.
+  for (std::size_t s = 0; s < config.shards; ++s) {
+    if (const storage::PersistentServer* ps = sc.shard(s).pserver()) {
+      result.snapshots_written += ps->snapshots_written();
+      result.snapshots_rejected += ps->snapshots_rejected();
+      result.duplicate_replies += ps->duplicate_replies();
+      result.wal_records += ps->wal_records();
+    }
+  }
+  return result;
+}
+
+}  // namespace faust::scenario

@@ -1,0 +1,95 @@
+// Scenario run driver: a seeded skewed workload (workload.h) against a
+// crash-durable ShardedCluster, with declarative mid-run kill/restart
+// events and latency/recovery measurement (DESIGN.md D7, PERF.md "Crash
+// recovery & tail latency").
+//
+// The differential-oracle pattern extends to crashes: run the SAME
+// (workload seed, cluster seed) twice — once with kill events, once
+// crash-free — and the merged views must be byte-identical (the canonical
+// merged-view digest makes the comparison one hash compare). Crash-side
+// machinery (WAL replay, snapshot re-verification, client resubmit,
+// duplicate suppression) is thereby pinned to change NOTHING about the
+// outcome, only the latency profile — which the run reports as p50/p99
+// per-op latency plus total recovery time, the numbers the perf-smoke CI
+// gate bounds.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "kvstore/kv_client.h"
+#include "scenario/schedule.h"
+#include "scenario/workload.h"
+#include "shard/sharded_cluster.h"
+
+namespace faust::scenario {
+
+/// Knobs for one scenario run.
+struct ScenarioConfig {
+  WorkloadConfig workload;
+  std::size_t shards = 3;
+  std::uint64_t cluster_seed = 1;
+  shard::ExecMode mode = shard::ExecMode::kDeterministic;
+  std::vector<KillEvent> kills;
+  /// Durability root (per-shard subdirectories are created under it).
+  /// Empty = memory-only servers; kills are then illegal.
+  std::string dir;
+  std::size_t snapshot_every = 64;  // per-shard snapshot cadence (records)
+  /// Virtual time to run after the last op so probes converge the
+  /// stability cuts (deterministic mode only).
+  std::uint64_t drain_time = 200'000;
+  /// Per-op completion budget in milliseconds (deterministic mode maps
+  /// each millisecond to 1000 scheduler steps — see ShardedCluster::
+  /// await).
+  std::size_t op_budget_ms = 4'000;
+};
+
+/// Everything a run observed; the bench and the tests consume this.
+struct ScenarioResult {
+  bool complete = false;    // every op finished within budget
+  bool any_failed = false;  // some client fired fail_i (must stay false)
+  std::uint64_t ops = 0;
+
+  // Per-op wall-clock latency (microseconds), plus the percentiles the
+  // SLO gate reads. Wall-clock even in deterministic mode: virtual time
+  // is delay-model fiction, while recovery cost (replay, re-hashing) is
+  // real compute this actually measures.
+  double p50_us = 0;
+  double p99_us = 0;
+  double max_us = 0;
+
+  int restarts = 0;                // kill/restart events executed
+  int restarts_from_snapshot = 0;  // recoveries that used a verified snapshot
+  double recovery_ms_total = 0;    // wall-clock inside restart recovery
+
+  // Aggregated durability counters over every shard (post-run).
+  std::uint64_t snapshots_written = 0;
+  std::uint64_t snapshots_rejected = 0;
+  std::uint64_t duplicate_replies = 0;
+  std::uint64_t wal_records = 0;
+
+  // Final merged view (client 1's fan-out list) and its canonical digest
+  // — the crash/crash-free differential compares these.
+  std::map<std::string, kv::KvEntry> merged;
+  crypto::Hash merged_digest{};
+  bool merged_complete = false;  // the fan-out saw every shard
+
+  /// Client 1's per-shard stability cut at the end of the drain
+  /// (deterministic mode; empty in threaded mode).
+  std::vector<Timestamp> shard_stable;
+};
+
+/// Canonical digest of a merged view (ChunkedHasher over the sorted
+/// key/value/writer/seq stream) — what merged_digest holds.
+crypto::Hash merged_view_digest(const std::map<std::string, kv::KvEntry>& view);
+
+/// Runs one scenario to completion. Ops are issued synchronously (each
+/// driven to completion before the next); a kill event fires after its
+/// op is ISSUED but before it is driven, so in-flight operations ride
+/// through the crash and resume against the recovered server.
+ScenarioResult run_scenario(const ScenarioConfig& config);
+
+}  // namespace faust::scenario

@@ -1,0 +1,24 @@
+// Declarative kill/restart schedules for scenario runs (runner.h): each
+// event transiently crashes one shard's durable server right after a
+// given op is issued and brings it back from disk after a fixed downtime
+// of executor time. Restart runs on the shard's own executor (its thread
+// in threaded mode), so recovery serializes with that shard's deliveries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace faust::scenario {
+
+/// One scheduled transient crash.
+struct KillEvent {
+  /// Kill fires right after op index `at_op` (0-based) is issued — the op
+  /// may be in flight against the killed shard and must resume.
+  std::uint64_t at_op = 0;
+  std::size_t shard = 0;
+  /// Executor-time units (virtual ticks in deterministic mode) until the
+  /// shard's server is rebuilt from disk.
+  std::uint64_t downtime = 5'000;
+};
+
+}  // namespace faust::scenario

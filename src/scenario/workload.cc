@@ -1,0 +1,141 @@
+#include "scenario/workload.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+#include "crypto/chunked_hasher.h"
+#include "wire/encoder.h"
+
+namespace faust::scenario {
+namespace {
+
+/// FNV-1a over the rank bytes: spreads the zipf head across the keyspace
+/// (rank 0 — the most popular key — lands on an arbitrary but fixed id).
+std::uint64_t fnv1a_scramble(std::uint64_t rank) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (rank >> (8 * i)) & 0xff;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+double zeta(std::uint64_t n, double theta) {
+  double sum = 0;
+  for (std::uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+
+}  // namespace
+
+std::string key_name(std::uint64_t key) {
+  // Fixed-width hex keeps lexicographic order aligned with numeric order
+  // and key lengths uniform (value-size skew stays where it was put).
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "k%016llx", static_cast<unsigned long long>(key));
+  return std::string(buf);
+}
+
+Bytes encode_op(const Op& op) {
+  wire::Writer w;
+  w.put_u8(static_cast<std::uint8_t>(op.kind));
+  w.put_u32(static_cast<std::uint32_t>(op.writer));
+  w.put_u64(op.key);
+  w.put_bytes(BytesView(reinterpret_cast<const std::uint8_t*>(op.value.data()),
+                        op.value.size()));
+  return w.take();
+}
+
+WorkloadGenerator::WorkloadGenerator(WorkloadConfig config)
+    : config_(config), rng_(config.seed) {
+  FAUST_CHECK(config_.n_keys >= 1);
+  FAUST_CHECK(config_.n_writers >= 1);
+  FAUST_CHECK(config_.zipf_exponent > 0 && config_.zipf_exponent < 1);
+  FAUST_CHECK(config_.value_min <= config_.value_max);
+  const double theta = config_.zipf_exponent;
+  const auto n = config_.n_keys;
+  // O(K) once; every draw after this is O(1). K = 10^6 costs ~ms.
+  zetan_ = zeta(n, theta);
+  zeta2_ = zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2_ / zetan_);
+  if (config_.working_set > 0) recent_.reserve(config_.working_set);
+}
+
+std::uint64_t WorkloadGenerator::zipf_draw() {
+  // Gray et al.'s bounded-zipf inversion, as used by YCSB.
+  const double u = rng_.next_double();
+  const double uz = u * zetan_;
+  std::uint64_t rank;
+  if (uz < 1.0) {
+    rank = 0;
+  } else if (uz < 1.0 + std::pow(0.5, config_.zipf_exponent)) {
+    rank = 1;
+  } else {
+    rank = static_cast<std::uint64_t>(static_cast<double>(config_.n_keys) *
+                                      std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    if (rank >= config_.n_keys) rank = config_.n_keys - 1;
+  }
+  return fnv1a_scramble(rank) % config_.n_keys;
+}
+
+Op WorkloadGenerator::next() {
+  Op op;
+  // Pinned draw order — see header. Each branch consumes exactly the
+  // draws its inputs need and nothing else observes the stream position.
+  const double kind_draw = rng_.next_double();
+  if (kind_draw < config_.read_fraction) {
+    op.kind = Op::Kind::kGet;
+  } else if (kind_draw < config_.read_fraction +
+                             (1.0 - config_.read_fraction) * config_.erase_fraction) {
+    op.kind = Op::Kind::kErase;
+  } else {
+    op.kind = Op::Kind::kPut;
+  }
+  op.writer = static_cast<ClientId>(
+      1 + rng_.next_below(static_cast<std::uint64_t>(config_.n_writers)));
+
+  const bool from_working_set = config_.working_set > 0 && !recent_.empty() &&
+                                rng_.next_double() < config_.locality;
+  if (from_working_set) {
+    op.key = recent_[static_cast<std::size_t>(
+        rng_.next_below(static_cast<std::uint64_t>(recent_.size())))];
+  } else {
+    op.key = zipf_draw();
+  }
+  if (config_.working_set > 0) {
+    if (recent_.size() < config_.working_set) {
+      recent_.push_back(op.key);
+    } else {
+      recent_[recent_next_] = op.key;
+      recent_next_ = (recent_next_ + 1) % config_.working_set;
+    }
+  }
+
+  if (op.kind == Op::Kind::kPut) {
+    const std::size_t len =
+        config_.value_min +
+        static_cast<std::size_t>(rng_.next_below(
+            static_cast<std::uint64_t>(config_.value_max - config_.value_min + 1)));
+    op.value.resize(len);
+    for (auto& ch : op.value) {
+      ch = static_cast<char>('a' + rng_.next_below(26));
+    }
+  }
+  ++generated_;
+  return op;
+}
+
+crypto::Hash WorkloadGenerator::stream_digest(const WorkloadConfig& config) {
+  WorkloadGenerator gen(config);
+  Bytes all;
+  for (std::uint64_t i = 0; i < config.n_ops; ++i) {
+    const Bytes enc = encode_op(gen.next());
+    all.insert(all.end(), enc.begin(), enc.end());
+  }
+  return crypto::ChunkedHasher::digest(all);
+}
+
+}  // namespace faust::scenario

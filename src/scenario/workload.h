@@ -1,0 +1,101 @@
+// Seeded workload generation for the scenario harness (DESIGN.md D7).
+//
+// The generator produces a deterministic operation stream — same seed,
+// same config, byte-identical ops — with the two skews real KV traffic
+// exhibits:
+//
+//   * Zipfian key popularity (YCSB's bounded-zipf construction: an O(K)
+//     zeta precompute at construction, O(1) per draw), with the rank
+//     scrambled through an FNV-1a hash so the popular keys spread across
+//     the keyspace (and hence across shards) instead of clustering at
+//     key 0;
+//   * temporal working-set locality: with probability `locality` an op
+//     re-touches one of the last `working_set` distinct keys drawn,
+//     modelling the hot set that drifts over a run.
+//
+// Determinism is load-bearing: the crash/recovery differential oracle
+// replays THE SAME stream against a crash-free deployment and demands a
+// byte-identical merged view, so every random draw (op kind, writer,
+// locality, key, value bytes) happens in a pinned order regardless of
+// outcomes. The stream depends only on (config, seed) — never on
+// execution mode, timing, or shard count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+#include "common/rng.h"
+#include "crypto/sha256.h"
+
+namespace faust::scenario {
+
+/// Knobs for one generated stream.
+struct WorkloadConfig {
+  std::uint64_t seed = 1;
+  std::uint64_t n_keys = 100'000;  // keyspace size K (scenarios go to 10^6)
+  std::uint64_t n_ops = 1'000;
+  int n_writers = 2;            // ops round-robin over writers 1..n_writers
+  double zipf_exponent = 0.99;  // theta of the bounded-zipf draw
+  std::size_t working_set = 128;    // size of the recent-keys ring
+  double locality = 0.3;            // P(op re-touches the working set)
+  double read_fraction = 0.5;       // remainder split: puts (erases are rare)
+  double erase_fraction = 0.05;     // of the non-read ops
+  std::size_t value_min = 8;        // value length bounds (bytes)
+  std::size_t value_max = 64;
+};
+
+/// One generated operation.
+struct Op {
+  enum class Kind : std::uint8_t { kPut = 0, kGet = 1, kErase = 2 };
+  Kind kind = Kind::kPut;
+  ClientId writer = 1;  // issuing client
+  std::uint64_t key = 0;
+  std::string value;  // puts only
+
+  bool operator==(const Op&) const = default;
+};
+
+/// The printable key a key id maps to (what the KV layer stores).
+std::string key_name(std::uint64_t key);
+
+/// Canonical encoding of one op (determinism pinning: tests digest the
+/// encoded stream and require byte equality across runs and modes).
+Bytes encode_op(const Op& op);
+
+/// Deterministic skewed op stream; see file comment.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(WorkloadConfig config);
+
+  /// The next operation. Draw order is pinned: kind, writer, locality,
+  /// key, then value bytes (puts only); consumed draws never depend on
+  /// observable execution state.
+  Op next();
+
+  std::uint64_t generated() const { return generated_; }
+  const WorkloadConfig& config() const { return config_; }
+
+  /// Chunk-tree digest of the encoded remainder of a FRESH generator's
+  /// stream: generates config.n_ops ops and digests their concatenated
+  /// encodings. Convenience for determinism tests and the bench.
+  static crypto::Hash stream_digest(const WorkloadConfig& config);
+
+ private:
+  std::uint64_t zipf_draw();
+
+  const WorkloadConfig config_;
+  Rng rng_;
+  // Bounded-zipf constants (YCSB ScrambledZipfianGenerator lineage).
+  double zetan_ = 0;
+  double zeta2_ = 0;
+  double alpha_ = 0;
+  double eta_ = 0;
+  std::vector<std::uint64_t> recent_;  // working-set ring
+  std::size_t recent_next_ = 0;
+  std::uint64_t generated_ = 0;
+};
+
+}  // namespace faust::scenario

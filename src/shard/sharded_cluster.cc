@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "exec/executor.h"
 
 namespace faust::shard {
 
@@ -44,6 +45,10 @@ ShardedCluster::ShardedCluster(ShardedClusterConfig config)
     c.executor = threaded() ? static_cast<exec::Executor*>(runtimes_[s].get())
                             : static_cast<exec::Executor*>(&sched_);
     c.faust.verify_cache_entries = verify_cache_entries_;
+    if (!config_.durability_root.empty()) {
+      c.durability_dir = config_.durability_root + "/shard_" + std::to_string(s);
+      c.durability = config_.shard_template.durability;
+    }
     shards_.push_back(std::make_unique<Cluster>(c));
   }
 
@@ -104,6 +109,33 @@ bool ShardedCluster::await(const std::atomic<bool>& done, std::chrono::milliseco
     }
   }
   return true;
+}
+
+void ShardedCluster::kill_shard(std::size_t s) {
+  FAUST_CHECK(durable());
+  Cluster& shard = this->shard(s);
+  if (!threaded()) {
+    shard.crash_server();
+    return;
+  }
+  // Serialize with the shard's own deliveries: the server object must not
+  // be destroyed while its thread is mid-message.
+  FAUST_CHECK(exec::post_sync(shard_exec(s), [&shard] { shard.crash_server(); }));
+}
+
+void ShardedCluster::restart_shard(std::size_t s) {
+  FAUST_CHECK(durable());
+  Cluster& shard = this->shard(s);
+  if (!threaded()) {
+    shard.restart_server();
+    return;
+  }
+  FAUST_CHECK(exec::post_sync(shard_exec(s), [&shard] { shard.restart_server(); }));
+}
+
+bool ShardedCluster::shard_up(std::size_t s) const {
+  FAUST_CHECK(s < shards_.size());
+  return shards_[s]->server_up();
 }
 
 bool ShardedCluster::any_failed() const {

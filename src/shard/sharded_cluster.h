@@ -62,6 +62,12 @@ struct ShardedClusterConfig {
   /// shard; `seed` and `executor` in here are overridden (and
   /// `faust.verify_cache_entries` is re-sized per shard, see above).
   ClusterConfig shard_template;
+  /// Non-empty: every shard's server is crash-durable, rooted at
+  /// `durability_root`/shard_<s> (directories created as needed), and
+  /// kill_shard()/restart_shard() become legal. Overrides any
+  /// durability_dir in shard_template; `shard_template.durability`
+  /// supplies the snapshot cadence.
+  std::string durability_root;
 };
 
 /// S co-scheduled deployments plus the routing table over them.
@@ -126,6 +132,24 @@ class ShardedCluster {
   /// no event will ever run again, and cross-thread reads of shard state
   /// (failure flags, stability cuts, traffic counters) are safe.
   void stop();
+
+  /// True when shards were built with a durability_root.
+  bool durable() const { return !config_.durability_root.empty(); }
+
+  /// Transiently crashes shard `s`'s durable server (Cluster::
+  /// crash_server). In-flight traffic to/from it is dropped; its WAL and
+  /// snapshot stay on disk. Threaded mode: runs ON the shard's runtime
+  /// thread (post_sync), so it serializes with that shard's deliveries.
+  void kill_shard(std::size_t s);
+
+  /// Rebuilds shard `s`'s server from disk and reconnects its clients
+  /// (Cluster::restart_server); in-flight operations of that shard's
+  /// clients resume exactly once. Same threading rule as kill_shard.
+  void restart_shard(std::size_t s);
+
+  /// True while shard `s`'s server is attached. Threaded mode: call from
+  /// the shard's thread, or at quiescence.
+  bool shard_up(std::size_t s) const;
 
   /// fail_i fired anywhere / on every client of every shard.
   /// Threaded mode: only meaningful at quiescence (or after stop()).

@@ -52,10 +52,12 @@ bool LogStore::append(BytesView payload) {
   return true;
 }
 
-std::size_t LogStore::replay(const std::function<void(BytesView)>& fn) {
+std::size_t LogStore::replay(const std::function<void(BytesView)>& fn,
+                             std::size_t skip_records) {
   if (file_ == nullptr) return 0;
   std::fseek(file_, 0, SEEK_SET);
-  std::size_t replayed = 0;
+  std::size_t delivered = 0;
+  std::size_t seen = 0;
   long offset = 0;
   Bytes payload;
   for (;;) {
@@ -63,12 +65,22 @@ std::size_t LogStore::replay(const std::function<void(BytesView)>& fn) {
     if (std::fread(header, 1, sizeof(header), file_) != sizeof(header)) break;
     const std::uint32_t len = read_u32_le(header);
     const std::uint32_t crc = read_u32_le(header + 4);
-    if (len > kMaxRecord) break;
+    if (len > kMaxRecord) {
+      // An impossible length is framing corruption, not a short write.
+      ++checksum_failures_;
+      break;
+    }
     payload.resize(len);
     if (len > 0 && std::fread(payload.data(), 1, len, file_) != len) break;  // torn tail
-    if (crc32(payload) != crc) break;  // corrupt record: stop here
-    fn(payload);
-    ++replayed;
+    if (crc32(payload) != crc) {  // corrupt record: stop here
+      ++checksum_failures_;
+      break;
+    }
+    if (seen >= skip_records) {
+      fn(payload);
+      ++delivered;
+    }
+    ++seen;
     ++records_;
     offset += static_cast<long>(sizeof(header) + len);
   }
@@ -78,6 +90,7 @@ std::size_t LogStore::replay(const std::function<void(BytesView)>& fn) {
   std::fseek(file_, 0, SEEK_END);
   const long physical_end = std::ftell(file_);
   if (physical_end != append_offset_) {
+    truncated_bytes_ += static_cast<std::uint64_t>(physical_end - append_offset_);
     // Reopen truncated to the intact prefix.
     std::fclose(file_);
     std::FILE* rw = std::fopen(path_.c_str(), "r+b");
@@ -98,7 +111,7 @@ std::size_t LogStore::replay(const std::function<void(BytesView)>& fn) {
   } else {
     std::fseek(file_, 0, SEEK_END);
   }
-  return replayed;
+  return delivered;
 }
 
 }  // namespace faust::storage

@@ -29,13 +29,28 @@ class LogStore {
   /// Returns false on I/O failure.
   bool append(BytesView payload);
 
-  /// Replays all intact records from the start, invoking `fn` per record.
-  /// Returns the number of records replayed. Subsequent appends go after
-  /// the last intact record (a torn tail is discarded).
-  std::size_t replay(const std::function<void(BytesView)>& fn);
+  /// Replays all intact records from the start, invoking `fn` per record
+  /// — except the first `skip_records`, whose framing and checksums are
+  /// still validated (they locate the record boundaries) but whose
+  /// payloads are not delivered. Snapshot recovery uses the skip: the
+  /// snapshot stands in for the covered prefix, and only the suffix is
+  /// re-applied. Returns the number of records DELIVERED to `fn`.
+  /// Subsequent appends go after the last intact record (a torn tail is
+  /// discarded).
+  std::size_t replay(const std::function<void(BytesView)>& fn, std::size_t skip_records = 0);
 
   /// Number of records appended + replayed through this handle.
   std::uint64_t records() const { return records_; }
+
+  /// Records rejected at replay because their stored CRC did not match
+  /// the payload (disk corruption — as opposed to a short read, which is
+  /// an ordinary torn tail). Both conditions stop the replay; only this
+  /// one indicates the bytes on disk were altered.
+  std::uint64_t checksum_failures() const { return checksum_failures_; }
+
+  /// Bytes discarded from the physical end of the file at the last
+  /// replay (torn tail plus anything after a corrupt record).
+  std::uint64_t truncated_bytes() const { return truncated_bytes_; }
 
   const std::string& path() const { return path_; }
 
@@ -43,6 +58,8 @@ class LogStore {
   std::string path_;
   std::FILE* file_ = nullptr;
   std::uint64_t records_ = 0;
+  std::uint64_t checksum_failures_ = 0;
+  std::uint64_t truncated_bytes_ = 0;
   long append_offset_ = 0;  // end of the intact prefix
 };
 

@@ -1,21 +1,103 @@
 #include "storage/persistent_server.h"
 
+#include "ustor/state_codec.h"
 #include "wire/encoder.h"
 
 namespace faust::storage {
 
 PersistentServer::PersistentServer(int n, net::Transport& net, std::string log_path,
                                    NodeId self)
-    : core_(n), net_(net), self_(self), log_(std::move(log_path)) {
-  recovered_ = log_.replay([this](BytesView record) {
-    // Record layout: u32 sender ‖ raw message bytes.
-    wire::Reader r(record);
-    const NodeId from = static_cast<NodeId>(r.get_u32());
-    if (!r.ok()) return;
-    const Bytes msg = r.get_raw(r.remaining());
-    apply(from, msg, /*live=*/false);
-  });
+    : core_(n),
+      net_(net),
+      self_(self),
+      log_(std::move(log_path)),
+      last_reply_(static_cast<std::size_t>(n)) {
+  recover();
   net_.attach(self_, *this);
+}
+
+PersistentServer::PersistentServer(int n, net::Transport& net, const std::string& dir,
+                                   DurabilityOptions options, NodeId self)
+    : core_(n),
+      net_(net),
+      self_(self),
+      log_(dir + "/wal.log"),
+      snaps_(std::make_unique<SnapshotStore>(dir + "/snapshot.bin")),
+      options_(options),
+      last_reply_(static_cast<std::size_t>(n)) {
+  recover();
+  net_.attach(self_, *this);
+}
+
+PersistentServer::~PersistentServer() { net_.detach(self_); }
+
+void PersistentServer::recover() {
+  std::size_t skip = 0;
+  if (snaps_ != nullptr) {
+    if (auto img = snaps_->load(); img.has_value()) {
+      if (restore_from_payload(img->payload)) {
+        recovered_from_snapshot_ = true;
+        skip = static_cast<std::size_t>(img->log_records);
+      }
+      // A payload that decodes to garbage despite a matching chunk-tree
+      // root would mean a ChunkedHasher collision; treat it like any
+      // other rejected snapshot and fall back to full replay.
+    }
+  }
+  recovered_ = log_.replay(
+      [this](BytesView record) {
+        // Record layout: u32 sender ‖ raw message bytes.
+        wire::Reader r(record);
+        const NodeId from = static_cast<NodeId>(r.get_u32());
+        if (!r.ok()) return;
+        const Bytes msg = r.get_raw(r.remaining());
+        apply(from, msg, /*live=*/false);
+      },
+      skip);
+  last_snapshot_records_ = skip;
+  if (skip > log_.records()) {
+    // The snapshot claims records the (externally truncated) log no
+    // longer holds. The snapshot state is durable and authoritative —
+    // re-anchor its coverage at the log's actual length so the next
+    // recovery skips the right amount.
+    force_snapshot();
+  }
+}
+
+bool PersistentServer::restore_from_payload(BytesView payload) {
+  wire::Reader r(payload);
+  const BytesView image = r.get_bytes_view();
+  if (wire::Reader::is_error(image)) return false;
+  std::vector<Bytes> replies(last_reply_.size());
+  for (auto& rep : replies) {
+    rep = r.get_bytes();
+    if (!r.ok()) return false;
+  }
+  if (!r.exhausted()) return false;
+  if (!ustor::restore_server_state(core_, image)) return false;
+  last_reply_ = std::move(replies);
+  return true;
+}
+
+Bytes PersistentServer::snapshot_payload() const {
+  wire::Writer w;
+  w.put_bytes(ustor::encode_server_state(core_));
+  for (const Bytes& rep : last_reply_) w.put_bytes(rep);
+  return w.take();
+}
+
+bool PersistentServer::force_snapshot() {
+  if (snaps_ == nullptr) return false;
+  if (!snaps_->save(log_.records(), snapshot_payload())) return false;
+  last_snapshot_records_ = log_.records();
+  return true;
+}
+
+void PersistentServer::maybe_snapshot() {
+  if (snaps_ == nullptr || options_.snapshot_every == 0) return;
+  if (log_.records() - last_snapshot_records_ >= options_.snapshot_every) {
+    force_snapshot();
+  }
 }
 
 void PersistentServer::on_message(NodeId from, BytesView msg) {
@@ -24,6 +106,33 @@ void PersistentServer::on_message(NodeId from, BytesView msg) {
   if (*type != ustor::MsgType::kSubmit && *type != ustor::MsgType::kSubmitDelta &&
       *type != ustor::MsgType::kCommit)
     return;
+
+  // Duplicate SUBMIT (a reconnecting client resending its in-flight op):
+  // MEM[from].t is the last timestamp `from` submitted, so anything at or
+  // below it was already processed. Serve the cached original reply —
+  // reprocessing would duplicate the op's L entry and the WAL record.
+  if (*type != ustor::MsgType::kCommit && from >= 1 &&
+      from <= static_cast<NodeId>(core_.n())) {
+    Timestamp t = 0;
+    bool decoded = false;
+    if (*type == ustor::MsgType::kSubmit) {
+      const auto v = ustor::decode_submit_view(msg);
+      if (!v.has_value() || v->inv.client != from) return;
+      t = v->t;
+      decoded = true;
+    } else {
+      const auto v = ustor::decode_submit_delta_view(msg);
+      if (!v.has_value() || v->inv.client != from) return;
+      t = v->t;
+      decoded = true;
+    }
+    if (decoded && t <= core_.mem(static_cast<ClientId>(from)).t) {
+      ++duplicate_replies_;
+      const Bytes& cached = last_reply_[static_cast<std::size_t>(from) - 1];
+      if (!cached.empty()) net_.send(self_, from, Bytes(cached));
+      return;
+    }
+  }
 
   // Write-ahead: the record is durable before the state changes or any
   // reply leaves. A crash after the append and before the reply costs the
@@ -36,6 +145,7 @@ void PersistentServer::on_message(NodeId from, BytesView msg) {
   w.put_raw(msg);
   if (!log_.append(w.buffer())) return;  // disk failure: refuse to proceed
   apply(from, msg, /*live=*/true);
+  maybe_snapshot();
 }
 
 void PersistentServer::apply(NodeId from, BytesView msg, bool live) {
@@ -46,7 +156,12 @@ void PersistentServer::apply(NodeId from, BytesView msg, bool live) {
       const auto m = ustor::decode_submit(msg);
       if (!m.has_value() || m->inv.client != from) return;
       const ustor::ReplySnapshot reply = core_.process_submit(*m);
-      if (live) net_.send(self_, from, ustor::encode(reply));
+      // Encode even during replay: the cache must hold the ORIGINAL
+      // reply bytes so a post-restart duplicate gets the answer the
+      // pre-crash run computed.
+      Bytes encoded = ustor::encode(reply);
+      if (live) net_.send(self_, from, Bytes(encoded));
+      last_reply_[static_cast<std::size_t>(from) - 1] = std::move(encoded);
       break;
     }
     case ustor::MsgType::kSubmitDelta: {
@@ -58,7 +173,9 @@ void PersistentServer::apply(NodeId from, BytesView msg, bool live) {
       const auto m = ustor::expand_submit_delta(core_, *dm);
       if (!m.has_value()) return;
       const ustor::ReplySnapshot reply = core_.process_submit(*m);
-      if (live) net_.send(self_, from, ustor::encode(reply));
+      Bytes encoded = ustor::encode(reply);
+      if (live) net_.send(self_, from, Bytes(encoded));
+      last_reply_[static_cast<std::size_t>(from) - 1] = std::move(encoded);
       break;
     }
     case ustor::MsgType::kCommit: {

@@ -1,0 +1,110 @@
+#include "storage/snapshot_store.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "crypto/chunked_hasher.h"
+
+namespace faust::storage {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x46534e50;   // "FSNP"
+constexpr std::uint32_t kFormat = 1;
+constexpr std::uint32_t kMaxPayload = 256u << 20;  // 256 MiB sanity cap
+constexpr std::size_t kHeaderSize = 4 + 4 + 8 + 4 + 32;
+
+void put_u32_le(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void put_u64_le(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t get_u32_le(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64_le(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+bool SnapshotStore::save(std::uint64_t log_records, BytesView payload) {
+  if (payload.size() > kMaxPayload) return false;
+  const auto root = crypto::ChunkedHasher::digest(payload);
+
+  std::uint8_t header[kHeaderSize];
+  put_u32_le(header, kMagic);
+  put_u32_le(header + 4, kFormat);
+  put_u64_le(header + 8, log_records);
+  put_u32_le(header + 16, static_cast<std::uint32_t>(payload.size()));
+  std::memcpy(header + 20, root.data(), root.size());
+
+  const std::string tmp = path_ + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = std::fwrite(header, 1, sizeof(header), f) == sizeof(header);
+  if (ok && !payload.empty()) {
+    ok = std::fwrite(payload.data(), 1, payload.size(), f) == payload.size();
+  }
+  ok = (std::fflush(f) == 0) && ok;
+  std::fclose(f);
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  ++saves_;
+  return true;
+}
+
+std::optional<SnapshotImage> SnapshotStore::load() {
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;  // missing is not a reject
+
+  std::uint8_t header[kHeaderSize];
+  if (std::fread(header, 1, sizeof(header), f) != sizeof(header)) {
+    std::fclose(f);
+    ++rejects_;
+    return std::nullopt;
+  }
+  const std::uint32_t magic = get_u32_le(header);
+  const std::uint32_t format = get_u32_le(header + 4);
+  const std::uint64_t log_records = get_u64_le(header + 8);
+  const std::uint32_t payload_len = get_u32_le(header + 16);
+  if (magic != kMagic || format != kFormat || payload_len > kMaxPayload) {
+    std::fclose(f);
+    ++rejects_;
+    return std::nullopt;
+  }
+
+  Bytes payload(payload_len);
+  const std::size_t got =
+      payload_len == 0 ? 0 : std::fread(payload.data(), 1, payload.size(), f);
+  // Trailing garbage after the payload is also grounds for rejection: a
+  // well-formed snapshot is exactly header + payload.
+  const bool at_end = std::fgetc(f) == EOF;
+  std::fclose(f);
+  if (got != payload.size() || !at_end) {
+    ++rejects_;
+    return std::nullopt;
+  }
+
+  const auto root = crypto::ChunkedHasher::digest(payload);
+  if (std::memcmp(root.data(), header + 20, root.size()) != 0) {
+    ++rejects_;
+    return std::nullopt;
+  }
+  return SnapshotImage{log_records, std::move(payload)};
+}
+
+}  // namespace faust::storage

@@ -1,0 +1,62 @@
+// Single-file snapshot store whose integrity root is the SAME chunk-tree
+// digest the protocol's verifiers use (crypto::ChunkedHasher), so restart
+// recovery re-verifies durable state with the machinery that already
+// guards the wire: a snapshot whose recomputed root disagrees with the
+// stored root — a tampered or torn file — is REJECTED, and the server
+// falls back to full log replay (DESIGN.md D7).
+//
+// File layout (little-endian):
+//   u32 magic  u32 format  u64 log_records  u32 payload_len
+//   32-byte ChunkedHasher root of payload   payload bytes
+//
+// `log_records` records how many WAL records the payload already covers;
+// recovery replays only the suffix (LogStore::replay skip parameter).
+// Saves are atomic: write to `path + ".tmp"`, flush, rename over `path` —
+// a crash mid-save leaves the previous snapshot intact.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace faust::storage {
+
+/// A decoded, integrity-verified snapshot.
+struct SnapshotImage {
+  std::uint64_t log_records = 0;  // WAL records the payload covers
+  Bytes payload;                  // opaque to this layer (ustor/state_codec)
+};
+
+/// One snapshot file, overwritten atomically on each save.
+class SnapshotStore {
+ public:
+  explicit SnapshotStore(std::string path) : path_(std::move(path)) {}
+
+  SnapshotStore(const SnapshotStore&) = delete;
+  SnapshotStore& operator=(const SnapshotStore&) = delete;
+
+  /// Atomically replaces the snapshot on disk. Returns false on I/O
+  /// failure (the previous snapshot, if any, survives).
+  bool save(std::uint64_t log_records, BytesView payload);
+
+  /// Loads and verifies the snapshot. Returns nullopt if the file is
+  /// missing, malformed, torn, or its recomputed chunk-tree root does
+  /// not match the stored one (the last two bump `rejects`).
+  std::optional<SnapshotImage> load();
+
+  /// Snapshots successfully written through this handle.
+  std::uint64_t saves() const { return saves_; }
+  /// Loads that found a file but refused it (integrity or framing).
+  std::uint64_t rejects() const { return rejects_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::uint64_t saves_ = 0;
+  std::uint64_t rejects_ = 0;
+};
+
+}  // namespace faust::storage

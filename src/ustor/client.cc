@@ -71,7 +71,8 @@ void Client::writex_impl(const ValueView& x_view, const crypto::Hash* precompute
 
   pending_ = PendingOp{OpCode::kWrite, id_, t, std::move(done), {}};
   // line 15; the value bytes are copied exactly once, into the wire buffer
-  net_.send(id_, server_, encode_submit(t, inv, x_view, data_sig));
+  last_submit_ = encode_submit(t, inv, x_view, data_sig);
+  net_.send(id_, server_, Bytes(last_submit_));
 }
 
 void Client::writex_delta(const crypto::Hash& base_digest, const crypto::Hash& new_root,
@@ -93,9 +94,9 @@ void Client::writex_delta(const crypto::Hash& base_digest, const crypto::Hash& n
 
   pending_ = PendingOp{OpCode::kWrite, id_, t, std::move(done), {}};
   ++delta_submits_;
-  net_.send(id_, server_,
-            encode_submit_delta(t, inv, base_digest, new_root, new_size,
-                                std::span<const Splice>(splices), BytesView(data_sig)));
+  last_submit_ = encode_submit_delta(t, inv, base_digest, new_root, new_size,
+                                     std::span<const Splice>(splices), BytesView(data_sig));
+  net_.send(id_, server_, Bytes(last_submit_));
 }
 
 void Client::readx(ClientId j, ReadCallback done) {
@@ -124,11 +125,12 @@ void Client::send_read_submit(ClientId j, bool allow_delta) {
   pending_->advertised = advertise;
   if (advertise) {
     ++delta_reads_advertised_;
-    net_.send(id_, server_,
-              encode_submit_read_base(t, inv, memo.tj, memo.digest, BytesView(data_sig)));
+    last_submit_ =
+        encode_submit_read_base(t, inv, memo.tj, memo.digest, BytesView(data_sig));
   } else {
-    net_.send(id_, server_, encode_submit(t, inv, std::nullopt, BytesView(data_sig)));  // line 27
+    last_submit_ = encode_submit(t, inv, std::nullopt, BytesView(data_sig));  // line 27
   }
+  net_.send(id_, server_, Bytes(last_submit_));
 }
 
 bool Client::has_verified_base(ClientId j) const {
@@ -295,6 +297,17 @@ void Client::retry_read_full() {
   // as self-concurrency (line 43).
   send_commit();
   send_read_submit(pending_->target, /*allow_delta=*/false);
+}
+
+void Client::resubmit() {
+  if (failed()) return;
+  // Latest COMMIT first (see header): signing is deterministic HMAC, so
+  // send_commit() reproduces the exact pre-crash bytes, and FIFO channels
+  // deliver it before the resent SUBMIT below.
+  if (!commit_sig_.empty()) send_commit();
+  if (pending_.has_value() && !last_submit_.empty()) {
+    net_.send(id_, server_, Bytes(last_submit_));
+  }
 }
 
 bool Client::commit_sig_valid(ClientId committer, const Version& v, BytesView sig) {

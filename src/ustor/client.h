@@ -131,6 +131,16 @@ class Client : public net::Node {
   /// "unchanged" token or a splice run instead of the full value.
   void readx(ClientId j, ReadCallback done);
 
+  /// Reconnect-and-resume after a server restart (DESIGN.md D7): re-sends
+  /// the latest COMMIT (deterministic HMAC — byte-identical to the
+  /// original, and process_commit is idempotent) and then, if an
+  /// operation is still in flight, the retained SUBMIT bytes. The COMMIT
+  /// goes first so a recovered server that already processed the SUBMIT
+  /// prunes our op from L before answering the resend; the durable
+  /// server's duplicate detection serves the cached original reply, so
+  /// the op completes exactly once. No-op when idle or failed.
+  void resubmit();
+
   /// True while an operation is awaiting its REPLY.
   bool busy() const { return pending_.has_value(); }
 
@@ -260,6 +270,7 @@ class Client : public net::Node {
   Bytes commit_sig_;        // φ on version_ (empty before first commit)
   FailCause fail_cause_ = FailCause::kNone;
   std::optional<PendingOp> pending_;
+  Bytes last_submit_;  // wire bytes of the latest SUBMIT, for resubmit()
   std::uint64_t completed_ops_ = 0;
 
   /// Set only while check_data() re-runs lines 48–52 on a value

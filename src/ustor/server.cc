@@ -214,6 +214,23 @@ std::optional<SubmitMessage> expand_submit_delta(const ServerCore& core,
   return out;
 }
 
+void ServerCore::restore(std::vector<MemEntry> mem, ClientId c,
+                         std::vector<SignedVersion> sver,
+                         std::vector<InvocationTuple> concurrent, std::vector<Bytes> proofs,
+                         std::vector<ScheduledOp> schedule) {
+  FAUST_CHECK(static_cast<int>(mem.size()) == n_);
+  FAUST_CHECK(c >= 1 && c <= n_);
+  FAUST_CHECK(static_cast<int>(sver.size()) == n_);
+  FAUST_CHECK(static_cast<int>(proofs.size()) == n_);
+  MEM_ = std::move(mem);
+  c_ = c;
+  SVER_ = std::move(sver);
+  L_ = std::make_shared<std::vector<InvocationTuple>>(std::move(concurrent));
+  P_ = std::make_shared<std::vector<Bytes>>(std::move(proofs));
+  schedule_ = std::move(schedule);
+  ++gen_;
+}
+
 void ServerCore::process_commit(ClientId i, const CommitMessage& m) {
   FAUST_CHECK(i >= 1 && i <= n_);
   const Version& vc = sver(c_).version;

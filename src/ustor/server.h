@@ -154,6 +154,16 @@ class ServerCore {
   const std::vector<InvocationTuple>& L() const { return *L_; }
   const std::vector<Bytes>& P() const { return *P_; }
 
+  /// Durability import hook (ustor/state_codec.h): replaces the entire
+  /// protocol state with a previously exported image. Delta bookkeeping
+  /// (digest/history of each MemEntry) is NOT part of an image — it is
+  /// derived state that rebuilds on demand, so advertised-base reads
+  /// against a restored core degrade to "unchanged" or full replies,
+  /// never to wrong ones. Vector sizes must match n (FAUST_CHECKed).
+  void restore(std::vector<MemEntry> mem, ClientId c, std::vector<SignedVersion> sver,
+               std::vector<InvocationTuple> concurrent, std::vector<Bytes> proofs,
+               std::vector<ScheduledOp> schedule);
+
  private:
   /// Copy-on-write accessors: clone the shared vector iff a snapshot
   /// still references it, then bump the state generation.

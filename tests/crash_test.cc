@@ -1,7 +1,13 @@
 // Failure-injection tests: client crashes, server crashes (benign faults)
 // — wait-freedom for the survivors, no false Byzantine accusations, and
-// continued stability through the offline channel.
+// continued stability through the offline channel. A permanent crash
+// (net().crash) silences a node forever; a transient kill (net().kill)
+// models a process crash that a durable restart recovers from — the last
+// test here hands off to crash_recovery_test for the full treatment.
 #include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
 
 #include "adversary/misc_servers.h"
 #include "faust/cluster.h"
@@ -98,6 +104,44 @@ TEST(Crash, OfflineMailboxSurvivesLongPartitions) {
   EXPECT_GE(cl.client(1).fully_stable_timestamp(), 1u)
       << "probe answered after the partition healed";
   EXPECT_FALSE(cl.any_failed());
+}
+
+TEST(Crash, TransientServerKillThenDurableRestartResumesStability) {
+  // The bridge between this file's permanent-crash accuracy tests and
+  // crash_recovery_test: a server process dies mid-run and comes back
+  // from its own disk. Accuracy must hold through the outage (no fail_i),
+  // and — unlike the permanent-crash case above, where stability freezes
+  // forever — the cut resumes advancing once the server is back.
+  const std::string dir = std::string(::testing::TempDir()) + "/faust_crash_durable_" +
+                          std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  ClusterConfig cfg;
+  cfg.n = 2;
+  cfg.durability_dir = dir;
+  cfg.faust.dummy_read_period = 0;
+  cfg.faust.probe_interval = 1'000;
+  cfg.faust.probe_check_period = 300;
+  Cluster cl(cfg);
+  cl.write(1, "pre-crash");
+  cl.read(2, 1);
+  cl.run_for(5'000);
+  const Timestamp stable_before = cl.client(1).fully_stable_timestamp();
+  EXPECT_GE(stable_before, 1u);
+
+  cl.crash_server();
+  cl.run_for(30'000);  // probes go unanswered; accuracy must hold
+  EXPECT_FALSE(cl.any_failed());
+
+  cl.restart_server();
+  EXPECT_GT(cl.write(1, "post-crash"), 0u);
+  const ustor::Value v = cl.read(2, 1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(to_string(*v), "post-crash");
+  cl.run_for(10'000);
+  EXPECT_GE(cl.client(1).fully_stable_timestamp(), stable_before + 1)
+      << "stability resumes after a durable restart";
+  EXPECT_FALSE(cl.any_failed());
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace
