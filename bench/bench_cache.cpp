@@ -1,0 +1,98 @@
+// Edge-cache offload under the read-heavy Zipf storm (src/cache,
+// DESIGN.md D8, PERF.md "Edge cache").
+//
+// Two deployments of the SAME seeded 95/5 read/write Zipf(0.99) stream
+// over S=3 memory-only shards, K=100k keys:
+//
+//   BM_CacheOff — every observing snapshot reads its registers through
+//     the home shard's FAUST protocol: the baseline read latency and the
+//     shard load the cache tier exists to shed.
+//   BM_CacheOn  — each shard fronted by an untrusted CacheNode
+//     (ttl=0: entries live until displaced); clients read through it,
+//     verify every served section exactly as they verify shard replies,
+//     and fall back per-register on miss. Counters add cache_hit_rate,
+//     registers served per origin, and the fraction of snapshots that
+//     completed with ZERO shard contact.
+//
+// The differential oracle (scenario_test CacheOnOffConverges...) proves
+// both runs merge to byte-identical views; this bench records what the
+// cache tier BUYS: the perf-smoke CI gate asserts hit rate >= 0.8 and
+// cached p50 < cache-off p50 on the smoke stream. BENCH_cache.pre.json
+// holds the cache-off run, .post.json the cache-on run — the pre/post
+// pair measures the offload, not a code-change delta.
+// FAUST_BENCH_SMOKE=1 shrinks the stream for CI.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+
+#include "scenario/runner.h"
+
+namespace {
+
+using namespace faust;
+
+std::uint64_t storm_ops() {
+  if (const char* smoke = std::getenv("FAUST_BENCH_SMOKE"); smoke && smoke[0] == '1') {
+    return 400;
+  }
+  return 2'000;
+}
+
+scenario::ScenarioConfig storm_config() {
+  scenario::ScenarioConfig cfg;
+  cfg.workload.seed = 606;
+  cfg.workload.n_keys = 100'000;
+  cfg.workload.n_ops = storm_ops();
+  cfg.workload.n_writers = 2;
+  cfg.workload.read_fraction = 0.95;
+  cfg.workload.zipf_exponent = 0.99;
+  cfg.shards = 3;
+  cfg.cluster_seed = 17;
+  // Memory-only servers: no kills, so no durability dir needed — the
+  // bench isolates read-path cost from WAL/snapshot cadence.
+  cfg.dir.clear();
+  return cfg;
+}
+
+void report(benchmark::State& state, const scenario::ScenarioResult& r) {
+  state.counters["ops"] = static_cast<double>(r.ops);
+  state.counters["reads"] = static_cast<double>(r.reads);
+  state.counters["p50_us"] = r.p50_us;
+  state.counters["p99_us"] = r.p99_us;
+  state.counters["max_us"] = r.max_us;
+  state.counters["cache_hit_rate"] = r.cache_hit_rate;
+  state.counters["registers_cache_served"] = static_cast<double>(r.registers_cache_served);
+  state.counters["registers_engine_read"] = static_cast<double>(r.registers_engine_read);
+  state.counters["snapshots_cached"] = static_cast<double>(r.snapshots_cached);
+  state.counters["snapshots_total"] = static_cast<double>(r.snapshots_total);
+  state.counters["complete"] = r.complete && !r.any_failed && r.merged_complete ? 1.0 : 0.0;
+}
+
+void BM_CacheOff(benchmark::State& state) {
+  scenario::ScenarioResult last;
+  for (auto _ : state) {
+    scenario::ScenarioConfig cfg = storm_config();
+    last = scenario::run_scenario(cfg);
+    benchmark::DoNotOptimize(last.merged_digest);
+  }
+  report(state, last);
+}
+BENCHMARK(BM_CacheOff)->Unit(benchmark::kMillisecond)->MinTime(0.05);
+
+void BM_CacheOn(benchmark::State& state) {
+  scenario::ScenarioResult last;
+  for (auto _ : state) {
+    scenario::ScenarioConfig cfg = storm_config();
+    cfg.cache.enabled = true;
+    cfg.cache.ttl = 0;  // displacement-only: isolates hit rate from TTL churn
+    last = scenario::run_scenario(cfg);
+    benchmark::DoNotOptimize(last.merged_digest);
+  }
+  report(state, last);
+}
+BENCHMARK(BM_CacheOn)->Unit(benchmark::kMillisecond)->MinTime(0.05);
+
+}  // namespace
+
+#include "json_main.h"
+FAUST_BENCH_MAIN();

@@ -52,6 +52,18 @@ class SingleStore final : public Store {
             emit(e);
           };
     });
+    if (cluster_.cache_options().enabled) {
+      // net::Network::attach is not thread-safe, so the cache hop is
+      // built on the executor thread; a stopped runtime simply leaves
+      // this store uncached.
+      const bool made = run_on_exec_sync([this] {
+        cache_ = std::make_unique<cache::CacheClient>(
+            faust_.id(), cache::kCacheNodeId, cluster_.n(), cluster_.sigs(),
+            faust_.config().data_digest, cluster_.net(), cluster_.exec(),
+            cluster_.cache_options().lookup_timeout);
+      });
+      if (made) kv_.attach_cache(cache_.get());
+    }
   }
 
   /// Settles whatever is still in flight (resolving its tickets with the
@@ -100,21 +112,28 @@ class SingleStore final : public Store {
     // merged map is only BORROWED through the slot — the engine's list
     // callback runs `complete` synchronously, so the pointer parked in
     // `result` is alive exactly when the armed done reads it.
-    auto result = std::make_shared<const std::map<std::string, kv::KvEntry>*>(nullptr);
+    struct Parked {
+      const std::map<std::string, kv::KvEntry>* merged = nullptr;
+      kv::ReadOrigin origin;
+    };
+    auto result = std::make_shared<Parked>();
     MutateDone complete =
         arm([result, done = std::move(done)](Timestamp ts, bool failed) {
-          done(failed ? nullptr : *result, failed ? 0 : ts);
+          done(failed ? nullptr : result->merged, failed ? 0 : ts,
+               failed ? kv::ReadOrigin{} : result->origin);
         });
     if (!dispatch([this, result, complete]() mutable {
           if (faust_.failed()) {
             complete(0, /*failed=*/true);
             return;
           }
-          kv_.list(
-              [result, complete](const std::map<std::string, kv::KvEntry>& m, Timestamp ts) {
-                *result = &m;
-                complete(ts, /*failed=*/false);
-              });
+          kv_.list_ex(/*bypass_cache=*/false,
+                      [result, complete](const std::map<std::string, kv::KvEntry>& m,
+                                         Timestamp ts, const kv::ReadOrigin& origin) {
+                        result->merged = &m;
+                        result->origin = origin;
+                        complete(ts, /*failed=*/false);
+                      });
         })) {
       complete(0, /*failed=*/true);  // runtime stopped: the body never runs
     }
@@ -176,6 +195,10 @@ class SingleStore final : public Store {
 
   Cluster& cluster_;
   FaustClient& faust_;
+  /// D8 edge-cache hop (null when the deployment has no cache tier).
+  /// Declared before kv_ so the KvClient holding a raw pointer to it via
+  /// attach_cache is destroyed first.
+  std::unique_ptr<cache::CacheClient> cache_;
   kv::KvClient kv_;
   std::uint64_t seq_ = 0;  // plan-time ticket counter (issuing thread only)
 

@@ -12,7 +12,8 @@ bool operator==(const PutResult& a, const PutResult& b) {
 
 bool operator==(const GetResult& a, const GetResult& b) {
   return a.entry == b.entry && a.read_ts == b.read_ts && a.stable == b.stable &&
-         a.shard == b.shard && a.failed == b.failed;
+         a.shard == b.shard && a.failed == b.failed && a.cached == b.cached &&
+         a.as_of == b.as_of;
 }
 
 bool operator==(const ListResult& a, const ListResult& b) {
@@ -220,7 +221,8 @@ void Store::run_step(std::size_t s, std::size_t step_index,
 
   const auto snapshot_complete =
       [this, s, step_index, plan, ctx](
-          const std::map<std::string, kv::KvEntry>* merged, Timestamp read_ts) {
+          const std::map<std::string, kv::KvEntry>* merged, Timestamp read_ts,
+          const kv::ReadOrigin& origin) {
         const bool failed = merged == nullptr;
         const Timestamp cut = (!failed && read_ts > 0) ? stable_ts(s) : 0;
         {
@@ -237,7 +239,12 @@ void Store::run_step(std::size_t s, std::size_t step_index,
               if (!failed) {
                 const auto it = merged->find(op.key);
                 if (it != merged->end()) g.entry = it->second;
-                g.stable = read_ts > 0 && cut >= read_ts;
+                g.cached = origin.cached;
+                g.as_of = origin.as_of;
+                // Stability claims never attach to cache-served views: a
+                // cached register is authentic but its observation is not
+                // an engine read the stability cut can cover.
+                g.stable = !origin.cached && read_ts > 0 && cut >= read_ts;
               }
             } else {  // kList contribution from this shard
               auto& acc = ctx->lists.at(i);
@@ -262,7 +269,7 @@ void Store::run_step(std::size_t s, std::size_t step_index,
   if (closing_.load(std::memory_order_acquire)) {
     // begin_close(): settle the rest of the chain without new engine
     // work (which would re-arm already-drained pending slots).
-    snapshot_complete(nullptr, 0);
+    snapshot_complete(nullptr, 0, kv::ReadOrigin{});
     return;
   }
   engine_snapshot(s, snapshot_complete);
@@ -337,7 +344,9 @@ bool Store::any_failed() const {
 }
 
 bool Store::stable(const GetResult& r) const {
-  if (r.failed || r.read_ts == 0) return false;
+  // Cache-served observations are never stability-eligible (D8): the
+  // cut covers engine reads, not fills that may be stale up to as_of.
+  if (r.failed || r.cached || r.read_ts == 0) return false;
   return stable_ts(r.shard) >= r.read_ts;
 }
 

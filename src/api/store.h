@@ -97,6 +97,13 @@ struct GetResult {
   bool stable = false;    ///< read_ts covered by the cut at completion time
   std::size_t shard = 0;  ///< home shard of the key
   bool failed = false;    ///< fail_i had fired on the home shard
+  /// D8 edge cache: at least one register of the observing snapshot was
+  /// served by the home shard's cache — verified authentic, but possibly
+  /// stale up to `as_of` (the fill-time freshness horizon). A cached
+  /// result is never reported stable: stability claims attach only to
+  /// snapshots whose registers were all read through the FAUST engine.
+  bool cached = false;
+  Timestamp as_of = 0;
 };
 
 /// Completion of a full listing (merged across every shard).
@@ -352,13 +359,14 @@ class Store {
   virtual void engine_mutate(std::size_t shard, std::vector<kv::KvClient::SeqChange> changes,
                              MutateDone done) = 0;
 
-  /// `done(merged, read_ts)` — one full merged snapshot of shard `s`
-  /// (null when the shard failed). The map is BORROWED: valid only for
-  /// the duration of the callback (it may be the engine's merged-view
+  /// `done(merged, read_ts, origin)` — one full merged snapshot of shard
+  /// `s` (null when the shard failed). The map is BORROWED: valid only
+  /// for the duration of the callback (it may be the engine's merged-view
   /// memo, served without a copy — a batch's gets read it in place and
-  /// only kList contributions copy out of it).
-  using SnapshotDone =
-      std::function<void(const std::map<std::string, kv::KvEntry>*, Timestamp)>;
+  /// only kList contributions copy out of it). `origin` is the snapshot's
+  /// cache provenance (kv::ReadOrigin).
+  using SnapshotDone = std::function<void(const std::map<std::string, kv::KvEntry>*,
+                                          Timestamp, const kv::ReadOrigin&)>;
   virtual void engine_snapshot(std::size_t shard, SnapshotDone done) = 0;
 
   /// Implementations forward fail_i / stable_i through this.

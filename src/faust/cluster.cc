@@ -27,6 +27,10 @@ Cluster::Cluster(ClusterConfig config)
       server_ = std::make_unique<ustor::Server>(config_.n, *net_);
     }
   }
+  if (config_.cache.enabled && config_.cache.with_node) {
+    cache_node_ = std::make_unique<cache::CacheNode>(cache::kCacheNodeId, *net_, *exec_,
+                                                     config_.n, config_.cache);
+  }
   clients_.reserve(static_cast<std::size_t>(config_.n));
   for (ClientId i = 1; i <= config_.n; ++i) {
     clients_.push_back(std::make_unique<FaustClient>(i, config_.n, sigs_, *net_, *mail_,

@@ -13,6 +13,7 @@
 #include <string_view>
 #include <vector>
 
+#include "cache/cache_node.h"
 #include "checker/history.h"
 #include "crypto/signature.h"
 #include "faust/faust_client.h"
@@ -39,6 +40,12 @@ struct ClusterConfig {
   /// use pserver().
   std::string durability_dir;
   storage::DurabilityOptions durability;  // snapshot cadence (durable mode)
+  /// D8 edge-cache tier: cache.enabled wires the deployment for cached
+  /// reads (the KV layer attaches CacheClients; see kvstore/), and
+  /// cache.with_node makes the cluster own an honest CacheNode under
+  /// cache::kCacheNodeId (false: a test attaches its own, e.g. Byzantine,
+  /// node there).
+  cache::CacheOptions cache;
   /// Execution hook: when set, the cluster runs on this external executor
   /// (which must outlive it) instead of owning a sim::Scheduler.
   /// ShardedCluster uses it two ways: kDeterministic passes one shared
@@ -98,6 +105,13 @@ class Cluster {
   /// True when this cluster was built with a durability_dir.
   bool durable() const { return !config_.durability_dir.empty(); }
 
+  /// The deployment's cache configuration (as passed in).
+  const cache::CacheOptions& cache_options() const { return config_.cache; }
+
+  /// The owned honest cache node, or nullptr (cache.enabled false,
+  /// cache.with_node false, or an external node attached instead).
+  cache::CacheNode* cache_node() { return cache_node_.get(); }
+
   /// True while the (durable) server is attached and processing.
   bool server_up() const { return pserver_ != nullptr || server_ != nullptr; }
 
@@ -144,6 +158,7 @@ class Cluster {
   std::shared_ptr<const crypto::SignatureScheme> sigs_;
   std::unique_ptr<ustor::Server> server_;
   std::unique_ptr<storage::PersistentServer> pserver_;  // durable mode
+  std::unique_ptr<cache::CacheNode> cache_node_;        // D8 (may be null)
   std::vector<std::unique_ptr<FaustClient>> clients_;
   checker::HistoryRecorder recorder_;
 };

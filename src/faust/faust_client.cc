@@ -129,6 +129,7 @@ void FaustClient::start_op(PendingUserOp op) {
   if (op.is_write) {
     auto write_cb = [this, done = std::move(op.write_done)](const ustor::WriteResult& r) {
       op_in_flight_ = false;
+      last_write_sig_ = r.data_sig;
       const bool ok = ingest(id_, id_, r.own, /*already_verified=*/true);
       if (done) done(r.t);
       if (ok) recompute_stability();
@@ -152,7 +153,7 @@ void FaustClient::start_op(PendingUserOp op) {
         ok = ingest(j, j, r.writer_version, /*already_verified=*/true);
       }
       if (ok) ok = ingest(id_, id_, r.own, /*already_verified=*/true);
-      if (done) done(r.value, r.t, ReadMeta{r.writer_ts, r.value_digest});
+      if (done) done(r.value, r.t, ReadMeta{r.writer_ts, r.value_digest, BytesView(r.data_sig)});
       if (ok) recompute_stability();
       pump();
     });

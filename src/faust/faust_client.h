@@ -94,6 +94,13 @@ bool verify_failure_evidence(const crypto::SignatureScheme& sigs, int n,
 struct ReadMeta {
   Timestamp writer_ts = 0;
   crypto::Hash value_digest{};
+  /// The writer's verified DATA signature over data_payload(writer_ts,
+  /// value_digest); empty for a never-written register. Valid only for
+  /// the duration of the callback (copy to keep). Together with the value
+  /// bytes this is a self-certifying tuple any verifier can re-check —
+  /// what the KV layer forwards to the edge cache on a read-through fill
+  /// (DESIGN.md D8).
+  BytesView data_sig;
 };
 
 /// A fail-aware client: the user-facing API of the FAUST service.
@@ -151,6 +158,14 @@ class FaustClient {
   /// Like read(), additionally delivering the verified (writer_ts,
   /// value_digest) binding of the value (see ReadMeta).
   void read_ex(ClientId j, ReadExHandler done);
+
+  /// The DATA signature δ_i of this client's most recently completed
+  /// write — the exact bytes that went over the wire (never a
+  /// re-signature, so it is scheme-agnostic and free). Together with the
+  /// write's (t, x̄, value) it forms the same self-certifying tuple a
+  /// read yields; the KV layer attaches it to writer push fills of the
+  /// edge cache (DESIGN.md D8). Empty before the first write completes.
+  BytesView last_write_sig() const { return BytesView(last_write_sig_); }
 
   /// stable_i — fired whenever the stability cut advances.
   StableHandler on_stable;
@@ -268,6 +283,7 @@ class FaustClient {
   std::deque<PendingUserOp> queue_;
   bool op_in_flight_ = false;
   ClientId next_dummy_target_ = 0;
+  Bytes last_write_sig_;  // δ of the latest completed write (see accessor)
 
   bool online_ = true;
   bool failed_ = false;

@@ -295,6 +295,37 @@ void KvClient::publish(PutHandler done) {
   std::optional<crypto::Hash> digest;
   if (chunked()) digest = enc_hasher_.root();
 
+  // D8 writer push fill: once the register write completes, hand the
+  // cache this publication's self-certifying tuple — the exact wire δ
+  // (faust_.last_write_sig()) over the exact published bytes (the shared
+  // encoding, pinned by the captured shared_ptr: a later splice clones
+  // before mutating while it is still referenced). Wrapping `done` keeps
+  // every publish path (delta and full) covered.
+  if (cache_ != nullptr) {
+    const crypto::Hash fill_digest =
+        digest.has_value()
+            ? *digest
+            : ustor::value_digest(ustor::DigestMode::kFlat, BytesView(*enc_));
+    done = [this, enc = enc_, fill_digest, done = std::move(done)](Timestamp t) {
+      if (t != 0 && cache_ != nullptr) {
+        cache::FillSection fill;
+        fill.writer = faust_.id();
+        fill.present = true;
+        fill.writer_ts = t;
+        fill.digest = fill_digest;
+        const BytesView sig = faust_.last_write_sig();
+        fill.sig.assign(sig.begin(), sig.end());
+        fill.value = *enc;
+        fill.as_of = t;
+        ++cache_push_fills_;
+        std::vector<cache::FillSection> fills;
+        fills.push_back(std::move(fill));
+        cache_->fill(std::move(fills));
+      }
+      if (done) done(t);
+    };
+  }
+
   // D6: ship the logged splices instead of the encoding when that is
   // actually smaller. The first publication is always full (it seeds the
   // server's base and the verifiers' chunk trees); after that, per-op
@@ -338,24 +369,130 @@ void KvClient::publish(PutHandler done) {
 }
 
 void KvClient::snapshot(
-    std::function<void(const std::map<std::string, KvEntry>&, Timestamp)> done) {
+    std::function<void(const std::map<std::string, KvEntry>&, Timestamp, const ReadOrigin&)>
+        done,
+    bool bypass_cache) {
   // Read all n partitions sequentially (the FAUST client runs one op at a
   // time anyway), folding each result as it arrives.
   auto snap = std::make_shared<Snapshot>();
   const std::size_t n = static_cast<std::size_t>(faust_.n());
   snap->parts.resize(n);
   snap->fps.resize(n);
+  snap->resolved.assign(n, false);
   snap->done = std::move(done);
+  ++snapshots_total_;
+  if (cache_ != nullptr && !bypass_cache) {
+    // D8: one bulk verified lookup first; the engine fallback below only
+    // touches the registers the cache could not serve. Bases advertise
+    // this client's own verified decode memos, enabling the O(1)
+    // "unchanged" token and arming the bogus-negative rejection.
+    snap->tried_cache = true;
+    std::vector<cache::CacheClient::Base> bases(n);
+    if (tuning_.decode_memo) {
+      for (std::size_t slot = 0; slot < n; ++slot) {
+        const PartMemo& memo = part_memo_[slot];
+        if (memo.part) bases[slot] = cache::CacheClient::Base{true, memo.fp.digest};
+      }
+    }
+    cache_->lookup(std::move(bases), [this, snap](const cache::CacheClient::Result& res) {
+      consume_cache_result(snap, res.sections);
+    });
+    return;
+  }
   read_partition(1, std::move(snap));
 }
 
+void KvClient::consume_cache_result(const std::shared_ptr<Snapshot>& snap,
+                                    const std::vector<cache::CacheClient::Section>& sections) {
+  const std::size_t n = static_cast<std::size_t>(faust_.n());
+  FAUST_CHECK(sections.size() == n);  // CacheClient always delivers n
+  const auto fold_as_of = [&](Timestamp as_of) {
+    snap->cache_as_of = snap->any_cached ? std::min(snap->cache_as_of, as_of) : as_of;
+    snap->any_cached = true;
+  };
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    const cache::CacheClient::Section& sec = sections[slot];
+    switch (sec.outcome) {
+      case cache::Outcome::kServed: {
+        // Verified full value: same trust level as a register read that
+        // passed the DATA check, so it feeds the decode memo too.
+        const PartFp fp{true, sec.digest};
+        auto decoded = decode_partition(sec.value);
+        auto part = std::make_shared<const Partition>(
+            decoded.has_value() ? std::move(*decoded) : Partition{});
+        snap->fps[slot] = fp;
+        snap->parts[slot] = part;
+        if (tuning_.decode_memo) {
+          PartMemo& memo = part_memo_[slot];
+          memo.fp = fp;
+          memo.part = std::move(part);
+        }
+        snap->resolved[slot] = true;
+        ++regs_cache_served_;
+        fold_as_of(sec.as_of);
+        break;
+      }
+      case cache::Outcome::kUnchanged: {
+        // "Digest equals your advertised base": replay the memo the base
+        // came from. The memo can only have moved on if a concurrent
+        // snapshot refreshed it meanwhile — then fall through to an
+        // engine read rather than serve content we no longer hold.
+        const PartMemo& memo = part_memo_[slot];
+        if (memo.part && memo.fp.digest == sec.digest) {
+          snap->fps[slot] = memo.fp;
+          snap->parts[slot] = memo.part;
+          snap->resolved[slot] = true;
+          ++regs_cache_served_;
+          ++decode_memo_hits_;
+          fold_as_of(sec.as_of);
+        }
+        break;
+      }
+      case cache::Outcome::kNegative: {
+        // Plausible never-written claim (the CacheClient already rejected
+        // it if our own memo refutes it): the slot merges as ⊥.
+        snap->resolved[slot] = true;
+        ++regs_cache_served_;
+        fold_as_of(sec.as_of);
+        break;
+      }
+      case cache::Outcome::kMiss:
+      case cache::Outcome::kRejected:
+        break;  // engine fallback reads this slot
+    }
+  }
+  read_partition(1, snap);
+}
+
 void KvClient::read_partition(ClientId j, std::shared_ptr<Snapshot> snap) {
+  while (j <= faust_.n() &&
+         snap->resolved[static_cast<std::size_t>(j - 1)]) {
+    ++j;  // cache-resolved: no engine read, no fill owed
+  }
   if (j > faust_.n()) {
     finish_snapshot(snap);
     return;
   }
   faust_.read_ex(j, [this, j, snap](const ustor::Value& v, Timestamp t, const ReadMeta& meta) {
     snap->max_read_ts = std::max(snap->max_read_ts, t);
+    ++regs_engine_read_;
+    if (snap->tried_cache) {
+      // Read-through fill: hand the cache exactly what this verified
+      // fallback read returned — the self-certifying tuple for a present
+      // register, a negative entry for ⊥ (both stamped with the read's
+      // timestamp as the freshness horizon).
+      cache::FillSection fill;
+      fill.writer = j;
+      fill.as_of = t;
+      if (v.has_value()) {
+        fill.present = true;
+        fill.writer_ts = meta.writer_ts;
+        fill.digest = meta.value_digest;
+        fill.sig.assign(meta.data_sig.begin(), meta.data_sig.end());
+        fill.value = *v;
+      }
+      snap->fills.push_back(std::move(fill));
+    }
     if (v.has_value()) {
       const std::size_t slot = static_cast<std::size_t>(j - 1);
       const PartFp fp{true, meta.value_digest};
@@ -388,14 +525,29 @@ void KvClient::read_partition(ClientId j, std::shared_ptr<Snapshot> snap) {
 }
 
 void KvClient::finish_snapshot(const std::shared_ptr<Snapshot>& snap) {
-  last_snapshot_ts_ = snap->max_read_ts;
+  // Only engine reads advance the stability anchor: a fully cache-served
+  // snapshot observed no register read, so it neither advances nor resets
+  // what the stability cut is measured against.
+  if (snap->max_read_ts > 0) last_snapshot_ts_ = snap->max_read_ts;
+  if (cache_ != nullptr && snap->tried_cache && !snap->fills.empty()) {
+    ++cache_fill_batches_;
+    cache_->fill(std::move(snap->fills));
+  }
+  ReadOrigin origin;
+  origin.cached = snap->any_cached;
+  origin.as_of = snap->any_cached ? snap->cache_as_of : 0;
+  // Engine-read snapshots report the largest register-read timestamp (the
+  // stability anchor); a zero-engine-read snapshot reports the cache
+  // freshness horizon instead (see GetExHandler).
+  const Timestamp ts = snap->max_read_ts > 0 ? snap->max_read_ts : origin.as_of;
+  if (snap->tried_cache && snap->max_read_ts == 0) ++snapshots_cached_;
   if (tuning_.decode_memo && merged_cache_ && snap->fps == merged_fps_) {
     // Every register returned the same verified content the cached merge
     // was built from: serve it without merging (the read-heavy steady
     // state of a get).
     ++merged_cache_hits_;
     const auto cache = merged_cache_;  // pin across the user callback
-    snap->done(*cache, snap->max_read_ts);
+    snap->done(*cache, ts, origin);
     return;
   }
   auto merged = std::make_shared<std::map<std::string, KvEntry>>();
@@ -415,24 +567,40 @@ void KvClient::finish_snapshot(const std::shared_ptr<Snapshot>& snap) {
     merged_cache_ = merged;
     merged_fps_ = snap->fps;
   }
-  snap->done(*merged, snap->max_read_ts);
+  snap->done(*merged, ts, origin);
 }
 
 void KvClient::get(const std::string& key, GetHandler done) {
-  snapshot([key, done = std::move(done)](const std::map<std::string, KvEntry>& merged,
-                                         Timestamp ts) {
-    const auto it = merged.find(key);
-    if (it == merged.end()) {
-      done(std::nullopt, ts);
-    } else {
-      done(it->second, ts);
-    }
-  });
+  get_ex(key, /*bypass_cache=*/false,
+         [done = std::move(done)](std::optional<KvEntry> entry, Timestamp ts,
+                                  const ReadOrigin&) { done(std::move(entry), ts); });
 }
 
 void KvClient::list(ListHandler done) {
-  snapshot([done = std::move(done)](const std::map<std::string, KvEntry>& merged,
-                                    Timestamp ts) { done(merged, ts); });
+  list_ex(/*bypass_cache=*/false,
+          [done = std::move(done)](const std::map<std::string, KvEntry>& merged, Timestamp ts,
+                                   const ReadOrigin&) { done(merged, ts); });
+}
+
+void KvClient::get_ex(const std::string& key, bool bypass_cache, GetExHandler done) {
+  snapshot(
+      [key, done = std::move(done)](const std::map<std::string, KvEntry>& merged, Timestamp ts,
+                                    const ReadOrigin& origin) {
+        const auto it = merged.find(key);
+        if (it == merged.end()) {
+          done(std::nullopt, ts, origin);
+        } else {
+          done(it->second, ts, origin);
+        }
+      },
+      bypass_cache);
+}
+
+void KvClient::list_ex(bool bypass_cache, ListExHandler done) {
+  snapshot(
+      [done = std::move(done)](const std::map<std::string, KvEntry>& merged, Timestamp ts,
+                               const ReadOrigin& origin) { done(merged, ts, origin); },
+      bypass_cache);
 }
 
 }  // namespace faust::kv

@@ -36,10 +36,26 @@
 #include <utility>
 #include <vector>
 
+#include "cache/cache_client.h"
 #include "crypto/chunked_hasher.h"
 #include "faust/faust_client.h"
 
 namespace faust::kv {
+
+/// Provenance of a merged snapshot (D8 edge cache): whether any register
+/// was served by the cache instead of a FAUST register read, and the
+/// freshness horizon of the cache-served portion. A purely engine-read
+/// snapshot has cached=false and as_of=0.
+struct ReadOrigin {
+  /// At least one register came from the edge cache (verified, possibly
+  /// stale — see as_of).
+  bool cached = false;
+  /// Smallest fill-time FAUST timestamp over the cache-served registers:
+  /// every cached section was verified by its filler at or after this
+  /// timestamp. 0 when nothing was cache-served. Advisory as a freshness
+  /// claim (an untrusted cache can under-report age, never forge content).
+  Timestamp as_of = 0;
+};
 
 /// One key's winning entry, with its provenance.
 struct KvEntry {
@@ -104,6 +120,15 @@ class KvClient {
   /// stability cut covers it (see last_snapshot_ts()).
   using GetHandler = std::function<void(std::optional<KvEntry>, Timestamp)>;
   using ListHandler = std::function<void(const std::map<std::string, KvEntry>&, Timestamp)>;
+  /// Origin-extended variants: additionally deliver the snapshot's
+  /// ReadOrigin (cache provenance + freshness horizon). For a snapshot
+  /// with any cache-served register and NO engine read, the delivered
+  /// read_ts is the freshness horizon (origin.as_of), not a register-read
+  /// timestamp — stability claims only attach to engine-read snapshots.
+  using GetExHandler =
+      std::function<void(std::optional<KvEntry>, Timestamp, const ReadOrigin&)>;
+  using ListExHandler =
+      std::function<void(const std::map<std::string, KvEntry>&, Timestamp, const ReadOrigin&)>;
 
   /// Borrows `faust`; the caller keeps it alive. Multiple KvClients must
   /// not share one FaustClient. The DATA digest mode is read off the
@@ -153,6 +178,23 @@ class KvClient {
   /// valid only for the duration of the callback.
   void list(ListHandler done);
 
+  /// Like get/list, with cache control and provenance (see GetExHandler).
+  /// `bypass_cache` forces every register through the FAUST engine even
+  /// when a cache is attached — the authoritative path differential tests
+  /// and oracles pin merged views with.
+  void get_ex(const std::string& key, bool bypass_cache, GetExHandler done);
+  void list_ex(bool bypass_cache, ListExHandler done);
+
+  /// Attaches the edge-cache hop (D8): subsequent snapshots first issue
+  /// one bulk verified lookup through `c`, engine-read only the registers
+  /// the cache could not serve (miss / verification failure), fill the
+  /// cache with what those fallback reads returned, and push-fill this
+  /// client's own register on every publish. `c` must outlive this client
+  /// (or be detached with nullptr first); it must belong to the same
+  /// deployment (same n, signature scheme and digest mode).
+  void attach_cache(cache::CacheClient* c) { cache_ = c; }
+  cache::CacheClient* attached_cache() const { return cache_; }
+
   /// This client's own pending partition (local, pre-publication view).
   const Partition& own_partition() const { return own_; }
 
@@ -201,6 +243,18 @@ class KvClient {
   /// server's base).
   std::uint64_t publish_deltas() const { return publish_deltas_; }
   std::uint64_t publish_fulls() const { return publish_fulls_; }
+  /// Edge-cache effectiveness (all zero until attach_cache).
+  /// Registers resolved by the cache (verified full value or unchanged
+  /// token or negative) vs read through the FAUST engine.
+  std::uint64_t registers_cache_served() const { return regs_cache_served_; }
+  std::uint64_t registers_engine_read() const { return regs_engine_read_; }
+  /// Snapshots that completed without ANY engine read (every register
+  /// cache-served) — the "no shard contact" number the perf gate pins.
+  std::uint64_t snapshots_cached() const { return snapshots_cached_; }
+  std::uint64_t snapshots_total() const { return snapshots_total_; }
+  /// Read-through fill batches and writer push fills sent.
+  std::uint64_t cache_fill_batches() const { return cache_fill_batches_; }
+  std::uint64_t cache_push_fills() const { return cache_push_fills_; }
 
  private:
   /// Verified fingerprint of one register's content: what the decode memo
@@ -233,7 +287,17 @@ class KvClient {
     std::vector<std::shared_ptr<const Partition>> parts;  // [j-1]; null = ⊥
     std::vector<PartFp> fps;                              // [j-1]
     Timestamp max_read_ts = 0;
-    std::function<void(const std::map<std::string, KvEntry>&, Timestamp)> done;
+    std::function<void(const std::map<std::string, KvEntry>&, Timestamp, const ReadOrigin&)>
+        done;
+    // D8 cache bookkeeping: slots already resolved by the verified cache
+    // lookup (skipped by the engine fallback), whether the lookup was
+    // attempted, the min fill-time stamp over cache-served slots, and the
+    // read-through fills owed to the cache for the slots it failed on.
+    std::vector<bool> resolved;  // [j-1]
+    bool tried_cache = false;
+    bool any_cached = false;
+    Timestamp cache_as_of = 0;
+    std::vector<cache::FillSection> fills;
   };
 
   bool chunked() const {
@@ -261,13 +325,22 @@ class KvClient {
 
   void publish(PutHandler done);
 
-  /// Collects all n registers, then merges (or replays the merged-view
+  /// Collects all n registers — through the cache hop first when one is
+  /// attached and not bypassed — then merges (or replays the merged-view
   /// memo) and calls `done`; the map reference is valid only within the
   /// callback.
-  void snapshot(std::function<void(const std::map<std::string, KvEntry>&, Timestamp)> done);
+  void snapshot(
+      std::function<void(const std::map<std::string, KvEntry>&, Timestamp, const ReadOrigin&)>
+          done,
+      bool bypass_cache = false);
 
-  /// Reads partition j, folds it into the snapshot, recurses to j+1;
-  /// finishes past n.
+  /// Folds a verified cache lookup result into the snapshot (resolving
+  /// served / unchanged / negative slots), then engine-reads the rest.
+  void consume_cache_result(const std::shared_ptr<Snapshot>& snap,
+                            const std::vector<cache::CacheClient::Section>& sections);
+
+  /// Reads partition j (skipping cache-resolved slots), folds it into the
+  /// snapshot, recurses to j+1; finishes past n.
   void read_partition(ClientId j, std::shared_ptr<Snapshot> snap);
   void finish_snapshot(const std::shared_ptr<Snapshot>& snap);
 
@@ -306,6 +379,14 @@ class KvClient {
   std::uint64_t merged_cache_hits_ = 0;
   std::uint64_t publish_deltas_ = 0;
   std::uint64_t publish_fulls_ = 0;
+
+  cache::CacheClient* cache_ = nullptr;  // D8 edge-cache hop; null = off
+  std::uint64_t regs_cache_served_ = 0;
+  std::uint64_t regs_engine_read_ = 0;
+  std::uint64_t snapshots_cached_ = 0;
+  std::uint64_t snapshots_total_ = 0;
+  std::uint64_t cache_fill_batches_ = 0;
+  std::uint64_t cache_push_fills_ = 0;
 };
 
 }  // namespace faust::kv

@@ -55,6 +55,11 @@ void ThreadBus::send(NodeId from, NodeId to, Bytes msg) {
     total_.bytes += msg.size();
     total_by_type_[bucket].messages += 1;
     total_by_type_[bucket].bytes += msg.size();
+    ChannelCounters& ch = channels_[{from, to}];
+    ch.stats.messages += 1;
+    ch.stats.bytes += msg.size();
+    ch.by_type[bucket].messages += 1;
+    ch.by_type[bucket].bytes += msg.size();
   }
   // The shared_ptr keeps the box alive across the enqueue even if the
   // node detaches (and its worker joins) concurrently; a box marked
@@ -140,6 +145,19 @@ net::Network::TypeStats ThreadBus::total_by_type() const {
 net::ChannelStats ThreadBus::total_for(std::uint8_t tag) const {
   std::lock_guard lock(stats_mu_);
   return total_by_type_[tag < net::Network::kTypeBuckets ? tag : 0];
+}
+
+net::ChannelStats ThreadBus::channel(NodeId from, NodeId to) const {
+  std::lock_guard lock(stats_mu_);
+  const auto it = channels_.find({from, to});
+  return it == channels_.end() ? net::ChannelStats{} : it->second.stats;
+}
+
+net::ChannelStats ThreadBus::channel_for(NodeId from, NodeId to, std::uint8_t tag) const {
+  std::lock_guard lock(stats_mu_);
+  const auto it = channels_.find({from, to});
+  if (it == channels_.end()) return {};
+  return it->second.by_type[tag < net::Network::kTypeBuckets ? tag : 0];
 }
 
 }  // namespace faust::rt

@@ -52,6 +52,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   // engine ops. Probes stay on (they carry no timestamps) so stability
   // cuts still advance.
   sc_cfg.shard_template.faust.dummy_read_period = 0;
+  sc_cfg.shard_template.cache = config.cache;
   shard::ShardedCluster sc(sc_cfg);
 
   std::vector<std::unique_ptr<shard::ShardedKvClient>> kv;
@@ -86,6 +87,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
         });
         break;
       case Op::Kind::kGet:
+        ++result.reads;
         client.get(key, [&done](const shard::ShardedGetResult&) {
           done.store(true, std::memory_order_release);
         });
@@ -156,10 +158,14 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
 
   std::atomic<bool> listed{false};
   shard::ShardedListResult merged;
-  kv[0]->list([&](const shard::ShardedListResult& r) {
-    merged = r;
-    listed.store(true, std::memory_order_release);
-  });
+  // Bypass the cache: the merged view is the authoritative engine state
+  // the crash and cache differential oracles compare.
+  kv[0]->list(
+      [&](const shard::ShardedListResult& r) {
+        merged = r;
+        listed.store(true, std::memory_order_release);
+      },
+      /*bypass_cache=*/true);
   if (!sc.await(listed, op_timeout)) {
     result.complete = false;
     result.any_failed = true;
@@ -196,6 +202,23 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
       result.duplicate_replies += ps->duplicate_replies();
       result.wal_records += ps->wal_records();
     }
+  }
+
+  // Cache effectiveness, aggregated over every (client, shard) engine.
+  for (const auto& client : kv) {
+    for (std::size_t s = 0; s < config.shards; ++s) {
+      const kv::KvClient& engine = client->shard_kv(s);
+      result.registers_cache_served += engine.registers_cache_served();
+      result.registers_engine_read += engine.registers_engine_read();
+      result.snapshots_cached += engine.snapshots_cached();
+      result.snapshots_total += engine.snapshots_total();
+    }
+  }
+  const std::uint64_t resolved =
+      result.registers_cache_served + result.registers_engine_read;
+  if (resolved > 0) {
+    result.cache_hit_rate =
+        static_cast<double>(result.registers_cache_served) / static_cast<double>(resolved);
   }
   return result;
 }

@@ -45,6 +45,12 @@ struct ScenarioConfig {
   /// each millisecond to 1000 scheduler steps — see ShardedCluster::
   /// await).
   std::size_t op_budget_ms = 4'000;
+  /// D8 edge-cache tier, applied to every shard (cache.enabled wires
+  /// CacheClients + an honest CacheNode per shard). The final merged
+  /// fan-out always bypasses the cache, so merged/merged_digest stay the
+  /// authoritative engine view and the crash and cache differentials
+  /// compare like with like.
+  cache::CacheOptions cache;
 };
 
 /// Everything a run observed; the bench and the tests consume this.
@@ -80,6 +86,17 @@ struct ScenarioResult {
   /// Client 1's per-shard stability cut at the end of the drain
   /// (deterministic mode; empty in threaded mode).
   std::vector<Timestamp> shard_stable;
+
+  // D8 cache effectiveness, aggregated over every client and shard
+  // (post-run; all zero with the cache off). A "register" here is one
+  // per-writer partition slot an observing snapshot resolved.
+  std::uint64_t reads = 0;                   // get ops issued
+  std::uint64_t registers_cache_served = 0;  // slots served by the cache tier
+  std::uint64_t registers_engine_read = 0;   // slots read through FAUST
+  std::uint64_t snapshots_cached = 0;        // snapshots with zero engine reads
+  std::uint64_t snapshots_total = 0;
+  /// registers_cache_served / (served + engine reads); 0 when no reads.
+  double cache_hit_rate = 0;
 };
 
 /// Canonical digest of a merged view (ChunkedHasher over the sorted

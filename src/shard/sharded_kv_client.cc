@@ -11,11 +11,27 @@ namespace faust::shard {
 ShardedKvClient::ShardedKvClient(ShardedCluster& deployment, ClientId id, kv::KvTuning tuning)
     : deployment_(deployment), id_(id) {
   const std::size_t s_count = deployment_.shards();
+  cache_.resize(s_count);
   kv_.reserve(s_count);
   pending_.resize(s_count);
   chained_on_fail_.resize(s_count);
   for (std::size_t s = 0; s < s_count; ++s) {
     kv_.push_back(std::make_unique<kv::KvClient>(deployment_.shard(s).client(id_), tuning));
+  }
+  // D8: wire the per-shard edge-cache hop. Construction attaches to the
+  // shard's network, which (like the fail-hook swap below) may only be
+  // touched from the shard's own thread; a stopped runtime simply leaves
+  // the shard uncached.
+  for (std::size_t s = 0; s < s_count; ++s) {
+    Cluster& shard = deployment_.shard(s);
+    if (!shard.cache_options().enabled) continue;
+    const bool made = dispatch_sync(s, [this, s, &shard] {
+      cache_[s] = std::make_unique<cache::CacheClient>(
+          id_, cache::kCacheNodeId, shard.n(), shard.sigs(),
+          shard.client(id_).config().data_digest, shard.net(), deployment_.shard_exec(s),
+          shard.cache_options().lookup_timeout);
+    });
+    if (made) kv_[s]->attach_cache(cache_[s].get());
   }
   // Surface each shard's fail_i through the sharded client, preserving
   // any handler the harness installed before us, and flush the ops the
@@ -189,17 +205,21 @@ void ShardedKvClient::get_on_shard(std::size_t s, const std::string& key, GetHan
       complete(r);
     });
   }
-  kv.get(key, [&kv, s, complete](std::optional<kv::KvEntry> e, Timestamp read_ts) {
-    ShardedGetResult r;
-    r.entry = std::move(e);
-    r.shard = s;
-    r.read_ts = read_ts;
-    r.shard_failed = kv.faust().failed();
-    complete(r);
-  });
+  kv.get_ex(key, /*bypass_cache=*/false,
+            [&kv, s, complete](std::optional<kv::KvEntry> e, Timestamp read_ts,
+                               const kv::ReadOrigin& origin) {
+              ShardedGetResult r;
+              r.entry = std::move(e);
+              r.shard = s;
+              r.read_ts = read_ts;
+              r.shard_failed = kv.faust().failed();
+              r.cached = origin.cached;
+              r.as_of = origin.as_of;
+              complete(r);
+            });
 }
 
-void ShardedKvClient::list(ListHandler done) {
+void ShardedKvClient::list(ListHandler done, bool bypass_cache) {
   auto fan = std::make_shared<Fan>();
   fan->result.complete = true;
   fan->done = std::move(done);
@@ -208,11 +228,12 @@ void ShardedKvClient::list(ListHandler done) {
   // fire the handler while later shards are still being dispatched.
   fan->waiting = kv_.size();
   for (std::size_t s = 0; s < kv_.size(); ++s) {
-    dispatch(s, [this, s, fan] { list_on_shard(s, fan); });
+    dispatch(s, [this, s, fan, bypass_cache] { list_on_shard(s, fan, bypass_cache); });
   }
 }
 
-void ShardedKvClient::list_on_shard(std::size_t s, const std::shared_ptr<Fan>& fan) {
+void ShardedKvClient::list_on_shard(std::size_t s, const std::shared_ptr<Fan>& fan,
+                                    bool bypass_cache) {
   std::uint64_t id = 0;
   {
     std::lock_guard lock(mu_);
@@ -258,7 +279,8 @@ void ShardedKvClient::list_on_shard(std::size_t s, const std::shared_ptr<Fan>& f
     std::lock_guard lock(mu_);
     pending_[s].emplace(id, [finish] { finish(false, nullptr); });
   }
-  kv.list([finish](const std::map<std::string, kv::KvEntry>& m, Timestamp) { finish(true, &m); });
+  kv.list_ex(bypass_cache, [finish](const std::map<std::string, kv::KvEntry>& m, Timestamp,
+                                    const kv::ReadOrigin&) { finish(true, &m); });
 }
 
 std::uint64_t ShardedKvClient::draw_seq() {
@@ -318,33 +340,34 @@ void ShardedKvClient::snapshot_on_shard(std::size_t s, SnapshotHandler done) {
     std::lock_guard lock(mu_);
     id = ++next_op_;
     complete = [this, s, id, fired, done = std::move(done)](
-                   const std::map<std::string, kv::KvEntry>* m, Timestamp ts) {
+                   const std::map<std::string, kv::KvEntry>* m, Timestamp ts,
+                   const kv::ReadOrigin& origin) {
       {
         std::lock_guard relock(mu_);
         if (*fired) return;
         *fired = true;
         pending_[s].erase(id);
       }
-      if (done) done(m, ts);
+      if (done) done(m, ts, origin);
     };
-    pending_[s].emplace(id, [complete] { complete(nullptr, 0); });
+    pending_[s].emplace(id, [complete] { complete(nullptr, 0, kv::ReadOrigin{}); });
   }
   if (!dispatch(s, [this, s, complete]() mutable {
         snapshot_shard(s, std::move(complete));
       })) {
-    complete(nullptr, 0);  // runtime stopped: the body never runs
+    complete(nullptr, 0, kv::ReadOrigin{});  // runtime stopped: the body never runs
   }
 }
 
 void ShardedKvClient::snapshot_shard(std::size_t s, SnapshotHandler complete) {
   kv::KvClient& kv = *kv_[s];
   if (kv.faust().failed()) {
-    complete(nullptr, 0);
+    complete(nullptr, 0, kv::ReadOrigin{});
     return;
   }
-  kv.list([complete](const std::map<std::string, kv::KvEntry>& m, Timestamp ts) {
-    complete(&m, ts);
-  });
+  kv.list_ex(/*bypass_cache=*/false,
+             [complete](const std::map<std::string, kv::KvEntry>& m, Timestamp ts,
+                        const kv::ReadOrigin& origin) { complete(&m, ts, origin); });
 }
 
 bool ShardedKvClient::any_shard_failed() const {

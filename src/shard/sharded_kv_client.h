@@ -61,6 +61,13 @@ struct ShardedGetResult {
   std::size_t shard = 0;      // the key's home shard
   Timestamp read_ts = 0;      // home-shard timestamp of the observing reads
   bool shard_failed = false;  // fail_i had fired on the home shard
+  /// D8: at least one register of the observing snapshot was served by
+  /// the shard's edge cache; `as_of` is its freshness horizon (see
+  /// kv::ReadOrigin). A fully cache-served snapshot has read_ts equal to
+  /// as_of and is not eligible for stable() — staleness is surfaced, not
+  /// hidden.
+  bool cached = false;
+  Timestamp as_of = 0;
 };
 
 /// A sharded list: merged across every live shard.
@@ -115,12 +122,13 @@ class ShardedKvClient {
   /// needed publishing or the shard failed); `failed` disambiguates the
   /// two t=0 cases.
   using MutateHandler = std::function<void(Timestamp, bool failed)>;
-  /// `done(merged, read_ts)`: the shard's full merged snapshot, or null
-  /// when the shard failed. The map is borrowed — valid only for the
-  /// duration of the callback (it may be the engine's merged-view memo,
-  /// served without a copy).
-  using SnapshotHandler =
-      std::function<void(const std::map<std::string, kv::KvEntry>*, Timestamp)>;
+  /// `done(merged, read_ts, origin)`: the shard's full merged snapshot,
+  /// or null when the shard failed. The map is borrowed — valid only for
+  /// the duration of the callback (it may be the engine's merged-view
+  /// memo, served without a copy). `origin` carries the snapshot's cache
+  /// provenance (kv::ReadOrigin; all-default when the shard failed).
+  using SnapshotHandler = std::function<void(const std::map<std::string, kv::KvEntry>*,
+                                             Timestamp, const kv::ReadOrigin&)>;
 
   /// Draws one cross-shard sequence ticket. The facade draws tickets at
   /// plan time, in batch program order, so a batch's winners (and exact
@@ -148,8 +156,11 @@ class ShardedKvClient {
   void get(const std::string& key, GetHandler done);
 
   /// Concurrent fan-out over all shards, merged. Keys homed on a failed
-  /// shard are absent and `complete` is false.
-  void list(ListHandler done);
+  /// shard are absent and `complete` is false. `bypass_cache` forces
+  /// every shard's snapshot through the FAUST engine even when the
+  /// deployment has a cache tier — the authoritative view differential
+  /// oracles compare against.
+  void list(ListHandler done, bool bypass_cache = false);
 
   /// fail_i of any shard's underlying FaustClient, with the shard index.
   /// Threaded mode: invoked on the failing shard's thread; install it
@@ -204,7 +215,7 @@ class ShardedKvClient {
   void put_on_shard(std::size_t s, std::string key, std::string value, PutHandler done,
                     bool is_erase);
   void get_on_shard(std::size_t s, const std::string& key, GetHandler done);
-  void list_on_shard(std::size_t s, const std::shared_ptr<Fan>& fan);
+  void list_on_shard(std::size_t s, const std::shared_ptr<Fan>& fan, bool bypass_cache);
   void mutate_on_shard(std::size_t s, std::vector<kv::KvClient::SeqChange> changes,
                        MutateHandler complete);
   void snapshot_shard(std::size_t s, SnapshotHandler complete);
@@ -226,6 +237,11 @@ class ShardedKvClient {
   std::mutex mu_;
   std::uint64_t seq_ = 0;      // cross-shard op counter (oracle-aligned)
   std::uint64_t next_op_ = 0;  // in-flight op ids (pending_ keys)
+  /// [shard]: the edge-cache hop of this client in that shard's
+  /// deployment (null per shard when the cache tier is off there).
+  /// Declared before kv_ so each KvClient (holding a raw pointer via
+  /// attach_cache) is destroyed first.
+  std::vector<std::unique_ptr<cache::CacheClient>> cache_;
   std::vector<std::unique_ptr<kv::KvClient>> kv_;          // [shard]
   /// [shard]: abort thunk per in-flight op; each thunk completes its op
   /// with the failed-shard outcome (idempotent with the normal path).

@@ -70,6 +70,7 @@ void Client::writex_impl(const ValueView& x_view, const crypto::Hash* precompute
   const Bytes data_sig = sigs_->sign(id_, data_payload(t, xbar_));
 
   pending_ = PendingOp{OpCode::kWrite, id_, t, std::move(done), {}};
+  pending_->data_sig = data_sig;
   // line 15; the value bytes are copied exactly once, into the wire buffer
   last_submit_ = encode_submit(t, inv, x_view, data_sig);
   net_.send(id_, server_, Bytes(last_submit_));
@@ -93,6 +94,7 @@ void Client::writex_delta(const crypto::Hash& base_digest, const crypto::Hash& n
   const Bytes data_sig = sigs_->sign(id_, data_payload(t, new_root));
 
   pending_ = PendingOp{OpCode::kWrite, id_, t, std::move(done), {}};
+  pending_->data_sig = data_sig;
   ++delta_submits_;
   last_submit_ = encode_submit_delta(t, inv, base_digest, new_root, new_size,
                                      std::span<const Splice>(splices), BytesView(data_sig));
@@ -207,6 +209,7 @@ void Client::complete_op() {
     WriteResult r;
     r.t = op.t;
     r.own = SignedVersion{version_, commit_sig_};
+    r.data_sig = std::move(op.data_sig);
     if (op.write_done) op.write_done(r);
   } else {
     ReadResult r;
@@ -217,6 +220,7 @@ void Client::complete_op() {
     r.writer_version = last_read_writer_version_;
     r.writer_ts = last_read_writer_ts_;
     r.value_digest = last_read_digest_;
+    r.data_sig = last_read_sig_;
     if (op.read_done) op.read_done(r);
   }
 }
@@ -502,6 +506,7 @@ bool Client::check_data(const ReplyMessageView& m, ClientId j) {
   last_read_writer_version_ = rp.writer.to_owned();
   last_read_writer_ts_ = rp.tj;
   last_read_digest_ = staged_digest_;
+  last_read_sig_ = rp.tj != 0 ? Bytes(rp.data_sig.begin(), rp.data_sig.end()) : Bytes();
   return true;
 }
 

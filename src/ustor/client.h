@@ -57,6 +57,13 @@ enum class FailCause {
 struct WriteResult {
   Timestamp t = 0;
   SignedVersion own;  // (V_i, M_i) plus our COMMIT-signature on it
+  /// The DATA signature δ_i = sign_i(DATA‖t‖x̄) that went out with the
+  /// SUBMIT — the exact wire bytes, not a re-signature (relevant for
+  /// stateful schemes like MSS where re-signing consumes a key and yields
+  /// different bytes). Together with (t, x̄, value) this is the same
+  /// self-certifying tuple a read yields, usable for edge-cache push
+  /// fills (DESIGN.md D8).
+  Bytes data_sig;
 };
 
 /// Result of an extended read (readx): the value, our committed version,
@@ -75,6 +82,12 @@ struct ReadResult {
   /// it (PERF.md "O(change) operations").
   Timestamp writer_ts = 0;
   crypto::Hash value_digest{};
+  /// The writer's DATA signature δ_j that was verified over
+  /// data_payload(writer_ts, value_digest) — empty for a never-written
+  /// register. Re-serving (writer_ts, value_digest, value, data_sig) to
+  /// any verifier (e.g. an edge cache's readers, DESIGN.md D8) lets them
+  /// run the exact same check; the tuple is self-certifying.
+  Bytes data_sig;
 };
 
 /// Client-side protocol engine (Algorithm 1).
@@ -198,6 +211,7 @@ class Client : public net::Node {
     WriteCallback write_done;  // set for writes
     ReadCallback read_done;    // set for reads
     bool advertised = false;   // read carried an advertised base (D6)
+    Bytes data_sig;            // write's wire δ, echoed in WriteResult
   };
 
   void fail(FailCause cause);
@@ -293,6 +307,7 @@ class Client : public net::Node {
   SignedVersion last_read_writer_version_;
   Timestamp last_read_writer_ts_ = 0;
   crypto::Hash last_read_digest_{};
+  Bytes last_read_sig_;
   crypto::Hash staged_digest_{};  // set by data_sig_valid on success
 
   // Exact-match memos of the last successfully verified inputs, one slot

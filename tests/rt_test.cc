@@ -74,6 +74,44 @@ TEST(ThreadBus, SendToUnknownNodeIsDropped) {
   bus.send(1, 99, to_bytes("void"));
   bus.drain();
   EXPECT_EQ(bus.delivered(), 0u);
+  EXPECT_EQ(bus.channel(1, 99).messages, 0u)
+      << "a message no channel accepted is not counted";
+}
+
+TEST(ThreadBus, PerChannelCountersMirrorNetworkAccounting) {
+  // The (from,to)×type counters net::Network keeps must behave
+  // identically on the threaded fabric — byte accounting (cache-on vs
+  // cache-off comparisons, per-hop traffic attribution) cannot depend on
+  // the execution mode.
+  ThreadBus bus;
+  class Sink : public net::Node {
+    void on_message(NodeId, BytesView) override {}
+  } a, b;
+  bus.attach(1, a);
+  bus.attach(2, b);
+
+  // Tag 3 messages of 5 bytes 1->2; tag 7 messages of 9 bytes 2->1.
+  for (int k = 0; k < 4; ++k) bus.send(1, 2, Bytes{3, 0, 0, 0, 0});
+  for (int k = 0; k < 2; ++k) bus.send(2, 1, Bytes{7, 0, 0, 0, 0, 0, 0, 0, 0});
+  bus.drain();
+
+  const net::ChannelStats fwd = bus.channel(1, 2);
+  EXPECT_EQ(fwd.messages, 4u);
+  EXPECT_EQ(fwd.bytes, 20u);
+  const net::ChannelStats rev = bus.channel(2, 1);
+  EXPECT_EQ(rev.messages, 2u);
+  EXPECT_EQ(rev.bytes, 18u);
+  EXPECT_EQ(bus.channel(2, 2).messages, 0u) << "untouched channels read zero";
+
+  // Type bucketing per channel, and its consistency with the aggregates.
+  EXPECT_EQ(bus.channel_for(1, 2, 3).messages, 4u);
+  EXPECT_EQ(bus.channel_for(1, 2, 7).messages, 0u);
+  EXPECT_EQ(bus.channel_for(2, 1, 7).bytes, 18u);
+  EXPECT_EQ(bus.total().messages, 6u);
+  EXPECT_EQ(bus.total().bytes, 38u);
+  EXPECT_EQ(bus.total_for(3).messages, 4u);
+  EXPECT_EQ(bus.total_for(7).messages, 2u);
+  bus.stop();
 }
 
 TEST(ThreadBus, AttachAfterTrafficHasStartedIsSafe) {

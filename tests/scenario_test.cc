@@ -116,6 +116,31 @@ TEST(Workload, StreamIsIndependentOfExecutionMode) {
   EXPECT_EQ(det_stream, thr_stream);
 }
 
+TEST(Workload, ReadHeavyMixIsPinnedAndSkewed) {
+  // The D8 bench mix: 95/5 reads over a Zipf(0.99) keyspace. The knob
+  // must (a) actually shift the op mix, (b) stay byte-deterministic, and
+  // (c) perturb the stream digest relative to the default mix — the
+  // cache-on/cache-off differential replays it blind.
+  WorkloadConfig cfg;
+  cfg.seed = 88;
+  cfg.n_keys = 100'000;
+  cfg.n_ops = 2'000;
+  cfg.read_fraction = 0.95;
+  WorkloadGenerator gen(cfg);
+  std::uint64_t reads = 0;
+  for (std::uint64_t i = 0; i < cfg.n_ops; ++i) {
+    if (gen.next().kind == Op::Kind::kGet) ++reads;
+  }
+  EXPECT_GT(reads, cfg.n_ops * 90 / 100) << "95/5 mix must be read-dominated";
+  EXPECT_LT(reads, cfg.n_ops) << "...but not read-only";
+
+  EXPECT_EQ(WorkloadGenerator::stream_digest(cfg), WorkloadGenerator::stream_digest(cfg));
+  WorkloadConfig other = cfg;
+  other.read_fraction = 0.5;
+  EXPECT_NE(WorkloadGenerator::stream_digest(other), WorkloadGenerator::stream_digest(cfg))
+      << "read_fraction is a pinned knob";
+}
+
 // --- The crash/crash-free differential ------------------------------------
 
 TEST(Scenario, CrashFreeBaselineCompletes) {
@@ -220,6 +245,90 @@ TEST(Scenario, InFlightOpAcrossKillIsServedFromTheReplyCacheWhenNeeded) {
   // window or a pure resend — the duplicate counter proves the dedupe
   // path runs in anger, not just in unit tests.
   SUCCEED() << "duplicate replies across sweep: " << total_dups;
+}
+
+// --- The cache-on/cache-off differential (D8) ------------------------------
+
+TEST(Scenario, CacheOnOffConvergesToTheSameMergedView) {
+  // The same seeded read-heavy Zipf storm with and without the edge-cache
+  // tier: the authoritative (bypass-cache) merged views must be
+  // byte-identical — the cache changes which HOP serves a read, never
+  // what the read means — while the cache run actually serves a dominant
+  // share of register resolutions without shard contact.
+  ScenarioConfig cfg;
+  cfg.workload.seed = 606;
+  cfg.workload.n_keys = 100'000;
+  cfg.workload.n_ops = 400;
+  cfg.workload.n_writers = 2;
+  cfg.workload.read_fraction = 0.95;
+  cfg.shards = 3;
+  cfg.cluster_seed = 17;
+
+  ScenarioConfig cached_cfg = cfg;
+  cached_cfg.cache.enabled = true;
+  cached_cfg.cache.ttl = 0;  // no expiry: isolate the hit-rate machinery
+
+  const ScenarioResult plain = run_scenario(cfg);
+  const ScenarioResult cached = run_scenario(cached_cfg);
+
+  ASSERT_TRUE(plain.complete);
+  ASSERT_TRUE(cached.complete);
+  EXPECT_FALSE(plain.any_failed);
+  EXPECT_FALSE(cached.any_failed);
+  ASSERT_TRUE(plain.merged_complete);
+  ASSERT_TRUE(cached.merged_complete);
+
+  EXPECT_EQ(cached.merged_digest, plain.merged_digest)
+      << "the cache tier must be invisible in the authoritative view";
+  // The NUMERIC cut positions differ by design (cache-served reads
+  // consume no register reads, so timestamps advance more slowly) — what
+  // must hold is that stability still flows: every shard's cut advances
+  // past zero, covering the writes that did happen.
+  ASSERT_EQ(cached.shard_stable.size(), plain.shard_stable.size());
+  for (std::size_t s = 0; s < cached.shard_stable.size(); ++s) {
+    EXPECT_GT(cached.shard_stable[s], 0u) << "shard " << s;
+  }
+
+  EXPECT_EQ(plain.registers_cache_served, 0u);
+  EXPECT_EQ(plain.cache_hit_rate, 0.0);
+  EXPECT_GT(cached.reads, 0u);
+  EXPECT_GE(cached.cache_hit_rate, 0.8)
+      << "the Zipf(0.99) 95/5 storm must resolve >=80% of registers at the cache "
+         "(served " << cached.registers_cache_served << " vs engine "
+      << cached.registers_engine_read << ")";
+  EXPECT_GE(cached.snapshots_cached,
+            cached.reads * 8 / 10)
+      << ">=80% of reads must complete without ANY shard contact";
+}
+
+TEST(Scenario, ThreadedCacheRunMatchesTheDeterministicView) {
+  // Threaded smoke for the cache tier: real shard threads, per-shard
+  // CacheClients built via dispatch_sync, fills and lookups crossing
+  // ThreadBus. Ops are driven to completion one at a time, so conflict
+  // winners — and with them the merged view — match the deterministic
+  // cache-off oracle exactly.
+  ScenarioConfig cfg;
+  cfg.workload.seed = 707;
+  cfg.workload.n_keys = 5'000;
+  cfg.workload.n_ops = 120;
+  cfg.workload.n_writers = 2;
+  cfg.workload.read_fraction = 0.9;
+  cfg.shards = 2;
+  cfg.cluster_seed = 23;
+
+  const ScenarioResult oracle = run_scenario(cfg);
+  ASSERT_TRUE(oracle.complete);
+
+  ScenarioConfig thr = cfg;
+  thr.mode = shard::ExecMode::kThreaded;
+  thr.cache.enabled = true;
+  thr.cache.ttl = 0;
+  const ScenarioResult r = run_scenario(thr);
+  ASSERT_TRUE(r.complete);
+  EXPECT_FALSE(r.any_failed);
+  ASSERT_TRUE(r.merged_complete);
+  EXPECT_EQ(r.merged_digest, oracle.merged_digest);
+  EXPECT_GT(r.registers_cache_served, 0u) << "the cache tier must carry real traffic";
 }
 
 }  // namespace
