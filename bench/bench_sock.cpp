@@ -1,0 +1,139 @@
+// Real-socket deployment benchmarks (DESIGN.md D9, PERF.md "Real
+// sockets"): the loopback load-generator storm against real faust_sockd
+// worker processes, over TCP.
+//
+//   BM_SockStormTcp — S=3 all-real-process shards serve the seeded Zipf
+//     stream over loopback TCP, including one mid-run SIGKILL + restart
+//     with real recovery from disk. Counters carry the perf-smoke gates:
+//     complete (the storm must finish with zero fail_i), p50/p99/max µs
+//     per op, reconnects, and the framing share of socket bytes.
+//   BM_SockSubmitBytesSmallK / LargeK — the D6 flat-in-K gate measured
+//     where it finally matters: on a real wire. Delta SUBMIT payload
+//     bytes per put must track the CHANGE SET, not the keyspace, so
+//     growing K from 256 to 16384 (64×) must leave submit_bytes_per_put
+//     within the CI bound (4×).
+//
+// Results land in BENCH_sock.json (json_main.h); the CI perf-smoke step
+// asserts on these counters. FAUST_BENCH_SMOKE=1 shrinks the stream.
+//
+// FAUST_SOCK_BASELINE=1 runs the identical workloads fully in-process
+// (ExecMode::kDeterministic, no worker processes, no sockets): the
+// bench/results pre/post pair BENCH_sock.{pre,post}.json is baseline vs
+// real sockets, so the delta IS the socket tax — framing, syscalls,
+// loopback latency, real process recovery — on the same seeded stream.
+// (kDeterministic, not kThreaded: fast-forward threaded runtimes flood
+// their timer wheels with virtual-time probe work, which dominates
+// synchronous op latency and would bury the socket signal.)
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "scenario/runner.h"
+
+namespace {
+
+using namespace faust;
+
+std::uint64_t storm_ops() {
+  if (const char* smoke = std::getenv("FAUST_BENCH_SMOKE"); smoke && smoke[0] == '1') {
+    return 90;
+  }
+  return 400;
+}
+
+std::string fresh_dir(const std::string& tag, int iteration) {
+  const std::string dir = (std::filesystem::temp_directory_path() /
+                           ("faust_bench_sock_" + tag + "_" + std::to_string(iteration)))
+                              .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+bool baseline_mode() {
+  const char* b = std::getenv("FAUST_SOCK_BASELINE");
+  return b != nullptr && b[0] == '1';
+}
+
+scenario::ScenarioConfig sock_config(const std::string& dir, std::uint64_t n_keys) {
+  scenario::ScenarioConfig cfg;
+  cfg.workload.seed = 2026;
+  cfg.workload.n_keys = n_keys;
+  cfg.workload.n_ops = storm_ops();
+  cfg.workload.n_writers = 2;
+  cfg.shards = 3;
+  cfg.cluster_seed = 11;
+  cfg.snapshot_every = 32;
+  cfg.dir = dir;
+  if (baseline_mode()) {
+    cfg.mode = shard::ExecMode::kDeterministic;  // same workload, no sockets
+  } else {
+    cfg.mode = shard::ExecMode::kProcess;
+    cfg.process.worker_path = FAUST_SOCKD_PATH;
+    cfg.process.use_tcp = true;
+  }
+  return cfg;
+}
+
+void report(benchmark::State& state, const scenario::ScenarioResult& r) {
+  state.counters["ops"] = static_cast<double>(r.ops);
+  state.counters["puts"] = static_cast<double>(r.puts);
+  state.counters["p50_us"] = r.p50_us;
+  state.counters["p99_us"] = r.p99_us;
+  state.counters["max_us"] = r.max_us;
+  state.counters["restarts"] = static_cast<double>(r.restarts);
+  state.counters["recovery_ms"] = r.recovery_ms_total;
+  state.counters["reconnects"] = static_cast<double>(r.wire_reconnects);
+  state.counters["payload_bytes"] = static_cast<double>(r.wire_payload_bytes);
+  state.counters["socket_bytes"] = static_cast<double>(r.wire_socket_bytes);
+  state.counters["framing_bytes"] = static_cast<double>(r.wire_framing_bytes);
+  state.counters["submit_bytes_per_put"] =
+      r.puts > 0 ? static_cast<double>(r.submit_payload_bytes) /
+                       static_cast<double>(r.puts)
+                 : 0.0;
+  state.counters["complete"] = r.complete && !r.any_failed ? 1.0 : 0.0;
+}
+
+void BM_SockStormTcp(benchmark::State& state) {
+  int iteration = 0;
+  scenario::ScenarioResult last;
+  for (auto _ : state) {
+    const std::string dir = fresh_dir("storm", iteration++);
+    scenario::ScenarioConfig cfg = sock_config(dir, 100'000);
+    const std::uint64_t n = cfg.workload.n_ops;
+    cfg.kills = {scenario::KillEvent{n / 2, 1, 20'000}};
+    last = scenario::run_scenario(cfg);
+    benchmark::DoNotOptimize(last.merged_digest);
+    std::filesystem::remove_all(dir);
+  }
+  report(state, last);
+}
+BENCHMARK(BM_SockStormTcp)->Unit(benchmark::kMillisecond)->MinTime(0.05);
+
+void submit_bytes_run(benchmark::State& state, std::uint64_t n_keys) {
+  int iteration = 0;
+  scenario::ScenarioResult last;
+  for (auto _ : state) {
+    const std::string dir = fresh_dir("k" + std::to_string(n_keys), iteration++);
+    // Crash-free, write-heavy: the cleanest bytes-per-put signal.
+    scenario::ScenarioConfig cfg = sock_config(dir, n_keys);
+    cfg.workload.read_fraction = 0.2;
+    last = scenario::run_scenario(cfg);
+    benchmark::DoNotOptimize(last.merged_digest);
+    std::filesystem::remove_all(dir);
+  }
+  report(state, last);
+}
+
+void BM_SockSubmitBytesSmallK(benchmark::State& state) { submit_bytes_run(state, 256); }
+BENCHMARK(BM_SockSubmitBytesSmallK)->Unit(benchmark::kMillisecond)->MinTime(0.05);
+
+void BM_SockSubmitBytesLargeK(benchmark::State& state) { submit_bytes_run(state, 16'384); }
+BENCHMARK(BM_SockSubmitBytesLargeK)->Unit(benchmark::kMillisecond)->MinTime(0.05);
+
+}  // namespace
+
+#include "json_main.h"
+FAUST_BENCH_MAIN();

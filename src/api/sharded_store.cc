@@ -65,7 +65,12 @@ class ShardedStore final : public Store {
     begin_close();  // chains settle inline once ~kv_ aborts their steps
     for (std::size_t s = 0; s < chained_stable_.size(); ++s) {
       if (hooked_[s]) {
-        deployment_.shard(s).client(id_).on_stable = std::move(chained_stable_[s]);
+        // Same rule as installation: the swap mutates FaustClient state a
+        // live runtime thread reads (stability cuts keep advancing on
+        // timers), so it must run on the shard's own thread.
+        run_on_shard_sync(s, [this, s] {
+          deployment_.shard(s).client(id_).on_stable = std::move(chained_stable_[s]);
+        });
       }
     }
   }

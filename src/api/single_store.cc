@@ -59,7 +59,7 @@ class SingleStore final : public Store {
       const bool made = run_on_exec_sync([this] {
         cache_ = std::make_unique<cache::CacheClient>(
             faust_.id(), cache::kCacheNodeId, cluster_.n(), cluster_.sigs(),
-            faust_.config().data_digest, cluster_.net(), cluster_.exec(),
+            faust_.config().data_digest, cluster_.transport(), cluster_.exec(),
             cluster_.cache_options().lookup_timeout);
       });
       if (made) kv_.attach_cache(cache_.get());

@@ -14,7 +14,20 @@ Cluster::Cluster(ClusterConfig config)
       sim_(dynamic_cast<sim::Scheduler*>(exec_)) {
   FAUST_CHECK(config_.n >= 1);
   Rng root(config_.seed);
-  net_ = std::make_unique<net::Network>(*exec_, root.fork(), config_.delay);
+  if (config_.transport != nullptr) {
+    // External (socket) transport: the server side lives elsewhere. The
+    // fork is still drawn so the mailbox/signature seeds — and therefore
+    // every client-side random draw — match the owned-network assembly
+    // bit for bit (the process-vs-deterministic differential relies on
+    // it).
+    FAUST_CHECK(config_.executor != nullptr);
+    FAUST_CHECK(!config_.with_server);
+    FAUST_CHECK(!config_.cache.with_node);
+    FAUST_CHECK(config_.durability_dir.empty());
+    (void)root.fork();
+  } else {
+    net_ = std::make_unique<net::Network>(*exec_, root.fork(), config_.delay);
+  }
   mail_ = std::make_unique<net::Mailbox>(*exec_, root.fork(), config_.mail_min_delay,
                                          config_.mail_max_delay);
   sigs_ = crypto::make_hmac_scheme(config_.n, root.next_u64());
@@ -33,9 +46,24 @@ Cluster::Cluster(ClusterConfig config)
   }
   clients_.reserve(static_cast<std::size_t>(config_.n));
   for (ClientId i = 1; i <= config_.n; ++i) {
-    clients_.push_back(std::make_unique<FaustClient>(i, config_.n, sigs_, *net_, *mail_,
-                                                     *exec_, config_.faust));
+    clients_.push_back(std::make_unique<FaustClient>(i, config_.n, sigs_, transport(),
+                                                     *mail_, *exec_, config_.faust));
   }
+}
+
+net::Network& Cluster::net() {
+  FAUST_CHECK(net_ != nullptr);  // external-transport mode has no Network
+  return *net_;
+}
+
+const net::Network& Cluster::net() const {
+  FAUST_CHECK(net_ != nullptr);
+  return *net_;
+}
+
+net::Transport& Cluster::transport() {
+  if (config_.transport != nullptr) return *config_.transport;
+  return *net_;
 }
 
 sim::Scheduler& Cluster::sched() {
@@ -101,6 +129,10 @@ void Cluster::restart_server() {
   // down are dropped too.
   pserver_ = std::make_unique<storage::PersistentServer>(
       config_.n, *net_, config_.durability_dir, config_.durability);
+  reconnect_clients();
+}
+
+void Cluster::reconnect_clients() {
   for (auto& c : clients_) c->reconnect();
 }
 

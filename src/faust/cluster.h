@@ -46,6 +46,17 @@ struct ClusterConfig {
   /// cache::kCacheNodeId (false: a test attaches its own, e.g. Byzantine,
   /// node there).
   cache::CacheOptions cache;
+  /// Transport hook (DESIGN.md D9): when set, the deployment's parties
+  /// ride this external transport (which must outlive the cluster)
+  /// instead of an owned simulated net::Network — the real-socket mode,
+  /// where the server lives in ANOTHER PROCESS behind a
+  /// sock::SocketTransport. Requires `executor` (the socket loop posts
+  /// deliveries onto it; a sim::Scheduler cannot take cross-thread posts,
+  /// so pass a rt::ThreadedRuntime), and implies with_server == false,
+  /// cache.with_node == false and no durability_dir: the server side of
+  /// the deployment is whoever answers on the wire. net() is illegal in
+  /// this mode; use transport().
+  net::Transport* transport = nullptr;
   /// Execution hook: when set, the cluster runs on this external executor
   /// (which must outlive it) instead of owning a sim::Scheduler.
   /// ShardedCluster uses it two ways: kDeterministic passes one shared
@@ -87,8 +98,20 @@ class Cluster {
   /// runtime, where work must be post()ed onto exec() and waited for.
   bool simulated() const { return sim_ != nullptr; }
 
-  net::Network& net() { return *net_; }
-  const net::Network& net() const { return *net_; }
+  /// The owned simulated fabric. Illegal (FAUST_CHECK) when the cluster
+  /// rides an external transport — use transport() there.
+  net::Network& net();
+  const net::Network& net() const;
+
+  /// The transport every party of this deployment is attached to: the
+  /// external one when configured, else the owned Network. This is what
+  /// deployment-generic wiring (CacheClients, extra test nodes) should
+  /// use.
+  net::Transport& transport();
+
+  /// True when the cluster rides an external (e.g. socket) transport.
+  bool external_transport() const { return config_.transport != nullptr; }
+
   net::Mailbox& mail() { return *mail_; }
   const std::shared_ptr<const crypto::SignatureScheme>& sigs() const { return sigs_; }
   int n() const { return config_.n; }
@@ -125,6 +148,13 @@ class Cluster {
   /// verified snapshot + log suffix, or full replay) and reconnects every
   /// healthy client so in-flight operations resume exactly once.
   void restart_server();
+
+  /// Reconnects every healthy client (FaustClient::reconnect →
+  /// ustor::Client::resubmit). restart_server() does this itself; the
+  /// external-transport mode calls it directly after the REMOTE server
+  /// process came back (shard::ShardedCluster::restart_shard). Must run
+  /// on the cluster's executor thread.
+  void reconnect_clients();
 
   /// History recorded by the synchronous helpers (checker input).
   checker::HistoryRecorder& recorder() { return recorder_; }

@@ -65,6 +65,21 @@ struct FaustConfig {
   /// mismatch degrades to the full-value path, so this is safe to leave on
   /// — the differential oracle pins on/off equivalence.
   bool wire_deltas = true;
+
+  /// The same config with every period multiplied by `factor`. Real
+  /// transports need this (DESIGN.md D9): the defaults above are tuned
+  /// for sim ticks where a round trip costs ~10 ticks, but over a real
+  /// socket a round trip costs scheduling + syscalls — timers that probe
+  /// or re-read at sim cadence would fire long before the wire answers.
+  /// Deployment layers scale rather than hardcode so the RELATIVE timer
+  /// semantics (probe ≫ check ≫ dummy-read) survive unchanged.
+  FaustConfig scaled(std::uint64_t factor) const {
+    FaustConfig c = *this;
+    c.dummy_read_period *= factor;
+    c.probe_interval *= factor;
+    c.probe_check_period *= factor;
+    return c;
+  }
 };
 
 /// Everything a client knew at the moment it declared the server faulty —

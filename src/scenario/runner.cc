@@ -8,7 +8,9 @@
 
 #include "common/check.h"
 #include "crypto/chunked_hasher.h"
+#include "exec/executor.h"
 #include "shard/sharded_kv_client.h"
+#include "ustor/messages.h"
 #include "wire/encoder.h"
 
 namespace faust::scenario {
@@ -53,7 +55,20 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   // cuts still advance.
   sc_cfg.shard_template.faust.dummy_read_period = 0;
   sc_cfg.shard_template.cache = config.cache;
+  sc_cfg.process = config.process;
   shard::ShardedCluster sc(sc_cfg);
+
+  // Process-shard restarts run on these (see ScenarioConfig::process);
+  // declared after `sc` so the join-on-unwind happens while it is alive.
+  std::vector<std::thread> restarters;
+  struct JoinRestarters {
+    std::vector<std::thread>& threads;
+    ~JoinRestarters() {
+      for (auto& t : threads) {
+        if (t.joinable()) t.join();
+      }
+    }
+  } join_restarters{restarters};
 
   std::vector<std::unique_ptr<shard::ShardedKvClient>> kv;
   for (ClientId i = 1; i <= config.workload.n_writers; ++i) {
@@ -82,6 +97,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     const auto begin = std::chrono::steady_clock::now();
     switch (op.kind) {
       case Op::Kind::kPut:
+        ++result.puts;
         client.put(key, op.value, [&done](Timestamp) {
           done.store(true, std::memory_order_release);
         });
@@ -107,6 +123,27 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
       if (kill.at_op != i) continue;
       FAUST_CHECK(kill.shard < config.shards);
       sc.kill_shard(kill.shard);
+      if (sc.process_shard(kill.shard)) {
+        // A process restart blocks on the respawned worker's READY line
+        // and then post_syncs the client reconnect onto the shard's
+        // runtime — so it cannot run as an after() timer ON that runtime
+        // (it would deadlock against itself). A dedicated thread serves
+        // the downtime in real time instead: `downtime` is in executor
+        // ticks, and the runtime paces one tick per process.tick.
+        const auto downtime = std::chrono::nanoseconds(
+            static_cast<std::int64_t>(kill.downtime) * config.process.tick.count());
+        restarters.emplace_back([&sc, downtime, shard_idx = kill.shard, &restarts_done,
+                                 &recovery_ns] {
+          std::this_thread::sleep_for(downtime);
+          const auto t0 = std::chrono::steady_clock::now();
+          sc.restart_shard(shard_idx);
+          const auto t1 = std::chrono::steady_clock::now();
+          recovery_ns.fetch_add(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
+          restarts_done.fetch_add(1);
+        });
+        continue;
+      }
       Cluster& cluster = sc.shard(kill.shard);
       sc.shard_exec(kill.shard).after(
           kill.downtime,
@@ -194,14 +231,51 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
 
   // Durability counters, read at quiescence (every op completed, every
   // restart done). Threaded mode: the clients above are about to go
-  // quiet; shard threads only tick timers now.
+  // quiet; shard threads only tick timers now. Process shards report
+  // theirs over the STATS line of a graceful worker shutdown — which is
+  // why this runs only after the merged fan-out is in hand.
   for (std::size_t s = 0; s < config.shards; ++s) {
-    if (const storage::PersistentServer* ps = sc.shard(s).pserver()) {
+    const storage::PersistentServer* ps = sc.shard(s).pserver();
+    if (ps == nullptr) continue;
+    const auto read = [&result, ps] {
       result.snapshots_written += ps->snapshots_written();
       result.snapshots_rejected += ps->snapshots_rejected();
       result.duplicate_replies += ps->duplicate_replies();
       result.wal_records += ps->wal_records();
+    };
+    if (det) {
+      read();
+    } else {
+      // The shard's runtime thread still appends WAL records on timers
+      // (quiescent means no ops in flight, not a stopped clock), so the
+      // read must serialize onto that thread.
+      FAUST_CHECK(exec::post_sync(sc.shard_exec(s), read));
     }
+  }
+  // Socket-level totals from the process shards' transports (counters are
+  // any-thread safe; the transports live until `sc` dies).
+  for (std::size_t s = 0; s < config.shards; ++s) {
+    if (sock::SocketTransport* t = sc.shard_transport(s)) {
+      result.wire_payload_bytes += t->total().bytes;
+      result.submit_payload_bytes +=
+          t->total_for(static_cast<std::uint8_t>(ustor::MsgType::kSubmit)).bytes +
+          t->total_for(static_cast<std::uint8_t>(ustor::MsgType::kSubmitDelta)).bytes;
+      const sock::WireStats w = t->wire();
+      result.wire_socket_bytes += w.socket_bytes_out + w.socket_bytes_in;
+      result.wire_framing_bytes += w.framing_bytes_out;
+      result.wire_reconnects += w.reconnects;
+    }
+  }
+
+  if (sc.procs() != nullptr) {
+    for (const auto& stats : sc.finalize_processes()) {
+      if (!stats) continue;
+      result.snapshots_written += stats->snapshots_written;
+      result.snapshots_rejected += stats->snapshots_rejected;
+      result.duplicate_replies += stats->duplicate_replies;
+      result.wal_records += stats->wal_records;
+    }
+    result.restarts_from_snapshot += sc.procs()->restarts_from_snapshot();
   }
 
   // Cache effectiveness, aggregated over every (client, shard) engine.

@@ -51,6 +51,15 @@ struct ScenarioConfig {
   /// authoritative engine view and the crash and cache differentials
   /// compare like with like.
   cache::CacheOptions cache;
+  /// kProcess mode (D9): worker binary, TCP vs UDS, tick and timer scale
+  /// for the real-socket deployment. Kill events then SIGKILL the worker
+  /// process and restarts run real recovery-from-disk; the downtime is
+  /// served by a dedicated restarter thread (`downtime` executor ticks ×
+  /// `process.tick` of real time), because a process restart blocks on
+  /// the worker's READY line and must not run on the shard's own
+  /// runtime. Durability counters come from the workers' STATS lines
+  /// (collected by a graceful shutdown after the merged fan-out).
+  sock::ProcessOptions process;
 };
 
 /// Everything a run observed; the bench and the tests consume this.
@@ -97,6 +106,19 @@ struct ScenarioResult {
   std::uint64_t snapshots_total = 0;
   /// registers_cache_served / (served + engine reads); 0 when no reads.
   double cache_hit_rate = 0;
+
+  // D9 real-socket wire totals, aggregated over the process shards'
+  // transports (all zero outside kProcess). Payload bytes mirror the
+  // net::Network counters (comparable across transports); socket bytes
+  // include framing, whose share is reported separately.
+  std::uint64_t puts = 0;  // put ops issued (bytes-per-put denominator)
+  std::uint64_t wire_payload_bytes = 0;
+  std::uint64_t wire_socket_bytes = 0;  // written + read, framing included
+  std::uint64_t wire_framing_bytes = 0;
+  std::uint64_t wire_reconnects = 0;
+  /// SUBMIT + SUBMIT_DELTA payload share — the D6 flat-in-K gate reads
+  /// submit_payload_bytes / puts over a real TCP deployment.
+  std::uint64_t submit_payload_bytes = 0;
 };
 
 /// Canonical digest of a merged view (ChunkedHasher over the sorted

@@ -3,6 +3,13 @@
 // given op is issued and brings it back from disk after a fixed downtime
 // of executor time. Restart runs on the shard's own executor (its thread
 // in threaded mode), so recovery serializes with that shard's deliveries.
+//
+// Under ExecMode::kProcess the same event SIGKILLs the shard's worker
+// PROCESS (no cleanup runs over there) and the restart respawns it with
+// a bumped incarnation, recovering from its on-disk WAL/snapshot; the
+// downtime is `downtime` ticks × ProcessOptions::tick of real time,
+// served by a dedicated restarter thread (runner.cc explains why not an
+// executor timer).
 #pragma once
 
 #include <cstddef>

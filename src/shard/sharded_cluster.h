@@ -21,6 +21,19 @@
 //     differential oracle for this mode checks set-equivalence of the
 //     merged views and history linearizability, not event order
 //     (tests/shard_threaded_test.cc).
+//   * kProcess — the real-socket deployment (DESIGN.md D9). Each shard's
+//     SERVER side (durable PersistentServer + optional cache node) runs
+//     as a separate OS process (`faust_sockd serve`, managed by
+//     sock::ProcessCluster); the shard's CLIENT side stays in this
+//     process on its own rt::ThreadedRuntime, riding a
+//     sock::SocketTransport that dials the worker over loopback TCP or a
+//     Unix socket. kill_shard/restart_shard become real SIGKILL +
+//     respawn-with-recovery, composed with transport fencing so queued
+//     pre-crash bytes never reach the restarted era. Protocol timers are
+//     scaled by ProcessOptions::timer_scale — sim-tick cadences are far
+//     too aggressive against real socket latency. process_shards < S
+//     gives the mixed milestone: first k shards real processes, the rest
+//     ordinary in-process threaded shards.
 //
 // The scale-out economics (PERF.md "Sharding"): every per-operation cost
 // that grows with the keyspace — partition encode/decode, value hashing
@@ -37,6 +50,8 @@
 #include "faust/cluster.h"
 #include "rt/threaded_runtime.h"
 #include "shard/shard_router.h"
+#include "sock/process_cluster.h"
+#include "sock/socket_transport.h"
 
 namespace faust::shard {
 
@@ -44,6 +59,7 @@ namespace faust::shard {
 enum class ExecMode {
   kDeterministic,  // one shared sim::Scheduler, bit-identical replays
   kThreaded,       // one rt::ThreadedRuntime (OS thread) per shard
+  kProcess,        // server side in real worker processes, over sockets
 };
 
 /// Knobs for ShardedCluster assembly.
@@ -66,8 +82,13 @@ struct ShardedClusterConfig {
   /// `durability_root`/shard_<s> (directories created as needed), and
   /// kill_shard()/restart_shard() become legal. Overrides any
   /// durability_dir in shard_template; `shard_template.durability`
-  /// supplies the snapshot cadence.
+  /// supplies the snapshot cadence. REQUIRED in kProcess mode (the
+  /// workers recover from these directories; UDS listen sockets live
+  /// beside them).
   std::string durability_root;
+  /// kProcess only: worker binary, TCP vs UDS, tick, timer scale, how
+  /// many leading shards run as processes (see sock::ProcessOptions).
+  sock::ProcessOptions process;
 };
 
 /// S co-scheduled deployments plus the routing table over them.
@@ -89,7 +110,11 @@ class ShardedCluster {
   ShardedCluster& operator=(const ShardedCluster&) = delete;
 
   ExecMode mode() const { return config_.mode; }
-  bool threaded() const { return config_.mode == ExecMode::kThreaded; }
+  /// True when shards run on their own rt::ThreadedRuntimes (kThreaded
+  /// AND kProcess — in process mode the client side of every shard is
+  /// still one runtime thread here): cross-thread work must be post()ed,
+  /// await() blocks instead of stepping.
+  bool threaded() const { return config_.mode != ExecMode::kDeterministic; }
 
   /// The shared simulation scheduler. Deterministic mode only
   /// (FAUST_CHECKed): a threaded deployment has no central clock.
@@ -140,16 +165,44 @@ class ShardedCluster {
   /// crash_server). In-flight traffic to/from it is dropped; its WAL and
   /// snapshot stay on disk. Threaded mode: runs ON the shard's runtime
   /// thread (post_sync), so it serializes with that shard's deliveries.
+  /// Process shards: fences the worker's NodeIds on the shard transport
+  /// FIRST (queued bytes are purged, not flushed later into the restarted
+  /// era), then SIGKILLs the worker — no cleanup runs over there.
   void kill_shard(std::size_t s);
 
   /// Rebuilds shard `s`'s server from disk and reconnects its clients
   /// (Cluster::restart_server); in-flight operations of that shard's
   /// clients resume exactly once. Same threading rule as kill_shard.
+  /// Process shards: respawns the worker with a bumped incarnation,
+  /// blocks until its READY line (recovery included), unfences the
+  /// transport and reconnects the clients on the shard's runtime. Safe
+  /// from any thread EXCEPT the shard's own runtime thread (it posts
+  /// synchronously onto it) — scenario harnesses use dedicated restarter
+  /// threads.
   void restart_shard(std::size_t s);
 
-  /// True while shard `s`'s server is attached. Threaded mode: call from
-  /// the shard's thread, or at quiescence.
+  /// True while shard `s`'s server is attached (process shards: while the
+  /// worker process is up). Threaded mode: call from the shard's thread,
+  /// or at quiescence.
   bool shard_up(std::size_t s) const;
+
+  /// True when shard `s`'s server side runs in a worker process.
+  bool process_shard(std::size_t s) const;
+
+  /// Shard `s`'s socket transport, or nullptr for non-process shards.
+  /// Counter reads (total/channel_for/wire) are any-thread safe.
+  sock::SocketTransport* shard_transport(std::size_t s);
+
+  /// The worker process manager, or nullptr outside kProcess mode
+  /// (restart/recovery counters for harnesses).
+  const sock::ProcessCluster* procs() const { return procs_.get(); }
+
+  /// Gracefully SIGTERMs every process-shard worker and collects its
+  /// durability counters (STATS line); index w maps to shard w. nullopt
+  /// for a worker that was down or died uncleanly. Call once, after the
+  /// workload is quiescent (stop() first is safest); workers not
+  /// finalized here are SIGKILLed on destruction without stats.
+  std::vector<std::optional<sock::ServerStats>> finalize_processes();
 
   /// fail_i fired anywhere / on every client of every shard.
   /// Threaded mode: only meaningful at quiescence (or after stop()).
@@ -160,14 +213,23 @@ class ShardedCluster {
   net::ChannelStats total_traffic() const;
 
  private:
+  std::size_t process_shard_count() const;
+
   const ShardedClusterConfig config_;
   std::size_t verify_cache_entries_ = 0;
   sim::Scheduler sched_;  // deterministic mode's shared clock (else idle)
   ShardRouter router_;
-  // Declared before shards_: destroyed after them. Threads are joined in
+  // Declaration order IS the teardown contract (reverse destruction):
+  // shards die first (their protocol objects detach from the transports),
+  // then the transports (loop threads stop; no more posts), then the
+  // runtimes, then the worker processes are reaped. Threads are joined in
   // ~ShardedCluster (stop()) *before* any member teardown, so no event
   // can touch a half-destroyed shard.
+  std::unique_ptr<sock::ProcessCluster> procs_;  // kProcess only
   std::vector<std::unique_ptr<rt::ThreadedRuntime>> runtimes_;
+  // One per shard; null entries for non-process shards (kProcess mixed
+  // deployments) and in the other modes.
+  std::vector<std::unique_ptr<sock::SocketTransport>> transports_;
   std::vector<std::unique_ptr<Cluster>> shards_;
 };
 

@@ -28,7 +28,7 @@ ShardedKvClient::ShardedKvClient(ShardedCluster& deployment, ClientId id, kv::Kv
     const bool made = dispatch_sync(s, [this, s, &shard] {
       cache_[s] = std::make_unique<cache::CacheClient>(
           id_, cache::kCacheNodeId, shard.n(), shard.sigs(),
-          shard.client(id_).config().data_digest, shard.net(), deployment_.shard_exec(s),
+          shard.client(id_).config().data_digest, shard.transport(), deployment_.shard_exec(s),
           shard.cache_options().lookup_timeout);
     });
     if (made) kv_[s]->attach_cache(cache_[s].get());
@@ -63,10 +63,21 @@ ShardedKvClient::~ShardedKvClient() {
   // destructor contract the deployment is quiescent (threaded: stopped),
   // so touching the shards inline is safe here.
   for (std::size_t s = 0; s < kv_.size(); ++s) settle_failed_shard(s);
+  // Detaching the cache hop and restoring the fail hook both mutate
+  // state a live shard runtime reads (message delivery walks the
+  // network's node map; fail_i reads the handler), so — exactly like
+  // their installation above — they run on the shard's own thread, and
+  // only fall back inline once that runtime is stopped.
+  for (std::size_t s = 0; s < cache_.size(); ++s) {
+    if (cache_[s] == nullptr) continue;
+    if (!dispatch_sync(s, [this, s] { cache_[s].reset(); })) cache_[s].reset();
+  }
   for (std::size_t s = 0; s < kv_.size(); ++s) {
-    if (hooked_[s]) {
+    if (!hooked_[s]) continue;
+    const auto restore = [this, s] {
       deployment_.shard(s).client(id_).on_fail = std::move(chained_on_fail_[s]);
-    }
+    };
+    if (!dispatch_sync(s, restore)) restore();
   }
 }
 

@@ -1,0 +1,143 @@
+#include "sock/frame.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace faust::sock {
+namespace {
+
+constexpr std::size_t kPrefixBytes = 4;          // u32 len
+constexpr std::size_t kKindOffset = kPrefixBytes;
+constexpr std::size_t kMinHeader = kPrefixBytes + 1;  // len + kind
+constexpr std::size_t kDataHeaderLen = 9;   // from + to + at-least-empty payload
+constexpr std::size_t kHelloBodyLen = 9;    // kind + incarnation
+
+std::uint32_t read_u32le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t read_u64le(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(read_u32le(p)) |
+         (static_cast<std::uint64_t>(read_u32le(p + 4)) << 32);
+}
+
+std::int32_t read_i32le(const std::uint8_t* p) {
+  return static_cast<std::int32_t>(read_u32le(p));
+}
+
+}  // namespace
+
+Bytes encode_data_frame(NodeId from, NodeId to, BytesView payload) {
+  Bytes out;
+  out.reserve(kDataFrameOverhead + payload.size());
+  append_u32(out, static_cast<std::uint32_t>(kDataHeaderLen + payload.size()));
+  append_byte(out, kFrameData);
+  append_u32(out, static_cast<std::uint32_t>(from));
+  append_u32(out, static_cast<std::uint32_t>(to));
+  append(out, payload);
+  return out;
+}
+
+Bytes encode_hello_frame(std::uint64_t incarnation) {
+  Bytes out;
+  out.reserve(kHelloFrameBytes);
+  append_u32(out, static_cast<std::uint32_t>(kHelloBodyLen));
+  append_byte(out, kFrameHello);
+  append_u64(out, incarnation);
+  return out;
+}
+
+std::pair<std::uint8_t*, std::size_t> FrameDecoder::next_span() {
+  if (poisoned_) return {nullptr, 0};
+  if (stage_ == Stage::kHeader) return {head_ + head_have_, head_need_ - head_have_};
+  return {payload_->data() + payload_have_, payload_->size() - payload_have_};
+}
+
+bool FrameDecoder::finish_header(const Sink& sink) {
+  const std::uint32_t len = read_u32le(head_);
+  const std::uint8_t kind = head_[kKindOffset];
+
+  if (head_need_ == kMinHeader) {
+    // Prefix + kind just completed: validate and learn how much fixed
+    // header follows. Both kinds carry 8 more fixed bytes.
+    if (len > max_frame_bytes_) return poison("frame length exceeds max_frame_bytes");
+    if (kind == kFrameData) {
+      if (len < kDataHeaderLen) return poison("DATA frame shorter than its header");
+    } else if (kind == kFrameHello) {
+      if (len != kHelloBodyLen) return poison("HELLO frame with wrong length");
+    } else {
+      return poison("unknown frame kind");
+    }
+    head_need_ = kMinHeader + 8;
+    return true;
+  }
+
+  // Full fixed header in hand.
+  frame_ = Frame{};
+  frame_.kind = kind;
+  if (kind == kFrameHello) {
+    frame_.incarnation = read_u64le(head_ + kMinHeader);
+    ++frames_;
+    sink(std::move(frame_));
+    stage_ = Stage::kHeader;
+    head_have_ = 0;
+    head_need_ = kMinHeader;
+    return true;
+  }
+
+  frame_.from = read_i32le(head_ + kMinHeader);
+  frame_.to = read_i32le(head_ + kMinHeader + 4);
+  const std::size_t payload_len = len - kDataHeaderLen;
+  payload_ = std::make_shared<Bytes>(payload_len);
+  payload_have_ = 0;
+  if (payload_len == 0) {
+    frame_.payload = std::move(payload_);
+    ++frames_;
+    sink(std::move(frame_));
+    stage_ = Stage::kHeader;
+    head_have_ = 0;
+    head_need_ = kMinHeader;
+    return true;
+  }
+  stage_ = Stage::kPayload;
+  head_have_ = 0;
+  head_need_ = kMinHeader;
+  return true;
+}
+
+bool FrameDecoder::commit(std::size_t n, const Sink& sink) {
+  if (poisoned_) return false;
+  if (n == 0) return true;
+  if (stage_ == Stage::kHeader) {
+    FAUST_CHECK(head_have_ + n <= head_need_);
+    head_have_ += n;
+    if (head_have_ < head_need_) return true;
+    return finish_header(sink);
+  }
+  FAUST_CHECK(payload_have_ + n <= payload_->size());
+  payload_have_ += n;
+  if (payload_have_ < payload_->size()) return true;
+  frame_.payload = std::move(payload_);
+  ++frames_;
+  sink(std::move(frame_));
+  stage_ = Stage::kHeader;
+  return true;
+}
+
+bool FrameDecoder::feed(BytesView data, const Sink& sink) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    if (poisoned_) return false;
+    auto [dst, room] = next_span();
+    const std::size_t take = std::min(room, data.size() - off);
+    std::memcpy(dst, data.data() + off, take);
+    if (!commit(take, sink)) return false;
+    off += take;
+  }
+  return !poisoned_;
+}
+
+}  // namespace faust::sock

@@ -1,0 +1,128 @@
+// Wire framing for the socket transport (DESIGN.md D9).
+//
+// A stream carries a sequence of length-prefixed frames:
+//
+//   [u32 LE len] [u8 kind] [kind-specific header] [payload]
+//
+// `len` counts everything AFTER the 4-byte prefix. Two kinds:
+//
+//   DATA  (kind 1): [i32 LE from] [i32 LE to] [payload]   len >= 9
+//   HELLO (kind 2): [u64 LE incarnation]                  len == 9
+//
+// HELLO is the first frame on every connection, in both directions; its
+// incarnation number is how epoch fencing survives real sockets (a
+// restarted server announces a higher incarnation, so a connection to a
+// dead era is recognisable and droppable — see socket_transport.h).
+//
+// FrameDecoder reassembles frames from arbitrary read boundaries. The
+// payload of a DATA frame is read DIRECTLY into a heap buffer that is
+// handed to the receiver as std::shared_ptr<const Bytes>, preserving the
+// zero-copy on_shared_message path: kernel → payload buffer is the only
+// copy on the receive side, and the USTOR server can pin value slices of
+// that buffer without another one.
+//
+// This is untrusted input (the peer may be an adversary or a corrupted
+// stream): a length prefix above max_frame_bytes, an unknown kind, or a
+// DATA frame shorter than its header poisons the decoder — the caller
+// must close the connection. Truncation mid-frame is NOT an error; the
+// decoder just waits for more bytes (the fuzz suite drives every split
+// point, tests/sock_fuzz_test.cc).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+
+namespace faust::sock {
+
+inline constexpr std::uint8_t kFrameData = 1;
+inline constexpr std::uint8_t kFrameHello = 2;
+
+/// Bytes a DATA frame adds on the socket beyond its payload: the u32
+/// length prefix, the kind byte and the two NodeIds. The transport's
+/// framing-overhead counter is frames * this.
+inline constexpr std::size_t kDataFrameOverhead = 4 + 1 + 4 + 4;
+
+/// Bytes of a whole HELLO frame (prefix + kind + incarnation).
+inline constexpr std::size_t kHelloFrameBytes = 4 + 1 + 8;
+
+/// Encodes a DATA frame (one copy of the payload, exact-size buffer).
+Bytes encode_data_frame(NodeId from, NodeId to, BytesView payload);
+
+/// Encodes a HELLO frame.
+Bytes encode_hello_frame(std::uint64_t incarnation);
+
+/// One decoded frame, handed to the sink as soon as it completes.
+struct Frame {
+  std::uint8_t kind = 0;
+  // DATA:
+  NodeId from = 0;
+  NodeId to = 0;
+  std::shared_ptr<const Bytes> payload;  // never null for DATA (may be empty)
+  // HELLO:
+  std::uint64_t incarnation = 0;
+};
+
+/// Incremental frame reassembly (see file comment).
+///
+/// The read loop asks `next_span()` where the next socket read should
+/// land and for how many bytes at most, reads there, then `commit(n)`s
+/// what actually arrived; completed frames are emitted through the sink.
+/// Header bytes land in a small internal buffer; DATA payload bytes land
+/// in the frame's own shared buffer (no reassembly copy).
+class FrameDecoder {
+ public:
+  using Sink = std::function<void(Frame&&)>;
+
+  explicit FrameDecoder(std::size_t max_frame_bytes) : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Where to put the next bytes, and how many fit. Never returns a zero
+  /// span unless poisoned.
+  std::pair<std::uint8_t*, std::size_t> next_span();
+
+  /// Consumes `n` bytes previously written into next_span() (n <= the
+  /// span size). Emits every frame that completed. Returns false once the
+  /// stream is poisoned (bad length/kind); the connection must be closed
+  /// — no byte after the poison point is interpreted.
+  bool commit(std::size_t n, const Sink& sink);
+
+  /// Convenience for tests/fuzzing: copies `data` through
+  /// next_span()/commit() in maximal chunks.
+  bool feed(BytesView data, const Sink& sink);
+
+  bool poisoned() const { return poisoned_; }
+
+  /// Diagnostic for the poison reason ("" while healthy).
+  const char* error() const { return error_; }
+
+  std::uint64_t frames_decoded() const { return frames_; }
+
+ private:
+  enum class Stage : std::uint8_t { kHeader, kPayload };
+
+  bool poison(const char* why) {
+    poisoned_ = true;
+    error_ = why;
+    return false;
+  }
+  bool finish_header(const Sink& sink);
+
+  const std::size_t max_frame_bytes_;
+  Stage stage_ = Stage::kHeader;
+  // Prefix + kind + the fixed kind-specific header (9 bytes max).
+  std::uint8_t head_[4 + 1 + 9] = {};
+  std::size_t head_have_ = 0;
+  std::size_t head_need_ = 4 + 1;  // grows once the kind is known
+  Frame frame_{};
+  std::shared_ptr<Bytes> payload_;  // DATA payload under construction
+  std::size_t payload_have_ = 0;
+  bool poisoned_ = false;
+  const char* error_ = "";
+  std::uint64_t frames_ = 0;
+};
+
+}  // namespace faust::sock

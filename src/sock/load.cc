@@ -1,0 +1,33 @@
+#include "sock/load.h"
+
+#include <cstdio>
+
+#include "common/hex.h"
+
+namespace faust::sock {
+
+int run_load_process(const scenario::ScenarioConfig& config) {
+  scenario::ScenarioConfig cfg = config;
+  cfg.mode = shard::ExecMode::kProcess;
+  const scenario::ScenarioResult r = scenario::run_scenario(cfg);
+  const std::string digest = hex_encode(BytesView(r.merged_digest.data(), r.merged_digest.size()));
+  std::printf(
+      "RESULT complete=%d failed=%d ops=%llu puts=%llu digest=%s p50_us=%.1f "
+      "p99_us=%.1f max_us=%.1f restarts=%d from_snapshot=%d wal_records=%llu "
+      "duplicate_replies=%llu submit_bytes=%llu payload_bytes=%llu "
+      "socket_bytes=%llu framing_bytes=%llu reconnects=%llu\n",
+      r.complete ? 1 : 0, r.any_failed ? 1 : 0,
+      static_cast<unsigned long long>(r.ops), static_cast<unsigned long long>(r.puts),
+      digest.c_str(), r.p50_us, r.p99_us, r.max_us, r.restarts,
+      r.restarts_from_snapshot, static_cast<unsigned long long>(r.wal_records),
+      static_cast<unsigned long long>(r.duplicate_replies),
+      static_cast<unsigned long long>(r.submit_payload_bytes),
+      static_cast<unsigned long long>(r.wire_payload_bytes),
+      static_cast<unsigned long long>(r.wire_socket_bytes),
+      static_cast<unsigned long long>(r.wire_framing_bytes),
+      static_cast<unsigned long long>(r.wire_reconnects));
+  std::fflush(stdout);
+  return r.complete && !r.any_failed ? 0 : 1;
+}
+
+}  // namespace faust::sock

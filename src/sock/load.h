@@ -1,0 +1,25 @@
+// The `faust_sockd load` entry point: the loopback load generator
+// (DESIGN.md D9). Runs a seeded scenario workload in ExecMode::kProcess —
+// this process holds every shard's CLIENT side and spawns the shard
+// worker processes itself — and prints one RESULT line so a parent
+// harness (the acceptance test, the storm bench) can compare the merged
+// digest against the deterministic in-process oracle without sharing any
+// memory with the deployment under test.
+#pragma once
+
+#include "scenario/runner.h"
+
+namespace faust::sock {
+
+/// Runs the scenario (mode forced to kProcess), prints
+///
+///   RESULT complete=<0|1> failed=<0|1> ops=<N> puts=<N> digest=<hex>
+///          p50_us=<f> p99_us=<f> max_us=<f> restarts=<N>
+///          from_snapshot=<N> wal_records=<N> duplicate_replies=<N>
+///          submit_bytes=<N> payload_bytes=<N> socket_bytes=<N>
+///          framing_bytes=<N> reconnects=<N>
+///
+/// on stdout, and returns 0 iff the run completed with no client failed.
+int run_load_process(const scenario::ScenarioConfig& config);
+
+}  // namespace faust::sock

@@ -1,0 +1,207 @@
+#include "sock/process_cluster.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace faust::sock {
+namespace {
+
+/// Parses "key=value" fields out of a READY/STATS line.
+std::optional<std::string> field(const std::string& line, const std::string& key) {
+  const std::string needle = key + "=";
+  std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  pos += needle.size();
+  const std::size_t end = line.find(' ', pos);
+  return line.substr(pos, end == std::string::npos ? std::string::npos : end - pos);
+}
+
+std::uint64_t field_u64(const std::string& line, const std::string& key) {
+  const auto v = field(line, key);
+  return v.has_value() ? std::strtoull(v->c_str(), nullptr, 10) : 0;
+}
+
+}  // namespace
+
+ProcessCluster::ProcessCluster(std::chrono::milliseconds ready_timeout)
+    : ready_timeout_(ready_timeout) {}
+
+ProcessCluster::~ProcessCluster() {
+  for (auto& child : children_) {
+    if (child.pid > 0) {
+      ::kill(child.pid, SIGKILL);
+      int status = 0;
+      reap(child, &status);
+    }
+    if (child.out_fd >= 0) ::close(child.out_fd);
+  }
+}
+
+std::size_t ProcessCluster::add(std::string worker_path, std::vector<std::string> args) {
+  Child child;
+  child.worker = std::move(worker_path);
+  child.args = std::move(args);
+  spawn(child);
+  children_.push_back(std::move(child));
+  return children_.size() - 1;
+}
+
+void ProcessCluster::spawn(Child& child) {
+  int pipe_fds[2];
+  FAUST_CHECK(::pipe2(pipe_fds, O_CLOEXEC) == 0);
+
+  std::vector<std::string> argv_strings;
+  argv_strings.push_back(child.worker);
+  for (const auto& a : child.args) argv_strings.push_back(a);
+  argv_strings.push_back("--incarnation");
+  argv_strings.push_back(std::to_string(child.incarnation));
+  std::vector<char*> argv;
+  argv.reserve(argv_strings.size() + 1);
+  for (auto& s : argv_strings) argv.push_back(s.data());
+  argv.push_back(nullptr);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const pid_t pid = ::fork();
+  FAUST_CHECK(pid >= 0);
+  if (pid == 0) {
+    // Child: stdout becomes the protocol pipe; stderr stays inherited so
+    // sanitizer reports and crashes surface in the parent's terminal.
+    ::dup2(pipe_fds[1], STDOUT_FILENO);
+    ::close(pipe_fds[1]);
+    ::close(pipe_fds[0]);
+    ::execv(argv[0], argv.data());
+    // exec failed; say so on the inherited stderr and die hard.
+    const char* msg = "faust_sockd exec failed\n";
+    [[maybe_unused]] const auto n = ::write(STDERR_FILENO, msg, std::strlen(msg));
+    ::_exit(127);
+  }
+  ::close(pipe_fds[1]);
+  child.pid = pid;
+  child.out_fd = pipe_fds[0];
+
+  const auto ready = read_line_with_prefix(child, "READY ", ready_timeout_);
+  FAUST_CHECK(ready.has_value() && "worker printed no READY line");
+  const auto t1 = std::chrono::steady_clock::now();
+
+  const auto addr = field(*ready, "addr");
+  FAUST_CHECK(addr.has_value());
+  const auto ep = Endpoint::parse(*addr);
+  FAUST_CHECK(ep.has_value());
+  child.ready.endpoint = *ep;
+  child.ready.recovered = field(*ready, "recovered").value_or("none");
+  child.ready.records = static_cast<std::size_t>(field_u64(*ready, "records"));
+  child.ready.incarnation = field_u64(*ready, "incarnation");
+  child.ready.spawn_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(t1 - t0)
+          .count();
+  child.up = true;
+
+  // Pin an ephemeral TCP port after the first bind: a restarted child
+  // must come back at the SAME address, or the client side's registry
+  // would point into the void.
+  for (std::size_t i = 0; i + 1 < child.args.size(); ++i) {
+    if (child.args[i] == "--listen") {
+      child.args[i + 1] = child.ready.endpoint.uri();
+      break;
+    }
+  }
+}
+
+void ProcessCluster::reap(Child& child, int* status) {
+  if (child.pid <= 0) return;
+  ::waitpid(child.pid, status, 0);
+  child.pid = -1;
+  child.up = false;
+}
+
+std::optional<std::string> ProcessCluster::read_line_with_prefix(
+    Child& child, const char* prefix, std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::string buf;
+  while (true) {
+    // A complete line already buffered?
+    std::size_t nl;
+    while ((nl = buf.find('\n')) != std::string::npos) {
+      const std::string line = buf.substr(0, nl);
+      buf.erase(0, nl + 1);
+      if (line.rfind(prefix, 0) == 0) return line;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return std::nullopt;
+    pollfd pfd{child.out_fd, POLLIN, 0};
+    const auto wait =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    const int r = ::poll(&pfd, 1, static_cast<int>(wait.count()) + 1);
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      return std::nullopt;
+    }
+    char chunk[512];
+    const auto n = ::read(child.out_fd, chunk, sizeof(chunk));
+    if (n <= 0) return std::nullopt;  // EOF: the child died
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+bool ProcessCluster::up(std::size_t idx) const {
+  FAUST_CHECK(idx < children_.size());
+  return children_[idx].up;
+}
+
+const ReadyInfo& ProcessCluster::info(std::size_t idx) const {
+  FAUST_CHECK(idx < children_.size());
+  return children_[idx].ready;
+}
+
+void ProcessCluster::kill(std::size_t idx) {
+  FAUST_CHECK(idx < children_.size());
+  Child& child = children_[idx];
+  FAUST_CHECK(child.pid > 0);
+  ::kill(child.pid, SIGKILL);
+  int status = 0;
+  reap(child, &status);
+  ::close(child.out_fd);
+  child.out_fd = -1;
+}
+
+const ReadyInfo& ProcessCluster::restart(std::size_t idx) {
+  FAUST_CHECK(idx < children_.size());
+  Child& child = children_[idx];
+  FAUST_CHECK(child.pid <= 0 && "restart of a live child");
+  child.incarnation += 1;
+  spawn(child);
+  ++restarts_;
+  if (child.ready.recovered == "snapshot") ++restarts_from_snapshot_;
+  return child.ready;
+}
+
+std::optional<ServerStats> ProcessCluster::shutdown(std::size_t idx) {
+  FAUST_CHECK(idx < children_.size());
+  Child& child = children_[idx];
+  if (child.pid <= 0) return std::nullopt;
+  ::kill(child.pid, SIGTERM);
+  const auto stats_line = read_line_with_prefix(child, "STATS ", ready_timeout_);
+  int status = 0;
+  reap(child, &status);
+  ::close(child.out_fd);
+  child.out_fd = -1;
+  if (!stats_line.has_value()) return std::nullopt;
+  ServerStats stats;
+  stats.wal_records = field_u64(*stats_line, "wal_records");
+  stats.snapshots_written = field_u64(*stats_line, "snapshots_written");
+  stats.snapshots_rejected = field_u64(*stats_line, "snapshots_rejected");
+  stats.duplicate_replies = field_u64(*stats_line, "duplicate_replies");
+  stats.clean_exit = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+  return stats;
+}
+
+}  // namespace faust::sock

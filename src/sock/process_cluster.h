@@ -1,0 +1,149 @@
+// sock::ProcessCluster — real OS processes as deployment units
+// (DESIGN.md D9).
+//
+// Each child is one `faust_sockd serve` worker: a shard's durable server
+// (PR 7 PersistentServer) plus optionally its cache node (PR 8), behind
+// a listening SocketTransport. The parent fork/execs the worker, learns
+// the bound address (ephemeral TCP ports included) from the child's
+// READY line on stdout, SIGKILLs it for crash injection (extending
+// scenario::KillEvent to real processes), respawns it with a bumped
+// incarnation for recovery-from-disk, and SIGTERMs it at the end to
+// collect the durability counters from its STATS line.
+//
+// The stdout protocol (one line each, key=value fields):
+//
+//   READY addr=<uri> recovered=<none|snapshot|replay> records=<N>
+//         incarnation=<K>
+//   STATS wal_records=<N> snapshots_written=<N> snapshots_rejected=<N>
+//         duplicate_replies=<N>
+//
+// Kill/restart composes with the transport-level fencing: the deployment
+// layer (shard::ShardedCluster) fences the victim's NodeIds on the
+// client-side transport BEFORE the SIGKILL and unfences AFTER the
+// respawned child printed READY, so queued pre-crash bytes are dropped
+// rather than flushed into the restarted era (socket_transport.h).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sock/endpoint.h"
+
+namespace faust::sock {
+
+/// What a child announced when it came up.
+struct ReadyInfo {
+  Endpoint endpoint;
+  std::string recovered = "none";  // none | snapshot | replay
+  std::size_t records = 0;         // WAL records delivered at recovery
+  std::uint64_t incarnation = 1;
+  double spawn_ms = 0;  // fork → READY wall time (includes recovery)
+};
+
+/// Durability counters a child reports at graceful shutdown.
+struct ServerStats {
+  std::uint64_t wal_records = 0;
+  std::uint64_t snapshots_written = 0;
+  std::uint64_t snapshots_rejected = 0;
+  std::uint64_t duplicate_replies = 0;
+  bool clean_exit = false;  // exited 0 (sanitizer-clean under ASan builds)
+};
+
+/// How shard::ShardedCluster deploys shards as processes
+/// (ExecMode::kProcess; see sharded_cluster.h).
+struct ProcessOptions {
+  /// Path to the faust_sockd binary (tests/benches get it injected via
+  /// the FAUST_SOCKD_PATH compile definition).
+  std::string worker_path;
+  /// true: loopback TCP (ephemeral ports); false: UDS under the
+  /// durability root. The acceptance scenario runs TCP.
+  bool use_tcp = false;
+  /// Real duration of one executor tick on BOTH sides of the socket.
+  /// Must be > 0: with tick 0 a runtime fast-forwards through timer
+  /// deadlines, and a probe/timeout timer would fire virtually "late"
+  /// while the real reply is still microseconds away on the wire.
+  std::chrono::nanoseconds tick{1'000};
+  /// Protocol timers (FaustConfig periods, mailbox delays, cache
+  /// lookup_timeout) are multiplied by this for process shards: periods
+  /// tuned for sim ticks are far too aggressive against real
+  /// socket+scheduling latency (the satellite timeout audit).
+  std::uint64_t timer_scale = 20;
+  /// First `process_shards` shards run as real processes; the rest stay
+  /// in-process threaded shards (the "one real shard, rest simulated"
+  /// milestone). SIZE_MAX = all shards.
+  std::size_t process_shards = static_cast<std::size_t>(-1);
+  /// Start the worker WITHOUT its cache node even when the shard
+  /// template enables the cache: CacheClients then time out their
+  /// lookups against a silent endpoint and fall back to the shard path
+  /// (the lookup_timeout→miss satellite test).
+  bool cache_mute = false;
+  /// How long to wait for a child's READY line (recovery included).
+  std::chrono::milliseconds ready_timeout{30'000};
+};
+
+/// Launch/kill/restart real worker processes (see file comment).
+class ProcessCluster {
+ public:
+  explicit ProcessCluster(std::chrono::milliseconds ready_timeout);
+
+  /// SIGKILLs and reaps anything still running.
+  ~ProcessCluster();
+
+  ProcessCluster(const ProcessCluster&) = delete;
+  ProcessCluster& operator=(const ProcessCluster&) = delete;
+
+  /// Spawns `worker_path` with `args` (argv after the program name;
+  /// "--incarnation <k>" is appended by the cluster) and waits for its
+  /// READY line. FAUST_CHECKs on spawn or READY failure — a worker that
+  /// cannot come up is a harness bug, not a scenario outcome. Returns the
+  /// child's index.
+  std::size_t add(std::string worker_path, std::vector<std::string> args);
+
+  std::size_t size() const { return children_.size(); }
+  bool up(std::size_t idx) const;
+  const ReadyInfo& info(std::size_t idx) const;
+
+  /// SIGKILL + reap: the crash injection. No cleanup runs in the child.
+  void kill(std::size_t idx);
+
+  /// Respawns a killed child with the same args (same durability dir,
+  /// same address — an ephemeral TCP port is pinned after the first
+  /// READY) and a bumped incarnation; waits for READY. Returns the new
+  /// ReadyInfo (recovered= tells snapshot vs replay).
+  const ReadyInfo& restart(std::size_t idx);
+
+  /// SIGTERM, collect the STATS line, reap. nullopt when the child was
+  /// not up or printed no STATS.
+  std::optional<ServerStats> shutdown(std::size_t idx);
+
+  int restarts() const { return restarts_; }
+  int restarts_from_snapshot() const { return restarts_from_snapshot_; }
+
+ private:
+  struct Child {
+    pid_t pid = -1;
+    int out_fd = -1;  // read side of the child's stdout pipe
+    std::string worker;
+    std::vector<std::string> args;
+    std::uint64_t incarnation = 1;
+    ReadyInfo ready;
+    bool up = false;
+  };
+
+  void spawn(Child& child);
+  void reap(Child& child, int* status);
+  /// Reads lines from the child's stdout until one starts with `prefix`
+  /// (returned) or the deadline/EOF hits (nullopt).
+  std::optional<std::string> read_line_with_prefix(Child& child, const char* prefix,
+                                                   std::chrono::milliseconds timeout);
+
+  const std::chrono::milliseconds ready_timeout_;
+  std::vector<Child> children_;
+  int restarts_ = 0;
+  int restarts_from_snapshot_ = 0;
+};
+
+}  // namespace faust::sock

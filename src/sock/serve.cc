@@ -1,0 +1,86 @@
+#include "sock/serve.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <thread>
+
+#include "cache/cache_wire.h"
+#include "rt/threaded_runtime.h"
+#include "sock/socket_transport.h"
+#include "storage/persistent_server.h"
+
+namespace faust::sock {
+namespace {
+
+volatile sig_atomic_t g_terminate = 0;
+
+void on_sigterm(int) { g_terminate = 1; }
+
+}  // namespace
+
+int run_server_process(const ServeOptions& options) {
+  struct sigaction sa = {};
+  sa.sa_handler = on_sigterm;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
+  std::filesystem::create_directories(options.dir);
+
+  rt::ThreadedRuntimeConfig rc;
+  rc.tick = options.tick;
+  rt::ThreadedRuntime runtime(rc);
+
+  SocketTransportConfig tc;
+  tc.listen = options.listen;
+  tc.incarnation = options.incarnation;
+  tc.max_frame_bytes = options.max_frame_bytes;
+  SocketTransport transport(runtime, tc);
+
+  // Recovery happens in this constructor (WAL replay / snapshot load);
+  // the attach at its end opens the shop — clients may already be
+  // dialling, and their frames will post onto the runtime from here on.
+  storage::PersistentServer server(options.n, transport, options.dir,
+                                   storage::DurabilityOptions{options.snapshot_every});
+
+  std::unique_ptr<cache::CacheNode> cache_node;
+  if (options.cache) {
+    cache_node = std::make_unique<cache::CacheNode>(cache::kCacheNodeId, transport,
+                                                    runtime, options.n, options.cache_opts);
+  }
+
+  const char* recovered = server.recovered_records() == 0 ? "none"
+                          : server.recovered_from_snapshot() ? "snapshot"
+                                                             : "replay";
+  std::printf("READY addr=%s recovered=%s records=%zu incarnation=%llu\n",
+              transport.bound_endpoint().uri().c_str(), recovered,
+              server.recovered_records(),
+              static_cast<unsigned long long>(options.incarnation));
+  std::fflush(stdout);
+
+  while (g_terminate == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  // Graceful teardown (SIGTERM only — a SIGKILLed crash never gets
+  // here): stop the runtime so no handler is mid-flight, then report the
+  // durability counters while the server object is still warm.
+  runtime.stop();
+  std::printf("STATS wal_records=%llu snapshots_written=%llu snapshots_rejected=%llu "
+              "duplicate_replies=%llu\n",
+              static_cast<unsigned long long>(server.wal_records()),
+              static_cast<unsigned long long>(server.snapshots_written()),
+              static_cast<unsigned long long>(server.snapshots_rejected()),
+              static_cast<unsigned long long>(server.duplicate_replies()));
+  std::fflush(stdout);
+  return 0;
+  // Scope unwind: cache node and server detach from the transport, THEN
+  // the transport stops its loop, THEN the runtime dies — the same order
+  // ShardedCluster uses in-process.
+}
+
+}  // namespace faust::sock

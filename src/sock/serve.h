@@ -1,0 +1,34 @@
+// The `faust_sockd serve` entry point: one shard's server-side FAUST
+// deployment as a standalone process (DESIGN.md D9; see process_cluster.h
+// for the stdout READY/STATS protocol this implements).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "cache/cache_node.h"
+#include "sock/endpoint.h"
+
+namespace faust::sock {
+
+/// Flags of the serve subcommand (parsed in tools/faust_sockd.cpp).
+struct ServeOptions {
+  int n = 3;                      // clients of this shard's deployment
+  Endpoint listen;                // where to accept (tcp port 0 = ephemeral)
+  std::string dir;                // durability directory (WAL + snapshot)
+  std::size_t snapshot_every = 64;
+  std::chrono::nanoseconds tick{1'000};  // executor tick pacing
+  std::uint64_t incarnation = 1;  // bumped by ProcessCluster per restart
+  bool cache = false;             // own a cache::CacheNode
+  cache::CacheOptions cache_opts; // arena/ttl when cache is on
+  std::size_t max_frame_bytes = 64u << 20;
+};
+
+/// Runs the server process: binds, recovers the durable server from
+/// `dir`, prints READY, serves until SIGTERM, prints STATS, exits 0.
+/// SIGKILL (the crash injection) skips all of the teardown — that is the
+/// point.
+int run_server_process(const ServeOptions& options);
+
+}  // namespace faust::sock

@@ -1,0 +1,658 @@
+#include "sock/socket_transport.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+
+#include "common/check.h"
+
+namespace faust::sock {
+namespace {
+
+std::uint8_t leading_tag(const Bytes& msg) { return msg.empty() ? 0 : msg[0]; }
+
+}  // namespace
+
+SocketTransport::SocketTransport(exec::Executor& exec, SocketTransportConfig config)
+    : exec_(exec), config_(std::move(config)) {
+  int pipe_fds[2];
+  FAUST_CHECK(::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) == 0);
+  wake_rd_ = pipe_fds[0];
+  wake_wr_ = pipe_fds[1];
+
+  if (config_.listen.has_value()) {
+    std::string err;
+    listen_fd_ = listen_socket(*config_.listen, bound_, err);
+    if (listen_fd_ < 0) {
+      FAUST_CHECK(false && "SocketTransport listen failed");  // deployment bug
+    }
+  }
+
+  // Pool peers by endpoint: NodeIds sharing an address share a stream.
+  for (const auto& [id, ep] : config_.peers) {
+    auto it = peers_.find(ep);
+    if (it == peers_.end()) {
+      auto peer = std::make_unique<Peer>();
+      peer->ep = ep;
+      it = peers_.emplace(ep, std::move(peer)).first;
+    }
+    static_routes_[id] = it->second.get();
+  }
+
+  loop_thread_ = std::thread([this] { loop(); });
+}
+
+SocketTransport::~SocketTransport() {
+  stopping_.store(true, std::memory_order_release);
+  wake();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  for (auto& conn : conns_) {
+    if (conn->fd >= 0) ::close(conn->fd);
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (config_.listen.has_value() && bound_.kind == Endpoint::Kind::kUds) {
+    ::unlink(bound_.path.c_str());
+  }
+  ::close(wake_rd_);
+  ::close(wake_wr_);
+}
+
+void SocketTransport::attach(NodeId id, net::Node& node) {
+  std::shared_ptr<LocalNode> box;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = nodes_[id];
+    if (slot == nullptr) slot = std::make_shared<LocalNode>();
+    box = slot;
+  }
+  std::lock_guard<std::mutex> node_lock(box->mu);
+  box->node = &node;
+}
+
+void SocketTransport::detach(NodeId id) {
+  std::shared_ptr<LocalNode> box;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = nodes_.find(id);
+    if (it == nodes_.end()) return;
+    box = it->second;
+  }
+  std::lock_guard<std::mutex> node_lock(box->mu);
+  box->node = nullptr;
+}
+
+void SocketTransport::send(NodeId from, NodeId to, Bytes msg) {
+  std::shared_ptr<LocalNode> local;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_.load(std::memory_order_acquire)) return;
+    if (fenced_.count(to) > 0 || fenced_.count(from) > 0) {
+      ++wire_.fenced_drops;
+      return;
+    }
+    // Payload counters stamped for every accepted message, local or
+    // remote, so bytes/op match the Network/ThreadBus mirrors.
+    const std::uint8_t tag = leading_tag(msg);
+    const std::size_t bucket = tag < net::Network::kTypeBuckets ? tag : 0;
+    auto& ch = channels_[{from, to}];
+    ch.stats.messages += 1;
+    ch.stats.bytes += msg.size();
+    ch.by_type[bucket].messages += 1;
+    ch.by_type[bucket].bytes += msg.size();
+    total_.stats.messages += 1;
+    total_.stats.bytes += msg.size();
+    total_.by_type[bucket].messages += 1;
+    total_.by_type[bucket].bytes += msg.size();
+
+    // Local targets are decided by box presence alone (a box exists once
+    // the node was ever attached here); whether the node is CURRENTLY
+    // attached is checked at delivery time, under the box lock — taking
+    // it here would invert the box→mu_ lock order delivery tasks use.
+    auto it = nodes_.find(to);
+    if (it != nodes_.end()) local = it->second;
+    if (local == nullptr) {
+      Outgoing out;
+      out.from = from;
+      out.to = to;
+      out.frame = encode_data_frame(from, to, BytesView(msg));
+      ingress_.push_back(std::move(out));
+    }
+  }
+  if (local != nullptr) {
+    // Loopback without a socket: same executor hand-off as a received
+    // frame, so ordering and threading look identical either way.
+    deliver(from, to, std::make_shared<const Bytes>(std::move(msg)));
+    return;
+  }
+  wake();
+}
+
+void SocketTransport::fence(NodeId id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fenced_.insert(id);
+    // Frames already handed over but not yet routed die here too.
+    auto it = ingress_.begin();
+    while (it != ingress_.end()) {
+      if (it->to == id || it->from == id) {
+        ++wire_.fenced_drops;
+        it = ingress_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  fence_dirty_.store(true, std::memory_order_release);
+  wake();
+}
+
+void SocketTransport::unfence(NodeId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fenced_.erase(id);
+}
+
+bool SocketTransport::fenced(NodeId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fenced_.count(id) > 0;
+}
+
+net::ChannelStats SocketTransport::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_.stats;
+}
+
+net::Network::TypeStats SocketTransport::total_by_type() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_.by_type;
+}
+
+net::ChannelStats SocketTransport::total_for(std::uint8_t tag) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_.by_type[tag < net::Network::kTypeBuckets ? tag : 0];
+}
+
+net::ChannelStats SocketTransport::channel(NodeId from, NodeId to) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = channels_.find({from, to});
+  return it == channels_.end() ? net::ChannelStats{} : it->second.stats;
+}
+
+net::ChannelStats SocketTransport::channel_for(NodeId from, NodeId to,
+                                               std::uint8_t tag) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = channels_.find({from, to});
+  if (it == channels_.end()) return {};
+  return it->second.by_type[tag < net::Network::kTypeBuckets ? tag : 0];
+}
+
+WireStats SocketTransport::wire() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wire_;
+}
+
+void SocketTransport::wake() {
+  const std::uint8_t b = 1;
+  // EAGAIN means a wake byte is already pending — good enough.
+  [[maybe_unused]] const auto n = ::write(wake_wr_, &b, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Loop thread
+// ---------------------------------------------------------------------------
+
+void SocketTransport::loop() {
+  std::vector<pollfd> pfds;
+  std::vector<Conn*> pfd_conns;
+
+  while (!stopping_.load(std::memory_order_acquire)) {
+    if (fence_dirty_.exchange(false, std::memory_order_acq_rel)) purge_fenced();
+    drain_ingress();
+
+    pfds.clear();
+    pfd_conns.clear();
+    pfds.push_back({wake_rd_, POLLIN, 0});
+    pfd_conns.push_back(nullptr);
+    if (listen_fd_ >= 0) {
+      pfds.push_back({listen_fd_, POLLIN, 0});
+      pfd_conns.push_back(nullptr);
+    }
+    for (auto& conn : conns_) {
+      if (conn->fd < 0) continue;
+      short events = POLLIN;
+      if (conn->connecting || !conn->txq.empty()) events |= POLLOUT;
+      pfds.push_back({conn->fd, events, 0});
+      pfd_conns.push_back(conn.get());
+    }
+
+    // Block until I/O, a wake, or the next dial-retry deadline.
+    int timeout_ms = -1;
+    const auto now = std::chrono::steady_clock::now();
+    for (auto& [ep, peer] : peers_) {
+      if (peer->conn != nullptr || peer->pending.empty()) continue;
+      const auto dt =
+          std::chrono::duration_cast<std::chrono::milliseconds>(peer->next_dial - now);
+      const int ms = std::max<int>(0, static_cast<int>(dt.count()));
+      if (timeout_ms < 0 || ms < timeout_ms) timeout_ms = ms;
+    }
+
+    const int ready = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (ready < 0 && errno != EINTR) break;  // unrecoverable; tear down
+
+    if (pfds[0].revents & POLLIN) {
+      std::uint8_t buf[256];
+      while (::read(wake_rd_, buf, sizeof(buf)) > 0) {
+      }
+    }
+    std::size_t idx = 1;
+    if (listen_fd_ >= 0) {
+      if (pfds[idx].revents & POLLIN) accept_ready();
+      ++idx;
+    }
+    for (; idx < pfds.size(); ++idx) {
+      Conn* conn = pfd_conns[idx];
+      if (conn == nullptr || conn->fd < 0) continue;
+      const short re = pfds[idx].revents;
+      if (re & (POLLERR | POLLHUP | POLLNVAL)) {
+        if (conn->connecting) {
+          on_dial_result(*conn, false);
+        } else if (re & POLLHUP) {
+          // Half-close: drain what is readable, then close on EOF.
+          if (re & POLLIN) handle_readable(*conn);
+          if (conn->fd >= 0) close_conn(*conn, true);
+        } else {
+          close_conn(*conn, true);
+        }
+        continue;
+      }
+      if (re & POLLOUT) handle_writable(*conn);
+      if (conn->fd >= 0 && (re & POLLIN)) handle_readable(*conn);
+    }
+
+    // Dial retries whose backoff expired.
+    const auto after = std::chrono::steady_clock::now();
+    for (auto& [ep, peer] : peers_) {
+      if (peer->conn == nullptr && !peer->pending.empty() && peer->next_dial <= after) {
+        ensure_dialing(*peer);
+      }
+    }
+
+    // Sweep closed connections.
+    conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                [](const std::unique_ptr<Conn>& c) { return c->fd < 0; }),
+                 conns_.end());
+  }
+}
+
+void SocketTransport::purge_fenced() {
+  std::unordered_set<NodeId> fenced;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fenced = fenced_;
+  }
+  if (fenced.empty()) return;
+  std::uint64_t drops = 0;
+  const auto is_fenced = [&fenced](NodeId id) { return fenced.count(id) > 0; };
+  for (auto& [ep, peer] : peers_) {
+    auto it = peer->pending.begin();
+    while (it != peer->pending.end()) {
+      if (is_fenced(it->first)) {
+        peer->pending_bytes -= it->second.size();
+        it = peer->pending.erase(it);
+        ++drops;
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& conn : conns_) {
+    if (conn->fd < 0) continue;
+    // The head frame may be partially on the wire; a truncated frame
+    // would poison the stream for every other peer on this connection,
+    // so it ships whole — equivalent to a byte in flight at kill time.
+    std::size_t i = conn->tx_off > 0 ? 1 : 0;
+    while (i < conn->txq.size()) {
+      if (is_fenced(conn->txq[i].first)) {
+        conn->txq_bytes -= conn->txq[i].second.size();
+        conn->txq.erase(conn->txq.begin() + static_cast<std::ptrdiff_t>(i));
+        ++drops;
+      } else {
+        ++i;
+      }
+    }
+  }
+  if (drops > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    wire_.fenced_drops += drops;
+  }
+}
+
+void SocketTransport::drain_ingress() {
+  std::deque<Outgoing> batch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch.swap(ingress_);
+  }
+  for (auto& out : batch) route_frame(std::move(out));
+}
+
+void SocketTransport::route_frame(Outgoing&& out) {
+  auto sit = static_routes_.find(out.to);
+  if (sit != static_routes_.end()) {
+    Peer& peer = *sit->second;
+    if (peer.conn != nullptr && !peer.conn->connecting) {
+      enqueue_frame(*peer.conn, out.to, std::move(out.frame));
+      return;
+    }
+    if (peer.pending_bytes + out.frame.size() > config_.send_queue_bytes) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++wire_.overflow_drops;
+      return;
+    }
+    peer.pending_bytes += out.frame.size();
+    peer.pending.emplace_back(out.to, std::move(out.frame));
+    ensure_dialing(peer);
+    return;
+  }
+  auto lit = learned_routes_.find(out.to);
+  if (lit != learned_routes_.end() && lit->second->fd >= 0) {
+    enqueue_frame(*lit->second, out.to, std::move(out.frame));
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++wire_.unroutable_drops;
+}
+
+void SocketTransport::enqueue_frame(Conn& conn, NodeId to, Bytes frame) {
+  if (conn.txq_bytes + frame.size() > config_.send_queue_bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++wire_.overflow_drops;
+    return;
+  }
+  conn.txq_bytes += frame.size();
+  conn.txq.emplace_back(to, std::move(frame));
+  handle_writable(conn);
+}
+
+void SocketTransport::ensure_dialing(Peer& peer) {
+  if (peer.conn != nullptr) return;
+  const auto now = std::chrono::steady_clock::now();
+  if (peer.next_dial > now) return;
+
+  bool in_progress = false;
+  std::string err;
+  const int fd = connect_socket(peer.ep, in_progress, err);
+  if (fd < 0) {
+    on_dial_failure(peer);
+    return;
+  }
+  auto conn = std::make_unique<Conn>(config_.max_frame_bytes);
+  conn->fd = fd;
+  conn->dialed = true;
+  conn->connecting = in_progress;
+  conn->peer = &peer;
+  peer.conn = conn.get();
+  Conn& ref = *conn;
+  conns_.push_back(std::move(conn));
+  if (!in_progress) conn_established(ref);
+}
+
+void SocketTransport::on_dial_failure(Peer& peer) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++wire_.connect_failures;
+  }
+  const int shift = std::min(peer.attempts, 16);
+  auto delay = config_.backoff_min * (1 << shift);
+  if (delay > config_.backoff_max || delay.count() <= 0) delay = config_.backoff_max;
+  peer.attempts += 1;
+  peer.next_dial = std::chrono::steady_clock::now() + delay;
+}
+
+void SocketTransport::on_dial_result(Conn& conn, bool ok) {
+  if (ok) {
+    conn.connecting = false;
+    conn_established(conn);
+    return;
+  }
+  Peer* peer = conn.peer;
+  close_conn(conn, false);  // nothing was ever written; pending stays queued
+  if (peer != nullptr) on_dial_failure(*peer);
+}
+
+void SocketTransport::conn_established(Conn& conn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++wire_.connects;
+    if (conn.peer != nullptr && conn.peer->was_up) ++wire_.reconnects;
+  }
+  conn.txq_bytes += kHelloFrameBytes;
+  conn.txq.emplace_front(NodeId{0}, encode_hello_frame(config_.incarnation));
+  if (conn.peer != nullptr) {
+    conn.peer->was_up = true;
+    conn.peer->attempts = 0;
+    while (!conn.peer->pending.empty()) {
+      auto& [to, frame] = conn.peer->pending.front();
+      conn.txq_bytes += frame.size();
+      conn.txq.emplace_back(to, std::move(frame));
+      conn.peer->pending.pop_front();
+    }
+    conn.peer->pending_bytes = 0;
+  }
+  handle_writable(conn);
+}
+
+void SocketTransport::handle_writable(Conn& conn) {
+  if (conn.fd < 0) return;
+  if (conn.connecting) {
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(conn.fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+        so_error != 0) {
+      on_dial_result(conn, false);
+      return;
+    }
+    on_dial_result(conn, true);
+    return;
+  }
+  std::uint64_t bytes_out = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t framing_out = 0;
+  while (!conn.txq.empty()) {
+    const Bytes& frame = conn.txq.front().second;
+    const auto n =
+        ::write(conn.fd, frame.data() + conn.tx_off, frame.size() - conn.tx_off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (bytes_out > 0) flush_write_stats(bytes_out, frames_out, framing_out);
+      close_conn(conn, true);
+      return;
+    }
+    bytes_out += static_cast<std::uint64_t>(n);
+    conn.tx_off += static_cast<std::size_t>(n);
+    if (conn.tx_off < frame.size()) break;
+    ++frames_out;
+    framing_out += frame.size() > 4 && frame[4] == kFrameHello ? frame.size()
+                                                               : kDataFrameOverhead;
+    conn.txq_bytes -= frame.size();
+    conn.txq.pop_front();
+    conn.tx_off = 0;
+  }
+  if (bytes_out > 0 || frames_out > 0) flush_write_stats(bytes_out, frames_out, framing_out);
+}
+
+void SocketTransport::flush_write_stats(std::uint64_t bytes, std::uint64_t frames,
+                                        std::uint64_t framing) {
+  std::lock_guard<std::mutex> lock(mu_);
+  wire_.socket_bytes_out += bytes;
+  wire_.frames_out += frames;
+  wire_.framing_bytes_out += framing;
+}
+
+void SocketTransport::handle_readable(Conn& conn) {
+  // Hybrid read strategy: a large outstanding payload span is read
+  // straight into the frame's shared buffer (kernel → payload is the only
+  // copy — the zero-copy receive path); header bytes and small frames go
+  // through a scratch buffer so one syscall can cover many small frames.
+  std::uint8_t scratch[4096];
+  const auto sink = [this, &conn](Frame&& f) {
+    if (conn.fd >= 0) on_frame(conn, std::move(f));
+  };
+  while (conn.fd >= 0) {
+    auto [dst, room] = conn.decoder.next_span();
+    if (room == 0) {  // poisoned decoder that somehow survived: close
+      close_conn(conn, true);
+      return;
+    }
+    const bool direct = room >= sizeof(scratch);
+    const auto n =
+        ::read(conn.fd, direct ? dst : scratch, direct ? room : sizeof(scratch));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      close_conn(conn, true);
+      return;
+    }
+    if (n == 0) {  // EOF — the peer process closed or died
+      close_conn(conn, true);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      wire_.socket_bytes_in += static_cast<std::uint64_t>(n);
+    }
+    const bool ok =
+        direct ? conn.decoder.commit(static_cast<std::size_t>(n), sink)
+               : conn.decoder.feed(BytesView(scratch, static_cast<std::size_t>(n)), sink);
+    if (!ok && conn.fd >= 0) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++wire_.framing_errors;
+      }
+      close_conn(conn, true);
+      return;
+    }
+  }
+}
+
+void SocketTransport::on_frame(Conn& conn, Frame&& f) {
+  if (f.kind == kFrameHello) {
+    conn.hello_seen = true;
+    conn.peer_incarnation = f.incarnation;
+    if (conn.dialed && conn.peer != nullptr) {
+      if (f.incarnation < conn.peer->max_incarnation) {
+        // A zombie stream of a dead era (the peer restarted and we
+        // already spoke to the new incarnation): nothing from it may be
+        // delivered.
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++wire_.stale_era_drops;
+        }
+        close_conn(conn, true);
+        return;
+      }
+      conn.peer->max_incarnation = f.incarnation;
+    }
+    return;
+  }
+  // DATA. A peer speaking DATA before HELLO is not our protocol.
+  if (!conn.hello_seen) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++wire_.framing_errors;
+    }
+    close_conn(conn, true);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++wire_.frames_in;
+    if (fenced_.count(f.from) > 0 || fenced_.count(f.to) > 0) {
+      ++wire_.fenced_drops;
+      return;
+    }
+  }
+  // Learn the return route: replies to f.from ride this connection (the
+  // server side never dials clients).
+  learned_routes_[f.from] = &conn;
+  deliver(f.from, f.to, std::move(f.payload));
+}
+
+void SocketTransport::deliver(NodeId from, NodeId to,
+                              std::shared_ptr<const Bytes> payload) {
+  std::shared_ptr<LocalNode> box;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = nodes_.find(to);
+    if (it == nodes_.end()) {
+      ++wire_.unroutable_drops;
+      return;
+    }
+    box = it->second;
+  }
+  exec_.post([box = std::move(box), from, payload = std::move(payload)] {
+    std::lock_guard<std::mutex> node_lock(box->mu);
+    if (box->node != nullptr) box->node->on_shared_message(from, payload);
+  });
+}
+
+void SocketTransport::accept_ready() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient error; poll will retry
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++wire_.accepts;
+    }
+    auto conn = std::make_unique<Conn>(config_.max_frame_bytes);
+    conn->fd = fd;
+    Conn& ref = *conn;
+    conns_.push_back(std::move(conn));
+    ref.txq_bytes += kHelloFrameBytes;
+    ref.txq.emplace_back(NodeId{0}, encode_hello_frame(config_.incarnation));
+    handle_writable(ref);
+  }
+}
+
+void SocketTransport::close_conn(Conn& conn, bool count_down_drops) {
+  if (conn.fd < 0) return;
+  // A conn still mid-dial never carried traffic: its closure is a
+  // connect_failure (counted by the caller), not a disconnect.
+  const bool established = !conn.connecting;
+  ::close(conn.fd);
+  conn.fd = -1;
+  conn.connecting = false;
+  std::uint64_t dropped = 0;
+  for (const auto& [to, frame] : conn.txq) {
+    (void)to;
+    if (frame.size() > 4 && frame[4] == kFrameData) ++dropped;
+  }
+  conn.txq.clear();
+  conn.txq_bytes = 0;
+  conn.tx_off = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (count_down_drops && dropped > 0) wire_.down_drops += dropped;
+    if (established) ++wire_.disconnects;
+  }
+  if (conn.peer != nullptr) {
+    conn.peer->conn = nullptr;
+    if (!conn.peer->pending.empty()) {
+      // Something is still waiting for this endpoint: retry with backoff.
+      on_dial_failure(*conn.peer);
+    }
+  }
+  for (auto it = learned_routes_.begin(); it != learned_routes_.end();) {
+    if (it->second == &conn) {
+      it = learned_routes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace faust::sock

@@ -1,0 +1,340 @@
+// Frame-decoder fuzz coverage (DESIGN.md D9 satellite): the socket
+// transport parses UNTRUSTED bytes, so the decoder must survive
+// truncated, oversized and garbage length prefixes, arbitrary read
+// boundaries (every split offset), interleaved frames across
+// connections, and pure noise — without crashing, misdelivering, or
+// interpreting a single byte after a poison point. The suite runs in the
+// ASan/UBSan CI matrix, which is where "no crash" gets teeth. The last
+// tests aim the same garbage at a LIVE SocketTransport over a real
+// socket: the poisoned connection dies, the transport and its healthy
+// peers do not.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "rt/threaded_runtime.h"
+#include "sock/frame.h"
+#include "sock/socket_transport.h"
+
+namespace faust::sock {
+namespace {
+
+Bytes cat(std::initializer_list<BytesView> parts) {
+  Bytes out;
+  for (const BytesView& p : parts) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+struct Decoded {
+  std::vector<Frame> frames;
+  FrameDecoder::Sink sink() {
+    return [this](Frame&& f) { frames.push_back(std::move(f)); };
+  }
+};
+
+Bytes random_payload(Rng& rng, std::size_t max_len) {
+  Bytes p(rng.next_below(max_len + 1));
+  for (auto& b : p) b = static_cast<std::uint8_t>(rng.next_u64());
+  return p;
+}
+
+// --- Reassembly correctness ------------------------------------------------
+
+TEST(FrameDecoder, SplitAtEveryOffsetReassemblesIdentically) {
+  const Bytes p1 = {0xde, 0xad, 0xbe, 0xef};
+  const Bytes stream = cat({encode_hello_frame(7),
+                            encode_data_frame(3, 0, BytesView(p1)),
+                            encode_data_frame(0, 3, BytesView{}),  // empty payload
+                            encode_data_frame(-2, 1'000'000, BytesView(p1))});
+  for (std::size_t split = 0; split <= stream.size(); ++split) {
+    FrameDecoder dec(1 << 20);
+    Decoded got;
+    ASSERT_TRUE(dec.feed(BytesView(stream.data(), split), got.sink()));
+    ASSERT_TRUE(dec.feed(BytesView(stream.data() + split, stream.size() - split),
+                         got.sink()));
+    ASSERT_EQ(got.frames.size(), 4u) << "split " << split;
+    EXPECT_EQ(got.frames[0].kind, kFrameHello);
+    EXPECT_EQ(got.frames[0].incarnation, 7u);
+    EXPECT_EQ(got.frames[1].from, 3);
+    EXPECT_EQ(got.frames[1].to, 0);
+    ASSERT_NE(got.frames[1].payload, nullptr);
+    EXPECT_EQ(*got.frames[1].payload, p1);
+    ASSERT_NE(got.frames[2].payload, nullptr);
+    EXPECT_TRUE(got.frames[2].payload->empty());
+    EXPECT_EQ(got.frames[3].from, -2);
+    EXPECT_EQ(got.frames[3].to, 1'000'000);
+    EXPECT_EQ(*got.frames[3].payload, p1);
+  }
+}
+
+TEST(FrameDecoder, ByteAtATimeDelivery) {
+  Rng rng(11);
+  Bytes stream = cat({encode_hello_frame(1)});
+  std::vector<Bytes> payloads;
+  for (int i = 0; i < 20; ++i) {
+    payloads.push_back(random_payload(rng, 100));
+    const Bytes f = encode_data_frame(i, i + 1, BytesView(payloads.back()));
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+  FrameDecoder dec(1 << 20);
+  Decoded got;
+  for (const std::uint8_t b : stream) {
+    ASSERT_TRUE(dec.feed(BytesView(&b, 1), got.sink()));
+  }
+  ASSERT_EQ(got.frames.size(), 21u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(got.frames[static_cast<std::size_t>(i) + 1].from, i);
+    EXPECT_EQ(*got.frames[static_cast<std::size_t>(i) + 1].payload, payloads[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(FrameDecoder, TruncationIsWaitingNotError) {
+  const Bytes p = {1, 2, 3, 4, 5, 6, 7, 8};
+  const Bytes frame = encode_data_frame(1, 2, BytesView(p));
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    FrameDecoder dec(1 << 20);
+    Decoded got;
+    ASSERT_TRUE(dec.feed(BytesView(frame.data(), cut), got.sink())) << "cut " << cut;
+    EXPECT_FALSE(dec.poisoned());
+    EXPECT_TRUE(got.frames.empty()) << "cut " << cut;
+  }
+}
+
+TEST(FrameDecoder, InterleavedStreamsStayIsolated) {
+  // Two connections' streams chopped into alternating chunks: each
+  // decoder only ever sees its own bytes, and neither the chunking of
+  // one nor a poison on one may perturb the other.
+  Rng rng(23);
+  Bytes a = cat({encode_hello_frame(1)});
+  Bytes b = cat({encode_hello_frame(2)});
+  for (int i = 0; i < 10; ++i) {
+    const Bytes pa = random_payload(rng, 64), pb = random_payload(rng, 64);
+    const Bytes fa = encode_data_frame(1, 10, BytesView(pa));
+    const Bytes fb = encode_data_frame(2, 20, BytesView(pb));
+    a.insert(a.end(), fa.begin(), fa.end());
+    b.insert(b.end(), fb.begin(), fb.end());
+  }
+  FrameDecoder da(1 << 20), db(1 << 20);
+  Decoded ga, gb;
+  std::size_t ia = 0, ib = 0;
+  while (ia < a.size() || ib < b.size()) {
+    const std::size_t ca = std::min<std::size_t>(1 + rng.next_below(7), a.size() - ia);
+    const std::size_t cb = std::min<std::size_t>(1 + rng.next_below(7), b.size() - ib);
+    if (ca > 0) ASSERT_TRUE(da.feed(BytesView(a.data() + ia, ca), ga.sink()));
+    if (cb > 0) ASSERT_TRUE(db.feed(BytesView(b.data() + ib, cb), gb.sink()));
+    ia += ca;
+    ib += cb;
+  }
+  ASSERT_EQ(ga.frames.size(), 11u);
+  ASSERT_EQ(gb.frames.size(), 11u);
+  for (std::size_t i = 1; i < ga.frames.size(); ++i) {
+    EXPECT_EQ(ga.frames[i].from, 1);
+    EXPECT_EQ(gb.frames[i].from, 2);
+  }
+}
+
+// --- Hostile input ---------------------------------------------------------
+
+TEST(FrameDecoder, OversizedLengthPrefixPoisons) {
+  Bytes evil;
+  append_u32(evil, 100u << 20);  // 100MB claimed against a 1MB bound
+  append_byte(evil, kFrameData);
+  FrameDecoder dec(1 << 20);
+  Decoded got;
+  EXPECT_FALSE(dec.feed(BytesView(evil), got.sink()));
+  EXPECT_TRUE(dec.poisoned());
+  EXPECT_STRNE(dec.error(), "");
+  EXPECT_TRUE(got.frames.empty());
+  // Nothing after the poison point is interpreted — not even a pristine
+  // valid frame.
+  const Bytes fine = encode_data_frame(1, 2, BytesView{});
+  EXPECT_FALSE(dec.feed(BytesView(fine), got.sink()));
+  EXPECT_TRUE(got.frames.empty());
+}
+
+TEST(FrameDecoder, UnknownKindPoisons) {
+  Bytes evil;
+  append_u32(evil, 9);
+  append_byte(evil, 0x77);
+  FrameDecoder dec(1 << 20);
+  Decoded got;
+  EXPECT_FALSE(dec.feed(BytesView(evil), got.sink()));
+  EXPECT_TRUE(dec.poisoned());
+}
+
+TEST(FrameDecoder, ShortDataAndMalformedHelloPoison) {
+  for (const std::uint32_t len : {0u, 1u, 8u}) {  // DATA needs >= 9
+    Bytes evil;
+    append_u32(evil, len);
+    append_byte(evil, kFrameData);
+    evil.resize(evil.size() + len);
+    FrameDecoder dec(1 << 20);
+    Decoded got;
+    EXPECT_FALSE(dec.feed(BytesView(evil), got.sink())) << "len " << len;
+    EXPECT_TRUE(dec.poisoned());
+  }
+  for (const std::uint32_t len : {0u, 8u, 10u}) {  // HELLO needs == 9
+    Bytes evil;
+    append_u32(evil, len);
+    append_byte(evil, kFrameHello);
+    evil.resize(evil.size() + len);
+    FrameDecoder dec(1 << 20);
+    Decoded got;
+    EXPECT_FALSE(dec.feed(BytesView(evil), got.sink())) << "len " << len;
+    EXPECT_TRUE(dec.poisoned());
+  }
+}
+
+TEST(FrameDecoder, PureNoiseNeverCrashes) {
+  // Seeded garbage at random chunk boundaries: the decoder decodes,
+  // waits, or poisons — and once poisoned stays poisoned. ASan/UBSan
+  // make any overread here fatal.
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    Rng rng(seed);
+    Bytes noise(1 + rng.next_below(4096));
+    for (auto& b : noise) b = static_cast<std::uint8_t>(rng.next_u64());
+    FrameDecoder dec(1 << 16);
+    Decoded got;
+    std::size_t off = 0;
+    bool alive = true;
+    while (off < noise.size()) {
+      const std::size_t chunk = std::min<std::size_t>(1 + rng.next_below(97), noise.size() - off);
+      const bool ok = dec.feed(BytesView(noise.data() + off, chunk), got.sink());
+      if (!alive) EXPECT_FALSE(ok) << "a poisoned decoder must stay poisoned";
+      alive = ok;
+      off += chunk;
+    }
+    for (const Frame& f : got.frames) {
+      if (f.kind == kFrameData) ASSERT_NE(f.payload, nullptr);
+    }
+  }
+}
+
+TEST(FrameDecoder, MutatedValidStreamsNeverCrash) {
+  Rng rng(99);
+  Bytes stream = cat({encode_hello_frame(3)});
+  for (int i = 0; i < 15; ++i) {
+    const Bytes p = random_payload(rng, 200);
+    const Bytes f = encode_data_frame(i, 42, BytesView(p));
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes mutated = stream;
+    const int flips = 1 + static_cast<int>(rng.next_below(8));
+    for (int i = 0; i < flips; ++i) {
+      mutated[rng.next_below(mutated.size())] ^=
+          static_cast<std::uint8_t>(1 + rng.next_below(255));
+    }
+    FrameDecoder dec(1 << 16);
+    Decoded got;
+    (void)dec.feed(BytesView(mutated), got.sink());
+    for (const Frame& f : got.frames) {
+      if (f.kind == kFrameData) ASSERT_NE(f.payload, nullptr);
+    }
+  }
+}
+
+TEST(FrameDecoder, PartialCommitRespectsSpanContract) {
+  // Drive next_span()/commit() directly with 1-byte commits against a
+  // large-payload frame: the span pointer must track progress and never
+  // shrink to zero while healthy.
+  Bytes payload(10'000);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  const Bytes frame = encode_data_frame(5, 6, BytesView(payload));
+  FrameDecoder dec(1 << 20);
+  Decoded got;
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    auto [dst, room] = dec.next_span();
+    ASSERT_NE(dst, nullptr);
+    ASSERT_GT(room, 0u);
+    const std::size_t n = std::min<std::size_t>(room, 1);
+    std::memcpy(dst, frame.data() + off, n);
+    ASSERT_TRUE(dec.commit(n, got.sink()));
+    off += n;
+  }
+  ASSERT_EQ(got.frames.size(), 1u);
+  EXPECT_EQ(*got.frames[0].payload, payload);
+}
+
+// --- Garbage against a LIVE transport --------------------------------------
+
+class SinkNode : public net::Node {
+ public:
+  void on_message(NodeId, BytesView) override { ++count_; }
+  int count() const { return count_; }
+
+ private:
+  std::atomic<int> count_{0};
+};
+
+TEST(SocketTransportFuzz, GarbageConnectionDiesAloneTransportSurvives) {
+  rt::ThreadedRuntimeConfig rc;
+  rc.tick = std::chrono::nanoseconds(1000);
+  rt::ThreadedRuntime runtime(rc);
+
+  SocketTransportConfig server_cfg;
+  server_cfg.listen = Endpoint::tcp("127.0.0.1", 0);
+  server_cfg.max_frame_bytes = 1 << 20;
+  SocketTransport server(runtime, server_cfg);
+  SinkNode node;
+  server.attach(1, node);
+
+  // A raw socket throwing noise: oversized prefix first so the poison is
+  // guaranteed, then garbage. The connection must be closed by the
+  // transport (read returns EOF here) without taking anything else down.
+  Rng rng(5);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.bound_endpoint().port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    Bytes noise(512);
+    for (auto& b : noise) b = static_cast<std::uint8_t>(rng.next_u64());
+    if (trial % 2 == 0) {
+      Bytes evil;
+      append_u32(evil, 0xffffffffu);
+      append_byte(evil, kFrameData);
+      ASSERT_GT(::send(fd, evil.data(), evil.size(), MSG_NOSIGNAL), 0);
+    }
+    (void)::send(fd, noise.data(), noise.size(), MSG_NOSIGNAL);
+    // Wait for the transport to hang up on us (POLLHUP / read 0).
+    pollfd pfd{fd, POLLIN, 0};
+    (void)::poll(&pfd, 1, 2000);
+    char buf[64];
+    (void)::read(fd, buf, sizeof(buf));
+    ::close(fd);
+  }
+
+  // The transport survived and still serves a well-behaved peer.
+  SocketTransportConfig client_cfg;
+  client_cfg.peers[1] = server.bound_endpoint();
+  SocketTransport client(runtime, client_cfg);
+  client.send(2, 1, Bytes{0x01, 0x02, 0x03});
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (node.count() == 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(node.count(), 1);
+  EXPECT_GE(server.wire().framing_errors, 1u);
+  server.detach(1);
+}
+
+}  // namespace
+}  // namespace faust::sock

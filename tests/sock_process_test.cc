@@ -1,0 +1,232 @@
+// Multi-process deployment tests (DESIGN.md D9): real faust_sockd worker
+// processes behind sock::SocketTransport, driven through the unchanged
+// api::Store and scenario harness. The headline assertions are the
+// acceptance gates of the real-socket milestone:
+//
+//   * an all-real deployment (every shard server a separate OS process,
+//     loopback TCP) serves the seeded scenario with a mid-run SIGKILL +
+//     restart-with-recovery, and its merged-view digest is byte-equal to
+//     the deterministic in-process oracle on the same seeds;
+//   * the loopback load generator (`faust_sockd load`) run as a real
+//     subprocess reports the same digest;
+//   * cache_mute: with the worker's cache node silenced, CacheClient
+//     lookups time out and fall back to the shard path (the timeout
+//     audit satellite) — ops still complete, zero cache-served slots;
+//   * mixed deployments (process_shards < S) interoperate.
+//
+// The worker binary path arrives via the FAUST_SOCKD_PATH compile
+// definition (CMake injects $<TARGET_FILE:faust_sockd>).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "api/store.h"
+#include "common/hex.h"
+#include "scenario/runner.h"
+#include "shard/sharded_cluster.h"
+
+namespace faust {
+namespace {
+
+struct TempDirFixture {
+  std::string path;
+  explicit TempDirFixture(const std::string& tag) {
+    path = std::string(::testing::TempDir()) + "/faust_proc_" + tag + "_" +
+           std::to_string(::getpid()) + "_" +
+           std::to_string(reinterpret_cast<std::uintptr_t>(this));
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~TempDirFixture() { std::filesystem::remove_all(path); }
+};
+
+sock::ProcessOptions process_options(bool tcp) {
+  sock::ProcessOptions p;
+  p.worker_path = FAUST_SOCKD_PATH;
+  p.use_tcp = tcp;
+  return p;
+}
+
+std::string digest_hex(const scenario::ScenarioResult& r) {
+  return hex_encode(BytesView(r.merged_digest.data(), r.merged_digest.size()));
+}
+
+// --- Store over a single real shard process --------------------------------
+
+TEST(SockProcess, StoreOverOneRealShardProcess) {
+  TempDirFixture dir("store1");
+  shard::ShardedClusterConfig cfg;
+  cfg.shards = 1;
+  cfg.seed = 11;
+  cfg.mode = shard::ExecMode::kProcess;
+  cfg.durability_root = dir.path;
+  cfg.process = process_options(/*tcp=*/true);
+
+  shard::ShardedCluster deployment(cfg);
+  ASSERT_TRUE(deployment.process_shard(0));
+  {
+    auto store = api::open_store(deployment, 1);
+    const api::PutResult put = store->put("alpha", "one").wait();
+    EXPECT_FALSE(put.failed);
+    const api::GetResult hit = store->get("alpha").wait();
+    EXPECT_FALSE(hit.failed);
+    ASSERT_TRUE(hit.entry.has_value());
+    EXPECT_EQ(hit.entry->value, "one");
+    const api::GetResult miss = store->get("beta").wait();
+    EXPECT_FALSE(miss.failed);
+    EXPECT_FALSE(miss.entry.has_value());
+  }
+  // Graceful shutdown returns the worker's STATS line: the put really
+  // crossed the socket into the worker's WAL.
+  const auto stats = deployment.finalize_processes();
+  ASSERT_EQ(stats.size(), 1u);
+  ASSERT_TRUE(stats[0].has_value());
+  EXPECT_GT(stats[0]->wal_records, 0u);
+}
+
+// --- The acceptance differential -------------------------------------------
+
+scenario::ScenarioConfig acceptance_config(const std::string& dir) {
+  scenario::ScenarioConfig cfg;
+  cfg.shards = 3;
+  cfg.cluster_seed = 5;
+  cfg.dir = dir;
+  cfg.snapshot_every = 24;
+  cfg.workload.seed = 71;
+  cfg.workload.n_keys = 4'000;
+  cfg.workload.n_ops = 120;
+  cfg.workload.n_writers = 2;
+  return cfg;
+}
+
+TEST(SockProcess, AllRealProcessesWithKillMatchDeterministicOracle) {
+  TempDirFixture proc_dir("accept_p"), oracle_dir("accept_o");
+
+  scenario::ScenarioConfig pc = acceptance_config(proc_dir.path);
+  pc.mode = shard::ExecMode::kProcess;
+  pc.process = process_options(/*tcp=*/true);
+  scenario::KillEvent kill;
+  kill.at_op = 60;
+  kill.shard = 1;
+  kill.downtime = 20'000;  // ticks × process.tick of real downtime
+  pc.kills.push_back(kill);
+  const scenario::ScenarioResult pr = scenario::run_scenario(pc);
+  ASSERT_TRUE(pr.complete);
+  EXPECT_FALSE(pr.any_failed);
+  EXPECT_TRUE(pr.merged_complete);
+  EXPECT_EQ(pr.restarts, 1);
+  EXPECT_GE(pr.wire_reconnects, 1u) << "the killed worker's clients must redial";
+  EXPECT_GT(pr.wire_socket_bytes, pr.wire_payload_bytes)
+      << "socket accounting must include framing";
+  EXPECT_GT(pr.wal_records, 0u) << "worker STATS must be collected";
+
+  // The oracle: same seeds, fully in-process, deterministic, crash-free.
+  // Byte-equal merged views pin the entire socket/process stack — framing,
+  // reconnect, real recovery from disk — to change NOTHING about the
+  // outcome, only the latency profile.
+  scenario::ScenarioConfig oc = acceptance_config(oracle_dir.path);
+  oc.mode = shard::ExecMode::kDeterministic;
+  const scenario::ScenarioResult orr = scenario::run_scenario(oc);
+  ASSERT_TRUE(orr.complete);
+  EXPECT_EQ(digest_hex(pr), digest_hex(orr));
+  EXPECT_EQ(pr.merged.size(), orr.merged.size());
+}
+
+// --- The load generator as a real subprocess --------------------------------
+
+TEST(SockProcess, LoadGeneratorSubprocessReportsOracleDigest) {
+  TempDirFixture load_dir("load_p"), oracle_dir("load_o");
+
+  const std::string cmd = std::string(FAUST_SOCKD_PATH) +
+                          " load --shards 3 --dir " + load_dir.path +
+                          " --tcp --ops 90 --keys 4000 --writers 2 --seed 71" +
+                          " --cluster-seed 5 2>&1";
+  FILE* pipe = ::popen(cmd.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  std::string out;
+  char buf[4096];
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) out += buf;
+  const int status = ::pclose(pipe);
+  ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+      << "load generator failed:\n"
+      << out;
+
+  const auto at = out.find("digest=");
+  ASSERT_NE(at, std::string::npos) << out;
+  const std::string digest = out.substr(at + 7, 64);
+
+  scenario::ScenarioConfig oc;
+  oc.shards = 3;
+  oc.cluster_seed = 5;
+  oc.dir = oracle_dir.path;
+  oc.workload.seed = 71;
+  oc.workload.n_keys = 4'000;
+  oc.workload.n_ops = 90;
+  oc.workload.n_writers = 2;
+  oc.mode = shard::ExecMode::kDeterministic;
+  const scenario::ScenarioResult orr = scenario::run_scenario(oc);
+  ASSERT_TRUE(orr.complete);
+  EXPECT_EQ(digest, digest_hex(orr)) << out;
+}
+
+// --- Timeout audit: muted cache → lookup_timeout → shard-path fallback -----
+
+TEST(SockProcess, MutedCacheTimesOutAndFallsBackToShardPath) {
+  TempDirFixture dir("mute");
+  scenario::ScenarioConfig cfg;
+  cfg.shards = 2;
+  cfg.cluster_seed = 9;
+  cfg.dir = dir.path;
+  cfg.workload.seed = 13;
+  cfg.workload.n_keys = 500;
+  cfg.workload.n_ops = 40;
+  cfg.workload.read_fraction = 0.7;
+  cfg.mode = shard::ExecMode::kProcess;
+  cfg.process = process_options(/*tcp=*/false);  // UDS leg of the matrix
+  cfg.process.cache_mute = true;
+  cfg.cache.enabled = true;
+
+  const scenario::ScenarioResult r = scenario::run_scenario(cfg);
+  ASSERT_TRUE(r.complete) << "lookup timeouts must degrade to misses, not hangs";
+  EXPECT_FALSE(r.any_failed);
+  EXPECT_GT(r.reads, 0u);
+  EXPECT_EQ(r.registers_cache_served, 0u) << "nothing can be served by a mute cache";
+  EXPECT_GT(r.registers_engine_read, 0u);
+}
+
+// --- Mixed deployment: one real process shard, one in-process shard --------
+
+TEST(SockProcess, MixedProcessAndInProcessShardsMatchOracle) {
+  TempDirFixture mix_dir("mix_p"), oracle_dir("mix_o");
+
+  scenario::ScenarioConfig mc;
+  mc.shards = 2;
+  mc.cluster_seed = 21;
+  mc.dir = mix_dir.path;
+  mc.workload.seed = 34;
+  mc.workload.n_keys = 1'000;
+  mc.workload.n_ops = 60;
+  mc.mode = shard::ExecMode::kProcess;
+  mc.process = process_options(/*tcp=*/true);
+  mc.process.process_shards = 1;  // shard 0 real, shard 1 in-process
+  const scenario::ScenarioResult mr = scenario::run_scenario(mc);
+  ASSERT_TRUE(mr.complete);
+  EXPECT_FALSE(mr.any_failed);
+  EXPECT_GT(mr.wire_socket_bytes, 0u) << "the process shard crossed a socket";
+
+  scenario::ScenarioConfig oc = mc;
+  oc.dir = oracle_dir.path;
+  oc.mode = shard::ExecMode::kDeterministic;
+  oc.process = {};
+  const scenario::ScenarioResult orr = scenario::run_scenario(oc);
+  ASSERT_TRUE(orr.complete);
+  EXPECT_EQ(digest_hex(mr), digest_hex(orr));
+}
+
+}  // namespace
+}  // namespace faust

@@ -1,0 +1,177 @@
+// faust_sockd — the real-socket deployment binary (DESIGN.md D9).
+//
+// Two subcommands:
+//
+//   faust_sockd serve --n 3 --listen tcp://127.0.0.1:0 --dir DIR
+//       [--snapshot-every N] [--tick NS] [--incarnation K]
+//       [--cache --cache-arena BYTES --cache-ttl TICKS] [--max-frame B]
+//
+//     One shard's server side (durable PersistentServer + optional cache
+//     node) behind a listening SocketTransport. Spawned and supervised by
+//     sock::ProcessCluster; speaks the READY/STATS stdout protocol
+//     (sock/process_cluster.h). SIGTERM = graceful shutdown with STATS,
+//     SIGKILL = the crash injection.
+//
+//   faust_sockd load --shards 3 --dir DIR [--worker PATH] [--tcp]
+//       [--ops N] [--keys K] [--writers W] [--seed S] [--cluster-seed S]
+//       [--value-min B] [--value-max B] [--read-fraction F]
+//       [--kill AT_OP:SHARD:DOWNTIME]... [--tick NS] [--timer-scale X]
+//       [--op-budget-ms MS] [--snapshot-every N] [--cache]
+//
+//     The loopback load generator: runs the seeded scenario workload in
+//     ExecMode::kProcess (spawning `--worker`, default this binary, as
+//     the shard servers) and prints a RESULT line with the merged-view
+//     digest for differential comparison (sock/load.h).
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sock/load.h"
+#include "sock/serve.h"
+
+namespace {
+
+[[noreturn]] void usage(const std::string& why) {
+  std::fprintf(stderr, "faust_sockd: %s\n(see the header comment of tools/faust_sockd.cpp)\n",
+               why.c_str());
+  std::exit(2);
+}
+
+std::uint64_t parse_u64(const char* flag, const char* s) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') usage(std::string(flag) + ": not a number: " + s);
+  return v;
+}
+
+double parse_double(const char* flag, const char* s) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0') usage(std::string(flag) + ": not a number: " + s);
+  return v;
+}
+
+std::string self_path() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) usage("--worker not given and /proc/self/exe unreadable");
+  buf[n] = '\0';
+  return buf;
+}
+
+int run_serve(int argc, char** argv) {
+  faust::sock::ServeOptions opts;
+  opts.listen = faust::sock::Endpoint::tcp("127.0.0.1", 0);
+  for (int i = 0; i < argc; ++i) {
+    const char* flag = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(std::string(flag) + ": missing value");
+      return argv[++i];
+    };
+    if (std::strcmp(flag, "--n") == 0) {
+      opts.n = static_cast<int>(parse_u64(flag, value()));
+    } else if (std::strcmp(flag, "--listen") == 0) {
+      const char* uri = value();
+      auto ep = faust::sock::Endpoint::parse(uri);
+      if (!ep) usage(std::string("--listen: bad endpoint: ") + uri);
+      opts.listen = *ep;
+    } else if (std::strcmp(flag, "--dir") == 0) {
+      opts.dir = value();
+    } else if (std::strcmp(flag, "--snapshot-every") == 0) {
+      opts.snapshot_every = parse_u64(flag, value());
+    } else if (std::strcmp(flag, "--tick") == 0) {
+      opts.tick = std::chrono::nanoseconds(parse_u64(flag, value()));
+    } else if (std::strcmp(flag, "--incarnation") == 0) {
+      opts.incarnation = parse_u64(flag, value());
+    } else if (std::strcmp(flag, "--cache") == 0) {
+      opts.cache = true;
+      opts.cache_opts.enabled = true;
+    } else if (std::strcmp(flag, "--cache-arena") == 0) {
+      opts.cache_opts.arena_bytes = parse_u64(flag, value());
+    } else if (std::strcmp(flag, "--cache-ttl") == 0) {
+      opts.cache_opts.ttl = parse_u64(flag, value());
+    } else if (std::strcmp(flag, "--max-frame") == 0) {
+      opts.max_frame_bytes = parse_u64(flag, value());
+    } else {
+      usage(std::string("serve: unknown flag ") + flag);
+    }
+  }
+  if (opts.dir.empty()) usage("serve: --dir is required");
+  return faust::sock::run_server_process(opts);
+}
+
+int run_load(int argc, char** argv) {
+  faust::scenario::ScenarioConfig cfg;
+  cfg.mode = faust::shard::ExecMode::kProcess;
+  cfg.process.use_tcp = false;
+  for (int i = 0; i < argc; ++i) {
+    const char* flag = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(std::string(flag) + ": missing value");
+      return argv[++i];
+    };
+    if (std::strcmp(flag, "--shards") == 0) {
+      cfg.shards = parse_u64(flag, value());
+    } else if (std::strcmp(flag, "--dir") == 0) {
+      cfg.dir = value();
+    } else if (std::strcmp(flag, "--worker") == 0) {
+      cfg.process.worker_path = value();
+    } else if (std::strcmp(flag, "--tcp") == 0) {
+      cfg.process.use_tcp = true;
+    } else if (std::strcmp(flag, "--ops") == 0) {
+      cfg.workload.n_ops = parse_u64(flag, value());
+    } else if (std::strcmp(flag, "--keys") == 0) {
+      cfg.workload.n_keys = parse_u64(flag, value());
+    } else if (std::strcmp(flag, "--writers") == 0) {
+      cfg.workload.n_writers = static_cast<int>(parse_u64(flag, value()));
+    } else if (std::strcmp(flag, "--seed") == 0) {
+      cfg.workload.seed = parse_u64(flag, value());
+    } else if (std::strcmp(flag, "--cluster-seed") == 0) {
+      cfg.cluster_seed = parse_u64(flag, value());
+    } else if (std::strcmp(flag, "--value-min") == 0) {
+      cfg.workload.value_min = parse_u64(flag, value());
+    } else if (std::strcmp(flag, "--value-max") == 0) {
+      cfg.workload.value_max = parse_u64(flag, value());
+    } else if (std::strcmp(flag, "--read-fraction") == 0) {
+      cfg.workload.read_fraction = parse_double(flag, value());
+    } else if (std::strcmp(flag, "--kill") == 0) {
+      faust::scenario::KillEvent kill;
+      unsigned long long at = 0, shard = 0, down = 0;
+      if (std::sscanf(value(), "%llu:%llu:%llu", &at, &shard, &down) != 3) {
+        usage("--kill: want AT_OP:SHARD:DOWNTIME");
+      }
+      kill.at_op = at;
+      kill.shard = shard;
+      kill.downtime = down;
+      cfg.kills.push_back(kill);
+    } else if (std::strcmp(flag, "--tick") == 0) {
+      cfg.process.tick = std::chrono::nanoseconds(parse_u64(flag, value()));
+    } else if (std::strcmp(flag, "--timer-scale") == 0) {
+      cfg.process.timer_scale = parse_u64(flag, value());
+    } else if (std::strcmp(flag, "--op-budget-ms") == 0) {
+      cfg.op_budget_ms = parse_u64(flag, value());
+    } else if (std::strcmp(flag, "--snapshot-every") == 0) {
+      cfg.snapshot_every = parse_u64(flag, value());
+    } else if (std::strcmp(flag, "--cache") == 0) {
+      cfg.cache.enabled = true;
+    } else {
+      usage(std::string("load: unknown flag ") + flag);
+    }
+  }
+  if (cfg.dir.empty()) usage("load: --dir is required");
+  if (cfg.process.worker_path.empty()) cfg.process.worker_path = self_path();
+  return faust::sock::run_load_process(cfg);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage("want a subcommand: serve | load");
+  if (std::strcmp(argv[1], "serve") == 0) return run_serve(argc - 2, argv + 2);
+  if (std::strcmp(argv[1], "load") == 0) return run_load(argc - 2, argv + 2);
+  usage(std::string("unknown subcommand ") + argv[1]);
+}
