@@ -1,0 +1,213 @@
+// Tail latency under network chaos (src/net FaultPlan + src/scenario,
+// DESIGN.md D10).
+//
+// Three views of what a hostile fabric COSTS — the correctness side
+// (byte-identical merged views, zero false fail_i) is pinned by
+// chaos_test; this bench records the latency and resilience-machinery
+// bill for the same storms:
+//
+//   BM_ChaosLossSweep/p‰ — the seeded scenario under p ∈ {0, 1%, 5%, 20%}
+//     message loss: op latency distribution (p50/p99/max, µs of wall
+//     clock) plus how many client re-sends the loss actually forced.
+//     The p=0 row is the baseline the sweep is read against.
+//   BM_ChaosPartitionStorm — the D10 acceptance storm: 5% loss + jitter
+//     on every shard for the whole run and one asymmetric mid-run
+//     partition. p99/max absorb the ops that rode through the cut.
+//   BM_ChaosDegradedReads — the api::Store view: a threaded deployment
+//     with the D8 cache tier, one shard cut. Reads fall back to
+//     verified-but-stale cache state (degraded_reads counts them, and
+//     their p50 is reported — the degraded path must stay cheap); writes
+//     refuse fast via the breaker; recovery_ms measures heal → first
+//     accepted write (breaker probe + retransmission latency).
+//
+// BENCH_chaos.pre.json holds the chaos-free baseline, .post.json the
+// storm runs — like BENCH_scenario, the pre/post pair measures fault
+// overhead rather than a code-change delta. FAUST_BENCH_SMOKE=1 shrinks
+// the streams for CI; the counters the CI gate reads (complete,
+// retransmits, degraded_reads, recovery_ms) are seed-deterministic.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "api/store.h"
+#include "common/check.h"
+#include "exec/executor.h"
+#include "scenario/runner.h"
+#include "shard/sharded_cluster.h"
+
+namespace {
+
+using namespace faust;
+
+std::uint64_t chaos_ops() {
+  if (const char* smoke = std::getenv("FAUST_BENCH_SMOKE"); smoke && smoke[0] == '1') {
+    return 100;
+  }
+  return 400;
+}
+
+scenario::ScenarioConfig sweep_config() {
+  scenario::ScenarioConfig cfg;
+  cfg.workload.seed = 4242;
+  cfg.workload.n_keys = 50'000;
+  cfg.workload.n_ops = chaos_ops();
+  cfg.workload.n_writers = 2;
+  cfg.shards = 3;
+  cfg.cluster_seed = 17;
+  return cfg;
+}
+
+void report(benchmark::State& state, const scenario::ScenarioResult& r) {
+  state.counters["ops"] = static_cast<double>(r.ops);
+  state.counters["p50_us"] = r.p50_us;
+  state.counters["p99_us"] = r.p99_us;
+  state.counters["max_us"] = r.max_us;
+  state.counters["retransmits"] = static_cast<double>(r.retransmits);
+  state.counters["dropped"] =
+      static_cast<double>(r.chaos_dropped + r.chaos_partition_dropped);
+  state.counters["complete"] = r.complete && !r.any_failed ? 1.0 : 0.0;
+}
+
+// --- Loss-rate sweep ---------------------------------------------------------
+
+void BM_ChaosLossSweep(benchmark::State& state) {
+  const double drop = static_cast<double>(state.range(0)) / 1000.0;
+  scenario::ScenarioResult last;
+  for (auto _ : state) {
+    scenario::ScenarioConfig cfg = sweep_config();
+    cfg.fault_plan.drop = drop;
+    if (drop > 0) cfg.retransmit_base = 800;  // lossy fabrics require re-sends
+    last = scenario::run_scenario(cfg);
+    benchmark::DoNotOptimize(last.merged_digest);
+  }
+  report(state, last);
+}
+BENCHMARK(BM_ChaosLossSweep)
+    ->Arg(0)
+    ->Arg(10)
+    ->Arg(50)
+    ->Arg(200)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.05);
+
+// --- The acceptance storm ----------------------------------------------------
+
+void BM_ChaosPartitionStorm(benchmark::State& state) {
+  scenario::ScenarioResult last;
+  for (auto _ : state) {
+    scenario::ScenarioConfig cfg = sweep_config();
+    cfg.retransmit_base = 800;
+    cfg.fault_plan.drop = 0.05;
+    cfg.fault_plan.jitter = 8;
+    scenario::PartitionEvent part;
+    part.at_op = cfg.workload.n_ops / 3;
+    part.shard = 1;
+    part.duration = 2'000;
+    part.symmetric = false;
+    cfg.partitions = {part};
+    last = scenario::run_scenario(cfg);
+    benchmark::DoNotOptimize(last.merged_digest);
+  }
+  report(state, last);
+}
+BENCHMARK(BM_ChaosPartitionStorm)->Unit(benchmark::kMillisecond)->MinTime(0.05);
+
+// --- Degraded reads through api::Store ---------------------------------------
+
+void cut_shard(shard::ShardedCluster& sc, std::size_t s, bool cut, int n_clients) {
+  const auto body = [&sc, s, cut, n_clients] {
+    Cluster& cl = sc.shard(s);
+    for (ClientId c = 1; c <= static_cast<ClientId>(n_clients); ++c) {
+      if (cut) {
+        cl.net().partition(c, kServerNode);
+      } else {
+        cl.net().heal(c, kServerNode);
+      }
+    }
+  };
+  FAUST_CHECK(exec::post_sync(sc.shard_exec(s), body));
+}
+
+void BM_ChaosDegradedReads(benchmark::State& state) {
+  constexpr int kClients = 2;
+  double degraded_reads = 0, recovery_ms = 0, degraded_p50_us = 0;
+  bool ok = true;
+  for (auto _ : state) {
+    shard::ShardedClusterConfig cfg;
+    cfg.shards = 2;
+    cfg.seed = 61;
+    cfg.mode = shard::ExecMode::kThreaded;
+    cfg.shard_template.n = kClients;
+    cfg.shard_template.faust.dummy_read_period = 0;
+    cfg.shard_template.faust.probe_check_period = 0;
+    cfg.shard_template.faust.retransmit_base = 500;
+    cfg.shard_template.cache.enabled = true;
+    cfg.shard_template.cache.with_node = true;
+    shard::ShardedCluster sc(cfg);
+    auto store = api::open_store(sc, 1);
+    store->set_wait_timeout(std::chrono::milliseconds(100));
+    store->set_breaker(/*threshold=*/2, /*cooldown_ops=*/8);
+
+    std::string key;
+    for (int k = 0;; ++k) {
+      key = "bk" + std::to_string(k);
+      if (store->home_shard(key) == 0) break;
+    }
+    ok = ok &&
+         store->put(key, "warm").wait_for(std::chrono::seconds(10)).status ==
+             api::Status::kOk &&
+         store->get(key).wait_for(std::chrono::seconds(10)).status == api::Status::kOk;
+
+    cut_shard(sc, 0, true, kClients);
+    // Trip the breaker, then read through the outage.
+    ok = ok && store->put(key, "x").wait().status == api::Status::kTimedOut;
+    ok = ok && store->put(key, "y").wait().status == api::Status::kTimedOut;
+    const int reads = 32;
+    std::vector<double> read_us;
+    for (int i = 0; i < reads; ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const api::GetResult g = store->get(key).wait();
+      const auto dt = std::chrono::steady_clock::now() - t0;
+      if (g.status == api::Status::kOk && g.cached) {
+        degraded_reads += 1;
+        read_us.push_back(
+            std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(dt)
+                .count());
+      }
+    }
+    if (!read_us.empty()) {
+      std::sort(read_us.begin(), read_us.end());
+      degraded_p50_us = read_us[read_us.size() / 2];
+    }
+
+    cut_shard(sc, 0, false, kClients);
+    // Recovery: heal → first accepted write. The breaker lets every 8th
+    // op through as a probe; retransmission finishes the stranded ops.
+    const auto h0 = std::chrono::steady_clock::now();
+    bool recovered = false;
+    for (int i = 0; i < 400 && !recovered; ++i) {
+      recovered = store->put(key, "recovered")
+                      .wait_for(std::chrono::milliseconds(500))
+                      .status == api::Status::kOk;
+    }
+    recovery_ms = std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+                      std::chrono::steady_clock::now() - h0)
+                      .count();
+    ok = ok && recovered && !store->any_failed();
+    sc.stop();
+  }
+  state.counters["degraded_reads"] = degraded_reads;
+  state.counters["degraded_p50_us"] = degraded_p50_us;
+  state.counters["recovery_ms"] = recovery_ms;
+  state.counters["complete"] = ok ? 1.0 : 0.0;
+}
+BENCHMARK(BM_ChaosDegradedReads)->Unit(benchmark::kMillisecond)->MinTime(0.05);
+
+}  // namespace
+
+#include "json_main.h"
+FAUST_BENCH_MAIN();

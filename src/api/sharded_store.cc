@@ -99,6 +99,10 @@ class ShardedStore final : public Store {
     kv_.snapshot_on_shard(s, std::move(done));
   }
 
+  void engine_degraded_snapshot(std::size_t s, SnapshotDone done) override {
+    kv_.snapshot_degraded_on_shard(s, std::move(done));
+  }
+
  private:
   bool run_on_shard_sync(std::size_t s, const std::function<void()>& body) {
     if (!deployment_.threaded()) {

@@ -139,6 +139,35 @@ class SingleStore final : public Store {
     }
   }
 
+  void engine_degraded_snapshot(std::size_t, SnapshotDone done) override {
+    // Same borrowed-pointer parking as engine_snapshot; the engine's
+    // degraded path either delivers a fully cache-served map or null.
+    struct Parked {
+      const std::map<std::string, kv::KvEntry>* merged = nullptr;
+      kv::ReadOrigin origin;
+    };
+    auto result = std::make_shared<Parked>();
+    MutateDone complete =
+        arm([result, done = std::move(done)](Timestamp ts, bool failed) {
+          done(failed ? nullptr : result->merged, failed ? 0 : ts,
+               failed ? kv::ReadOrigin{} : result->origin);
+        });
+    if (!dispatch([this, result, complete]() mutable {
+          kv_.snapshot_degraded([result, complete](const std::map<std::string, kv::KvEntry>* m,
+                                                   Timestamp ts, const kv::ReadOrigin& origin) {
+            if (m == nullptr) {
+              complete(0, /*failed=*/true);
+              return;
+            }
+            result->merged = m;
+            result->origin = origin;
+            complete(ts, /*failed=*/false);
+          });
+        })) {
+      complete(0, /*failed=*/true);  // runtime stopped: the body never runs
+    }
+  }
+
  private:
   /// Runs `body` in the deployment's execution context: inline when the
   /// caller drives a sim::Scheduler, post()ed when the cluster lives on a

@@ -7,13 +7,14 @@
 namespace faust::api {
 
 bool operator==(const PutResult& a, const PutResult& b) {
-  return a.ts == b.ts && a.stable == b.stable && a.shard == b.shard && a.failed == b.failed;
+  return a.ts == b.ts && a.stable == b.stable && a.shard == b.shard &&
+         a.failed == b.failed && a.status == b.status;
 }
 
 bool operator==(const GetResult& a, const GetResult& b) {
   return a.entry == b.entry && a.read_ts == b.read_ts && a.stable == b.stable &&
          a.shard == b.shard && a.failed == b.failed && a.cached == b.cached &&
-         a.as_of == b.as_of;
+         a.as_of == b.as_of && a.status == b.status;
 }
 
 bool operator==(const ListResult& a, const ListResult& b) {
@@ -26,6 +27,7 @@ template <>
 PutResult unresolved_result<PutResult>() {
   PutResult r;
   r.failed = true;
+  r.status = Status::kTimedOut;
   return r;
 }
 
@@ -33,6 +35,7 @@ template <>
 GetResult unresolved_result<GetResult>() {
   GetResult r;
   r.failed = true;
+  r.status = Status::kTimedOut;
   return r;
 }
 
@@ -56,6 +59,52 @@ bool drain_scheduler(StoreCore& core, const std::function<bool()>& ready) {
   return true;
 }
 
+// --- D10 per-shard breaker -------------------------------------------------
+
+void StoreCore::note_timeout(std::size_t shard) {
+  std::lock_guard lock(mu);
+  if (breaker_threshold == 0 || shard == kNoShard) return;
+  if (shard >= health.size()) health.resize(shard + 1);
+  ShardHealth& h = health[shard];
+  h.probing = false;  // a probe that timed out re-arms the breaker
+  if (++h.consecutive_timeouts >= breaker_threshold && !h.open) {
+    h.open = true;
+    h.skipped = 0;
+    ++h.opens;
+  }
+}
+
+void StoreCore::note_contact(std::size_t shard) {
+  std::lock_guard lock(mu);
+  if (shard == kNoShard || shard >= health.size()) return;
+  ShardHealth& h = health[shard];
+  h.consecutive_timeouts = 0;
+  h.open = false;
+  h.probing = false;
+  h.skipped = 0;
+}
+
+bool StoreCore::breaker_blocks(std::size_t shard) {
+  std::lock_guard lock(mu);
+  if (breaker_threshold == 0 || shard >= health.size()) return false;
+  ShardHealth& h = health[shard];
+  if (!h.open) return false;
+  if (h.probing) return true;  // one probe at a time
+  if (++h.skipped >= breaker_cooldown) {
+    // Half-open: let this op through as the recovery probe. Completion
+    // (note_contact) closes the breaker; another timeout re-arms it.
+    h.probing = true;
+    h.skipped = 0;
+    return false;
+  }
+  return true;
+}
+
+bool StoreCore::breaker_open(std::size_t shard) {
+  std::lock_guard lock(mu);
+  return shard < health.size() && health[shard].open;
+}
+
 }  // namespace detail
 
 // --- Batch planning and execution ------------------------------------------
@@ -72,6 +121,9 @@ namespace detail {
 
 struct Step {
   bool is_mutation = false;
+  /// D10: a read step planned while the home shard's breaker was open —
+  /// executed via engine_degraded_snapshot (cache-only, shard untouched).
+  bool degraded = false;
   std::vector<std::size_t> op_indices;  // into the batch's op vector
 };
 
@@ -114,36 +166,80 @@ void Store::apply(std::vector<Op> ops, BatchHandler done) {
   // kThreaded), but the tickets, and with them every conflict winner, are
   // fixed before anything executes.
   auto plan = std::make_shared<std::vector<std::vector<Step>>>(shard_count);
-  const auto step_for = [&](std::size_t s, bool mutation) -> Step& {
+  const auto step_for = [&](std::size_t s, bool mutation, bool degraded = false) -> Step& {
     auto& steps = (*plan)[s];
-    if (steps.empty() || steps.back().is_mutation != mutation) {
-      steps.push_back(Step{mutation, {}});
+    if (steps.empty() || steps.back().is_mutation != mutation ||
+        steps.back().degraded != degraded) {
+      steps.push_back(Step{mutation, degraded, {}});
     }
     return steps.back();
   };
+  // D10 breaker gate, applied HERE at plan time — before any sequence
+  // ticket is drawn. Refusing an op after drawing its ticket would leave
+  // a gap in the (seq, writer) order and shift conflict winners, breaking
+  // the chaos-vs-clean differential; refusing before keeps the executed
+  // prefix byte-identical to a run where the refused ops never existed.
+  // Writes to an open shard fail fast (kUnavailable, no ticket, mirror
+  // untouched); reads fall back to the cache tier served-stale.
   for (std::size_t i = 0; i < ops.size(); ++i) {
     const Op& op = ops[i];
     switch (op.kind) {
-      case Op::Kind::kPut:
+      case Op::Kind::kPut: {
+        const std::size_t s = home_shard(op.key);
+        if (core_->breaker_blocks(s)) {
+          ctx->results[i].kind = op.kind;
+          ctx->results[i].put =
+              PutResult{0, false, s, /*failed=*/true, Status::kUnavailable};
+          ctx->ok = false;
+          break;
+        }
         own_keys_.insert(op.key);
         ctx->op_seqs[i] = engine_next_seq();
-        step_for(home_shard(op.key), /*mutation=*/true).op_indices.push_back(i);
+        step_for(s, /*mutation=*/true).op_indices.push_back(i);
         break;
-      case Op::Kind::kErase:
+      }
+      case Op::Kind::kErase: {
+        const std::size_t s = home_shard(op.key);
+        if (core_->breaker_blocks(s)) {
+          ctx->results[i].kind = op.kind;
+          ctx->results[i].put =
+              PutResult{0, false, s, /*failed=*/true, Status::kUnavailable};
+          ctx->ok = false;
+          break;
+        }
         // The no-op-erase rule, decided against the plan-time mirror:
         // erasing a key this client does not hold consumes no ticket (and
         // the engines publish nothing for it).
         if (own_keys_.erase(op.key) > 0) ctx->op_seqs[i] = engine_next_seq();
-        step_for(home_shard(op.key), /*mutation=*/true).op_indices.push_back(i);
+        step_for(s, /*mutation=*/true).op_indices.push_back(i);
         break;
-      case Op::Kind::kGet:
-        step_for(home_shard(op.key), /*mutation=*/false).op_indices.push_back(i);
+      }
+      case Op::Kind::kGet: {
+        const std::size_t s = home_shard(op.key);
+        const bool degraded = core_->breaker_blocks(s);
+        step_for(s, /*mutation=*/false, degraded).op_indices.push_back(i);
         break;
+      }
       case Op::Kind::kList: {
-        ctx->lists[i].waiting = shard_count;
-        ctx->lists[i].acc.complete = true;
+        auto& acc = ctx->lists[i];
+        acc.waiting = 0;
+        acc.acc.complete = true;
         for (std::size_t s = 0; s < shard_count; ++s) {
+          if (core_->breaker_blocks(s)) {
+            // An unreachable shard's keys are missing, and a stale cache
+            // view must not masquerade as them: the listing reports
+            // incomplete rather than silently mixing freshness.
+            acc.acc.complete = false;
+            ctx->ok = false;
+            continue;
+          }
+          ++acc.waiting;
           step_for(s, /*mutation=*/false).op_indices.push_back(i);
+        }
+        if (acc.waiting == 0) {
+          ctx->results[i].kind = op.kind;
+          ctx->results[i].list = std::move(acc.acc);
+          ctx->ok = false;
         }
         break;
       }
@@ -154,6 +250,11 @@ void Store::apply(std::vector<Op> ops, BatchHandler done) {
     if (!steps.empty()) ++ctx->chains_left;
   }
 
+  if (ctx->chains_left == 0) {
+    // Every op was refused at the gate: complete the batch inline.
+    if (ctx->done) ctx->done(BatchResult{std::move(ctx->results), ctx->ok});
+    return;
+  }
   for (std::size_t s = 0; s < shard_count; ++s) {
     if (!(*plan)[s].empty()) run_step(s, 0, plan, ctx);
   }
@@ -184,6 +285,7 @@ void Store::run_step(std::size_t s, std::size_t step_index,
       PutResult r;
       r.shard = s;
       r.failed = failed;
+      r.status = failed ? Status::kFailed : Status::kOk;
       const bool covered = !failed && ts > 0 && stable_ts(s) >= ts;
       {
         std::lock_guard lock(ctx->mu);
@@ -219,8 +321,9 @@ void Store::run_step(std::size_t s, std::size_t step_index,
     return;
   }
 
+  const bool degraded = step.degraded;
   const auto snapshot_complete =
-      [this, s, step_index, plan, ctx](
+      [this, s, step_index, plan, ctx, degraded](
           const std::map<std::string, kv::KvEntry>* merged, Timestamp read_ts,
           const kv::ReadOrigin& origin) {
         const bool failed = merged == nullptr;
@@ -235,6 +338,10 @@ void Store::run_step(std::size_t s, std::size_t step_index,
               GetResult& g = ctx->results[i].get;
               g.shard = s;
               g.failed = failed;
+              // Degraded reads that the cache could not answer are a
+              // reachability outcome (kUnavailable), not misbehavior.
+              g.status = failed ? (degraded ? Status::kUnavailable : Status::kFailed)
+                                : Status::kOk;
               g.read_ts = read_ts;
               if (!failed) {
                 const auto it = merged->find(op.key);
@@ -272,7 +379,11 @@ void Store::run_step(std::size_t s, std::size_t step_index,
     snapshot_complete(nullptr, 0, kv::ReadOrigin{});
     return;
   }
-  engine_snapshot(s, snapshot_complete);
+  if (degraded) {
+    engine_degraded_snapshot(s, snapshot_complete);
+  } else {
+    engine_snapshot(s, snapshot_complete);
+  }
 }
 
 // --- Single-op forms: batches of one ---------------------------------------
@@ -310,19 +421,21 @@ void Store::list(ListHandler done) {
 }
 
 Ticket<PutResult> Store::put(std::string key, std::string value) {
-  return make_ticket<PutResult>([&](auto resolve) {
-    put(std::move(key), std::move(value), std::move(resolve));
-  });
+  const std::size_t s = home_shard(key);  // breaker attribution (D10)
+  return make_ticket<PutResult>(
+      [&](auto resolve) { put(std::move(key), std::move(value), std::move(resolve)); }, s);
 }
 
 Ticket<PutResult> Store::erase(std::string key) {
+  const std::size_t s = home_shard(key);
   return make_ticket<PutResult>(
-      [&](auto resolve) { erase(std::move(key), std::move(resolve)); });
+      [&](auto resolve) { erase(std::move(key), std::move(resolve)); }, s);
 }
 
 Ticket<GetResult> Store::get(std::string key) {
+  const std::size_t s = home_shard(key);
   return make_ticket<GetResult>(
-      [&](auto resolve) { get(std::move(key), std::move(resolve)); });
+      [&](auto resolve) { get(std::move(key), std::move(resolve)); }, s);
 }
 
 Ticket<ListResult> Store::list() {

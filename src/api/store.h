@@ -73,6 +73,27 @@ namespace faust::api {
 
 // --- Result structs --------------------------------------------------------
 
+/// Typed outcome of an operation (D10). `failed` on the result structs
+/// stays the catch-all boolean (`failed == (status != kOk)` for puts and
+/// gets, except degraded cache-served gets, which are kOk); the status
+/// distinguishes WHY, because the reactions differ:
+///   kFailed      — fail_i fired on the home shard: the server misbehaved,
+///                  cryptographic evidence exists, stop trusting it.
+///   kTimedOut    — the wait deadline expired: a timing fault, NOT
+///                  misbehavior. The operation itself is still in flight
+///                  and may complete; the deadline abandons the wait, not
+///                  the op. Retry/backoff territory.
+///   kUnavailable — the shard's breaker is open (consecutive timeouts):
+///                  the op was refused fast instead of queued behind a
+///                  partition. Reads may still be served degraded from
+///                  the cache tier (flagged cached/as_of, never stable).
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kFailed,
+  kTimedOut,
+  kUnavailable,
+};
+
 /// Completion of a put/erase (one publication to the writer's register).
 struct PutResult {
   /// FAUST timestamp of the register write. 0 when no write was issued:
@@ -84,7 +105,8 @@ struct PutResult {
   /// Store::stable_ts later for the cut's progress).
   bool stable = false;
   std::size_t shard = 0;  ///< home shard (always 0 on a single deployment)
-  bool failed = false;    ///< fail_i had fired on the home shard
+  bool failed = false;    ///< the op did not take effect (see status)
+  Status status = Status::kOk;  ///< typed outcome (D10)
 };
 
 /// Completion of a point lookup (one merged snapshot of the home shard).
@@ -104,6 +126,11 @@ struct GetResult {
   /// snapshots whose registers were all read through the FAUST engine.
   bool cached = false;
   Timestamp as_of = 0;
+  /// Typed outcome (D10). A degraded read served stale from the cache
+  /// while its shard's breaker is open reports kOk with cached=true and
+  /// as_of set — usable data, truthfully flagged; kUnavailable means not
+  /// even the cache could answer.
+  Status status = Status::kOk;
 };
 
 /// Completion of a full listing (merged across every shard).
@@ -180,12 +207,71 @@ struct StoreCore {
   std::condition_variable cv;       // kBlock completion signal
   std::size_t step_budget = 10'000'000;               // kStep resolve bound
   std::chrono::milliseconds wait_timeout{120'000};    // kBlock resolve bound
+
+  /// Sentinel shard for tickets without a single home shard (batches).
+  static constexpr std::size_t kNoShard = ~std::size_t{0};
+
+  // D10 per-shard health (consecutive-timeout breaker). Lives in the
+  // shared core because tickets — the component that observes deadline
+  // expiry — may outlive the Store. All fields below are guarded by mu.
+  struct ShardHealth {
+    std::uint32_t consecutive_timeouts = 0;
+    bool open = false;       // breaker tripped: refuse ops fast
+    std::uint32_t skipped = 0;  // ops refused since it opened/last probe
+    bool probing = false;    // one recovery probe is in flight
+    std::uint64_t opens = 0; // times the breaker tripped (diagnostics)
+  };
+  std::uint32_t breaker_threshold = 0;  // 0 = breaker disabled (default)
+  std::uint32_t breaker_cooldown = 4;   // refusals between recovery probes
+  std::vector<ShardHealth> health;
+
+  /// A ticket wait on `shard` expired: count it; trip at the threshold.
+  void note_timeout(std::size_t shard);
+  /// The shard answered (any real completion): reset and close.
+  void note_contact(std::size_t shard);
+  /// Plan-time gate: true if ops to `shard` must be refused right now.
+  /// Every `breaker_cooldown`-th refused op is let through instead as the
+  /// recovery probe (half-open); its completion closes the breaker, its
+  /// timeout re-arms it.
+  bool breaker_blocks(std::size_t shard);
+  bool breaker_open(std::size_t shard);
 };
 
 template <typename T>
 struct TicketState {
   std::shared_ptr<StoreCore> core;
   std::optional<T> value;  // guarded by core->mu
+  /// Home shard for breaker attribution; kNoShard when not attributable.
+  std::size_t shard = StoreCore::kNoShard;
+};
+
+/// Per-result-type hooks for the D10 breaker: how a timeout is stamped
+/// into the result and whether a resolved value proves the shard spoke.
+template <typename T>
+struct ShardOutcome {
+  static void mark_timeout(T&, std::size_t) {}
+  static bool counts_as_contact(const T&) { return false; }
+};
+template <>
+struct ShardOutcome<PutResult> {
+  static void mark_timeout(PutResult& r, std::size_t shard) {
+    r.shard = shard;
+    r.status = Status::kTimedOut;
+  }
+  static bool counts_as_contact(const PutResult& r) {
+    return r.status == Status::kOk || r.status == Status::kFailed;
+  }
+};
+template <>
+struct ShardOutcome<GetResult> {
+  static void mark_timeout(GetResult& r, std::size_t shard) {
+    r.shard = shard;
+    r.status = Status::kTimedOut;
+  }
+  static bool counts_as_contact(const GetResult& r) {
+    // Cache-served degraded reads never touched the shard.
+    return !r.cached && (r.status == Status::kOk || r.status == Status::kFailed);
+  }
 };
 
 /// The result a wait()/settle() returns when the operation cannot
@@ -226,28 +312,17 @@ class Ticket {
 
   /// Resolves and returns the result: steps the deterministic scheduler
   /// until the operation completes (kStep) or blocks on the executor
-  /// threads (kBlock). If the resolve bound expires first, returns a
-  /// failure-marked result and leaves the ticket pending.
-  T wait() {
-    FAUST_CHECK(st_);
-    detail::StoreCore& core = *st_->core;
-    if (core.mode == detail::StoreCore::Mode::kStep) {
-      if (!detail::drain_scheduler(core, [this] {
-            std::lock_guard lock(st_->core->mu);
-            return st_->value.has_value();
-          })) {
-        return detail::unresolved_result<T>();
-      }
-      std::lock_guard lock(core.mu);
-      return *st_->value;
-    }
-    std::unique_lock lock(core.mu);
-    if (!core.cv.wait_for(lock, core.wait_timeout,
-                          [this] { return st_->value.has_value(); })) {
-      return detail::unresolved_result<T>();
-    }
-    return *st_->value;
-  }
+  /// threads (kBlock). If the resolve bound (step_budget / wait_timeout)
+  /// expires first, returns a Status::kTimedOut result and leaves the
+  /// ticket pending — the deadline abandons the WAIT, not the operation,
+  /// which may still complete (and still be settled by fail_i or store
+  /// destruction). A timeout feeds the shard's D10 breaker.
+  T wait() { return wait_bounded(st_ ? st_->core->wait_timeout : std::chrono::milliseconds{0}); }
+
+  /// wait() with a per-call deadline overriding the store-wide
+  /// wait_timeout (kBlock mode; under kStep the step budget bounds the
+  /// resolve either way).
+  T wait_for(std::chrono::milliseconds deadline) { return wait_bounded(deadline); }
 
   /// Synonym of wait() (the deterministic-mode reading of the resolve).
   T settle() { return wait(); }
@@ -263,6 +338,39 @@ class Ticket {
  private:
   friend class Store;
   explicit Ticket(std::shared_ptr<detail::TicketState<T>> st) : st_(std::move(st)) {}
+
+  T wait_bounded(std::chrono::milliseconds deadline) {
+    FAUST_CHECK(st_);
+    detail::StoreCore& core = *st_->core;
+    bool resolved;
+    if (core.mode == detail::StoreCore::Mode::kStep) {
+      resolved = detail::drain_scheduler(core, [this] {
+        std::lock_guard lock(st_->core->mu);
+        return st_->value.has_value();
+      });
+    } else {
+      std::unique_lock lock(core.mu);
+      resolved = core.cv.wait_for(lock, deadline, [this] { return st_->value.has_value(); });
+    }
+    if (!resolved) {
+      if (st_->shard != detail::StoreCore::kNoShard) core.note_timeout(st_->shard);
+      T r = detail::unresolved_result<T>();
+      if (st_->shard != detail::StoreCore::kNoShard) {
+        detail::ShardOutcome<T>::mark_timeout(r, st_->shard);
+      }
+      return r;
+    }
+    T r;
+    {
+      std::lock_guard lock(core.mu);
+      r = *st_->value;
+    }
+    if (st_->shard != detail::StoreCore::kNoShard &&
+        detail::ShardOutcome<T>::counts_as_contact(r)) {
+      core.note_contact(st_->shard);
+    }
+    return r;
+  }
 
   std::shared_ptr<detail::TicketState<T>> st_;
 };
@@ -322,6 +430,31 @@ class Store {
   /// under a threaded deployment events fire on shard runtime threads.
   void on_event(EventHandler handler) { events_ = std::move(handler); }
 
+  // -- Deadlines & degradation (D10) ---------------------------------------
+
+  /// Store-wide ticket-wait deadline (kBlock mode; default 120 s). Waits
+  /// that outlast it resolve to Status::kTimedOut — typed, prompt, never
+  /// a silent hang — while the op itself stays in flight.
+  void set_wait_timeout(std::chrono::milliseconds t) { core_->wait_timeout = t; }
+  /// kStep resolve bound: scheduler steps a wait may consume before
+  /// resolving to Status::kTimedOut.
+  void set_step_budget(std::size_t steps) { core_->step_budget = steps; }
+
+  /// Arms the per-shard consecutive-timeout breaker: after `threshold`
+  /// ticket waits on one shard expire back-to-back, ops to that shard are
+  /// refused fast with Status::kUnavailable (writes) or served degraded
+  /// from the cache tier (reads; flagged cached/as_of, never stable)
+  /// instead of queuing behind a partition. Every `cooldown_ops`-th
+  /// refusal is let through as a recovery probe; its completion closes
+  /// the breaker. threshold 0 disables (the default).
+  void set_breaker(std::uint32_t threshold, std::uint32_t cooldown_ops = 4) {
+    std::lock_guard lock(core_->mu);
+    core_->breaker_threshold = threshold;
+    core_->breaker_cooldown = cooldown_ops == 0 ? 1 : cooldown_ops;
+  }
+  /// True while shard `s`'s breaker is open.
+  bool breaker_open(std::size_t s) const { return core_->breaker_open(s); }
+
   // -- Introspection --------------------------------------------------------
 
   virtual ClientId id() const = 0;
@@ -369,6 +502,16 @@ class Store {
                                           Timestamp, const kv::ReadOrigin&)>;
   virtual void engine_snapshot(std::size_t shard, SnapshotDone done) = 0;
 
+  /// D10 graceful degradation: a cache-only snapshot of shard `s`, taken
+  /// while its breaker is open — the shard itself is NOT contacted.
+  /// Backends with a cache tier override this to serve expired-but-held
+  /// entries (flagged via origin.cached/as_of); the default reports the
+  /// shard unreachable (null map → Status::kUnavailable).
+  virtual void engine_degraded_snapshot(std::size_t shard, SnapshotDone done) {
+    (void)shard;
+    done(nullptr, 0, kv::ReadOrigin{});
+  }
+
   /// Implementations forward fail_i / stable_i through this.
   void emit(const Event& e) {
     if (events_) events_(e);
@@ -383,10 +526,13 @@ class Store {
   void begin_close() { closing_.store(true, std::memory_order_release); }
 
   /// Creates a ticket and issues the op with a callback that resolves it.
+  /// `shard` attributes the ticket's wait outcomes to a home shard for
+  /// the D10 breaker (kNoShard = not attributable, e.g. batches).
   template <typename T, typename Issue>
-  Ticket<T> make_ticket(Issue issue) {
+  Ticket<T> make_ticket(Issue issue, std::size_t shard = detail::StoreCore::kNoShard) {
     auto st = std::make_shared<detail::TicketState<T>>();
     st->core = core_;
+    st->shard = shard;
     issue([st](const T& result) {
       {
         std::lock_guard lock(st->core->mu);

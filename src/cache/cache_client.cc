@@ -31,11 +31,12 @@ CacheClient::~CacheClient() {
   net_.detach(self_);
 }
 
-void CacheClient::lookup(std::vector<Base> bases, LookupHandler done) {
+void CacheClient::lookup(std::vector<Base> bases, LookupHandler done, bool allow_stale) {
   FAUST_CHECK(bases.size() == static_cast<std::size_t>(n_));
   const std::uint64_t req = next_req_++;
   GetMessage m;
   m.req_id = req;
+  m.allow_stale = allow_stale;
   m.bases.resize(bases.size());
   for (std::size_t slot = 0; slot < bases.size(); ++slot) {
     if (bases[slot].present) m.bases[slot] = bases[slot].digest;

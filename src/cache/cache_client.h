@@ -97,8 +97,11 @@ class CacheClient : public net::Node {
 
   /// One bulk lookup for all n registers. `bases[j-1]` advertises the
   /// caller's verified digest of X_j (see Base). Multiple lookups may be
-  /// in flight (request-id correlated).
-  void lookup(std::vector<Base> bases, LookupHandler done);
+  /// in flight (request-id correlated). `allow_stale` is the D10 degraded
+  /// mode: the cache also serves expired-but-held entries (without TTL
+  /// refresh) — set only when the home shard is unreachable and
+  /// stale-but-authentic beats nothing.
+  void lookup(std::vector<Base> bases, LookupHandler done, bool allow_stale = false);
 
   /// Fire-and-forget CACHE_FILL of verified tuples (read-through or
   /// writer push). Sections with present=false are negative fills.

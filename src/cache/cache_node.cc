@@ -72,7 +72,8 @@ void CacheNode::handle_get(NodeId from, const GetMessage& m) {
   for (std::size_t slot = 0; slot < sections.size(); ++slot) {
     OutSection& out = sections[slot];
     std::optional<Entry>& e = entries_[slot];
-    if (e.has_value() && entry_expired(*e)) {
+    const bool expired = e.has_value() && entry_expired(*e);
+    if (expired && !m.allow_stale) {
       ++expirations_;
       arena_used_ -= e->charge();
       e.reset();
@@ -81,6 +82,10 @@ void CacheNode::handle_get(NodeId from, const GetMessage& m) {
       ++misses_;
       continue;  // kMiss
     }
+    // D10 degraded lookup: an allow_stale get serves the expired entry
+    // as held — as_of still truthfully bounds its freshness — but does
+    // NOT refresh its TTL; normal lookups will still expire it.
+    if (expired) ++stale_served_;
     e->last_used = ++lru_clock_;
     if (!e->present) {
       ++negatives_served_;

@@ -87,6 +87,9 @@ class CacheNode : public net::Node {
   std::uint64_t fills_refreshed() const { return fills_refreshed_; }
   std::uint64_t fills_rejected() const { return fills_rejected_; }
   std::uint64_t malformed() const { return malformed_; }
+  /// Sections served from an EXPIRED entry to an allow_stale lookup
+  /// (D10 degraded reads; always truthfully bounded by as_of).
+  std::uint64_t stale_served() const { return stale_served_; }
   /// Bytes of partition values currently held against the arena budget.
   std::size_t arena_used() const { return arena_used_; }
   /// True iff a (present or negative) unexpired entry exists for X_j.
@@ -148,6 +151,7 @@ class CacheNode : public net::Node {
   std::uint64_t fills_refreshed_ = 0;
   std::uint64_t fills_rejected_ = 0;
   std::uint64_t malformed_ = 0;
+  std::uint64_t stale_served_ = 0;
 };
 
 }  // namespace faust::cache

@@ -26,11 +26,12 @@ bool get_hash(wire::Reader& r, crypto::Hash& out) {
 }  // namespace
 
 Bytes encode_get(const GetMessage& m) {
-  std::size_t hint = 1 + 8 + 4;
+  std::size_t hint = 1 + 8 + 1 + 4;
   for (const auto& b : m.bases) hint += 1 + (b.has_value() ? sizeof(crypto::Hash) : 0);
   wire::Writer w(hint);
   w.put_u8(static_cast<std::uint8_t>(MsgType::kGet));
   w.put_u64(m.req_id);
+  w.put_u8(m.allow_stale ? 1 : 0);
   w.put_u32(static_cast<std::uint32_t>(m.bases.size()));
   for (const auto& b : m.bases) {
     w.put_u8(b.has_value() ? 1 : 0);
@@ -44,6 +45,9 @@ std::optional<GetMessage> decode_get(BytesView data) {
   if (r.get_u8() != static_cast<std::uint8_t>(MsgType::kGet)) return std::nullopt;
   GetMessage m;
   m.req_id = r.get_u64();
+  const std::uint8_t stale = r.get_u8();
+  if (stale > 1) return std::nullopt;
+  m.allow_stale = stale == 1;
   const std::uint32_t count = r.get_u32();
   if (!r.ok() || count > kMaxSections) return std::nullopt;
   m.bases.resize(count);

@@ -63,6 +63,12 @@ enum class SectionStatus : std::uint8_t {
 /// CACHE_GET: one lookup covering registers 1..n.
 struct GetMessage {
   std::uint64_t req_id = 0;
+  /// D10 degraded mode: serve expired-but-held entries too (without
+  /// refreshing their TTL). Set only by clients whose home shard is
+  /// unreachable — stale-but-authentic data, truthfully bounded by each
+  /// section's as_of, beats no data. Normal lookups leave this false and
+  /// expired entries count as misses.
+  bool allow_stale = false;
   /// [j-1]: digest of the verified content of X_j the client already
   /// holds decoded (enables the unchanged fast path), or nullopt.
   std::vector<std::optional<crypto::Hash>> bases;

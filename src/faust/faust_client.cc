@@ -40,7 +40,10 @@ FaustClient::FaustClient(ClientId id, int n,
       ustor_(id, n, std::move(sigs), net, kServerNode, config.verify_cache_entries,
              config.data_digest, config.wire_deltas),
       VER_(static_cast<std::size_t>(n)),
-      W_(static_cast<std::size_t>(n), 0) {
+      W_(static_cast<std::size_t>(n), 0),
+      // Jitter stream is per-client so a fleet retransmitting after the
+      // same outage desynchronizes instead of stampeding in lockstep.
+      retransmit_rng_(0x9E3779B97F4A7C15ULL ^ static_cast<std::uint64_t>(id)) {
   for (auto& kv : VER_) {
     kv.sv.version = ustor::Version(n);
     kv.updated_at = exec_.now();
@@ -51,6 +54,12 @@ FaustClient::FaustClient(ClientId id, int n,
   ustor_.on_fail = [this](ustor::FailCause) {
     detect_failure(FailureReason::kUstorDetected, std::nullopt);
   };
+  // Retransmission implies a lossy fabric, and loss alone can leave the
+  // server's SVER for this client two commits behind its next submit —
+  // which a READER of this register would misread as misbehavior
+  // (Algorithm 1 line 52). Piggybacking the latest COMMIT on every
+  // SUBMIT closes that window with probability 1.
+  if (config_.retransmit_base > 0) ustor_.set_attach_commits(true);
   mail_.register_client(id_, [this](ClientId from, BytesView msg) { handle_mail(from, msg); });
   arm_dummy_timer();
   arm_probe_timer();
@@ -59,6 +68,42 @@ FaustClient::FaustClient(ClientId id, int n,
 FaustClient::~FaustClient() {
   exec_.cancel(dummy_timer_);
   exec_.cancel(probe_timer_);
+  cancel_retransmit();
+}
+
+void FaustClient::start_retransmit() {
+  if (config_.retransmit_base == 0) return;
+  retransmit_delay_ = config_.retransmit_base;
+  arm_retransmit();
+}
+
+void FaustClient::arm_retransmit() {
+  const sim::Time jitter =
+      retransmit_delay_ > 1 ? retransmit_rng_.next_in(0, retransmit_delay_ / 2) : 0;
+  retransmit_timer_ = exec_.after(retransmit_delay_ + jitter, [this] { retransmit_fire(); });
+}
+
+void FaustClient::retransmit_fire() {
+  retransmit_timer_ = 0;
+  if (failed_ || !op_in_flight_) return;
+  ++retransmits_;
+  // COMMIT first, then the in-flight SUBMIT: the resent COMMIT clears our
+  // L entry at the server, and the duplicate SUBMIT either un-parks /
+  // dedups there (already processed — cached reply comes back) or gets
+  // processed for the first time (original was dropped). Exactly-once
+  // holds either way.
+  ustor_.resubmit();
+  const sim::Time cap =
+      config_.retransmit_cap > 0 ? config_.retransmit_cap : config_.retransmit_base * 8;
+  retransmit_delay_ = std::min(cap, retransmit_delay_ * 2);
+  arm_retransmit();
+}
+
+void FaustClient::cancel_retransmit() {
+  if (retransmit_timer_ != 0) {
+    exec_.cancel(retransmit_timer_);
+    retransmit_timer_ = 0;
+  }
 }
 
 Timestamp FaustClient::fully_stable_timestamp() const {
@@ -126,9 +171,11 @@ void FaustClient::pump() {
 
 void FaustClient::start_op(PendingUserOp op) {
   op_in_flight_ = true;
+  start_retransmit();
   if (op.is_write) {
     auto write_cb = [this, done = std::move(op.write_done)](const ustor::WriteResult& r) {
       op_in_flight_ = false;
+      cancel_retransmit();
       last_write_sig_ = r.data_sig;
       const bool ok = ingest(id_, id_, r.own, /*already_verified=*/true);
       if (done) done(r.t);
@@ -145,6 +192,7 @@ void FaustClient::start_op(PendingUserOp op) {
     const ClientId j = op.target;
     ustor_.readx(j, [this, j, done = std::move(op.read_done)](const ustor::ReadResult& r) {
       op_in_flight_ = false;
+      cancel_retransmit();
       // Order matters for accuracy: fold in the writer's version first so
       // an inconsistency is reported before the value is handed out.
       bool ok = true;
@@ -178,8 +226,10 @@ void FaustClient::dummy_tick() {
   const ClientId j = next_dummy_target_;
   ++dummy_reads_;
   op_in_flight_ = true;
+  start_retransmit();
   ustor_.readx(j, [this, j](const ustor::ReadResult& r) {
     op_in_flight_ = false;
+    cancel_retransmit();
     bool ok = true;
     if (!r.writer_version.version.is_zero()) {
       ok = ingest(j, j, r.writer_version, /*already_verified=*/true);
@@ -289,6 +339,7 @@ void FaustClient::detect_failure(FailureReason reason,
   failure_report_ = std::move(report);
   exec_.cancel(dummy_timer_);
   exec_.cancel(probe_timer_);
+  cancel_retransmit();
   queue_.clear();
 
   // Alert every other client over the offline channel (§6); mailbox

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/rng.h"
 #include "crypto/signature.h"
 #include "exec/executor.h"
 #include "net/mailbox.h"
@@ -65,6 +66,17 @@ struct FaustConfig {
   /// mismatch degrades to the full-value path, so this is safe to leave on
   /// — the differential oracle pins on/off equivalence.
   bool wire_deltas = true;
+  /// D10 chaos tolerance: while an operation is in flight, resend its
+  /// COMMIT+SUBMIT (ustor::Client::resubmit — exactly-once via the
+  /// server's duplicate detection) after this long, then back off
+  /// exponentially with jitter up to retransmit_cap. 0 disables
+  /// retransmission — the default, because on a reliable transport it is
+  /// dead weight and would perturb pinned message-count baselines. Lossy
+  /// deployments (a FaultPlan, a flaky real network) turn it on; without
+  /// it a single dropped SUBMIT or REPLY stalls the client forever.
+  sim::Time retransmit_base = 0;
+  /// Backoff ceiling for retransmission delays (0 = 8 × retransmit_base).
+  sim::Time retransmit_cap = 0;
 
   /// The same config with every period multiplied by `factor`. Real
   /// transports need this (DESIGN.md D9): the defaults above are tuned
@@ -78,6 +90,8 @@ struct FaustConfig {
     c.dummy_read_period *= factor;
     c.probe_interval *= factor;
     c.probe_check_period *= factor;
+    c.retransmit_base *= factor;
+    c.retransmit_cap *= factor;
     return c;
   }
 };
@@ -229,6 +243,8 @@ class FaustClient {
   std::uint64_t dummy_reads() const { return dummy_reads_; }
   std::uint64_t probes_sent() const { return probes_sent_; }
   std::uint64_t versions_received() const { return versions_received_; }
+  /// Retransmissions fired by the D10 in-flight timer (0 when disabled).
+  std::uint64_t retransmits() const { return retransmits_; }
 
  private:
   /// VER_i[j] of §6: the maximal version known to stem from C_j's
@@ -264,6 +280,14 @@ class FaustClient {
   void arm_probe_timer();
   void dummy_tick();
   void probe_tick();
+
+  /// D10 retransmission: armed whenever an operation goes in flight,
+  /// canceled when it completes; each firing resubmit()s and doubles the
+  /// delay (with jitter) up to the cap. No-ops when retransmit_base == 0.
+  void start_retransmit();
+  void arm_retransmit();
+  void retransmit_fire();
+  void cancel_retransmit();
 
   /// Folds a freshly learned version into VER (slot `j`), running the
   /// comparability check. Returns false iff a failure was detected.
@@ -307,10 +331,14 @@ class FaustClient {
 
   sim::EventId dummy_timer_ = 0;
   sim::EventId probe_timer_ = 0;
+  sim::EventId retransmit_timer_ = 0;
+  sim::Time retransmit_delay_ = 0;      // current backoff step
+  Rng retransmit_rng_;  // jitter stream, seeded per client id (ctor)
 
   std::uint64_t dummy_reads_ = 0;
   std::uint64_t probes_sent_ = 0;
   std::uint64_t versions_received_ = 0;
+  std::uint64_t retransmits_ = 0;
 };
 
 }  // namespace faust

@@ -404,6 +404,12 @@ void KvClient::snapshot(
 
 void KvClient::consume_cache_result(const std::shared_ptr<Snapshot>& snap,
                                     const std::vector<cache::CacheClient::Section>& sections) {
+  fold_cache_sections(snap, sections);
+  read_partition(1, snap);
+}
+
+void KvClient::fold_cache_sections(const std::shared_ptr<Snapshot>& snap,
+                                   const std::vector<cache::CacheClient::Section>& sections) {
   const std::size_t n = static_cast<std::size_t>(faust_.n());
   FAUST_CHECK(sections.size() == n);  // CacheClient always delivers n
   const auto fold_as_of = [&](Timestamp as_of) {
@@ -461,7 +467,53 @@ void KvClient::consume_cache_result(const std::shared_ptr<Snapshot>& snap,
         break;  // engine fallback reads this slot
     }
   }
-  read_partition(1, snap);
+}
+
+void KvClient::snapshot_degraded(DegradedHandler done) {
+  if (cache_ == nullptr) {
+    // No cache tier wired: a degraded read has nowhere to go.
+    done(nullptr, 0, ReadOrigin{});
+    return;
+  }
+  auto snap = std::make_shared<Snapshot>();
+  const std::size_t n = static_cast<std::size_t>(faust_.n());
+  snap->parts.resize(n);
+  snap->fps.resize(n);
+  snap->resolved.assign(n, false);
+  snap->tried_cache = true;
+  ++snapshots_total_;
+  ++degraded_snapshots_;
+  std::vector<cache::CacheClient::Base> bases(n);
+  if (tuning_.decode_memo) {
+    for (std::size_t slot = 0; slot < n; ++slot) {
+      const PartMemo& memo = part_memo_[slot];
+      if (memo.part) bases[slot] = cache::CacheClient::Base{true, memo.fp.digest};
+    }
+  }
+  cache_->lookup(
+      std::move(bases),
+      [this, snap, done = std::move(done)](const cache::CacheClient::Result& res) mutable {
+        fold_cache_sections(snap, res.sections);
+        for (std::size_t slot = 0; slot < snap->resolved.size(); ++slot) {
+          if (!snap->resolved[slot]) {
+            // A register the cache could not serve: the snapshot would be
+            // silently partial — fail it whole instead (kUnavailable up
+            // the stack), never mix stale slots with fabricated ⊥s.
+            ++degraded_unavailable_;
+            done(nullptr, 0, ReadOrigin{});
+            return;
+          }
+        }
+        snap->done = [done = std::move(done)](const std::map<std::string, KvEntry>& merged,
+                                              Timestamp ts, const ReadOrigin& origin) {
+          done(&merged, ts, origin);
+        };
+        // No engine read ran (max_read_ts == 0, no fills owed): the
+        // shared finisher merges, reports ts = the cache freshness
+        // horizon, and leaves the stability anchor untouched.
+        finish_snapshot(snap);
+      },
+      /*allow_stale=*/true);
 }
 
 void KvClient::read_partition(ClientId j, std::shared_ptr<Snapshot> snap) {

@@ -185,6 +185,23 @@ class KvClient {
   void get_ex(const std::string& key, bool bypass_cache, GetExHandler done);
   void list_ex(bool bypass_cache, ListExHandler done);
 
+  /// D10 degraded snapshot handler: `merged` is null when the cache could
+  /// not serve EVERY register (the degraded read is unavailable, not
+  /// silently partial); otherwise the map is valid only within the
+  /// callback, `ts` is the cache freshness horizon and `origin.cached` is
+  /// always true.
+  using DegradedHandler =
+      std::function<void(const std::map<std::string, KvEntry>*, Timestamp, const ReadOrigin&)>;
+
+  /// Cache-ONLY merged snapshot for when the home shard is unreachable
+  /// (DESIGN.md D10): one allow_stale bulk lookup — expired-but-held
+  /// entries serve too — and NO engine fallback. Every register must
+  /// resolve from the cache (verified value, unchanged token, or
+  /// negative); any miss or rejection fails the whole snapshot with a
+  /// null map. Never advances the stability anchor: the result is
+  /// stale-but-authentic by contract, flagged via ReadOrigin.
+  void snapshot_degraded(DegradedHandler done);
+
   /// Attaches the edge-cache hop (D8): subsequent snapshots first issue
   /// one bulk verified lookup through `c`, engine-read only the registers
   /// the cache could not serve (miss / verification failure), fill the
@@ -255,6 +272,9 @@ class KvClient {
   /// Read-through fill batches and writer push fills sent.
   std::uint64_t cache_fill_batches() const { return cache_fill_batches_; }
   std::uint64_t cache_push_fills() const { return cache_push_fills_; }
+  /// D10 degraded (cache-only) snapshots attempted / failed-unavailable.
+  std::uint64_t degraded_snapshots() const { return degraded_snapshots_; }
+  std::uint64_t degraded_unavailable() const { return degraded_unavailable_; }
 
  private:
   /// Verified fingerprint of one register's content: what the decode memo
@@ -339,6 +359,11 @@ class KvClient {
   void consume_cache_result(const std::shared_ptr<Snapshot>& snap,
                             const std::vector<cache::CacheClient::Section>& sections);
 
+  /// The per-slot verification fold shared by the normal and degraded
+  /// cache paths (marks resolved slots, updates memos, tracks as_of).
+  void fold_cache_sections(const std::shared_ptr<Snapshot>& snap,
+                           const std::vector<cache::CacheClient::Section>& sections);
+
   /// Reads partition j (skipping cache-resolved slots), folds it into the
   /// snapshot, recurses to j+1; finishes past n.
   void read_partition(ClientId j, std::shared_ptr<Snapshot> snap);
@@ -387,6 +412,8 @@ class KvClient {
   std::uint64_t snapshots_total_ = 0;
   std::uint64_t cache_fill_batches_ = 0;
   std::uint64_t cache_push_fills_ = 0;
+  std::uint64_t degraded_snapshots_ = 0;
+  std::uint64_t degraded_unavailable_ = 0;
 };
 
 }  // namespace faust::kv

@@ -6,11 +6,20 @@
 // exists for modelling a crashed (silent) server or client — crashing is
 // the only way a message is ever lost, matching §2 where channels are
 // reliable and failures are per-party.
+//
+// D10 extends the model with declarative chaos (FaultPlan + directed
+// partitions): loss, duplication, reordering and latency injection, all
+// drawn from a dedicated seeded stream so storms replay deterministically.
+// The protocol layers must ride this out WITHOUT firing fail_i — a timing
+// fault is not misbehavior (fail-awareness, Def. 5 accuracy) — which the
+// chaos differential tests pin.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <map>
+#include <optional>
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -31,6 +40,40 @@ struct DelayModel {
   sim::Time sample(Rng& rng) const {
     return min_delay == max_delay ? min_delay : rng.next_in(min_delay, max_delay);
   }
+};
+
+/// D10 declarative chaos (DESIGN.md): per-message fault probabilities and
+/// latency shaping applied deterministically inside Network::send from a
+/// dedicated seeded stream — the same seed replays the same storm, which
+/// is what lets the differential oracle compare a chaos run against a
+/// chaos-free replay. The all-zero default is exactly the pre-chaos
+/// fabric: no extra RNG draws happen, so seeded executions without a
+/// plan are unchanged.
+struct FaultPlan {
+  /// Probability each message is dropped at send time.
+  double drop = 0;
+  /// Probability a message is delivered twice; the duplicate takes its
+  /// own independently sampled delay and ignores the FIFO clamp.
+  double duplicate = 0;
+  /// Probability a message skips the per-channel FIFO clamp, letting it
+  /// overtake earlier messages still in flight on its channel.
+  double reorder = 0;
+  /// Fixed latency added to every message.
+  sim::Time extra_delay = 0;
+  /// Additional uniform latency in [0, jitter] per message.
+  sim::Time jitter = 0;
+
+  bool active() const {
+    return drop > 0 || duplicate > 0 || reorder > 0 || extra_delay > 0 || jitter > 0;
+  }
+};
+
+/// Chaos bookkeeping: what a storm actually did to the fabric.
+struct ChaosStats {
+  std::uint64_t dropped = 0;            // FaultPlan::drop losses
+  std::uint64_t duplicated = 0;         // second deliveries scheduled
+  std::uint64_t reordered = 0;          // FIFO-clamp skips that could overtake
+  std::uint64_t partition_dropped = 0;  // losses on partitioned channels
 };
 
 /// Per-direction traffic counters (used by the overhead/throughput benches).
@@ -89,6 +132,29 @@ class Network : public Transport {
   /// True between kill(id) and the next attach(id, ...).
   bool killed(NodeId id) const { return killed_.count(id) > 0; }
 
+  // Chaos (D10) ---------------------------------------------------------
+
+  /// Installs (or replaces) the chaos plan. The plan's random draws come
+  /// from a stream forked off the delay RNG on first install, so a
+  /// plan-free Network's delay sequence is byte-identical to builds that
+  /// predate the chaos layer.
+  void set_fault_plan(const FaultPlan& plan);
+  const FaultPlan& fault_plan() const { return plan_; }
+
+  /// Cuts the DIRECTED from→to channel: sends are dropped (counted), and
+  /// so are messages already in flight when delivery comes due.
+  /// Asymmetric by design — partition(a,b) alone models a one-way outage;
+  /// cut both directions for a full partition. heal()/heal_all() restore.
+  void partition(NodeId from, NodeId to) { partitions_.insert({from, to}); }
+  void heal(NodeId from, NodeId to) { partitions_.erase({from, to}); }
+  void heal_all() { partitions_.clear(); }
+  bool partitioned(NodeId from, NodeId to) const {
+    return partitions_.count({from, to}) > 0;
+  }
+
+  /// Counters for everything the chaos layer did.
+  const ChaosStats& chaos() const { return chaos_; }
+
   /// Aggregate counters over all channels.
   const ChannelStats& total() const { return total_; }
 
@@ -126,6 +192,10 @@ class Network : public Transport {
   exec::Executor& exec_;
   Rng rng_;
   DelayModel delay_;
+  FaultPlan plan_;
+  std::optional<Rng> chaos_rng_;  // forked on first set_fault_plan
+  std::set<std::pair<NodeId, NodeId>> partitions_;  // directed cut channels
+  ChaosStats chaos_;
   std::unordered_map<NodeId, Node*> nodes_;
   std::map<std::pair<NodeId, NodeId>, ChannelState> channels_;
   std::unordered_map<NodeId, char> crashed_;

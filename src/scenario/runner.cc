@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <mutex>
 #include <thread>
 
 #include "common/check.h"
@@ -41,6 +42,16 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   FAUST_CHECK(config.kills.empty() || !config.dir.empty());
   const bool det = config.mode == shard::ExecMode::kDeterministic;
 
+  // A schedule that LOSES messages — probabilistic drops, or partitions
+  // (anything in flight into the cut is gone, and over a socket a
+  // blackholed or reset frame is gone too) — needs the client
+  // retransmission timer: the fabric's reliability guarantee is off, and
+  // without re-sends the op stream just hangs out its budget. Catch the
+  // misconfiguration here instead of as a silent timeout.
+  bool lossy = config.fault_plan.drop > 0 || !config.partitions.empty();
+  for (const ChaosEvent& ev : config.chaos) lossy = lossy || ev.plan.drop > 0;
+  FAUST_CHECK(!lossy || config.retransmit_base > 0);
+
   shard::ShardedClusterConfig sc_cfg;
   sc_cfg.shards = config.shards;
   sc_cfg.seed = config.cluster_seed;
@@ -54,9 +65,47 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   // engine ops. Probes stay on (they carry no timestamps) so stability
   // cuts still advance.
   sc_cfg.shard_template.faust.dummy_read_period = 0;
+  sc_cfg.shard_template.faust.retransmit_base = config.retransmit_base;
+  sc_cfg.shard_template.faust.retransmit_cap = config.retransmit_cap;
   sc_cfg.shard_template.cache = config.cache;
   sc_cfg.process = config.process;
   shard::ShardedCluster sc(sc_cfg);
+
+  // D10 chaos plumbing. Simulated shards take the FaultPlan directly on
+  // their fabric (calls serialized onto the shard's executor); process
+  // shards go through the transport's chaos shim (any-thread safe), with
+  // a per-shard shadow of the installed ChaosOptions so partitions and
+  // plan changes compose — the healer thread must restore latency shims,
+  // not wipe them.
+  std::mutex chaos_mu;
+  std::vector<sock::ChaosOptions> chaos_shadow(config.shards);
+  const auto tick_ms = [&config](std::uint64_t ticks) {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::nanoseconds(static_cast<std::int64_t>(ticks) *
+                                 config.process.tick.count()));
+  };
+  const auto on_shard = [&sc, det](std::size_t s, std::function<void()> body) {
+    if (det) {
+      body();
+    } else {
+      FAUST_CHECK(exec::post_sync(sc.shard_exec(s), body));
+    }
+  };
+  const auto apply_plan = [&](std::size_t s, const net::FaultPlan& plan) {
+    if (sock::SocketTransport* t = sc.shard_transport(s)) {
+      // schedule.h documents the mapping: latency shapes the receive
+      // path; probabilistic drop becomes one mid-frame reset (TCP owns
+      // per-packet loss; what the protocol sees is a dead connection).
+      {
+        std::lock_guard lock(chaos_mu);
+        chaos_shadow[s].rx_latency = tick_ms(plan.extra_delay + plan.jitter);
+        t->set_chaos(chaos_shadow[s]);
+      }
+      if (plan.drop > 0) t->inject_reset();
+      return;
+    }
+    on_shard(s, [&sc, s, plan] { sc.shard(s).net().set_fault_plan(plan); });
+  };
 
   // Process-shard restarts run on these (see ScenarioConfig::process);
   // declared after `sc` so the join-on-unwind happens while it is alive.
@@ -75,6 +124,13 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     kv.push_back(std::make_unique<shard::ShardedKvClient>(sc, i));
   }
 
+  // The baseline storm starts BEFORE the first op: every shard's fabric
+  // carries the plan for the whole run (mid-run changes go through
+  // ChaosEvents).
+  if (config.fault_plan.active()) {
+    for (std::size_t s = 0; s < config.shards; ++s) apply_plan(s, config.fault_plan);
+  }
+
   ScenarioResult result;
   WorkloadGenerator gen(config.workload);
 
@@ -83,6 +139,12 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   std::atomic<int> restarts_done{0};
   std::atomic<int> restarts_snapshot{0};
   std::atomic<std::uint64_t> recovery_ns{0};
+
+  // Partition-heal bookkeeping: process-shard partitions heal on
+  // dedicated threads (like restarts); the merged fan-out below must not
+  // run into a still-blackholed shard.
+  std::atomic<int> heals_done{0};
+  int heals_expected = 0;
 
   std::vector<double> latencies;
   latencies.reserve(config.workload.n_ops);
@@ -163,6 +225,55 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
           });
     }
 
+    // Partition and chaos events ride the same fire-after-issue rule as
+    // kills: the in-flight op may be aimed straight into the cut and must
+    // survive on retransmission once the channel heals.
+    for (const PartitionEvent& part : config.partitions) {
+      if (part.at_op != i) continue;
+      FAUST_CHECK(part.shard < config.shards);
+      if (sock::SocketTransport* t = sc.shard_transport(part.shard)) {
+        {
+          std::lock_guard lock(chaos_mu);
+          chaos_shadow[part.shard].blackhole.insert(kServerNode);
+          t->set_chaos(chaos_shadow[part.shard]);
+        }
+        ++heals_expected;
+        restarters.emplace_back([&chaos_mu, &chaos_shadow, &heals_done, t,
+                                 shard_idx = part.shard, hold = tick_ms(part.duration)] {
+          std::this_thread::sleep_for(hold);
+          {
+            std::lock_guard lock(chaos_mu);
+            chaos_shadow[shard_idx].blackhole.erase(kServerNode);
+            t->set_chaos(chaos_shadow[shard_idx]);
+          }
+          heals_done.fetch_add(1);
+        });
+        continue;
+      }
+      Cluster& cluster = sc.shard(part.shard);
+      const auto writers = static_cast<ClientId>(config.workload.n_writers);
+      on_shard(part.shard, [&cluster, writers, symmetric = part.symmetric] {
+        net::Network& net = cluster.net();
+        for (ClientId c = 1; c <= writers; ++c) {
+          net.partition(c, kServerNode);
+          if (symmetric) net.partition(kServerNode, c);
+        }
+      });
+      sc.shard_exec(part.shard)
+          .after(part.duration, [&cluster, writers, symmetric = part.symmetric] {
+            net::Network& net = cluster.net();
+            for (ClientId c = 1; c <= writers; ++c) {
+              net.heal(c, kServerNode);
+              if (symmetric) net.heal(kServerNode, c);
+            }
+          });
+    }
+    for (const ChaosEvent& ev : config.chaos) {
+      if (ev.at_op != i) continue;
+      FAUST_CHECK(ev.shard < config.shards);
+      apply_plan(ev.shard, ev.plan);
+    }
+
     if (!sc.await(done, op_timeout)) {
       result.complete = false;
       result.ops = i;
@@ -177,11 +288,12 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   }
   result.ops = config.workload.n_ops;
 
-  // Wait out any restart still pending (its kill came so late no
-  // subsequent op needed the shard); the merged fan-out below needs every
-  // shard up.
+  // Wait out any restart or partition heal still pending (its event came
+  // so late no subsequent op needed the shard); the merged fan-out below
+  // needs every shard up and reachable.
   while (restarts_done.load(std::memory_order_acquire) <
-         static_cast<int>(config.kills.size())) {
+             static_cast<int>(config.kills.size()) ||
+         heals_done.load(std::memory_order_acquire) < heals_expected) {
     if (det) {
       sc.sched().step();
     } else {
@@ -264,6 +376,35 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
       result.wire_socket_bytes += w.socket_bytes_out + w.socket_bytes_in;
       result.wire_framing_bytes += w.framing_bytes_out;
       result.wire_reconnects += w.reconnects;
+      result.chaos_blackholed += w.chaos_blackholed;
+      result.chaos_delayed += w.chaos_delayed;
+      result.chaos_resets += w.chaos_resets;
+    }
+  }
+
+  // D10 chaos + resilience counters (same quiescence rules as the
+  // durability reads above). Retransmit counters live on the in-process
+  // FaustClients in every mode; fabric chaos stats only exist where the
+  // shard owns a simulated Network.
+  for (std::size_t s = 0; s < config.shards; ++s) {
+    Cluster& cluster = sc.shard(s);
+    const auto read = [&result, &cluster,
+                       writers = static_cast<ClientId>(config.workload.n_writers)] {
+      if (!cluster.external_transport()) {
+        const net::ChaosStats& cs = cluster.net().chaos();
+        result.chaos_dropped += cs.dropped;
+        result.chaos_duplicated += cs.duplicated;
+        result.chaos_reordered += cs.reordered;
+        result.chaos_partition_dropped += cs.partition_dropped;
+      }
+      for (ClientId c = 1; c <= writers; ++c) {
+        result.retransmits += cluster.client(c).retransmits();
+      }
+    };
+    if (det) {
+      read();
+    } else {
+      FAUST_CHECK(exec::post_sync(sc.shard_exec(s), read));
     }
   }
 

@@ -34,6 +34,22 @@ struct ScenarioConfig {
   std::uint64_t cluster_seed = 1;
   shard::ExecMode mode = shard::ExecMode::kDeterministic;
   std::vector<KillEvent> kills;
+  /// D10 chaos: a baseline fault plan installed on every shard's fabric
+  /// BEFORE the first op (loss/duplication/reordering/latency, seeded —
+  /// the same config replays the same storm), plus scheduled partitions
+  /// and mid-run plan changes. All timing faults: the chaos differential
+  /// pins that merged/merged_digest match a chaos-free replay and that
+  /// any_failed stays false (a slow channel is not misbehavior).
+  net::FaultPlan fault_plan;
+  std::vector<PartitionEvent> partitions;
+  std::vector<ChaosEvent> chaos;
+  /// Client SUBMIT/COMMIT retransmission timer (FaustConfig::
+  /// retransmit_base, executor ticks; 0 keeps retransmission OFF).
+  /// Chaos schedules that DROP messages need this > 0 — a reliable-FIFO
+  /// fabric never loses anything, so the seed default stays off to keep
+  /// pinned message counts byte-identical.
+  std::uint64_t retransmit_base = 0;
+  std::uint64_t retransmit_cap = 0;  // 0 = 8 × retransmit_base
   /// Durability root (per-shard subdirectories are created under it).
   /// Empty = memory-only servers; kills are then illegal.
   std::string dir;
@@ -119,6 +135,20 @@ struct ScenarioResult {
   /// SUBMIT + SUBMIT_DELTA payload share — the D6 flat-in-K gate reads
   /// submit_payload_bytes / puts over a real TCP deployment.
   std::uint64_t submit_payload_bytes = 0;
+
+  // D10 chaos accounting, aggregated over every shard. The net::
+  // ChaosStats quartet comes from simulated fabrics; blackholed/delayed/
+  // resets from process shards' transports; retransmits and duplicate
+  // suppression measure how much resilience machinery the storm actually
+  // exercised (duplicate_replies above counts the server side).
+  std::uint64_t chaos_dropped = 0;
+  std::uint64_t chaos_duplicated = 0;
+  std::uint64_t chaos_reordered = 0;
+  std::uint64_t chaos_partition_dropped = 0;
+  std::uint64_t chaos_blackholed = 0;  // process shards: suppressed frames
+  std::uint64_t chaos_delayed = 0;     // process shards: latency-shimmed frames
+  std::uint64_t chaos_resets = 0;      // process shards: injected resets
+  std::uint64_t retransmits = 0;       // client SUBMIT/COMMIT re-sends
 };
 
 /// Canonical digest of a merged view (ChunkedHasher over the sorted

@@ -1,8 +1,10 @@
-// Declarative kill/restart schedules for scenario runs (runner.h): each
-// event transiently crashes one shard's durable server right after a
-// given op is issued and brings it back from disk after a fixed downtime
-// of executor time. Restart runs on the shard's own executor (its thread
-// in threaded mode), so recovery serializes with that shard's deliveries.
+// Declarative kill/restart, partition and chaos schedules for scenario
+// runs (runner.h): each event fires right after a given op is issued.
+//
+// KillEvent transiently crashes one shard's durable server and brings it
+// back from disk after a fixed downtime of executor time. Restart runs
+// on the shard's own executor (its thread in threaded mode), so recovery
+// serializes with that shard's deliveries.
 //
 // Under ExecMode::kProcess the same event SIGKILLs the shard's worker
 // PROCESS (no cleanup runs over there) and the restart respawns it with
@@ -10,10 +12,20 @@
 // downtime is `downtime` ticks × ProcessOptions::tick of real time,
 // served by a dedicated restarter thread (runner.cc explains why not an
 // executor timer).
+//
+// PartitionEvent and ChaosEvent are the D10 network-chaos schedule: a
+// timed (optionally asymmetric) cut of one shard's client↔server
+// channels, and mid-run replacement of a shard's FaultPlan. Both are
+// timing faults by construction — the differential oracle pins that a
+// run under any such schedule converges to the SAME merged view as a
+// fault-free replay, with zero fail_i fired (Def. 5 accuracy: a slow or
+// silent channel is never evidence of server misbehavior).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+
+#include "net/network.h"
 
 namespace faust::scenario {
 
@@ -26,6 +38,46 @@ struct KillEvent {
   /// Executor-time units (virtual ticks in deterministic mode) until the
   /// shard's server is rebuilt from disk.
   std::uint64_t downtime = 5'000;
+};
+
+/// One timed partition of a shard's client↔server channels (D10).
+///
+/// Simulated shards cut the directed channels on the shard's own
+/// net::Network (every client → server, plus the reverse when
+/// `symmetric`); in-flight messages on a cut channel are dropped at
+/// delivery time, so the partition bites even for bytes already "on the
+/// wire". Process shards blackhole the worker's NodeId on the shard's
+/// sock::SocketTransport instead (both directions — a TCP byte stream
+/// has no useful one-way cut: suppressing only requests still leaks
+/// liveness through ACKs), for `duration` ticks × ProcessOptions::tick
+/// of real time, served by a dedicated healer thread.
+struct PartitionEvent {
+  /// Fires right after op index `at_op` (0-based) is issued.
+  std::uint64_t at_op = 0;
+  std::size_t shard = 0;
+  /// Executor-time units (virtual ticks in deterministic mode) until the
+  /// cut heals.
+  std::uint64_t duration = 2'000;
+  /// false: only client→server is cut (the asymmetric outage of the
+  /// acceptance scenario — requests vanish, the server's unsolicited
+  /// traffic still arrives). true: both directions.
+  bool symmetric = false;
+};
+
+/// Mid-run replacement of one shard's chaos plan (D10). An all-zero
+/// (inactive) plan turns chaos OFF for that shard — storms have edges.
+///
+/// Process shards have no per-message probabilistic fabric (TCP already
+/// reassembles and retransmits below us), so the plan maps onto the
+/// transport's chaos shim: extra_delay+jitter ticks become fixed receive
+/// latency (× ProcessOptions::tick), and drop > 0 injects one immediate
+/// mid-frame connection reset — the socket-realistic analog of message
+/// loss, forcing redial + resubmit instead of silent per-packet drops.
+struct ChaosEvent {
+  /// Fires right after op index `at_op` (0-based) is issued.
+  std::uint64_t at_op = 0;
+  std::size_t shard = 0;
+  net::FaultPlan plan;
 };
 
 }  // namespace faust::scenario

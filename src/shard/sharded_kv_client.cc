@@ -381,6 +381,45 @@ void ShardedKvClient::snapshot_shard(std::size_t s, SnapshotHandler complete) {
                         const kv::ReadOrigin& origin) { complete(&m, ts, origin); });
 }
 
+void ShardedKvClient::snapshot_degraded_on_shard(std::size_t s, SnapshotHandler done) {
+  FAUST_CHECK(s < kv_.size());
+  // Same arm-before-dispatch discipline as snapshot_on_shard.
+  std::uint64_t id;
+  auto fired = std::make_shared<bool>(false);
+  SnapshotHandler complete;
+  {
+    std::lock_guard lock(mu_);
+    id = ++next_op_;
+    complete = [this, s, id, fired, done = std::move(done)](
+                   const std::map<std::string, kv::KvEntry>* m, Timestamp ts,
+                   const kv::ReadOrigin& origin) {
+      {
+        std::lock_guard relock(mu_);
+        if (*fired) return;
+        *fired = true;
+        pending_[s].erase(id);
+      }
+      if (done) done(m, ts, origin);
+    };
+    pending_[s].emplace(id, [complete] { complete(nullptr, 0, kv::ReadOrigin{}); });
+  }
+  if (!dispatch(s, [this, s, complete]() mutable {
+        snapshot_degraded_shard(s, std::move(complete));
+      })) {
+    complete(nullptr, 0, kv::ReadOrigin{});  // runtime stopped: the body never runs
+  }
+}
+
+void ShardedKvClient::snapshot_degraded_shard(std::size_t s, SnapshotHandler complete) {
+  // Deliberately no faust().failed() fast path: the degraded read never
+  // touches the (possibly misbehaving, possibly unreachable) shard, and
+  // verified-stale cache data is no less authentic after fail_i — it is
+  // served flagged, or the whole snapshot settles null.
+  kv_[s]->snapshot_degraded(
+      [complete](const std::map<std::string, kv::KvEntry>* m, Timestamp ts,
+                 const kv::ReadOrigin& origin) { complete(m, ts, origin); });
+}
+
 bool ShardedKvClient::any_shard_failed() const {
   for (const auto& kv : kv_) {
     if (kv->faust().failed()) return true;

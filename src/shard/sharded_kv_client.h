@@ -152,6 +152,13 @@ class ShardedKvClient {
   /// stops) mid-operation; same arm-before-dispatch guarantee as above.
   void snapshot_on_shard(std::size_t s, SnapshotHandler done);
 
+  /// D10 degraded snapshot of shard `s`: cache-ONLY, allow_stale — the
+  /// shard's FAUST deployment is never contacted (the caller holds its
+  /// breaker open). Settles with (nullptr, 0, {}) when the shard has no
+  /// cache tier or the cache cannot serve every register; a non-null map
+  /// always has origin.cached set (stale-but-authentic, never stable).
+  void snapshot_degraded_on_shard(std::size_t s, SnapshotHandler done);
+
   /// Merged lookup in the key's home shard.
   void get(const std::string& key, GetHandler done);
 
@@ -219,6 +226,7 @@ class ShardedKvClient {
   void mutate_on_shard(std::size_t s, std::vector<kv::KvClient::SeqChange> changes,
                        MutateHandler complete);
   void snapshot_shard(std::size_t s, SnapshotHandler complete);
+  void snapshot_degraded_shard(std::size_t s, SnapshotHandler complete);
 
   /// Completes every op still in flight on shard `s` with its failure
   /// outcome. fail_i mid-operation halts the FaustClient and drops its

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <limits>
 
 #include "common/check.h"
 
@@ -17,8 +18,23 @@ std::uint8_t leading_tag(const Bytes& msg) { return msg.empty() ? 0 : msg[0]; }
 
 }  // namespace
 
+std::chrono::milliseconds next_backoff(std::chrono::milliseconds base,
+                                       std::chrono::milliseconds cap,
+                                       std::chrono::milliseconds prev, Rng& rng) {
+  if (base.count() <= 0) base = std::chrono::milliseconds{1};
+  if (cap < base) cap = base;
+  if (prev < base) return base;  // first failure: exactly the floor
+  const auto lo = static_cast<std::uint64_t>(base.count());
+  const auto hi = std::min(static_cast<std::uint64_t>(cap.count()),
+                           static_cast<std::uint64_t>(prev.count()) * 3);
+  if (hi <= lo) return base;
+  return std::chrono::milliseconds(static_cast<std::int64_t>(rng.next_in(lo, hi)));
+}
+
 SocketTransport::SocketTransport(exec::Executor& exec, SocketTransportConfig config)
-    : exec_(exec), config_(std::move(config)) {
+    : exec_(exec),
+      config_(std::move(config)),
+      backoff_rng_(0x5851F42D4C957F2DULL ^ config_.incarnation) {
   int pipe_fds[2];
   FAUST_CHECK(::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) == 0);
   wake_rd_ = pipe_fds[0];
@@ -94,6 +110,11 @@ void SocketTransport::send(NodeId from, NodeId to, Bytes msg) {
       ++wire_.fenced_drops;
       return;
     }
+    if (!chaos_blackhole_.empty() &&
+        (chaos_blackhole_.count(to) > 0 || chaos_blackhole_.count(from) > 0)) {
+      ++wire_.chaos_blackholed;
+      return;
+    }
     // Payload counters stamped for every accepted message, local or
     // remote, so bytes/op match the Network/ThreadBus mirrors.
     const std::uint8_t tag = leading_tag(msg);
@@ -160,6 +181,22 @@ bool SocketTransport::fenced(NodeId id) const {
   return fenced_.count(id) > 0;
 }
 
+void SocketTransport::set_chaos(ChaosOptions chaos) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    chaos_blackhole_ = std::move(chaos.blackhole);
+  }
+  chaos_latency_ms_.store(static_cast<long>(chaos.rx_latency.count()),
+                          std::memory_order_relaxed);
+  chaos_dribble_.store(chaos.write_dribble_bytes, std::memory_order_relaxed);
+  wake();  // re-evaluate poll deadlines under the new rules
+}
+
+void SocketTransport::inject_reset() {
+  chaos_reset_.store(true, std::memory_order_release);
+  wake();
+}
+
 net::ChannelStats SocketTransport::total() const {
   std::lock_guard<std::mutex> lock(mu_);
   return total_.stats;
@@ -210,6 +247,7 @@ void SocketTransport::loop() {
 
   while (!stopping_.load(std::memory_order_acquire)) {
     if (fence_dirty_.exchange(false, std::memory_order_acq_rel)) purge_fenced();
+    if (chaos_reset_.exchange(false, std::memory_order_acq_rel)) apply_chaos_reset();
     drain_ingress();
 
     pfds.clear();
@@ -228,13 +266,20 @@ void SocketTransport::loop() {
       pfd_conns.push_back(conn.get());
     }
 
-    // Block until I/O, a wake, or the next dial-retry deadline.
+    // Block until I/O, a wake, the next dial-retry deadline, or the next
+    // chaos-delayed delivery falling due.
     int timeout_ms = -1;
     const auto now = std::chrono::steady_clock::now();
     for (auto& [ep, peer] : peers_) {
       if (peer->conn != nullptr || peer->pending.empty()) continue;
       const auto dt =
           std::chrono::duration_cast<std::chrono::milliseconds>(peer->next_dial - now);
+      const int ms = std::max<int>(0, static_cast<int>(dt.count()));
+      if (timeout_ms < 0 || ms < timeout_ms) timeout_ms = ms;
+    }
+    if (!delayed_.empty()) {
+      const auto dt = std::chrono::duration_cast<std::chrono::milliseconds>(
+          delayed_.front().due - now);
       const int ms = std::max<int>(0, static_cast<int>(dt.count()));
       if (timeout_ms < 0 || ms < timeout_ms) timeout_ms = ms;
     }
@@ -274,6 +319,7 @@ void SocketTransport::loop() {
 
     // Dial retries whose backoff expired.
     const auto after = std::chrono::steady_clock::now();
+    flush_delayed(after);
     for (auto& [ep, peer] : peers_) {
       if (peer->conn == nullptr && !peer->pending.empty() && peer->next_dial <= after) {
         ensure_dialing(*peer);
@@ -327,6 +373,30 @@ void SocketTransport::purge_fenced() {
   if (drops > 0) {
     std::lock_guard<std::mutex> lock(mu_);
     wire_.fenced_drops += drops;
+  }
+}
+
+void SocketTransport::apply_chaos_reset() {
+  std::uint64_t resets = 0;
+  for (auto& conn : conns_) {
+    if (conn->fd < 0 || conn->connecting) continue;
+    // close_conn cuts the stream wherever it is — a partially written head
+    // frame leaves the peer's decoder holding a truncated frame, which is
+    // exactly the state the chaos tests want exercised.
+    close_conn(*conn, true);
+    ++resets;
+  }
+  if (resets > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    wire_.chaos_resets += resets;
+  }
+}
+
+void SocketTransport::flush_delayed(std::chrono::steady_clock::time_point now) {
+  while (!delayed_.empty() && delayed_.front().due <= now) {
+    Delayed d = std::move(delayed_.front());
+    delayed_.pop_front();
+    deliver(d.from, d.to, std::move(d.payload));
   }
 }
 
@@ -405,11 +475,13 @@ void SocketTransport::on_dial_failure(Peer& peer) {
     std::lock_guard<std::mutex> lock(mu_);
     ++wire_.connect_failures;
   }
-  const int shift = std::min(peer.attempts, 16);
-  auto delay = config_.backoff_min * (1 << shift);
-  if (delay > config_.backoff_max || delay.count() <= 0) delay = config_.backoff_max;
+  // Decorrelated jitter (D10): a fleet of clients redialling a recovering
+  // peer spreads out instead of arriving in synchronized waves, and the
+  // cap bounds how long a retry schedule can lag an actual recovery.
+  peer.backoff =
+      next_backoff(config_.backoff_min, config_.backoff_max, peer.backoff, backoff_rng_);
   peer.attempts += 1;
-  peer.next_dial = std::chrono::steady_clock::now() + delay;
+  peer.next_dial = std::chrono::steady_clock::now() + peer.backoff;
 }
 
 void SocketTransport::on_dial_result(Conn& conn, bool ok) {
@@ -434,6 +506,7 @@ void SocketTransport::conn_established(Conn& conn) {
   if (conn.peer != nullptr) {
     conn.peer->was_up = true;
     conn.peer->attempts = 0;
+    conn.peer->backoff = std::chrono::milliseconds{0};
     while (!conn.peer->pending.empty()) {
       auto& [to, frame] = conn.peer->pending.front();
       conn.txq_bytes += frame.size();
@@ -461,10 +534,12 @@ void SocketTransport::handle_writable(Conn& conn) {
   std::uint64_t bytes_out = 0;
   std::uint64_t frames_out = 0;
   std::uint64_t framing_out = 0;
-  while (!conn.txq.empty()) {
+  const std::size_t dribble = chaos_dribble_.load(std::memory_order_relaxed);
+  std::size_t budget = dribble == 0 ? std::numeric_limits<std::size_t>::max() : dribble;
+  while (!conn.txq.empty() && budget > 0) {
     const Bytes& frame = conn.txq.front().second;
-    const auto n =
-        ::write(conn.fd, frame.data() + conn.tx_off, frame.size() - conn.tx_off);
+    const std::size_t want = std::min(frame.size() - conn.tx_off, budget);
+    const auto n = ::write(conn.fd, frame.data() + conn.tx_off, want);
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
@@ -474,6 +549,7 @@ void SocketTransport::handle_writable(Conn& conn) {
     }
     bytes_out += static_cast<std::uint64_t>(n);
     conn.tx_off += static_cast<std::size_t>(n);
+    budget -= static_cast<std::size_t>(n);
     if (conn.tx_off < frame.size()) break;
     ++frames_out;
     framing_out += frame.size() > 4 && frame[4] == kFrameHello ? frame.size()
@@ -575,10 +651,28 @@ void SocketTransport::on_frame(Conn& conn, Frame&& f) {
       ++wire_.fenced_drops;
       return;
     }
+    // Inbound half of the chaos blackhole: the bytes crossed the wire,
+    // but this side refuses to hear them (asymmetric partition).
+    if (!chaos_blackhole_.empty() &&
+        (chaos_blackhole_.count(f.from) > 0 || chaos_blackhole_.count(f.to) > 0)) {
+      ++wire_.chaos_blackholed;
+      return;
+    }
   }
   // Learn the return route: replies to f.from ride this connection (the
   // server side never dials clients).
   learned_routes_[f.from] = &conn;
+  const auto latency_ms = chaos_latency_ms_.load(std::memory_order_relaxed);
+  if (latency_ms > 0) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++wire_.chaos_delayed;
+    }
+    delayed_.push_back(Delayed{std::chrono::steady_clock::now() +
+                                   std::chrono::milliseconds(latency_ms),
+                               f.from, f.to, std::move(f.payload)});
+    return;
+  }
   deliver(f.from, f.to, std::move(f.payload));
 }
 

@@ -62,6 +62,7 @@
 
 #include "common/bytes.h"
 #include "common/ids.h"
+#include "common/rng.h"
 #include "exec/executor.h"
 #include "net/network.h"  // ChannelStats / TypeStats (counter mirror)
 #include "net/transport.h"
@@ -87,9 +88,40 @@ struct SocketTransportConfig {
   /// Per-endpoint bound on bytes queued towards a peer (pending + not
   /// yet written). Overflow drops the message (counted).
   std::size_t send_queue_bytes = 32u << 20;
-  /// Dial retry backoff: doubles from min to max while sends are pending.
+  /// Dial retry backoff bounds: the delay after each failed dial is drawn
+  /// by decorrelated jitter within [backoff_min, backoff_max] (see
+  /// next_backoff below) while sends are pending.
   std::chrono::milliseconds backoff_min{2};
   std::chrono::milliseconds backoff_max{500};
+};
+
+/// D10 decorrelated-jitter redial backoff: next = min(cap, uniform[base,
+/// prev*3]), with prev <= 0 (first failure) yielding exactly `base`.
+/// Unlike truncated binary exponential backoff, successive delays WANDER
+/// within [base, cap] instead of marching through the same power-of-two
+/// ladder — which is what desynchronizes a fleet of clients redialling a
+/// recovering peer (the reconnect-storm regression test pins the spread).
+/// Pure: all state is the caller's `prev` and the rng.
+std::chrono::milliseconds next_backoff(std::chrono::milliseconds base,
+                                       std::chrono::milliseconds cap,
+                                       std::chrono::milliseconds prev, Rng& rng);
+
+/// D10 chaos shim knobs (fault injection on a LIVE transport; applied via
+/// SocketTransport::set_chaos). All independent; default = no chaos.
+struct ChaosOptions {
+  /// Traffic to or from these NodeIds is silently dropped at this
+  /// transport — an asymmetric partition as seen from this process (the
+  /// peer's own transport keeps sending into the void unless it
+  /// blackholes too).
+  std::unordered_set<NodeId> blackhole;
+  /// Extra delivery latency for frames received over a socket (local
+  /// loopback sends are not delayed). FIFO per connection is preserved:
+  /// the delay is constant, applied in receive order.
+  std::chrono::milliseconds rx_latency{0};
+  /// Max payload-stream bytes per write() pass per connection (0 = off):
+  /// dribbles frames onto the wire a few bytes at a time, forcing the
+  /// receiving decoder through every partial-frame state.
+  std::size_t write_dribble_bytes = 0;
 };
 
 /// Socket-level counters (beyond the per-channel payload mirror).
@@ -111,6 +143,9 @@ struct WireStats {
   std::uint64_t unroutable_drops = 0;  // no registry entry and no learned route
   std::uint64_t framing_errors = 0;    // poisoned decoders (conn closed)
   std::uint64_t stale_era_drops = 0;   // zombie-incarnation conns closed
+  std::uint64_t chaos_blackholed = 0;  // messages dropped by the chaos shim
+  std::uint64_t chaos_delayed = 0;     // deliveries held by chaos rx_latency
+  std::uint64_t chaos_resets = 0;      // conns killed by inject_reset()
 };
 
 /// Real-socket Transport (see file comment).
@@ -148,6 +183,20 @@ class SocketTransport final : public net::Transport {
   void fence(NodeId id);
   void unfence(NodeId id);
   bool fenced(NodeId id) const;
+
+  // Chaos shim (D10 network-fault injection) ---------------------------
+
+  /// Installs (or replaces) the chaos rules; {} clears them. Any-thread.
+  /// Unlike fence(), chaos never purges already-queued bytes — it shapes
+  /// live traffic only, so healing is instant and loss-free.
+  void set_chaos(ChaosOptions chaos);
+
+  /// Asynchronously closes EVERY established connection — mid-frame when
+  /// a partial frame is on the wire — exercising the reconnect path and
+  /// the peer decoder's truncated-stream handling. Dials resume under the
+  /// normal backoff policy. Completion is observable via
+  /// wire().chaos_resets.
+  void inject_reset();
 
   // Introspection -------------------------------------------------------
 
@@ -197,6 +246,7 @@ class SocketTransport final : public net::Transport {
     std::deque<std::pair<NodeId, Bytes>> pending;  // queued while not up
     std::size_t pending_bytes = 0;
     int attempts = 0;
+    std::chrono::milliseconds backoff{0};  // decorrelated-jitter state
     std::chrono::steady_clock::time_point next_dial{};
     std::uint64_t max_incarnation = 0;
   };
@@ -209,6 +259,8 @@ class SocketTransport final : public net::Transport {
   // Loop-thread only ----------------------------------------------------
   void loop();
   void purge_fenced();
+  void apply_chaos_reset();
+  void flush_delayed(std::chrono::steady_clock::time_point now);
   void drain_ingress();
   void route_frame(Outgoing&& out);
   void ensure_dialing(Peer& peer);
@@ -236,6 +288,11 @@ class SocketTransport final : public net::Transport {
   std::thread loop_thread_;
   std::atomic<bool> stopping_{false};
   std::atomic<bool> fence_dirty_{false};
+  // Chaos shim: lock-free knobs for the hot paths; the blackhole set
+  // lives under mu_ (checked where mu_ is already held).
+  std::atomic<bool> chaos_reset_{false};
+  std::atomic<long> chaos_latency_ms_{0};
+  std::atomic<std::size_t> chaos_dribble_{0};
 
   // Shared state (send()/attach()/fence() side), under mu_.
   mutable std::mutex mu_;
@@ -249,12 +306,23 @@ class SocketTransport final : public net::Transport {
   std::map<std::pair<NodeId, NodeId>, ChannelCounters> channels_;
   ChannelCounters total_{};
   WireStats wire_{};
+  std::unordered_set<NodeId> chaos_blackhole_;  // under mu_
 
   // Loop-owned topology (loop thread only; no lock needed).
   std::map<Endpoint, std::unique_ptr<Peer>> peers_;       // pooled by endpoint
   std::unordered_map<NodeId, Peer*> static_routes_;       // from config.peers
   std::unordered_map<NodeId, Conn*> learned_routes_;      // inbound DATA sources
   std::vector<std::unique_ptr<Conn>> conns_;
+  /// Deliveries held back by chaos rx_latency, due-ordered (constant
+  /// delay ⇒ push order IS due order; FIFO per channel is preserved).
+  struct Delayed {
+    std::chrono::steady_clock::time_point due;
+    NodeId from = 0;
+    NodeId to = 0;
+    std::shared_ptr<const Bytes> payload;
+  };
+  std::deque<Delayed> delayed_;
+  Rng backoff_rng_;  // loop-thread only (decorrelated-jitter draws)
 };
 
 }  // namespace faust::sock

@@ -11,7 +11,8 @@ PersistentServer::PersistentServer(int n, net::Transport& net, std::string log_p
       net_(net),
       self_(self),
       log_(std::move(log_path)),
-      last_reply_(static_cast<std::size_t>(n)) {
+      last_reply_(static_cast<std::size_t>(n)),
+      parked_(static_cast<std::size_t>(n)) {
   recover();
   net_.attach(self_, *this);
 }
@@ -24,7 +25,8 @@ PersistentServer::PersistentServer(int n, net::Transport& net, const std::string
       log_(dir + "/wal.log"),
       snaps_(std::make_unique<SnapshotStore>(dir + "/snapshot.bin")),
       options_(options),
-      last_reply_(static_cast<std::size_t>(n)) {
+      last_reply_(static_cast<std::size_t>(n)),
+      parked_(static_cast<std::size_t>(n)) {
   recover();
   net_.attach(self_, *this);
 }
@@ -115,21 +117,64 @@ void PersistentServer::on_message(NodeId from, BytesView msg) {
       from <= static_cast<NodeId>(core_.n())) {
     Timestamp t = 0;
     bool decoded = false;
+    std::optional<ustor::CommitMessage> piggyback;
     if (*type == ustor::MsgType::kSubmit) {
       const auto v = ustor::decode_submit_view(msg);
       if (!v.has_value() || v->inv.client != from) return;
       t = v->t;
       decoded = true;
+      if (v->has_commit) {
+        piggyback = ustor::CommitMessage{v->commit_version,
+                                         Bytes(v->commit_sig.begin(), v->commit_sig.end()),
+                                         Bytes(v->proof_sig.begin(), v->proof_sig.end())};
+      }
     } else {
       const auto v = ustor::decode_submit_delta_view(msg);
       if (!v.has_value() || v->inv.client != from) return;
       t = v->t;
       decoded = true;
+      if (v->has_commit) {
+        piggyback = ustor::CommitMessage{v->commit_version,
+                                         Bytes(v->commit_sig.begin(), v->commit_sig.end()),
+                                         Bytes(v->proof_sig.begin(), v->proof_sig.end())};
+      }
     }
+
+    // D10 piggybacked COMMIT: when it advances SVER[from], log and apply
+    // it as its own record BEFORE the dedup/parking decisions — exactly
+    // as if a standalone COMMIT had arrived just ahead of this SUBMIT.
+    // The separate record matters because a parked submit is unlogged:
+    // the commit's state change (an L prune other clients' replies will
+    // observe) must still land in the WAL in processing order, or replay
+    // would diverge from the live run.
+    if (piggyback.has_value() &&
+        !ustor::version_leq(piggyback->version,
+                            core_.sver(static_cast<ClientId>(from)).version)) {
+      const Bytes commit_bytes = ustor::encode(*piggyback);
+      wire::Writer cw;
+      cw.put_u32(static_cast<std::uint32_t>(from));
+      cw.put_raw(BytesView(commit_bytes));
+      if (!log_.append(cw.buffer())) return;
+      core_.process_commit(static_cast<ClientId>(from), *piggyback);
+      release_parked();
+    }
+
     if (decoded && t <= core_.mem(static_cast<ClientId>(from)).t) {
       ++duplicate_replies_;
       const Bytes& cached = last_reply_[static_cast<std::size_t>(from) - 1];
       if (!cached.empty()) net_.send(self_, from, Bytes(cached));
+      return;
+    }
+
+    // D10 reorder tolerance: this SUBMIT overtook the client's previous
+    // COMMIT (L still lists an op of the client, so processing now would
+    // be a false self-concurrency). Park it — unlogged — until that
+    // COMMIT lands or the client's retransmission (COMMIT before SUBMIT)
+    // drains the slot; release_parked() appends the WAL record at
+    // dispatch time, keeping replay order equal to processing order.
+    if (core_.client_in_L(static_cast<ClientId>(from))) {
+      parked_[static_cast<std::size_t>(from) - 1] = Bytes(msg.begin(), msg.end());
+      ++parked_submits_;
       return;
     }
   }
@@ -145,7 +190,24 @@ void PersistentServer::on_message(NodeId from, BytesView msg) {
   w.put_raw(msg);
   if (!log_.append(w.buffer())) return;  // disk failure: refuse to proceed
   apply(from, msg, /*live=*/true);
+  if (*type == ustor::MsgType::kCommit) release_parked();
   maybe_snapshot();
+}
+
+void PersistentServer::release_parked() {
+  // A COMMIT's L prune can clear other clients' entries too: scan all
+  // slots. Releasing a SUBMIT never prunes L, so one pass settles.
+  for (ClientId i = 1; i <= core_.n(); ++i) {
+    Bytes& slot = parked_[static_cast<std::size_t>(i - 1)];
+    if (slot.empty() || core_.client_in_L(i)) continue;
+    const Bytes msg = std::move(slot);
+    slot.clear();
+    wire::Writer w;
+    w.put_u32(static_cast<std::uint32_t>(i));
+    w.put_raw(msg);
+    if (!log_.append(w.buffer())) return;
+    apply(static_cast<NodeId>(i), msg, /*live=*/true);
+  }
 }
 
 void PersistentServer::apply(NodeId from, BytesView msg, bool live) {
@@ -155,6 +217,11 @@ void PersistentServer::apply(NodeId from, BytesView msg, bool live) {
     case ustor::MsgType::kSubmit: {
       const auto m = ustor::decode_submit(msg);
       if (!m.has_value() || m->inv.client != from) return;
+      // Piggybacked COMMIT: idempotent under the monotone gate (the live
+      // path already applied it from its own WAL record).
+      if (m->commit.has_value()) {
+        core_.process_commit(static_cast<ClientId>(from), *m->commit);
+      }
       const ustor::ReplySnapshot reply = core_.process_submit(*m);
       // Encode even during replay: the cache must hold the ORIGINAL
       // reply bytes so a post-restart duplicate gets the answer the
@@ -170,6 +237,13 @@ void PersistentServer::apply(NodeId from, BytesView msg, bool live) {
       // recovery rebuilds exactly the state the live run had.
       const auto dm = ustor::decode_submit_delta_view(msg);
       if (!dm.has_value() || dm->inv.client != from) return;
+      if (dm->has_commit) {
+        core_.process_commit(
+            static_cast<ClientId>(from),
+            ustor::CommitMessage{dm->commit_version,
+                                 Bytes(dm->commit_sig.begin(), dm->commit_sig.end()),
+                                 Bytes(dm->proof_sig.begin(), dm->proof_sig.end())});
+      }
       const auto m = ustor::expand_submit_delta(core_, *dm);
       if (!m.has_value()) return;
       const ustor::ReplySnapshot reply = core_.process_submit(*m);

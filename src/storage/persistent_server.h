@@ -88,6 +88,10 @@ class PersistentServer : public net::Node {
   std::uint64_t snapshots_rejected() const { return snaps_ ? snaps_->rejects() : 0; }
   /// Duplicate SUBMITs answered from the reply cache (client resume).
   std::uint64_t duplicate_replies() const { return duplicate_replies_; }
+  /// SUBMITs parked behind a not-yet-processed predecessor COMMIT (D10:
+  /// a lossy/reordering transport delivered the SUBMIT first; processing
+  /// it then would be a false self-concurrency at a correct client).
+  std::uint64_t parked_submits() const { return parked_submits_; }
   /// WAL records refused at replay because their CRC did not match.
   std::uint64_t checksum_failures() const { return log_.checksum_failures(); }
   /// Total intact WAL records (replayed + appended) through this handle.
@@ -105,6 +109,12 @@ class PersistentServer : public net::Node {
   bool restore_from_payload(BytesView payload);
   void maybe_snapshot();
 
+  /// Logs + applies every parked SUBMIT whose blocking L entry is gone;
+  /// called after each live COMMIT. Parked messages are NOT in the WAL
+  /// yet — they are logged here, at dispatch, so replay order equals
+  /// live processing order.
+  void release_parked();
+
   ustor::ServerCore core_;
   net::Transport& net_;
   const NodeId self_;
@@ -112,9 +122,11 @@ class PersistentServer : public net::Node {
   std::unique_ptr<SnapshotStore> snaps_;
   DurabilityOptions options_;
   std::vector<Bytes> last_reply_;  // per client, original encoded bytes
+  std::vector<Bytes> parked_;      // per client, one held-back SUBMIT (empty = none)
   std::size_t recovered_ = 0;
   bool recovered_from_snapshot_ = false;
   std::uint64_t duplicate_replies_ = 0;
+  std::uint64_t parked_submits_ = 0;
   std::uint64_t last_snapshot_records_ = 0;
 };
 

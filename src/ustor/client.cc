@@ -72,7 +72,7 @@ void Client::writex_impl(const ValueView& x_view, const crypto::Hash* precompute
   pending_ = PendingOp{OpCode::kWrite, id_, t, std::move(done), {}};
   pending_->data_sig = data_sig;
   // line 15; the value bytes are copied exactly once, into the wire buffer
-  last_submit_ = encode_submit(t, inv, x_view, data_sig);
+  last_submit_ = encode_submit(t, inv, x_view, data_sig, piggyback_commit());
   net_.send(id_, server_, Bytes(last_submit_));
 }
 
@@ -97,7 +97,8 @@ void Client::writex_delta(const crypto::Hash& base_digest, const crypto::Hash& n
   pending_->data_sig = data_sig;
   ++delta_submits_;
   last_submit_ = encode_submit_delta(t, inv, base_digest, new_root, new_size,
-                                     std::span<const Splice>(splices), BytesView(data_sig));
+                                     std::span<const Splice>(splices), BytesView(data_sig),
+                                     piggyback_commit());
   net_.send(id_, server_, Bytes(last_submit_));
 }
 
@@ -127,10 +128,11 @@ void Client::send_read_submit(ClientId j, bool allow_delta) {
   pending_->advertised = advertise;
   if (advertise) {
     ++delta_reads_advertised_;
-    last_submit_ =
-        encode_submit_read_base(t, inv, memo.tj, memo.digest, BytesView(data_sig));
+    last_submit_ = encode_submit_read_base(t, inv, memo.tj, memo.digest, BytesView(data_sig),
+                                           piggyback_commit());
   } else {
-    last_submit_ = encode_submit(t, inv, std::nullopt, BytesView(data_sig));  // line 27
+    // line 27; the piggyback (when on) carries the latest COMMIT with it
+    last_submit_ = encode_submit(t, inv, std::nullopt, BytesView(data_sig), piggyback_commit());
   }
   net_.send(id_, server_, Bytes(last_submit_));
 }
@@ -153,12 +155,14 @@ void Client::on_message(NodeId from, BytesView msg) {
 
   const auto type = peek_type(msg);
   if (type == MsgType::kReplyDelta) {
+    current_reply_fp_ = reply_fingerprint(msg);
     auto reply = decode_reply_delta_view(msg);
     if (!reply.has_value()) {
       fail(FailCause::kMalformedMessage);
       return;
     }
     handle_reply_delta(*reply);
+    if (!failed()) remember_reply(current_reply_fp_);
     return;
   }
   if (!type.has_value() || *type != MsgType::kReply) {
@@ -168,15 +172,67 @@ void Client::on_message(NodeId from, BytesView msg) {
   // Zero-copy decode: the view's byte fields alias `msg`, which stays
   // alive for the whole delivery callback. handle_reply copies the few
   // fields it keeps.
+  current_reply_fp_ = reply_fingerprint(msg);
   auto reply = decode_reply_view(msg);
   if (!reply.has_value()) {
     fail(FailCause::kMalformedMessage);
     return;
   }
   handle_reply(*reply);
+  if (!failed()) remember_reply(current_reply_fp_);
+}
+
+void Client::remember_reply(std::uint64_t fp) {
+  if (reply_seen(fp)) return;  // echoes re-deliver the same bytes
+  reply_fps_[reply_fp_next_] = fp;
+  reply_fp_next_ = (reply_fp_next_ + 1) % reply_fps_.size();
+}
+
+bool Client::stale_reply(const Version& vc) {
+  // Chaos tolerance (D10): duplicating or reordering channels can
+  // redeliver the REPLY of an operation that already completed, and the
+  // server's duplicate-suppression cache echoes the ORIGINAL reply bytes
+  // after a resubmitted SUBMIT. Both carry V_c[i] < V_i[i] — but so does
+  // the reply of a server that regressed this client's version (dropped
+  // its COMMITs, replayed a fork). The discriminator is CONTENT: under a
+  // correct server exactly one reply per own timestamp ever exists, so
+  // every legitimate stale delivery is byte-identical to a reply this
+  // client already processed. Match → timing fault, dropped without
+  // alarm (Def. 5 accuracy). No match → the stale version is fresh
+  // evidence, and the reply falls through to line 36, which fails the
+  // client as before. (A Byzantine server replaying an old reply
+  // verbatim is indistinguishable from a lossy channel and merely
+  // stalls the op — the api layer's deadline surfaces that as
+  // unavailability, never as fail_i.)
+  if (vc.n() == n_ && vc.v(id_) < version_.v(id_) && reply_seen(current_reply_fp_)) {
+    ++stale_replies_dropped_;
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Client::reply_fingerprint(BytesView msg) {
+  // FNV-1a. A collision can only make FRESH bytes look like an echo —
+  // suppressing a detection a server could equally avoid by staying
+  // silent — never the reverse: a true echo always matches its own
+  // stored fingerprint, so accuracy does not rest on this hash.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const std::uint8_t b : msg) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+bool Client::reply_seen(std::uint64_t fp) const {
+  for (const std::uint64_t f : reply_fps_) {
+    if (f == fp) return true;
+  }
+  return false;
 }
 
 void Client::handle_reply(const ReplyMessageView& m) {
+  if (stale_reply(m.last.version)) return;
   if (!pending_.has_value()) {
     // A correct server replies exactly once per SUBMIT.
     fail(FailCause::kUnsolicitedReply);
@@ -226,6 +282,7 @@ void Client::complete_op() {
 }
 
 void Client::handle_reply_delta(const ReplyDeltaMessageView& m) {
+  if (stale_reply(m.last.version)) return;
   if (!pending_.has_value()) {
     fail(FailCause::kUnsolicitedReply);
     return;
@@ -522,6 +579,9 @@ void Client::send_commit() {
   memo.version = version_;
   memo.commit_sig = commit_sig_;
   net_.send(id_, server_, encode(cm));
+  // Retain for the D10 piggyback: the next SUBMIT carries this commit so
+  // its delivery cannot be lost independently of the submit.
+  last_commit_ = std::move(cm);
 }
 
 }  // namespace faust::ustor

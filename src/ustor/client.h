@@ -20,6 +20,7 @@
 // tampered data always goes through (and fails) full verification.
 #pragma once
 
+#include <array>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -176,6 +177,20 @@ class Client : public net::Node {
   /// Number of completed operations (diagnostics).
   std::uint64_t completed_ops() const { return completed_ops_; }
 
+  /// Replies that provably answered an already-completed own operation
+  /// (chaos duplicates, retransmission echoes) and were dropped without
+  /// alarm — the D10 no-false-fail_i rule in numbers.
+  std::uint64_t stale_replies_dropped() const { return stale_replies_dropped_; }
+
+  /// D10: piggyback this client's latest COMMIT on every SUBMIT /
+  /// SUBMIT_DELTA. Over a lossy fabric, commit delivery then rides the
+  /// (retransmitted) submit, so the server's SVER for this client never
+  /// lags a served value by more than one version — the invariant behind
+  /// Algorithm 1 line 52. A reader on a reliable fabric never needs it;
+  /// OFF keeps the wire bytes (and pinned message counts) unchanged.
+  void set_attach_commits(bool on) { attach_commits_ = on; }
+  bool attach_commits() const { return attach_commits_; }
+
   /// True when the D6 delta wire protocol is in effect for this client.
   bool wire_deltas() const { return wire_deltas_; }
 
@@ -215,6 +230,20 @@ class Client : public net::Node {
   };
 
   void fail(FailCause cause);
+
+  /// D10 stale-reply filter: true iff `vc` (a reply's V_c) provably
+  /// answers an already-completed own operation (V_c[i] < V_i[i]) — the
+  /// reply is then counted and dropped instead of tripping the
+  /// unsolicited-reply / regression checks (chaos duplicates must never
+  /// forge failure evidence).
+  bool stale_reply(const Version& vc);
+
+  /// FNV-1a over the raw reply bytes — the echo identity (see
+  /// stale_reply).
+  static std::uint64_t reply_fingerprint(BytesView msg);
+  bool reply_seen(std::uint64_t fp) const;
+  void remember_reply(std::uint64_t fp);
+
   void handle_reply(const ReplyMessageView& m);
 
   /// REPLY_DELTA path (D6): resolves the candidate value against the
@@ -286,6 +315,24 @@ class Client : public net::Node {
   std::optional<PendingOp> pending_;
   Bytes last_submit_;  // wire bytes of the latest SUBMIT, for resubmit()
   std::uint64_t completed_ops_ = 0;
+  std::uint64_t stale_replies_dropped_ = 0;  // D10 (see accessor)
+
+  // Fingerprints of recently processed replies (ring; zero = empty). A
+  // stale-versioned reply is dropped as a chaos echo ONLY if its bytes
+  // match one of these — fresh content with a regressed version stays a
+  // hard failure. 64 entries dwarfs any bounded-delay duplicate window.
+  std::array<std::uint64_t, 64> reply_fps_{};
+  std::size_t reply_fp_next_ = 0;
+  std::uint64_t current_reply_fp_ = 0;  // fp of the reply being handled
+
+  bool attach_commits_ = false;  // D10 COMMIT piggyback (see accessor)
+  CommitMessage last_commit_;    // latest sent COMMIT, for the piggyback
+
+  /// The commit to piggyback on the next SUBMIT, or null (feature off /
+  /// nothing committed yet).
+  const CommitMessage* piggyback_commit() const {
+    return attach_commits_ && !last_commit_.commit_sig.empty() ? &last_commit_ : nullptr;
+  }
 
   /// Set only while check_data() re-runs lines 48–52 on a value
   /// RECONSTRUCTED from a delta: the two data-signature rejections then

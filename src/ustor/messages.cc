@@ -111,6 +111,49 @@ InvocationTuple to_owned(const InvocationTupleView& v) {
                          Bytes(v.submit_sig.begin(), v.submit_sig.end())};
 }
 
+// D10 piggybacked-COMMIT tail of SUBMIT / SUBMIT_DELTA: present-flag,
+// then the CommitMessage body (version, φ, ψ). Written only when a
+// commit rides along, so the absent case stays byte-identical to the
+// pre-D10 encoding — the tail is recognized purely by bytes remaining
+// after the DATA signature.
+void put_commit_tail(wire::Writer& w, const CommitMessage& cm) {
+  w.put_u8(1);
+  put_version(w, cm.version);
+  w.put_bytes(cm.commit_sig);
+  w.put_bytes(cm.proof_sig);
+}
+
+std::size_t commit_tail_size(const CommitMessage& cm) {
+  return 1 + encoded_version_size(cm.version) + 4 + cm.commit_sig.size() + 4 +
+         cm.proof_sig.size();
+}
+
+// Parses the optional commit tail into view fields; call with the reader
+// positioned right after the DATA signature. Poisons on a malformed tail.
+template <typename SubmitView>
+void get_commit_tail(wire::Reader& r, SubmitView& m) {
+  if (!r.ok() || r.exhausted()) return;
+  if (r.get_u8() != 1) {
+    r.poison();
+    return;
+  }
+  m.has_commit = true;
+  m.commit_version = get_version(r);
+  m.commit_sig = r.get_bytes_view();
+  m.proof_sig = r.get_bytes_view();
+}
+
+// Materializes the view tail back into the owned optional.
+template <typename SubmitView>
+std::optional<CommitMessage> owned_commit(const SubmitView& v) {
+  if (!v.has_commit) return std::nullopt;
+  CommitMessage cm;
+  cm.version = v.commit_version;
+  cm.commit_sig.assign(v.commit_sig.begin(), v.commit_sig.end());
+  cm.proof_sig.assign(v.proof_sig.begin(), v.proof_sig.end());
+  return cm;
+}
+
 // Exact encoded sizes of the composite fields (mirror the put_* helpers).
 
 std::size_t value_size(const ValueView& v) {
@@ -305,7 +348,8 @@ ReplyMessage ReplySnapshot::materialize() const {
 }
 
 std::size_t size_hint(const SubmitMessage& m) {
-  return 1 + 8 + invocation_size(m.inv) + value_size(as_view(m.value)) + 4 + m.data_sig.size();
+  return 1 + 8 + invocation_size(m.inv) + value_size(as_view(m.value)) + 4 +
+         m.data_sig.size() + (m.commit ? commit_tail_size(*m.commit) : 0);
 }
 
 std::size_t size_hint(const ReplyMessage& m) {
@@ -320,7 +364,8 @@ std::size_t size_hint(const ReplySnapshot& m) {
 }
 
 std::size_t size_hint(const SubmitDeltaMessage& m) {
-  std::size_t sz = 1 + 8 + invocation_size(m.inv) + 4 + m.data_sig.size();
+  std::size_t sz = 1 + 8 + invocation_size(m.inv) + 4 + m.data_sig.size() +
+                   (m.commit ? commit_tail_size(*m.commit) : 0);
   if (m.inv.oc == OpCode::kWrite) {
     sz += 32 + 32 + 8 + splices_size(m.splices);  // base, root, size, splices
   } else {
@@ -358,18 +403,21 @@ std::size_t size_hint(const FailureMessage& m) {
 }
 
 Bytes encode_submit(Timestamp t, const InvocationTuple& inv, const ValueView& value,
-                    BytesView data_sig) {
-  wire::Writer w(1 + 8 + invocation_size(inv) + value_size(value) + 4 + data_sig.size());
+                    BytesView data_sig, const CommitMessage* commit) {
+  wire::Writer w(1 + 8 + invocation_size(inv) + value_size(value) + 4 + data_sig.size() +
+                 (commit ? commit_tail_size(*commit) : 0));
   w.put_u8(static_cast<std::uint8_t>(MsgType::kSubmit));
   w.put_u64(t);
   put_invocation(w, inv);
   put_value(w, value);
   w.put_bytes(data_sig);
+  if (commit) put_commit_tail(w, *commit);
   return w.take();
 }
 
 Bytes encode(const SubmitMessage& m) {
-  return encode_submit(m.t, m.inv, as_view(m.value), BytesView(m.data_sig));
+  return encode_submit(m.t, m.inv, as_view(m.value), BytesView(m.data_sig),
+                       m.commit ? &*m.commit : nullptr);
 }
 
 Bytes encode(const ReplyMessage& m) {
@@ -390,8 +438,9 @@ Bytes encode(const ReplySnapshot& m) {
 Bytes encode_submit_delta(Timestamp t, const InvocationTuple& inv,
                           const crypto::Hash& base_digest, const crypto::Hash& new_root,
                           std::uint64_t new_size, std::span<const Splice> splices,
-                          BytesView data_sig) {
-  std::size_t sz = 1 + 8 + invocation_size(inv) + 32 + 32 + 8 + 4 + 4 + data_sig.size();
+                          BytesView data_sig, const CommitMessage* commit) {
+  std::size_t sz = 1 + 8 + invocation_size(inv) + 32 + 32 + 8 + 4 + 4 + data_sig.size() +
+                   (commit ? commit_tail_size(*commit) : 0);
   for (const Splice& s : splices) sz += splice_size(s.insert.size());
   wire::Writer w(sz);
   w.put_u8(static_cast<std::uint8_t>(MsgType::kSubmitDelta));
@@ -403,27 +452,34 @@ Bytes encode_submit_delta(Timestamp t, const InvocationTuple& inv,
   w.put_u32(static_cast<std::uint32_t>(splices.size()));
   for (const Splice& s : splices) put_splice(w, s.offset, s.erase_len, BytesView(s.insert));
   w.put_bytes(data_sig);
+  if (commit) put_commit_tail(w, *commit);
   return w.take();
 }
 
 Bytes encode_submit_read_base(Timestamp t, const InvocationTuple& inv, Timestamp base_ts,
-                              const crypto::Hash& base_digest, BytesView data_sig) {
-  wire::Writer w(1 + 8 + invocation_size(inv) + 8 + 32 + 4 + data_sig.size());
+                              const crypto::Hash& base_digest, BytesView data_sig,
+                              const CommitMessage* commit) {
+  wire::Writer w(1 + 8 + invocation_size(inv) + 8 + 32 + 4 + data_sig.size() +
+                 (commit ? commit_tail_size(*commit) : 0));
   w.put_u8(static_cast<std::uint8_t>(MsgType::kSubmitDelta));
   w.put_u64(t);
   put_invocation(w, inv);
   w.put_u64(base_ts);
   put_hash(w, base_digest);
   w.put_bytes(data_sig);
+  if (commit) put_commit_tail(w, *commit);
   return w.take();
 }
 
 Bytes encode(const SubmitDeltaMessage& m) {
+  const CommitMessage* commit = m.commit ? &*m.commit : nullptr;
   if (m.inv.oc == OpCode::kWrite) {
     return encode_submit_delta(m.t, m.inv, m.base_digest, m.new_root, m.new_size,
-                               std::span<const Splice>(m.splices), BytesView(m.data_sig));
+                               std::span<const Splice>(m.splices), BytesView(m.data_sig),
+                               commit);
   }
-  return encode_submit_read_base(m.t, m.inv, m.base_ts, m.base_digest, BytesView(m.data_sig));
+  return encode_submit_read_base(m.t, m.inv, m.base_ts, m.base_digest, BytesView(m.data_sig),
+                                 commit);
 }
 
 Bytes encode(const ReplyDeltaMessage& m) {
@@ -564,6 +620,7 @@ std::optional<SubmitMessageView> decode_submit_view(BytesView data) {
   m.inv = get_invocation(r);
   m.value = get_value(r);
   m.data_sig = r.get_bytes_view();
+  get_commit_tail(r, m);
   if (!r.ok() || !r.exhausted()) return std::nullopt;
   return m;
 }
@@ -576,6 +633,7 @@ std::optional<SubmitMessage> decode_submit(BytesView data) {
   m.inv = to_owned(view->inv);
   m.value = to_owned(view->value);
   m.data_sig.assign(view->data_sig.begin(), view->data_sig.end());
+  m.commit = owned_commit(*view);
   return m;
 }
 
@@ -633,6 +691,7 @@ std::optional<SubmitDeltaMessageView> decode_submit_delta_view(BytesView data) {
     m.base_digest = get_hash(r);
   }
   m.data_sig = r.get_bytes_view();
+  get_commit_tail(r, m);
   if (!r.ok() || !r.exhausted()) return std::nullopt;
   return m;
 }
@@ -652,6 +711,7 @@ std::optional<SubmitDeltaMessage> decode_submit_delta(BytesView data) {
   }
   m.base_ts = view->base_ts;
   m.data_sig.assign(view->data_sig.begin(), view->data_sig.end());
+  m.commit = owned_commit(*view);
   return m;
 }
 

@@ -56,12 +56,32 @@ struct InvocationTuple {
   bool operator==(const InvocationTuple&) const = default;
 };
 
-/// ⟨SUBMIT, t, (i,oc,j,σ), x, δ⟩ — client → server, one per operation.
+/// ⟨COMMIT, V, M, φ, ψ⟩ — client → server after each REPLY.
+struct CommitMessage {
+  Version version;
+  Bytes commit_sig;  // φ: over the version
+  Bytes proof_sig;   // ψ: over M[i]
+};
+
+/// ⟨SUBMIT, t, (i,oc,j,σ), x, δ [, COMMIT]⟩ — client → server, one per
+/// operation.
+///
+/// `commit` is the D10 piggyback: the sender's latest COMMIT, carried as
+/// an optional trailing section so its delivery is ATOMIC with the
+/// submit. Algorithm 1 line 52 (V_j[j] ∈ {t_j, t_j−1}) is sound only
+/// when the server's committed version for a writer never lags its
+/// submit timestamp by more than one — true over reliable channels, but
+/// two consecutively dropped COMMITs break it and turn pure message loss
+/// into a false kBadWriterTimestamp at some reader. Embedding restores
+/// the invariant with probability 1: any SUBMIT the server accepts first
+/// lands the commit of the op before it. Absent (the reliable-fabric
+/// default), the encoding is byte-identical to the pre-D10 wire format.
 struct SubmitMessage {
   Timestamp t = 0;
   InvocationTuple inv;
   Value value;    // ⊥ for reads
   Bytes data_sig; // δ: signature over (t, x̄_i)
+  std::optional<CommitMessage> commit;  // D10: sender's latest COMMIT
 };
 
 /// A version together with the COMMIT-signature of the client that
@@ -86,13 +106,6 @@ struct ReplyMessage {
   std::optional<ReadPayload> read;   // present iff replying to a read
   std::vector<InvocationTuple> L;    // concurrent (submitted, uncommitted) ops
   std::vector<Bytes> P;              // P[k]: PROOF-signature of client k+1 (n entries)
-};
-
-/// ⟨COMMIT, V, M, φ, ψ⟩ — client → server after each REPLY.
-struct CommitMessage {
-  Version version;
-  Bytes commit_sig;  // φ: over the version
-  Bytes proof_sig;   // ψ: over M[i]
 };
 
 /// FAUST §6: "which is the maximal version you know?" (offline channel).
@@ -176,6 +189,9 @@ struct SubmitDeltaMessage {
   // kRead form (base_digest doubles as the advertised digest):
   Timestamp base_ts = 0;
   Bytes data_sig;
+  /// D10 piggybacked COMMIT (see SubmitMessage::commit); absent keeps the
+  /// encoding byte-identical to the pre-D10 format.
+  std::optional<CommitMessage> commit;
 };
 
 /// The read payload of a REPLY_DELTA: MEM[j] expressed against the
@@ -259,6 +275,13 @@ struct SubmitMessageView {
   InvocationTupleView inv;
   ValueView value;
   BytesView data_sig;
+  // D10 piggybacked COMMIT (SubmitMessage::commit). The version is owned
+  // (decoding it allocates its vectors anyway); the signatures view into
+  // the buffer like every other byte field.
+  bool has_commit = false;
+  Version commit_version;
+  BytesView commit_sig;
+  BytesView proof_sig;
 };
 
 /// SubmitDeltaMessage over views (the server's zero-copy decode path).
@@ -271,6 +294,11 @@ struct SubmitDeltaMessageView {
   std::vector<SpliceView> splices;
   Timestamp base_ts = 0;
   BytesView data_sig;
+  // D10 piggybacked COMMIT (see SubmitMessageView).
+  bool has_commit = false;
+  Version commit_version;
+  BytesView commit_sig;
+  BytesView proof_sig;
 };
 
 /// ReadPayloadDelta over views.
@@ -378,8 +406,9 @@ std::optional<SubmitMessageView> decode_submit_view(BytesView data);
 /// Encodes a SUBMIT directly from borrowed parts (the zero-copy write
 /// path: the value bytes are copied exactly once, into the wire buffer).
 /// Byte-identical to encode(SubmitMessage) over the same content.
+/// `commit` (may be null) appends the D10 piggybacked COMMIT section.
 Bytes encode_submit(Timestamp t, const InvocationTuple& inv, const ValueView& value,
-                    BytesView data_sig);
+                    BytesView data_sig, const CommitMessage* commit = nullptr);
 std::optional<CommitMessage> decode_commit(BytesView data);
 std::optional<ProbeMessage> decode_probe(BytesView data);
 std::optional<VersionMessage> decode_version(BytesView data);
@@ -406,13 +435,14 @@ std::optional<ReplyDeltaMessageView> decode_reply_delta_view(BytesView data);
 Bytes encode_submit_delta(Timestamp t, const InvocationTuple& inv,
                           const crypto::Hash& base_digest, const crypto::Hash& new_root,
                           std::uint64_t new_size, std::span<const Splice> splices,
-                          BytesView data_sig);
+                          BytesView data_sig, const CommitMessage* commit = nullptr);
 
 /// Encodes the read form of SUBMIT_DELTA (an advertised-base read).
 /// Byte-identical to encode(SubmitDeltaMessage) over the same content
 /// (inv.oc must be kRead).
 Bytes encode_submit_read_base(Timestamp t, const InvocationTuple& inv, Timestamp base_ts,
-                              const crypto::Hash& base_digest, BytesView data_sig);
+                              const crypto::Hash& base_digest, BytesView data_sig,
+                              const CommitMessage* commit = nullptr);
 
 /// The server's plan for answering an advertised-base read without
 /// materializing a ReplyDeltaMessage: either "unchanged" or the ordered

@@ -256,41 +256,155 @@ void ServerCore::process_commit(ClientId i, const CommitMessage& m) {
       }
     }
   }
-  sver(i) = SignedVersion{m.version, m.commit_sig};  // line 122
-  mutable_P()[static_cast<std::size_t>(i - 1)] = m.proof_sig;  // line 123
+  // D10 reorder tolerance: chaos can deliver a client's COMMITs out of
+  // order (or re-deliver an old one after a resubmit). Folding an older
+  // commit over a newer one would REGRESS SVER[i]/P[i], and honest
+  // readers would then fail line 52 (writer-timestamp) or line 41 (proof
+  // signature) — false fail_i for a pure timing fault. One client's
+  // committed versions are totally ordered, so the ≼ gate keeps exactly
+  // the newest; equal versions (duplicates) rewrite idempotently.
+  if (version_leq(sver(i).version, m.version)) {
+    sver(i) = SignedVersion{m.version, m.commit_sig};  // line 122
+    mutable_P()[static_cast<std::size_t>(i - 1)] = m.proof_sig;  // line 123
+  }
 }
 
-Server::Server(int n, net::Transport& net, NodeId self) : core_(n), net_(net), self_(self) {
+bool ServerCore::client_in_L(ClientId i) const {
+  for (const InvocationTuple& e : *L_) {
+    if (e.client == i) return true;
+  }
+  return false;
+}
+
+Server::Server(int n, net::Transport& net, NodeId self)
+    : core_(n),
+      net_(net),
+      self_(self),
+      last_reply_(static_cast<std::size_t>(n)),
+      parked_(static_cast<std::size_t>(n)) {
   net_.attach(self_, *this);
 }
 
 void Server::on_message(NodeId from, BytesView msg) {
   // No shared buffer to retain: fall back to copying the value into MEM.
-  const auto type = peek_type(msg);
+  process_client_msg(from, msg, nullptr);
+}
+
+void Server::process_client_msg(NodeId from, BytesView bytes,
+                                const std::shared_ptr<const Bytes>& buffer) {
+  const auto type = peek_type(bytes);
   if (!type.has_value()) return;  // clients are correct; ignore noise
-  switch (*type) {
-    case MsgType::kSubmit: {
-      auto m = decode_submit(msg);
-      if (!m.has_value() || m->inv.client != from) return;
-      const ReplySnapshot reply = core_.process_submit(*m);
-      net_.send(self_, from, encode(reply));
-      break;
-    }
-    case MsgType::kSubmitDelta: {
-      const auto m = decode_submit_delta_view(msg);
-      if (!m.has_value() || m->inv.client != from) return;
-      handle_submit_delta(from, *m, nullptr);
-      break;
-    }
-    case MsgType::kCommit: {
-      auto m = decode_commit(msg);
-      if (!m.has_value()) return;
-      core_.process_commit(static_cast<ClientId>(from), *m);
-      break;
-    }
-    default:
-      break;
+  if (*type == MsgType::kCommit) {
+    auto m = decode_commit(bytes);
+    if (!m.has_value()) return;
+    core_.process_commit(static_cast<ClientId>(from), *m);
+    release_parked();
+    return;
   }
+  if (*type != MsgType::kSubmit && *type != MsgType::kSubmitDelta) return;
+  if (from < 1 || from > static_cast<NodeId>(core_.n())) return;
+
+  // Peek (client, t) without processing: both view decoders are cheap and
+  // copy nothing. The D10 piggybacked COMMIT (when present) is lifted out
+  // here — it logically precedes the submit.
+  Timestamp t = 0;
+  std::optional<CommitMessage> piggyback;
+  if (*type == MsgType::kSubmit) {
+    const auto v = decode_submit_view(bytes);
+    if (!v.has_value() || v->inv.client != from) return;
+    t = v->t;
+    if (v->has_commit) {
+      piggyback = CommitMessage{v->commit_version, Bytes(v->commit_sig.begin(), v->commit_sig.end()),
+                                Bytes(v->proof_sig.begin(), v->proof_sig.end())};
+    }
+  } else {
+    const auto v = decode_submit_delta_view(bytes);
+    if (!v.has_value() || v->inv.client != from) return;
+    t = v->t;
+    if (v->has_commit) {
+      piggyback = CommitMessage{v->commit_version, Bytes(v->commit_sig.begin(), v->commit_sig.end()),
+                                Bytes(v->proof_sig.begin(), v->proof_sig.end())};
+    }
+  }
+  const ClientId i = static_cast<ClientId>(from);
+
+  // Process the piggybacked COMMIT BEFORE the dedup and parking checks:
+  // it can prune L (draining this client's parking slot, so the submit
+  // below dispatches instead of deadlocking in the slot) and it advances
+  // SVER[i] even when the submit itself turns out to be a duplicate —
+  // which is exactly the Algorithm 1 line-52 invariant the piggyback
+  // exists to uphold. The monotone gate in process_commit makes stale
+  // re-deliveries no-ops.
+  if (piggyback.has_value()) {
+    core_.process_commit(i, *piggyback);
+    release_parked();
+  }
+
+  // D10 exactly-once: t <= MEM[i].t marks a duplicated/retransmitted
+  // SUBMIT for an op this server already processed. Reprocessing would
+  // append a second L entry → false kSelfConcurrent at the (correct)
+  // client, so the cached original reply is resent instead.
+  if (t <= core_.mem(i).t) {
+    ++duplicate_replies_;
+    const Bytes& cached = last_reply_[static_cast<std::size_t>(i - 1)];
+    if (!cached.empty()) net_.send(self_, from, Bytes(cached));
+    return;
+  }
+
+  // D10 reorder tolerance: this SUBMIT overtook the client's previous
+  // COMMIT (L still lists an op of the client); processing it now would
+  // put the client's OWN op into its concurrency set. Park it until that
+  // COMMIT lands — or, if the COMMIT was lost, until the client's
+  // retransmission (which resends COMMIT before SUBMIT) drains the slot.
+  if (core_.client_in_L(i)) {
+    Parked p;
+    p.buffer = buffer;
+    if (!buffer) p.raw.assign(bytes.begin(), bytes.end());
+    parked_[static_cast<std::size_t>(i - 1)] = std::move(p);
+    ++parked_submits_;
+    return;
+  }
+
+  dispatch_submit(from, bytes, buffer);
+}
+
+void Server::dispatch_submit(NodeId from, BytesView bytes,
+                             const std::shared_ptr<const Bytes>& buffer) {
+  if (peek_type(bytes) == MsgType::kSubmitDelta) {
+    const auto m = decode_submit_delta_view(bytes);
+    if (!m.has_value()) return;
+    handle_submit_delta(from, *m, buffer);
+    return;
+  }
+  if (buffer) {
+    // Zero-copy SUBMIT: decode views and let MEM retain slices of the
+    // delivered buffer — the register value crosses the server uncopied.
+    const auto m = decode_submit_view(bytes);
+    if (!m.has_value()) return;
+    const ReplySnapshot reply = core_.process_submit(*m, buffer);
+    send_reply(static_cast<ClientId>(from), encode(reply));
+    return;
+  }
+  const auto m = decode_submit(bytes);
+  if (!m.has_value()) return;
+  const ReplySnapshot reply = core_.process_submit(*m);
+  send_reply(static_cast<ClientId>(from), encode(reply));
+}
+
+void Server::release_parked() {
+  for (ClientId i = 1; i <= core_.n(); ++i) {
+    auto& slot = parked_[static_cast<std::size_t>(i - 1)];
+    if (!slot.has_value() || core_.client_in_L(i)) continue;
+    Parked p = std::move(*slot);
+    slot.reset();
+    const BytesView bytes = p.buffer ? BytesView(*p.buffer) : BytesView(p.raw);
+    dispatch_submit(static_cast<NodeId>(i), bytes, p.buffer);
+  }
+}
+
+void Server::send_reply(ClientId to, Bytes encoded) {
+  last_reply_[static_cast<std::size_t>(to - 1)] = encoded;
+  net_.send(self_, static_cast<NodeId>(to), std::move(encoded));
 }
 
 void Server::handle_submit_delta(NodeId from, const SubmitDeltaMessageView& m,
@@ -300,7 +414,7 @@ void Server::handle_submit_delta(NodeId from, const SubmitDeltaMessageView& m,
     // A baseless/out-of-bounds delta is dropped: correct clients never
     // send one, and a Byzantine client only hurts itself.
     if (!reply.has_value()) return;
-    net_.send(self_, from, encode(*reply));
+    send_reply(static_cast<ClientId>(from), encode(*reply));
     return;
   }
   // Advertised-base read: run the ordinary read, then shrink the reply to
@@ -325,31 +439,14 @@ void Server::handle_submit_delta(NodeId from, const SubmitDeltaMessageView& m,
   }
   ReadDeltaPlan plan;
   if (core_.plan_read_delta(j, m.base_digest, &plan) == ServerCore::ReadServing::kFull) {
-    net_.send(self_, from, encode(reply));  // D6 fallback: full value
+    send_reply(static_cast<ClientId>(from), encode(reply));  // D6 fallback: full value
   } else {
-    net_.send(self_, from, encode_reply_delta(reply, plan));
+    send_reply(static_cast<ClientId>(from), encode_reply_delta(reply, plan));
   }
 }
 
 void Server::on_shared_message(NodeId from, const std::shared_ptr<const Bytes>& msg) {
-  const BytesView bytes(*msg);
-  const auto type = peek_type(bytes);
-  if (type == MsgType::kSubmitDelta) {
-    const auto m = decode_submit_delta_view(bytes);
-    if (!m.has_value() || m->inv.client != from) return;
-    handle_submit_delta(from, *m, msg);
-    return;
-  }
-  if (type != MsgType::kSubmit) {
-    on_message(from, bytes);  // COMMITs and noise: the small/legacy path
-    return;
-  }
-  // Zero-copy SUBMIT: decode views and let MEM retain slices of `msg` —
-  // the register value crosses the server without being copied.
-  const auto m = decode_submit_view(bytes);
-  if (!m.has_value() || m->inv.client != from) return;
-  const ReplySnapshot reply = core_.process_submit(*m, msg);
-  net_.send(self_, from, encode(reply));
+  process_client_msg(from, BytesView(*msg), msg);
 }
 
 }  // namespace faust::ustor

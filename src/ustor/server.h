@@ -94,6 +94,13 @@ class ServerCore {
   /// committed pointer `c`, prunes L.
   void process_commit(ClientId i, const CommitMessage& m);
 
+  /// True iff L currently lists an operation of client `i` — its COMMIT
+  /// for that operation has not been processed yet. Transports that can
+  /// reorder or drop (D10 chaos) use this to park a SUBMIT that overtook
+  /// its predecessor's COMMIT instead of processing it into a false
+  /// self-concurrency.
+  bool client_in_L(ClientId i) const;
+
   int n() const { return n_; }
 
   /// The schedule so far (order of SUBMIT processing).
@@ -196,6 +203,23 @@ std::optional<SubmitMessage> expand_submit_delta(const ServerCore& core,
                                                  const SubmitDeltaMessageView& m);
 
 /// The correct server: decodes messages, runs the core, replies.
+///
+/// D10 chaos tolerance. The paper's channels are reliable FIFO; under a
+/// FaultPlan they are not, and three purely-timing anomalies would
+/// otherwise masquerade as server misbehavior at a correct client:
+///   - a DUPLICATED (or retransmitted) SUBMIT reprocessed as a new op
+///     appends a second L entry for the client → false kSelfConcurrent.
+///     The submit timestamp doubles as a per-client sequence number
+///     (reads and writes both advance MEM[i].t), so t <= MEM[i].t marks
+///     an already-processed op and the cached original reply is resent.
+///   - a SUBMIT that OVERTOOK its predecessor's COMMIT (L still lists an
+///     op of the client) is parked — one slot per client suffices, a
+///     client runs one op at a time — and dispatched once that COMMIT
+///     lands. A lost COMMIT drains the slot too: the client's
+///     retransmission resends COMMIT before SUBMIT.
+///   - stale/duplicated COMMITs are handled inside ServerCore (monotone
+///     SVER/P fold).
+/// None of this changes behaviour on a clean FIFO transport.
 class Server : public net::Node {
  public:
   Server(int n, net::Transport& net, NodeId self = kServerNode);
@@ -209,15 +233,50 @@ class Server : public net::Node {
   ServerCore& core() { return core_; }
   const ServerCore& core() const { return core_; }
 
+  /// Duplicate SUBMITs answered from the reply cache (D10 exactly-once).
+  std::uint64_t duplicate_replies() const { return duplicate_replies_; }
+  /// SUBMITs parked behind a not-yet-processed predecessor COMMIT.
+  std::uint64_t parked_submits() const { return parked_submits_; }
+
  private:
+  /// A SUBMIT held back until the client's previous COMMIT arrives. The
+  /// shared buffer is retained when the message came in on the zero-copy
+  /// path; otherwise `raw` owns a copy.
+  struct Parked {
+    Bytes raw;
+    std::shared_ptr<const Bytes> buffer;
+  };
+
+  /// Both delivery paths funnel here; `buffer` is null on the owned
+  /// (on_message) path.
+  void process_client_msg(NodeId from, BytesView bytes,
+                          const std::shared_ptr<const Bytes>& buffer);
+
+  /// Runs a (de-duplicated, un-parked) SUBMIT/SUBMIT_DELTA through the
+  /// core and replies.
+  void dispatch_submit(NodeId from, BytesView bytes,
+                       const std::shared_ptr<const Bytes>& buffer);
+
   /// Shared SUBMIT_DELTA handling for both delivery paths; `buffer` is
   /// null on the owned (on_message) path.
   void handle_submit_delta(NodeId from, const SubmitDeltaMessageView& m,
                            const std::shared_ptr<const Bytes>& buffer);
 
+  /// Dispatches every parked SUBMIT whose blocking L entry is gone (a
+  /// COMMIT's prune can clear OTHER clients' entries too, so all slots
+  /// are scanned after every process_commit).
+  void release_parked();
+
+  /// Caches the encoded reply for duplicate suppression, then sends it.
+  void send_reply(ClientId to, Bytes encoded);
+
   ServerCore core_;
   net::Transport& net_;
   const NodeId self_;
+  std::vector<Bytes> last_reply_;         // per client, most recent reply bytes
+  std::vector<std::optional<Parked>> parked_;  // one slot per client
+  std::uint64_t duplicate_replies_ = 0;
+  std::uint64_t parked_submits_ = 0;
 };
 
 }  // namespace faust::ustor

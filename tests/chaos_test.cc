@@ -1,0 +1,247 @@
+// D10 network-chaos tests: seeded drop/duplication/reordering/latency
+// storms and timed partitions over the scenario harness. The headline
+// invariant throughout is Def. 5 accuracy — chaos is a TIMING fault, so
+// no run here may ever fire fail_i — and the differential oracle: a run
+// under any chaos schedule must converge to a merged view byte-identical
+// to a chaos-free replay of the same seeds. Chaos changes when and how
+// often messages arrive, never what the history means.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "scenario/runner.h"
+
+namespace faust::scenario {
+namespace {
+
+struct TempDirFixture {
+  std::string path;
+  explicit TempDirFixture(const std::string& tag) {
+    path = std::string(::testing::TempDir()) + "/faust_chaos_" + tag + "_" +
+           std::to_string(::getpid()) + "_" +
+           std::to_string(reinterpret_cast<std::uintptr_t>(this));
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~TempDirFixture() { std::filesystem::remove_all(path); }
+};
+
+// Small seeded workload; retransmission ON (lossy fabrics require it;
+// runner FAUST_CHECKs the combination) with a base comfortably above the
+// chaos-free round trip, so re-sends only fire when something was lost.
+ScenarioConfig chaos_base(std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.workload.seed = seed;
+  cfg.workload.n_keys = 5'000;
+  cfg.workload.n_ops = 80;
+  cfg.workload.n_writers = 2;
+  cfg.shards = 2;
+  cfg.cluster_seed = seed * 7 + 1;
+  cfg.retransmit_base = 800;
+  return cfg;
+}
+
+// --- Drop-probability sweep -------------------------------------------------
+
+TEST(Chaos, DropSweepConvergesAndNeverFiresFailI) {
+  // p ∈ {0, 0.01, 0.05, 0.2} × 3 seeds. The p=0 run of each seed IS the
+  // chaos-free oracle; every lossy run must reproduce its digest exactly.
+  const double probs[] = {0.01, 0.05, 0.2};
+  std::uint64_t total_dropped = 0, total_retransmits = 0;
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const ScenarioResult clean = run_scenario(chaos_base(seed));
+    ASSERT_TRUE(clean.complete) << "seed " << seed;
+    ASSERT_FALSE(clean.any_failed);
+    ASSERT_TRUE(clean.merged_complete);
+    EXPECT_EQ(clean.chaos_dropped, 0u) << "no plan, no chaos draws";
+
+    for (double p : probs) {
+      ScenarioConfig cfg = chaos_base(seed);
+      cfg.fault_plan.drop = p;
+      const ScenarioResult r = run_scenario(cfg);
+      ASSERT_TRUE(r.complete) << "seed " << seed << " drop " << p;
+      EXPECT_FALSE(r.any_failed)
+          << "loss is a timing fault; fail_i here is a false detection "
+             "(seed " << seed << ", drop " << p << ")";
+      ASSERT_TRUE(r.merged_complete);
+      EXPECT_EQ(r.merged_digest, clean.merged_digest)
+          << "seed " << seed << " drop " << p
+          << ": lossy run diverged from the chaos-free replay";
+      total_dropped += r.chaos_dropped;
+      total_retransmits += r.retransmits;
+    }
+  }
+  EXPECT_GT(total_dropped, 0u) << "the sweep must actually lose messages";
+  EXPECT_GT(total_retransmits, 0u)
+      << "recovery must come from client re-sends, not luck";
+}
+
+// --- Duplication and reordering ---------------------------------------------
+
+TEST(Chaos, DuplicationAndReorderingAreInvisible) {
+  // No loss, so no retransmission needed and stability converges to the
+  // same cut: duplicates are absorbed by the server's exactly-once funnel
+  // (duplicate_replies counts the cached re-sends) and by the client's
+  // stale-reply drop; reordered SUBMIT/COMMITs ride the parking slot and
+  // the monotone COMMIT gate. Durable shards, because duplicate_replies
+  // is a durability counter (and the WAL path must absorb chaos too).
+  TempDirFixture clean_dir("dup_clean");
+  TempDirFixture noisy_dir("dup_noisy");
+  ScenarioConfig cfg = chaos_base(4);
+  cfg.retransmit_base = 0;  // reliable fabric: keep the seed-default timers
+  cfg.dir = clean_dir.path;
+  const ScenarioResult clean = run_scenario(cfg);
+  ASSERT_TRUE(clean.complete);
+
+  ScenarioConfig noisy = cfg;
+  noisy.dir = noisy_dir.path;
+  noisy.fault_plan.duplicate = 0.25;
+  noisy.fault_plan.reorder = 0.3;
+  const ScenarioResult r = run_scenario(noisy);
+  ASSERT_TRUE(r.complete);
+  EXPECT_FALSE(r.any_failed)
+      << "a duplicated or overtaking message must never read as misbehavior";
+  ASSERT_TRUE(r.merged_complete);
+  EXPECT_EQ(r.merged_digest, clean.merged_digest);
+  EXPECT_EQ(r.shard_stable, clean.shard_stable)
+      << "nothing was lost, so the cuts must converge to the same place";
+  EXPECT_GT(r.chaos_duplicated, 0u);
+  EXPECT_GT(r.chaos_reordered, 0u);
+  EXPECT_GT(r.duplicate_replies, 0u)
+      << "duplicated SUBMITs must hit the server's reply cache in anger";
+}
+
+// --- Partitions ---------------------------------------------------------------
+
+TEST(Chaos, AsymmetricPartitionHealsWithoutFalseFailure) {
+  // One-way cut (client→server only) of shard 0 mid-run: requests vanish
+  // into the cut, the op in flight stalls, and after the heal the client's
+  // retransmission completes it exactly once. Then the same storm with a
+  // symmetric cut. Both must match the partition-free replay.
+  const ScenarioResult clean = run_scenario(chaos_base(5));
+  ASSERT_TRUE(clean.complete);
+
+  for (bool symmetric : {false, true}) {
+    ScenarioConfig cfg = chaos_base(5);
+    PartitionEvent part;
+    part.at_op = 20;
+    part.shard = 0;
+    part.duration = 1'500;
+    part.symmetric = symmetric;
+    cfg.partitions = {part};
+    const ScenarioResult r = run_scenario(cfg);
+    ASSERT_TRUE(r.complete) << (symmetric ? "symmetric" : "asymmetric");
+    EXPECT_FALSE(r.any_failed)
+        << "an unreachable server is indistinguishable from a slow one "
+           "and must never fire fail_i";
+    ASSERT_TRUE(r.merged_complete);
+    EXPECT_EQ(r.merged_digest, clean.merged_digest);
+    EXPECT_GT(r.chaos_partition_dropped, 0u)
+        << "the cut must actually swallow traffic";
+    EXPECT_GT(r.retransmits, 0u);
+  }
+}
+
+// --- Mid-run plan swaps -------------------------------------------------------
+
+TEST(Chaos, MidRunPlanSwapsApplyPerShard) {
+  // A storm with edges: chaos ON for shard 1 at op 10, OFF at op 50. The
+  // differential holds across both transitions, and only shard 1's fabric
+  // records drops.
+  const ScenarioResult clean = run_scenario(chaos_base(6));
+  ASSERT_TRUE(clean.complete);
+
+  ScenarioConfig cfg = chaos_base(6);
+  ChaosEvent on;
+  on.at_op = 10;
+  on.shard = 1;
+  on.plan.drop = 0.15;
+  on.plan.jitter = 5;
+  ChaosEvent off;
+  off.at_op = 50;
+  off.shard = 1;
+  off.plan = net::FaultPlan{};  // all-zero: chaos off
+  cfg.chaos = {on, off};
+  const ScenarioResult r = run_scenario(cfg);
+  ASSERT_TRUE(r.complete);
+  EXPECT_FALSE(r.any_failed);
+  ASSERT_TRUE(r.merged_complete);
+  EXPECT_EQ(r.merged_digest, clean.merged_digest);
+  EXPECT_GT(r.chaos_dropped, 0u);
+}
+
+// --- The acceptance storm -----------------------------------------------------
+
+TEST(Chaos, StormMatchesChaosFreeReplay) {
+  // The D10 acceptance scenario, simulated side: S=3, 5% loss + jitter on
+  // every shard for the whole run, one asymmetric partition mid-run. The
+  // merged view is byte-identical to the chaos-free replay, no client
+  // fires fail_i, and every resilience counter shows the machinery ran.
+  TempDirFixture clean_dir("storm_clean");
+  TempDirFixture storm_dir("storm");
+  ScenarioConfig cfg;
+  cfg.workload.seed = 909;
+  cfg.workload.n_keys = 20'000;
+  cfg.workload.n_ops = 120;
+  cfg.workload.n_writers = 2;
+  cfg.shards = 3;
+  cfg.cluster_seed = 31;
+  cfg.retransmit_base = 800;
+  cfg.dir = clean_dir.path;  // durable: the WAL rides the storm too
+
+  const ScenarioResult clean = run_scenario(cfg);
+  ASSERT_TRUE(clean.complete);
+  ASSERT_FALSE(clean.any_failed);
+
+  ScenarioConfig storm = cfg;
+  storm.dir = storm_dir.path;
+  storm.fault_plan.drop = 0.05;
+  storm.fault_plan.jitter = 8;
+  PartitionEvent part;
+  part.at_op = 40;
+  part.shard = 1;
+  part.duration = 2'000;
+  part.symmetric = false;
+  storm.partitions = {part};
+
+  const ScenarioResult r = run_scenario(storm);
+  ASSERT_TRUE(r.complete) << "every op must ride out the storm";
+  EXPECT_FALSE(r.any_failed) << "zero false fail_i is the tentpole claim";
+  ASSERT_TRUE(r.merged_complete);
+  EXPECT_EQ(r.merged_digest, clean.merged_digest)
+      << "the storm changed latency, not history";
+  EXPECT_GT(r.chaos_dropped, 0u);
+  EXPECT_GT(r.chaos_partition_dropped, 0u);
+  EXPECT_GT(r.retransmits, 0u);
+}
+
+// --- Threaded-mode storm ------------------------------------------------------
+
+TEST(Chaos, ThreadedStormMatchesDeterministicOracle) {
+  // Real shard threads under loss: ops are driven to completion one at a
+  // time, so conflict winners — and the merged view — match the
+  // deterministic chaos-free oracle exactly, even though the storm itself
+  // is not replayable across runs in this mode.
+  ScenarioConfig cfg = chaos_base(8);
+  cfg.workload.n_ops = 60;
+  const ScenarioResult oracle = run_scenario(cfg);
+  ASSERT_TRUE(oracle.complete);
+
+  ScenarioConfig thr = cfg;
+  thr.mode = shard::ExecMode::kThreaded;
+  thr.fault_plan.drop = 0.05;
+  thr.fault_plan.jitter = 5;
+  const ScenarioResult r = run_scenario(thr);
+  ASSERT_TRUE(r.complete);
+  EXPECT_FALSE(r.any_failed);
+  ASSERT_TRUE(r.merged_complete);
+  EXPECT_EQ(r.merged_digest, oracle.merged_digest);
+}
+
+}  // namespace
+}  // namespace faust::scenario

@@ -199,6 +199,58 @@ TEST(SockProcess, MutedCacheTimesOutAndFallsBackToShardPath) {
   EXPECT_GT(r.registers_engine_read, 0u);
 }
 
+// --- D10 chaos storm over real sockets --------------------------------------
+
+TEST(SockProcess, ChaosStormOverRealSocketsMatchesOracle) {
+  // The D10 acceptance storm, socket side: every shard a real worker
+  // process, with the transport's chaos shim live for the whole run —
+  // receive-path latency plus mid-frame connection resets (the TCP
+  // translation of probabilistic loss; see schedule.h) — and one 2s
+  // asymmetric blackhole partition of shard 1 mid-run. Clients ride it
+  // out on deadlines + retransmission, no fail_i fires, and the merged
+  // view is byte-identical to the deterministic chaos-free oracle.
+  TempDirFixture storm_dir("chaos_p"), oracle_dir("chaos_o");
+
+  scenario::ScenarioConfig cfg = acceptance_config(storm_dir.path);
+  cfg.mode = shard::ExecMode::kProcess;
+  cfg.process = process_options(/*tcp=*/true);
+  cfg.retransmit_base = 800;  // lossy fabric: re-sends own recovery
+  cfg.fault_plan.drop = 0.05;
+  cfg.fault_plan.jitter = 2'000;  // ticks × 1us tick = 2ms rx latency
+
+  scenario::PartitionEvent part;
+  part.at_op = 40;
+  part.shard = 1;
+  part.duration = 2'000'000;  // ticks × 1us tick = 2s of real cut
+  part.symmetric = false;
+  cfg.partitions = {part};
+
+  scenario::ChaosEvent burst;  // a second reset wave mid-run
+  burst.at_op = 70;
+  burst.shard = 0;
+  burst.plan.drop = 0.05;
+  burst.plan.jitter = 2'000;
+  cfg.chaos = {burst};
+
+  const scenario::ScenarioResult r = scenario::run_scenario(cfg);
+  ASSERT_TRUE(r.complete) << "every op must ride out the storm";
+  EXPECT_FALSE(r.any_failed)
+      << "socket chaos is a timing fault; fail_i here is a false detection";
+  ASSERT_TRUE(r.merged_complete);
+  EXPECT_GT(r.chaos_resets, 0u) << "the shim must really cut connections";
+  EXPECT_GT(r.chaos_delayed, 0u) << "the latency shim must really delay frames";
+  EXPECT_GT(r.chaos_blackholed, 0u) << "the partition must swallow traffic";
+  EXPECT_GT(r.retransmits, 0u);
+  EXPECT_GE(r.wire_reconnects, 1u) << "resets force the redial/backoff path";
+
+  scenario::ScenarioConfig oc = acceptance_config(oracle_dir.path);
+  oc.mode = shard::ExecMode::kDeterministic;
+  const scenario::ScenarioResult orr = scenario::run_scenario(oc);
+  ASSERT_TRUE(orr.complete);
+  EXPECT_EQ(digest_hex(r), digest_hex(orr))
+      << "the storm changed latency, not history";
+}
+
 // --- Mixed deployment: one real process shard, one in-process shard --------
 
 TEST(SockProcess, MixedProcessAndInProcessShardsMatchOracle) {

@@ -8,15 +8,18 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <filesystem>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/rng.h"
 #include "rt/threaded_runtime.h"
 #include "sock/frame.h"
 #include "sock/socket_transport.h"
@@ -406,6 +409,73 @@ TEST(SocketTransport, UnroutableSendsAreCountedNotFatal) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   EXPECT_EQ(t.wire().unroutable_drops, 1u);
+}
+
+// --- D10 redial backoff -------------------------------------------------------
+
+TEST(SocketTransport, BackoffDecorrelatedJitterStaysInEnvelope) {
+  // next_backoff is the whole redial policy: the first failure sits
+  // exactly on the floor, every later draw lands in [base, min(cap,
+  // prev*3)], and the cap is an absolute ceiling no matter how long the
+  // outage lasts.
+  Rng rng(42);
+  const auto base = std::chrono::milliseconds(2);
+  const auto cap = std::chrono::milliseconds(500);
+  auto prev = std::chrono::milliseconds(0);
+  prev = next_backoff(base, cap, prev, rng);
+  EXPECT_EQ(prev, base) << "first failure: exactly the floor";
+  bool reached_upper_half = false;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t hi =
+        std::max(base.count(), std::min(cap.count(), prev.count() * 3));
+    const auto d = next_backoff(base, cap, prev, rng);
+    ASSERT_GE(d.count(), base.count());
+    ASSERT_LE(d.count(), hi);
+    ASSERT_LE(d.count(), cap.count()) << "the cap is absolute";
+    if (d.count() > cap.count() / 2) reached_upper_half = true;
+    prev = d;
+  }
+  EXPECT_TRUE(reached_upper_half) << "a long outage must actually back off";
+
+  // Degenerate bounds stay sane: cap below base clamps to base.
+  Rng r2(7);
+  EXPECT_EQ(next_backoff(std::chrono::milliseconds(10), std::chrono::milliseconds(3),
+                         std::chrono::milliseconds(50), r2),
+            std::chrono::milliseconds(10));
+}
+
+TEST(SocketTransport, BackoffReconnectStormDesynchronizesFleet) {
+  // The reconnect-storm regression: a fleet of clients loses the same
+  // server at the same instant. Under truncated binary exponential
+  // backoff they would redial in lockstep waves (every client's Nth
+  // retry at the same tick); decorrelated jitter must spread the Nth
+  // retry across (almost all) distinct times — while staying fully
+  // deterministic per seed, like every other randomized component here.
+  constexpr int kFleet = 64;
+  constexpr int kRetries = 8;
+  const auto base = std::chrono::milliseconds(2);
+  const auto cap = std::chrono::milliseconds(500);
+
+  const auto schedule = [&](std::uint64_t seed) {
+    Rng rng(0x5851F42D4C957F2DULL ^ seed);  // the transport's seeding scheme
+    auto prev = std::chrono::milliseconds(0);
+    std::int64_t at = 0;
+    for (int i = 0; i < kRetries; ++i) {
+      prev = next_backoff(base, cap, prev, rng);
+      at += prev.count();
+    }
+    return at;
+  };
+
+  std::set<std::int64_t> distinct;
+  for (int c = 0; c < kFleet; ++c) {
+    distinct.insert(schedule(static_cast<std::uint64_t>(c)));
+  }
+  EXPECT_GE(distinct.size(), static_cast<std::size_t>(kFleet - 4))
+      << "the storm must not re-form into synchronized waves";
+
+  // Same incarnation, same schedule: jitter is replayable, not entropy.
+  EXPECT_EQ(schedule(11), schedule(11));
 }
 
 }  // namespace

@@ -22,6 +22,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <string>
@@ -30,6 +31,7 @@
 #include "adversary/forking_server.h"
 #include "api/store.h"
 #include "common/rng.h"
+#include "exec/executor.h"
 #include "faust/cluster.h"
 #include "shard/sharded_cluster.h"
 #include "ustor/server.h"
@@ -529,6 +531,168 @@ TEST(StoreApi, FailedShardSurfacesThroughEventsAndResults) {
   EXPECT_FALSE(b.results[1].put.failed);
   ASSERT_TRUE(b.results[2].get.entry.has_value());
   EXPECT_EQ(b.results[2].get.entry->value, "y");
+}
+
+// --- Deadlines, breaker and degradation (D10) -------------------------------
+
+namespace {
+
+// Cuts (or heals) every client→server channel of one shard's simulated
+// fabric. Threaded shards own their Network on the shard thread, so the
+// mutation must serialize onto that runtime.
+void cut_shard(shard::ShardedCluster& sc, std::size_t s, bool cut) {
+  const auto body = [&sc, s, cut] {
+    Cluster& cl = sc.shard(s);
+    for (ClientId c = 1; c <= kClients; ++c) {
+      if (cut) {
+        cl.net().partition(c, kServerNode);
+      } else {
+        cl.net().heal(c, kServerNode);
+      }
+    }
+  };
+  if (sc.threaded()) {
+    ASSERT_TRUE(exec::post_sync(sc.shard_exec(s), body));
+  } else {
+    body();
+  }
+}
+
+// A threaded two-shard deployment with client retransmission armed (so
+// ops stranded by a cut complete after the heal instead of wedging the
+// client's op queue forever).
+shard::ShardedClusterConfig chaos_store_config(std::uint64_t seed) {
+  shard::ShardedClusterConfig cfg;
+  cfg.shards = 2;
+  cfg.seed = seed;
+  cfg.mode = shard::ExecMode::kThreaded;
+  cfg.shard_template.n = kClients;
+  cfg.shard_template.faust.dummy_read_period = 0;
+  cfg.shard_template.faust.probe_check_period = 0;
+  cfg.shard_template.faust.retransmit_base = 500;
+  return cfg;
+}
+
+std::string key_on_shard(const Store& store, std::size_t shard) {
+  for (int k = 0;; ++k) {
+    std::string key = "dk" + std::to_string(k);
+    if (store.home_shard(key) == shard) return key;
+  }
+}
+
+}  // namespace
+
+TEST(StoreApiD10, WaitDeadlineResolvesTypedTimeoutNotHang) {
+  // The satellite-(a) pin: a put routed into a partition must resolve to
+  // Status::kTimedOut within the configured deadline — never the silent
+  // 120 s default-wait hang — and the op itself stays in flight: after
+  // the heal, retransmission completes it and the value is readable.
+  shard::ShardedCluster sc(chaos_store_config(51));
+  auto store = api::open_store(sc, 1);
+  store->set_wait_timeout(std::chrono::milliseconds(200));
+
+  const std::string key = key_on_shard(*store, 0);
+  cut_shard(sc, 0, true);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const PutResult r = store->put(key, "through-the-cut").wait();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(r.status, Status::kTimedOut);
+  EXPECT_LT(elapsed, std::chrono::seconds(30))
+      << "a deadline wait must return promptly, not block for minutes";
+  EXPECT_EQ(r.ts, 0u) << "nothing completed yet";
+
+  cut_shard(sc, 0, false);
+  // The timed-out ticket abandoned the WAIT, not the op: retransmission
+  // finishes it after the heal, and a fresh read observes the write.
+  GetResult g;
+  for (int round = 0; round < 100; ++round) {
+    g = store->get(key).wait_for(std::chrono::milliseconds(500));
+    if (g.status == Status::kOk && g.entry.has_value()) break;
+  }
+  ASSERT_TRUE(g.entry.has_value()) << "the stranded op never completed";
+  EXPECT_EQ(g.entry->value, "through-the-cut");
+  EXPECT_FALSE(store->any_failed())
+      << "a partition is a timing fault and must never fire fail_i";
+  sc.stop();
+}
+
+TEST(StoreApiD10, BreakerOpensRefusesFastAndRecovers) {
+  shard::ShardedCluster sc(chaos_store_config(52));
+  auto store = api::open_store(sc, 1);
+  store->set_wait_timeout(std::chrono::milliseconds(150));
+  store->set_breaker(/*threshold=*/2, /*cooldown_ops=*/3);
+
+  const std::string key0 = key_on_shard(*store, 0);
+  const std::string key1 = key_on_shard(*store, 1);
+  cut_shard(sc, 0, true);
+
+  // Two consecutive deadline expiries trip shard 0's breaker.
+  EXPECT_EQ(store->put(key0, "a").wait().status, Status::kTimedOut);
+  EXPECT_EQ(store->put(key0, "b").wait().status, Status::kTimedOut);
+  EXPECT_TRUE(store->breaker_open(0));
+
+  // Open breaker: writes refuse fast (typed, no deadline burned) ...
+  const auto t0 = std::chrono::steady_clock::now();
+  const PutResult refused = store->put(key0, "c").wait();
+  EXPECT_EQ(refused.status, Status::kUnavailable);
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::milliseconds(100))
+      << "a refusal must not queue behind the partition";
+  // ... reads with no cache tier degrade to typed unavailability ...
+  EXPECT_EQ(store->get(key0).wait().status, Status::kUnavailable);
+  // ... and the healthy shard is untouched (the breaker is per-shard).
+  EXPECT_EQ(store->put(key1, "healthy").wait_for(std::chrono::seconds(10)).status,
+            Status::kOk);
+  EXPECT_FALSE(store->breaker_open(1));
+
+  cut_shard(sc, 0, false);
+  // Every cooldown-th refusal passes through as the recovery probe; once
+  // one completes against the healed shard, the breaker closes.
+  PutResult recovered;
+  for (int round = 0; round < 100; ++round) {
+    recovered = store->put(key0, "after-heal").wait_for(std::chrono::milliseconds(500));
+    if (recovered.status == Status::kOk) break;
+  }
+  EXPECT_EQ(recovered.status, Status::kOk) << "the breaker never recovered";
+  EXPECT_FALSE(store->breaker_open(0));
+  EXPECT_FALSE(store->any_failed());
+  sc.stop();
+}
+
+TEST(StoreApiD10, DegradedReadsServeStaleFromCacheFlaggedNeverStable) {
+  // With the D8 cache tier wired, an unreachable shard's reads fall back
+  // to verified-but-possibly-stale cache state: kOk, cached=true, as_of
+  // set — and never reported stable. Writes still refuse fast.
+  shard::ShardedClusterConfig cfg = chaos_store_config(53);
+  cfg.shard_template.cache.enabled = true;
+  cfg.shard_template.cache.with_node = true;
+  shard::ShardedCluster sc(cfg);
+  auto store = api::open_store(sc, 1);
+  store->set_wait_timeout(std::chrono::milliseconds(150));
+  store->set_breaker(/*threshold=*/2, /*cooldown_ops=*/100);  // no probes here
+
+  const std::string key = key_on_shard(*store, 0);
+  ASSERT_EQ(store->put(key, "cached-value").wait_for(std::chrono::seconds(10)).status,
+            Status::kOk);
+  // Warm the cache tier: an ordinary read fills every register slot the
+  // observing snapshot touches.
+  ASSERT_EQ(store->get(key).wait_for(std::chrono::seconds(10)).status, Status::kOk);
+
+  cut_shard(sc, 0, true);
+  EXPECT_EQ(store->put(key, "x").wait().status, Status::kTimedOut);
+  EXPECT_EQ(store->put(key, "y").wait().status, Status::kTimedOut);
+  ASSERT_TRUE(store->breaker_open(0));
+
+  const GetResult degraded = store->get(key).wait();
+  EXPECT_EQ(degraded.status, Status::kOk) << "the cache tier should have answered";
+  EXPECT_TRUE(degraded.cached) << "a degraded read must be flagged as cache-served";
+  EXPECT_GT(degraded.as_of, 0u) << "the staleness horizon must be reported";
+  EXPECT_FALSE(degraded.stable) << "served-stale data must never claim stability";
+  ASSERT_TRUE(degraded.entry.has_value());
+  EXPECT_EQ(degraded.entry->value, "cached-value");
+  EXPECT_EQ(store->put(key, "z").wait().status, Status::kUnavailable);
+  EXPECT_FALSE(store->any_failed());
+  sc.stop();
 }
 
 }  // namespace
